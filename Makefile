@@ -1,0 +1,25 @@
+# Convenience targets for the crossbar reproduction library.
+
+.PHONY: install test bench report examples validate all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report --output reproduction-report
+
+examples:
+	@for f in examples/*.py; do \
+		echo "=== $$f"; python $$f || exit 1; \
+	done
+
+validate:
+	python -m repro validate --n 8 --poisson 0.01 --pascal 0.005:0.2
+
+all: test bench report

@@ -1,0 +1,125 @@
+"""Ablation A: the solution methods against each other.
+
+Times Algorithm 1 (three numeric modes), Algorithm 2, the exact
+rational oracle, brute-force enumeration and the raw CTMC solve on a
+shared configuration, and asserts they agree.  This substantiates the
+paper's complexity discussion in Section 5: both fast algorithms scale
+as ``O(N1 N2 R)`` while enumeration-based methods blow up with the
+state space.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import write_result
+
+from repro.core.convolution import solve_convolution
+from repro.core.exact import solve_exact
+from repro.core.mva import solve_mva
+from repro.core.productform import solve_brute_force
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.ctmc import solve_ctmc
+from repro.reporting import format_table
+
+
+def _classes(n: int) -> list[TrafficClass]:
+    return [
+        TrafficClass.from_aggregate(0.0024, 0.0, n2=n, name="poisson"),
+        TrafficClass.from_aggregate(0.0024, 0.0012, n2=n, name="pascal"),
+    ]
+
+
+REFERENCE_N = 20
+REFERENCE = solve_convolution(
+    SwitchDimensions.square(REFERENCE_N), _classes(REFERENCE_N)
+)
+
+
+def _assert_matches(non_blocking: float) -> None:
+    assert non_blocking == pytest.approx(
+        REFERENCE.non_blocking(0), rel=1e-8
+    )
+
+
+@pytest.mark.parametrize("mode", ["log", "scaled", "float"])
+def test_algorithm1_modes(benchmark, mode):
+    dims = SwitchDimensions.square(REFERENCE_N)
+    solution = benchmark(
+        solve_convolution, dims, _classes(REFERENCE_N), mode
+    )
+    _assert_matches(solution.non_blocking(0))
+
+
+def test_algorithm2_mva(benchmark):
+    dims = SwitchDimensions.square(REFERENCE_N)
+    solution = benchmark(solve_mva, dims, _classes(REFERENCE_N))
+    _assert_matches(solution.non_blocking(0))
+
+
+def test_series_solver(benchmark):
+    from repro.core.series_solver import solve_series
+
+    dims = SwitchDimensions.square(REFERENCE_N)
+    solution = benchmark(solve_series, dims, _classes(REFERENCE_N))
+    _assert_matches(solution.non_blocking(0))
+
+
+def test_exact_rational(benchmark):
+    dims = SwitchDimensions.square(REFERENCE_N)
+    solution = benchmark.pedantic(
+        solve_exact, args=(dims, _classes(REFERENCE_N)),
+        rounds=1, iterations=1,
+    )
+    _assert_matches(solution.non_blocking(0))
+
+
+def test_brute_force_enumeration(benchmark):
+    dims = SwitchDimensions.square(REFERENCE_N)
+    dist = benchmark.pedantic(
+        solve_brute_force, args=(dims, _classes(REFERENCE_N)),
+        rounds=1, iterations=1,
+    )
+    _assert_matches(dist.non_blocking_probability(0))
+
+
+def test_ctmc_direct(benchmark):
+    dims = SwitchDimensions.square(REFERENCE_N)
+    dist = benchmark.pedantic(
+        solve_ctmc, args=(dims, _classes(REFERENCE_N)),
+        rounds=1, iterations=1,
+    )
+    _assert_matches(dist.non_blocking_probability(0))
+
+
+def test_scaling_with_system_size(benchmark):
+    """O(N^2) growth of Algorithm 1 — the Section 5 complexity claim.
+
+    Fits the runtime ratio between N = 128 and N = 32: for an
+    O(N^2 R) algorithm the work ratio is 16; allow generous slack for
+    constant overheads.
+    """
+    import time
+
+    def measure(n: int) -> float:
+        dims = SwitchDimensions.square(n)
+        classes = _classes(n)
+        start = time.perf_counter()
+        for _ in range(3):
+            solve_convolution(dims, classes)
+        return (time.perf_counter() - start) / 3
+
+    def run():
+        return measure(32), measure(128)
+
+    t32, t128 = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = t128 / t32
+    write_result(
+        "algorithm_scaling",
+        format_table(
+            ["N", "seconds/solve"],
+            [[32, t32], [128, t128], ["ratio", ratio]],
+            title="Algorithm 1 runtime scaling (expect ~16x for O(N^2))",
+        ),
+    )
+    assert ratio < 64.0  # far below the O(N^4) that enumeration costs

@@ -1,0 +1,119 @@
+"""Ablation E: the large-system approximation and the slotted baseline.
+
+Two comparisons beyond the paper's tables:
+
+1. the O(1) asymptotic fixed point vs the exact ``O(N^2)`` Algorithm 1
+   across system sizes — accuracy improves like ``1/N`` while cost
+   stays flat, making it the right tool for capacity-planning sweeps
+   over very large optical fabrics;
+2. the asynchronous circuit-switched crossbar vs the classical
+   synchronous slotted (Patel) crossbar the paper contrasts with in
+   Section 2, on a shared utilization axis.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.baselines import saturation_throughput, slotted_acceptance
+from repro.core.asymptotic import solve_asymptotic
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.reporting import format_table
+
+
+def _mix(n: int) -> list[TrafficClass]:
+    return [
+        TrafficClass.from_aggregate(0.0024, 0.0, n2=n, name="poisson"),
+        TrafficClass.from_aggregate(0.0024, 0.0012, n2=n, name="pascal"),
+    ]
+
+
+def test_asymptotic_accuracy_sweep(benchmark):
+    def run():
+        rows = []
+        for n in (8, 16, 32, 64, 128, 256):
+            dims = SwitchDimensions.square(n)
+            classes = _mix(n)
+            exact = solve_convolution(dims, classes).blocking(0)
+            approx = solve_asymptotic(dims, classes).blocking(0)
+            rows.append([n, exact, approx, abs(approx - exact) / exact])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "asymptotic_accuracy",
+        format_table(
+            ["N", "blocking (exact)", "blocking (asymptotic)", "rel err"],
+            rows,
+            precision=5,
+            title="Large-system approximation vs Algorithm 1",
+        ),
+    )
+    errors = [row[3] for row in rows]
+    assert errors[0] < 0.10
+    assert errors[-1] < 0.01
+    assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+
+def test_asymptotic_speed(benchmark):
+    """The approximation's cost is independent of N.
+
+    Uses a Poisson-only mix: at fixed ``beta~`` a Pascal class becomes
+    supercritical for huge ``N`` (its feedback scales like
+    ``beta~ * N``), which is a property of the model, not the solver.
+    """
+    n = 4096
+    dims = SwitchDimensions.square(n)
+    classes = [TrafficClass.from_aggregate(0.0024, 0.0, n2=n, name="p")]
+    solution = benchmark(solve_asymptotic, dims, classes)
+    assert 0.0 < solution.blocking(0) < 0.05
+
+
+def test_async_vs_slotted_baseline(benchmark):
+    """Acceptance comparison at matched per-port utilization.
+
+    The asynchronous circuit crossbar blocks a request when its
+    specific ports are busy (~``1 - (1-u)^2``); the slotted packet
+    crossbar only loses packets to same-slot output collisions.  At
+    saturation the slotted fabric still delivers ``1 - 1/e``, while
+    the circuit fabric's acceptance vanishes — the disciplines are not
+    interchangeable, which is why the paper develops the asynchronous
+    analysis separately.
+    """
+
+    def run():
+        rows = []
+        n = 16
+        for utilization in (0.1, 0.3, 0.5, 0.8):
+            # circuit: pick rho so that carried occupancy ~ u*n
+            target = utilization * n
+            rho = target / (n * n * (1 - utilization) ** 2)
+            dims = SwitchDimensions.square(n)
+            circuit = solve_convolution(
+                dims, [TrafficClass.poisson(rho)]
+            )
+            rows.append(
+                [
+                    utilization,
+                    circuit.call_acceptance(0),
+                    slotted_acceptance(n, n, utilization),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "async_vs_slotted",
+        format_table(
+            ["port load", "accept (async circuit)", "accept (slotted packet)"],
+            rows,
+            precision=4,
+            title="Asynchronous circuit vs synchronous slotted crossbar "
+                  "(16x16)",
+        ),
+    )
+    for _, circuit_acc, slotted_acc in rows:
+        assert circuit_acc < slotted_acc  # circuits hold ports for whole calls
+    assert saturation_throughput(16) > 0.6

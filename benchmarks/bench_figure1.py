@@ -1,0 +1,37 @@
+"""Figure 1: smooth (Bernoulli) arrival traffic vs system size.
+
+Regenerates the paper's Figure 1 — blocking probability for
+``N1 = N2 = N`` up to 128, one smooth class (``R1 = 0, R2 = 1``,
+``a = 1``), ``alpha~ = .0024``, ``beta~`` from 0 to ``-4e-6`` — and
+checks the reported shape: the Poisson curve is an upper bound and the
+whole family stays within ~0.1% of it ("relatively insensitive").
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.workloads import figure1
+
+
+def test_figure1(benchmark):
+    fig = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    write_result("figure1", fig.render(precision=6))
+
+    poisson = fig.curve("poisson").values
+    # Poisson upper-bounds every smooth curve, pointwise.
+    for curve in fig.curves[1:]:
+        assert all(
+            b <= p + 1e-15 for p, b in zip(poisson, curve.values)
+        ), f"curve {curve.label} exceeds the Poisson bound"
+    # Monotone ordering in |beta~|.
+    for first, second in zip(fig.curves, fig.curves[1:]):
+        assert all(
+            b <= a + 1e-15
+            for a, b in zip(first.values[2:], second.values[2:])
+        )
+    # The smooth family is a small perturbation (paper: ~0.1%).
+    smoothest = fig.curves[-1].values[-1]
+    assert abs(poisson[-1] - smoothest) / poisson[-1] < 0.005
+    # Operating point ~0.5% blocking, as designed.
+    assert 0.002 < poisson[-1] < 0.008

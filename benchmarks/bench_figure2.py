@@ -1,0 +1,35 @@
+"""Figure 2: peaky (Pascal) arrival traffic vs system size.
+
+Regenerates the paper's Figure 2 and checks the reported shape: peaky
+traffic "has a dramatic impact on blocking probability" — the Pascal
+curves lie above the Poisson baseline by far more than the smooth
+family of Figure 1 lies below it, and the gap widens with both
+``beta~`` and ``N``.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.workloads import figure1, figure2
+
+
+def test_figure2(benchmark):
+    fig = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    write_result("figure2", fig.render(precision=6))
+
+    poisson = fig.curve("poisson").values
+    for curve in fig.curves[1:]:
+        assert all(
+            b >= p - 1e-15 for p, b in zip(poisson, curve.values)
+        )
+    # Gap grows with beta~ at the largest size.
+    gaps = [c.values[-1] - poisson[-1] for c in fig.curves[1:]]
+    assert all(b > a for a, b in zip(gaps, gaps[1:]))
+    # "Dramatic" relative to Figure 1's smooth family: at N = 128 the
+    # most peaky increment dwarfs the smooth decrement.
+    smooth = figure1(sizes=(128,))
+    smooth_gap = (
+        smooth.curve("poisson").values[0] - smooth.curves[-1].values[0]
+    )
+    assert gaps[-1] > 20 * smooth_gap

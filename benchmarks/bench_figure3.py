@@ -1,0 +1,35 @@
+"""Figure 3: Poisson + peaky mix versus the peaky class alone.
+
+Regenerates the paper's Figure 3 and checks its two observations:
+adding the ``R1`` (Poisson) class merely shifts the operating point of
+the crossbar upward, and a given ``beta~`` causes a similar *relative*
+change in blocking at either operating point.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.workloads import figure3
+
+
+def test_figure3(benchmark):
+    fig = benchmark.pedantic(figure3, rounds=1, iterations=1)
+    write_result("figure3", fig.render(precision=6))
+
+    for beta in ("0.0012", "0.0024"):
+        alone = fig.curve(f"R2 only, beta~={beta}").values
+        mixed = fig.curve(f"R1+R2, beta~={beta}").values
+        # The mix carries twice the load: strictly higher blocking.
+        assert all(m > a for a, m in zip(alone[1:], mixed[1:]))
+
+    # Similar relative beta~ effect at both operating points (checked
+    # at the largest size, to within 50% of each other).
+    idx = -1
+    alone_low = fig.curve("R2 only, beta~=0.0012").values[idx]
+    alone_high = fig.curve("R2 only, beta~=0.0024").values[idx]
+    mixed_low = fig.curve("R1+R2, beta~=0.0012").values[idx]
+    mixed_high = fig.curve("R1+R2, beta~=0.0024").values[idx]
+    rel_alone = (alone_high - alone_low) / alone_low
+    rel_mixed = (mixed_high - mixed_low) / mixed_low
+    assert 0.5 < rel_mixed / rel_alone < 2.0

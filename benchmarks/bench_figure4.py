@@ -1,0 +1,31 @@
+"""Figure 4: multi-rate traffic — bandwidth requirement a=1 vs a=2.
+
+Regenerates the paper's Figure 4 using Table 1's exact input loads and
+checks the reported shape: at matched total load the ``a = 2`` class
+sees far higher blocking than the ``a = 1`` class ("due to the higher
+contention of two connection requests per arrival event"), with both
+curves falling as the switch grows.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.workloads import figure4
+
+
+def test_figure4(benchmark):
+    fig = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    write_result("figure4", fig.render(precision=6))
+
+    narrow = fig.curves[0].values
+    wide = fig.curves[1].values
+    # a=2 blocking dominates a=1 by a large factor at every size.
+    for n_val, w_val in zip(narrow, wide):
+        assert w_val > 5 * n_val
+    # Both fall with system size at these (shrinking per-pair) loads.
+    for values in (narrow, wide):
+        assert all(a > b for a, b in zip(values, values[1:]))
+    # The a=2 advantage of scale is steeper: the ratio narrows... no —
+    # verify the contention gap persists even at N = 64.
+    assert wide[-1] > 10 * narrow[-1]

@@ -1,0 +1,84 @@
+"""Extension G: hot-spot traffic — exact chain vs simulation.
+
+Reproduces the setting of the paper's companion analysis (Pinsky &
+Stirpe, ICPP 1991, ref. [28]): one output attracts a multiple of the
+other outputs' traffic.  The exactly-lumped two-dimensional chain of
+``repro.extensions.hotspot_analysis`` sweeps the skew factor and is
+validated against the hot-spot simulator; the uniform case (factor 1)
+is anchored to the paper's product-form model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import write_result
+
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.extensions import solve_hot_spot
+from repro.reporting import format_table
+from repro.sim import run_hot_spot
+
+DIMS = SwitchDimensions.square(8)
+CLS = TrafficClass.poisson(0.05, name="p")
+
+
+def test_hot_spot_factor_sweep(benchmark):
+    def run():
+        rows = []
+        for factor in (1.0, 2.0, 4.0, 8.0, 16.0):
+            solution = solve_hot_spot(DIMS, CLS, factor=factor)
+            rows.append(
+                [
+                    factor,
+                    solution.blocking(),
+                    solution.hot_request_blocking(),
+                    solution.cold_request_blocking(),
+                    solution.hot_output_utilization(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "hotspot_sweep",
+        format_table(
+            ["factor", "blocking", "hot-request B", "cold-request B",
+             "hot-output util"],
+            rows,
+            precision=5,
+            title=f"Hot-spot degradation on {DIMS} (exact chain)",
+        ),
+    )
+    # uniform case anchors to the paper's model
+    uniform = solve_convolution(DIMS, [CLS]).blocking(0)
+    assert rows[0][1] == pytest.approx(uniform, rel=1e-9)
+    # overall blocking and hot-request blocking grow with the skew
+    blockings = [r[1] for r in rows]
+    assert all(b >= a - 1e-12 for a, b in zip(blockings, blockings[1:]))
+    hot_blockings = [r[2] for r in rows]
+    assert all(
+        b >= a - 1e-12 for a, b in zip(hot_blockings, hot_blockings[1:])
+    )
+
+
+def test_hot_spot_chain_vs_simulation(benchmark):
+    factor = 6.0
+    analysis = solve_hot_spot(DIMS, CLS, factor=factor)
+
+    def run():
+        return run_hot_spot(
+            DIMS, [CLS], factor=factor, horizon=3000.0, warmup=300.0,
+            replications=4, seed=41,
+        )
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    sim_acc = summary.classes[0].acceptance.estimate
+    write_result(
+        "hotspot_vs_sim",
+        f"factor {factor}: chain acceptance "
+        f"{analysis.call_acceptance():.5f}, simulated {sim_acc:.5f} "
+        f"± {summary.classes[0].acceptance.half_width:.5f}",
+    )
+    assert sim_acc == pytest.approx(analysis.call_acceptance(), rel=0.04)

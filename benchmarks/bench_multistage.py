@@ -1,0 +1,80 @@
+"""Extension D: multistage networks (the paper's Section 8 future work).
+
+Sweeps the number of tandem stages, comparing the reduced-load fixed
+point with exact discrete-event simulation of the simultaneous-holding
+circuit, and records the approximation bias (the fixed point assumes
+independent stages, so it overstates blocking — increasingly with load
+and stage count).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import write_result
+
+from repro.core.traffic import TrafficClass
+from repro.multistage import TandemNetwork, analyze_tandem, simulate_tandem
+from repro.reporting import format_table
+
+CLASSES = [TrafficClass.poisson(0.02, name="p")]
+
+
+def test_stage_sweep_analysis(benchmark):
+    def run():
+        rows = []
+        for stages in (1, 2, 3, 4, 6, 8):
+            net = TandemNetwork.square(stages, 8)
+            result = analyze_tandem(net, CLASSES)
+            rows.append(
+                [stages, result.stage_blocking[0][0],
+                 result.end_to_end_blocking(0), result.iterations]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "multistage_sweep",
+        format_table(
+            ["stages", "per-stage B", "end-to-end B", "iterations"],
+            rows,
+            title="Reduced-load fixed point vs stage count (8x8 stages)",
+        ),
+    )
+    blockings = [row[2] for row in rows]
+    assert all(b > a for a, b in zip(blockings, blockings[1:]))
+
+
+def test_analysis_vs_simulation(benchmark):
+    def run():
+        rows = []
+        for stages in (1, 2, 3):
+            net = TandemNetwork.square(stages, 6)
+            analysis = analyze_tandem(net, CLASSES)
+            sim = simulate_tandem(
+                net, CLASSES, horizon=4000.0, warmup=400.0,
+                replications=4, seed=5,
+            )
+            rows.append(
+                [stages, analysis.end_to_end_acceptance(0),
+                 sim.acceptance[0].estimate,
+                 sim.acceptance[0].half_width]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "multistage_vs_sim",
+        format_table(
+            ["stages", "accept (reduced-load)", "accept (sim)", "sim CI±"],
+            rows,
+            title="Approximation quality of the reduced-load fixed point",
+        ),
+    )
+    for stages, analytical, simulated, _half in rows:
+        if stages == 1:
+            # single stage: the 'approximation' is exact
+            assert simulated == pytest.approx(analytical, rel=0.03)
+        else:
+            # multi-stage: pessimistic but in the right ballpark
+            assert analytical <= simulated + 0.01
+            assert simulated - analytical < 0.08

@@ -1,0 +1,126 @@
+"""Ablation B: dynamic scaling (paper Section 6).
+
+Demonstrates *why* the paper needs dynamic scaling: the raw Algorithm 1
+recurrence in float64 dies of underflow (``Q ~ 1/(n1! n2!)``) long
+before the paper's largest system (``N = 256``), while the scaled and
+log modes sail through and agree with the exact rational oracle to
+machine precision.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import write_result
+
+from repro.core.convolution import solve_convolution
+from repro.core.exact import solve_exact
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import OverflowInRecursionError
+from repro.reporting import format_table
+
+
+def _classes(n: int) -> list[TrafficClass]:
+    return [TrafficClass.from_aggregate(0.0024, 0.0, n2=n, name="p")]
+
+
+def _float_mode_works(n: int) -> bool:
+    try:
+        solve_convolution(
+            SwitchDimensions.square(n), _classes(n), mode="float"
+        )
+        return True
+    except OverflowInRecursionError:
+        return False
+
+
+def test_unscaled_failure_onset(benchmark):
+    """Binary-search the largest N the unscaled recurrence survives."""
+
+    def onset() -> int:
+        lo, hi = 8, 512  # works at 8, fails at 512
+        assert _float_mode_works(lo)
+        assert not _float_mode_works(hi)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if _float_mode_works(mid):
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    first_failure = benchmark.pedantic(onset, rounds=1, iterations=1)
+    write_result(
+        "scaling_onset",
+        f"unscaled Algorithm 1 first fails at N = {first_failure}\n"
+        f"(paper's Table 2 needs N = 256 -> Section 6 scaling is "
+        f"mandatory there)",
+    )
+    # 1/(n!)^2 underflows near n ~ 150; well below the paper's 256.
+    assert 100 < first_failure < 256
+
+
+def test_scaled_accuracy_against_exact(benchmark):
+    """Scaled/log modes vs the rational oracle at N = 40."""
+    n = 40
+    dims = SwitchDimensions.square(n)
+    classes = [
+        TrafficClass.from_aggregate(0.0024, 0.0, n2=n),
+        TrafficClass.from_aggregate(0.0024, 0.0012, n2=n),
+    ]
+    oracle = solve_exact(dims, classes)
+
+    def run():
+        return {
+            mode: solve_convolution(dims, classes, mode=mode)
+            for mode in ("log", "scaled", "float")
+        }
+
+    solutions = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for mode, solution in solutions.items():
+        rel = abs(
+            solution.non_blocking(0) - oracle.non_blocking(0)
+        ) / oracle.non_blocking(0)
+        rows.append([mode, solution.non_blocking(0), rel])
+        assert rel < 1e-11
+    rows.append(["exact", oracle.non_blocking(0), 0.0])
+    write_result(
+        "scaling_accuracy",
+        format_table(
+            ["mode", "B_r", "rel error vs exact"],
+            rows,
+            precision=12,
+            title=f"Numeric-mode accuracy at N = {n}",
+        ),
+    )
+
+
+def test_log_mode_at_table2_sizes(benchmark):
+    """The robust mode must handle the paper's largest system."""
+    n = 256
+    dims = SwitchDimensions.square(n)
+    classes = [
+        TrafficClass.from_aggregate(0.0012, 0.0, n2=n),
+        TrafficClass.from_aggregate(0.0012, 0.0012, n2=n),
+    ]
+    solution = benchmark(solve_convolution, dims, classes)
+    assert 0.0 < solution.blocking(0) < 0.01
+    # log G is far outside what unscaled Q could represent near N=256:
+    # Q(256,256) ~ exp(log G - 2 log 256!) ~ exp(-2000).
+    assert solution.log_q[n, n] < -1500
+
+
+def test_scaled_mode_heavy_load_overflow_regime(benchmark):
+    """Dynamic scaling also guards the *overflow* direction: at heavy
+    load G itself exceeds float64 range."""
+    n = 150
+    dims = SwitchDimensions.square(n)
+    classes = [TrafficClass.poisson(5.0)]
+
+    solution = benchmark(solve_convolution, dims, classes, "scaled")
+    assert solution.log_g() > 710  # e^710 overflows float64
+    reference = solve_convolution(dims, classes, mode="log")
+    assert solution.non_blocking(0) == pytest.approx(
+        reference.non_blocking(0), rel=1e-9
+    )

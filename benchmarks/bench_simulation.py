@@ -1,0 +1,113 @@
+"""Ablation C: discrete-event simulation vs the analytical model.
+
+The paper lists "comparing our analytical results with simulation" as
+future work (Section 8); this benchmark does it.  It also exercises the
+insensitivity property — the stationary measures must not change when
+the exponential holding time is replaced by deterministic or
+hyperexponential laws with the same mean.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import write_result
+
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.reporting import format_table
+from repro.sim import (
+    Deterministic,
+    Exponential,
+    HyperExponential,
+    run_replications,
+)
+
+DIMS = SwitchDimensions(4, 4)
+CLASSES = [
+    TrafficClass.poisson(0.12, name="poisson"),
+    TrafficClass(alpha=0.05, beta=0.3, name="pascal"),
+]
+
+
+def test_simulation_validates_analysis(benchmark):
+    solution = solve_convolution(DIMS, CLASSES)
+
+    def run():
+        return run_replications(
+            DIMS, CLASSES, horizon=3000.0, warmup=300.0,
+            replications=5, seed=2024,
+        )
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for r, cls in enumerate(CLASSES):
+        sim = summary.classes[r]
+        ana_acc = solution.call_acceptance(r)
+        ana_e = solution.concurrency(r)
+        rows.append(
+            [cls.name, sim.acceptance.estimate, ana_acc,
+             sim.concurrency.estimate, ana_e]
+        )
+        assert sim.acceptance.estimate == pytest.approx(ana_acc, rel=0.05)
+        assert sim.concurrency.estimate == pytest.approx(ana_e, rel=0.08)
+    write_result(
+        "simulation_vs_analysis",
+        format_table(
+            ["class", "accept(sim)", "accept(ana)", "E(sim)", "E(ana)"],
+            rows,
+            title=f"Simulation vs analysis on {DIMS}, 5 replications",
+        ),
+    )
+
+
+def test_insensitivity_to_service_distribution(benchmark):
+    """Same mean, different law, same blocking (paper Section 2)."""
+    solution = solve_convolution(DIMS, CLASSES)
+    services = {
+        "exponential": [Exponential(1.0), Exponential(1.0)],
+        "deterministic": [Deterministic(1.0), Deterministic(1.0)],
+        "hyperexponential": [
+            HyperExponential(1.0, p=0.15),
+            HyperExponential(1.0, p=0.15),
+        ],
+    }
+
+    def run():
+        return {
+            name: run_replications(
+                DIMS, CLASSES, horizon=2500.0, warmup=250.0,
+                replications=4, seed=7, services=svc,
+            )
+            for name, svc in services.items()
+        }
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, summary in summaries.items():
+        acc = summary.classes[0].acceptance.estimate
+        rows.append([name, acc, solution.call_acceptance(0)])
+        assert acc == pytest.approx(
+            solution.call_acceptance(0), rel=0.06
+        ), f"insensitivity violated for {name}"
+    write_result(
+        "insensitivity",
+        format_table(
+            ["service law", "accept(sim)", "accept(analytical)"],
+            rows,
+            title="Insensitivity: class-0 acceptance under three "
+                  "holding-time laws (same mean)",
+        ),
+    )
+
+
+def test_simulator_event_throughput(benchmark):
+    """Raw engine speed: events processed per second of wall time."""
+    from repro.sim import AsynchronousCrossbarSimulator
+
+    def run():
+        sim = AsynchronousCrossbarSimulator(DIMS, CLASSES, seed=99)
+        return sim.run(horizon=2000.0)
+
+    record = benchmark(run)
+    assert record.events > 1000

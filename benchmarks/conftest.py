@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+asserts its qualitative shape, and writes the rendered text artifact to
+``benchmarks/results/<name>.txt`` so the reproduction output survives
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table and echo it for ``-s`` runs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] -> {path}\n{text}")

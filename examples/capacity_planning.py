@@ -1,0 +1,107 @@
+"""Capacity planning for very large optical fabrics.
+
+The exact algorithms cost O(N^2); for planning sweeps over fabrics with
+thousands of ports the library provides an O(1) large-system fixed
+point (`repro.core.asymptotic`).  This example:
+
+1. sweeps switch sizes from 64 to 4096 ports, comparing the asymptotic
+   blocking against the exact value where the exact solve is still
+   cheap — the error shrinks like 1/N;
+2. uses the second-moment machinery (`repro.core.moments`) to report
+   not just the mean occupancy but its variance and the carried
+   peakedness of a bursty class — what a dimensioning engineer needs
+   for headroom decisions.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import TrafficClass, solve_asymptotic, solve_convolution
+from repro.core.moments import (
+    carried_peakedness,
+    concurrency_variance,
+    occupancy_variance,
+)
+from repro.core.state import SwitchDimensions
+from repro.reporting import format_table
+
+ALPHA_TILDE = 0.0024  # the paper's ~0.5%-blocking operating point
+BETA_TILDE = 0.0006
+
+
+def classes_for(n: int) -> list[TrafficClass]:
+    return [
+        TrafficClass.from_aggregate(ALPHA_TILDE, 0.0, n2=n, name="data"),
+        TrafficClass.from_aggregate(
+            ALPHA_TILDE, BETA_TILDE, n2=n, name="video"
+        ),
+    ]
+
+
+def size_sweep() -> None:
+    rows = []
+    for n in (64, 128, 256, 512, 1024, 2048, 4096):
+        dims = SwitchDimensions.square(n)
+        classes = classes_for(n)
+        approx = solve_asymptotic(dims, classes)
+        if n <= 512:
+            exact = solve_convolution(dims, classes).blocking(0)
+        else:
+            exact = None  # O(N^2) left to the approximation's regime
+        rows.append(
+            [n, exact, approx.blocking(0), approx.utilization(),
+             approx.iterations]
+        )
+    print(
+        format_table(
+            ["N", "blocking (exact)", "blocking (O(1) approx)",
+             "utilization", "bisection steps"],
+            rows,
+            precision=5,
+            title="Size sweep at the paper's operating point "
+                  f"(alpha~={ALPHA_TILDE}, beta~={BETA_TILDE})",
+        )
+    )
+    print(
+        "\nthe asymptotic fixed point tracks the exact solver to <1% "
+        "beyond N=128 at constant cost — use it for fleet-level sweeps, "
+        "the exact algorithms for the final design point.\n"
+    )
+
+
+def headroom_report(n: int = 128) -> None:
+    dims = SwitchDimensions.square(n)
+    classes = classes_for(n)
+    solution = solve_convolution(dims, classes)
+    rows = []
+    for r, cls in enumerate(classes):
+        mean = solution.concurrency(r)
+        var = concurrency_variance(dims, classes, r)
+        rows.append(
+            [cls.name, mean, var, var**0.5,
+             carried_peakedness(dims, classes, r)]
+        )
+    print(
+        format_table(
+            ["class", "E[k]", "Var(k)", "std", "carried Z"],
+            rows,
+            precision=4,
+            title=f"Occupancy headroom on {dims} "
+                  f"(occupancy Var={occupancy_variance(dims, classes):.4f})",
+        )
+    )
+    print(
+        "\ncarried peakedness stays near the offered Z at this light "
+        "blocking: provision headroom for bursty classes using the "
+        "variance, not just the mean."
+    )
+
+
+def main() -> None:
+    size_sweep()
+    headroom_report()
+
+
+if __name__ == "__main__":
+    main()

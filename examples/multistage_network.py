@@ -1,0 +1,69 @@
+"""Multistage all-optical networks: the paper's Section 8 extension.
+
+Chains several asynchronous crossbars in tandem (an all-optical circuit
+holds one input/output pair at *every* stage for its duration, since
+light cannot be buffered between stages) and compares:
+
+* the **reduced-load fixed point** (Erlang fixed point, Kelly-style) —
+  each stage solved exactly with the paper's Algorithm 1 under loads
+  thinned by the other stages' blocking;
+* **exact discrete-event simulation** of the simultaneous-holding
+  circuit.
+
+The gap between them is the independence approximation's bias: with
+simultaneous holding, stage occupancies are perfectly correlated, so
+assuming independence *overstates* end-to-end blocking — increasingly
+with load and stage count.
+
+Run:  python examples/multistage_network.py
+"""
+
+from __future__ import annotations
+
+from repro import TrafficClass
+from repro.multistage import TandemNetwork, analyze_tandem, simulate_tandem
+from repro.reporting import format_table
+
+STAGE_SIZE = 6
+CLASSES = [TrafficClass.poisson(0.02, name="circuit")]
+
+
+def main() -> None:
+    rows = []
+    for stages in (1, 2, 3, 4):
+        network = TandemNetwork.square(stages, STAGE_SIZE)
+        analysis = analyze_tandem(network, CLASSES)
+        sim = simulate_tandem(
+            network, CLASSES, horizon=3000.0, warmup=300.0,
+            replications=4, seed=17,
+        )
+        rows.append(
+            [
+                stages,
+                analysis.stage_blocking[0][0],
+                analysis.end_to_end_blocking(0),
+                1.0 - sim.acceptance[0].estimate,
+                sim.acceptance[0].half_width,
+                analysis.iterations,
+            ]
+        )
+    print(
+        format_table(
+            ["stages", "per-stage B (fixed pt)", "end-to-end B (fixed pt)",
+             "end-to-end B (sim)", "sim CI±", "iterations"],
+            rows,
+            precision=4,
+            title=f"Tandem of {STAGE_SIZE}x{STAGE_SIZE} asynchronous "
+                  f"crossbars",
+        )
+    )
+    print(
+        "\nsingle stage: fixed point == exact model (sanity anchor)."
+        "\nmore stages: the reduced-load approximation is pessimistic —"
+        "\nsimultaneous holding correlates the stages, so a circuit that"
+        "\nclears stage 1 has better-than-independent odds downstream."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""How burstiness and hot spots degrade an optical crossbar.
+
+Two studies beyond the paper's figures:
+
+1. **Peakedness sweep** — hold the mean offered occupancy constant and
+   sweep the Z-factor from smooth (0.5) through Poisson (1.0) to very
+   peaky (4.0), watching blocking climb.  This isolates *variance* as
+   the cause of the Figure 2 effect: same mean, different burstiness.
+2. **Hot-spot simulation** — skew the output-selection distribution so
+   one output draws an increasing multiple of the others' traffic (the
+   companion model of Pinsky & Stirpe [28]), and measure the blocking
+   penalty by simulation.
+
+Run:  python examples/peakedness_study.py
+"""
+
+from __future__ import annotations
+
+from repro import TrafficClass, solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.reporting import format_table
+from repro.sim import run_hot_spot
+
+N = 16
+MEAN_OCCUPANCY = 0.4  # per-pair infinite-server mean, held constant
+
+
+def peakedness_sweep() -> None:
+    rows = []
+    # Smooth Z values are chosen so the implied Bernoulli source count
+    # M/(1-Z) is an integer (0.8 -> 2 sources, 0.9 -> 4 sources).
+    for z in (0.8, 0.9, 1.0, 1.5, 2.0, 3.0, 4.0):
+        cls = TrafficClass.from_moments(
+            MEAN_OCCUPANCY, peakedness=z, mu=1.0, name=f"z={z}"
+        )
+        dims = SwitchDimensions.square(N)
+        solution = solve_convolution(dims, [cls])
+        rows.append(
+            [z, cls.kind, solution.blocking(0),
+             solution.call_congestion(0), solution.utilization()]
+        )
+    print(
+        format_table(
+            ["Z-factor", "kind", "blocking", "call congestion",
+             "utilization"],
+            rows,
+            precision=5,
+            title=f"Same mean load ({MEAN_OCCUPANCY}/pair), varying "
+                  f"peakedness, {N}x{N} crossbar",
+        )
+    )
+    blockings = [row[2] for row in rows]
+    assert all(b >= a - 1e-12 for a, b in zip(blockings, blockings[1:]))
+    print(
+        "\nblocking is monotone in the Z-factor at constant mean: "
+        "variance alone drives the Figure 2 degradation.\n"
+    )
+
+
+def hot_spot_sweep() -> None:
+    from repro.extensions import solve_hot_spot
+
+    dims = SwitchDimensions.square(8)
+    classes = [TrafficClass.poisson(0.02, name="p")]
+    rows = []
+    for factor in (1.0, 2.0, 4.0, 8.0):
+        chain = solve_hot_spot(dims, classes[0], factor=factor)
+        summary = run_hot_spot(
+            dims, classes, factor=factor, horizon=2500.0, warmup=250.0,
+            replications=4, seed=3,
+        )
+        acc = summary.classes[0].acceptance
+        rows.append(
+            [factor, chain.blocking(), 1.0 - acc.estimate,
+             acc.half_width, chain.hot_request_blocking(),
+             chain.cold_request_blocking()]
+        )
+    uniform = solve_convolution(dims, classes).blocking(0)
+    print(
+        format_table(
+            ["factor", "blocking (chain)", "blocking (sim)", "CI±",
+             "hot-request B", "cold-request B"],
+            rows,
+            precision=4,
+            title="Hot-spot degradation: exact lumped chain vs "
+                  "simulation (factor 1 = the paper's uniform model)",
+        )
+    )
+    print(
+        f"\nuniform product-form blocking for reference: {uniform:.4f}"
+    )
+    print(
+        "a single popular output concentrates contention on one column "
+        "of the crossbar; the exact chain (companion analysis [28]) "
+        "quantifies it per request type, and the simulator confirms it."
+    )
+
+
+def main() -> None:
+    peakedness_sweep()
+    hot_spot_sweep()
+
+
+if __name__ == "__main__":
+    main()

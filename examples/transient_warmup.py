@@ -1,0 +1,100 @@
+"""Transient behaviour: how fast does the switch reach steady state?
+
+The paper analyzes steady state only; the CTMC substrate adds transient
+analysis by uniformization.  This example starts from an empty crossbar
+(e.g. right after (re)configuration of an optical interconnect) and
+tracks the blocking probability over time until it converges to the
+product-form stationary value — answering "how long after a traffic
+change are the steady-state formulas valid?", which also calibrates the
+simulator's warm-up period.
+
+Run:  python examples/transient_warmup.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import TrafficClass, solve_convolution
+from repro.core.state import SwitchDimensions, permutation
+from repro.ctmc import time_to_stationarity, transient_distribution
+from repro.reporting import format_table
+
+DIMS = SwitchDimensions(5, 5)
+CLASSES = [
+    TrafficClass.poisson(0.15, name="data"),
+    TrafficClass(alpha=0.05, beta=0.25, name="video"),
+]
+
+
+def blocking_at(t: float) -> float:
+    """Time-t probability that a specific input/output pair is busy."""
+    dist = transient_distribution(DIMS, CLASSES, t=t)
+    full = permutation(DIMS.n1, 1) * permutation(DIMS.n2, 1)
+    acceptance = 0.0
+    for state, p in dist.items():
+        used = sum(k * c.a for k, c in zip(state, CLASSES))
+        acceptance += (
+            p
+            * permutation(DIMS.n1 - used, 1)
+            * permutation(DIMS.n2 - used, 1)
+            / full
+        )
+    return 1.0 - acceptance
+
+
+def main() -> None:
+    stationary = solve_convolution(DIMS, CLASSES).blocking(0)
+    rows = []
+    for t in (0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0):
+        b = blocking_at(t)
+        rows.append([t, b, b / stationary if stationary else math.nan])
+    print(
+        format_table(
+            ["t (holding times)", "blocking(t)", "fraction of stationary"],
+            rows,
+            precision=4,
+            title=f"Transient blocking from an empty {DIMS} crossbar "
+                  f"(stationary = {stationary:.5f})",
+        )
+    )
+    t_eps = time_to_stationarity(DIMS, CLASSES, epsilon=1e-4, horizon=200.0)
+    print(
+        f"\n||pi(t) - pi||_1 < 1e-4 after t = {t_eps:.2f} mean holding "
+        f"times: steady-state formulas apply within a few call "
+        f"durations, and simulator warm-ups beyond ~{math.ceil(t_eps)} "
+        f"holding times are safe."
+    )
+
+    traffic_surge()
+
+
+def traffic_surge() -> None:
+    """A light -> surge -> light profile via piecewise analysis."""
+    from repro.ctmc import TrafficSchedule, blocking_profile
+
+    light = (TrafficClass.poisson(0.05, name="light"),)
+    surge = (TrafficClass.poisson(0.5, name="surge"),)
+    schedule = TrafficSchedule.build(
+        [(20.0, light), (20.0, surge), (20.0, light)]
+    )
+    profile = blocking_profile(
+        DIMS, schedule, checkpoints_per_segment=4
+    )
+    print("\ntraffic surge profile (blocking over time):")
+    print(
+        format_table(
+            ["t", "blocking"],
+            [[t, b] for t, b in profile],
+            precision=4,
+        )
+    )
+    print(
+        "blocking tracks the surge with a lag of a few holding times "
+        "and relaxes back symmetrically — the transient counterpart of "
+        "the paper's stationary analysis."
+    )
+
+
+if __name__ == "__main__":
+    main()

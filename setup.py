@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` requires bdist_wheel; on a machine without wheel,
+run `python setup.py develop` instead.  All metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

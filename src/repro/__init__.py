@@ -1,0 +1,110 @@
+"""Asynchronous multi-rate crossbar performance analysis with bursty traffic.
+
+A production-quality reproduction of
+
+    P. Stirpe and E. Pinsky, "Performance Analysis of an Asynchronous
+    Multi-rate Crossbar with Bursty Traffic", SIGCOMM 1992.
+
+The library models an ``N1 x N2`` unbuffered, asynchronous,
+circuit-switched crossbar (the building block of free-space optical
+interconnects) carrying multiple classes of multi-rate traffic with
+Bernoulli-Poisson-Pascal (BPP) bursty arrival statistics, and computes
+exact blocking probabilities, concurrencies, throughputs and
+revenue-oriented sensitivities.
+
+Quick start
+-----------
+>>> from repro import CrossbarModel, TrafficClass
+>>> model = CrossbarModel.square(
+...     32,
+...     [
+...         TrafficClass.poisson(0.001, name="data"),
+...         TrafficClass.from_moments(0.4, peakedness=3.0, name="video"),
+...     ],
+... )
+>>> solution = model.solve()
+>>> 0.0 <= solution.blocking(0) <= 1.0
+True
+
+Package map
+-----------
+* :mod:`repro.core` -- the analytical model (paper Sections 2-6);
+* :mod:`repro.ctmc` -- independent CTMC solver (no product form);
+* :mod:`repro.sim` -- discrete-event simulator (paper's future work);
+* :mod:`repro.multistage` -- multistage-network extension (Section 8);
+* :mod:`repro.workloads` -- the paper's figure/table scenarios;
+* :mod:`repro.reporting` -- text tables and series for the benchmarks.
+"""
+
+from .core import (
+    AsymptoticSolution,
+    CrossbarModel,
+    PerformanceSolution,
+    StateDistribution,
+    SwitchDimensions,
+    TrafficClass,
+    carried_peakedness,
+    concurrency_covariance,
+    concurrency_variance,
+    factorial_moment,
+    occupancy_pmf,
+    occupancy_variance,
+    solve_asymptotic,
+    time_congestion,
+    gradient_burstiness,
+    gradient_rho,
+    gradient_rho_closed_form,
+    marginal_value,
+    revenue_report,
+    shadow_cost,
+    solve_brute_force,
+    solve_convolution,
+    solve_exact,
+    solve_mva,
+)
+from .exceptions import (
+    ComputationError,
+    ConfigurationError,
+    ConvergenceError,
+    CrossbarError,
+    InvalidParameterError,
+    OverflowInRecursionError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsymptoticSolution",
+    "CrossbarModel",
+    "ComputationError",
+    "carried_peakedness",
+    "concurrency_covariance",
+    "concurrency_variance",
+    "factorial_moment",
+    "occupancy_pmf",
+    "occupancy_variance",
+    "solve_asymptotic",
+    "time_congestion",
+    "ConfigurationError",
+    "ConvergenceError",
+    "CrossbarError",
+    "InvalidParameterError",
+    "OverflowInRecursionError",
+    "PerformanceSolution",
+    "SimulationError",
+    "StateDistribution",
+    "SwitchDimensions",
+    "TrafficClass",
+    "gradient_burstiness",
+    "gradient_rho",
+    "gradient_rho_closed_form",
+    "marginal_value",
+    "revenue_report",
+    "shadow_cost",
+    "solve_brute_force",
+    "solve_convolution",
+    "solve_exact",
+    "solve_mva",
+    "__version__",
+]

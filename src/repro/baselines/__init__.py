@@ -1,0 +1,25 @@
+"""Baseline comparator models referenced by the paper's Section 1-2."""
+
+from .erlang import (
+    engset_blocking,
+    engset_distribution,
+    engset_mean_busy,
+    erlang_b,
+)
+from .synchronous import (
+    saturation_throughput,
+    simulate_slotted,
+    slotted_acceptance,
+    slotted_output_throughput,
+)
+
+__all__ = [
+    "engset_blocking",
+    "engset_distribution",
+    "engset_mean_busy",
+    "erlang_b",
+    "saturation_throughput",
+    "simulate_slotted",
+    "slotted_acceptance",
+    "slotted_output_throughput",
+]

@@ -1,0 +1,111 @@
+"""Classical teletraffic formulas: Erlang B and Engset.
+
+The crossbar model generalizes the classical single-resource loss
+systems the paper's lineage starts from (Beneš [2], Wilkinson [33]).
+This module implements them both as baselines and as *limit anchors*:
+
+* **Engset limit.**  Fix ``N1 = c`` inputs and let ``N2 -> infinity``
+  with the per-input offered rate ``Lambda = lambda N2`` held constant.
+  Output contention vanishes and each input behaves like one of ``c``
+  finite sources: the number of busy inputs converges to the Engset
+  distribution ``pi(m) ∝ C(c, m) (Lambda/mu)^m``, so the probability a
+  *specific* input is busy converges to the binomial mean ``E[m]/c``
+  — verified against the exact crossbar in the tests.
+* **Erlang B** is provided for reference and for the Engset -> Erlang
+  limit (sources ``-> infinity`` at fixed total offered load).
+
+Both formulas are evaluated with numerically stable recursions (no
+factorials).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ConfigurationError, InvalidParameterError
+
+__all__ = [
+    "erlang_b",
+    "engset_blocking",
+    "engset_distribution",
+    "engset_mean_busy",
+]
+
+
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang-B blocking for ``servers`` servers at ``offered_load`` erlangs.
+
+    Stable recursion ``B(0) = 1``,
+    ``B(c) = A B(c-1) / (c + A B(c-1))``.
+    """
+    if servers < 0:
+        raise ConfigurationError(f"servers must be >= 0, got {servers}")
+    if offered_load < 0:
+        raise InvalidParameterError(
+            f"offered_load must be >= 0, got {offered_load}"
+        )
+    blocking = 1.0
+    for c in range(1, servers + 1):
+        blocking = (
+            offered_load * blocking / (c + offered_load * blocking)
+        )
+    return blocking
+
+
+def engset_distribution(
+    sources: int, per_source_load: float, servers: int | None = None
+) -> list[float]:
+    """Engset occupancy pmf: ``pi(m) ∝ C(S, m) a^m`` for ``m <= servers``.
+
+    ``per_source_load = Lambda/mu`` is each idle source's offered load.
+    ``servers`` defaults to ``sources`` (no extra truncation, the
+    infinite-server/binomial case).
+    """
+    if sources < 1:
+        raise ConfigurationError(f"sources must be >= 1, got {sources}")
+    if per_source_load < 0:
+        raise InvalidParameterError(
+            f"per_source_load must be >= 0, got {per_source_load}"
+        )
+    if servers is None:
+        servers = sources
+    if servers < 0:
+        raise ConfigurationError(f"servers must be >= 0, got {servers}")
+    cap = min(sources, servers)
+    weights = []
+    w = 1.0
+    for m in range(cap + 1):
+        if m > 0:
+            w *= (sources - m + 1) * per_source_load / m
+        weights.append(w)
+    total = math.fsum(weights)
+    return [w / total for w in weights]
+
+
+def engset_mean_busy(
+    sources: int, per_source_load: float, servers: int | None = None
+) -> float:
+    """Mean busy sources under the Engset distribution."""
+    pmf = engset_distribution(sources, per_source_load, servers)
+    return math.fsum(m * p for m, p in enumerate(pmf))
+
+
+def engset_blocking(
+    sources: int, per_source_load: float, servers: int
+) -> float:
+    """Engset *call* congestion: blocking seen by arriving requests.
+
+    Arrivals in state ``m`` come at rate ``(S - m) Lambda``; only those
+    in the full state ``m = servers`` are lost, so the call congestion
+    weights the time congestion by the idle-source count.
+    """
+    pmf = engset_distribution(sources, per_source_load, servers)
+    cap = len(pmf) - 1
+    if cap < servers:
+        return 0.0  # fewer sources than servers: never blocked
+    offered = math.fsum(
+        (sources - m) * p for m, p in enumerate(pmf)
+    )
+    if offered <= 0.0:
+        return 0.0
+    return (sources - servers) * pmf[servers] / offered

@@ -1,0 +1,105 @@
+"""The synchronous (slotted) crossbar — the paper's contrast model.
+
+Section 2 contrasts the asynchronous crossbar with "the well known
+synchronous (slotted) crossbar model which has been suggested as an
+implementation of non-blocking ATM switches" (Patel 1981, ref. [26]).
+This module implements that classical baseline so the two switching
+disciplines can be compared on one axis system:
+
+* each slot, every input independently holds a fresh packet with
+  probability ``p`` (Bernoulli loading);
+* each packet addresses an output uniformly at random;
+* every output grants one of its contenders; the rest are dropped
+  (unbuffered — same blocked-calls-cleared spirit as the asynchronous
+  model).
+
+Classical results implemented and Monte-Carlo-validated here:
+
+* per-output carried load (throughput)
+  ``q = 1 - (1 - p/N2)^{N1}``;
+* packet acceptance probability ``q N2 / (p N1)``;
+* the famous saturation limit ``1 - 1/e ~ 0.632`` as ``N -> inf`` at
+  ``p = 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, InvalidParameterError
+
+__all__ = [
+    "slotted_output_throughput",
+    "slotted_acceptance",
+    "saturation_throughput",
+    "simulate_slotted",
+]
+
+
+def _check(n1: int, n2: int, p: float) -> None:
+    if n1 < 1 or n2 < 1:
+        raise ConfigurationError(
+            f"switch dimensions must be >= 1, got {n1}x{n2}"
+        )
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"input load p must be in [0, 1], got {p}")
+
+
+def slotted_output_throughput(n1: int, n2: int, p: float) -> float:
+    """Expected packets delivered per output per slot.
+
+    Each output is addressed by ``Binomial(n1, p/n2)`` packets and
+    serves one when any arrive: ``q = 1 - (1 - p/n2)^n1`` (Patel).
+    """
+    _check(n1, n2, p)
+    return 1.0 - (1.0 - p / n2) ** n1
+
+
+def slotted_acceptance(n1: int, n2: int, p: float) -> float:
+    """Probability an offered packet is delivered in its slot.
+
+    Carried per slot is ``n2 q``; offered is ``n1 p``.
+    """
+    _check(n1, n2, p)
+    if p == 0.0:
+        return 1.0
+    return slotted_output_throughput(n1, n2, p) * n2 / (p * n1)
+
+
+def saturation_throughput(n: int) -> float:
+    """Per-output throughput of a saturated (``p = 1``) ``n x n`` switch.
+
+    ``1 - (1 - 1/n)^n``, decreasing to ``1 - 1/e ~ 0.632`` — the
+    classical unbuffered-crossbar saturation limit.
+    """
+    return slotted_output_throughput(n, n, 1.0)
+
+
+def simulate_slotted(
+    n1: int,
+    n2: int,
+    p: float,
+    slots: int = 10_000,
+    seed: int | None = None,
+) -> tuple[float, float]:
+    """Monte-Carlo the slotted crossbar; returns (throughput, acceptance).
+
+    Vectorized over slots; used by the tests to validate the closed
+    forms (they are exact for this model, so agreement is limited only
+    by sampling noise).
+    """
+    _check(n1, n2, p)
+    if slots < 1:
+        raise ConfigurationError(f"slots must be >= 1, got {slots}")
+    rng = np.random.default_rng(seed)
+    have_packet = rng.random((slots, n1)) < p
+    destinations = rng.integers(0, n2, size=(slots, n1))
+    destinations = np.where(have_packet, destinations, -1)
+    delivered = 0
+    offered = int(have_packet.sum())
+    for s in range(slots):
+        targets = destinations[s]
+        delivered += len({d for d in targets.tolist() if d >= 0})
+    throughput = delivered / (slots * n2)
+    acceptance = delivered / offered if offered else 1.0
+    return throughput, acceptance

@@ -1,0 +1,416 @@
+"""Command-line interface: reproduce any paper experiment from a shell.
+
+Examples
+--------
+::
+
+    crossbar-repro figure1
+    crossbar-repro figure4
+    crossbar-repro table2 --set 1
+    crossbar-repro solve --n 32 --poisson 0.001 --pascal 0.0005:0.3
+    crossbar-repro simulate --n 8 --poisson 0.05 --horizon 2000
+    crossbar-repro multistage --stages 3 --n 8 --poisson 0.01
+
+(also available as ``python -m repro ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core.convolution import solve_convolution
+from .core.state import SwitchDimensions
+from .core.traffic import TrafficClass
+from .exceptions import CrossbarError
+from .multistage import TandemNetwork, analyze_tandem
+from .reporting.tables import format_table
+from .sim import compare_with_analysis, run_replications
+from .workloads import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_classes(args: argparse.Namespace) -> list[TrafficClass]:
+    """Build traffic classes from ``--poisson``/``--pascal``/``--bernoulli``.
+
+    * ``--poisson RHO[:A]`` — Poisson class with per-pair load RHO;
+    * ``--pascal ALPHA:BETA[:A]`` — peaky class;
+    * ``--bernoulli SOURCES:RATE[:A]`` — smooth finite-source class.
+    """
+    classes: list[TrafficClass] = []
+    for spec in args.poisson or []:
+        parts = spec.split(":")
+        rho = float(parts[0])
+        a = int(parts[1]) if len(parts) > 1 else 1
+        classes.append(
+            TrafficClass.poisson(rho, a=a, name=f"poisson-{len(classes)}")
+        )
+    for spec in args.pascal or []:
+        parts = spec.split(":")
+        if len(parts) < 2:
+            raise CrossbarError(
+                f"--pascal needs ALPHA:BETA[:A], got {spec!r}"
+            )
+        a = int(parts[2]) if len(parts) > 2 else 1
+        classes.append(
+            TrafficClass(
+                alpha=float(parts[0]), beta=float(parts[1]), a=a,
+                name=f"pascal-{len(classes)}",
+            )
+        )
+    for spec in args.bernoulli or []:
+        parts = spec.split(":")
+        if len(parts) < 2:
+            raise CrossbarError(
+                f"--bernoulli needs SOURCES:RATE[:A], got {spec!r}"
+            )
+        a = int(parts[2]) if len(parts) > 2 else 1
+        classes.append(
+            TrafficClass.bernoulli(
+                int(parts[0]), float(parts[1]), a=a,
+                name=f"bernoulli-{len(classes)}",
+            )
+        )
+    if not classes:
+        raise CrossbarError(
+            "specify at least one class via --poisson/--pascal/--bernoulli"
+        )
+    return classes
+
+
+def _add_traffic_arguments(
+    parser: argparse.ArgumentParser, required: bool = True
+) -> None:
+    parser.add_argument(
+        "--n", type=int, required=required, help="switch size N"
+    )
+    parser.add_argument("--n2", type=int, help="outputs (default: N)")
+    parser.add_argument(
+        "--poisson", action="append", metavar="RHO[:A]",
+        help="add a Poisson class (repeatable)",
+    )
+    parser.add_argument(
+        "--pascal", action="append", metavar="ALPHA:BETA[:A]",
+        help="add a peaky (Pascal) class (repeatable)",
+    )
+    parser.add_argument(
+        "--bernoulli", action="append", metavar="SOURCES:RATE[:A]",
+        help="add a smooth (Bernoulli) class (repeatable)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="crossbar-repro",
+        description=(
+            "Asynchronous multi-rate crossbar analysis "
+            "(Stirpe & Pinsky, SIGCOMM 1992 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fig in ("figure1", "figure2", "figure3", "figure4"):
+        p = sub.add_parser(fig, help=f"reproduce {fig} as a text table")
+        p.add_argument(
+            "--precision", type=int, default=6, help="digits to print"
+        )
+        p.add_argument(
+            "--plot", action="store_true",
+            help="also render an ASCII chart",
+        )
+
+    sub.add_parser("table1", help="Table 1: printed vs formula loads")
+
+    p = sub.add_parser("table2", help="Table 2: revenue analysis")
+    p.add_argument(
+        "--set", type=int, default=0, choices=(0, 1, 2),
+        dest="param_set", help="parameter set (row group) of Table 2",
+    )
+
+    p = sub.add_parser("solve", help="solve an arbitrary configuration")
+    _add_traffic_arguments(p, required=False)
+    p.add_argument(
+        "--method", default="convolution",
+        choices=("convolution", "mva"), help="algorithm",
+    )
+    p.add_argument(
+        "--config", help="JSON model file (see repro.io); overrides --n "
+        "and the class flags",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the solution as JSON instead of a table",
+    )
+
+    p = sub.add_parser("simulate", help="simulate and compare with analysis")
+    _add_traffic_arguments(p)
+    p.add_argument("--horizon", type=float, default=2000.0)
+    p.add_argument("--warmup", type=float, default=200.0)
+    p.add_argument("--replications", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("multistage", help="tandem network reduced-load analysis")
+    _add_traffic_arguments(p)
+    p.add_argument("--stages", type=int, default=2)
+
+    p = sub.add_parser(
+        "asymptotic",
+        help="O(1) large-system approximation (for very large N)",
+    )
+    _add_traffic_arguments(p)
+
+    p = sub.add_parser(
+        "report",
+        help="regenerate every figure/table + reproduction summary",
+    )
+    p.add_argument(
+        "--output", default="reproduction-report",
+        help="output directory (default: ./reproduction-report)",
+    )
+
+    p = sub.add_parser(
+        "validate",
+        help="cross-check every feasible solver on a configuration",
+    )
+    _add_traffic_arguments(p)
+
+    p = sub.add_parser(
+        "hotspot",
+        help="hot-spot skew sweep (exact lumped chain, Poisson a=1)",
+    )
+    p.add_argument("--n", type=int, required=True, help="switch size N")
+    p.add_argument("--n2", type=int, help="outputs (default: N)")
+    p.add_argument(
+        "--rho", type=float, required=True, help="per-pair Poisson load"
+    )
+    p.add_argument(
+        "--factors", default="1,2,4,8",
+        help="comma-separated skew factors (default 1,2,4,8)",
+    )
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except CrossbarError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command in ("figure1", "figure2", "figure3", "figure4"):
+        builder = {
+            "figure1": figure1,
+            "figure2": figure2,
+            "figure3": figure3,
+            "figure4": figure4,
+        }[args.command]
+        figure = builder()
+        print(figure.render(precision=args.precision))
+        if args.plot:
+            from .reporting import render_ascii_chart
+
+            print()
+            print(render_ascii_chart(figure))
+        return 0
+
+    if args.command == "report":
+        from .experiments import generate_report
+
+        checks = generate_report(args.output)
+        for check in checks:
+            print(check.render())
+        passed = sum(c.passed for c in checks)
+        print(f"\n{passed}/{len(checks)} reproduction criteria pass; "
+              f"artifacts in {args.output}/")
+        return 0 if passed == len(checks) else 1
+
+    if args.command == "table1":
+        print(
+            format_table(
+                ["N", "rho~1 (paper)", "rho~1 (formula)",
+                 "rho~2 (paper)", "rho~2 (formula)"],
+                table1_rows(),
+                title="Table 1: Figure 4 input loads",
+            )
+        )
+        return 0
+
+    if args.command == "table2":
+        rows = table2_rows(args.param_set)
+        print(
+            format_table(
+                ["N", "dW/drho1", "paper", "dW/db2", "paper",
+                 "blocking", "paper", "W", "paper"],
+                [
+                    [
+                        r["N"], r["dW_drho1"], r["paper_dW_drho1"],
+                        r["dW_dburstiness2"], r["paper_dW_dburstiness2"],
+                        r["blocking"], r["paper_blocking"],
+                        r["revenue"], r["paper_revenue"],
+                    ]
+                    for r in rows
+                ],
+                title=f"Table 2, parameter set {args.param_set} "
+                      "(computed vs paper)",
+            )
+        )
+        return 0
+
+    if args.command == "hotspot":
+        from .core.traffic import TrafficClass
+        from .extensions import solve_hot_spot
+
+        dims = SwitchDimensions(args.n, args.n2 or args.n)
+        cls = TrafficClass.poisson(args.rho, name="poisson")
+        rows = []
+        for token in args.factors.split(","):
+            factor = float(token)
+            solution = solve_hot_spot(dims, cls, factor=factor)
+            rows.append(
+                [
+                    factor,
+                    solution.blocking(),
+                    solution.hot_request_blocking(),
+                    solution.cold_request_blocking(),
+                    solution.hot_output_utilization(),
+                ]
+            )
+        print(
+            format_table(
+                ["factor", "blocking", "hot-request B", "cold-request B",
+                 "hot-output util"],
+                rows,
+                title=f"Hot-spot sweep on {dims} (rho={args.rho:g})",
+            )
+        )
+        return 0
+
+    if args.command == "solve" and getattr(args, "config", None):
+        from .io import load_model
+
+        model = load_model(args.config)
+        dims, classes = model.dims, list(model.classes)
+    else:
+        if args.n is None:
+            raise CrossbarError("--n is required (or pass --config)")
+        dims = SwitchDimensions(args.n, args.n2 or args.n)
+        classes = _parse_classes(args)
+
+    if args.command == "solve":
+        if args.method == "mva":
+            from .core.mva import solve_mva
+
+            solution = solve_mva(dims, classes)
+        else:
+            solution = solve_convolution(dims, classes)
+        if args.as_json:
+            import json
+
+            from .io import solution_to_dict
+
+            print(json.dumps(solution_to_dict(solution), indent=2))
+        else:
+            print(solution.summary())
+        return 0
+
+    if args.command == "simulate":
+        summary = run_replications(
+            dims, classes, horizon=args.horizon, warmup=args.warmup,
+            replications=args.replications, seed=args.seed,
+        )
+        comparison = compare_with_analysis(summary, classes)
+        rows = [
+            [
+                c["name"],
+                c["acceptance_sim"].estimate,
+                c["acceptance_analytical"],
+                c["acceptance_covered"],
+                c["concurrency_sim"].estimate,
+                c["concurrency_analytical"],
+                c["concurrency_covered"],
+            ]
+            for c in comparison["classes"]
+        ]
+        print(
+            format_table(
+                ["class", "accept(sim)", "accept(ana)", "in CI",
+                 "E(sim)", "E(ana)", "in CI"],
+                rows,
+                title=f"Simulation vs analysis on {dims} "
+                      f"({summary.replications} replications)",
+            )
+        )
+        return 0
+
+    if args.command == "validate":
+        from .validation import cross_validate
+
+        report = cross_validate(dims, classes)
+        print(report.render())
+        return 0 if report.consistent else 1
+
+    if args.command == "asymptotic":
+        from .core.asymptotic import solve_asymptotic
+
+        approx = solve_asymptotic(dims, classes)
+        rows = [
+            [
+                cls.name or f"class-{r}",
+                approx.concurrency(r),
+                approx.blocking(r),
+            ]
+            for r, cls in enumerate(classes)
+        ]
+        print(
+            format_table(
+                ["class", "E (approx)", "blocking (approx)"],
+                rows,
+                title=f"Large-system approximation on {dims} "
+                      f"(utilization {approx.utilization():.4g}, "
+                      f"{approx.iterations} bisection steps)",
+            )
+        )
+        return 0
+
+    if args.command == "multistage":
+        network = TandemNetwork.uniform(args.stages, dims)
+        result = analyze_tandem(network, classes)
+        rows = [
+            [s + 1] + list(stage)
+            for s, stage in enumerate(result.stage_blocking)
+        ]
+        print(
+            format_table(
+                ["stage"] + [c.name or f"class-{r}"
+                             for r, c in enumerate(result.classes)],
+                rows,
+                title=f"Per-stage blocking, {args.stages} stages of {dims} "
+                      f"({result.iterations} fixed-point iterations)",
+            )
+        )
+        for r, cls in enumerate(result.classes):
+            print(
+                f"end-to-end blocking[{cls.name or r}] = "
+                f"{result.end_to_end_blocking(r):.6g}"
+            )
+        return 0
+
+    raise CrossbarError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

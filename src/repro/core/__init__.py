@@ -1,0 +1,97 @@
+"""Core analytical model: product form, fast algorithms, measures.
+
+This package implements the paper's primary contribution:
+
+* :mod:`~repro.core.traffic` — BPP traffic classes;
+* :mod:`~repro.core.state` — dimensions and the state space;
+* :mod:`~repro.core.productform` — brute-force product-form reference;
+* :mod:`~repro.core.convolution` — Algorithm 1 (+ §6 dynamic scaling);
+* :mod:`~repro.core.mva` — Algorithm 2 (mean value analysis);
+* :mod:`~repro.core.exact` — exact rational arithmetic oracle;
+* :mod:`~repro.core.generating` — the generating function (eq. 5);
+* :mod:`~repro.core.measures` — the shared measure interface;
+* :mod:`~repro.core.revenue` — Section 4's revenue analysis;
+* :mod:`~repro.core.model` — the :class:`CrossbarModel` facade.
+"""
+
+from .asymptotic import AsymptoticSolution, solve_asymptotic
+from .convolution import log_q_grid, solve_convolution
+from .exact import exact_q_table, solve_exact
+from .generating import evaluate_z, normalization_series, q_from_series
+from .measures import PerformanceSolution
+from .model import CrossbarModel
+from .moments import (
+    carried_peakedness,
+    concurrency_covariance,
+    concurrency_variance,
+    factorial_moment,
+    occupancy_pmf,
+    occupancy_variance,
+    time_congestion,
+)
+from .mva import solve_mva
+from .series_solver import DiagonalSolution, solve_series
+from .productform import StateDistribution, solve_brute_force
+from .sensitivity import blocking_elasticity_matrix, blocking_gradient
+from .revenue import (
+    gradient_burstiness,
+    gradient_rho,
+    gradient_rho_closed_form,
+    marginal_value,
+    port_marginal_revenue,
+    revenue_report,
+    shadow_cost,
+)
+from .state import SwitchDimensions, iter_states, state_space_size
+from .traffic import (
+    TrafficClass,
+    bpp_mean,
+    bpp_peakedness,
+    bpp_variance,
+    classify_bpp,
+    fit_bpp_from_moments,
+)
+
+__all__ = [
+    "AsymptoticSolution",
+    "CrossbarModel",
+    "PerformanceSolution",
+    "StateDistribution",
+    "SwitchDimensions",
+    "TrafficClass",
+    "carried_peakedness",
+    "concurrency_covariance",
+    "concurrency_variance",
+    "factorial_moment",
+    "occupancy_pmf",
+    "occupancy_variance",
+    "DiagonalSolution",
+    "solve_asymptotic",
+    "solve_series",
+    "blocking_elasticity_matrix",
+    "blocking_gradient",
+    "time_congestion",
+    "bpp_mean",
+    "bpp_peakedness",
+    "bpp_variance",
+    "classify_bpp",
+    "evaluate_z",
+    "exact_q_table",
+    "fit_bpp_from_moments",
+    "gradient_burstiness",
+    "gradient_rho",
+    "gradient_rho_closed_form",
+    "iter_states",
+    "log_q_grid",
+    "marginal_value",
+    "port_marginal_revenue",
+    "normalization_series",
+    "q_from_series",
+    "revenue_report",
+    "shadow_cost",
+    "solve_brute_force",
+    "solve_convolution",
+    "solve_exact",
+    "solve_mva",
+    "state_space_size",
+]

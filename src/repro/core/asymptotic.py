@@ -1,0 +1,185 @@
+"""Large-system fixed-point approximation (O(1) in the switch size).
+
+The exact algorithms cost ``O(N1 N2 R)``.  For capacity-planning sweeps
+over very large fabrics a constant-time approximation is valuable, and
+the crossbar admits a natural one: in a large switch, the probability
+that a *specific* input is idle is ``~ (1 - u1)`` with
+``u1 = E[k.A]/N1`` (and likewise for outputs), and distinct ports
+decorrelate.  A class-``r`` request then succeeds with probability
+``(1 - u1)^{a_r} (1 - u2)^{a_r}``, and stationary flow balance per
+class closes the system:
+
+    ``mu_r E_r = (alpha_r + beta_r E_r) P(N1,a_r) P(N2,a_r) A_r``
+    ``A_r = (1 - u1)^{a_r} (1 - u2)^{a_r}``
+    ``u_i = sum_r a_r E_r / N_i``
+
+solved by damped fixed-point iteration.  The approximation is
+asymptotically exact as blocking per port vanishes and is validated
+against the exact solvers in ``tests/test_asymptotic.py`` and
+``benchmarks/bench_asymptotic.py`` (errors of order 1/N at the paper's
+operating points).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError, ConvergenceError
+from .state import SwitchDimensions, permutation
+from .traffic import TrafficClass
+
+__all__ = ["AsymptoticSolution", "solve_asymptotic"]
+
+
+@dataclass(frozen=True)
+class AsymptoticSolution:
+    """Fixed point of the large-system approximation."""
+
+    dims: SwitchDimensions
+    classes: tuple[TrafficClass, ...]
+    concurrencies: tuple[float, ...]
+    iterations: int
+
+    @property
+    def input_utilization(self) -> float:
+        """``u1 = sum_r a_r E_r / N1``."""
+        if self.dims.n1 == 0:
+            return 0.0
+        return (
+            sum(c.a * e for c, e in zip(self.classes, self.concurrencies))
+            / self.dims.n1
+        )
+
+    @property
+    def output_utilization(self) -> float:
+        """``u2 = sum_r a_r E_r / N2``."""
+        if self.dims.n2 == 0:
+            return 0.0
+        return (
+            sum(c.a * e for c, e in zip(self.classes, self.concurrencies))
+            / self.dims.n2
+        )
+
+    def concurrency(self, r: int) -> float:
+        return self.concurrencies[r]
+
+    def non_blocking(self, r: int) -> float:
+        """``B_r ~ (1 - u1)^a (1 - u2)^a`` — the port-idle product."""
+        a = self.classes[r].a
+        return (
+            max(0.0, 1.0 - self.input_utilization) ** a
+            * max(0.0, 1.0 - self.output_utilization) ** a
+        )
+
+    def blocking(self, r: int) -> float:
+        return 1.0 - self.non_blocking(r)
+
+    def revenue(self) -> float:
+        """``W = sum_r w_r E_r`` under the approximation."""
+        return math.fsum(
+            c.weight * e for c, e in zip(self.classes, self.concurrencies)
+        )
+
+    def utilization(self) -> float:
+        """Fraction of the limiting side in use."""
+        cap = self.dims.capacity
+        if cap == 0:
+            return 0.0
+        return (
+            sum(c.a * e for c, e in zip(self.classes, self.concurrencies))
+            / cap
+        )
+
+
+def solve_asymptotic(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    tol: float = 1e-13,
+    max_iter: int = 200,
+) -> AsymptoticSolution:
+    """Solve the large-system fixed point by bisection.
+
+    Each class's balance concurrency is a non-increasing function of
+    the total occupancy ``m = sum_r a_r E_r``, so the scalar map
+    ``g(m) = sum_r a_r E_r(m) - m`` is strictly decreasing and has a
+    unique root: bisection converges unconditionally, including in deep
+    saturation where naive fixed-point iteration limit-cycles.
+    """
+    classes = tuple(classes)
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    for cls in classes:
+        if cls.a <= dims.capacity:
+            cls.validate_for(dims.n1, dims.n2)
+    if dims.capacity == 0:
+        return AsymptoticSolution(
+            dims=dims,
+            classes=classes,
+            concurrencies=tuple([0.0] * len(classes)),
+            iterations=0,
+        )
+
+    tuples = [
+        permutation(dims.n1, c.a) * permutation(dims.n2, c.a)
+        for c in classes
+    ]
+    caps = [
+        dims.capacity / c.a if c.a <= dims.capacity else 0.0
+        for c in classes
+    ]
+
+    def concurrencies_at(m: float) -> list[float]:
+        u1 = min(1.0, m / dims.n1)
+        u2 = min(1.0, m / dims.n2)
+        out = []
+        for r, cls in enumerate(classes):
+            if tuples[r] == 0:
+                out.append(0.0)
+                continue
+            acceptance = (1.0 - u1) ** cls.a * (1.0 - u2) ** cls.a
+            carried_rate = tuples[r] * acceptance
+            denom = cls.mu - cls.beta * carried_rate
+            if denom <= 0.0:
+                # Pascal feedback exceeds the service capacity at this
+                # acceptance level: the class would pin at its cap.
+                out.append(caps[r])
+            else:
+                out.append(min(caps[r], cls.alpha * carried_rate / denom))
+        return out
+
+    def excess(m: float) -> float:
+        return (
+            math.fsum(c.a * e for c, e in zip(classes, concurrencies_at(m)))
+            - m
+        )
+
+    lo, hi = 0.0, float(dims.capacity)
+    if excess(lo) <= 0.0:
+        return AsymptoticSolution(
+            dims=dims,
+            classes=classes,
+            concurrencies=tuple(concurrencies_at(0.0)),
+            iterations=0,
+        )
+    iteration = 0
+    while hi - lo > tol * max(1.0, float(dims.capacity)):
+        iteration += 1
+        if iteration > max_iter:
+            raise ConvergenceError(
+                f"asymptotic bisection did not converge in {max_iter} "
+                f"iterations (bracket width {hi - lo:.3g})"
+            )
+        mid = 0.5 * (lo + hi)
+        if excess(mid) > 0.0:
+            lo = mid
+        else:
+            hi = mid
+    root = 0.5 * (lo + hi)
+    return AsymptoticSolution(
+        dims=dims,
+        classes=classes,
+        concurrencies=tuple(concurrencies_at(root)),
+        iterations=iteration,
+    )

@@ -1,0 +1,485 @@
+"""Algorithm 1: recursive computation of the normalization function.
+
+The paper computes performance measures from the scaled normalization
+function ``Q(N) = G(N)/(N1! N2!)`` via the recurrence (eqs. 8-10)
+
+    ``Q(n) = [ Q(n - 1_i)
+               + sum_{r in R1} a_r rho_r Q(n - a_r I)
+               + sum_{r in R2} a_r rho_r V(n, r) ] / n_i``
+
+with the auxiliary recursion (eq. 9)
+
+    ``V(n, r) = Q(n - a_r I) + (beta_r/mu_r) V(n - a_r I, r)``
+
+sweeping the ``(n1, n2)`` grid (we sweep along ``i = 2``, i.e. row by
+row in ``n2``, with the whole ``n1`` axis vectorized).  ``Q`` of any
+point with a negative coordinate is zero and ``Q(n1, 0) = 1/n1!``
+(only the empty state fits).  Complexity is ``O(N1 N2 R)`` exactly as
+the paper states.
+
+Three numeric modes are provided:
+
+``"log"`` (default)
+    ``Q`` is carried as ``log Q`` with signed-log arithmetic for the
+    alternating ``V`` sums of smooth (Bernoulli) classes.  Immune to
+    overflow/underflow for any system size.
+``"scaled"``
+    The paper's Section 6 *dynamic scaling*, implemented at its logical
+    limit: every cell carries a float64 mantissa and an integer binary
+    exponent, i.e. the scaling factor ``omega`` is re-chosen on every
+    step so neither overflow nor underflow can ever occur.  Since the
+    measures only use ratios ``Q(N - a_r I)/Q(N)``, the scale factors
+    cancel (Section 6's argument).
+``"float"``
+    The raw unscaled recurrence in float64, exactly as Algorithm 1
+    reads before Section 6.  ``Q ~ 1/(n1! n2!)`` underflows around
+    ``n1 + n2 ~ 300``, at which point this mode raises
+    :class:`~repro.exceptions.OverflowInRecursionError` — the failure
+    that motivates dynamic scaling (reproduced by
+    ``benchmarks/bench_scaling.py``).
+
+Stability note (beyond the paper).  For *smooth* (Bernoulli,
+``beta < 0``) classes the ``V`` recursion is an **alternating** series
+whose terms grow roughly like ``|beta/mu| * (N1-k)(N2-k)`` per step; as
+soon as that factor exceeds one, the sum cancels catastrophically and
+every floating-point representation (including the log domain) loses
+all precision within a few chain steps.  The paper's own examples stay
+in the stable regime (``|b| N^2 << 1``), but e.g. a 2-source smooth
+class on a 32x32 switch is far outside it.  This module therefore
+removes Bernoulli classes from the sweep entirely and *folds* them in
+afterwards through the exact positive-term identity
+
+    ``Q(N) = sum_k Phi_r(k) Q_rest(N - a_r k I)``
+
+(``Phi_r(k) = |b|^k C(S, k) >= 0`` terminates at the source count
+``S``), which is unconditionally stable.  Poisson and Pascal classes
+have non-negative ``V`` terms and keep the paper's ``O(N1 N2 R)``
+recursion.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..exceptions import ComputationError, ConfigurationError, OverflowInRecursionError
+from .logspace import NEG_INF, signed_log_add, signed_log_scale
+from .measures import PerformanceSolution
+from .state import SwitchDimensions
+from .traffic import TrafficClass
+
+__all__ = ["solve_convolution", "log_q_grid"]
+
+_MODES = ("log", "scaled", "float")
+
+
+def _shift(column: np.ndarray, a: int, fill: float) -> np.ndarray:
+    """Return ``out[n1] = column[n1 - a]`` with ``fill`` for ``n1 < a``."""
+    out = np.full_like(column, fill)
+    if a == 0:
+        return column.copy()
+    if a <= column.shape[0]:
+        out[a:] = column[:-a]
+    return out
+
+
+def _validate(dims: SwitchDimensions, classes: Sequence[TrafficClass]) -> None:
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    for cls in classes:
+        if cls.a <= dims.capacity:
+            cls.validate_for(dims.n1, dims.n2)
+
+
+# ----------------------------------------------------------------------
+# Log-domain sweep (robust default)
+# ----------------------------------------------------------------------
+
+
+def _sweep_log(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> np.ndarray:
+    n1, n2 = dims.n1, dims.n2
+    lq = np.full((n1 + 1, n2 + 1), NEG_INF)
+    lq[:, 0] = -np.array([math.lgamma(m + 1) for m in range(n1 + 1)])
+
+    bursty = [r for r, c in enumerate(classes) if c.is_bursty]
+    lv = {r: np.full((n1 + 1, n2 + 1), NEG_INF) for r in bursty}
+    sv = {r: np.zeros((n1 + 1, n2 + 1), dtype=int) for r in bursty}
+
+    for col in range(1, n2 + 1):
+        acc_l = lq[:, col - 1].copy()
+        acc_s = (acc_l > NEG_INF).astype(int)
+        for r, cls in enumerate(classes):
+            a = cls.a
+            if col >= a:
+                src = _shift(lq[:, col - a], a, NEG_INF)
+            else:
+                src = np.full(n1 + 1, NEG_INF)
+            src_sign = (src > NEG_INF).astype(int)
+            if cls.is_poisson:
+                term_l, term_s = src, src_sign
+            else:
+                if col >= a:
+                    prev_l = _shift(lv[r][:, col - a], a, NEG_INF)
+                    prev_s = _shift(
+                        sv[r][:, col - a].astype(float), a, 0.0
+                    ).astype(int)
+                else:
+                    prev_l = np.full(n1 + 1, NEG_INF)
+                    prev_s = np.zeros(n1 + 1, dtype=int)
+                scaled_l, scaled_s = signed_log_scale(prev_l, prev_s, cls.b)
+                v_l, v_s = signed_log_add(src, src_sign, scaled_l, scaled_s)
+                lv[r][:, col] = v_l
+                sv[r][:, col] = v_s
+                term_l, term_s = v_l, v_s
+            factor = cls.a * cls.rho
+            if factor > 0.0:
+                term_l, term_s = signed_log_scale(term_l, term_s, factor)
+                acc_l, acc_s = signed_log_add(acc_l, acc_s, term_l, term_s)
+        if np.any(acc_s <= 0):
+            raise ComputationError(
+                "Q recursion produced a non-positive value at column "
+                f"n2={col}; the Bernoulli parameters likely admit a "
+                "negative arrival rate inside the state space"
+            )
+        lq[:, col] = acc_l - math.log(col)
+    return lq
+
+
+# ----------------------------------------------------------------------
+# Mantissa/exponent sweep (paper Section 6 dynamic scaling)
+# ----------------------------------------------------------------------
+
+
+def _sweep_scaled(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> np.ndarray:
+    """Dynamic-scaling sweep; returns the grid of ``log Q``.
+
+    Each cell is ``man * 2**ex`` with ``man`` float64 and ``ex`` a wide
+    integer exponent.  Sums align terms to the largest exponent via
+    ``ldexp`` (terms more than ~1000 binary orders smaller vanish,
+    which is far below float64 resolution anyway).
+    """
+    n1, n2 = dims.n1, dims.n2
+    man = np.zeros((n1 + 1, n2 + 1))
+    ex = np.zeros((n1 + 1, n2 + 1), dtype=np.int64)
+    for m in range(n1 + 1):
+        lg = -math.lgamma(m + 1)
+        e = int(math.floor(lg / math.log(2.0)))
+        man[m, 0] = math.exp(lg - e * math.log(2.0))
+        ex[m, 0] = e
+
+    bursty = [r for r, c in enumerate(classes) if c.is_bursty]
+    vman = {r: np.zeros((n1 + 1, n2 + 1)) for r in bursty}
+    vex = {r: np.zeros((n1 + 1, n2 + 1), dtype=np.int64) for r in bursty}
+
+    def add_terms(
+        terms: list[tuple[np.ndarray, np.ndarray]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sum (mantissa, exponent) arrays; re-normalize the result."""
+        top = terms[0][1].copy()
+        for _, e in terms[1:]:
+            np.maximum(top, e, out=top)
+        total = np.zeros_like(terms[0][0])
+        for m, e in terms:
+            shift = np.clip(e - top, -1060, 0)
+            total += np.ldexp(m, shift.astype(np.int64))
+        out_man, out_ex = np.frexp(total)
+        out_ex = out_ex.astype(np.int64) + top
+        out_ex[total == 0.0] = 0
+        return out_man, out_ex
+
+    for col in range(1, n2 + 1):
+        terms = [(man[:, col - 1].copy(), ex[:, col - 1].copy())]
+        for r, cls in enumerate(classes):
+            a = cls.a
+            if col >= a:
+                src_m = _shift(man[:, col - a], a, 0.0)
+                src_e = _shift(
+                    ex[:, col - a].astype(float), a, 0.0
+                ).astype(np.int64)
+            else:
+                src_m = np.zeros(n1 + 1)
+                src_e = np.zeros(n1 + 1, dtype=np.int64)
+            if cls.is_poisson:
+                term_m, term_e = src_m, src_e
+            else:
+                if col >= a:
+                    pm = _shift(vman[r][:, col - a], a, 0.0) * cls.b
+                    pe = _shift(
+                        vex[r][:, col - a].astype(float), a, 0.0
+                    ).astype(np.int64)
+                else:
+                    pm = np.zeros(n1 + 1)
+                    pe = np.zeros(n1 + 1, dtype=np.int64)
+                term_m, term_e = add_terms([(src_m, src_e), (pm, pe)])
+                vman[r][:, col] = term_m
+                vex[r][:, col] = term_e
+            factor = cls.a * cls.rho
+            if factor > 0.0:
+                terms.append((term_m * factor, term_e))
+        total_m, total_e = add_terms(terms)
+        if np.any(total_m <= 0.0):
+            raise ComputationError(
+                f"Q recursion produced a non-positive value at column n2={col}"
+            )
+        man[:, col] = total_m / col
+        ex[:, col] = total_e
+
+    with np.errstate(divide="ignore"):
+        lq = np.where(
+            man > 0.0,
+            np.log(np.maximum(man, 1e-320)) + ex * math.log(2.0),
+            NEG_INF,
+        )
+    return lq
+
+
+# ----------------------------------------------------------------------
+# Raw float sweep (no scaling; ablation baseline)
+# ----------------------------------------------------------------------
+
+
+def _sweep_float(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> np.ndarray:
+    n1, n2 = dims.n1, dims.n2
+    q = np.zeros((n1 + 1, n2 + 1))
+    for m in range(n1 + 1):
+        lg = -math.lgamma(m + 1)
+        if lg < math.log(5e-324):
+            raise OverflowInRecursionError(
+                f"Q({m}, 0) = 1/{m}! underflows float64; "
+                "use mode='scaled' or mode='log'"
+            )
+        q[m, 0] = math.exp(lg)
+    bursty = [r for r, c in enumerate(classes) if c.is_bursty]
+    v = {r: np.zeros((n1 + 1, n2 + 1)) for r in bursty}
+
+    for col in range(1, n2 + 1):
+        total = q[:, col - 1].copy()
+        for r, cls in enumerate(classes):
+            a = cls.a
+            src = _shift(q[:, col - a], a, 0.0) if col >= a else np.zeros(n1 + 1)
+            if cls.is_poisson:
+                term = src
+            else:
+                prev = (
+                    _shift(v[r][:, col - a], a, 0.0)
+                    if col >= a
+                    else np.zeros(n1 + 1)
+                )
+                term = src + cls.b * prev
+                v[r][:, col] = term
+            total += cls.a * cls.rho * term
+        total /= col
+        if not np.all(np.isfinite(total)):
+            raise OverflowInRecursionError(
+                f"unscaled Algorithm 1 overflowed at column n2={col}"
+            )
+        if np.any(total[: min(col, n1) + 1] == 0.0):
+            raise OverflowInRecursionError(
+                f"unscaled Algorithm 1 underflowed to zero at column n2={col}; "
+                "use mode='scaled' or mode='log'"
+            )
+        q[:, col] = total
+
+    with np.errstate(divide="ignore"):
+        return np.where(q > 0.0, np.log(np.where(q > 0.0, q, 1.0)), NEG_INF)
+
+
+# ----------------------------------------------------------------------
+# Smooth-class folding (stability fix; see module docstring)
+# ----------------------------------------------------------------------
+
+
+def _fold_log(
+    lq: np.ndarray, dims: SwitchDimensions, cls: TrafficClass
+) -> np.ndarray:
+    """Fold one smooth class into a log-domain grid (positive terms)."""
+    from .productform import log_phi
+
+    a = cls.a
+    out = lq.copy()  # k = 0 term (log Phi(0) = 0)
+    k = 1
+    while k * a <= dims.capacity:
+        logphi = log_phi(cls, k)
+        if logphi == NEG_INF:
+            break
+        shift = k * a
+        term = np.full_like(lq, NEG_INF)
+        term[shift:, shift:] = lq[:-shift, :-shift] + logphi
+        out = np.logaddexp(out, term)
+        k += 1
+    return out
+
+
+def _fold_float(
+    lq: np.ndarray, dims: SwitchDimensions, cls: TrafficClass
+) -> np.ndarray:
+    """Float-domain fold for mode='float' (keeps its raw-float spirit)."""
+    from .productform import log_phi
+
+    with np.errstate(over="raise"):
+        q = np.where(lq > NEG_INF, np.exp(lq), 0.0)
+        out = q.copy()
+        a = cls.a
+        k = 1
+        while k * a <= dims.capacity:
+            logphi = log_phi(cls, k)
+            if logphi == NEG_INF:
+                break
+            shift = k * a
+            out[shift:, shift:] += q[:-shift, :-shift] * math.exp(logphi)
+            k += 1
+    if not np.all(np.isfinite(out)):
+        raise OverflowInRecursionError(
+            "unscaled fold of a smooth class overflowed; use "
+            "mode='scaled' or mode='log'"
+        )
+    with np.errstate(divide="ignore"):
+        return np.where(out > 0.0, np.log(np.where(out > 0.0, out, 1.0)), NEG_INF)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def log_q_grid(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    mode: str = "log",
+) -> np.ndarray:
+    """Grid of ``log Q(n1, n2)`` for ``0 <= n1 <= N1, 0 <= n2 <= N2``.
+
+    Smooth (Bernoulli) classes are folded in through the positive-term
+    identity rather than the alternating ``V`` recursion — see the
+    module docstring's stability note.
+    """
+    _validate(dims, classes)
+    sweep_classes = [c for c in classes if c.beta >= 0]
+    fold_classes = [c for c in classes if c.beta < 0]
+    if mode == "log":
+        lq = _sweep_log(dims, sweep_classes)
+        fold = _fold_log
+    elif mode == "scaled":
+        lq = _sweep_scaled(dims, sweep_classes)
+        fold = _fold_log  # folds are positive-term log sums either way
+    elif mode == "float":
+        lq = _sweep_float(dims, sweep_classes)
+        fold = _fold_float
+    else:
+        raise ConfigurationError(
+            f"unknown mode {mode!r}; expected one of {_MODES}"
+        )
+    for cls in fold_classes:
+        lq = fold(lq, dims, cls)
+    return lq
+
+
+def _smooth_concurrency_grid(
+    lq: np.ndarray,
+    lq_rest: np.ndarray,
+    dims: SwitchDimensions,
+    cls: TrafficClass,
+) -> np.ndarray:
+    """Stable concurrency grid for one smooth class.
+
+    The recursive ``E_r(N) = H_r(N)(rho + b E_r(N - a I))`` inherits
+    the alternating-series instability for ``beta < 0`` (the bracket
+    cancels), so smooth-class concurrency is evaluated by the direct
+    positive sum
+
+        ``E_r(N) = sum_k k Phi_r(k) Q_rest(N - a k I) / Q(N)``
+
+    where ``Q_rest`` excludes class ``r``.
+    """
+    from .productform import log_phi
+
+    a = cls.a
+    acc = np.full_like(lq, NEG_INF)
+    k = 1
+    while k * a <= dims.capacity:
+        logphi = log_phi(cls, k)
+        if logphi == NEG_INF:
+            break
+        shift = k * a
+        term = np.full_like(lq, NEG_INF)
+        term[shift:, shift:] = (
+            lq_rest[:-shift, :-shift] + logphi + math.log(k)
+        )
+        acc = np.logaddexp(acc, term)
+        k += 1
+    with np.errstate(invalid="ignore"):
+        grid = np.exp(acc - lq)
+    grid[~np.isfinite(grid)] = 0.0
+    return grid
+
+
+def solve_convolution(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    mode: str = "log",
+) -> PerformanceSolution:
+    """Solve the model with Algorithm 1 and return all measures.
+
+    Parameters
+    ----------
+    dims, classes:
+        The switch and its traffic mix.
+    mode:
+        ``"log"`` (default), ``"scaled"`` (Section 6 dynamic scaling),
+        or ``"float"`` (raw recurrence — raises on overflow/underflow).
+    """
+    classes = tuple(classes)
+    _validate(dims, classes)
+    sweep_classes = [c for c in classes if c.beta >= 0]
+    fold_classes = [(r, c) for r, c in enumerate(classes) if c.beta < 0]
+    if mode == "log":
+        base = _sweep_log(dims, sweep_classes)
+        fold = _fold_log
+    elif mode == "scaled":
+        base = _sweep_scaled(dims, sweep_classes)
+        fold = _fold_log
+    elif mode == "float":
+        base = _sweep_float(dims, sweep_classes)
+        fold = _fold_float
+    else:
+        raise ConfigurationError(
+            f"unknown mode {mode!r}; expected one of {_MODES}"
+        )
+    lq = base
+    for _, cls in fold_classes:
+        lq = fold(lq, dims, cls)
+
+    h_grids = []
+    for cls in classes:
+        a = cls.a
+        h = np.zeros((dims.n1 + 1, dims.n2 + 1))
+        if a <= dims.n1 and a <= dims.n2:
+            h[a:, a:] = np.exp(lq[:-a, :-a] - lq[a:, a:])
+            h[a:, a:][~np.isfinite(h[a:, a:])] = 0.0
+        h_grids.append(h)
+
+    # Stable concurrency grids for smooth classes (see helper).
+    e_smooth: dict[int, np.ndarray] = {}
+    for r, cls in fold_classes:
+        lq_rest = base
+        for other_r, other in fold_classes:
+            if other_r != r:
+                lq_rest = fold(lq_rest, dims, other)
+        e_smooth[r] = _smooth_concurrency_grid(lq, lq_rest, dims, cls)
+
+    return PerformanceSolution(
+        dims=dims,
+        classes=classes,
+        h=tuple(h_grids),
+        log_q=lq,
+        method=f"convolution/{mode}",
+        e_smooth=e_smooth,
+    )

@@ -1,0 +1,214 @@
+"""Exact rational-arithmetic evaluation of Algorithm 1.
+
+Runs the paper's recurrence (eqs. 8-10) in :class:`fractions.Fraction`
+arithmetic, so the result has **zero** rounding error.  This is the
+oracle used to quantify the floating-point error of the ``"float"``,
+``"scaled"`` and ``"log"`` modes of
+:mod:`repro.core.convolution` and of Algorithm 2 — the numerical-
+stability comparison the paper makes qualitatively in Section 5.1.
+
+Cost grows quickly (Fraction numerators accumulate digits), so this is
+meant for moderate systems (``N ≲ 64``); the test-suite uses it up to
+``N = 40``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .measures import PerformanceSolution
+from .state import SwitchDimensions
+from .traffic import TrafficClass
+
+__all__ = ["solve_exact", "exact_q_table"]
+
+
+def _fractions(cls: TrafficClass) -> tuple[Fraction, Fraction]:
+    """Per-class ``(rho, b)`` as exact rationals.
+
+    ``Fraction(float)`` is exact (binary expansion), so the rational
+    recurrence computes the *same* mathematical quantity the float
+    modes approximate.
+    """
+    rho = Fraction(cls.alpha) / Fraction(cls.mu)
+    b = Fraction(cls.beta) / Fraction(cls.mu)
+    return rho, b
+
+
+def _exact_phi(cls: TrafficClass, cap: int) -> list[Fraction]:
+    """``Phi_r(k)`` as exact rationals, truncated where the rate hits 0.
+
+    Matches the clamped model semantics (``lambda(k) = max(0, ...)``):
+    for smooth classes whose float source count is infinitesimally off
+    an integer, the closed-form negative-binomial series would carry a
+    spurious non-terminating tail; the product form truncates it.
+    """
+    alpha = Fraction(cls.alpha)
+    beta = Fraction(cls.beta)
+    mu = Fraction(cls.mu)
+    phis = [Fraction(1)]
+    value = Fraction(1)
+    for k in range(1, cap // cls.a + 1):
+        rate = alpha + beta * (k - 1)
+        if rate <= 0:
+            break
+        value *= rate / (k * mu)
+        phis.append(value)
+    return phis
+
+
+def exact_q_table(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> list[list[Fraction]]:
+    """The full grid ``Q(n1, n2)`` as exact rationals.
+
+    Indexed ``table[n1][n2]``; entries with any negative coordinate are
+    conceptually zero and simply absent.  Smooth (``beta < 0``) classes
+    are folded in through the positive-term identity rather than the
+    alternating ``V`` recursion, mirroring the float implementation —
+    both for symmetry and for the truncation semantics of
+    :func:`_exact_phi`.
+    """
+    classes = tuple(classes)
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    sweep = [c for c in classes if c.beta >= 0]
+    folds = [c for c in classes if c.beta < 0]
+    n1, n2 = dims.n1, dims.n2
+    params = [_fractions(c) for c in sweep]
+    classes, all_classes = tuple(sweep), classes
+
+    q: list[list[Fraction]] = [
+        [Fraction(0)] * (n2 + 1) for _ in range(n1 + 1)
+    ]
+    for m in range(n1 + 1):
+        q[m][0] = Fraction(1, math.factorial(m))
+    bursty = [r for r, c in enumerate(classes) if c.is_bursty]
+    v: dict[int, list[list[Fraction]]] = {
+        r: [[Fraction(0)] * (n2 + 1) for _ in range(n1 + 1)] for r in bursty
+    }
+
+    for col in range(1, n2 + 1):
+        for row in range(n1 + 1):
+            total = q[row][col - 1]
+            for r, cls in enumerate(classes):
+                a = cls.a
+                rho, b = params[r]
+                src = (
+                    q[row - a][col - a]
+                    if row >= a and col >= a
+                    else Fraction(0)
+                )
+                if cls.is_poisson:
+                    term = src
+                else:
+                    prev = (
+                        v[r][row - a][col - a]
+                        if row >= a and col >= a
+                        else Fraction(0)
+                    )
+                    term = src + b * prev
+                    v[r][row][col] = term
+                total += a * rho * term
+            q[row][col] = total / col
+
+    for cls in folds:
+        q = _fold_exact(q, dims, cls)
+    return q
+
+
+def _fold_exact(
+    q: list[list[Fraction]], dims: SwitchDimensions, cls: TrafficClass
+) -> list[list[Fraction]]:
+    """Fold one smooth class: ``Q(n) = sum_k Phi(k) Q_rest(n - a k I)``."""
+    phis = _exact_phi(cls, dims.capacity)
+    a = cls.a
+    out = [
+        [Fraction(0)] * (dims.n2 + 1) for _ in range(dims.n1 + 1)
+    ]
+    for m1 in range(dims.n1 + 1):
+        for m2 in range(dims.n2 + 1):
+            total = Fraction(0)
+            for k, phi in enumerate(phis):
+                if k * a > m1 or k * a > m2:
+                    break
+                total += phi * q[m1 - k * a][m2 - k * a]
+            out[m1][m2] = total
+    return out
+
+
+def solve_exact(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> PerformanceSolution:
+    """Solve with exact rationals; measures converted to float at the end."""
+    classes = tuple(classes)
+    table = exact_q_table(dims, classes)
+    h_grids = []
+    for cls in classes:
+        a = cls.a
+        h = np.zeros((dims.n1 + 1, dims.n2 + 1))
+        for m1 in range(a, dims.n1 + 1):
+            for m2 in range(a, dims.n2 + 1):
+                denom = table[m1][m2]
+                if denom != 0:
+                    h[m1, m2] = float(table[m1 - a][m2 - a] / denom)
+        h_grids.append(h)
+    def _log_fraction(value: Fraction) -> float:
+        # log via numerator/denominator so huge rationals cannot
+        # overflow the float conversion
+        if value <= 0:
+            return -math.inf
+        return math.log(value.numerator) - math.log(value.denominator)
+
+    log_q = np.array(
+        [
+            [_log_fraction(table[m1][m2]) for m2 in range(dims.n2 + 1)]
+            for m1 in range(dims.n1 + 1)
+        ]
+    )
+
+    # Stable concurrency grids for smooth classes (same identity as the
+    # float solver; see repro.core.convolution).
+    e_smooth: dict[int, np.ndarray] = {}
+    for r, cls in enumerate(classes):
+        if cls.beta >= 0:
+            continue
+        rest = [c for i, c in enumerate(classes) if i != r]
+        if rest:
+            q_rest = exact_q_table(dims, rest)
+        else:
+            q_rest = [
+                [
+                    Fraction(1, math.factorial(m1) * math.factorial(m2))
+                    for m2 in range(dims.n2 + 1)
+                ]
+                for m1 in range(dims.n1 + 1)
+            ]
+        phis = _exact_phi(cls, dims.capacity)
+        a = cls.a
+        grid = np.zeros((dims.n1 + 1, dims.n2 + 1))
+        for m1 in range(dims.n1 + 1):
+            for m2 in range(dims.n2 + 1):
+                total = Fraction(0)
+                for k, phi in enumerate(phis):
+                    if k * a > m1 or k * a > m2:
+                        break
+                    total += k * phi * q_rest[m1 - k * a][m2 - k * a]
+                denom = table[m1][m2]
+                if denom != 0:
+                    grid[m1, m2] = float(total / denom)
+        e_smooth[r] = grid
+
+    return PerformanceSolution(
+        dims=dims,
+        classes=classes,
+        h=tuple(h_grids),
+        log_q=log_q,
+        method="exact",
+        e_smooth=e_smooth,
+    )

@@ -1,0 +1,163 @@
+"""The generating function of the normalization function (paper eq. 5).
+
+Section 5 derives the two-variable exponential generating function
+
+    ``Z(t) = sum_N Q(N) t1^N1 t2^N2
+           = exp( t1 + t2 + sum_{r in R1} rho_r (t1 t2)^{a_r} )
+             * prod_{r in R2} (1 - b_r (t1 t2)^{a_r})^(-alpha_r/beta_r)``
+
+with ``b_r = beta_r/mu_r``.  Because every class enters only through
+``u = t1 t2``, the coefficients factor as
+
+    ``Q(N1, N2) = sum_m f_m / ((N1 - m)! (N2 - m)!)``
+
+where ``f_m = [u^m] F(u)`` and ``F(u) = prod_r S_r(u)`` with the
+per-class occupancy series ``S_r(u) = sum_k Phi_r(k) u^{a_r k}``.
+
+This module evaluates eq. 5 both ways:
+
+* :func:`class_series` builds ``S_r`` from the *definition* of
+  ``Phi_r`` (products of arrival/service rates), and
+  :func:`closed_form_class_series` from eq. 5's closed forms
+  (``exp`` / negative-binomial); their agreement verifies the paper's
+  algebra.
+* :func:`q_from_series` reconstructs ``Q(N)`` from the series — a third
+  computation path, fully independent of the recursions, used by the
+  test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..exceptions import ConfigurationError
+from .state import SwitchDimensions
+from .traffic import TrafficClass
+
+__all__ = [
+    "class_series",
+    "closed_form_class_series",
+    "normalization_series",
+    "q_from_series",
+    "evaluate_z",
+]
+
+
+def class_series(cls: TrafficClass, order: int) -> list[float]:
+    """``S_r(u) = sum_k Phi_r(k) u^{a_r k}`` truncated after ``u^order``.
+
+    Built directly from ``Phi_r(k) = prod_l lambda_r(l-1)/(l mu_r)``.
+    """
+    coeffs = [0.0] * (order + 1)
+    coeffs[0] = 1.0
+    phi = 1.0
+    k = 1
+    while k * cls.a <= order:
+        rate = cls.rate(k - 1)
+        if rate <= 0.0:
+            break
+        phi *= rate / (k * cls.mu)
+        coeffs[k * cls.a] = phi
+        k += 1
+    return coeffs
+
+
+def closed_form_class_series(cls: TrafficClass, order: int) -> list[float]:
+    """The same series from eq. 5's closed forms.
+
+    Poisson: ``exp(rho u^a)``, i.e. ``Phi(k) = rho^k/k!``.
+    BPP: ``(1 - b u^a)^(-alpha/beta)``, i.e.
+    ``Phi(k) = b^k C(alpha/beta - 1 + k, k)`` (generalized binomial; for
+    Bernoulli classes the series terminates at the source count).
+    """
+    coeffs = [0.0] * (order + 1)
+    coeffs[0] = 1.0
+    if cls.is_poisson:
+        term = 1.0
+        k = 1
+        while k * cls.a <= order:
+            term *= cls.rho / k
+            coeffs[k * cls.a] = term
+            k += 1
+        return coeffs
+    exponent = cls.alpha / cls.beta  # alpha/beta, sign matches b
+    term = 1.0
+    k = 1
+    while k * cls.a <= order:
+        # C(exponent - 1 + k, k) b^k via the ratio of consecutive terms
+        term *= cls.b * (exponent - 1 + k) / k
+        coeffs[k * cls.a] = term
+        if term == 0.0:
+            break
+        k += 1
+    return coeffs
+
+
+def _poly_mul(a: list[float], b: list[float], order: int) -> list[float]:
+    out = [0.0] * (order + 1)
+    for i, av in enumerate(a):
+        if av == 0.0 or i > order:
+            continue
+        for j, bv in enumerate(b):
+            if i + j > order:
+                break
+            out[i + j] += av * bv
+    return out
+
+
+def normalization_series(
+    classes: Sequence[TrafficClass], order: int, closed_form: bool = False
+) -> list[float]:
+    """``F(u) = prod_r S_r(u)`` truncated after ``u^order``.
+
+    ``f_m`` is the total product-form weight of all states with
+    occupancy ``k . A = m``, divided by the ``Psi`` resource factor.
+    """
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    builder = closed_form_class_series if closed_form else class_series
+    series = [1.0] + [0.0] * order
+    for cls in classes:
+        series = _poly_mul(series, builder(cls, order), order)
+    return series
+
+
+def q_from_series(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    closed_form: bool = False,
+) -> float:
+    """``Q(N) = sum_m f_m / ((N1-m)! (N2-m)!)`` from the series."""
+    cap = dims.capacity
+    series = normalization_series(classes, cap, closed_form=closed_form)
+    return math.fsum(
+        f
+        / (math.factorial(dims.n1 - m) * math.factorial(dims.n2 - m))
+        for m, f in enumerate(series)
+    )
+
+
+def evaluate_z(
+    classes: Sequence[TrafficClass], t1: float, t2: float
+) -> float:
+    """Evaluate the closed form of ``Z(t1, t2)`` (paper eq. 5).
+
+    Only defined where the Pascal factors converge
+    (``b_r (t1 t2)^{a_r} < 1``); raises otherwise.
+    """
+    u = t1 * t2
+    exponent_arg = t1 + t2
+    product = 1.0
+    for cls in classes:
+        if cls.is_poisson:
+            exponent_arg += cls.rho * u**cls.a
+        else:
+            base = 1.0 - cls.b * u**cls.a
+            if base <= 0.0:
+                raise ConfigurationError(
+                    f"Z(t) diverges: 1 - b*u^a = {base} <= 0 for class "
+                    f"{cls.name or '?'}"
+                )
+            product *= base ** (-cls.alpha / cls.beta)
+    return math.exp(exponent_arg) * product

@@ -1,0 +1,240 @@
+"""High-level facade: configure a crossbar and solve it.
+
+:class:`CrossbarModel` bundles the switch dimensions and traffic mix
+and dispatches to any of the library's solution methods:
+
+======================  =====================================================
+``method``              implementation
+======================  =====================================================
+``"convolution"``       Algorithm 1 (paper §5) in log domain — the default
+``"convolution-scaled"``Algorithm 1 with §6 dynamic scaling (mantissa/exp)
+``"convolution-float"`` Algorithm 1 unscaled (raises when it over/underflows)
+``"mva"``               Algorithm 2 (paper §5.1), ratio domain
+``"exact"``             Algorithm 1 in exact rational arithmetic
+``"brute-force"``       direct summation over the state space (eq. 2-3)
+======================  =====================================================
+
+Example
+-------
+>>> from repro import CrossbarModel, TrafficClass
+>>> model = CrossbarModel.square(
+...     16,
+...     [TrafficClass.poisson(0.02, name="data"),
+...      TrafficClass.from_moments(0.5, peakedness=2.0, name="video")],
+... )
+>>> solution = model.solve()
+>>> round(solution.blocking(0), 6) >= 0.0
+True
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .convolution import solve_convolution
+from .exact import solve_exact
+from .measures import PerformanceSolution
+from .mva import solve_mva
+from .productform import StateDistribution, solve_brute_force
+from .state import SwitchDimensions, state_space_size
+from .traffic import TrafficClass
+
+__all__ = ["CrossbarModel"]
+
+#: Methods accepted by :meth:`CrossbarModel.solve`.
+METHODS = (
+    "convolution",
+    "convolution-scaled",
+    "convolution-float",
+    "mva",
+    "exact",
+    "brute-force",
+)
+
+
+@dataclass(frozen=True)
+class CrossbarModel:
+    """An ``N1 x N2`` asynchronous crossbar with a fixed traffic mix."""
+
+    dims: SwitchDimensions
+    classes: tuple[TrafficClass, ...]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ConfigurationError(
+                "a crossbar model needs at least one traffic class"
+            )
+        for cls in self.classes:
+            if cls.a <= self.dims.capacity:
+                cls.validate_for(self.dims.n1, self.dims.n2)
+
+    @classmethod
+    def create(
+        cls, n1: int, n2: int, classes: Sequence[TrafficClass]
+    ) -> "CrossbarModel":
+        """Build from plain integers."""
+        return cls(SwitchDimensions(n1, n2), tuple(classes))
+
+    @classmethod
+    def square(
+        cls, n: int, classes: Sequence[TrafficClass]
+    ) -> "CrossbarModel":
+        """An ``n x n`` switch (the paper's standard configuration)."""
+        return cls(SwitchDimensions.square(n), tuple(classes))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state_space_size(self) -> int:
+        """Number of states in ``Gamma(N)``."""
+        return state_space_size(self.dims, self.classes)
+
+    def solve(self, method: str = "convolution") -> PerformanceSolution:
+        """Solve for all performance measures.
+
+        See the module docstring for the method table.  All methods
+        return the same :class:`PerformanceSolution` interface and agree
+        to within floating-point error (the test suite asserts this).
+        """
+        if method == "convolution":
+            return solve_convolution(self.dims, self.classes, mode="log")
+        if method == "convolution-scaled":
+            return solve_convolution(self.dims, self.classes, mode="scaled")
+        if method == "convolution-float":
+            return solve_convolution(self.dims, self.classes, mode="float")
+        if method == "mva":
+            return solve_mva(self.dims, self.classes)
+        if method == "exact":
+            return solve_exact(self.dims, self.classes)
+        if method == "brute-force":
+            dist = self.distribution()
+            # Re-expose as the common interface via the ratio identity.
+            return _solution_from_distribution(self, dist)
+        raise ConfigurationError(
+            f"unknown method {method!r}; expected one of {METHODS}"
+        )
+
+    def distribution(self) -> StateDistribution:
+        """The full stationary distribution (brute-force enumeration).
+
+        Only practical for moderate state spaces; gives access to
+        measures the ratio algorithms cannot express (e.g. time
+        congestion, the occupancy histogram).
+        """
+        return solve_brute_force(self.dims, self.classes)
+
+    def with_class(self, new_class: TrafficClass) -> "CrossbarModel":
+        """A copy of this model with one more traffic class."""
+        return CrossbarModel(self.dims, self.classes + (new_class,))
+
+    def moment_report(self) -> dict:
+        """Means, variances, carried peakedness and occupancy moments.
+
+        Convenience wrapper over :mod:`repro.core.moments`; returns a
+        JSON-friendly dict with one entry per class plus occupancy
+        statistics.
+        """
+        from .moments import (
+            carried_peakedness,
+            concurrency_variance,
+            factorial_moment,
+            occupancy_pmf,
+            occupancy_variance,
+        )
+
+        per_class = []
+        for r, cls in enumerate(self.classes):
+            mean = factorial_moment(self.dims, self.classes, r, 1)
+            per_class.append(
+                {
+                    "name": cls.name or f"class-{r}",
+                    "mean": mean,
+                    "variance": concurrency_variance(
+                        self.dims, self.classes, r
+                    ),
+                    "carried_peakedness": carried_peakedness(
+                        self.dims, self.classes, r
+                    ),
+                    "offered_peakedness": cls.peakedness,
+                }
+            )
+        pmf = occupancy_pmf(self.dims, self.classes)
+        return {
+            "classes": per_class,
+            "occupancy_mean": sum(m * p for m, p in enumerate(pmf)),
+            "occupancy_variance": occupancy_variance(
+                self.dims, self.classes
+            ),
+            "occupancy_pmf": pmf,
+        }
+
+    def scaled_to(self, n: int) -> "CrossbarModel":
+        """Same aggregate ("tilde") traffic on an ``n x n`` switch.
+
+        Re-derives the per-pair parameters so that ``alpha~`` and
+        ``beta~`` stay constant — exactly how the paper sweeps system
+        size in Figures 1-4.
+        """
+        new_classes = []
+        for cls in self.classes:
+            new_classes.append(
+                TrafficClass.from_aggregate(
+                    cls.aggregate_alpha(self.dims.n2),
+                    cls.aggregate_beta(self.dims.n2),
+                    n2=n,
+                    mu=cls.mu,
+                    a=cls.a,
+                    weight=cls.weight,
+                    name=cls.name,
+                )
+            )
+        return CrossbarModel(SwitchDimensions.square(n), tuple(new_classes))
+
+
+def _solution_from_distribution(
+    model: CrossbarModel, dist: StateDistribution
+) -> PerformanceSolution:
+    """Wrap a brute-force distribution in the common solution type.
+
+    The H grids are only filled at the full dimensions (sub-dimension
+    queries would need one enumeration each), which is enough for the
+    standard measures at ``N``; Poisson concurrency reads H directly
+    and bursty concurrency recurses into sub-grids, so those cells are
+    filled by solving reduced systems when a bursty class is present.
+    """
+    import numpy as np
+
+    from .state import permutation
+
+    dims = model.dims
+    h_grids = []
+    needs_diagonal = any(c.is_bursty for c in model.classes)
+    for r, cls in enumerate(model.classes):
+        grid = np.zeros((dims.n1 + 1, dims.n2 + 1))
+        a = cls.a
+        points = [(dims.n1, dims.n2)]
+        if needs_diagonal:
+            m1, m2 = dims.n1 - a, dims.n2 - a
+            while min(m1, m2) >= a:
+                points.append((m1, m2))
+                m1 -= a
+                m2 -= a
+        for m1, m2 in points:
+            sub = SwitchDimensions(m1, m2)
+            sub_dist = (
+                dist if (m1, m2) == (dims.n1, dims.n2)
+                else solve_brute_force(sub, model.classes)
+            )
+            grid[m1, m2] = sub_dist.non_blocking_probability(r) * (
+                permutation(m1, a) * permutation(m2, a)
+            )
+        h_grids.append(grid)
+    return PerformanceSolution(
+        dims=dims,
+        classes=model.classes,
+        h=tuple(h_grids),
+        log_q=None,
+        method="brute-force",
+    )

@@ -1,0 +1,241 @@
+"""Higher-order stationary moments and the occupancy distribution.
+
+The paper reports means (``E_r``) only.  This module extends the same
+normalization-function machinery to
+
+* **factorial moments** ``E[(k_r)_j] = E[k_r (k_r - 1) ... (k_r - j + 1)]``
+  of each class's concurrency, hence variances and the carried
+  peakedness ``Var/Mean`` (interesting against the *offered* Z-factor:
+  blocking shaves peaks, so carried peakedness < offered peakedness);
+* **covariances** between classes (all negative: classes compete for
+  the same fabric);
+* the full **occupancy distribution** ``P(k.A = m)`` — and with it the
+  *time congestion* (probability the fabric cannot fit one more
+  class-``r`` connection), previously available only from brute-force
+  enumeration.
+
+Everything is computed from positive-term sums over the class
+occupancy series (the same identity that stabilizes smooth classes in
+:mod:`repro.core.convolution`):
+
+    ``E[(k_r)_j] = sum_k (k)_j Phi_r(k) Q_rest(N - a_r k I) / Q(N)``
+
+where ``Q_rest`` is the normalization of all *other* classes, so every
+term is non-negative and there is no cancellation for any BPP branch.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .convolution import log_q_grid
+from .generating import normalization_series
+from .productform import log_phi
+from .state import SwitchDimensions, log_permutation
+from .traffic import TrafficClass
+
+__all__ = [
+    "factorial_moment",
+    "concurrency_variance",
+    "concurrency_covariance",
+    "carried_peakedness",
+    "occupancy_pmf",
+    "occupancy_variance",
+    "time_congestion",
+]
+
+
+def _falling(k: int, j: int) -> int:
+    out = 1
+    for i in range(j):
+        out *= k - i
+    return out
+
+
+def _logsumexp(values: list[float]) -> float:
+    top = max(values, default=-math.inf)
+    if top == -math.inf:
+        return -math.inf
+    return top + math.log(math.fsum(math.exp(v - top) for v in values))
+
+
+def _rest_grid(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    exclude: set[int],
+) -> np.ndarray:
+    rest = [c for i, c in enumerate(classes) if i not in exclude]
+    if rest:
+        return log_q_grid(dims, rest)
+    base = np.add.outer(
+        [-math.lgamma(m + 1) for m in range(dims.n1 + 1)],
+        [-math.lgamma(m + 1) for m in range(dims.n2 + 1)],
+    )
+    return base
+
+
+def factorial_moment(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    r: int,
+    order: int = 1,
+) -> float:
+    """``E[(k_r)_order]`` — the ``order``-th factorial moment of ``k_r``."""
+    if order < 1:
+        raise ConfigurationError(f"order must be >= 1, got {order}")
+    classes = tuple(classes)
+    if not 0 <= r < len(classes):
+        raise ConfigurationError(f"class index {r} out of range")
+    cls = classes[r]
+    lq = log_q_grid(dims, classes)
+    lq_rest = _rest_grid(dims, classes, {r})
+    terms = []
+    k = order
+    while k * cls.a <= dims.capacity:
+        logphi = log_phi(cls, k)
+        if logphi == -math.inf:
+            break
+        shift = k * cls.a
+        terms.append(
+            math.log(_falling(k, order))
+            + logphi
+            + float(lq_rest[dims.n1 - shift, dims.n2 - shift])
+        )
+        k += 1
+    total = _logsumexp(terms)
+    if total == -math.inf:
+        return 0.0
+    return math.exp(total - float(lq[dims.n1, dims.n2]))
+
+
+def concurrency_variance(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass], r: int
+) -> float:
+    """``Var(k_r)`` of the stationary concurrency."""
+    m1 = factorial_moment(dims, classes, r, 1)
+    m2 = factorial_moment(dims, classes, r, 2)
+    return max(0.0, m2 + m1 - m1 * m1)
+
+
+def carried_peakedness(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass], r: int
+) -> float:
+    """``Var(k_r)/E[k_r]`` — the Z-factor of the *carried* traffic.
+
+    Blocking clips the busy states, so carried peakedness is below the
+    offered peakedness for Pascal classes (and converges to it as the
+    switch grows and blocking vanishes).
+    """
+    mean = factorial_moment(dims, classes, r, 1)
+    if mean <= 0.0:
+        return 1.0
+    return concurrency_variance(dims, classes, r) / mean
+
+
+def concurrency_covariance(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    r: int,
+    s: int,
+) -> float:
+    """``Cov(k_r, k_s)`` for two distinct classes.
+
+    Always non-positive: the classes compete for the same input/output
+    pairs (negative association of the product form under the capacity
+    constraint).
+    """
+    classes = tuple(classes)
+    if r == s:
+        return concurrency_variance(dims, classes, r)
+    cr, cs = classes[r], classes[s]
+    lq = log_q_grid(dims, classes)
+    lq_rest = _rest_grid(dims, classes, {r, s})
+    terms = []
+    k = 1
+    while k * cr.a <= dims.capacity:
+        logphi_r = log_phi(cr, k)
+        if logphi_r == -math.inf:
+            break
+        ell = 1
+        while k * cr.a + ell * cs.a <= dims.capacity:
+            logphi_s = log_phi(cs, ell)
+            if logphi_s == -math.inf:
+                break
+            shift = k * cr.a + ell * cs.a
+            terms.append(
+                math.log(k)
+                + math.log(ell)
+                + logphi_r
+                + logphi_s
+                + float(lq_rest[dims.n1 - shift, dims.n2 - shift])
+            )
+            ell += 1
+        k += 1
+    cross = _logsumexp(terms)
+    joint = (
+        math.exp(cross - float(lq[dims.n1, dims.n2]))
+        if cross > -math.inf
+        else 0.0
+    )
+    return joint - factorial_moment(dims, classes, r) * factorial_moment(
+        dims, classes, s
+    )
+
+
+def occupancy_pmf(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> list[float]:
+    """``P(k.A = m)`` for ``m = 0..capacity`` without state enumeration.
+
+    Uses the occupancy series ``f_m`` (the ``u^m`` coefficient of the
+    product of class series): ``P(m) = f_m P(N1,m) P(N2,m) / G(N)``.
+    """
+    classes = tuple(classes)
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    cap = dims.capacity
+    series = normalization_series(classes, cap)
+    logs = []
+    for m, f in enumerate(series):
+        if f <= 0.0:
+            logs.append(-math.inf)
+            continue
+        logs.append(
+            math.log(f)
+            + log_permutation(dims.n1, m)
+            + log_permutation(dims.n2, m)
+        )
+    log_g = _logsumexp(logs)
+    return [
+        math.exp(v - log_g) if v > -math.inf else 0.0 for v in logs
+    ]
+
+
+def occupancy_variance(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> float:
+    """``Var(k.A)`` — variance of the number of occupied pairs."""
+    pmf = occupancy_pmf(dims, classes)
+    mean = math.fsum(m * p for m, p in enumerate(pmf))
+    second = math.fsum(m * m * p for m, p in enumerate(pmf))
+    return max(0.0, second - mean * mean)
+
+
+def time_congestion(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass], r: int
+) -> float:
+    """Probability the fabric cannot fit one more class-``r`` connection.
+
+    ``P(k.A > capacity - a_r)``.  Differs from both ``1 - B_r`` (which
+    asks about *specific* ports) and the call congestion (which weights
+    by the state-dependent arrival rate).
+    """
+    classes = tuple(classes)
+    a = classes[r].a
+    pmf = occupancy_pmf(dims, classes)
+    threshold = dims.capacity - a
+    return math.fsum(p for m, p in enumerate(pmf) if m > threshold)

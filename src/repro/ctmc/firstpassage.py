@@ -1,0 +1,87 @@
+"""First-passage analysis: how long until the switch first blocks?
+
+Complements the stationary measures with a transient quantity operators
+ask about directly: starting from a given state (default: empty), the
+expected time until the system first enters a state where a class-``r``
+request *could not* be accommodated (``k.A > capacity - a_r``).
+
+Standard absorbing-chain computation: with ``T`` the set of transient
+(non-blocking) states and ``Q_T`` the generator restricted to ``T``,
+the vector of expected hitting times solves ``Q_T h = -1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as splinalg
+
+from ..core.state import SwitchDimensions
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError
+from .generator import build_generator
+from .statespace import IndexedStateSpace
+
+__all__ = ["mean_time_to_blocking"]
+
+
+def mean_time_to_blocking(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    r: int = 0,
+    initial: Sequence[int] | None = None,
+) -> float:
+    """Expected time until class ``r`` first finds the fabric full.
+
+    "Full" means the *capacity* cannot fit another class-``r``
+    connection (``k.A > capacity - a_r``) — the time-congestion event.
+    Returns ``inf`` when no blocking state is reachable (e.g. the
+    offered traffic cannot fill the fabric: finite sources below
+    capacity).
+    """
+    classes = tuple(classes)
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    if not 0 <= r < len(classes):
+        raise ConfigurationError(f"class index {r} out of range")
+    space = IndexedStateSpace.build(dims, classes)
+    if initial is None:
+        initial = tuple([0] * len(classes))
+    else:
+        initial = tuple(initial)
+        if initial not in space.index:
+            raise ConfigurationError(f"initial state {initial} infeasible")
+
+    a = classes[r].a
+    threshold = dims.capacity - a
+    transient = [
+        i
+        for i, state in enumerate(space.states)
+        if space.occupancy(state) <= threshold
+    ]
+    if space.occupancy(initial) > threshold:
+        return 0.0  # already blocking
+
+    generator = build_generator(space).tocsc()
+    sub = generator[np.ix_(transient, transient)]
+    # If no probability ever leaves the transient set, the hitting time
+    # is infinite: detect via the row sums of the restricted generator.
+    leak = np.asarray(
+        generator[np.ix_(transient, [
+            i for i in range(len(space.states)) if i not in set(transient)
+        ])].sum(axis=1)
+    ).ravel() if len(transient) < len(space.states) else np.zeros(
+        len(transient)
+    )
+    if not np.any(leak > 0.0):
+        return float("inf")
+
+    rhs = -np.ones(len(transient))
+    hitting = splinalg.spsolve(sparse.csc_matrix(sub), rhs)
+    position = transient.index(space.index[initial])
+    value = float(hitting[position])
+    if not np.isfinite(value) or value < 0:
+        return float("inf")
+    return value

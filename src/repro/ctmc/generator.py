@@ -1,0 +1,75 @@
+"""Sparse generator matrix of the crossbar's Markov chain.
+
+Transition rates come straight from the model definition (paper,
+Section 2):
+
+* acceptance of a class-``r`` request in state ``k`` (``k.A`` pairs
+  busy) happens with intensity
+
+      ``q(k, k + 1_r) = lambda_r(k_r) P(N1 - k.A, a_r) P(N2 - k.A, a_r)``
+
+  — the linear BPP rate per (ordered) input/output tuple times the
+  number of tuples whose ports are all idle.  For ``a_r = 1`` this is
+  the paper's ``(N1 - k.A)(N2 - k.A) lambda_r(k_r)``;
+
+* teardown of one of ``k_r`` connections:
+  ``q(k, k - 1_r) = k_r mu_r``.
+
+Blocked requests are cleared and do not appear in the chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from ..core.state import permutation
+from .statespace import IndexedStateSpace
+
+__all__ = ["build_generator", "transition_rates"]
+
+
+def transition_rates(
+    space: IndexedStateSpace, state: tuple[int, ...]
+) -> list[tuple[tuple[int, ...], float]]:
+    """All outgoing transitions ``(next_state, rate)`` from ``state``."""
+    dims = space.dims
+    used = space.occupancy(state)
+    out: list[tuple[tuple[int, ...], float]] = []
+    for r, cls in enumerate(space.classes):
+        if used + cls.a <= dims.capacity:
+            rate = cls.rate(state[r]) * permutation(
+                dims.n1 - used, cls.a
+            ) * permutation(dims.n2 - used, cls.a)
+            if rate > 0.0:
+                up = list(state)
+                up[r] += 1
+                out.append((tuple(up), rate))
+        if state[r] > 0:
+            down = list(state)
+            down[r] -= 1
+            out.append((tuple(down), state[r] * cls.mu))
+    return out
+
+
+def build_generator(space: IndexedStateSpace) -> sparse.csr_matrix:
+    """The generator ``Q`` with ``Q[i, j]`` the rate ``i -> j`` and
+    ``Q[i, i] = -sum_j Q[i, j]`` (rows sum to zero)."""
+    n = len(space)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for i, state in enumerate(space.states):
+        total = 0.0
+        for target, rate in transition_rates(space, state):
+            j = space.index[target]
+            rows.append(i)
+            cols.append(j)
+            vals.append(rate)
+            total += rate
+        rows.append(i)
+        cols.append(i)
+        vals.append(-total)
+    return sparse.csr_matrix(
+        (np.array(vals), (np.array(rows), np.array(cols))), shape=(n, n)
+    )

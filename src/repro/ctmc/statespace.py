@@ -1,0 +1,47 @@
+"""Indexed state space for the raw Markov-chain formulation.
+
+The product-form result (paper eq. 2) is a theorem *about* the
+underlying continuous-time Markov chain.  This package solves that
+chain directly from its transition rates — without assuming
+reversibility or product form — providing an independent check of the
+paper's central claim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.state import SwitchDimensions, iter_states
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError
+
+__all__ = ["IndexedStateSpace"]
+
+
+@dataclass(frozen=True)
+class IndexedStateSpace:
+    """Bijection between states of ``Gamma(N)`` and matrix indices."""
+
+    dims: SwitchDimensions
+    classes: tuple[TrafficClass, ...]
+    states: tuple[tuple[int, ...], ...]
+    index: dict[tuple[int, ...], int]
+
+    @classmethod
+    def build(
+        cls, dims: SwitchDimensions, classes: Sequence[TrafficClass]
+    ) -> "IndexedStateSpace":
+        classes = tuple(classes)
+        if not classes:
+            raise ConfigurationError("at least one traffic class is required")
+        states = tuple(iter_states(dims, classes))
+        index = {s: i for i, s in enumerate(states)}
+        return cls(dims=dims, classes=classes, states=states, index=index)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def occupancy(self, state: Sequence[int]) -> int:
+        """``k . A`` for a state."""
+        return sum(k * c.a for k, c in zip(state, self.classes))

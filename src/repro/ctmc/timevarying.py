@@ -1,0 +1,186 @@
+"""Piecewise-stationary (time-varying traffic) transient analysis.
+
+Real optical interconnects see traffic *profiles* — a reconfiguration,
+a daily cycle, a failover burst — not one stationary mix.  This module
+chains the uniformization engine across a schedule of traffic mixes:
+within each segment the generator is constant, and the distribution at
+a segment boundary seeds the next segment.
+
+All mixes in a schedule must share the bandwidth vector ``(a_r)`` (the
+state space is the set of concurrency vectors, which depends only on
+the ``a_r``), but rates ``alpha/beta/mu`` may change arbitrarily —
+including classes being switched off (``alpha = 0``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from ..core.state import SwitchDimensions, permutation
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError
+from .generator import build_generator
+from .statespace import IndexedStateSpace
+
+__all__ = ["TrafficSchedule", "piecewise_transient", "blocking_profile"]
+
+
+@dataclass(frozen=True)
+class TrafficSchedule:
+    """A sequence of ``(duration, classes)`` segments."""
+
+    segments: tuple[tuple[float, tuple[TrafficClass, ...]], ...]
+
+    @classmethod
+    def build(
+        cls,
+        segments: Sequence[tuple[float, Sequence[TrafficClass]]],
+    ) -> "TrafficSchedule":
+        if not segments:
+            raise ConfigurationError("schedule needs at least one segment")
+        packed = []
+        signature = None
+        for duration, classes in segments:
+            if duration <= 0:
+                raise ConfigurationError(
+                    f"segment duration must be > 0, got {duration}"
+                )
+            classes = tuple(classes)
+            if not classes:
+                raise ConfigurationError("segment has no traffic classes")
+            sig = tuple(c.a for c in classes)
+            if signature is None:
+                signature = sig
+            elif sig != signature:
+                raise ConfigurationError(
+                    "all segments must share the bandwidth vector (a_r): "
+                    f"{signature} vs {sig}"
+                )
+            packed.append((float(duration), classes))
+        return cls(tuple(packed))
+
+    @property
+    def total_duration(self) -> float:
+        return math.fsum(d for d, _ in self.segments)
+
+
+def _propagate(
+    pi: np.ndarray,
+    gen: sparse.csr_matrix,
+    duration: float,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Uniformized ``pi(t + duration)`` from ``pi(t)`` under ``gen``."""
+    lam = float((-gen.diagonal()).max()) * 1.05 + 1e-12
+    if lam <= 0 or duration == 0.0:
+        return pi
+    transition = sparse.identity(gen.shape[0], format="csr") + gen / lam
+    lt = lam * duration
+    log_weight = -lt
+    weight = math.exp(log_weight)
+    acc = weight * pi
+    used = weight
+    vec = pi
+    j = 0
+    max_terms = int(lt + 20.0 * math.sqrt(lt + 25.0)) + 50
+    while used < 1.0 - tol and j < max_terms:
+        j += 1
+        vec = vec @ transition
+        log_weight += math.log(lt) - math.log(j)
+        weight = math.exp(log_weight)
+        acc = acc + weight * vec
+        used += weight
+    acc = np.maximum(acc, 0.0)
+    return acc / acc.sum()
+
+
+def piecewise_transient(
+    dims: SwitchDimensions,
+    schedule: TrafficSchedule,
+    initial: Sequence[int] | None = None,
+    checkpoints_per_segment: int = 1,
+) -> list[tuple[float, dict[tuple[int, ...], float]]]:
+    """Distribution snapshots along a traffic schedule.
+
+    Returns ``(time, distribution)`` pairs: ``checkpoints_per_segment``
+    evenly spaced snapshots inside each segment (the last one exactly
+    at the segment boundary).
+    """
+    if checkpoints_per_segment < 1:
+        raise ConfigurationError(
+            f"checkpoints_per_segment must be >= 1, got "
+            f"{checkpoints_per_segment}"
+        )
+    first_classes = schedule.segments[0][1]
+    space = IndexedStateSpace.build(dims, first_classes)
+    n = len(space)
+    pi = np.zeros(n)
+    if initial is None:
+        initial = tuple([0] * len(first_classes))
+    else:
+        initial = tuple(initial)
+        if initial not in space.index:
+            raise ConfigurationError(f"initial state {initial} infeasible")
+    pi[space.index[initial]] = 1.0
+
+    snapshots: list[tuple[float, dict[tuple[int, ...], float]]] = []
+    now = 0.0
+    for duration, classes in schedule.segments:
+        segment_space = IndexedStateSpace.build(dims, classes)
+        if segment_space.states != space.states:
+            raise ConfigurationError(
+                "segment state space changed; bandwidth vectors must match"
+            )
+        gen = build_generator(segment_space)
+        step = duration / checkpoints_per_segment
+        for _ in range(checkpoints_per_segment):
+            pi = _propagate(pi, gen, step)
+            now += step
+            snapshots.append((now, dict(zip(space.states, pi))))
+    return snapshots
+
+
+def blocking_profile(
+    dims: SwitchDimensions,
+    schedule: TrafficSchedule,
+    r: int = 0,
+    checkpoints_per_segment: int = 4,
+) -> list[tuple[float, float]]:
+    """Port-pair blocking of class ``r`` over a traffic schedule.
+
+    For each snapshot, the probability that a specific set of ``a_r``
+    inputs and outputs is not entirely idle (the transient analogue of
+    ``1 - B_r``).
+    """
+    first_classes = schedule.segments[0][1]
+    if not 0 <= r < len(first_classes):
+        raise ConfigurationError(f"class index {r} out of range")
+    a = first_classes[r].a
+    full = permutation(dims.n1, a) * permutation(dims.n2, a)
+    if full == 0:
+        return [
+            (t, 1.0)
+            for t, _ in piecewise_transient(
+                dims, schedule, checkpoints_per_segment=checkpoints_per_segment
+            )
+        ]
+    out = []
+    for t, dist in piecewise_transient(
+        dims, schedule, checkpoints_per_segment=checkpoints_per_segment
+    ):
+        acceptance = 0.0
+        for state, p in dist.items():
+            used = sum(k * c.a for k, c in zip(state, first_classes))
+            acceptance += (
+                p
+                * permutation(dims.n1 - used, a)
+                * permutation(dims.n2 - used, a)
+                / full
+            )
+        out.append((t, 1.0 - acceptance))
+    return out

@@ -1,0 +1,123 @@
+"""Transient analysis of the crossbar chain by uniformization.
+
+The paper analyzes steady state only; this module adds the standard
+uniformization (Jensen's method) computation of ``pi(t)`` from any
+initial state, which lets users study *how fast* an optical switch
+settles to its stationary blocking level after, e.g., a traffic-mix
+change — and gives the test suite a way to verify that the transient
+distribution converges to the product form.
+
+Uniformization: with ``Lambda >= max_i |Q[i,i]|`` and
+``P = I + Q/Lambda``,
+
+    ``pi(t) = sum_{j>=0} e^(-Lambda t) (Lambda t)^j / j!  *  pi(0) P^j``
+
+truncated when the Poisson tail falls below ``tol``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..core.state import SwitchDimensions
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError
+from .generator import build_generator
+from .statespace import IndexedStateSpace
+
+__all__ = ["transient_distribution", "time_to_stationarity"]
+
+
+def transient_distribution(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    t: float,
+    initial: Sequence[int] | None = None,
+    tol: float = 1e-12,
+) -> dict[tuple[int, ...], float]:
+    """``pi(t)`` starting from ``initial`` (default: the empty switch).
+
+    Returns a mapping state -> probability at time ``t``.
+    """
+    if t < 0:
+        raise ConfigurationError(f"t must be >= 0, got {t}")
+    space = IndexedStateSpace.build(dims, classes)
+    n = len(space)
+    if initial is None:
+        initial = tuple([0] * len(space.classes))
+    else:
+        initial = tuple(initial)
+        if initial not in space.index:
+            raise ConfigurationError(f"initial state {initial} not feasible")
+
+    gen = build_generator(space)
+    lam = float((-gen.diagonal()).max()) * 1.05 + 1e-12
+    transition = sparse.identity(n, format="csr") + gen / lam
+
+    pi0 = np.zeros(n)
+    pi0[space.index[initial]] = 1.0
+    if t == 0.0 or lam == 0.0:
+        return dict(zip(space.states, pi0))
+
+    # Poisson weights e^{-lt}(lt)^j/j! accumulated until the mass used
+    # exceeds 1 - tol.
+    lt = lam * t
+    log_weight = -lt  # j = 0
+    weight = math.exp(log_weight)
+    acc = weight * pi0
+    used = weight
+    vec = pi0
+    j = 0
+    max_terms = int(lt + 20.0 * math.sqrt(lt + 25.0)) + 50
+    while used < 1.0 - tol and j < max_terms:
+        j += 1
+        vec = vec @ transition
+        log_weight += math.log(lt) - math.log(j)
+        weight = math.exp(log_weight)
+        acc = acc + weight * vec
+        used += weight
+    acc = np.maximum(acc, 0.0)
+    acc /= acc.sum()
+    return dict(zip(space.states, acc))
+
+
+def time_to_stationarity(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    epsilon: float = 1e-6,
+    horizon: float = 200.0,
+) -> float:
+    """Smallest (binary-searched) ``t`` with ``||pi(t) - pi||_1 < epsilon``.
+
+    Starts from the empty switch.  Returns ``inf`` when the horizon is
+    insufficient — callers should widen it for very slow chains.
+    """
+    from .solve import solve_ctmc
+
+    target = solve_ctmc(dims, classes)
+    stationary = np.array(target.probabilities)
+    order = {s: i for i, s in enumerate(target.states)}
+
+    def distance(t: float) -> float:
+        dist = transient_distribution(dims, classes, t)
+        vec = np.zeros(len(order))
+        for s, p in dist.items():
+            vec[order[s]] = p
+        return float(np.abs(vec - stationary).sum())
+
+    if distance(horizon) >= epsilon:
+        return math.inf
+    lo, hi = 0.0, horizon
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if distance(mid) < epsilon:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo < 1e-9 * max(1.0, hi):
+            break
+    return hi

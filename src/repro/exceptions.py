@@ -1,0 +1,46 @@
+"""Exception hierarchy for the crossbar reproduction library.
+
+All library-raised exceptions derive from :class:`CrossbarError` so that
+callers can catch everything from this package with a single ``except``
+clause while still distinguishing configuration problems from numerical
+ones.
+"""
+
+from __future__ import annotations
+
+
+class CrossbarError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(CrossbarError):
+    """A model, traffic class, or scenario was mis-specified.
+
+    Examples: non-positive switch dimensions, a traffic class whose
+    bandwidth requirement exceeds the switch size, or BPP parameters
+    outside the Bernoulli/Poisson/Pascal admissible region.
+    """
+
+
+class InvalidParameterError(ConfigurationError):
+    """A single numeric parameter is outside its admissible range."""
+
+
+class ComputationError(CrossbarError):
+    """A numerical computation failed (overflow, non-convergence, ...)."""
+
+
+class OverflowInRecursionError(ComputationError):
+    """Algorithm 1's unscaled recursion overflowed or underflowed.
+
+    Raised only when dynamic scaling is explicitly disabled; the default
+    scaled recursion cannot overflow for any reachable parameterization.
+    """
+
+
+class ConvergenceError(ComputationError):
+    """An iterative solver (CTMC, fixed point) failed to converge."""
+
+
+class SimulationError(CrossbarError):
+    """The discrete-event simulator reached an inconsistent state."""

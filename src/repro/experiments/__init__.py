@@ -1,0 +1,12 @@
+"""Reproduction reporting and declarative experiment sweeps."""
+
+from .report import ReproductionCheck, generate_report
+from .sweeper import SweepSpec, run_sweep, write_csv
+
+__all__ = [
+    "ReproductionCheck",
+    "SweepSpec",
+    "generate_report",
+    "run_sweep",
+    "write_csv",
+]

@@ -1,0 +1,238 @@
+"""One-shot reproduction report: every figure and table, one command.
+
+``generate_report(output_dir)`` (CLI: ``crossbar-repro report``)
+regenerates the paper's Figures 1-4 and Tables 1-2 and writes
+
+* ``<id>.txt`` — the rendered table/series (same artifacts the
+  benchmarks produce);
+* ``<id>.json`` — machine-readable data;
+* ``summary.txt`` — a one-page pass/fail digest of the reproduction
+  criteria (the qualitative shape checks of DESIGN.md §5).
+
+This is the "regenerate everything" entry point for downstream users
+who want the reproduction evidence without running pytest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..reporting.series import FigureSeries
+from ..reporting.tables import format_table
+from ..workloads import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = ["generate_report", "ReproductionCheck"]
+
+
+@dataclass(frozen=True)
+class ReproductionCheck:
+    """One qualitative reproduction criterion and its outcome."""
+
+    experiment: str
+    claim: str
+    passed: bool
+
+    def render(self) -> str:
+        marker = "PASS" if self.passed else "FAIL"
+        return f"[{marker}] {self.experiment}: {self.claim}"
+
+
+def _figure_json(figure: FigureSeries) -> dict:
+    return {
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "x": list(figure.x_values),
+        "curves": {c.label: list(c.values) for c in figure.curves},
+    }
+
+
+def _check_figure1(figure: FigureSeries) -> list[ReproductionCheck]:
+    poisson = figure.curve("poisson").values
+    upper_bound = all(
+        b <= p + 1e-15
+        for curve in figure.curves[1:]
+        for p, b in zip(poisson, curve.values)
+    )
+    small = (
+        abs(poisson[-1] - figure.curves[-1].values[-1]) / poisson[-1]
+        < 0.005
+    )
+    return [
+        ReproductionCheck(
+            "figure1", "Poisson upper-bounds smooth curves", upper_bound
+        ),
+        ReproductionCheck(
+            "figure1", "smooth effect is a <0.5% perturbation", small
+        ),
+    ]
+
+
+def _check_figure2(figure: FigureSeries) -> list[ReproductionCheck]:
+    poisson = figure.curve("poisson").values
+    above = all(
+        b >= p - 1e-15
+        for curve in figure.curves[1:]
+        for p, b in zip(poisson, curve.values)
+    )
+    gaps = [c.values[-1] - poisson[-1] for c in figure.curves[1:]]
+    growing = all(b > a for a, b in zip(gaps, gaps[1:]))
+    return [
+        ReproductionCheck(
+            "figure2", "peaky curves exceed the Poisson baseline", above
+        ),
+        ReproductionCheck(
+            "figure2", "impact grows with beta~ (dramatic)", growing
+        ),
+    ]
+
+
+def _check_figure3(figure: FigureSeries) -> list[ReproductionCheck]:
+    shifted = all(
+        m > a
+        for beta in ("0.0012", "0.0024")
+        for a, m in zip(
+            figure.curve(f"R2 only, beta~={beta}").values[1:],
+            figure.curve(f"R1+R2, beta~={beta}").values[1:],
+        )
+    )
+    return [
+        ReproductionCheck(
+            "figure3", "Poisson class shifts the operating point up",
+            shifted,
+        )
+    ]
+
+
+def _check_figure4(figure: FigureSeries) -> list[ReproductionCheck]:
+    narrow = figure.curves[0].values
+    wide = figure.curves[1].values
+    dominated = all(w > 5 * n for n, w in zip(narrow, wide))
+    return [
+        ReproductionCheck(
+            "figure4", "a=2 blocks >5x more at equal load", dominated
+        )
+    ]
+
+
+def _check_table2(rows_by_set: dict[int, list[dict]]) -> list[ReproductionCheck]:
+    checks = []
+    for set_index, rows in rows_by_set.items():
+        grad_ok = all(
+            abs(row["dW_drho1"] - row["paper_dW_drho1"])
+            <= 0.015 * abs(row["paper_dW_drho1"])
+            for row in rows
+        )
+        revenue_ok = all(
+            abs(row["revenue"] - row["paper_revenue"])
+            <= 0.02 * abs(row["paper_revenue"])
+            for row in rows
+        )
+        gradient_negative = all(
+            row["dW_dburstiness2"] < 0 for row in rows if row["N"] >= 4
+        )
+        checks.extend(
+            [
+                ReproductionCheck(
+                    f"table2/set{set_index}",
+                    "dW/drho1 matches printed values (<=1.5%)",
+                    grad_ok,
+                ),
+                ReproductionCheck(
+                    f"table2/set{set_index}",
+                    "W(N) matches printed values (<=2%)",
+                    revenue_ok,
+                ),
+                ReproductionCheck(
+                    f"table2/set{set_index}",
+                    "burstiness gradient negative for N>=4",
+                    gradient_negative,
+                ),
+            ]
+        )
+    return checks
+
+
+def generate_report(output_dir: str | Path) -> list[ReproductionCheck]:
+    """Regenerate every experiment into ``output_dir``; return checks."""
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    checks: list[ReproductionCheck] = []
+
+    figures = {
+        "figure1": figure1(),
+        "figure2": figure2(),
+        "figure3": figure3(),
+        "figure4": figure4(),
+    }
+    for name, figure in figures.items():
+        (out / f"{name}.txt").write_text(figure.render() + "\n")
+        (out / f"{name}.json").write_text(
+            json.dumps(_figure_json(figure), indent=2) + "\n"
+        )
+    checks += _check_figure1(figures["figure1"])
+    checks += _check_figure2(figures["figure2"])
+    checks += _check_figure3(figures["figure3"])
+    checks += _check_figure4(figures["figure4"])
+
+    t1 = table1_rows()
+    (out / "table1.txt").write_text(
+        format_table(
+            ["N", "rho~1 paper", "rho~1 formula", "rho~2 paper",
+             "rho~2 formula"],
+            t1,
+            title="Table 1",
+        )
+        + "\n"
+    )
+    table1_ok = all(
+        abs(printed - formula) / printed < 5e-3
+        for _, printed, formula, printed2, formula2 in t1
+        for printed, formula in ((printed, formula), (printed2, formula2))
+    )
+    checks.append(
+        ReproductionCheck(
+            "table1", "printed loads match the tau/C(N,a) formula",
+            table1_ok,
+        )
+    )
+
+    rows_by_set = {}
+    for set_index in (0, 1, 2):
+        rows = table2_rows(set_index)
+        rows_by_set[set_index] = rows
+        (out / f"table2_set{set_index}.json").write_text(
+            json.dumps(rows, indent=2, default=str) + "\n"
+        )
+        (out / f"table2_set{set_index}.txt").write_text(
+            format_table(
+                ["N", "dW/drho1", "paper", "dW/db2", "paper", "blocking",
+                 "paper", "W", "paper"],
+                [
+                    [
+                        r["N"], r["dW_drho1"], r["paper_dW_drho1"],
+                        r["dW_dburstiness2"], r["paper_dW_dburstiness2"],
+                        r["blocking"], r["paper_blocking"],
+                        r["revenue"], r["paper_revenue"],
+                    ]
+                    for r in rows
+                ],
+                title=f"Table 2, set {set_index}",
+            )
+            + "\n"
+        )
+    checks += _check_table2(rows_by_set)
+
+    summary = "\n".join(check.render() for check in checks)
+    passed = sum(check.passed for check in checks)
+    summary += f"\n\n{passed}/{len(checks)} reproduction criteria pass.\n"
+    (out / "summary.txt").write_text(summary)
+    return checks

@@ -1,0 +1,18 @@
+"""Policy extensions built on the CTMC and simulation substrates."""
+
+from .admission import (
+    OccupancyThresholdPolicy,
+    policy_call_acceptance,
+    solve_with_admission,
+    sweep_threshold,
+)
+from .hotspot_analysis import HotSpotSolution, solve_hot_spot
+
+__all__ = [
+    "HotSpotSolution",
+    "OccupancyThresholdPolicy",
+    "policy_call_acceptance",
+    "solve_hot_spot",
+    "solve_with_admission",
+    "sweep_threshold",
+]

@@ -1,0 +1,264 @@
+"""Admission control (trunk reservation) on the asynchronous crossbar.
+
+The paper's revenue analysis (Section 4) shows that cheap bursty
+traffic can *reduce* total revenue by displacing valuable connections —
+the shadow-cost interpretation.  The operational fix is classical
+admission control: admit a class-``r`` request only while the total
+occupancy (after accepting it) stays at or below a per-class threshold
+``t_r``, reserving headroom for the classes with higher thresholds.
+
+Thresholded admission **breaks reversibility and the product form**
+(the tests verify this via the detailed-balance residual), so this
+extension solves the modified chain with the raw CTMC substrate:
+
+1. BFS over the policy-respecting transition graph from the empty
+   state (states above a binding threshold are unreachable and are
+   excluded outright);
+2. build the generator on the reachable set;
+3. solve ``pi Q = 0`` directly.
+
+The discrete-event simulator supports the same policy
+(``AsynchronousCrossbarSimulator(admission_thresholds=...)``), giving
+an independent check, and :func:`sweep_threshold` exposes the design
+question: *which reservation level maximizes W?*
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as splinalg
+
+from ..core.productform import StateDistribution
+from ..core.state import SwitchDimensions, permutation
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError, ConvergenceError
+
+__all__ = [
+    "OccupancyThresholdPolicy",
+    "policy_call_acceptance",
+    "solve_with_admission",
+    "sweep_threshold",
+]
+
+
+@dataclass(frozen=True)
+class OccupancyThresholdPolicy:
+    """Per-class occupancy caps: admit iff ``k.A + a_r <= t_r``.
+
+    ``t_r = capacity`` means class ``r`` is unrestricted; lowering
+    ``t_r`` reserves ``capacity - t_r`` pairs for the other classes.
+    """
+
+    thresholds: tuple[int, ...]
+
+    @classmethod
+    def unrestricted(
+        cls, dims: SwitchDimensions, n_classes: int
+    ) -> "OccupancyThresholdPolicy":
+        return cls(tuple([dims.capacity] * n_classes))
+
+    @classmethod
+    def reserve(
+        cls,
+        dims: SwitchDimensions,
+        n_classes: int,
+        restricted: int,
+        headroom: int,
+    ) -> "OccupancyThresholdPolicy":
+        """Reserve ``headroom`` pairs from one restricted class."""
+        if headroom < 0:
+            raise ConfigurationError(f"headroom must be >= 0, got {headroom}")
+        thresholds = [dims.capacity] * n_classes
+        thresholds[restricted] = max(0, dims.capacity - headroom)
+        return cls(tuple(thresholds))
+
+    def admits(self, occupancy_after: int, r: int) -> bool:
+        return occupancy_after <= self.thresholds[r]
+
+    def validate(self, dims: SwitchDimensions, n_classes: int) -> None:
+        if len(self.thresholds) != n_classes:
+            raise ConfigurationError(
+                f"{len(self.thresholds)} thresholds for {n_classes} classes"
+            )
+        for t in self.thresholds:
+            if t < 0 or t > dims.capacity:
+                raise ConfigurationError(
+                    f"threshold {t} outside [0, {dims.capacity}]"
+                )
+
+
+def _reachable_states(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    policy: OccupancyThresholdPolicy,
+) -> list[tuple[int, ...]]:
+    """BFS the policy-respecting transition graph from the empty state."""
+    start = tuple([0] * len(classes))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        state = queue.popleft()
+        used = sum(k * c.a for k, c in zip(state, classes))
+        for r, cls in enumerate(classes):
+            after = used + cls.a
+            if (
+                after <= dims.capacity
+                and policy.admits(after, r)
+                and cls.rate(state[r]) > 0.0
+            ):
+                up = list(state)
+                up[r] += 1
+                key = tuple(up)
+                if key not in seen:
+                    seen.add(key)
+                    queue.append(key)
+        # downward transitions stay inside the reachable set by
+        # construction (any reachable state was built upward from 0)
+    return sorted(seen)
+
+
+def solve_with_admission(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    policy: OccupancyThresholdPolicy,
+) -> StateDistribution:
+    """Stationary distribution of the admission-controlled crossbar."""
+    classes = tuple(classes)
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    policy.validate(dims, len(classes))
+    states = _reachable_states(dims, classes, policy)
+    index = {s: i for i, s in enumerate(states)}
+    n = len(states)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for i, state in enumerate(states):
+        used = sum(k * c.a for k, c in zip(state, classes))
+        total = 0.0
+        for r, cls in enumerate(classes):
+            after = used + cls.a
+            if after <= dims.capacity and policy.admits(after, r):
+                rate = cls.rate(state[r]) * permutation(
+                    dims.n1 - used, cls.a
+                ) * permutation(dims.n2 - used, cls.a)
+                if rate > 0.0:
+                    up = list(state)
+                    up[r] += 1
+                    j = index[tuple(up)]
+                    rows.append(i)
+                    cols.append(j)
+                    vals.append(rate)
+                    total += rate
+            if state[r] > 0:
+                down = list(state)
+                down[r] -= 1
+                j = index[tuple(down)]
+                rate = state[r] * cls.mu
+                rows.append(i)
+                cols.append(j)
+                vals.append(rate)
+                total += rate
+        rows.append(i)
+        cols.append(i)
+        vals.append(-total)
+    gen = sparse.csr_matrix(
+        (np.array(vals), (np.array(rows), np.array(cols))), shape=(n, n)
+    )
+    system = gen.transpose().tolil()
+    system[n - 1, :] = 1.0
+    rhs = np.zeros(n)
+    rhs[n - 1] = 1.0
+    pi = np.asarray(splinalg.spsolve(system.tocsr(), rhs))
+    pi = np.maximum(pi, 0.0)
+    total_mass = pi.sum()
+    if total_mass <= 0.0:
+        raise ConvergenceError("admission-controlled solve returned zero")
+    pi /= total_mass
+
+    empty = index[tuple([0] * len(classes))]
+    p0 = float(pi[empty])
+    log_g = -math.log(p0) if p0 > 0 else math.inf
+    return StateDistribution(
+        dims=dims,
+        classes=classes,
+        states=tuple(states),
+        probabilities=tuple(float(v) for v in pi),
+        log_g=log_g,
+    )
+
+
+def policy_call_acceptance(
+    dist: StateDistribution,
+    policy: OccupancyThresholdPolicy,
+    r: int,
+) -> float:
+    """Acceptance of offered class-``r`` requests under the policy.
+
+    Accounts for both physical blocking (ports busy) and policy
+    rejections; this is what the admission-controlled simulator
+    measures.
+    """
+    cls = dist.classes[r]
+    a = cls.a
+    dims = dist.dims
+    full = permutation(dims.n1, a) * permutation(dims.n2, a)
+    if full == 0:
+        return 0.0
+    offered = 0.0
+    accepted = 0.0
+    for state, p in zip(dist.states, dist.probabilities):
+        rate = cls.rate(state[r])
+        used = sum(k * c.a for k, c in zip(state, dist.classes))
+        offered += p * rate * full
+        if policy.admits(used + a, r):
+            accepted += (
+                p
+                * rate
+                * permutation(dims.n1 - used, a)
+                * permutation(dims.n2 - used, a)
+            )
+    if offered == 0.0:
+        return 1.0
+    return accepted / offered
+
+
+def sweep_threshold(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    restricted: int,
+    thresholds: Sequence[int] | None = None,
+) -> list[dict]:
+    """Revenue and per-class measures vs the restricted class's cap.
+
+    Returns one record per threshold with the policy revenue
+    ``W = sum_r w_r E_r`` and each class's concurrency — the data a
+    designer needs to pick a reservation level.
+    """
+    classes = tuple(classes)
+    if thresholds is None:
+        thresholds = range(0, dims.capacity + 1)
+    out = []
+    for t in thresholds:
+        policy_thresholds = [dims.capacity] * len(classes)
+        policy_thresholds[restricted] = t
+        policy = OccupancyThresholdPolicy(tuple(policy_thresholds))
+        dist = solve_with_admission(dims, classes, policy)
+        out.append(
+            {
+                "threshold": t,
+                "revenue": dist.revenue(),
+                "concurrencies": dist.concurrencies(),
+                "acceptance_restricted": policy_call_acceptance(
+                    dist, policy, restricted
+                ),
+            }
+        )
+    return out

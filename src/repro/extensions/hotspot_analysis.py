@@ -1,0 +1,229 @@
+"""Exact analysis of hot-spot (non-uniform) traffic on the crossbar.
+
+The paper assumes uniform traffic and cites its companion analysis of
+hot spots (Pinsky & Stirpe, ICPP 1991, ref. [28]).  This module
+reproduces that setting *exactly* for a single Poisson class with
+``a = 1`` on an ``N1 x N2`` crossbar where one designated output
+attracts ``factor`` times the selection probability of each other
+output (the same weighting the simulator's hot-spot mode uses).
+
+Key observation: inputs remain exchangeable, and the cold outputs
+remain exchangeable among themselves, so the process **lumps exactly**
+onto the two-dimensional state
+
+    ``(m, h)``:  ``m`` connections in progress, ``h in {0, 1}``
+                 whether the hot output is busy,
+
+with transition rates (per-tuple rate ``lambda``, hot-selection
+probability ``w = factor / (factor + N2 - 1)``):
+
+* arrival taking the hot output (only when ``h = 0``):
+  ``lambda N1 N2 w (N1 - m)/N1``;
+* arrival taking a cold output:
+  ``lambda N1 N2 (1 - w) (N1 - m)/N1 (N2 - 1 - (m - h))/(N2 - 1)``;
+* hot departure: ``h mu``;  cold departure: ``(m - h) mu``.
+
+The chain is tiny (``2 (cap + 1)`` states) and solved directly; the
+closed-form measures (overall, hot-pair and cold-pair blocking) are
+validated against the hot-spot *simulator* in the tests, and the
+``factor = 1`` case collapses to the paper's uniform model exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.state import SwitchDimensions
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError
+
+__all__ = ["HotSpotSolution", "solve_hot_spot"]
+
+
+@dataclass(frozen=True)
+class HotSpotSolution:
+    """Stationary solution of the hot-spot chain."""
+
+    dims: SwitchDimensions
+    cls: TrafficClass
+    factor: float
+    states: tuple[tuple[int, int], ...]  # (m, h)
+    probabilities: tuple[float, ...]
+
+    @property
+    def hot_weight(self) -> float:
+        """Selection probability of the hot output."""
+        return self.factor / (self.factor + self.dims.n2 - 1)
+
+    def probability(self, m: int, h: int) -> float:
+        for (sm, sh), p in zip(self.states, self.probabilities):
+            if (sm, sh) == (m, h):
+                return p
+        return 0.0
+
+    def mean_connections(self) -> float:
+        return math.fsum(
+            m * p for (m, _), p in zip(self.states, self.probabilities)
+        )
+
+    def hot_output_utilization(self) -> float:
+        """Fraction of time the hot output is busy."""
+        return math.fsum(
+            p for (_, h), p in zip(self.states, self.probabilities) if h
+        )
+
+    def cold_output_utilization(self) -> float:
+        """Fraction of time one particular cold output is busy."""
+        if self.dims.n2 <= 1:
+            return 0.0
+        return math.fsum(
+            (m - h) / (self.dims.n2 - 1) * p
+            for (m, h), p in zip(self.states, self.probabilities)
+        )
+
+    def _rates(self, m: int, h: int) -> tuple[float, float, float]:
+        """(offered, accepted-hot, accepted-cold) request rates in (m,h)."""
+        dims = self.dims
+        lam = self.cls.alpha
+        w = self.hot_weight
+        total = lam * dims.n1 * dims.n2
+        free_inputs = (dims.n1 - m) / dims.n1
+        hot = total * w * free_inputs * (1 if h == 0 else 0)
+        if dims.n2 > 1:
+            cold = (
+                total
+                * (1.0 - w)
+                * free_inputs
+                * (dims.n2 - 1 - (m - h))
+                / (dims.n2 - 1)
+            )
+        else:
+            cold = 0.0
+        return total, hot, cold
+
+    def call_acceptance(self) -> float:
+        """Overall fraction of offered requests accepted."""
+        offered = 0.0
+        accepted = 0.0
+        for (m, h), p in zip(self.states, self.probabilities):
+            total, hot, cold = self._rates(m, h)
+            offered += p * total
+            accepted += p * (hot + cold)
+        if offered == 0.0:
+            return 1.0
+        return accepted / offered
+
+    def blocking(self) -> float:
+        """Overall request blocking."""
+        return 1.0 - self.call_acceptance()
+
+    def hot_request_blocking(self) -> float:
+        """Blocking of requests that selected the hot output."""
+        offered = 0.0
+        accepted = 0.0
+        for (m, h), p in zip(self.states, self.probabilities):
+            total, hot, _ = self._rates(m, h)
+            offered += p * total * self.hot_weight
+            accepted += p * hot
+        if offered == 0.0:
+            return 0.0
+        return 1.0 - accepted / offered
+
+    def cold_request_blocking(self) -> float:
+        """Blocking of requests that selected a cold output."""
+        offered = 0.0
+        accepted = 0.0
+        for (m, h), p in zip(self.states, self.probabilities):
+            total, _, cold = self._rates(m, h)
+            offered += p * total * (1.0 - self.hot_weight)
+            accepted += p * cold
+        if offered == 0.0:
+            return 0.0
+        return 1.0 - accepted / offered
+
+
+def solve_hot_spot(
+    dims: SwitchDimensions,
+    cls: TrafficClass,
+    factor: float,
+) -> HotSpotSolution:
+    """Solve the hot-spot chain exactly.
+
+    Restrictions (the companion model's setting): one Poisson class
+    with ``a = 1``; ``factor >= 1``.
+    """
+    if cls.a != 1:
+        raise ConfigurationError(
+            f"hot-spot analysis supports a=1 classes, got a={cls.a}"
+        )
+    if not cls.is_poisson:
+        raise ConfigurationError(
+            "hot-spot analysis supports Poisson classes (beta = 0)"
+        )
+    if factor < 1.0:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    if dims.n2 < 1 or dims.n1 < 1:
+        raise ConfigurationError("dims must be at least 1x1")
+
+    cap = dims.capacity
+    states = [
+        (m, h)
+        for m in range(cap + 1)
+        for h in (0, 1)
+        if h <= m and (dims.n2 > 1 or h == m)
+    ]
+    # h = 1 requires at least one connection; with n2 == 1 every
+    # connection uses the single (hot) output so h == min(m, 1).
+    states = [
+        (m, h)
+        for (m, h) in states
+        if not (dims.n2 == 1 and h != min(m, 1))
+    ]
+    index = {s: i for i, s in enumerate(states)}
+    n = len(states)
+    gen = np.zeros((n, n))
+    w = factor / (factor + dims.n2 - 1)
+    lam = cls.alpha
+    mu = cls.mu
+    total_rate = lam * dims.n1 * dims.n2
+
+    for (m, h), i in index.items():
+        free_inputs = (dims.n1 - m) / dims.n1
+        if m < cap and h == 0:
+            rate = total_rate * w * free_inputs
+            if rate > 0:
+                gen[i, index[(m + 1, 1)]] += rate
+        if m < cap and dims.n2 > 1:
+            rate = (
+                total_rate
+                * (1.0 - w)
+                * free_inputs
+                * (dims.n2 - 1 - (m - h))
+                / (dims.n2 - 1)
+            )
+            if rate > 0 and (m + 1, h) in index:
+                gen[i, index[(m + 1, h)]] += rate
+        if h == 1:
+            gen[i, index[(m - 1, 0)]] += mu
+        if m - h > 0:
+            gen[i, index[(m - 1, h)]] += (m - h) * mu
+    np.fill_diagonal(gen, gen.diagonal() - gen.sum(axis=1))
+
+    system = gen.T.copy()
+    system[-1, :] = 1.0
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0
+    pi = np.linalg.solve(system, rhs)
+    pi = np.maximum(pi, 0.0)
+    pi /= pi.sum()
+    return HotSpotSolution(
+        dims=dims,
+        cls=cls,
+        factor=factor,
+        states=tuple(states),
+        probabilities=tuple(float(p) for p in pi),
+    )

@@ -1,0 +1,19 @@
+"""Multistage (tandem) crossbar networks — the paper's Section 8 extension.
+
+Reduced-load fixed-point analysis (:mod:`~repro.multistage.analysis`)
+validated against an exact discrete-event simulator
+(:mod:`~repro.multistage.simulate`).
+"""
+
+from .analysis import MultistageResult, analyze_tandem
+from .simulate import MultistageSimulator, TandemSimSummary, simulate_tandem
+from .topology import TandemNetwork
+
+__all__ = [
+    "MultistageResult",
+    "MultistageSimulator",
+    "TandemNetwork",
+    "TandemSimSummary",
+    "analyze_tandem",
+    "simulate_tandem",
+]

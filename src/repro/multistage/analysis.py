@@ -1,0 +1,114 @@
+"""Reduced-load (Erlang fixed point) analysis of tandem networks.
+
+Extends the single-switch model of the paper to a chain of stages with
+the classical reduced-load approximation (Kelly's Erlang fixed point,
+the natural analytical tool given the paper's reliance on [20]):
+
+1. assume stages block (approximately) independently;
+2. the load *offered to* stage ``s`` is the external load thinned by
+   the acceptance probabilities of all the other stages,
+   ``alpha_r^(s) = alpha_r * prod_{t != s} (1 - B_t,r)``;
+3. each stage is then a single-switch model solved exactly with
+   Algorithm 1, giving new per-stage blocking ``B_s,r``;
+4. iterate to a fixed point.
+
+End-to-end acceptance is ``prod_s (1 - B_s,r)``.  The approximation is
+exact for one stage and validated against the multistage discrete-event
+simulator (``repro.multistage.simulate``) in the benchmarks — including
+its known bias (it ignores the simultaneous-holding correlation between
+stages).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+from ..core.convolution import solve_convolution
+from ..core.traffic import TrafficClass
+from ..exceptions import ConvergenceError
+from .topology import TandemNetwork
+
+__all__ = ["MultistageResult", "analyze_tandem"]
+
+
+@dataclass(frozen=True)
+class MultistageResult:
+    """Fixed-point solution of a tandem network."""
+
+    network: TandemNetwork
+    classes: tuple[TrafficClass, ...]
+    stage_blocking: tuple[tuple[float, ...], ...]  # [stage][class]
+    iterations: int
+
+    def end_to_end_blocking(self, r: int) -> float:
+        """``1 - prod_s (1 - B_s,r)`` under stage independence."""
+        acceptance = 1.0
+        for stage in self.stage_blocking:
+            acceptance *= 1.0 - stage[r]
+        return 1.0 - acceptance
+
+    def end_to_end_acceptance(self, r: int) -> float:
+        return 1.0 - self.end_to_end_blocking(r)
+
+    def worst_stage(self, r: int) -> int:
+        """Index of the stage with the highest class-``r`` blocking."""
+        column = [stage[r] for stage in self.stage_blocking]
+        return column.index(max(column))
+
+
+def analyze_tandem(
+    network: TandemNetwork,
+    classes: Sequence[TrafficClass],
+    tol: float = 1e-12,
+    max_iter: int = 10_000,
+    damping: float = 1.0,
+) -> MultistageResult:
+    """Solve the reduced-load fixed point for a tandem network.
+
+    ``damping`` in ``(0, 1]`` under-relaxes the blocking update, useful
+    near capacity where the plain iteration can oscillate.
+    """
+    classes = tuple(classes)
+    network.validate_classes([c.a for c in classes])
+    n_stages = len(network)
+    n_classes = len(classes)
+
+    blocking = [[0.0] * n_classes for _ in range(n_stages)]
+    for iteration in range(1, max_iter + 1):
+        new_blocking = []
+        for s, dims in enumerate(network.stages):
+            thinned = []
+            for r, cls in enumerate(classes):
+                pass_through = 1.0
+                for t in range(n_stages):
+                    if t != s:
+                        pass_through *= 1.0 - blocking[t][r]
+                thinned.append(
+                    replace(cls, alpha=cls.alpha * pass_through,
+                            beta=cls.beta * pass_through)
+                )
+            solution = solve_convolution(dims, thinned)
+            new_blocking.append(
+                [solution.blocking(r) for r in range(n_classes)]
+            )
+        worst = 0.0
+        for s in range(n_stages):
+            for r in range(n_classes):
+                updated = (
+                    damping * new_blocking[s][r]
+                    + (1.0 - damping) * blocking[s][r]
+                )
+                worst = max(worst, abs(updated - blocking[s][r]))
+                blocking[s][r] = updated
+        if worst < tol:
+            return MultistageResult(
+                network=network,
+                classes=classes,
+                stage_blocking=tuple(tuple(row) for row in blocking),
+                iterations=iteration,
+            )
+    raise ConvergenceError(
+        f"reduced-load fixed point did not converge in {max_iter} "
+        f"iterations (last delta {worst:.3g})"
+    )

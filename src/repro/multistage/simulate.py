@@ -1,0 +1,183 @@
+"""Discrete-event simulation of a tandem multistage network.
+
+The ground truth against which the reduced-load approximation of
+:mod:`repro.multistage.analysis` is judged.  Semantics:
+
+* a class-``r`` request draws ``a_r`` distinct inputs and ``a_r``
+  distinct outputs *independently at every stage* (uniform pattern);
+* it is accepted iff every named port at every stage is idle, in which
+  case it holds **all** of them for one service time (all-optical
+  circuit: the light path spans the chain, no per-stage buffering);
+* blocked requests are cleared.
+
+The offered stream is Poisson/BPP exactly as in the single-switch
+simulator, with the per-tuple rate multiplied by the stage-1 tuple
+count (the request's identity is its stage-1 tuple; downstream tuples
+are routing outcomes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.state import SwitchDimensions, permutation
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError
+from .topology import TandemNetwork
+from ..sim.distributions import Exponential, ServiceDistribution
+from ..sim.events import ARRIVAL, DEPARTURE, EventQueue
+from ..sim.rng import RandomStreams
+from ..sim.stats import (
+    ConfidenceInterval,
+    RatioEstimator,
+    t_confidence_interval,
+)
+
+__all__ = ["MultistageSimulator", "simulate_tandem", "TandemSimSummary"]
+
+
+@dataclass(frozen=True)
+class TandemSimSummary:
+    """Replicated end-to-end acceptance estimates per class."""
+
+    network: TandemNetwork
+    acceptance: tuple[ConfidenceInterval, ...]
+    offered: tuple[int, ...]
+
+
+class MultistageSimulator:
+    """Event-driven simulation of one tandem network."""
+
+    def __init__(
+        self,
+        network: TandemNetwork,
+        classes: Sequence[TrafficClass],
+        services: Sequence[ServiceDistribution] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if not classes:
+            raise ConfigurationError("at least one traffic class is required")
+        self.network = network
+        self.classes = tuple(classes)
+        network.validate_classes([c.a for c in self.classes])
+        if services is None:
+            services = [Exponential(1.0 / c.mu) for c in self.classes]
+        if len(services) != len(self.classes):
+            raise ConfigurationError(
+                f"{len(services)} service distributions for "
+                f"{len(self.classes)} classes"
+            )
+        self.services = tuple(services)
+        self.rng = RandomStreams(seed=seed, n_classes=len(self.classes))
+        first = network.stages[0]
+        self._tuples = [
+            permutation(first.n1, c.a) * permutation(first.n2, c.a)
+            for c in self.classes
+        ]
+
+    def run(
+        self, horizon: float, warmup: float = 0.0
+    ) -> tuple[list[RatioEstimator], int]:
+        """Simulate; returns per-class acceptance counters and event count."""
+        if horizon <= warmup:
+            raise ConfigurationError(
+                f"horizon ({horizon}) must exceed warmup ({warmup})"
+            )
+        stages = self.network.stages
+        n_classes = len(self.classes)
+        in_busy = [np.zeros(d.n1, dtype=bool) for d in stages]
+        out_busy = [np.zeros(d.n2, dtype=bool) for d in stages]
+        k = [0] * n_classes
+        connections: dict[int, tuple[int, list, list]] = {}
+        next_id = 0
+        queue = EventQueue()
+        versions = [0] * n_classes
+        ratios = [RatioEstimator() for _ in range(n_classes)]
+        warmed = warmup == 0.0
+        events = 0
+
+        def schedule(r: int, now: float) -> None:
+            rate = self.classes[r].rate(k[r]) * self._tuples[r]
+            gap = self.rng.exponential(r, rate)
+            if gap != float("inf"):
+                queue.push(now + gap, ARRIVAL, payload=r, version=versions[r])
+
+        for r in range(n_classes):
+            schedule(r, 0.0)
+
+        while queue:
+            event = queue.pop()
+            if event.time > horizon:
+                break
+            if event.kind == ARRIVAL and event.version != versions[event.payload]:
+                continue
+            now = event.time
+            events += 1
+            if not warmed and now >= warmup:
+                ratios = [RatioEstimator() for _ in range(n_classes)]
+                warmed = True
+            if event.kind == ARRIVAL:
+                r = event.payload
+                a = self.classes[r].a
+                picks_in = [
+                    self.rng.choose_ports(d.n1, a) for d in stages
+                ]
+                picks_out = [
+                    self.rng.choose_ports(d.n2, a) for d in stages
+                ]
+                free = all(
+                    not (in_busy[s][picks_in[s]].any()
+                         or out_busy[s][picks_out[s]].any())
+                    for s in range(len(stages))
+                )
+                ratios[r].observe(free)
+                if free:
+                    for s in range(len(stages)):
+                        in_busy[s][picks_in[s]] = True
+                        out_busy[s][picks_out[s]] = True
+                    k[r] += 1
+                    connections[next_id] = (r, picks_in, picks_out)
+                    hold = self.services[r].sample(self.rng.services[r])
+                    queue.push(now + hold, DEPARTURE, payload=next_id)
+                    next_id += 1
+                    versions[r] += 1
+                schedule(r, now)
+            else:
+                r, picks_in, picks_out = connections.pop(event.payload)
+                for s in range(len(stages)):
+                    in_busy[s][picks_in[s]] = False
+                    out_busy[s][picks_out[s]] = False
+                k[r] -= 1
+                versions[r] += 1
+                schedule(r, now)
+        return ratios, events
+
+
+def simulate_tandem(
+    network: TandemNetwork,
+    classes: Sequence[TrafficClass],
+    horizon: float,
+    warmup: float = 0.0,
+    replications: int = 5,
+    seed: int = 0,
+    level: float = 0.95,
+) -> TandemSimSummary:
+    """Replicated tandem simulation with per-class acceptance CIs."""
+    per_class: list[list[float]] = [[] for _ in classes]
+    offered = [0] * len(classes)
+    for i in range(replications):
+        sim = MultistageSimulator(network, classes, seed=seed + i)
+        ratios, _ = sim.run(horizon=horizon, warmup=warmup)
+        for r, est in enumerate(ratios):
+            per_class[r].append(est.ratio)
+            offered[r] += est.offered
+    return TandemSimSummary(
+        network=network,
+        acceptance=tuple(
+            t_confidence_interval(vals, level) for vals in per_class
+        ),
+        offered=tuple(offered),
+    )

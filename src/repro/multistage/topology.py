@@ -1,0 +1,65 @@
+"""Topology description for multistage crossbar networks.
+
+The paper closes by proposing to extend the analysis "to asynchronous
+all-optical multi-stage networks" (Section 8).  This package implements
+that extension for the simplest non-trivial topology: a **tandem** of
+``S`` asynchronous crossbars, where an end-to-end circuit must hold one
+input/output pair at *every* stage simultaneously for its whole
+duration (all-optical circuit switching: no buffering between stages).
+
+Stages may have different dimensions; a connection of class ``r``
+occupies ``a_r`` pairs at each stage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.state import SwitchDimensions
+from ..exceptions import ConfigurationError
+
+__all__ = ["TandemNetwork"]
+
+
+@dataclass(frozen=True)
+class TandemNetwork:
+    """A chain of crossbar stages traversed by every connection."""
+
+    stages: tuple[SwitchDimensions, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigurationError("a network needs at least one stage")
+
+    @classmethod
+    def uniform(cls, n_stages: int, dims: SwitchDimensions) -> "TandemNetwork":
+        """``n_stages`` identical crossbars in series."""
+        if n_stages < 1:
+            raise ConfigurationError(
+                f"n_stages must be >= 1, got {n_stages}"
+            )
+        return cls(tuple([dims] * n_stages))
+
+    @classmethod
+    def square(cls, n_stages: int, n: int) -> "TandemNetwork":
+        """``n_stages`` identical ``n x n`` crossbars in series."""
+        return cls.uniform(n_stages, SwitchDimensions.square(n))
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    @property
+    def bottleneck_capacity(self) -> int:
+        """Smallest per-stage capacity along the chain."""
+        return min(d.capacity for d in self.stages)
+
+    def validate_classes(self, requirements: Sequence[int]) -> None:
+        """Check every class fits through every stage."""
+        cap = self.bottleneck_capacity
+        for a in requirements:
+            if a > cap:
+                raise ConfigurationError(
+                    f"bandwidth requirement a={a} exceeds the bottleneck "
+                    f"stage capacity {cap}"
+                )

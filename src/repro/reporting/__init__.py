@@ -1,0 +1,13 @@
+"""Text reporting: aligned tables, figure series, and ASCII charts."""
+
+from .ascii_plot import render_ascii_chart
+from .series import Curve, FigureSeries
+from .tables import format_table, format_value
+
+__all__ = [
+    "Curve",
+    "FigureSeries",
+    "format_table",
+    "format_value",
+    "render_ascii_chart",
+]

@@ -1,0 +1,101 @@
+"""Plain-text line charts for figure series (no plotting dependency).
+
+Renders a :class:`~repro.reporting.series.FigureSeries` as a character
+grid: one marker per curve, shared y-scaling, axis annotations.  Used
+by the CLI's ``--plot`` flag so the paper's figures can be *seen*, not
+just tabulated, on any terminal.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ConfigurationError
+from .series import FigureSeries
+
+__all__ = ["render_ascii_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def render_ascii_chart(
+    figure: FigureSeries,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render the figure as an ASCII chart.
+
+    ``width``/``height`` size the plotting area (excluding axes).  The
+    x positions are mapped by *index* (the paper's size sweeps are
+    log-spaced, so index mapping keeps the points legible); y is linear
+    between the data extremes.
+    """
+    if width < 8 or height < 4:
+        raise ConfigurationError(
+            f"chart area too small: {width}x{height}"
+        )
+    if not figure.curves:
+        raise ConfigurationError("figure has no curves to plot")
+
+    values = [v for c in figure.curves for v in c.values]
+    y_min = min(values)
+    y_max = max(values)
+    if math.isclose(y_min, y_max):
+        y_max = y_min + 1.0 if y_min == 0 else y_min * 1.01 + 1e-12
+
+    n_points = len(figure.x_values)
+    grid = [[" "] * width for _ in range(height)]
+
+    def x_pos(i: int) -> int:
+        if n_points == 1:
+            return width // 2
+        return round(i * (width - 1) / (n_points - 1))
+
+    def y_pos(v: float) -> int:
+        frac = (v - y_min) / (y_max - y_min)
+        return (height - 1) - round(frac * (height - 1))
+
+    for c_index, curve in enumerate(figure.curves):
+        marker = _MARKERS[c_index % len(_MARKERS)]
+        previous = None
+        for i, v in enumerate(curve.values):
+            col, row = x_pos(i), y_pos(v)
+            # light interpolation between consecutive points
+            if previous is not None:
+                pcol, prow = previous
+                steps = max(abs(col - pcol), 1)
+                for s in range(1, steps):
+                    icol = pcol + round(s * (col - pcol) / steps)
+                    irow = prow + round(s * (row - prow) / steps)
+                    if grid[irow][icol] == " ":
+                        grid[irow][icol] = "."
+            grid[row][col] = marker
+            previous = (col, row)
+
+    label_width = 10
+    lines = [f"{figure.title}"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:.4g}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_min:.4g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    first_x = f"{figure.x_values[0]:g}"
+    last_x = f"{figure.x_values[-1]:g}"
+    padding = width - len(first_x) - len(last_x)
+    lines.append(
+        " " * (label_width + 1) + first_x + " " * max(1, padding) + last_x
+    )
+    lines.append(
+        " " * (label_width + 1)
+        + f"x: {figure.x_label}   y: {figure.y_label}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {c.label}"
+        for i, c in enumerate(figure.curves)
+    )
+    lines.append(" " * (label_width + 1) + legend)
+    return "\n".join(lines)

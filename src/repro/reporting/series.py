@@ -1,0 +1,72 @@
+"""Containers for figure-style sweep results.
+
+A paper figure is a family of curves over a shared x-axis.  The
+benchmarks compute them with the analytical model and print them with
+:mod:`repro.reporting.tables`; tests assert their qualitative *shape*
+(orderings, monotonicity, crossovers) — the reproduction criterion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+from .tables import format_table
+
+__all__ = ["Curve", "FigureSeries"]
+
+
+@dataclass(frozen=True)
+class Curve:
+    """One labelled curve: y-values aligned with the figure's x-axis."""
+
+    label: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError(f"curve {self.label!r} has no points")
+
+
+@dataclass
+class FigureSeries:
+    """A figure: shared x-axis plus any number of curves."""
+
+    title: str
+    x_label: str
+    x_values: tuple[float, ...]
+    y_label: str
+    curves: list[Curve] = field(default_factory=list)
+
+    def add(self, label: str, values: Sequence[float]) -> None:
+        values = tuple(values)
+        if len(values) != len(self.x_values):
+            raise ConfigurationError(
+                f"curve {label!r} has {len(values)} points for "
+                f"{len(self.x_values)} x-values"
+            )
+        self.curves.append(Curve(label=label, values=values))
+
+    def curve(self, label: str) -> Curve:
+        for c in self.curves:
+            if c.label == label:
+                return c
+        raise ConfigurationError(f"no curve labelled {label!r}")
+
+    def to_rows(self) -> list[list]:
+        """Rows of ``[x, curve1, curve2, ...]`` for table rendering."""
+        rows = []
+        for i, x in enumerate(self.x_values):
+            rows.append([x] + [c.values[i] for c in self.curves])
+        return rows
+
+    def render(self, precision: int = 6) -> str:
+        """The whole figure as an aligned text table."""
+        headers = [self.x_label] + [c.label for c in self.curves]
+        return format_table(
+            headers,
+            self.to_rows(),
+            precision=precision,
+            title=f"{self.title}  [y: {self.y_label}]",
+        )

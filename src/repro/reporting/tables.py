@@ -1,0 +1,52 @@
+"""Plain-text table rendering for benchmark and CLI output.
+
+The paper's figures are reproduced as printed series (no plotting
+dependency); this module renders aligned ASCII tables from rows of
+heterogeneous values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value, precision: int = 6) -> str:
+    """Render one cell: floats in ``%g`` style, everything else via str."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 6,
+    title: str | None = None,
+) -> str:
+    """Aligned monospace table with a header rule.
+
+    >>> print(format_table(["n", "x"], [[1, 0.5], [10, 0.25]]))
+     n     x
+    --  ----
+     1   0.5
+    10  0.25
+    """
+    rendered = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

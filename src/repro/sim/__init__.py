@@ -1,0 +1,86 @@
+"""Discrete-event simulation of the asynchronous crossbar.
+
+Implements the paper's future-work item "comparing our analytical
+results with simulation" (Section 8): a faithful event-driven simulator
+of the unbuffered asynchronous crossbar with state-dependent (BPP)
+arrivals, pluggable holding-time distributions (to exercise the
+insensitivity property), replication-based confidence intervals, and a
+hot-spot extension.
+"""
+
+from .crossbar import (
+    AsynchronousCrossbarSimulator,
+    ClassRecord,
+    SimulationRecord,
+)
+from .distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormalService,
+    ParetoService,
+    ServiceDistribution,
+    UniformService,
+    from_name,
+)
+from .hotspot import hot_spot_weights, run_hot_spot
+from .mmpp import (
+    Mmpp2,
+    MmppCrossbarSimulator,
+    bpp_surrogate_class,
+    fit_bpp_to_mmpp,
+    infinite_server_moments,
+)
+from .rng import RandomStreams
+from .runner import (
+    ClassSummary,
+    SimulationSummary,
+    compare_with_analysis,
+    relative_error,
+    run_replications,
+    run_until_precision,
+)
+from .stats import (
+    BatchMeans,
+    ConfidenceInterval,
+    RatioEstimator,
+    TallyStatistic,
+    TimeWeightedMean,
+    t_confidence_interval,
+)
+
+__all__ = [
+    "AsynchronousCrossbarSimulator",
+    "BatchMeans",
+    "ClassRecord",
+    "ClassSummary",
+    "ConfidenceInterval",
+    "Deterministic",
+    "Erlang",
+    "Exponential",
+    "HyperExponential",
+    "LogNormalService",
+    "Mmpp2",
+    "MmppCrossbarSimulator",
+    "ParetoService",
+    "RandomStreams",
+    "RatioEstimator",
+    "ServiceDistribution",
+    "SimulationRecord",
+    "SimulationSummary",
+    "TallyStatistic",
+    "TimeWeightedMean",
+    "UniformService",
+    "bpp_surrogate_class",
+    "compare_with_analysis",
+    "fit_bpp_to_mmpp",
+    "infinite_server_moments",
+    "from_name",
+    "hot_spot_weights",
+    "relative_error",
+    "run_hot_spot",
+    "run_replications",
+    "run_until_precision",
+    "t_confidence_interval",
+]

@@ -1,0 +1,347 @@
+"""Discrete-event simulator of the asynchronous, unbuffered crossbar.
+
+This is the paper's stated future work ("comparing our analytical
+results with simulation", Section 8), implemented faithfully to the
+model semantics of Section 2:
+
+* class-``r`` requests arrive as a Poisson stream whose intensity in
+  state ``k`` is ``lambda_r(k_r) * P(N1, a_r) * P(N2, a_r)`` — the BPP
+  per-tuple rate times the number of ordered (inputs, outputs) tuples;
+* each request addresses ``a_r`` distinct inputs and ``a_r`` distinct
+  outputs drawn uniformly (or non-uniformly, for hot-spot studies);
+* the request is accepted iff every named port is idle — the crossbar
+  is unbuffered, so **blocked requests are cleared**;
+* an accepted connection holds its ports for a service time drawn from
+  any distribution with mean ``1/mu_r`` (insensitivity test hook).
+
+State-dependent rates are handled by lazy invalidation: when ``k_r``
+changes, the pending class-``r`` arrival event is abandoned and a fresh
+exponential drawn at the new rate — exact because the conditional
+inter-arrival time is memoryless given the state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.state import SwitchDimensions, permutation
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError, SimulationError
+from .distributions import Exponential, ServiceDistribution
+from .events import ARRIVAL, DEPARTURE, EventQueue
+from .rng import RandomStreams
+from .stats import RatioEstimator, TimeWeightedMean
+
+__all__ = ["AsynchronousCrossbarSimulator", "ClassRecord", "SimulationRecord"]
+
+
+@dataclass(frozen=True)
+class ClassRecord:
+    """Per-class output of one simulation run."""
+
+    name: str
+    offered: int
+    accepted: int
+    acceptance_ratio: float
+    mean_concurrency: float
+
+    @property
+    def blocking_ratio(self) -> float:
+        """Fraction of offered requests cleared."""
+        return 1.0 - self.acceptance_ratio
+
+
+@dataclass(frozen=True)
+class SimulationRecord:
+    """Output of one simulation run (post-warm-up window)."""
+
+    dims: SwitchDimensions
+    classes: tuple[ClassRecord, ...]
+    mean_occupancy: float
+    utilization: float
+    horizon: float
+    warmup: float
+    events: int
+
+    def class_record(self, r: int) -> ClassRecord:
+        return self.classes[r]
+
+
+class AsynchronousCrossbarSimulator:
+    """One simulated ``N1 x N2`` crossbar with a fixed traffic mix.
+
+    Parameters
+    ----------
+    dims, classes:
+        Switch and traffic mix — same objects the analytical model
+        uses, so simulated and analytical experiments share configs.
+    services:
+        Optional per-class holding-time distributions.  Default:
+        ``Exponential(1/mu_r)`` (the paper's baseline).  Any
+        :class:`~repro.sim.distributions.ServiceDistribution` with the
+        same mean should leave stationary measures unchanged
+        (insensitivity).
+    seed:
+        Root seed for all random streams.
+    output_weights:
+        Optional non-uniform output-selection probabilities (length
+        ``N2``) for hot-spot studies; inputs stay uniform.  The uniform
+        default matches the paper's traffic assumption.
+    admission_thresholds:
+        Optional per-class occupancy caps (see
+        :mod:`repro.extensions.admission`): a class-``r`` request is
+        rejected — even if its ports are free — when accepting it would
+        push the total occupancy above ``admission_thresholds[r]``.
+    """
+
+    def __init__(
+        self,
+        dims: SwitchDimensions,
+        classes: Sequence[TrafficClass],
+        services: Sequence[ServiceDistribution] | None = None,
+        seed: int | None = None,
+        output_weights: Sequence[float] | None = None,
+        admission_thresholds: Sequence[int] | None = None,
+    ) -> None:
+        if not classes:
+            raise ConfigurationError("at least one traffic class is required")
+        self.dims = dims
+        self.classes = tuple(classes)
+        for cls in self.classes:
+            if cls.a <= dims.capacity:
+                cls.validate_for(dims.n1, dims.n2)
+        if services is None:
+            services = [Exponential(1.0 / c.mu) for c in self.classes]
+        if len(services) != len(self.classes):
+            raise ConfigurationError(
+                f"{len(services)} service distributions for "
+                f"{len(self.classes)} classes"
+            )
+        for cls, svc in zip(self.classes, services):
+            if abs(svc.mean - 1.0 / cls.mu) > 1e-9 * svc.mean:
+                raise ConfigurationError(
+                    f"service mean {svc.mean} != 1/mu = {1.0 / cls.mu} for "
+                    f"class {cls.name or '?'}"
+                )
+        self.services = tuple(services)
+        self.rng = RandomStreams(seed=seed, n_classes=len(self.classes))
+        if output_weights is not None:
+            weights = np.asarray(output_weights, dtype=float)
+            if weights.shape != (dims.n2,):
+                raise ConfigurationError(
+                    f"output_weights must have length N2={dims.n2}"
+                )
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ConfigurationError(
+                    "output_weights must be non-negative and sum > 0"
+                )
+            self._output_weights = weights / weights.sum()
+        else:
+            self._output_weights = None
+        if admission_thresholds is not None:
+            thresholds = list(admission_thresholds)
+            if len(thresholds) != len(self.classes):
+                raise ConfigurationError(
+                    f"{len(thresholds)} admission thresholds for "
+                    f"{len(self.classes)} classes"
+                )
+            for t in thresholds:
+                if t < 0 or t > dims.capacity:
+                    raise ConfigurationError(
+                        f"admission threshold {t} outside "
+                        f"[0, {dims.capacity}]"
+                    )
+            self._admission = tuple(thresholds)
+        else:
+            self._admission = None
+        # Number of ordered (inputs, outputs) tuples per class — the
+        # arrival-rate multiplier of the model semantics.
+        self._tuples = [
+            permutation(dims.n1, c.a) * permutation(dims.n2, c.a)
+            for c in self.classes
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _offered_rate(self, r: int, k_r: int) -> float:
+        """Total class-``r`` request intensity in the current state."""
+        return self.classes[r].rate(k_r) * self._tuples[r]
+
+    def run(
+        self,
+        horizon: float,
+        warmup: float = 0.0,
+        max_events: int | None = None,
+        check_invariants: bool = False,
+    ) -> SimulationRecord:
+        """Simulate ``[0, horizon]``; statistics collected after ``warmup``.
+
+        ``check_invariants=True`` validates the fabric state after
+        every event (busy-port counts consistent with per-class
+        concurrencies and the live-connection table) — O(N) per event,
+        intended for tests and debugging.
+        """
+        if horizon <= warmup:
+            raise ConfigurationError(
+                f"horizon ({horizon}) must exceed warmup ({warmup})"
+            )
+        dims = self.dims
+        n_classes = len(self.classes)
+
+        input_busy = np.zeros(dims.n1, dtype=bool)
+        output_busy = np.zeros(dims.n2, dtype=bool)
+        k = [0] * n_classes
+        connections: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
+        next_conn_id = 0
+
+        queue = EventQueue()
+        arrival_version = [0] * n_classes
+        ratios = [RatioEstimator() for _ in range(n_classes)]
+        conc = [TimeWeightedMean() for _ in range(n_classes)]
+        occupancy = TimeWeightedMean()
+        warmed_up = warmup == 0.0
+        events_processed = 0
+
+        def schedule_arrival(r: int, now: float) -> None:
+            rate = self._offered_rate(r, k[r])
+            gap = self.rng.exponential(r, rate)
+            if gap != float("inf"):
+                queue.push(
+                    now + gap, ARRIVAL, payload=r,
+                    version=arrival_version[r],
+                )
+
+        def advance_stats(now: float) -> None:
+            for r in range(n_classes):
+                conc[r].update(k[r], now)
+            used = sum(k[r] * self.classes[r].a for r in range(n_classes))
+            occupancy.update(used, now)
+
+        def verify_state() -> None:
+            used = sum(k[r] * self.classes[r].a for r in range(n_classes))
+            if int(input_busy.sum()) != used:
+                raise SimulationError(
+                    f"busy-input count {int(input_busy.sum())} != "
+                    f"occupied pairs {used}"
+                )
+            if int(output_busy.sum()) != used:
+                raise SimulationError(
+                    f"busy-output count {int(output_busy.sum())} != "
+                    f"occupied pairs {used}"
+                )
+            if len(connections) != sum(k):
+                raise SimulationError(
+                    f"{len(connections)} live connections but "
+                    f"concurrencies sum to {sum(k)}"
+                )
+
+        for r in range(n_classes):
+            schedule_arrival(r, 0.0)
+
+        now = 0.0
+        while queue:
+            event = queue.pop()
+            if event.time > horizon:
+                break
+            if (
+                event.kind == ARRIVAL
+                and event.version != arrival_version[event.payload]
+            ):
+                continue  # stale: k_r changed since this was drawn
+            now = event.time
+            events_processed += 1
+            if max_events is not None and events_processed > max_events:
+                break
+            if not warmed_up and now >= warmup:
+                for r in range(n_classes):
+                    conc[r].update(k[r], warmup)
+                    conc[r].reset(warmup)
+                used = sum(
+                    k[r] * self.classes[r].a for r in range(n_classes)
+                )
+                occupancy.update(used, warmup)
+                occupancy.reset(warmup)
+                ratios = [RatioEstimator() for _ in range(n_classes)]
+                warmed_up = True
+
+            if event.kind == ARRIVAL:
+                r = event.payload
+                cls = self.classes[r]
+                inputs = self.rng.choose_ports(dims.n1, cls.a)
+                if self._output_weights is None:
+                    outputs = self.rng.choose_ports(dims.n2, cls.a)
+                else:
+                    outputs = self.rng.ports.choice(
+                        dims.n2, size=cls.a, replace=False,
+                        p=self._output_weights,
+                    )
+                free = not (
+                    input_busy[inputs].any() or output_busy[outputs].any()
+                )
+                if free and self._admission is not None:
+                    used_now = sum(
+                        k[s] * self.classes[s].a for s in range(n_classes)
+                    )
+                    free = used_now + cls.a <= self._admission[r]
+                ratios[r].observe(free)
+                if free:
+                    advance_stats(now)
+                    input_busy[inputs] = True
+                    output_busy[outputs] = True
+                    k[r] += 1
+                    connections[next_conn_id] = (r, inputs, outputs)
+                    hold = self.services[r].sample(self.rng.services[r])
+                    queue.push(now + hold, DEPARTURE, payload=next_conn_id)
+                    next_conn_id += 1
+                    arrival_version[r] += 1  # rate changed with k_r
+                schedule_arrival(r, now)
+            elif event.kind == DEPARTURE:
+                conn = connections.pop(event.payload, None)
+                if conn is None:
+                    raise SimulationError(
+                        f"departure for unknown connection {event.payload}"
+                    )
+                r, inputs, outputs = conn
+                advance_stats(now)
+                input_busy[inputs] = False
+                output_busy[outputs] = False
+                k[r] -= 1
+                if k[r] < 0:
+                    raise SimulationError(f"negative concurrency for class {r}")
+                arrival_version[r] += 1
+                schedule_arrival(r, now)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {event.kind!r}")
+            if check_invariants:
+                verify_state()
+
+        # Close the observation window at the horizon.
+        end = min(max(now, warmup), horizon)
+        for r in range(n_classes):
+            conc[r].update(k[r], horizon if warmed_up else end)
+        used = sum(k[r] * self.classes[r].a for r in range(n_classes))
+        occupancy.update(used, horizon if warmed_up else end)
+
+        records = tuple(
+            ClassRecord(
+                name=cls.name or f"class-{r}",
+                offered=ratios[r].offered,
+                accepted=ratios[r].accepted,
+                acceptance_ratio=ratios[r].ratio,
+                mean_concurrency=conc[r].mean(horizon),
+            )
+            for r, cls in enumerate(self.classes)
+        )
+        mean_occ = occupancy.mean(horizon)
+        return SimulationRecord(
+            dims=dims,
+            classes=records,
+            mean_occupancy=mean_occ,
+            utilization=mean_occ / dims.capacity if dims.capacity else 0.0,
+            horizon=horizon,
+            warmup=warmup,
+            events=events_processed,
+        )

@@ -1,0 +1,230 @@
+"""Service-time (holding-time) distributions.
+
+The paper's model is *insensitive*: the stationary distribution depends
+on the holding-time law only through its mean (Section 2, citing
+Burman, Lehoczky & Lim).  The simulator therefore supports a family of
+distributions, all parameterized by their mean, so the insensitivity
+claim can be tested empirically — exponential, deterministic, Erlang,
+hyperexponential, uniform, lognormal and (truncated-mean) Pareto cover
+squared coefficients of variation from 0 to well above 1.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "ServiceDistribution",
+    "Exponential",
+    "Deterministic",
+    "Erlang",
+    "HyperExponential",
+    "UniformService",
+    "LogNormalService",
+    "ParetoService",
+    "from_name",
+]
+
+
+class ServiceDistribution(ABC):
+    """A positive service-time law with a prescribed mean."""
+
+    mean: float
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one holding time."""
+
+    @property
+    @abstractmethod
+    def scv(self) -> float:
+        """Squared coefficient of variation ``Var/Mean^2``."""
+
+    def _check_mean(self, mean: float) -> None:
+        if mean <= 0:
+            raise InvalidParameterError(f"mean must be > 0, got {mean}")
+
+
+@dataclass
+class Exponential(ServiceDistribution):
+    """The paper's baseline: ``Exp(1/mean)``, SCV = 1."""
+
+    mean: float
+
+    def __post_init__(self) -> None:
+        self._check_mean(self.mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean))
+
+    @property
+    def scv(self) -> float:
+        return 1.0
+
+
+@dataclass
+class Deterministic(ServiceDistribution):
+    """Constant holding time, SCV = 0 (e.g. fixed-length bursts)."""
+
+    mean: float
+
+    def __post_init__(self) -> None:
+        self._check_mean(self.mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.mean
+
+    @property
+    def scv(self) -> float:
+        return 0.0
+
+
+@dataclass
+class Erlang(ServiceDistribution):
+    """Erlang-``k``: sum of ``k`` exponentials, SCV = 1/k."""
+
+    mean: float
+    k: int = 2
+
+    def __post_init__(self) -> None:
+        self._check_mean(self.mean)
+        if self.k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {self.k}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self.k, self.mean / self.k))
+
+    @property
+    def scv(self) -> float:
+        return 1.0 / self.k
+
+
+@dataclass
+class HyperExponential(ServiceDistribution):
+    """Two-phase hyperexponential with balanced means, SCV > 1.
+
+    Phase 1 (prob ``p``) has mean ``mean/(2p)``, phase 2 mean
+    ``mean/(2(1-p))`` — the classic "balanced" H2 fit.
+    """
+
+    mean: float
+    p: float = 0.1
+
+    def __post_init__(self) -> None:
+        self._check_mean(self.mean)
+        if not 0.0 < self.p < 1.0:
+            raise InvalidParameterError(f"p must be in (0, 1), got {self.p}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if rng.random() < self.p:
+            return float(rng.exponential(self.mean / (2.0 * self.p)))
+        return float(rng.exponential(self.mean / (2.0 * (1.0 - self.p))))
+
+    @property
+    def scv(self) -> float:
+        # E[X^2] = p*2*(m/2p)^2 + (1-p)*2*(m/2(1-p))^2
+        m = self.mean
+        second = (
+            self.p * 2.0 * (m / (2.0 * self.p)) ** 2
+            + (1.0 - self.p) * 2.0 * (m / (2.0 * (1.0 - self.p))) ** 2
+        )
+        return second / m**2 - 1.0
+
+
+@dataclass
+class UniformService(ServiceDistribution):
+    """Uniform on ``(0, 2*mean)``, SCV = 1/3."""
+
+    mean: float
+
+    def __post_init__(self) -> None:
+        self._check_mean(self.mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(0.0, 2.0 * self.mean))
+
+    @property
+    def scv(self) -> float:
+        return 1.0 / 3.0
+
+
+@dataclass
+class LogNormalService(ServiceDistribution):
+    """Lognormal with the given mean and SCV."""
+
+    mean: float
+    target_scv: float = 2.0
+
+    def __post_init__(self) -> None:
+        self._check_mean(self.mean)
+        if self.target_scv <= 0:
+            raise InvalidParameterError(
+                f"target_scv must be > 0, got {self.target_scv}"
+            )
+        self._sigma2 = math.log(1.0 + self.target_scv)
+        self._mu = math.log(self.mean) - 0.5 * self._sigma2
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, math.sqrt(self._sigma2)))
+
+    @property
+    def scv(self) -> float:
+        return self.target_scv
+
+
+@dataclass
+class ParetoService(ServiceDistribution):
+    """Pareto (Lomax) with shape ``alpha > 2`` scaled to the mean.
+
+    Heavy-tailed: stresses the insensitivity claim hardest.
+    """
+
+    mean: float
+    alpha: float = 2.5
+
+    def __post_init__(self) -> None:
+        self._check_mean(self.mean)
+        if self.alpha <= 2.0:
+            raise InvalidParameterError(
+                f"alpha must be > 2 for finite variance, got {self.alpha}"
+            )
+        self._scale = self.mean * (self.alpha - 1.0)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        # Lomax: scale * (U^(-1/alpha) - 1) has mean scale/(alpha-1)
+        u = rng.random()
+        return float(self._scale * (u ** (-1.0 / self.alpha) - 1.0))
+
+    @property
+    def scv(self) -> float:
+        a = self.alpha
+        return a / (a - 2.0)
+
+
+_REGISTRY = {
+    "exponential": Exponential,
+    "deterministic": Deterministic,
+    "erlang": Erlang,
+    "hyperexponential": HyperExponential,
+    "uniform": UniformService,
+    "lognormal": LogNormalService,
+    "pareto": ParetoService,
+}
+
+
+def from_name(name: str, mean: float, **kwargs) -> ServiceDistribution:
+    """Build a distribution by name (see module registry)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown service distribution {name!r}; "
+            f"expected one of {sorted(_REGISTRY)}"
+        ) from None
+    return factory(mean, **kwargs)

@@ -1,0 +1,74 @@
+"""Event queue for the discrete-event engine.
+
+A thin wrapper over :mod:`heapq` with **lazy invalidation**: events
+carry a version token, and stale events (whose token no longer matches
+the source's current version) are skipped on pop.  This is how the
+simulator handles state-dependent (BPP) arrival rates — when ``k_r``
+changes, the pending class-``r`` arrival is invalidated and a fresh one
+drawn at the new rate, which is statistically exact because the
+conditional inter-request time is exponential (memoryless) given the
+state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue", "ARRIVAL", "DEPARTURE"]
+
+#: Event kinds used by the crossbar simulator.
+ARRIVAL = "arrival"
+DEPARTURE = "departure"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled occurrence.
+
+    Ordering is by time, then by insertion sequence (FIFO tie-break) —
+    the payload never participates in comparisons.
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    version: int = field(compare=False, default=0)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self, time: float, kind: str, payload: Any = None, version: int = 0
+    ) -> Event:
+        """Schedule an event; returns it (useful for cancellation tokens)."""
+        event = Event(
+            time=time, seq=next(self._counter), kind=kind,
+            payload=payload, version=version,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        """Time of the earliest event (``inf`` when empty)."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0].time

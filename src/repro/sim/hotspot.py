@@ -1,0 +1,74 @@
+"""Hot-spot (non-uniform output) traffic studies — simulation only.
+
+The paper assumes a uniform traffic pattern; its companion work
+(Pinsky & Stirpe, ICPP 1991, ref. [28]) analyzes *hot spots*, where one
+output attracts a disproportionate share of requests.  This module
+reproduces that setting on top of the simulator: output selection uses
+a weighted distribution in which a designated hot output is ``factor``
+times more likely than each of the other outputs.
+
+The main empirical facts this exposes (exercised in tests and the
+``examples/peakedness_study.py`` script):
+
+* blocking rises with the hot-spot factor at fixed total load, because
+  contention concentrates on one output column;
+* the uniform case (``factor = 1``) recovers the paper's analytical
+  model exactly — a built-in regression anchor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.state import SwitchDimensions
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError
+from .distributions import ServiceDistribution
+from .runner import SimulationSummary, run_replications
+
+__all__ = ["hot_spot_weights", "run_hot_spot"]
+
+
+def hot_spot_weights(n2: int, hot_output: int, factor: float) -> np.ndarray:
+    """Selection weights with one output ``factor`` x more popular.
+
+    ``factor = 1`` is the uniform pattern; ``factor = n2`` means the hot
+    output draws as much traffic as all others combined (for large
+    ``n2`` roughly).
+    """
+    if not 0 <= hot_output < n2:
+        raise ConfigurationError(
+            f"hot_output {hot_output} outside [0, {n2})"
+        )
+    if factor < 1.0:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    weights = np.ones(n2)
+    weights[hot_output] = factor
+    return weights / weights.sum()
+
+
+def run_hot_spot(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    factor: float,
+    hot_output: int = 0,
+    horizon: float = 5_000.0,
+    warmup: float = 500.0,
+    replications: int = 5,
+    seed: int = 0,
+    services: Sequence[ServiceDistribution] | None = None,
+) -> SimulationSummary:
+    """Replicated hot-spot simulation at the given skew factor."""
+    weights = hot_spot_weights(dims.n2, hot_output, factor)
+    return run_replications(
+        dims,
+        classes,
+        horizon=horizon,
+        warmup=warmup,
+        replications=replications,
+        seed=seed,
+        services=services,
+        output_weights=weights,
+    )

@@ -1,0 +1,46 @@
+"""Reproducible random-number streams for the simulator.
+
+Each stochastic purpose (class-``r`` arrivals, class-``r`` service
+times, port selection) gets its own :class:`numpy.random.Generator`
+spawned from one root :class:`numpy.random.SeedSequence`.  Separate
+streams keep experiments reproducible under common random numbers:
+changing, say, the service distribution of one class does not perturb
+the arrival pattern of another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A family of independent, reproducible random generators."""
+
+    def __init__(self, seed: int | None = None, n_classes: int = 1) -> None:
+        self._root = np.random.SeedSequence(seed)
+        children = self._root.spawn(2 * n_classes + 1)
+        self.arrivals = [
+            np.random.default_rng(children[i]) for i in range(n_classes)
+        ]
+        self.services = [
+            np.random.default_rng(children[n_classes + i])
+            for i in range(n_classes)
+        ]
+        self.ports = np.random.default_rng(children[2 * n_classes])
+
+    def exponential(self, r: int, rate: float) -> float:
+        """Exponential inter-arrival sample for class ``r``.
+
+        ``rate <= 0`` means "never": returns ``inf``.
+        """
+        if rate <= 0.0:
+            return float("inf")
+        return float(self.arrivals[r].exponential(1.0 / rate))
+
+    def choose_ports(self, n: int, a: int) -> np.ndarray:
+        """``a`` distinct port indices uniformly from ``0..n-1``."""
+        if a == 1:
+            return np.array([self.ports.integers(0, n)])
+        return self.ports.choice(n, size=a, replace=False)

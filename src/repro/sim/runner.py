@@ -1,0 +1,277 @@
+"""Replicated simulation experiments with confidence intervals.
+
+Runs independent replications of
+:class:`~repro.sim.crossbar.AsynchronousCrossbarSimulator`, summarizes
+each measure with a Student-t confidence interval, and compares against
+the analytical solution — the "compare with simulation" item of the
+paper's future work (Section 8).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.convolution import solve_convolution
+from ..core.measures import PerformanceSolution
+from ..core.state import SwitchDimensions
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError
+from .crossbar import AsynchronousCrossbarSimulator, SimulationRecord
+from .distributions import ServiceDistribution
+from .stats import ConfidenceInterval, t_confidence_interval
+
+__all__ = [
+    "ClassSummary",
+    "SimulationSummary",
+    "compare_with_analysis",
+    "relative_error",
+    "run_replications",
+    "run_until_precision",
+]
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """Replication-level summary for one traffic class."""
+
+    name: str
+    acceptance: ConfidenceInterval
+    concurrency: ConfidenceInterval
+    total_offered: int
+    total_accepted: int
+
+
+@dataclass(frozen=True)
+class SimulationSummary:
+    """Replication-level summary of a whole experiment."""
+
+    dims: SwitchDimensions
+    classes: tuple[ClassSummary, ...]
+    occupancy: ConfidenceInterval
+    replications: int
+    records: tuple[SimulationRecord, ...]
+
+
+def run_replications(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    horizon: float,
+    warmup: float = 0.0,
+    replications: int = 10,
+    seed: int = 0,
+    services: Sequence[ServiceDistribution] | None = None,
+    level: float = 0.95,
+    output_weights: Sequence[float] | None = None,
+    admission_thresholds: Sequence[int] | None = None,
+) -> SimulationSummary:
+    """Run ``replications`` independent simulations and summarize.
+
+    Each replication gets seed ``seed + i`` so the whole experiment is
+    reproducible from one integer.
+    """
+    if replications < 1:
+        raise ConfigurationError(
+            f"replications must be >= 1, got {replications}"
+        )
+    records = []
+    for i in range(replications):
+        sim = AsynchronousCrossbarSimulator(
+            dims,
+            classes,
+            services=services,
+            seed=seed + i,
+            output_weights=output_weights,
+            admission_thresholds=admission_thresholds,
+        )
+        records.append(sim.run(horizon=horizon, warmup=warmup))
+
+    summaries = []
+    for r, cls in enumerate(classes):
+        acceptance = t_confidence_interval(
+            [rec.classes[r].acceptance_ratio for rec in records], level
+        )
+        concurrency = t_confidence_interval(
+            [rec.classes[r].mean_concurrency for rec in records], level
+        )
+        summaries.append(
+            ClassSummary(
+                name=cls.name or f"class-{r}",
+                acceptance=acceptance,
+                concurrency=concurrency,
+                total_offered=sum(rec.classes[r].offered for rec in records),
+                total_accepted=sum(
+                    rec.classes[r].accepted for rec in records
+                ),
+            )
+        )
+    occupancy = t_confidence_interval(
+        [rec.mean_occupancy for rec in records], level
+    )
+    return SimulationSummary(
+        dims=dims,
+        classes=tuple(summaries),
+        occupancy=occupancy,
+        replications=replications,
+        records=tuple(records),
+    )
+
+
+def run_until_precision(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    target_half_width: float,
+    horizon: float,
+    warmup: float = 0.0,
+    min_replications: int = 4,
+    max_replications: int = 200,
+    seed: int = 0,
+    services: Sequence[ServiceDistribution] | None = None,
+    level: float = 0.95,
+    measure: str = "acceptance",
+    r: int = 0,
+) -> SimulationSummary:
+    """Replicate until a measure's CI half-width meets the target.
+
+    Sequential procedure: run ``min_replications``, then add one
+    replication at a time until the class-``r`` ``measure``
+    (``"acceptance"`` or ``"concurrency"``) has a CI half-width at or
+    below ``target_half_width``, or ``max_replications`` is reached
+    (then raises, so silent under-precision cannot escape).
+    """
+    if measure not in ("acceptance", "concurrency"):
+        raise ConfigurationError(
+            f"measure must be 'acceptance' or 'concurrency', got {measure!r}"
+        )
+    if target_half_width <= 0:
+        raise ConfigurationError(
+            f"target_half_width must be > 0, got {target_half_width}"
+        )
+    if min_replications < 2 or max_replications < min_replications:
+        raise ConfigurationError(
+            f"need max_replications >= min_replications >= 2, got "
+            f"{min_replications}/{max_replications}"
+        )
+    values: list[float] = []
+    records = []
+    n = 0
+    while n < max_replications:
+        sim = AsynchronousCrossbarSimulator(
+            dims, classes, services=services, seed=seed + n
+        )
+        record = sim.run(horizon=horizon, warmup=warmup)
+        records.append(record)
+        if measure == "acceptance":
+            values.append(record.classes[r].acceptance_ratio)
+        else:
+            values.append(record.classes[r].mean_concurrency)
+        n += 1
+        if n >= min_replications:
+            ci = t_confidence_interval(values, level)
+            if ci.half_width <= target_half_width:
+                break
+    else:
+        ci = t_confidence_interval(values, level)
+        raise ConfigurationError(
+            f"{max_replications} replications reached with half-width "
+            f"{ci.half_width:.3g} > target {target_half_width:.3g}; "
+            f"raise the horizon or the budget"
+        )
+
+    summaries = []
+    for idx, cls in enumerate(classes):
+        acceptance = t_confidence_interval(
+            [rec.classes[idx].acceptance_ratio for rec in records], level
+        )
+        concurrency = t_confidence_interval(
+            [rec.classes[idx].mean_concurrency for rec in records], level
+        )
+        summaries.append(
+            ClassSummary(
+                name=cls.name or f"class-{idx}",
+                acceptance=acceptance,
+                concurrency=concurrency,
+                total_offered=sum(
+                    rec.classes[idx].offered for rec in records
+                ),
+                total_accepted=sum(
+                    rec.classes[idx].accepted for rec in records
+                ),
+            )
+        )
+    occupancy = t_confidence_interval(
+        [rec.mean_occupancy for rec in records], level
+    )
+    return SimulationSummary(
+        dims=dims,
+        classes=tuple(summaries),
+        occupancy=occupancy,
+        replications=n,
+        records=tuple(records),
+    )
+
+
+def compare_with_analysis(
+    summary: SimulationSummary,
+    classes: Sequence[TrafficClass],
+    solution: PerformanceSolution | None = None,
+) -> dict:
+    """Side-by-side simulated vs analytical measures.
+
+    Simulated acceptance ratios are compared with the analytical *call*
+    acceptance (what arrivals see — equals ``B_r`` for Poisson classes,
+    the rate-weighted form for BPP classes); concurrencies with
+    ``E_r``.  Each entry reports whether the analytical value lies in
+    the simulation CI.
+    """
+    if solution is None:
+        solution = solve_convolution(summary.dims, classes)
+    per_class = []
+    for r, cls in enumerate(classes):
+        analytical_acc = solution.call_acceptance(r)
+        analytical_e = solution.concurrency(r)
+        cs = summary.classes[r]
+        per_class.append(
+            {
+                "name": cs.name,
+                "acceptance_sim": cs.acceptance,
+                "acceptance_analytical": analytical_acc,
+                "acceptance_covered": cs.acceptance.contains(analytical_acc),
+                "concurrency_sim": cs.concurrency,
+                "concurrency_analytical": analytical_e,
+                "concurrency_covered": cs.concurrency.contains(analytical_e),
+            }
+        )
+    analytical_occ = solution.mean_occupancy()
+    return {
+        "classes": per_class,
+        "occupancy_sim": summary.occupancy,
+        "occupancy_analytical": analytical_occ,
+        "occupancy_covered": summary.occupancy.contains(analytical_occ),
+    }
+
+
+def relative_error(
+    summary: SimulationSummary,
+    classes: Sequence[TrafficClass],
+    solution: PerformanceSolution | None = None,
+) -> float:
+    """Worst relative error of simulated point estimates vs analysis.
+
+    A convenience for tests and quick convergence checks: ignores the
+    CIs and just compares point estimates (acceptance, concurrency,
+    occupancy).
+    """
+    if solution is None:
+        solution = solve_convolution(summary.dims, classes)
+    worst = 0.0
+    for r in range(len(classes)):
+        ana = solution.call_acceptance(r)
+        sim = summary.classes[r].acceptance.estimate
+        worst = max(worst, abs(sim - ana) / max(abs(ana), 1e-12))
+        ana = solution.concurrency(r)
+        sim = summary.classes[r].concurrency.estimate
+        if not math.isclose(ana, 0.0, abs_tol=1e-12):
+            worst = max(worst, abs(sim - ana) / abs(ana))
+    return worst

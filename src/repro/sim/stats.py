@@ -1,0 +1,225 @@
+"""Online statistics for simulation output analysis.
+
+Provides the estimators the runner uses:
+
+* :class:`TimeWeightedMean` — integrals of piecewise-constant sample
+  paths (concurrency, occupancy);
+* :class:`TallyStatistic` — Welford mean/variance of i.i.d.-ish tallies
+  (per-replication summaries);
+* :class:`RatioEstimator` — accepted/offered counters;
+* :func:`t_confidence_interval` — small-sample CI across replications
+  (t quantiles via scipy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import stats as spstats
+
+from ..exceptions import SimulationError
+
+__all__ = [
+    "BatchMeans",
+    "TimeWeightedMean",
+    "TallyStatistic",
+    "RatioEstimator",
+    "t_confidence_interval",
+    "ConfidenceInterval",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric two-sided confidence interval."""
+
+    estimate: float
+    half_width: float
+    level: float
+
+    @property
+    def low(self) -> float:
+        return self.estimate - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.estimate + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.estimate:.6g} ± {self.half_width:.2g} "
+            f"({self.level:.0%})"
+        )
+
+
+class TimeWeightedMean:
+    """Time average of a piecewise-constant process.
+
+    Call :meth:`update` with the current value *before* each change and
+    the time of the change; :meth:`reset` discards the warm-up period.
+    """
+
+    def __init__(self) -> None:
+        self._integral = 0.0
+        self._last_time = 0.0
+        self._start_time = 0.0
+
+    def update(self, value: float, now: float) -> None:
+        """Account for ``value`` having held since the previous update."""
+        if now < self._last_time:
+            raise SimulationError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
+        self._integral += value * (now - self._last_time)
+        self._last_time = now
+
+    def reset(self, now: float) -> None:
+        """Forget everything before ``now`` (end of warm-up)."""
+        self._integral = 0.0
+        self._last_time = now
+        self._start_time = now
+
+    def mean(self, now: float | None = None) -> float:
+        """The time average over the observed window."""
+        end = self._last_time if now is None else now
+        span = end - self._start_time
+        if span <= 0.0:
+            return 0.0
+        return self._integral / span
+
+
+class TallyStatistic:
+    """Welford online mean/variance of scalar observations."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 with fewer than 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+@dataclass
+class RatioEstimator:
+    """Accepted-over-offered counters with a plug-in ratio estimate."""
+
+    offered: int = 0
+    accepted: int = 0
+
+    def observe(self, accepted: bool) -> None:
+        self.offered += 1
+        if accepted:
+            self.accepted += 1
+
+    @property
+    def ratio(self) -> float:
+        """Acceptance fraction (1.0 when nothing was offered)."""
+        if self.offered == 0:
+            return 1.0
+        return self.accepted / self.offered
+
+    def merge(self, other: "RatioEstimator") -> None:
+        self.offered += other.offered
+        self.accepted += other.accepted
+
+
+def t_confidence_interval(
+    values: list[float], level: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t CI of the mean of independent replications."""
+    n = len(values)
+    if n == 0:
+        raise SimulationError("no replications to summarize")
+    mean = math.fsum(values) / n
+    if n == 1:
+        return ConfidenceInterval(mean, math.inf, level)
+    var = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+    quantile = float(spstats.t.ppf(0.5 + level / 2.0, df=n - 1))
+    half = quantile * math.sqrt(var / n)
+    return ConfidenceInterval(mean, half, level)
+
+
+class BatchMeans:
+    """Single-run output analysis by the method of batch means.
+
+    Alternative to independent replications: one long run is cut into
+    ``batches`` contiguous batches whose means are treated as
+    approximately i.i.d. (valid when the batch length far exceeds the
+    autocorrelation time).  Feed observations one at a time; call
+    :meth:`interval` at the end.
+    """
+
+    def __init__(self, batches: int = 20) -> None:
+        if batches < 2:
+            raise SimulationError(
+                f"batch means needs >= 2 batches, got {batches}"
+            )
+        self.batches = batches
+        self._values: list[float] = []
+
+    def add(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def batch_means(self) -> list[float]:
+        """The per-batch means (drops the remainder observations)."""
+        size = len(self._values) // self.batches
+        if size < 1:
+            raise SimulationError(
+                f"{len(self._values)} observations cannot fill "
+                f"{self.batches} batches"
+            )
+        return [
+            math.fsum(self._values[i * size : (i + 1) * size]) / size
+            for i in range(self.batches)
+        ]
+
+    def interval(self, level: float = 0.95) -> ConfidenceInterval:
+        """CI of the long-run mean from the batch means."""
+        return t_confidence_interval(self.batch_means(), level)
+
+    def lag1_autocorrelation(self) -> float:
+        """Lag-1 autocorrelation of the batch means.
+
+        A diagnostic: values near zero indicate the batches are long
+        enough to be treated as independent; large positive values mean
+        the CI below is optimistic — use more/longer batches.
+        """
+        means = self.batch_means()
+        n = len(means)
+        center = math.fsum(means) / n
+        var = math.fsum((m - center) ** 2 for m in means)
+        if var == 0.0:
+            return 0.0
+        cov = math.fsum(
+            (means[i] - center) * (means[i + 1] - center)
+            for i in range(n - 1)
+        )
+        return cov / var

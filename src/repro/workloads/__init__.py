@@ -1,0 +1,41 @@
+"""The paper's experiment scenarios and generic sweep helpers."""
+
+from .scenarios import (
+    FIGURE_SIZES,
+    TABLE1_PAPER,
+    TABLE2_PAPER,
+    TABLE2_PARAMETER_SETS,
+    TABLE2_SIZES,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    table1_rows,
+    table2_classes,
+    table2_rows,
+)
+from .sweeps import (
+    find_load_for_blocking,
+    find_size_for_blocking,
+    sweep_parameter,
+    sweep_sizes,
+)
+
+__all__ = [
+    "FIGURE_SIZES",
+    "TABLE1_PAPER",
+    "TABLE2_PAPER",
+    "TABLE2_PARAMETER_SETS",
+    "TABLE2_SIZES",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "find_load_for_blocking",
+    "find_size_for_blocking",
+    "sweep_parameter",
+    "sweep_sizes",
+    "table1_rows",
+    "table2_classes",
+    "table2_rows",
+]

@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+
+
+@pytest.fixture
+def small_dims() -> SwitchDimensions:
+    """A switch small enough for brute force but non-square."""
+    return SwitchDimensions(5, 7)
+
+
+@pytest.fixture
+def mixed_classes() -> list[TrafficClass]:
+    """One class of each BPP kind, including a multi-rate one."""
+    return [
+        TrafficClass.poisson(0.2, name="poisson"),
+        TrafficClass(alpha=0.1, beta=0.3, mu=1.5, a=2, name="pascal"),
+        TrafficClass.bernoulli(4, 0.05, name="bernoulli"),
+    ]
+
+
+@pytest.fixture
+def poisson_only() -> list[TrafficClass]:
+    """Two Poisson classes with different rates and weights."""
+    return [
+        TrafficClass.poisson(0.15, weight=2.0, name="voice"),
+        TrafficClass.poisson(0.05, a=2, weight=0.5, name="video"),
+    ]
+
+
+def assert_close(a: float, b: float, rel: float = 1e-10, abs_tol: float = 1e-12):
+    """Relative/absolute closeness with a readable failure message."""
+    scale = max(abs(a), abs(b), abs_tol)
+    assert abs(a - b) <= max(rel * scale, abs_tol), f"{a} != {b} (diff {a - b})"

@@ -1,0 +1,34 @@
+"""Shared hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+
+dims_strategy = st.builds(
+    SwitchDimensions,
+    st.integers(min_value=1, max_value=7),
+    st.integers(min_value=1, max_value=7),
+)
+
+
+@st.composite
+def traffic_class(draw, max_a: int = 2):
+    kind = draw(st.sampled_from(["poisson", "pascal", "bernoulli"]))
+    mu = draw(st.floats(min_value=0.5, max_value=2.0, allow_nan=False))
+    a = draw(st.integers(min_value=1, max_value=max_a))
+    if kind == "poisson":
+        alpha = draw(st.floats(min_value=0.0, max_value=1.0))
+        return TrafficClass(alpha=alpha, beta=0.0, mu=mu, a=a)
+    if kind == "pascal":
+        alpha = draw(st.floats(min_value=1e-3, max_value=1.0))
+        beta = draw(st.floats(min_value=1e-3, max_value=0.4)) * mu
+        return TrafficClass(alpha=alpha, beta=beta, mu=mu, a=a)
+    sources = draw(st.integers(min_value=1, max_value=8))
+    rate = draw(st.floats(min_value=1e-3, max_value=0.5))
+    return TrafficClass.bernoulli(sources, rate, mu=mu, a=a)
+
+
+classes_strategy = st.lists(traffic_class(), min_size=1, max_size=3)

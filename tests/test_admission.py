@@ -1,0 +1,142 @@
+"""Tests for the admission-control (trunk reservation) extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.productform import solve_brute_force
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+from repro.extensions import (
+    OccupancyThresholdPolicy,
+    policy_call_acceptance,
+    solve_with_admission,
+    sweep_threshold,
+)
+from repro.sim import run_replications
+
+DIMS = SwitchDimensions(4, 4)
+CLASSES = (
+    TrafficClass.poisson(0.25, weight=5.0, name="gold"),
+    TrafficClass.poisson(0.25, weight=0.1, name="bronze"),
+)
+
+
+class TestPolicy:
+    def test_unrestricted_factory(self):
+        policy = OccupancyThresholdPolicy.unrestricted(DIMS, 2)
+        assert policy.thresholds == (4, 4)
+
+    def test_reserve_factory(self):
+        policy = OccupancyThresholdPolicy.reserve(
+            DIMS, 2, restricted=1, headroom=3
+        )
+        assert policy.thresholds == (4, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OccupancyThresholdPolicy((1,)).validate(DIMS, 2)
+        with pytest.raises(ConfigurationError):
+            OccupancyThresholdPolicy((5, 2)).validate(DIMS, 2)
+        with pytest.raises(ConfigurationError):
+            OccupancyThresholdPolicy.reserve(DIMS, 2, 0, headroom=-1)
+
+
+class TestSolver:
+    def test_unrestricted_matches_product_form(self):
+        policy = OccupancyThresholdPolicy.unrestricted(DIMS, 2)
+        controlled = solve_with_admission(DIMS, CLASSES, policy)
+        plain = solve_brute_force(DIMS, CLASSES)
+        for state, p in zip(plain.states, plain.probabilities):
+            assert controlled.probability(state) == pytest.approx(
+                p, abs=1e-12
+            )
+
+    def test_states_above_threshold_unreachable(self):
+        policy = OccupancyThresholdPolicy((4, 2))
+        controlled = solve_with_admission(DIMS, CLASSES, policy)
+        for state in controlled.states:
+            # bronze (class 1) could only have been admitted while
+            # occupancy stayed <= 2, so k_bronze <= 2 in every state.
+            assert state[1] <= 2
+
+    def test_policy_breaks_reversibility(self):
+        """Thresholded admission destroys the product form: detailed
+        balance (w.r.t. the *unrestricted* rates) no longer holds."""
+        policy = OccupancyThresholdPolicy((4, 2))
+        controlled = solve_with_admission(DIMS, CLASSES, policy)
+        assert controlled.detailed_balance_residual() > 1e-6
+
+    def test_reserving_protects_gold(self):
+        unrestricted = solve_with_admission(
+            DIMS, CLASSES, OccupancyThresholdPolicy.unrestricted(DIMS, 2)
+        )
+        reserved = solve_with_admission(
+            DIMS, CLASSES,
+            OccupancyThresholdPolicy.reserve(DIMS, 2, restricted=1,
+                                             headroom=2),
+        )
+        assert reserved.concurrency(0) > unrestricted.concurrency(0)
+        assert reserved.concurrency(1) < unrestricted.concurrency(1)
+
+    def test_reservation_can_raise_revenue(self):
+        """The fix for the paper's Table 2 finding: restricting cheap
+        traffic raises W when the weight asymmetry is large."""
+        records = sweep_threshold(DIMS, CLASSES, restricted=1)
+        unrestricted = records[-1]["revenue"]
+        best = max(r["revenue"] for r in records)
+        assert best > unrestricted
+
+    def test_zero_threshold_shuts_class_out(self):
+        policy = OccupancyThresholdPolicy((4, 0))
+        controlled = solve_with_admission(DIMS, CLASSES, policy)
+        assert controlled.concurrency(1) == pytest.approx(0.0, abs=1e-12)
+        # ... and the other class behaves as if alone
+        alone = solve_brute_force(DIMS, CLASSES[:1])
+        assert controlled.concurrency(0) == pytest.approx(
+            alone.concurrency(0), rel=1e-9
+        )
+
+    def test_policy_acceptance_below_one_when_binding(self):
+        policy = OccupancyThresholdPolicy((4, 1))
+        controlled = solve_with_admission(DIMS, CLASSES, policy)
+        acc = policy_call_acceptance(controlled, policy, 1)
+        assert 0.0 < acc < controlled.non_blocking_probability(1)
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_with_admission(
+                DIMS, (), OccupancyThresholdPolicy(())
+            )
+
+
+class TestAgainstSimulation:
+    def test_simulator_matches_ctmc_under_policy(self):
+        policy = OccupancyThresholdPolicy((4, 2))
+        controlled = solve_with_admission(DIMS, CLASSES, policy)
+        summary = run_replications(
+            DIMS, list(CLASSES), horizon=4000.0, warmup=400.0,
+            replications=5, seed=77,
+            admission_thresholds=policy.thresholds,
+        )
+        for r in range(2):
+            sim_acc = summary.classes[r].acceptance.estimate
+            ana_acc = policy_call_acceptance(controlled, policy, r)
+            assert sim_acc == pytest.approx(ana_acc, rel=0.05)
+            sim_e = summary.classes[r].concurrency.estimate
+            assert sim_e == pytest.approx(
+                controlled.concurrency(r), rel=0.08
+            )
+
+    def test_simulator_threshold_validation(self):
+        from repro.sim import AsynchronousCrossbarSimulator
+
+        with pytest.raises(ConfigurationError):
+            AsynchronousCrossbarSimulator(
+                DIMS, CLASSES, admission_thresholds=[4]
+            )
+        with pytest.raises(ConfigurationError):
+            AsynchronousCrossbarSimulator(
+                DIMS, CLASSES, admission_thresholds=[4, 9]
+            )

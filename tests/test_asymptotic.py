@@ -1,0 +1,132 @@
+"""Tests for the large-system fixed-point approximation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.asymptotic import solve_asymptotic
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+
+def _paper_mix(n: int) -> list[TrafficClass]:
+    return [
+        TrafficClass.from_aggregate(0.0024, 0.0, n2=n, name="poisson"),
+        TrafficClass.from_aggregate(0.0024, 0.0012, n2=n, name="pascal"),
+    ]
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_blocking_close_to_exact(self, n):
+        dims = SwitchDimensions.square(n)
+        classes = _paper_mix(n)
+        exact = solve_convolution(dims, classes)
+        approx = solve_asymptotic(dims, classes)
+        rel = abs(approx.blocking(0) - exact.blocking(0)) / exact.blocking(0)
+        assert rel < 0.10
+
+    def test_error_shrinks_with_size(self):
+        errors = []
+        for n in (8, 32, 128):
+            dims = SwitchDimensions.square(n)
+            classes = _paper_mix(n)
+            exact = solve_convolution(dims, classes).blocking(0)
+            approx = solve_asymptotic(dims, classes).blocking(0)
+            errors.append(abs(approx - exact) / exact)
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_concurrency_close_to_exact(self):
+        n = 64
+        dims = SwitchDimensions.square(n)
+        classes = _paper_mix(n)
+        exact = solve_convolution(dims, classes)
+        approx = solve_asymptotic(dims, classes)
+        for r in range(2):
+            assert approx.concurrency(r) == pytest.approx(
+                exact.concurrency(r), rel=0.02
+            )
+
+    def test_heavy_load_still_sane(self):
+        dims = SwitchDimensions(24, 24)
+        classes = [
+            TrafficClass.poisson(0.01),
+            TrafficClass.poisson(2e-5, a=2),
+        ]
+        exact = solve_convolution(dims, classes)
+        approx = solve_asymptotic(dims, classes)
+        assert approx.blocking(0) == pytest.approx(
+            exact.blocking(0), rel=0.05
+        )
+        assert approx.blocking(1) == pytest.approx(
+            exact.blocking(1), rel=0.05
+        )
+
+    def test_revenue_matches(self):
+        n = 64
+        dims = SwitchDimensions.square(n)
+        classes = [c.with_weight(w) for c, w in zip(_paper_mix(n), (1.0, 0.1))]
+        exact = solve_convolution(dims, classes)
+        approx = solve_asymptotic(dims, classes)
+        assert approx.revenue() == pytest.approx(exact.revenue(), rel=0.02)
+
+
+class TestStructure:
+    def test_rectangular_utilizations(self):
+        dims = SwitchDimensions(8, 16)
+        classes = [TrafficClass.poisson(0.005)]
+        approx = solve_asymptotic(dims, classes)
+        assert approx.input_utilization == pytest.approx(
+            2.0 * approx.output_utilization
+        )
+
+    def test_empty_load(self):
+        dims = SwitchDimensions(4, 4)
+        approx = solve_asymptotic(dims, [TrafficClass.poisson(0.0)])
+        assert approx.concurrency(0) == 0.0
+        assert approx.blocking(0) == 0.0
+
+    def test_saturation_bounded_by_capacity(self):
+        dims = SwitchDimensions(6, 6)
+        approx = solve_asymptotic(dims, [TrafficClass.poisson(10.0)])
+        assert approx.concurrency(0) <= 6.0
+        assert 0.0 <= approx.utilization() <= 1.0
+
+    def test_pascal_feedback_saturation(self):
+        """beta close to mu: the unchecked fixed point would diverge;
+        the capacity pin plus utilization feedback must tame it."""
+        dims = SwitchDimensions(8, 8)
+        classes = [TrafficClass(alpha=0.01, beta=0.9, mu=1.0)]
+        approx = solve_asymptotic(dims, classes)
+        assert 0.0 < approx.concurrency(0) <= 8.0
+
+    def test_oversized_class(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.1), TrafficClass.poisson(0.1, a=4)]
+        approx = solve_asymptotic(dims, classes)
+        assert approx.concurrency(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            solve_asymptotic(SwitchDimensions(4, 4), [])
+
+    def test_zero_capacity_switch(self):
+        approx = solve_asymptotic(
+            SwitchDimensions(0, 4), [TrafficClass.poisson(0.5)]
+        )
+        assert approx.concurrency(0) == 0.0
+
+    def test_fixed_point_self_consistent(self):
+        """At the root, total occupancy equals the balance map."""
+        dims = SwitchDimensions(16, 16)
+        classes = [
+            TrafficClass.poisson(0.004),
+            TrafficClass(alpha=0.001, beta=0.2, a=2),
+        ]
+        approx = solve_asymptotic(dims, classes)
+        used = sum(
+            c.a * e for c, e in zip(classes, approx.concurrencies)
+        )
+        assert approx.input_utilization == pytest.approx(used / 16)

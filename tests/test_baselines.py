@@ -1,0 +1,82 @@
+"""Tests for the synchronous (slotted) crossbar baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    saturation_throughput,
+    simulate_slotted,
+    slotted_acceptance,
+    slotted_output_throughput,
+)
+from repro.exceptions import ConfigurationError, InvalidParameterError
+
+
+class TestClosedForms:
+    def test_zero_load(self):
+        assert slotted_output_throughput(8, 8, 0.0) == 0.0
+        assert slotted_acceptance(8, 8, 0.0) == 1.0
+
+    def test_single_input_never_contends(self):
+        assert slotted_acceptance(1, 4, 0.7) == pytest.approx(1.0)
+
+    def test_saturation_limit_is_one_minus_inv_e(self):
+        assert saturation_throughput(10_000) == pytest.approx(
+            1.0 - math.exp(-1.0), rel=1e-4
+        )
+
+    def test_saturation_decreases_with_n(self):
+        values = [saturation_throughput(n) for n in (2, 4, 16, 64)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_throughput_monotone_in_load(self):
+        low = slotted_output_throughput(8, 8, 0.2)
+        high = slotted_output_throughput(8, 8, 0.8)
+        assert high > low
+
+    def test_acceptance_monotone_down_in_load(self):
+        low = slotted_acceptance(8, 8, 0.2)
+        high = slotted_acceptance(8, 8, 0.8)
+        assert high < low
+
+    def test_known_two_by_two(self):
+        # q = 1 - (1 - p/2)^2 with p = 1 -> 3/4
+        assert slotted_output_throughput(2, 2, 1.0) == pytest.approx(0.75)
+
+
+class TestSimulationAgreement:
+    @pytest.mark.parametrize("p", [0.3, 0.9])
+    def test_monte_carlo_matches_formula(self, p):
+        n = 8
+        throughput, acceptance = simulate_slotted(
+            n, n, p, slots=20_000, seed=7
+        )
+        assert throughput == pytest.approx(
+            slotted_output_throughput(n, n, p), rel=0.03
+        )
+        assert acceptance == pytest.approx(
+            slotted_acceptance(n, n, p), rel=0.03
+        )
+
+    def test_rectangular(self):
+        throughput, _ = simulate_slotted(4, 8, 0.8, slots=20_000, seed=3)
+        assert throughput == pytest.approx(
+            slotted_output_throughput(4, 8, 0.8), rel=0.04
+        )
+
+
+class TestValidation:
+    def test_bad_load(self):
+        with pytest.raises(InvalidParameterError):
+            slotted_output_throughput(4, 4, 1.5)
+
+    def test_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            slotted_output_throughput(0, 4, 0.5)
+
+    def test_bad_slots(self):
+        with pytest.raises(ConfigurationError):
+            simulate_slotted(4, 4, 0.5, slots=0)

@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        parser.parse_args(["figure1"])
+        parser.parse_args(["table2", "--set", "1"])
+        parser.parse_args(["solve", "--n", "4", "--poisson", "0.1"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "0.0006" in out
+
+    def test_solve_poisson(self, capsys):
+        assert main(["solve", "--n", "4", "--poisson", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Crossbar 4x4" in out
+        assert "poisson-0" in out
+
+    def test_solve_rectangular_mva(self, capsys):
+        code = main(
+            ["solve", "--n", "3", "--n2", "5", "--poisson", "0.1",
+             "--method", "mva"]
+        )
+        assert code == 0
+        assert "3x5" in capsys.readouterr().out
+
+    def test_solve_all_class_kinds(self, capsys):
+        code = main(
+            ["solve", "--n", "6", "--poisson", "0.1", "--pascal",
+             "0.05:0.2", "--bernoulli", "4:0.02"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pascal-1" in out and "bernoulli-2" in out
+
+    def test_solve_multirate_spec(self, capsys):
+        assert main(["solve", "--n", "6", "--poisson", "0.05:2"]) == 0
+        assert "a=2" in capsys.readouterr().out
+
+    def test_solve_without_classes_fails(self, capsys):
+        assert main(["solve", "--n", "4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_pascal_spec_fails(self, capsys):
+        assert main(["solve", "--n", "4", "--pascal", "0.1"]) == 2
+
+    def test_figure4(self, capsys):
+        assert main(["figure4", "--precision", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "a=1" in out and "a=2" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            ["simulate", "--n", "3", "--poisson", "0.2",
+             "--horizon", "300", "--warmup", "30",
+             "--replications", "2", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Simulation vs analysis" in out
+
+    def test_solve_from_config_json(self, capsys, tmp_path):
+        config = tmp_path / "model.json"
+        config.write_text(
+            '{"n1": 4, "n2": 4, "classes": [{"alpha": 0.1}]}'
+        )
+        assert main(["solve", "--config", str(config), "--json"]) == 0
+        import json
+
+        record = json.loads(capsys.readouterr().out)
+        assert record["dims"] == [4, 4]
+
+    def test_solve_requires_n_or_config(self, capsys):
+        assert main(["solve", "--poisson", "0.1"]) == 2
+        assert "--n is required" in capsys.readouterr().err
+
+    def test_report_command(self, capsys, tmp_path):
+        out = tmp_path / "report"
+        assert main(["report", "--output", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "reproduction criteria pass" in text
+        assert (out / "summary.txt").exists()
+
+    def test_figure_plot_flag(self, capsys):
+        assert main(["figure4", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "x: N" in out  # chart footer
+
+    def test_validate(self, capsys):
+        code = main(["validate", "--n", "4", "--poisson", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CONSISTENT" in out
+
+    def test_hotspot(self, capsys):
+        code = main(
+            ["hotspot", "--n", "5", "--rho", "0.1",
+             "--factors", "1,4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hot-spot sweep" in out
+        assert "hot-request B" in out
+
+    def test_asymptotic(self, capsys):
+        code = main(
+            ["asymptotic", "--n", "512", "--poisson", "0.00001"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Large-system approximation" in out
+
+    def test_multistage(self, capsys):
+        code = main(
+            ["multistage", "--n", "4", "--stages", "2",
+             "--poisson", "0.02"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "end-to-end blocking" in out
+
+    def test_table2_small(self, capsys):
+        # full table2 runs to N=256; keep CLI test on the real path but
+        # accept its runtime (~seconds)
+        assert main(["table2", "--set", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out

@@ -1,0 +1,185 @@
+"""Tests for Algorithm 1 (convolution recursion, paper Section 5-6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import log_q_grid, solve_convolution
+from repro.core.productform import solve_brute_force
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import (
+    ComputationError,
+    ConfigurationError,
+    OverflowInRecursionError,
+)
+
+MODES = ("log", "scaled", "float")
+
+
+def _config_cases():
+    return [
+        ("single poisson", SwitchDimensions(6, 6), [TrafficClass.poisson(0.3)]),
+        (
+            "rectangular poisson",
+            SwitchDimensions(3, 8),
+            [TrafficClass.poisson(0.4)],
+        ),
+        (
+            "pascal",
+            SwitchDimensions(5, 5),
+            [TrafficClass(alpha=0.1, beta=0.4)],
+        ),
+        (
+            "bernoulli",
+            SwitchDimensions(6, 6),
+            [TrafficClass.bernoulli(4, 0.12)],
+        ),
+        (
+            "multirate mix",
+            SwitchDimensions(7, 6),
+            [
+                TrafficClass.poisson(0.2),
+                TrafficClass(alpha=0.05, beta=0.3, a=2),
+                TrafficClass.bernoulli(3, 0.08, a=3),
+            ],
+        ),
+    ]
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize(
+        "label,dims,classes", _config_cases(), ids=[c[0] for c in _config_cases()]
+    )
+    def test_log_g_matches(self, label, dims, classes, mode):
+        solution = solve_convolution(dims, classes, mode=mode)
+        reference = solve_brute_force(dims, classes)
+        assert solution.log_g() == pytest.approx(reference.log_g, rel=1e-10)
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize(
+        "label,dims,classes", _config_cases(), ids=[c[0] for c in _config_cases()]
+    )
+    def test_measures_match(self, label, dims, classes, mode):
+        solution = solve_convolution(dims, classes, mode=mode)
+        reference = solve_brute_force(dims, classes)
+        for r in range(len(classes)):
+            assert solution.non_blocking(r) == pytest.approx(
+                reference.non_blocking_probability(r), rel=1e-9
+            )
+            assert solution.concurrency(r) == pytest.approx(
+                reference.concurrency(r), rel=1e-9
+            )
+            assert solution.call_acceptance(r) == pytest.approx(
+                reference.call_acceptance(r), rel=1e-9
+            )
+
+
+class TestGridStructure:
+    def test_boundary_row_is_inverse_factorial(self):
+        grid = log_q_grid(SwitchDimensions(6, 4), [TrafficClass.poisson(0.2)])
+        for m in range(7):
+            assert grid[m, 0] == pytest.approx(-math.lgamma(m + 1))
+
+    def test_boundary_column_is_inverse_factorial(self):
+        grid = log_q_grid(SwitchDimensions(4, 6), [TrafficClass.poisson(0.2)])
+        for m in range(7):
+            assert grid[0, m] == pytest.approx(-math.lgamma(m + 1))
+
+    def test_symmetric_for_square_problem(self):
+        grid = log_q_grid(
+            SwitchDimensions(5, 5), [TrafficClass(alpha=0.1, beta=0.2)]
+        )
+        assert np.allclose(grid, grid.T)
+
+    def test_modes_agree_cellwise(self, small_dims, mixed_classes):
+        grids = [
+            log_q_grid(small_dims, mixed_classes, mode=m) for m in MODES
+        ]
+        for other in grids[1:]:
+            assert np.allclose(grids[0], other, rtol=1e-10)
+
+    def test_sub_dimension_queries_match_smaller_solves(self):
+        dims = SwitchDimensions(8, 8)
+        classes = [TrafficClass.poisson(0.15), TrafficClass(alpha=0.05, beta=0.2)]
+        big = solve_convolution(dims, classes)
+        small = solve_convolution(SwitchDimensions(5, 6), classes)
+        at = SwitchDimensions(5, 6)
+        for r in range(2):
+            assert big.non_blocking(r, at=at) == pytest.approx(
+                small.non_blocking(r), rel=1e-12
+            )
+            assert big.concurrency(r, at=at) == pytest.approx(
+                small.concurrency(r), rel=1e-12
+            )
+
+
+class TestScalingBehaviour:
+    def test_float_mode_underflows_at_large_n(self):
+        dims = SwitchDimensions.square(200)
+        with pytest.raises(OverflowInRecursionError):
+            solve_convolution(dims, [TrafficClass.poisson(1e-5)], mode="float")
+
+    def test_log_mode_survives_large_n(self):
+        dims = SwitchDimensions.square(200)
+        solution = solve_convolution(dims, [TrafficClass.poisson(1e-5)])
+        assert 0.0 < solution.non_blocking(0) <= 1.0
+
+    def test_scaled_mode_survives_large_n(self):
+        dims = SwitchDimensions.square(200)
+        solution = solve_convolution(
+            dims, [TrafficClass.poisson(1e-5)], mode="scaled"
+        )
+        reference = solve_convolution(dims, [TrafficClass.poisson(1e-5)])
+        assert solution.non_blocking(0) == pytest.approx(
+            reference.non_blocking(0), rel=1e-10
+        )
+
+    def test_scaled_mode_survives_heavy_load(self):
+        """Heavy load: G itself would overflow float64 (log G ~ 1200)."""
+        dims = SwitchDimensions.square(150)
+        solution = solve_convolution(
+            dims, [TrafficClass.poisson(5.0)], mode="scaled"
+        )
+        assert solution.log_g() > 700  # beyond float64 range for G
+        reference = solve_convolution(dims, [TrafficClass.poisson(5.0)])
+        assert solution.non_blocking(0) == pytest.approx(
+            reference.non_blocking(0), rel=1e-9
+        )
+
+
+class TestErrors:
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_convolution(SwitchDimensions(3, 3), [])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_convolution(
+                SwitchDimensions(3, 3), [TrafficClass.poisson(0.1)],
+                mode="quantum",
+            )
+
+    def test_invalid_bernoulli_raises(self):
+        # 2.5 sources on a switch big enough to go negative
+        cls = TrafficClass(alpha=0.25, beta=-0.1)
+        with pytest.raises((ComputationError, ConfigurationError)):
+            solve_convolution(SwitchDimensions(8, 8), [cls])
+
+
+class TestOversizedClass:
+    def test_class_wider_than_switch_gets_zero_measures(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.2), TrafficClass.poisson(0.1, a=5)]
+        solution = solve_convolution(dims, classes)
+        assert solution.non_blocking(1) == 0.0
+        assert solution.concurrency(1) == 0.0
+        # the narrow class behaves as if alone
+        alone = solve_convolution(dims, classes[:1])
+        assert solution.non_blocking(0) == pytest.approx(
+            alone.non_blocking(0), rel=1e-12
+        )

@@ -1,0 +1,156 @@
+"""Integration: every solution path agrees on every measure.
+
+The library computes each performance number at least five independent
+ways — brute-force product form (the paper's eq. 2-3 verbatim),
+Algorithm 1 in three numeric modes, Algorithm 2, exact rationals, a raw
+CTMC solve, and (statistically) discrete-event simulation.  This module
+drives them all against shared configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.exact import solve_exact
+from repro.core.mva import solve_mva
+from repro.core.productform import solve_brute_force
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.ctmc import solve_ctmc
+from repro.sim import run_replications
+
+CONFIGS = [
+    pytest.param(
+        SwitchDimensions(4, 4),
+        [TrafficClass.poisson(0.3, name="p")],
+        id="single-poisson",
+    ),
+    pytest.param(
+        SwitchDimensions(3, 6),
+        [
+            TrafficClass.poisson(0.2, weight=2.0, name="p"),
+            TrafficClass(alpha=0.08, beta=0.25, weight=0.5, name="pascal"),
+        ],
+        id="rect-poisson+pascal",
+    ),
+    pytest.param(
+        SwitchDimensions(6, 5),
+        [
+            TrafficClass.bernoulli(3, 0.1, name="bern"),
+            TrafficClass.poisson(0.05, a=2, name="wide"),
+        ],
+        id="bernoulli+multirate",
+    ),
+    pytest.param(
+        SwitchDimensions(5, 5),
+        [
+            TrafficClass.poisson(0.1, name="p"),
+            TrafficClass(alpha=0.02, beta=0.4, a=2, mu=2.0, name="pk2"),
+            TrafficClass.bernoulli(4, 0.06, name="bern"),
+        ],
+        id="three-kinds",
+    ),
+]
+
+
+@pytest.mark.parametrize("dims,classes", CONFIGS)
+class TestAnalyticalAgreement:
+    def test_five_way_agreement(self, dims, classes):
+        brute = solve_brute_force(dims, classes)
+        ctmc = solve_ctmc(dims, classes)
+        solutions = {
+            "conv-log": solve_convolution(dims, classes, mode="log"),
+            "conv-scaled": solve_convolution(dims, classes, mode="scaled"),
+            "conv-float": solve_convolution(dims, classes, mode="float"),
+            "mva": solve_mva(dims, classes),
+            "exact": solve_exact(dims, classes),
+        }
+        for r in range(len(classes)):
+            expected_b = brute.non_blocking_probability(r)
+            expected_e = brute.concurrency(r)
+            assert ctmc.non_blocking_probability(r) == pytest.approx(
+                expected_b, rel=1e-9
+            )
+            assert ctmc.concurrency(r) == pytest.approx(expected_e, rel=1e-9)
+            for name, solution in solutions.items():
+                assert solution.non_blocking(r) == pytest.approx(
+                    expected_b, rel=1e-9
+                ), f"{name} B_r mismatch"
+                assert solution.concurrency(r) == pytest.approx(
+                    expected_e, rel=1e-9
+                ), f"{name} E_r mismatch"
+
+    def test_revenue_agreement(self, dims, classes):
+        brute = solve_brute_force(dims, classes)
+        for solver in (solve_convolution, solve_mva, solve_exact):
+            assert solver(dims, classes).revenue() == pytest.approx(
+                brute.revenue(), rel=1e-9
+            )
+
+
+class TestSimulationAgreement:
+    @pytest.mark.parametrize(
+        "dims,classes",
+        [
+            (
+                SwitchDimensions(3, 3),
+                [TrafficClass.poisson(0.25, name="p")],
+            ),
+            (
+                SwitchDimensions(4, 4),
+                [
+                    TrafficClass.poisson(0.1, name="p"),
+                    TrafficClass(alpha=0.06, beta=0.3, name="pascal"),
+                ],
+            ),
+        ],
+        ids=["poisson", "mixed"],
+    )
+    def test_simulation_within_tolerance(self, dims, classes):
+        solution = solve_convolution(dims, classes)
+        summary = run_replications(
+            dims, classes, horizon=4000.0, warmup=400.0,
+            replications=5, seed=101,
+        )
+        for r in range(len(classes)):
+            sim_acc = summary.classes[r].acceptance.estimate
+            assert sim_acc == pytest.approx(
+                solution.call_acceptance(r), rel=0.05
+            )
+            sim_e = summary.classes[r].concurrency.estimate
+            assert sim_e == pytest.approx(
+                solution.concurrency(r), rel=0.08
+            )
+
+
+class TestPaperTypoResolution:
+    """Regression lock on the E_r prefactor question (DESIGN.md §2).
+
+    The paper's Section 3 prints binomial coefficients in the ``E_r``
+    formula; the transition structure requires falling factorials.  For
+    ``a_r >= 2`` the two differ by ``(a!)^2`` — this test pins the
+    correct choice against the definitional state sum forever.
+    """
+
+    def test_permutation_prefactor_for_multirate_class(self):
+        dims = SwitchDimensions(4, 5)
+        classes = [TrafficClass.poisson(0.07, a=2, name="wide")]
+        brute = solve_brute_force(dims, classes)
+        conv = solve_convolution(dims, classes)
+        # definitional: E = sum k pi(k)
+        assert conv.concurrency(0) == pytest.approx(
+            brute.concurrency(0), rel=1e-12
+        )
+        # with the binomial prefactor the value would be 4x smaller:
+        from repro.core.state import permutation
+
+        b = conv.non_blocking(0)
+        perm_form = classes[0].rho * permutation(4, 2) * permutation(5, 2) * b
+        assert conv.concurrency(0) == pytest.approx(perm_form, rel=1e-12)
+        import math
+
+        binom_form = classes[0].rho * math.comb(4, 2) * math.comb(5, 2) * b
+        assert abs(conv.concurrency(0) - binom_form) > 0.1 * abs(
+            conv.concurrency(0)
+        )

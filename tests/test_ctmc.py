@@ -1,0 +1,159 @@
+"""Tests for the raw CTMC substrate (no product-form assumptions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.productform import solve_brute_force
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.ctmc import (
+    IndexedStateSpace,
+    build_generator,
+    solve_ctmc,
+    time_to_stationarity,
+    transient_distribution,
+    transition_rates,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestStateSpace:
+    def test_index_is_bijective(self, small_dims, mixed_classes):
+        space = IndexedStateSpace.build(small_dims, mixed_classes)
+        assert len(space.index) == len(space.states)
+        for state, i in space.index.items():
+            assert space.states[i] == state
+
+    def test_requires_classes(self, small_dims):
+        with pytest.raises(ConfigurationError):
+            IndexedStateSpace.build(small_dims, [])
+
+    def test_occupancy(self, small_dims, mixed_classes):
+        space = IndexedStateSpace.build(small_dims, mixed_classes)
+        assert space.occupancy((1, 1, 1)) == 1 + 2 + 1
+
+
+class TestGenerator:
+    def test_rows_sum_to_zero(self, small_dims, mixed_classes):
+        space = IndexedStateSpace.build(small_dims, mixed_classes)
+        gen = build_generator(space)
+        rows = np.asarray(gen.sum(axis=1)).ravel()
+        assert np.allclose(rows, 0.0, atol=1e-12)
+
+    def test_off_diagonal_non_negative(self, small_dims, mixed_classes):
+        space = IndexedStateSpace.build(small_dims, mixed_classes)
+        gen = build_generator(space).toarray()
+        off = gen - np.diag(np.diag(gen))
+        assert np.all(off >= 0.0)
+
+    def test_transition_rates_from_empty_state(self):
+        dims = SwitchDimensions(3, 4)
+        classes = [TrafficClass.poisson(0.5), TrafficClass.poisson(0.2, a=2)]
+        space = IndexedStateSpace.build(dims, classes)
+        rates = dict(transition_rates(space, (0, 0)))
+        # a=1: lambda * P(3,1) P(4,1) = 0.5 * 12
+        assert rates[(1, 0)] == pytest.approx(6.0)
+        # a=2: lambda * P(3,2) P(4,2) = 0.2 * 6 * 12
+        assert rates[(0, 1)] == pytest.approx(14.4)
+
+    def test_departure_rates_linear_in_k(self):
+        dims = SwitchDimensions(4, 4)
+        classes = [TrafficClass.poisson(0.5, mu=2.0)]
+        space = IndexedStateSpace.build(dims, classes)
+        rates = dict(transition_rates(space, (3,)))
+        assert rates[(2,)] == pytest.approx(6.0)  # k mu = 3 * 2
+
+    def test_blocking_states_have_no_up_transitions(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.5)]
+        space = IndexedStateSpace.build(dims, classes)
+        targets = [t for t, _ in transition_rates(space, (2,))]
+        assert targets == [(1,)]
+
+    def test_bernoulli_rate_exhausts_at_sources(self):
+        dims = SwitchDimensions(5, 5)
+        classes = [TrafficClass.bernoulli(2, 0.3)]
+        space = IndexedStateSpace.build(dims, classes)
+        targets = [t for t, _ in transition_rates(space, (2,))]
+        assert (3,) not in targets  # no sources left
+
+
+class TestStationarySolution:
+    @pytest.mark.parametrize("method", ["direct", "power"])
+    def test_matches_product_form(self, small_dims, mixed_classes, method):
+        ctmc = solve_ctmc(small_dims, mixed_classes, method=method)
+        reference = solve_brute_force(small_dims, mixed_classes)
+        tol = 1e-12 if method == "direct" else 1e-8
+        for p, q in zip(ctmc.probabilities, reference.probabilities):
+            assert p == pytest.approx(q, abs=tol)
+
+    def test_log_g_reconstruction(self, small_dims, mixed_classes):
+        ctmc = solve_ctmc(small_dims, mixed_classes)
+        reference = solve_brute_force(small_dims, mixed_classes)
+        assert ctmc.log_g == pytest.approx(reference.log_g, rel=1e-10)
+
+    def test_unknown_method_rejected(self, small_dims, mixed_classes):
+        with pytest.raises(ConfigurationError):
+            solve_ctmc(small_dims, mixed_classes, method="divination")
+
+    def test_measures_available_on_result(self, small_dims, mixed_classes):
+        ctmc = solve_ctmc(small_dims, mixed_classes)
+        assert 0.0 <= ctmc.non_blocking_probability(0) <= 1.0
+        assert ctmc.check_normalized()
+
+
+class TestTransient:
+    def test_t_zero_is_initial_state(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.5)]
+        dist = transient_distribution(dims, classes, t=0.0)
+        assert dist[(0,)] == pytest.approx(1.0)
+
+    def test_distribution_normalized_at_all_times(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.4), TrafficClass(alpha=0.1, beta=0.2)]
+        for t in (0.1, 1.0, 5.0):
+            dist = transient_distribution(dims, classes, t=t)
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_converges_to_stationary(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.4)]
+        late = transient_distribution(dims, classes, t=80.0)
+        stationary = solve_brute_force(dims, classes)
+        for state, p in zip(stationary.states, stationary.probabilities):
+            assert late[state] == pytest.approx(p, abs=1e-9)
+
+    def test_monotone_departure_from_initial(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.8)]
+        early = transient_distribution(dims, classes, t=0.05)
+        later = transient_distribution(dims, classes, t=2.0)
+        assert early[(0,)] > later[(0,)]
+
+    def test_custom_initial_state(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.5)]
+        dist = transient_distribution(dims, classes, t=0.0, initial=(2,))
+        assert dist[(2,)] == pytest.approx(1.0)
+
+    def test_infeasible_initial_rejected(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.5)]
+        with pytest.raises(ConfigurationError):
+            transient_distribution(dims, classes, t=1.0, initial=(5,))
+
+    def test_negative_time_rejected(self):
+        dims = SwitchDimensions(2, 2)
+        with pytest.raises(ConfigurationError):
+            transient_distribution(
+                dims, [TrafficClass.poisson(0.5)], t=-1.0
+            )
+
+    def test_time_to_stationarity_positive_and_finite(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.5)]
+        t = time_to_stationarity(dims, classes, epsilon=1e-4, horizon=100.0)
+        assert 0.0 < t < 100.0

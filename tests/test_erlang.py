@@ -1,0 +1,127 @@
+"""Tests for the Erlang/Engset baselines and the crossbar limit theorems."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.erlang import (
+    engset_blocking,
+    engset_distribution,
+    engset_mean_busy,
+    erlang_b,
+)
+from repro.core.moments import occupancy_pmf
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError, InvalidParameterError
+
+
+class TestErlangB:
+    def test_known_value(self):
+        # Classic table entry: 5 servers, 3 erlangs -> 0.110054...
+        assert erlang_b(5, 3.0) == pytest.approx(0.110054, rel=1e-4)
+
+    def test_zero_servers_blocks_everything(self):
+        assert erlang_b(0, 2.0) == 1.0
+
+    def test_zero_load_never_blocks(self):
+        assert erlang_b(10, 0.0) == 0.0
+
+    def test_monotone_in_load(self):
+        assert erlang_b(10, 8.0) > erlang_b(10, 4.0)
+
+    def test_monotone_in_servers(self):
+        assert erlang_b(12, 8.0) < erlang_b(8, 8.0)
+
+    def test_matches_direct_formula_small(self):
+        # B = (A^c/c!)/sum_{k<=c} A^k/k!
+        a, c = 2.5, 4
+        num = a**c / math.factorial(c)
+        den = sum(a**k / math.factorial(k) for k in range(c + 1))
+        assert erlang_b(c, a) == pytest.approx(num / den, rel=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            erlang_b(-1, 1.0)
+        with pytest.raises(InvalidParameterError):
+            erlang_b(3, -0.5)
+
+
+class TestEngset:
+    def test_distribution_is_binomial_without_truncation(self):
+        # S sources, load a each, servers >= S: pi(m) = C(S,m) p^m (1-p)^(S-m)
+        s, a = 5, 0.4
+        p = a / (1.0 + a)
+        pmf = engset_distribution(s, a)
+        for m, value in enumerate(pmf):
+            expected = math.comb(s, m) * p**m * (1 - p) ** (s - m)
+            assert value == pytest.approx(expected, rel=1e-12)
+
+    def test_mean_busy(self):
+        s, a = 6, 0.5
+        assert engset_mean_busy(s, a) == pytest.approx(
+            s * (a / (1 + a)), rel=1e-12
+        )
+
+    def test_truncation_reduces_mean(self):
+        assert engset_mean_busy(6, 1.0, servers=2) < engset_mean_busy(6, 1.0)
+
+    def test_call_congestion_zero_when_servers_cover_sources(self):
+        assert engset_blocking(4, 0.7, servers=4) == 0.0
+
+    def test_call_congestion_positive_when_truncated(self):
+        assert engset_blocking(8, 0.5, servers=3) > 0.0
+
+    def test_engset_converges_to_erlang_b(self):
+        """Sources -> infinity at fixed total load A = S*a/(per-idle):
+        call congestion -> Erlang B."""
+        servers, total = 5, 3.0
+        approxes = []
+        for s in (10, 100, 1000):
+            # choose per-source load so total offered ~ total erlangs
+            a = total / (s - total)
+            approxes.append(engset_blocking(s, a, servers))
+        target = erlang_b(servers, total)
+        errors = [abs(x - target) for x in approxes]
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 5e-3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            engset_distribution(0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            engset_distribution(3, -0.1)
+        with pytest.raises(ConfigurationError):
+            engset_distribution(3, 0.5, servers=-1)
+
+
+class TestCrossbarLimits:
+    def test_crossbar_occupancy_converges_to_engset(self):
+        """N1 = c fixed, N2 -> infinity at per-input load Lambda:
+        the busy-input count converges to Engset(c, Lambda)."""
+        c, lam = 4, 0.5
+        target = engset_distribution(c, lam)
+        worst_errors = []
+        for n2 in (8, 64, 512):
+            dims = SwitchDimensions(c, n2)
+            pmf = occupancy_pmf(dims, [TrafficClass.poisson(lam / n2)])
+            worst_errors.append(
+                max(abs(a - b) for a, b in zip(pmf, target))
+            )
+        assert worst_errors[0] > worst_errors[1] > worst_errors[2]
+        assert worst_errors[2] < 1e-3
+
+    def test_crossbar_mean_converges_to_engset_mean(self):
+        c, lam = 3, 0.8
+        n2 = 1024
+        dims = SwitchDimensions(c, n2)
+        from repro.core.convolution import solve_convolution
+
+        solution = solve_convolution(
+            dims, [TrafficClass.poisson(lam / n2)]
+        )
+        assert solution.concurrency(0) == pytest.approx(
+            engset_mean_busy(c, lam), rel=2e-3
+        )

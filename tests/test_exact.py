@@ -1,0 +1,80 @@
+"""Tests for the exact rational-arithmetic oracle."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.exact import exact_q_table, solve_exact
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+
+class TestExactTable:
+    def test_boundary_values_are_exact_inverse_factorials(self):
+        table = exact_q_table(
+            SwitchDimensions(5, 3), [TrafficClass.poisson(0.5)]
+        )
+        for m in range(6):
+            assert table[m][0] == Fraction(1, math.factorial(m))
+        for m in range(4):
+            assert table[0][m] == Fraction(1, math.factorial(m))
+
+    def test_known_closed_form(self):
+        # Q(2,2) single Poisson a=1: 1/4 + rho + rho^2/2... derive:
+        # states k=0,1,2: Q = 1/(2!2!) + rho/(1!1!) + rho^2/2! = 1/4 + rho + rho^2/2
+        rho = Fraction(1, 4)
+        table = exact_q_table(
+            SwitchDimensions(2, 2), [TrafficClass.poisson(float(rho))]
+        )
+        assert table[2][2] == Fraction(1, 4) + rho + rho**2 / 2
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_q_table(SwitchDimensions(2, 2), [])
+
+
+class TestExactSolution:
+    def test_matches_float_algorithms(self, small_dims, mixed_classes):
+        exact = solve_exact(small_dims, mixed_classes)
+        conv = solve_convolution(small_dims, mixed_classes)
+        for r in range(len(mixed_classes)):
+            assert exact.non_blocking(r) == pytest.approx(
+                conv.non_blocking(r), rel=1e-12
+            )
+            assert exact.concurrency(r) == pytest.approx(
+                conv.concurrency(r), rel=1e-12
+            )
+
+    def test_log_g_matches(self, small_dims, mixed_classes):
+        exact = solve_exact(small_dims, mixed_classes)
+        conv = solve_convolution(small_dims, mixed_classes)
+        assert exact.log_g() == pytest.approx(conv.log_g(), rel=1e-12)
+
+    def test_float_error_is_tiny_at_moderate_size(self):
+        """Quantify Algorithm 1's float error against the oracle —
+        the Section 5.1 stability discussion, made concrete."""
+        dims = SwitchDimensions.square(24)
+        classes = [
+            TrafficClass.poisson(0.02),
+            TrafficClass(alpha=0.01, beta=0.3),
+        ]
+        exact = solve_exact(dims, classes)
+        for mode in ("log", "scaled"):
+            approx = solve_convolution(dims, classes, mode=mode)
+            for r in range(2):
+                rel = abs(
+                    approx.non_blocking(r) - exact.non_blocking(r)
+                ) / exact.non_blocking(r)
+                assert rel < 1e-11
+
+    def test_log_of_huge_fraction_does_not_overflow(self):
+        """log Q via numerator/denominator bit arithmetic."""
+        dims = SwitchDimensions.square(40)
+        exact = solve_exact(dims, [TrafficClass.poisson(0.01)])
+        conv = solve_convolution(dims, [TrafficClass.poisson(0.01)])
+        assert exact.log_g() == pytest.approx(conv.log_g(), rel=1e-12)

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_example_inventory():
+    """The repo ships the promised examples."""
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "integrated_services",
+        "switch_dimensioning",
+        "simulation_validation",
+        "peakedness_study",
+        "multistage_network",
+        "capacity_planning",
+        "transient_warmup",
+        "admission_control",
+        "bursty_traffic_fidelity",
+    } <= names

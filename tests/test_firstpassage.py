@@ -1,0 +1,161 @@
+"""Tests for first-passage analysis and provisioning economics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.revenue import port_marginal_revenue
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.ctmc import mean_time_to_blocking
+from repro.exceptions import ConfigurationError
+from repro.sim import run_until_precision
+
+
+class TestMeanTimeToBlocking:
+    def test_single_server_closed_form(self):
+        """1x1 switch: blocking set is {k=1}; expected hitting time from
+        empty is one inter-arrival time, 1/(lambda N1 N2) = 1/alpha."""
+        alpha = 0.4
+        dims = SwitchDimensions(1, 1)
+        value = mean_time_to_blocking(dims, [TrafficClass.poisson(alpha)])
+        assert value == pytest.approx(1.0 / alpha, rel=1e-9)
+
+    def test_decreases_with_load(self):
+        dims = SwitchDimensions(3, 3)
+        light = mean_time_to_blocking(dims, [TrafficClass.poisson(0.1)])
+        heavy = mean_time_to_blocking(dims, [TrafficClass.poisson(0.5)])
+        assert heavy < light
+
+    def test_increases_with_size_at_fixed_total_load(self):
+        def classes_for(n):
+            return [TrafficClass.poisson(0.5 / n**2)]
+
+        small = mean_time_to_blocking(
+            SwitchDimensions.square(2), classes_for(2)
+        )
+        big = mean_time_to_blocking(
+            SwitchDimensions.square(4), classes_for(4)
+        )
+        assert big > small
+
+    def test_infinite_when_sources_cannot_fill_fabric(self):
+        dims = SwitchDimensions(5, 5)
+        classes = [TrafficClass.bernoulli(2, 0.3)]
+        assert mean_time_to_blocking(dims, classes) == float("inf")
+
+    def test_zero_when_starting_blocked(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.3)]
+        assert mean_time_to_blocking(dims, classes, initial=(2,)) == 0.0
+
+    def test_multirate_threshold(self):
+        """An a=2 class is blocked earlier (k.A > cap - 2)."""
+        dims = SwitchDimensions(4, 4)
+        classes = [
+            TrafficClass.poisson(0.2),
+            TrafficClass.poisson(0.05, a=2),
+        ]
+        narrow = mean_time_to_blocking(dims, classes, r=0)
+        wide = mean_time_to_blocking(dims, classes, r=1)
+        assert wide < narrow
+
+    def test_validation(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.3)]
+        with pytest.raises(ConfigurationError):
+            mean_time_to_blocking(dims, [], r=0)
+        with pytest.raises(ConfigurationError):
+            mean_time_to_blocking(dims, classes, r=5)
+        with pytest.raises(ConfigurationError):
+            mean_time_to_blocking(dims, classes, initial=(9,))
+
+
+class TestPortMarginalRevenue:
+    def test_symmetric_switch_symmetric_gains(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.3)]
+        econ = port_marginal_revenue(dims, classes)
+        assert econ["add_input"] == pytest.approx(econ["add_output"])
+        assert econ["add_both"] > econ["add_input"]
+
+    def test_bottleneck_side_is_worth_more(self):
+        """On a rectangular switch the scarce side dominates."""
+        dims = SwitchDimensions(2, 8)
+        classes = [TrafficClass.poisson(0.2)]
+        econ = port_marginal_revenue(dims, classes)
+        assert econ["add_input"] > econ["add_output"]
+
+    def test_gains_nonnegative(self):
+        dims = SwitchDimensions(3, 4)
+        classes = [
+            TrafficClass.poisson(0.2, weight=2.0),
+            TrafficClass(alpha=0.05, beta=0.2, weight=0.5),
+        ]
+        econ = port_marginal_revenue(dims, classes)
+        for key in ("add_input", "add_output", "add_both"):
+            assert econ[key] >= -1e-12
+
+    def test_consistent_with_direct_solves(self):
+        from repro.core.convolution import solve_convolution
+
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.3)]
+        econ = port_marginal_revenue(dims, classes)
+        direct = (
+            solve_convolution(SwitchDimensions(4, 3), classes).revenue()
+            - solve_convolution(dims, classes).revenue()
+        )
+        assert econ["add_input"] == pytest.approx(direct, rel=1e-12)
+
+
+class TestRunUntilPrecision:
+    def test_meets_target(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.3, name="p")]
+        summary = run_until_precision(
+            dims, classes, target_half_width=0.03,
+            horizon=600.0, warmup=60.0, seed=3,
+        )
+        assert summary.classes[0].acceptance.half_width <= 0.03
+        assert summary.replications >= 4
+
+    def test_tight_target_needs_more_replications(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.3, name="p")]
+        loose = run_until_precision(
+            dims, classes, target_half_width=0.05,
+            horizon=400.0, warmup=40.0, seed=9,
+        )
+        tight = run_until_precision(
+            dims, classes, target_half_width=0.01,
+            horizon=400.0, warmup=40.0, seed=9,
+        )
+        assert tight.replications >= loose.replications
+
+    def test_budget_exhaustion_raises(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.3)]
+        with pytest.raises(ConfigurationError, match="half-width"):
+            run_until_precision(
+                dims, classes, target_half_width=1e-7,
+                horizon=50.0, max_replications=5, seed=1,
+            )
+
+    def test_validation(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.1)]
+        with pytest.raises(ConfigurationError):
+            run_until_precision(
+                dims, classes, target_half_width=0.0, horizon=10.0
+            )
+        with pytest.raises(ConfigurationError):
+            run_until_precision(
+                dims, classes, target_half_width=0.1, horizon=10.0,
+                measure="latency",
+            )
+        with pytest.raises(ConfigurationError):
+            run_until_precision(
+                dims, classes, target_half_width=0.1, horizon=10.0,
+                min_replications=1,
+            )

@@ -1,0 +1,105 @@
+"""Tests for the generating-function machinery (paper eq. 5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.convolution import log_q_grid
+from repro.core.generating import (
+    class_series,
+    closed_form_class_series,
+    evaluate_z,
+    normalization_series,
+    q_from_series,
+)
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+
+class TestClassSeries:
+    def test_poisson_series_is_exponential(self):
+        cls = TrafficClass.poisson(0.5)
+        series = class_series(cls, 5)
+        for k in range(6):
+            assert series[k] == pytest.approx(0.5**k / math.factorial(k))
+
+    def test_multirate_strides(self):
+        cls = TrafficClass.poisson(0.5, a=2)
+        series = class_series(cls, 6)
+        assert series[1] == 0.0 and series[3] == 0.0 and series[5] == 0.0
+        assert series[2] == pytest.approx(0.5)
+        assert series[4] == pytest.approx(0.5**2 / 2)
+
+    def test_bernoulli_terminates(self):
+        cls = TrafficClass.bernoulli(2, 0.3)
+        series = class_series(cls, 6)
+        assert series[3] == 0.0 and series[4] == 0.0
+
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            TrafficClass.poisson(0.7),
+            TrafficClass(alpha=0.2, beta=0.4),
+            TrafficClass.bernoulli(3, 0.25),
+            TrafficClass(alpha=0.1, beta=0.3, a=2, mu=1.5),
+        ],
+        ids=["poisson", "pascal", "bernoulli", "multirate"],
+    )
+    def test_closed_form_matches_definition(self, cls):
+        """Verifies eq. 5's per-class algebra: exp / (1 - b u)^(-a/b)."""
+        direct = class_series(cls, 10)
+        closed = closed_form_class_series(cls, 10)
+        for d, c in zip(direct, closed):
+            assert d == pytest.approx(c, rel=1e-12, abs=1e-15)
+
+
+class TestNormalizationFromSeries:
+    def test_matches_recursion(self, small_dims, mixed_classes):
+        lq = log_q_grid(small_dims, mixed_classes)
+        q = q_from_series(small_dims, mixed_classes)
+        assert math.log(q) == pytest.approx(
+            lq[small_dims.n1, small_dims.n2], rel=1e-12
+        )
+
+    def test_closed_form_flag(self, small_dims, mixed_classes):
+        a = q_from_series(small_dims, mixed_classes, closed_form=False)
+        b = q_from_series(small_dims, mixed_classes, closed_form=True)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalization_series([], 4)
+
+
+class TestEvaluateZ:
+    def test_series_sum_converges_to_closed_form(self):
+        """Sum Q(N) t1^N1 t2^N2 over a large grid ~ Z(t1, t2)."""
+        classes = [
+            TrafficClass.poisson(0.3),
+            TrafficClass(alpha=0.1, beta=0.2),
+        ]
+        t1, t2 = 0.4, 0.3
+        grid = log_q_grid(SwitchDimensions(24, 24), classes)
+        total = 0.0
+        for n1 in range(25):
+            for n2 in range(25):
+                total += math.exp(
+                    grid[n1, n2] + n1 * math.log(t1) + n2 * math.log(t2)
+                )
+        assert total == pytest.approx(
+            evaluate_z(classes, t1, t2), rel=1e-8
+        )
+
+    def test_divergence_detected(self):
+        classes = [TrafficClass(alpha=0.1, beta=0.9)]
+        with pytest.raises(ConfigurationError):
+            evaluate_z(classes, 2.0, 2.0)  # b u >= 1
+
+    def test_poisson_only_is_pure_exponential(self):
+        classes = [TrafficClass.poisson(0.5)]
+        t1, t2 = 0.2, 0.7
+        expected = math.exp(t1 + t2 + 0.5 * t1 * t2)
+        assert evaluate_z(classes, t1, t2) == pytest.approx(expected)

@@ -1,0 +1,61 @@
+"""Golden-value regression locks for the reproduced figures.
+
+``tests/golden/*.json`` snapshots the figure series produced by the
+(six-way cross-validated) solvers.  Any future change that silently
+alters a reproduced number — a refactor of the recursions, a
+parameterization slip in the scenarios — fails here with the exact
+curve and point.
+
+To intentionally refresh after a *deliberate* scenario change::
+
+    python - <<'PY'
+    import json
+    from repro.workloads import figure1, figure2, figure3, figure4
+    for name, builder in [("figure1", figure1), ("figure2", figure2),
+                          ("figure3", figure3), ("figure4", figure4)]:
+        fig = builder()
+        json.dump({"x": list(fig.x_values),
+                   "curves": {c.label: list(c.values) for c in fig.curves}},
+                  open(f"tests/golden/{name}.json", "w"), indent=1)
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import figure1, figure2, figure3, figure4
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+BUILDERS = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+}
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_figure_matches_golden(name):
+    golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    figure = BUILDERS[name]()
+    assert list(figure.x_values) == golden["x"]
+    assert {c.label for c in figure.curves} == set(golden["curves"])
+    for curve in figure.curves:
+        expected = golden["curves"][curve.label]
+        for i, (measured, locked) in enumerate(
+            zip(curve.values, expected)
+        ):
+            assert measured == pytest.approx(locked, rel=1e-9), (
+                f"{name} curve {curve.label!r} point {i} "
+                f"(x={figure.x_values[i]}) drifted: "
+                f"{measured} vs locked {locked}"
+            )
+
+
+def test_golden_files_exist():
+    for name in BUILDERS:
+        assert (GOLDEN_DIR / f"{name}.json").exists()

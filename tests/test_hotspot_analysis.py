@@ -1,0 +1,144 @@
+"""Tests for the exact hot-spot chain (companion model, ref. [28])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+from repro.extensions.hotspot_analysis import solve_hot_spot
+from repro.sim import run_hot_spot
+
+
+class TestUniformLimit:
+    """factor = 1 must collapse to the paper's uniform model."""
+
+    @pytest.mark.parametrize("n,rho", [(4, 0.2), (8, 0.05), (6, 0.5)])
+    def test_blocking_matches_product_form(self, n, rho):
+        dims = SwitchDimensions.square(n)
+        cls = TrafficClass.poisson(rho)
+        uniform = solve_convolution(dims, [cls])
+        hot = solve_hot_spot(dims, cls, factor=1.0)
+        assert hot.blocking() == pytest.approx(
+            uniform.blocking(0), rel=1e-10
+        )
+
+    def test_mean_connections_matches(self):
+        dims = SwitchDimensions.square(5)
+        cls = TrafficClass.poisson(0.3)
+        uniform = solve_convolution(dims, [cls])
+        hot = solve_hot_spot(dims, cls, factor=1.0)
+        assert hot.mean_connections() == pytest.approx(
+            uniform.concurrency(0), rel=1e-10
+        )
+
+    def test_hot_and_cold_blocking_equal_at_factor_one(self):
+        dims = SwitchDimensions.square(5)
+        cls = TrafficClass.poisson(0.3)
+        hot = solve_hot_spot(dims, cls, factor=1.0)
+        assert hot.hot_request_blocking() == pytest.approx(
+            hot.cold_request_blocking(), rel=1e-9
+        )
+
+    def test_rectangular_uniform_limit(self):
+        dims = SwitchDimensions(4, 7)
+        cls = TrafficClass.poisson(0.15)
+        uniform = solve_convolution(dims, [cls])
+        hot = solve_hot_spot(dims, cls, factor=1.0)
+        assert hot.blocking() == pytest.approx(
+            uniform.blocking(0), rel=1e-10
+        )
+
+
+class TestSkewEffects:
+    def test_blocking_monotone_in_factor(self):
+        dims = SwitchDimensions.square(6)
+        cls = TrafficClass.poisson(0.1)
+        blockings = [
+            solve_hot_spot(dims, cls, factor=f).blocking()
+            for f in (1.0, 2.0, 4.0, 8.0, 16.0)
+        ]
+        assert all(b > a - 1e-12 for a, b in zip(blockings, blockings[1:]))
+
+    def test_hot_requests_blocked_more_than_cold(self):
+        dims = SwitchDimensions.square(6)
+        cls = TrafficClass.poisson(0.1)
+        solution = solve_hot_spot(dims, cls, factor=6.0)
+        assert (
+            solution.hot_request_blocking()
+            > solution.cold_request_blocking()
+        )
+
+    def test_hot_output_hotter_than_cold(self):
+        dims = SwitchDimensions.square(6)
+        cls = TrafficClass.poisson(0.1)
+        solution = solve_hot_spot(dims, cls, factor=4.0)
+        assert (
+            solution.hot_output_utilization()
+            > solution.cold_output_utilization()
+        )
+
+    def test_distribution_normalized(self):
+        dims = SwitchDimensions.square(7)
+        cls = TrafficClass.poisson(0.2)
+        solution = solve_hot_spot(dims, cls, factor=3.0)
+        assert sum(solution.probabilities) == pytest.approx(1.0)
+
+    def test_probability_lookup(self):
+        dims = SwitchDimensions.square(3)
+        cls = TrafficClass.poisson(0.2)
+        solution = solve_hot_spot(dims, cls, factor=2.0)
+        assert solution.probability(0, 0) > 0.0
+        assert solution.probability(0, 1) == 0.0  # infeasible
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("factor", [1.0, 4.0])
+    def test_acceptance_matches_simulator(self, factor):
+        dims = SwitchDimensions.square(5)
+        classes = [TrafficClass.poisson(0.15, name="p")]
+        analysis = solve_hot_spot(dims, classes[0], factor=factor)
+        summary = run_hot_spot(
+            dims, classes, factor=factor, horizon=4000.0, warmup=400.0,
+            replications=4, seed=19,
+        )
+        sim_acc = summary.classes[0].acceptance.estimate
+        assert sim_acc == pytest.approx(
+            analysis.call_acceptance(), rel=0.04
+        )
+
+    def test_concurrency_matches_simulator(self):
+        dims = SwitchDimensions.square(5)
+        classes = [TrafficClass.poisson(0.15, name="p")]
+        analysis = solve_hot_spot(dims, classes[0], factor=5.0)
+        summary = run_hot_spot(
+            dims, classes, factor=5.0, horizon=4000.0, warmup=400.0,
+            replications=4, seed=23,
+        )
+        assert summary.classes[0].concurrency.estimate == pytest.approx(
+            analysis.mean_connections(), rel=0.05
+        )
+
+
+class TestValidation:
+    def test_rejects_multirate(self):
+        with pytest.raises(ConfigurationError):
+            solve_hot_spot(
+                SwitchDimensions(4, 4), TrafficClass.poisson(0.1, a=2), 2.0
+            )
+
+    def test_rejects_bursty(self):
+        with pytest.raises(ConfigurationError):
+            solve_hot_spot(
+                SwitchDimensions(4, 4),
+                TrafficClass(alpha=0.1, beta=0.2),
+                2.0,
+            )
+
+    def test_rejects_small_factor(self):
+        with pytest.raises(ConfigurationError):
+            solve_hot_spot(
+                SwitchDimensions(4, 4), TrafficClass.poisson(0.1), 0.5
+            )

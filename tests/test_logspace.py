@@ -1,0 +1,97 @@
+"""Tests for the signed log-domain arithmetic helper."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.logspace import NEG_INF, signed_log_add, signed_log_scale
+
+
+def _pack(x: float) -> tuple[float, int]:
+    if x == 0:
+        return NEG_INF, 0
+    return math.log(abs(x)), 1 if x > 0 else -1
+
+
+def _unpack(logmag: float, sign: int) -> float:
+    if sign == 0:
+        return 0.0
+    return sign * math.exp(logmag)
+
+
+class TestSignedLogAdd:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (2.0, 3.0),
+            (2.0, -3.0),
+            (-2.0, 3.0),
+            (-2.0, -3.0),
+            (1e-150, 1e-150),
+            (5.0, 0.0),
+            (0.0, -7.0),
+            (0.0, 0.0),
+            (1e100, -1.0),
+        ],
+    )
+    def test_matches_plain_addition(self, a, b):
+        la, sa = _pack(a)
+        lb, sb = _pack(b)
+        out_l, out_s = signed_log_add(
+            np.array([la]), np.array([sa]), np.array([lb]), np.array([sb])
+        )
+        assert _unpack(float(out_l[0]), int(out_s[0])) == pytest.approx(
+            a + b, rel=1e-12, abs=1e-300
+        )
+
+    def test_exact_cancellation_gives_zero(self):
+        la, sa = _pack(4.0)
+        lb, sb = _pack(-4.0)
+        out_l, out_s = signed_log_add(
+            np.array([la]), np.array([sa]), np.array([lb]), np.array([sb])
+        )
+        assert out_s[0] == 0
+        assert out_l[0] == NEG_INF
+
+    def test_vectorized_mixed_cases(self):
+        values_a = np.array([1.0, -2.0, 0.0, 3.0])
+        values_b = np.array([2.0, 2.0, -5.0, 0.0])
+        la, sa = zip(*[_pack(v) for v in values_a])
+        lb, sb = zip(*[_pack(v) for v in values_b])
+        out_l, out_s = signed_log_add(
+            np.array(la), np.array(sa), np.array(lb), np.array(sb)
+        )
+        for i, expected in enumerate(values_a + values_b):
+            assert _unpack(float(out_l[i]), int(out_s[i])) == pytest.approx(
+                expected, rel=1e-12, abs=1e-300
+            )
+
+    def test_huge_magnitude_no_overflow(self):
+        out_l, out_s = signed_log_add(
+            np.array([1e4]), np.array([1]), np.array([1e4 - 1.0]), np.array([1])
+        )
+        # log(e^10000 + e^9999) = 10000 + log(1 + 1/e)
+        assert out_l[0] == pytest.approx(1e4 + math.log1p(math.exp(-1.0)))
+        assert out_s[0] == 1
+
+
+class TestSignedLogScale:
+    def test_positive_factor(self):
+        l, s = signed_log_scale(np.array([0.0]), np.array([1]), 2.5)
+        assert _unpack(float(l[0]), int(s[0])) == pytest.approx(2.5)
+
+    def test_negative_factor_flips_sign(self):
+        l, s = signed_log_scale(np.array([0.0]), np.array([1]), -0.5)
+        assert _unpack(float(l[0]), int(s[0])) == pytest.approx(-0.5)
+
+    def test_zero_factor_gives_signed_zero(self):
+        l, s = signed_log_scale(np.array([3.0]), np.array([-1]), 0.0)
+        assert s[0] == 0
+        assert l[0] == NEG_INF
+
+    def test_scaling_signed_zero_stays_zero(self):
+        l, s = signed_log_scale(np.array([NEG_INF]), np.array([0]), 4.0)
+        assert s[0] == 0

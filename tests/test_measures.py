@@ -1,0 +1,126 @@
+"""Tests for the shared PerformanceSolution measure interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.measures import PerformanceSolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def solution(small_dims, mixed_classes):
+    return solve_convolution(small_dims, mixed_classes)
+
+
+class TestQueries:
+    def test_blocking_complements_non_blocking(self, solution):
+        for r in range(3):
+            assert solution.blocking(r) == pytest.approx(
+                1.0 - solution.non_blocking(r)
+            )
+
+    def test_probabilities_in_unit_interval(self, solution):
+        for r in range(3):
+            assert 0.0 <= solution.non_blocking(r) <= 1.0
+            assert 0.0 <= solution.call_acceptance(r) <= 1.0
+
+    def test_equal_bandwidth_classes_share_blocking(self, small_dims):
+        classes = [
+            TrafficClass.poisson(0.2),
+            TrafficClass(alpha=0.1, beta=0.3),
+        ]
+        solution = solve_convolution(small_dims, classes)
+        # B_r depends only on a_r: both a=1 classes see the same ratio.
+        assert solution.non_blocking(0) == pytest.approx(
+            solution.non_blocking(1), rel=1e-12
+        )
+
+    def test_concurrencies_list(self, solution):
+        values = solution.concurrencies()
+        assert len(values) == 3
+        for r, v in enumerate(values):
+            assert v == pytest.approx(solution.concurrency(r))
+
+    def test_mean_occupancy_weights_by_bandwidth(self, solution, mixed_classes):
+        expected = sum(
+            c.a * solution.concurrency(r)
+            for r, c in enumerate(mixed_classes)
+        )
+        assert solution.mean_occupancy() == pytest.approx(expected)
+
+    def test_utilization_bounded(self, solution):
+        assert 0.0 <= solution.utilization() <= 1.0
+
+    def test_total_throughput(self, solution):
+        expected = sum(solution.throughput(r) for r in range(3))
+        assert solution.total_throughput() == pytest.approx(expected)
+
+    def test_summary_mentions_each_class(self, solution, mixed_classes):
+        text = solution.summary()
+        for cls in mixed_classes:
+            assert cls.name in text
+
+
+class TestSubDimensionResolution:
+    def test_out_of_grid_rejected(self, solution, small_dims):
+        too_big = SwitchDimensions(small_dims.n1 + 1, small_dims.n2)
+        with pytest.raises(ConfigurationError):
+            solution.non_blocking(0, at=too_big)
+
+    def test_zero_capacity_sub_dims(self, solution):
+        at = SwitchDimensions(0, 3)
+        assert solution.non_blocking(0, at=at) == 0.0
+        assert solution.utilization(at=at) == 0.0
+
+    def test_revenue_at_reduced_dims_matches_direct_solve(
+        self, solution, small_dims, mixed_classes
+    ):
+        reduced = SwitchDimensions(small_dims.n1 - 1, small_dims.n2 - 1)
+        direct = solve_convolution(reduced, mixed_classes)
+        assert solution.revenue(at=reduced) == pytest.approx(
+            direct.revenue(), rel=1e-10
+        )
+
+
+class TestConstructionValidation:
+    def test_wrong_grid_count(self, small_dims):
+        classes = (TrafficClass.poisson(0.1),)
+        shape = (small_dims.n1 + 1, small_dims.n2 + 1)
+        with pytest.raises(ConfigurationError):
+            PerformanceSolution(
+                dims=small_dims,
+                classes=classes,
+                h=(np.zeros(shape), np.zeros(shape)),
+            )
+
+    def test_wrong_grid_shape(self, small_dims):
+        classes = (TrafficClass.poisson(0.1),)
+        with pytest.raises(ConfigurationError):
+            PerformanceSolution(
+                dims=small_dims, classes=classes, h=(np.zeros((2, 2)),)
+            )
+
+
+class TestCallAcceptanceClosedForm:
+    def test_poisson_equals_non_blocking(self, small_dims):
+        classes = [TrafficClass.poisson(0.4)]
+        solution = solve_convolution(small_dims, classes)
+        assert solution.call_acceptance(0) == pytest.approx(
+            solution.non_blocking(0)
+        )
+
+    def test_zero_offered_load_treated_as_full_acceptance(self, small_dims):
+        classes = [TrafficClass.poisson(0.3), TrafficClass(alpha=0.0, beta=0.1)]
+        solution = solve_convolution(small_dims, classes)
+        assert solution.call_acceptance(1) == 1.0
+
+    def test_oversized_class_acceptance_zero(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass(alpha=0.1, beta=0.2, a=3)]
+        solution = solve_convolution(dims, classes)
+        assert solution.call_acceptance(0) == 0.0

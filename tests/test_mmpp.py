@@ -1,0 +1,151 @@
+"""Tests for MMPP traffic and the BPP-approximation study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass, bpp_peakedness
+from repro.exceptions import ConfigurationError
+from repro.sim.mmpp import (
+    Mmpp2,
+    MmppCrossbarSimulator,
+    bpp_surrogate_class,
+    fit_bpp_to_mmpp,
+    infinite_server_moments,
+)
+from repro.sim.stats import t_confidence_interval
+
+
+class TestMmpp2:
+    def test_stationary_phase_probability(self):
+        mm = Mmpp2(1.0, 2.0, r12=0.5, r21=1.5)
+        assert mm.p1 == pytest.approx(0.75)
+
+    def test_mean_rate(self):
+        mm = Mmpp2(4.0, 1.0, r12=1.0, r21=1.0)
+        assert mm.mean_rate == pytest.approx(2.5)
+
+    def test_scaled(self):
+        mm = Mmpp2(4.0, 1.0, 1.0, 1.0).scaled(2.0)
+        assert mm.rate1 == 8.0 and mm.rate2 == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Mmpp2(-1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            Mmpp2(1.0, 1.0, 0.0, 1.0)
+
+
+class TestInfiniteServerMoments:
+    def test_degenerate_mmpp_is_poisson(self):
+        """Equal phase rates: plain Poisson, Z = 1, mean = rate/mu."""
+        mm = Mmpp2(2.0, 2.0, 1.0, 1.0)
+        mean, z = infinite_server_moments(mm, mu=1.0)
+        assert mean == pytest.approx(2.0, rel=1e-9)
+        assert z == pytest.approx(1.0, rel=1e-9)
+
+    def test_bursty_mmpp_is_peaky(self):
+        mm = Mmpp2(4.0, 0.5, 0.5, 0.5)
+        _, z = infinite_server_moments(mm)
+        assert z > 1.2
+
+    def test_slower_modulation_is_peakier(self):
+        fast = Mmpp2(4.0, 0.5, 5.0, 5.0)
+        slow = Mmpp2(4.0, 0.5, 0.05, 0.05)
+        assert (
+            infinite_server_moments(slow)[1]
+            > infinite_server_moments(fast)[1]
+        )
+
+    def test_mean_independent_of_modulation_speed(self):
+        fast = Mmpp2(4.0, 0.5, 5.0, 5.0)
+        slow = Mmpp2(4.0, 0.5, 0.05, 0.05)
+        assert infinite_server_moments(fast)[0] == pytest.approx(
+            infinite_server_moments(slow)[0], rel=1e-6
+        )
+
+    def test_truncation_insensitive(self):
+        mm = Mmpp2(3.0, 0.5, 0.5, 0.5)
+        base = infinite_server_moments(mm)
+        wide = infinite_server_moments(mm, truncation=80)
+        assert base[0] == pytest.approx(wide[0], rel=1e-9)
+        assert base[1] == pytest.approx(wide[1], rel=1e-9)
+
+
+class TestBppFit:
+    def test_fit_matches_moments(self):
+        mm = Mmpp2(3.0, 0.5, 1.0, 1.0)
+        mean, z = infinite_server_moments(mm)
+        alpha, beta = fit_bpp_to_mmpp(mm)
+        assert alpha / (1.0 - beta) == pytest.approx(mean, rel=1e-9)
+        assert bpp_peakedness(beta, 1.0) == pytest.approx(z, rel=1e-9)
+
+    def test_surrogate_class_spreads_per_pair(self):
+        dims = SwitchDimensions(4, 6)
+        mm = Mmpp2(3.0, 0.5, 1.0, 1.0)
+        cls = bpp_surrogate_class(dims, mm)
+        alpha_total, _ = fit_bpp_to_mmpp(mm)
+        assert cls.alpha * 24 == pytest.approx(alpha_total, rel=1e-12)
+
+
+class TestSimulator:
+    def test_deterministic_under_seed(self):
+        dims = SwitchDimensions(4, 4)
+        mm = Mmpp2(2.0, 0.5, 1.0, 1.0)
+        a = MmppCrossbarSimulator(dims, mm, seed=9).run(500.0, 50.0)
+        b = MmppCrossbarSimulator(dims, mm, seed=9).run(500.0, 50.0)
+        assert a[0].offered == b[0].offered
+        assert a[1] == pytest.approx(b[1])
+
+    def test_degenerate_mmpp_matches_poisson_model(self):
+        """Equal phase rates: the simulator must reproduce the paper's
+        uniform Poisson crossbar."""
+        n = 4
+        dims = SwitchDimensions.square(n)
+        rate = 1.5
+        mm = Mmpp2(rate, rate, 1.0, 1.0)
+        ratios = []
+        for i in range(5):
+            sim = MmppCrossbarSimulator(dims, mm, seed=40 + i)
+            ratio, _ = sim.run(horizon=3000.0, warmup=300.0)
+            ratios.append(ratio.ratio)
+        ci = t_confidence_interval(ratios)
+        analytical = solve_convolution(
+            dims, [TrafficClass.poisson(rate / n**2)]
+        ).non_blocking(0)
+        assert ci.estimate == pytest.approx(analytical, rel=0.04)
+
+    def test_validation(self):
+        mm = Mmpp2(1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            MmppCrossbarSimulator(SwitchDimensions(0, 4), mm)
+        with pytest.raises(ConfigurationError):
+            MmppCrossbarSimulator(SwitchDimensions(4, 4), mm, mu=0.0)
+        sim = MmppCrossbarSimulator(SwitchDimensions(4, 4), mm)
+        with pytest.raises(ConfigurationError):
+            sim.run(horizon=1.0, warmup=2.0)
+
+
+class TestApproximationQuality:
+    def test_bpp_beats_poisson_for_fast_modulated_bursts(self):
+        """The paper's premise: matching two moments captures bursty
+        traffic better than matching one — in the regime where phase
+        holding times are comparable to call holding times."""
+        n = 8
+        dims = SwitchDimensions.square(n)
+        mm = Mmpp2(3.0, 0.5, 0.8, 0.8)
+        ratios = []
+        for i in range(5):
+            sim = MmppCrossbarSimulator(dims, mm, seed=500 + i)
+            ratio, _ = sim.run(horizon=3000.0, warmup=300.0)
+            ratios.append(ratio.ratio)
+        simulated = t_confidence_interval(ratios).estimate
+        bpp_acc = solve_convolution(
+            dims, [bpp_surrogate_class(dims, mm)]
+        ).call_acceptance(0)
+        poisson_acc = solve_convolution(
+            dims, [TrafficClass.poisson(mm.mean_rate / n**2)]
+        ).call_acceptance(0)
+        assert abs(bpp_acc - simulated) < abs(poisson_acc - simulated)

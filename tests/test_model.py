@@ -1,0 +1,126 @@
+"""Tests for the CrossbarModel facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import CrossbarModel
+from repro.core.state import SwitchDimensions, state_space_size
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def model(small_dims, mixed_classes):
+    return CrossbarModel(small_dims, tuple(mixed_classes))
+
+
+class TestConstruction:
+    def test_create_from_integers(self):
+        model = CrossbarModel.create(4, 6, [TrafficClass.poisson(0.1)])
+        assert model.dims == SwitchDimensions(4, 6)
+
+    def test_square(self):
+        model = CrossbarModel.square(5, [TrafficClass.poisson(0.1)])
+        assert model.dims == SwitchDimensions(5, 5)
+
+    def test_requires_classes(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarModel(SwitchDimensions(3, 3), ())
+
+    def test_validates_classes(self):
+        bad = TrafficClass(alpha=0.25, beta=-0.1)  # 2.5 sources
+        with pytest.raises(ConfigurationError):
+            CrossbarModel.square(12, (TrafficClass.poisson(0.1), bad))
+
+    def test_state_space_size(self, model, small_dims, mixed_classes):
+        assert model.state_space_size == state_space_size(
+            small_dims, mixed_classes
+        )
+
+    def test_with_class(self, model):
+        bigger = model.with_class(TrafficClass.poisson(0.01, name="extra"))
+        assert len(bigger.classes) == len(model.classes) + 1
+
+
+class TestSolveMethods:
+    @pytest.mark.parametrize(
+        "method",
+        ["convolution", "convolution-scaled", "mva", "exact", "brute-force"],
+    )
+    def test_all_methods_agree(self, model, method):
+        reference = model.solve()
+        other = model.solve(method=method)
+        for r in range(len(model.classes)):
+            assert other.non_blocking(r) == pytest.approx(
+                reference.non_blocking(r), rel=1e-9
+            )
+            assert other.concurrency(r) == pytest.approx(
+                reference.concurrency(r), rel=1e-9
+            )
+
+    def test_float_method_on_small_system(self, model):
+        solution = model.solve(method="convolution-float")
+        reference = model.solve()
+        assert solution.non_blocking(0) == pytest.approx(
+            reference.non_blocking(0), rel=1e-10
+        )
+
+    def test_unknown_method_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.solve(method="oracle")
+
+    def test_distribution_is_normalized(self, model):
+        assert model.distribution().check_normalized()
+
+    def test_moment_report(self, model):
+        report = model.moment_report()
+        dist = model.distribution()
+        assert len(report["classes"]) == len(model.classes)
+        for r, entry in enumerate(report["classes"]):
+            assert entry["mean"] == pytest.approx(
+                dist.concurrency(r), rel=1e-9
+            )
+            assert entry["variance"] == pytest.approx(
+                dist.concurrency_variance(r), rel=1e-8, abs=1e-12
+            )
+        assert report["occupancy_mean"] == pytest.approx(
+            dist.mean_occupancy(), rel=1e-9
+        )
+        assert sum(report["occupancy_pmf"]) == pytest.approx(1.0)
+
+
+class TestScaledTo:
+    def test_preserves_aggregate_parameters(self):
+        n = 8
+        model = CrossbarModel.square(
+            n,
+            [TrafficClass.from_aggregate(0.24, 0.012, n2=n, name="x")],
+        )
+        bigger = model.scaled_to(16)
+        assert bigger.dims == SwitchDimensions.square(16)
+        assert bigger.classes[0].aggregate_alpha(16) == pytest.approx(0.24)
+        assert bigger.classes[0].aggregate_beta(16) == pytest.approx(0.012)
+
+    def test_preserves_weight_and_name(self):
+        model = CrossbarModel.square(
+            4, [TrafficClass.poisson(0.1, weight=3.0, name="gold")]
+        )
+        scaled = model.scaled_to(8)
+        assert scaled.classes[0].weight == 3.0
+        assert scaled.classes[0].name == "gold"
+
+    def test_scaled_model_equals_directly_built_model(self):
+        n = 4
+        model = CrossbarModel.square(
+            n,
+            [TrafficClass.from_aggregate(0.5, 0.01, n2=n)],
+        )
+        scaled = model.scaled_to(16)
+        direct = CrossbarModel.square(
+            16,
+            [TrafficClass.from_aggregate(0.5, 0.01, n2=16)],
+        )
+        assert scaled.solve().blocking(0) == pytest.approx(
+            direct.solve().blocking(0), rel=1e-12
+        )

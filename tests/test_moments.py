@@ -1,0 +1,173 @@
+"""Tests for higher-order moments and the occupancy distribution."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.moments import (
+    carried_peakedness,
+    concurrency_covariance,
+    concurrency_variance,
+    factorial_moment,
+    occupancy_pmf,
+    occupancy_variance,
+    time_congestion,
+)
+from repro.core.productform import solve_brute_force
+from repro.core.state import SwitchDimensions, permutation
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+CONFIGS = [
+    pytest.param(
+        SwitchDimensions(5, 5),
+        [TrafficClass.poisson(0.3, name="p")],
+        id="poisson",
+    ),
+    pytest.param(
+        SwitchDimensions(4, 6),
+        [
+            TrafficClass.poisson(0.2, name="p"),
+            TrafficClass(alpha=0.08, beta=0.3, name="pascal"),
+        ],
+        id="poisson+pascal",
+    ),
+    pytest.param(
+        SwitchDimensions(6, 5),
+        [
+            TrafficClass.bernoulli(3, 0.15, name="bern"),
+            TrafficClass.poisson(0.05, a=2, name="wide"),
+        ],
+        id="bernoulli+wide",
+    ),
+]
+
+
+@pytest.mark.parametrize("dims,classes", CONFIGS)
+class TestAgainstBruteForce:
+    def test_first_moment_is_concurrency(self, dims, classes):
+        dist = solve_brute_force(dims, classes)
+        for r in range(len(classes)):
+            assert factorial_moment(dims, classes, r, 1) == pytest.approx(
+                dist.concurrency(r), rel=1e-10
+            )
+
+    def test_variance(self, dims, classes):
+        dist = solve_brute_force(dims, classes)
+        for r in range(len(classes)):
+            assert concurrency_variance(dims, classes, r) == pytest.approx(
+                dist.concurrency_variance(r), rel=1e-9, abs=1e-14
+            )
+
+    def test_covariance(self, dims, classes):
+        if len(classes) < 2:
+            pytest.skip("needs two classes")
+        dist = solve_brute_force(dims, classes)
+        assert concurrency_covariance(
+            dims, classes, 0, 1
+        ) == pytest.approx(
+            dist.concurrency_covariance(0, 1), rel=1e-8, abs=1e-13
+        )
+
+    def test_occupancy_pmf(self, dims, classes):
+        dist = solve_brute_force(dims, classes)
+        fast = occupancy_pmf(dims, classes)
+        slow = dist.occupancy_distribution()
+        assert len(fast) == len(slow)
+        for f, s in zip(fast, slow):
+            assert f == pytest.approx(s, rel=1e-9, abs=1e-15)
+
+    def test_occupancy_variance(self, dims, classes):
+        dist = solve_brute_force(dims, classes)
+        assert occupancy_variance(dims, classes) == pytest.approx(
+            dist.occupancy_variance(), rel=1e-9, abs=1e-14
+        )
+
+    def test_time_congestion(self, dims, classes):
+        dist = solve_brute_force(dims, classes)
+        for r in range(len(classes)):
+            assert time_congestion(dims, classes, r) == pytest.approx(
+                dist.time_congestion(r), rel=1e-9, abs=1e-15
+            )
+
+
+class TestStructuralProperties:
+    def test_classes_negatively_correlated(self):
+        """Competing for shared fabric implies Cov <= 0."""
+        dims = SwitchDimensions(4, 4)
+        classes = [
+            TrafficClass.poisson(0.5, name="a"),
+            TrafficClass.poisson(0.4, name="b"),
+        ]
+        assert concurrency_covariance(dims, classes, 0, 1) < 0.0
+
+    def test_poisson_closed_form_second_moment(self):
+        """E[k(k-1)] = rho^2 Q(N-2aI)/Q(N) (the P factors cancel the
+        ones inside the G ratio)."""
+        from repro.core.convolution import log_q_grid
+
+        dims = SwitchDimensions(6, 7)
+        classes = [TrafficClass.poisson(0.25, a=1)]
+        lq = log_q_grid(dims, classes)
+        rho = classes[0].rho
+        closed = rho**2 * math.exp(lq[4, 5] - lq[6, 7])
+        assert factorial_moment(dims, classes, 0, 2) == pytest.approx(
+            closed, rel=1e-10
+        )
+
+    def test_carried_peakedness_clipped_by_blocking(self):
+        """Heavy blocking pins the occupancy near capacity, crushing
+        the carried variance: carried Z falls far below the offered Z
+        and shrinks as blocking grows."""
+        cls = TrafficClass(alpha=0.2, beta=0.5, name="peaky")
+        z_small = carried_peakedness(SwitchDimensions(3, 3), [cls], 0)
+        z_big = carried_peakedness(SwitchDimensions(8, 8), [cls], 0)
+        assert z_small < cls.peakedness
+        assert z_big < z_small  # more saturation -> flatter occupancy
+
+    def test_poisson_variance_near_mean_at_light_load(self):
+        """Nearly-unblocked Poisson carried traffic stays ~Poisson."""
+        dims = SwitchDimensions(20, 20)
+        classes = [TrafficClass.poisson(1e-4)]
+        mean = factorial_moment(dims, classes, 0, 1)
+        var = concurrency_variance(dims, classes, 0)
+        assert var == pytest.approx(mean, rel=0.05)
+
+    def test_smooth_class_variance_is_stable(self):
+        """The strongly smooth regime that breaks the naive recursions."""
+        dims = SwitchDimensions(12, 12)
+        classes = [
+            TrafficClass.from_moments(mean=0.5, peakedness=0.75, name="s")
+        ]
+        dist = solve_brute_force(dims, classes)
+        assert concurrency_variance(dims, classes, 0) == pytest.approx(
+            dist.concurrency_variance(0), rel=1e-9
+        )
+
+    def test_pmf_sums_to_one(self):
+        dims = SwitchDimensions(7, 9)
+        classes = [
+            TrafficClass.poisson(0.1),
+            TrafficClass(alpha=0.05, beta=0.2, a=3),
+        ]
+        assert math.fsum(occupancy_pmf(dims, classes)) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            factorial_moment(
+                SwitchDimensions(2, 2), [TrafficClass.poisson(0.1)], 0, 0
+            )
+
+    def test_bad_class_index(self):
+        with pytest.raises(ConfigurationError):
+            factorial_moment(
+                SwitchDimensions(2, 2), [TrafficClass.poisson(0.1)], 3
+            )
+
+    def test_empty_classes_for_pmf(self):
+        with pytest.raises(ConfigurationError):
+            occupancy_pmf(SwitchDimensions(2, 2), [])

@@ -1,0 +1,134 @@
+"""Tests for the multistage (tandem) network extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+from repro.multistage import (
+    TandemNetwork,
+    analyze_tandem,
+    simulate_tandem,
+)
+
+
+class TestTopology:
+    def test_uniform_builder(self):
+        net = TandemNetwork.square(3, 4)
+        assert len(net) == 3
+        assert all(d == SwitchDimensions(4, 4) for d in net.stages)
+
+    def test_requires_stages(self):
+        with pytest.raises(ConfigurationError):
+            TandemNetwork(())
+
+    def test_bad_stage_count(self):
+        with pytest.raises(ConfigurationError):
+            TandemNetwork.square(0, 4)
+
+    def test_bottleneck_capacity(self):
+        net = TandemNetwork(
+            (SwitchDimensions(8, 8), SwitchDimensions(4, 6))
+        )
+        assert net.bottleneck_capacity == 4
+
+    def test_validate_classes(self):
+        net = TandemNetwork.square(2, 3)
+        with pytest.raises(ConfigurationError):
+            net.validate_classes([4])
+
+
+class TestReducedLoadAnalysis:
+    def test_single_stage_is_exact(self):
+        dims = SwitchDimensions(5, 5)
+        classes = [TrafficClass.poisson(0.1), TrafficClass(alpha=0.02, beta=0.1)]
+        net = TandemNetwork.uniform(1, dims)
+        result = analyze_tandem(net, classes)
+        single = solve_convolution(dims, classes)
+        for r in range(2):
+            assert result.end_to_end_blocking(r) == pytest.approx(
+                single.blocking(r), rel=1e-10
+            )
+
+    def test_identical_stages_get_identical_blocking(self):
+        net = TandemNetwork.square(3, 4)
+        classes = [TrafficClass.poisson(0.05)]
+        result = analyze_tandem(net, classes)
+        first = result.stage_blocking[0][0]
+        for stage in result.stage_blocking[1:]:
+            assert stage[0] == pytest.approx(first, rel=1e-9)
+
+    def test_blocking_increases_with_stage_count(self):
+        classes = [TrafficClass.poisson(0.05)]
+        blockings = [
+            analyze_tandem(
+                TandemNetwork.square(s, 4), classes
+            ).end_to_end_blocking(0)
+            for s in (1, 2, 4)
+        ]
+        assert blockings[0] < blockings[1] < blockings[2]
+
+    def test_worst_stage_identified(self):
+        # At a fixed *per-pair* rate the larger stage carries ~N^2
+        # request streams against ~N ports, so it is the congested one.
+        net = TandemNetwork(
+            (SwitchDimensions(8, 8), SwitchDimensions(3, 3))
+        )
+        classes = [TrafficClass.poisson(0.05)]
+        result = analyze_tandem(net, classes)
+        assert result.worst_stage(0) == 0
+        assert result.stage_blocking[0][0] > result.stage_blocking[1][0]
+
+    def test_damping_reaches_same_fixed_point(self):
+        net = TandemNetwork.square(3, 4)
+        classes = [TrafficClass.poisson(0.08)]
+        plain = analyze_tandem(net, classes)
+        damped = analyze_tandem(net, classes, damping=0.5)
+        assert plain.end_to_end_blocking(0) == pytest.approx(
+            damped.end_to_end_blocking(0), rel=1e-8
+        )
+
+    def test_acceptance_complements_blocking(self):
+        net = TandemNetwork.square(2, 4)
+        classes = [TrafficClass.poisson(0.05)]
+        result = analyze_tandem(net, classes)
+        assert result.end_to_end_acceptance(0) == pytest.approx(
+            1.0 - result.end_to_end_blocking(0)
+        )
+
+
+class TestAgainstSimulation:
+    def test_low_load_agreement(self):
+        """At light load the independence approximation is tight."""
+        net = TandemNetwork.square(2, 4)
+        classes = [TrafficClass.poisson(0.01, name="p")]
+        analysis = analyze_tandem(net, classes)
+        sim = simulate_tandem(
+            net, classes, horizon=8000.0, warmup=500.0,
+            replications=4, seed=1,
+        )
+        assert sim.acceptance[0].estimate == pytest.approx(
+            analysis.end_to_end_acceptance(0), rel=0.03
+        )
+
+    def test_reduced_load_is_pessimistic_at_high_load(self):
+        """With simultaneous holding, stage occupancies are perfectly
+        correlated; assuming independence overstates blocking."""
+        net = TandemNetwork.square(3, 4)
+        classes = [TrafficClass.poisson(0.04, name="p")]
+        analysis = analyze_tandem(net, classes)
+        sim = simulate_tandem(
+            net, classes, horizon=5000.0, warmup=500.0,
+            replications=4, seed=2,
+        )
+        assert analysis.end_to_end_acceptance(0) < sim.acceptance[0].estimate
+
+    def test_simulator_rejects_oversized_class(self):
+        net = TandemNetwork.square(2, 2)
+        with pytest.raises(ConfigurationError):
+            simulate_tandem(
+                net, [TrafficClass.poisson(0.1, a=3)], horizon=10.0
+            )

@@ -1,0 +1,125 @@
+"""Tests for Algorithm 2 (mean value analysis, paper Section 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.mva import solve_mva
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+
+def _cases():
+    return [
+        ("poisson", SwitchDimensions(6, 6), [TrafficClass.poisson(0.3)]),
+        ("rect", SwitchDimensions(4, 9), [TrafficClass.poisson(0.5)]),
+        ("pascal", SwitchDimensions(5, 5), [TrafficClass(alpha=0.1, beta=0.4)]),
+        ("bernoulli", SwitchDimensions(6, 6), [TrafficClass.bernoulli(4, 0.1)]),
+        (
+            "mixed multirate",
+            SwitchDimensions(8, 7),
+            [
+                TrafficClass.poisson(0.2),
+                TrafficClass(alpha=0.05, beta=0.3, a=2),
+                TrafficClass.bernoulli(5, 0.04, a=3),
+            ],
+        ),
+    ]
+
+
+class TestAgainstAlgorithm1:
+    @pytest.mark.parametrize(
+        "label,dims,classes", _cases(), ids=[c[0] for c in _cases()]
+    )
+    def test_h_grids_match(self, label, dims, classes):
+        mva = solve_mva(dims, classes)
+        conv = solve_convolution(dims, classes)
+        for r in range(len(classes)):
+            assert np.allclose(mva.h[r], conv.h[r], rtol=1e-10, atol=1e-300)
+
+    @pytest.mark.parametrize(
+        "label,dims,classes", _cases(), ids=[c[0] for c in _cases()]
+    )
+    def test_measures_match(self, label, dims, classes):
+        mva = solve_mva(dims, classes)
+        conv = solve_convolution(dims, classes)
+        for r in range(len(classes)):
+            assert mva.non_blocking(r) == pytest.approx(
+                conv.non_blocking(r), rel=1e-10
+            )
+            assert mva.concurrency(r) == pytest.approx(
+                conv.concurrency(r), rel=1e-10
+            )
+        assert mva.revenue() == pytest.approx(conv.revenue(), rel=1e-10)
+
+
+class TestInternalConsistency:
+    def test_two_path_factorizations_agree(self, small_dims, mixed_classes):
+        solution = solve_mva(small_dims, mixed_classes)
+        assert solution.grids.consistency_residual() < 1e-10
+
+    def test_boundary_f_values(self):
+        solution = solve_mva(SwitchDimensions(4, 4), [TrafficClass.poisson(0.2)])
+        grids = solution.grids
+        # F_1(n1, 0) = n1 (from Q(n1, 0) = 1/n1!)
+        for m in range(1, 5):
+            assert grids.f1[m, 0] == pytest.approx(m)
+            assert grids.f2[0, m] == pytest.approx(m)
+
+    def test_f_ratios_match_convolution_q(self):
+        dims = SwitchDimensions(5, 4)
+        classes = [TrafficClass.poisson(0.3), TrafficClass(alpha=0.1, beta=0.2)]
+        mva = solve_mva(dims, classes)
+        lq = solve_convolution(dims, classes).log_q
+        import math
+
+        for m1 in range(1, 6):
+            for m2 in range(1, 5):
+                expected = math.exp(lq[m1 - 1, m2] - lq[m1, m2])
+                assert mva.grids.f1[m1, m2] == pytest.approx(
+                    expected, rel=1e-10
+                )
+
+    def test_no_log_q_available(self):
+        solution = solve_mva(SwitchDimensions(3, 3), [TrafficClass.poisson(0.1)])
+        with pytest.raises(ConfigurationError):
+            solution.log_g()
+
+
+class TestLargeSystemStability:
+    def test_matches_convolution_at_n128(self):
+        """The numerical-stability point of Section 5.1: MVA stays
+        accurate at sizes where unscaled Algorithm 1 has long since
+        underflowed."""
+        n = 128
+        dims = SwitchDimensions.square(n)
+        classes = [
+            TrafficClass.from_aggregate(0.0024, 0.0012, n2=n, mu=1.0),
+        ]
+        mva = solve_mva(dims, classes)
+        conv = solve_convolution(dims, classes)
+        assert mva.blocking(0) == pytest.approx(conv.blocking(0), rel=1e-8)
+
+    def test_values_stay_in_ratio_range(self):
+        n = 64
+        dims = SwitchDimensions.square(n)
+        solution = solve_mva(dims, [TrafficClass.poisson(0.01)])
+        grids = solution.grids
+        finite = grids.f1[~np.isnan(grids.f1)]
+        assert np.all(finite < 1e6)  # F ~ n, never factorial-sized
+
+
+class TestErrors:
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_mva(SwitchDimensions(3, 3), [])
+
+    def test_oversized_class_zeroed(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.2), TrafficClass.poisson(0.2, a=3)]
+        solution = solve_mva(dims, classes)
+        assert solution.non_blocking(1) == 0.0
+        assert solution.concurrency(1) == 0.0

@@ -1,0 +1,147 @@
+"""Quantitative anchors against the paper's printed numbers.
+
+Table 2 is the only place the paper prints raw numbers.  Our exact
+implementation (verified five independent ways, see
+``test_cross_validation.py``) reproduces:
+
+* every quantity that does not involve the bursty class's
+  state-dependence — blocking at ``N = 1, 2``, all ``W(N)``, all
+  ``dW/d rho_1`` — to the paper's printed precision;
+* the bursty-affected blocking values within a few percent.  The
+  residual is systematic: the paper's own printed eq. 19 is
+  inconsistent with its eq. 17 (the recursion drops a factor), and the
+  printed bursty columns behave exactly like a first-order-in-beta
+  computation scaled by ``(N-2)/(2(N-1))`` — zero burstiness effect at
+  ``N = 2`` (visible in the table: both beta~ values print the same
+  blocking there) and half the true effect asymptotically.  EXPERIMENTS.md
+  quantifies this row by row.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import TABLE2_PAPER, table2_rows
+
+ALL_SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def computed():
+    return {
+        s: {row["N"]: row for row in table2_rows(s, sizes=ALL_SIZES)}
+        for s in (0, 1, 2)
+    }
+
+
+class TestExactColumns:
+    """Columns our exact model must reproduce to printed precision."""
+
+    @pytest.mark.parametrize("set_index", [0, 1, 2])
+    def test_blocking_at_n1(self, computed, set_index):
+        row = computed[set_index][1]
+        assert row["blocking"] == pytest.approx(
+            row["paper_blocking"], rel=1e-5
+        )
+
+    @pytest.mark.parametrize("set_index", [0, 1, 2])
+    def test_revenue_at_all_sizes(self, computed, set_index):
+        """W(N) is dominated by the Poisson class (w2 = 1e-4): printed
+        and computed agree to ~1e-3 relative except the most bursty
+        corner (set 1, N = 256: 1.4%, driven by the documented eq. 19
+        defect in the paper's own numbers)."""
+        for n, row in computed[set_index].items():
+            assert row["revenue"] == pytest.approx(
+                row["paper_revenue"], rel=2e-2
+            ), f"W mismatch at N={n}, set {set_index}"
+            if n <= 64:
+                assert row["revenue"] == pytest.approx(
+                    row["paper_revenue"], rel=1e-3
+                )
+
+    @pytest.mark.parametrize("set_index", [0, 1, 2])
+    def test_gradient_rho1_at_all_sizes(self, computed, set_index):
+        for n, row in computed[set_index].items():
+            assert row["dW_drho1"] == pytest.approx(
+                row["paper_dW_drho1"], rel=1.5e-2
+            ), f"dW/drho1 mismatch at N={n}, set {set_index}"
+
+    def test_blocking_small_n_all_sets(self, computed):
+        """Up to N = 8 the bursty perturbation is below 1% relative."""
+        for set_index in (0, 1, 2):
+            for n in (1, 2, 4, 8):
+                row = computed[set_index][n]
+                assert row["blocking"] == pytest.approx(
+                    row["paper_blocking"], rel=1e-2
+                )
+
+
+class TestBurstyColumns:
+    """Columns affected by the paper's eq. 17/19 inconsistency."""
+
+    @pytest.mark.parametrize("set_index", [0, 1, 2])
+    def test_blocking_within_ten_percent_up_to_n64(self, computed, set_index):
+        """The documented divergence grows with N and beta~; up to
+        N = 64 it stays below 10% for every parameter set.  Beyond
+        that the exact Pascal amplification (superlinear in beta) pulls
+        away from the paper's first-order numbers — see EXPERIMENTS.md."""
+        for n in (1, 2, 4, 8, 16, 32, 64):
+            row = computed[set_index][n]
+            assert row["blocking"] == pytest.approx(
+                row["paper_blocking"], rel=0.10
+            ), f"blocking far off at N={n}, set {set_index}"
+
+    @pytest.mark.parametrize("set_index", [0, 1, 2])
+    def test_exact_blocking_exceeds_printed(self, computed, set_index):
+        """The paper's defect *under*-counts the bursty load, so the
+        exact blocking is consistently >= the printed one (N >= 4)."""
+        for n in (4, 8, 16, 32, 64, 128, 256):
+            row = computed[set_index][n]
+            assert row["blocking"] >= row["paper_blocking"] - 1e-9
+
+    @pytest.mark.parametrize("set_index", [0, 1, 2])
+    def test_burstiness_gradient_sign_matches_for_n_ge_4(
+        self, computed, set_index
+    ):
+        for n in (4, 8, 16, 32, 64, 128, 256):
+            row = computed[set_index][n]
+            assert row["dW_dburstiness2"] < 0
+            assert row["paper_dW_dburstiness2"] < 0
+
+    @pytest.mark.parametrize("set_index", [0, 1, 2])
+    def test_burstiness_gradient_magnitude_grows_with_n(
+        self, computed, set_index
+    ):
+        previous = 0.0
+        for n in (4, 8, 16, 32, 64, 128, 256):
+            value = abs(computed[set_index][n]["dW_dburstiness2"])
+            assert value > previous
+            previous = value
+
+    def test_known_discrepancy_factor(self, computed):
+        """The printed bursty blocking increment over the Poisson
+        baseline matches the exact first-order increment scaled by
+        (N-2)/(2(N-1)) — the signature of the eq. 19 defect.  Checked
+        at N = 64 for both beta~ levels."""
+        from repro.core.convolution import solve_convolution
+        from repro.core.state import SwitchDimensions
+        from repro.core.traffic import TrafficClass
+
+        n = 64
+        dims = SwitchDimensions.square(n)
+
+        def blocking(beta_tilde):
+            classes = [
+                TrafficClass.from_aggregate(0.0012, 0.0, n2=n),
+                TrafficClass.from_aggregate(0.0012, beta_tilde, n2=n),
+            ]
+            return solve_convolution(dims, classes).blocking(0)
+
+        base = blocking(0.0)
+        eps = 1e-7
+        slope = (blocking(eps) - base) / eps
+        factor = (n - 2) / (2 * (n - 1))
+        for set_index, beta_tilde in ((0, 0.0012), (1, 0.0036)):
+            printed = TABLE2_PAPER[set_index][n][2]
+            predicted = base + slope * beta_tilde * factor
+            assert printed == pytest.approx(predicted, rel=2e-3)

@@ -1,0 +1,221 @@
+"""Tests for the brute-force product-form reference (paper eq. 2-3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.productform import (
+    log_normalization,
+    log_phi,
+    log_psi,
+    log_state_weight,
+    solve_brute_force,
+)
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+
+class TestPsiPhi:
+    def test_psi_empty_state_is_one(self):
+        assert log_psi(SwitchDimensions(4, 6), 0) == pytest.approx(0.0)
+
+    def test_psi_full_occupancy(self):
+        # Psi = P(2,2) * P(3,2) = 2 * 6
+        assert log_psi(SwitchDimensions(2, 3), 2) == pytest.approx(
+            math.log(12)
+        )
+
+    def test_psi_infeasible_state_is_zero_weight(self):
+        assert log_psi(SwitchDimensions(2, 3), 3) == -math.inf
+
+    def test_phi_poisson_is_rho_k_over_k_factorial(self):
+        cls = TrafficClass.poisson(0.5)
+        assert log_phi(cls, 3) == pytest.approx(math.log(0.5**3 / 6))
+
+    def test_phi_zero_connections_is_one(self):
+        assert log_phi(TrafficClass.poisson(0.5), 0) == pytest.approx(0.0)
+
+    def test_phi_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            log_phi(TrafficClass.poisson(0.5), -1)
+
+    def test_phi_pascal_grows_with_burstiness(self):
+        quiet = TrafficClass(alpha=0.2, beta=0.0)
+        bursty = TrafficClass(alpha=0.2, beta=0.5)
+        assert log_phi(bursty, 3) > log_phi(quiet, 3)
+
+    def test_phi_bernoulli_terminates_at_sources(self):
+        cls = TrafficClass.bernoulli(2, 0.3)
+        assert log_phi(cls, 3) == -math.inf
+
+    def test_state_weight_combines_psi_and_phi(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.4)]
+        expected = log_psi(dims, 2) + log_phi(classes[0], 2)
+        assert log_state_weight(dims, classes, (2,)) == pytest.approx(expected)
+
+
+class TestTinySystemsByHand:
+    """Closed-form checks on systems small enough to do on paper."""
+
+    def test_one_by_one_single_poisson(self):
+        # G = 1 + rho; B = 1/(1+rho); E = rho/(1+rho)
+        rho = 0.37
+        dist = solve_brute_force(
+            SwitchDimensions(1, 1), [TrafficClass.poisson(rho)]
+        )
+        assert math.exp(dist.log_g) == pytest.approx(1 + rho)
+        assert dist.non_blocking_probability(0) == pytest.approx(
+            1 / (1 + rho)
+        )
+        assert dist.concurrency(0) == pytest.approx(rho / (1 + rho))
+
+    def test_two_by_two_single_poisson(self):
+        # G = 1 + 4 rho + 2 rho^2 (Psi(1)=4, Psi(2)=4, Phi(2)=rho^2/2)
+        rho = 0.25
+        dist = solve_brute_force(
+            SwitchDimensions(2, 2), [TrafficClass.poisson(rho)]
+        )
+        assert math.exp(dist.log_g) == pytest.approx(
+            1 + 4 * rho + 2 * rho**2
+        )
+
+    def test_rectangular_psi(self):
+        # 1x2 switch: G = 1 + Psi(1) rho = 1 + 2 rho
+        rho = 0.4
+        dist = solve_brute_force(
+            SwitchDimensions(1, 2), [TrafficClass.poisson(rho)]
+        )
+        assert math.exp(dist.log_g) == pytest.approx(1 + 2 * rho)
+
+    def test_pascal_two_states(self):
+        # 1x1 switch, Pascal: G = 1 + alpha/mu
+        dist = solve_brute_force(
+            SwitchDimensions(1, 1), [TrafficClass(alpha=0.3, beta=0.5)]
+        )
+        assert math.exp(dist.log_g) == pytest.approx(1.3)
+
+    def test_multirate_class_on_exact_fit(self):
+        # a=2 on 2x2: G = 1 + P(2,2)P(2,2) rho = 1 + 4 rho
+        rho = 0.11
+        dist = solve_brute_force(
+            SwitchDimensions(2, 2), [TrafficClass.poisson(rho, a=2)]
+        )
+        assert math.exp(dist.log_g) == pytest.approx(1 + 4 * rho)
+
+
+class TestDistributionInvariants:
+    def test_normalized(self, small_dims, mixed_classes):
+        dist = solve_brute_force(small_dims, mixed_classes)
+        assert dist.check_normalized()
+
+    def test_detailed_balance(self, small_dims, mixed_classes):
+        dist = solve_brute_force(small_dims, mixed_classes)
+        assert dist.detailed_balance_residual() < 1e-12
+
+    def test_occupancy_distribution_sums_to_one(
+        self, small_dims, mixed_classes
+    ):
+        dist = solve_brute_force(small_dims, mixed_classes)
+        assert sum(dist.occupancy_distribution()) == pytest.approx(1.0)
+
+    def test_mean_occupancy_consistent_with_concurrencies(
+        self, small_dims, mixed_classes
+    ):
+        dist = solve_brute_force(small_dims, mixed_classes)
+        expected = sum(
+            c.a * dist.concurrency(r) for r, c in enumerate(mixed_classes)
+        )
+        assert dist.mean_occupancy() == pytest.approx(expected)
+
+    def test_utilization_in_unit_interval(self, small_dims, mixed_classes):
+        dist = solve_brute_force(small_dims, mixed_classes)
+        assert 0.0 <= dist.utilization() <= 1.0
+
+    def test_probability_lookup(self, small_dims, mixed_classes):
+        dist = solve_brute_force(small_dims, mixed_classes)
+        empty = tuple([0] * len(mixed_classes))
+        assert dist.probability(empty) == pytest.approx(
+            math.exp(-dist.log_g)
+        )
+        assert dist.probability((99, 99, 99)) == 0.0
+
+    def test_as_dict_roundtrip(self, small_dims, mixed_classes):
+        dist = solve_brute_force(small_dims, mixed_classes)
+        table = dist.as_dict()
+        assert len(table) == len(dist.states)
+        assert sum(table.values()) == pytest.approx(1.0)
+
+    def test_log_normalization_matches_solver(self, small_dims, mixed_classes):
+        assert log_normalization(small_dims, mixed_classes) == pytest.approx(
+            solve_brute_force(small_dims, mixed_classes).log_g
+        )
+
+
+class TestCongestionMeasures:
+    def test_poisson_call_acceptance_equals_ratio_form(self):
+        """PASTA: for Poisson arrivals, call acceptance == B_r."""
+        dims = SwitchDimensions(4, 5)
+        classes = [TrafficClass.poisson(0.3), TrafficClass.poisson(0.1, a=2)]
+        dist = solve_brute_force(dims, classes)
+        for r in range(2):
+            assert dist.call_acceptance(r) == pytest.approx(
+                dist.non_blocking_probability(r), rel=1e-12
+            )
+
+    def test_bursty_call_acceptance_differs_from_ratio_form(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass(alpha=0.2, beta=0.5)]
+        dist = solve_brute_force(dims, classes)
+        assert dist.call_acceptance(0) != pytest.approx(
+            dist.non_blocking_probability(0), rel=1e-6
+        )
+
+    def test_peaky_calls_see_more_blocking_than_time_average(self):
+        """Peaky arrivals cluster in busy states: call congestion of a
+        Pascal class exceeds the non-blocking-ratio complement."""
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass(alpha=0.2, beta=0.5)]
+        dist = solve_brute_force(dims, classes)
+        assert dist.call_congestion(0) > dist.blocking_probability(0)
+
+    def test_time_congestion_definition(self):
+        # 1x1 Poisson: time congestion = P(busy) = rho/(1+rho)
+        rho = 0.5
+        dist = solve_brute_force(
+            SwitchDimensions(1, 1), [TrafficClass.poisson(rho)]
+        )
+        assert dist.time_congestion(0) == pytest.approx(rho / (1 + rho))
+
+    def test_throughput_equals_mu_times_concurrency(
+        self, small_dims, mixed_classes
+    ):
+        dist = solve_brute_force(small_dims, mixed_classes)
+        for r, cls in enumerate(mixed_classes):
+            assert dist.throughput(r) == pytest.approx(
+                cls.mu * dist.concurrency(r)
+            )
+
+    def test_revenue_is_weighted_concurrency(self, small_dims, mixed_classes):
+        dist = solve_brute_force(small_dims, mixed_classes)
+        expected = sum(
+            c.weight * dist.concurrency(r)
+            for r, c in enumerate(mixed_classes)
+        )
+        assert dist.revenue() == pytest.approx(expected)
+
+    def test_flow_balance_identity_for_bursty_class(self):
+        """mu E = P(N1,a) P(N2,a) (alpha + beta E) * call_acceptance."""
+        from repro.core.state import permutation
+
+        dims = SwitchDimensions(4, 4)
+        cls = TrafficClass(alpha=0.15, beta=0.4, mu=1.3)
+        dist = solve_brute_force(dims, [cls])
+        e = dist.concurrency(0)
+        full = permutation(4, 1) ** 2
+        lhs = cls.mu * e
+        rhs = full * (cls.alpha + cls.beta * e) * dist.call_acceptance(0)
+        assert lhs == pytest.approx(rhs, rel=1e-10)

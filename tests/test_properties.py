@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.convolution import log_q_grid, solve_convolution
+from repro.core.generating import q_from_series
+from repro.core.productform import solve_brute_force
+from repro.core.state import (
+    SwitchDimensions,
+    iter_states,
+    state_space_size,
+)
+from repro.core.traffic import TrafficClass
+
+# ----------------------------------------------------------------------
+# Strategies (shared with test_properties_extensions)
+# ----------------------------------------------------------------------
+
+from tests.strategies import classes_strategy, dims_strategy, traffic_class
+
+
+# ----------------------------------------------------------------------
+# Fundamental agreement and bounds
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_algorithm1_matches_brute_force(dims, classes):
+    conv = solve_convolution(dims, classes)
+    brute = solve_brute_force(dims, classes)
+    for r in range(len(classes)):
+        assert conv.non_blocking(r) == pytest.approx(
+            brute.non_blocking_probability(r), rel=1e-8, abs=1e-12
+        )
+        assert conv.concurrency(r) == pytest.approx(
+            brute.concurrency(r), rel=1e-8, abs=1e-12
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_measures_within_physical_bounds(dims, classes):
+    solution = solve_convolution(dims, classes)
+    for r, cls in enumerate(classes):
+        b = solution.non_blocking(r)
+        assert 0.0 <= b <= 1.0 + 1e-12
+        e = solution.concurrency(r)
+        assert -1e-12 <= e <= dims.capacity / cls.a + 1e-9
+        acc = solution.call_acceptance(r)
+        assert 0.0 <= acc <= 1.0 + 1e-12
+    assert 0.0 <= solution.utilization() <= 1.0 + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_distribution_normalized_and_reversible(dims, classes):
+    dist = solve_brute_force(dims, classes)
+    assert dist.check_normalized(tol=1e-10)
+    assert dist.detailed_balance_residual() < 1e-10
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_dimension_swap_symmetry(dims, classes):
+    """Measures are invariant under exchanging inputs and outputs."""
+    forward = solve_convolution(dims, classes)
+    swapped = solve_convolution(
+        SwitchDimensions(dims.n2, dims.n1), classes
+    )
+    for r in range(len(classes)):
+        assert forward.non_blocking(r) == pytest.approx(
+            swapped.non_blocking(r), rel=1e-10, abs=1e-14
+        )
+        assert forward.concurrency(r) == pytest.approx(
+            swapped.concurrency(r), rel=1e-10, abs=1e-14
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_series_reconstruction_matches_recursion(dims, classes):
+    grid = log_q_grid(dims, classes)
+    q = q_from_series(dims, classes)
+    assert math.log(q) == pytest.approx(
+        float(grid[dims.n1, dims.n2]), rel=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_numeric_modes_agree(dims, classes):
+    log_mode = solve_convolution(dims, classes, mode="log")
+    scaled = solve_convolution(dims, classes, mode="scaled")
+    for r in range(len(classes)):
+        assert scaled.non_blocking(r) == pytest.approx(
+            log_mode.non_blocking(r), rel=1e-9, abs=1e-13
+        )
+
+
+# ----------------------------------------------------------------------
+# Structural / monotonicity properties
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dims=dims_strategy,
+    classes=st.lists(traffic_class(max_a=3), min_size=1, max_size=4),
+)
+def test_state_space_size_matches_enumeration(dims, classes):
+    assert state_space_size(dims, classes) == sum(
+        1 for _ in iter_states(dims, classes)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    rho_low=st.floats(min_value=0.01, max_value=0.5),
+    factor=st.floats(min_value=1.1, max_value=5.0),
+)
+def test_single_class_blocking_monotone_in_load(n, rho_low, factor):
+    dims = SwitchDimensions.square(n)
+    low = solve_convolution(dims, [TrafficClass.poisson(rho_low)])
+    high = solve_convolution(
+        dims, [TrafficClass.poisson(rho_low * factor)]
+    )
+    assert high.blocking(0) >= low.blocking(0) - 1e-13
+    assert high.concurrency(0) >= low.concurrency(0) - 1e-13
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_inert_class_does_not_change_measures(dims, classes):
+    """A class with alpha = 0 can never start a connection."""
+    inert = TrafficClass(alpha=0.0, beta=0.0, name="inert")
+    with_inert = solve_convolution(dims, list(classes) + [inert])
+    without = solve_convolution(dims, classes)
+    for r in range(len(classes)):
+        assert with_inert.non_blocking(r) == pytest.approx(
+            without.non_blocking(r), rel=1e-10, abs=1e-14
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    alpha=st.floats(min_value=0.01, max_value=0.5),
+)
+def test_pascal_limits_to_poisson_as_beta_vanishes(n, alpha):
+    dims = SwitchDimensions.square(n)
+    poisson = solve_convolution(dims, [TrafficClass.poisson(alpha)])
+    nearly = solve_convolution(
+        dims, [TrafficClass(alpha=alpha, beta=1e-10)]
+    )
+    assert nearly.blocking(0) == pytest.approx(
+        poisson.blocking(0), rel=1e-6, abs=1e-9
+    )
+    assert nearly.concurrency(0) == pytest.approx(
+        poisson.concurrency(0), rel=1e-6
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    alpha=st.floats(min_value=0.05, max_value=0.4),
+    beta=st.floats(min_value=0.05, max_value=0.4),
+)
+def test_peaky_blocks_more_than_poisson_at_same_alpha(n, alpha, beta):
+    """Adding positive state-dependence to arrivals always adds load,
+    so blocking cannot decrease (Figure 2's direction)."""
+    dims = SwitchDimensions.square(n)
+    poisson = solve_convolution(dims, [TrafficClass.poisson(alpha)])
+    peaky = solve_convolution(dims, [TrafficClass(alpha=alpha, beta=beta)])
+    assert peaky.blocking(0) >= poisson.blocking(0) - 1e-13
+
+
+@settings(max_examples=20, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_sub_dimension_query_matches_direct_solve(dims, classes):
+    assume(dims.n1 >= 2 and dims.n2 >= 2)
+    solution = solve_convolution(dims, classes)
+    sub = SwitchDimensions(dims.n1 - 1, dims.n2 - 1)
+    direct = solve_convolution(sub, classes)
+    for r in range(len(classes)):
+        assert solution.non_blocking(r, at=sub) == pytest.approx(
+            direct.non_blocking(r), rel=1e-9, abs=1e-13
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_flow_balance_identity(dims, classes):
+    """mu_r E_r equals accepted-request rate for every class."""
+    from repro.core.state import permutation
+
+    dist = solve_brute_force(dims, classes)
+    for r, cls in enumerate(classes):
+        full = permutation(dims.n1, cls.a) * permutation(dims.n2, cls.a)
+        if full == 0:
+            continue
+        e = dist.concurrency(r)
+        offered = sum(
+            p * cls.rate(s[r]) * full
+            for s, p in zip(dist.states, dist.probabilities)
+        )
+        accepted = offered * dist.call_acceptance(r)
+        assert cls.mu * e == pytest.approx(accepted, rel=1e-8, abs=1e-12)

@@ -1,0 +1,141 @@
+"""Property-based tests for the extension subsystems."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.erlang import engset_blocking, erlang_b
+from repro.core.convolution import solve_convolution
+from repro.core.series_solver import solve_series
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.extensions import (
+    OccupancyThresholdPolicy,
+    solve_hot_spot,
+    solve_with_admission,
+)
+
+# Shared strategies (same family the core property tests use).
+from tests.strategies import classes_strategy, dims_strategy
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_series_solver_matches_convolution(dims, classes):
+    series = solve_series(dims, classes)
+    conv = solve_convolution(dims, classes)
+    for r in range(len(classes)):
+        assert series.non_blocking(r) == pytest.approx(
+            conv.non_blocking(r), rel=1e-8, abs=1e-12
+        )
+        assert series.concurrency(r) == pytest.approx(
+            conv.concurrency(r), rel=1e-8, abs=1e-12
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_unrestricted_admission_is_product_form(dims, classes):
+    policy = OccupancyThresholdPolicy.unrestricted(dims, len(classes))
+    controlled = solve_with_admission(dims, classes, policy)
+    plain = solve_convolution(dims, classes)
+    for r in range(len(classes)):
+        assert controlled.concurrency(r) == pytest.approx(
+            plain.concurrency(r), rel=1e-7, abs=1e-10
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    rho=st.floats(min_value=0.05, max_value=0.8),
+    threshold=st.integers(min_value=0, max_value=5),
+)
+def test_admission_threshold_monotonicity(n, rho, threshold):
+    """Loosening the cheap class's cap never helps the protected class."""
+    threshold = min(threshold, n)
+    if threshold >= n:
+        return
+    dims = SwitchDimensions.square(n)
+    classes = (
+        TrafficClass.poisson(rho, weight=2.0, name="gold"),
+        TrafficClass.poisson(rho, weight=0.1, name="bronze"),
+    )
+    tight = solve_with_admission(
+        dims, classes, OccupancyThresholdPolicy((n, threshold))
+    )
+    loose = solve_with_admission(
+        dims, classes, OccupancyThresholdPolicy((n, threshold + 1))
+    )
+    assert tight.concurrency(0) >= loose.concurrency(0) - 1e-10
+    assert tight.concurrency(1) <= loose.concurrency(1) + 1e-10
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    rho=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_hot_spot_uniform_limit(n, rho):
+    dims = SwitchDimensions.square(n)
+    cls = TrafficClass.poisson(rho)
+    chain = solve_hot_spot(dims, cls, factor=1.0)
+    uniform = solve_convolution(dims, [cls])
+    assert chain.blocking() == pytest.approx(
+        uniform.blocking(0), rel=1e-8, abs=1e-12
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    rho=st.floats(min_value=0.01, max_value=0.5),
+    factor=st.floats(min_value=1.0, max_value=32.0),
+)
+def test_hot_spot_skew_never_helps(n, rho, factor):
+    dims = SwitchDimensions.square(n)
+    cls = TrafficClass.poisson(rho)
+    skewed = solve_hot_spot(dims, cls, factor=factor)
+    uniform = solve_hot_spot(dims, cls, factor=1.0)
+    assert skewed.blocking() >= uniform.blocking() - 1e-10
+    assert 0.0 <= skewed.blocking() <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_io_roundtrip_preserves_solution(dims, classes):
+    """Model -> JSON dict -> model gives bit-identical measures."""
+    from repro.core.model import CrossbarModel
+    from repro.io import model_from_dict, model_to_dict
+
+    model = CrossbarModel(dims, tuple(classes))
+    clone = model_from_dict(model_to_dict(model))
+    original = model.solve()
+    recovered = clone.solve()
+    for r in range(len(classes)):
+        assert recovered.blocking(r) == original.blocking(r)
+        assert recovered.concurrency(r) == original.concurrency(r)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    servers=st.integers(min_value=1, max_value=60),
+    load=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_erlang_b_bounds_and_monotonicity(servers, load):
+    b = erlang_b(servers, load)
+    assert 0.0 <= b <= 1.0
+    assert erlang_b(servers + 1, load) <= b + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sources=st.integers(min_value=2, max_value=30),
+    per_source=st.floats(min_value=0.01, max_value=3.0),
+    servers=st.integers(min_value=1, max_value=10),
+)
+def test_engset_bounds(sources, per_source, servers):
+    b = engset_blocking(sources, per_source, min(servers, sources))
+    assert 0.0 <= b <= 1.0

@@ -1,0 +1,60 @@
+"""Tests for the one-shot reproduction report generator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import ReproductionCheck, generate_report
+
+
+class TestReproductionCheck:
+    def test_render_pass(self):
+        check = ReproductionCheck("fig", "claim holds", True)
+        assert check.render() == "[PASS] fig: claim holds"
+
+    def test_render_fail(self):
+        check = ReproductionCheck("fig", "claim holds", False)
+        assert "[FAIL]" in check.render()
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("report")
+    checks = generate_report(out)
+    return out, checks
+
+
+class TestGenerateReport:
+    def test_all_criteria_pass(self, report):
+        _, checks = report
+        failing = [c.render() for c in checks if not c.passed]
+        assert not failing, failing
+
+    def test_artifacts_written(self, report):
+        out, _ = report
+        expected = {
+            "figure1.txt", "figure1.json", "figure2.txt", "figure3.txt",
+            "figure4.txt", "table1.txt", "table2_set0.txt",
+            "table2_set1.json", "summary.txt",
+        }
+        names = {p.name for p in out.iterdir()}
+        assert expected <= names
+
+    def test_figure_json_structure(self, report):
+        out, _ = report
+        record = json.loads((out / "figure1.json").read_text())
+        assert record["x_label"] == "N"
+        assert "poisson" in record["curves"]
+        assert len(record["curves"]["poisson"]) == len(record["x"])
+
+    def test_summary_counts(self, report):
+        out, checks = report
+        summary = (out / "summary.txt").read_text()
+        assert f"{len(checks)}/{len(checks)}" in summary
+
+    def test_table2_json_has_paper_columns(self, report):
+        out, _ = report
+        rows = json.loads((out / "table2_set0.json").read_text())
+        assert rows[0]["paper_blocking"] is not None

@@ -1,0 +1,137 @@
+"""Tests for text tables and figure-series containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.reporting import (
+    Curve,
+    FigureSeries,
+    format_table,
+    format_value,
+    render_ascii_chart,
+)
+
+
+class TestFormatValue:
+    def test_float_uses_general_format(self):
+        assert format_value(0.123456789, precision=4) == "0.1235"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_none_and_bool(self):
+        assert format_value(None) == "None"
+        assert format_value(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["n", "x"], [[1, 0.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_title_included(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_header_rule_present(self):
+        text = format_table(["abc"], [[1]])
+        assert "---" in text.splitlines()[1]
+
+
+class TestFigureSeries:
+    def make(self) -> FigureSeries:
+        return FigureSeries(
+            title="T", x_label="N", x_values=(1.0, 2.0), y_label="B"
+        )
+
+    def test_add_and_lookup(self):
+        fig = self.make()
+        fig.add("c1", [0.1, 0.2])
+        assert fig.curve("c1").values == (0.1, 0.2)
+
+    def test_add_rejects_length_mismatch(self):
+        fig = self.make()
+        with pytest.raises(ConfigurationError):
+            fig.add("bad", [0.1])
+
+    def test_missing_curve_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make().curve("nope")
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Curve(label="x", values=())
+
+    def test_to_rows(self):
+        fig = self.make()
+        fig.add("c1", [0.1, 0.2])
+        fig.add("c2", [0.3, 0.4])
+        assert fig.to_rows() == [[1.0, 0.1, 0.3], [2.0, 0.2, 0.4]]
+
+    def test_render_contains_labels(self):
+        fig = self.make()
+        fig.add("c1", [0.1, 0.2])
+        text = fig.render()
+        assert "c1" in text and "N" in text and "T" in text
+
+
+class TestAsciiChart:
+    def make(self, n: int = 5) -> FigureSeries:
+        fig = FigureSeries(
+            title="Chart", x_label="N",
+            x_values=tuple(float(i) for i in range(1, n + 1)),
+            y_label="B",
+        )
+        fig.add("up", [0.1 * i for i in range(1, n + 1)])
+        fig.add("down", [0.1 * (n - i) for i in range(n)])
+        return fig
+
+    def test_contains_markers_and_legend(self):
+        text = render_ascii_chart(self.make())
+        assert "*" in text and "o" in text
+        assert "up" in text and "down" in text
+
+    def test_axis_annotations(self):
+        text = render_ascii_chart(self.make())
+        assert "x: N" in text and "y: B" in text
+        assert "0.5" in text  # y max
+
+    def test_monotone_curve_renders_monotone(self):
+        fig = FigureSeries(
+            title="T", x_label="x", x_values=(1.0, 2.0, 3.0),
+            y_label="y",
+        )
+        fig.add("c", [1.0, 2.0, 3.0])
+        lines = render_ascii_chart(fig, width=30, height=10).splitlines()
+        plot = [line for line in lines if "|" in line]
+        # highest value appears on the top plot row, lowest on the bottom
+        assert "*" in plot[0]
+        assert "*" in plot[-1]
+
+    def test_flat_curve_does_not_crash(self):
+        fig = FigureSeries(
+            title="T", x_label="x", x_values=(1.0, 2.0), y_label="y"
+        )
+        fig.add("c", [0.5, 0.5])
+        assert "*" in render_ascii_chart(fig)
+
+    def test_single_point(self):
+        fig = FigureSeries(
+            title="T", x_label="x", x_values=(1.0,), y_label="y"
+        )
+        fig.add("c", [2.0])
+        assert "*" in render_ascii_chart(fig)
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_ascii_chart(self.make(), width=4, height=2)
+
+    def test_empty_figure_rejected(self):
+        fig = FigureSeries(
+            title="T", x_label="x", x_values=(1.0,), y_label="y"
+        )
+        with pytest.raises(ConfigurationError):
+            render_ascii_chart(fig)

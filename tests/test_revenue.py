@@ -1,0 +1,146 @@
+"""Tests for the revenue-oriented analysis (paper Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.mva import solve_mva
+from repro.core.revenue import (
+    gradient_burstiness,
+    gradient_rho,
+    gradient_rho_closed_form,
+    marginal_value,
+    revenue_report,
+    shadow_cost,
+)
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+
+class TestShadowCost:
+    def test_matches_two_direct_solves(self, small_dims, poisson_only):
+        solution = solve_convolution(small_dims, poisson_only)
+        for r, cls in enumerate(poisson_only):
+            reduced = small_dims.shrink(cls.a)
+            direct = (
+                solution.revenue()
+                - solve_convolution(reduced, poisson_only).revenue()
+            )
+            assert shadow_cost(solution, r) == pytest.approx(
+                direct, rel=1e-10
+            )
+
+    def test_marginal_value_definition(self, small_dims, poisson_only):
+        solution = solve_convolution(small_dims, poisson_only)
+        for r, cls in enumerate(poisson_only):
+            assert marginal_value(solution, r) == pytest.approx(
+                cls.weight - shadow_cost(solution, r)
+            )
+
+
+class TestClosedFormGradient:
+    @pytest.mark.parametrize("r", [0, 1])
+    def test_matches_central_difference(self, small_dims, poisson_only, r):
+        solution = solve_convolution(small_dims, poisson_only)
+        closed = gradient_rho_closed_form(solution, r)
+        numeric = gradient_rho(
+            small_dims, poisson_only, r, step=1e-8, scheme="central"
+        )
+        assert closed == pytest.approx(numeric, rel=1e-5)
+
+    def test_rejects_bursty_mix(self, small_dims, mixed_classes):
+        solution = solve_convolution(small_dims, mixed_classes)
+        with pytest.raises(ConfigurationError):
+            gradient_rho_closed_form(solution, 0)
+
+    def test_paper_interpretation_sign(self):
+        """If w_r exceeds the shadow cost, more load helps; the
+        closed form's sign must follow the marginal value."""
+        dims = SwitchDimensions(6, 6)
+        classes = [
+            TrafficClass.poisson(0.3, weight=10.0, name="valuable"),
+            TrafficClass.poisson(0.3, weight=0.001, name="cheap"),
+        ]
+        solution = solve_convolution(dims, classes)
+        assert marginal_value(solution, 0) > 0
+        assert gradient_rho_closed_form(solution, 0) > 0
+        # the cheap class displaces valuable traffic: negative gradient
+        assert marginal_value(solution, 1) < 0
+        assert gradient_rho_closed_form(solution, 1) < 0
+
+
+class TestNumericalGradients:
+    def test_forward_and_central_agree(self, small_dims, mixed_classes):
+        for r in range(len(mixed_classes)):
+            fwd = gradient_rho(small_dims, mixed_classes, r, step=1e-7)
+            ctr = gradient_rho(
+                small_dims, mixed_classes, r, step=1e-7, scheme="central"
+            )
+            assert fwd == pytest.approx(ctr, rel=1e-3, abs=1e-9)
+
+    def test_burstiness_gradient_scheme_agreement(self, small_dims):
+        classes = [
+            TrafficClass.poisson(0.1, weight=1.0),
+            TrafficClass(alpha=0.1, beta=0.2, weight=0.01),
+        ]
+        fwd = gradient_burstiness(small_dims, classes, 1, step=1e-7)
+        ctr = gradient_burstiness(
+            small_dims, classes, 1, step=1e-7, scheme="central"
+        )
+        assert fwd == pytest.approx(ctr, rel=1e-3, abs=1e-9)
+
+    def test_gradient_via_brute_force_solver(self, small_dims):
+        """FD gradients are solver-agnostic."""
+        classes = [
+            TrafficClass.poisson(0.15, weight=1.0),
+            TrafficClass(alpha=0.05, beta=0.25, weight=0.1),
+        ]
+        conv = gradient_burstiness(small_dims, classes, 1, step=1e-6)
+        mva = gradient_burstiness(
+            small_dims, classes, 1, step=1e-6, solver=solve_mva
+        )
+        assert conv == pytest.approx(mva, rel=1e-6)
+
+    def test_unknown_scheme_rejected(self, small_dims, mixed_classes):
+        with pytest.raises(ConfigurationError):
+            gradient_rho(small_dims, mixed_classes, 0, scheme="magic")
+
+    def test_increasing_burstiness_of_low_value_class_loses_revenue(self):
+        """Table 2's central finding, at a representative size."""
+        n = 32
+        dims = SwitchDimensions.square(n)
+        classes = [
+            TrafficClass.from_aggregate(
+                0.0012, 0.0, n2=n, weight=1.0, name="poisson"
+            ),
+            TrafficClass.from_aggregate(
+                0.0012, 0.0012, n2=n, weight=0.0001, name="bursty"
+            ),
+        ]
+        grad = gradient_burstiness(dims, classes, 1, step=1e-9)
+        assert grad < 0
+
+
+class TestRevenueReport:
+    def test_structure(self, small_dims, mixed_classes):
+        report = revenue_report(small_dims, mixed_classes)
+        assert report["dims"] == (small_dims.n1, small_dims.n2)
+        assert len(report["classes"]) == len(mixed_classes)
+        for entry in report["classes"]:
+            assert {"name", "kind", "blocking", "shadow_cost",
+                    "marginal_value", "dW_drho"} <= set(entry)
+
+    def test_burstiness_gradient_only_for_bursty(self, small_dims, mixed_classes):
+        report = revenue_report(small_dims, mixed_classes)
+        for entry, cls in zip(report["classes"], mixed_classes):
+            if cls.is_poisson:
+                assert entry["dW_dburstiness"] is None
+            else:
+                assert entry["dW_dburstiness"] is not None
+
+    def test_revenue_consistency(self, small_dims, mixed_classes):
+        report = revenue_report(small_dims, mixed_classes)
+        solution = solve_convolution(small_dims, mixed_classes)
+        assert report["revenue"] == pytest.approx(solution.revenue())

@@ -1,0 +1,136 @@
+"""Tests for the diagonal occupancy-series solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.series_solver import solve_series
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+CONFIGS = [
+    pytest.param(
+        SwitchDimensions(6, 6), [TrafficClass.poisson(0.3)], id="poisson"
+    ),
+    pytest.param(
+        SwitchDimensions(4, 9),
+        [
+            TrafficClass.poisson(0.2, weight=2.0),
+            TrafficClass(alpha=0.08, beta=0.3, weight=0.5),
+        ],
+        id="rect-mix",
+    ),
+    pytest.param(
+        SwitchDimensions(8, 7),
+        [
+            TrafficClass.bernoulli(3, 0.15),
+            TrafficClass.poisson(0.05, a=2),
+            TrafficClass(alpha=0.02, beta=0.4, a=3),
+        ],
+        id="three-kinds-multirate",
+    ),
+    pytest.param(
+        SwitchDimensions(12, 12),
+        [TrafficClass.from_moments(mean=0.5, peakedness=0.75)],
+        id="strong-smooth",
+    ),
+]
+
+
+@pytest.mark.parametrize("dims,classes", CONFIGS)
+class TestAgainstConvolution:
+    def test_blocking_matches(self, dims, classes):
+        series = solve_series(dims, classes)
+        conv = solve_convolution(dims, classes)
+        for r in range(len(classes)):
+            assert series.non_blocking(r) == pytest.approx(
+                conv.non_blocking(r), rel=1e-10, abs=1e-14
+            )
+
+    def test_concurrency_matches(self, dims, classes):
+        series = solve_series(dims, classes)
+        conv = solve_convolution(dims, classes)
+        for r in range(len(classes)):
+            assert series.concurrency(r) == pytest.approx(
+                conv.concurrency(r), rel=1e-10, abs=1e-14
+            )
+
+    def test_revenue_matches(self, dims, classes):
+        series = solve_series(dims, classes)
+        conv = solve_convolution(dims, classes)
+        assert series.revenue() == pytest.approx(
+            conv.revenue(), rel=1e-10
+        )
+
+    def test_call_acceptance_matches(self, dims, classes):
+        series = solve_series(dims, classes)
+        conv = solve_convolution(dims, classes)
+        for r in range(len(classes)):
+            assert series.call_acceptance(r) == pytest.approx(
+                conv.call_acceptance(r), rel=1e-10, abs=1e-14
+            )
+
+    def test_diagonal_reductions_match(self, dims, classes):
+        series = solve_series(dims, classes)
+        conv = solve_convolution(dims, classes)
+        for depth in (1, 2):
+            if dims.capacity - depth < 1:
+                continue
+            at = SwitchDimensions(dims.n1 - depth, dims.n2 - depth)
+            for r in range(len(classes)):
+                assert series.non_blocking(r, at_depth=depth) == (
+                    pytest.approx(
+                        conv.non_blocking(r, at=at), rel=1e-10, abs=1e-14
+                    )
+                )
+            assert series.revenue(at_depth=depth) == pytest.approx(
+                conv.revenue(at=at), rel=1e-10
+            )
+
+
+class TestScalability:
+    def test_large_square_switch(self):
+        """Fast at a size where the grid would be ~270k cells x R."""
+        n = 512
+        dims = SwitchDimensions.square(n)
+        classes = [
+            TrafficClass.from_aggregate(0.0024, 0.0, n2=n),
+            TrafficClass.from_aggregate(0.0024, 0.0012, n2=n),
+        ]
+        series = solve_series(dims, classes)
+        assert 0.0 < series.blocking(0) < 0.05
+        assert series.utilization() < 0.1
+
+    def test_table2_anchor(self):
+        """Reproduces a Table 2 value the grid solver also produces."""
+        n = 128
+        dims = SwitchDimensions.square(n)
+        classes = [
+            TrafficClass.from_aggregate(0.0012, 0.0, n2=n),
+            TrafficClass.from_aggregate(0.0012, 0.0012, n2=n),
+        ]
+        series = solve_series(dims, classes)
+        conv = solve_convolution(dims, classes)
+        assert series.blocking(0) == pytest.approx(
+            conv.blocking(0), rel=1e-9
+        )
+
+
+class TestValidation:
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_series(SwitchDimensions(3, 3), [])
+
+    def test_oversized_class_zeroed(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.1), TrafficClass.poisson(0.1, a=3)]
+        series = solve_series(dims, classes)
+        assert series.non_blocking(1) == 0.0
+        assert series.concurrency(1) == 0.0
+
+    def test_utilization_bounds(self):
+        dims = SwitchDimensions(4, 4)
+        series = solve_series(dims, [TrafficClass.poisson(5.0)])
+        assert 0.0 <= series.utilization() <= 1.0

@@ -1,0 +1,88 @@
+"""Tests for batch-means output analysis and simulator invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import SimulationError
+from repro.sim import AsynchronousCrossbarSimulator, BatchMeans
+
+
+class TestBatchMeans:
+    def test_known_batches(self):
+        bm = BatchMeans(batches=2)
+        for v in (1.0, 3.0, 5.0, 7.0):
+            bm.add(v)
+        assert bm.batch_means() == [2.0, 6.0]
+
+    def test_remainder_dropped(self):
+        bm = BatchMeans(batches=2)
+        for v in (1.0, 3.0, 5.0, 7.0, 100.0):
+            bm.add(v)
+        assert bm.batch_means() == [2.0, 6.0]
+
+    def test_interval_covers_iid_mean(self):
+        rng = np.random.default_rng(5)
+        hits = 0
+        for _ in range(100):
+            bm = BatchMeans(batches=10)
+            for v in rng.normal(4.0, 1.0, size=400):
+                bm.add(float(v))
+            hits += bm.interval(0.95).contains(4.0)
+        assert hits >= 85
+
+    def test_lag1_autocorrelation_near_zero_for_iid(self):
+        rng = np.random.default_rng(9)
+        bm = BatchMeans(batches=30)
+        for v in rng.normal(0.0, 1.0, size=3000):
+            bm.add(float(v))
+        assert abs(bm.lag1_autocorrelation()) < 0.4
+
+    def test_lag1_autocorrelation_detects_trend(self):
+        bm = BatchMeans(batches=10)
+        for i in range(1000):
+            bm.add(float(i))  # strong trend -> correlated batches
+        assert bm.lag1_autocorrelation() > 0.5
+
+    def test_too_few_batches_rejected(self):
+        with pytest.raises(SimulationError):
+            BatchMeans(batches=1)
+
+    def test_too_few_observations_rejected(self):
+        bm = BatchMeans(batches=4)
+        bm.add(1.0)
+        with pytest.raises(SimulationError):
+            bm.batch_means()
+
+    def test_count(self):
+        bm = BatchMeans(batches=2)
+        bm.add(1.0)
+        bm.add(2.0)
+        assert bm.count == 2
+
+
+class TestSimulatorInvariants:
+    def test_invariants_hold_through_a_run(self):
+        """Every event leaves ports, concurrencies and the connection
+        table mutually consistent (O(N)-per-event validation on)."""
+        dims = SwitchDimensions(4, 5)
+        classes = [
+            TrafficClass.poisson(0.3, name="p"),
+            TrafficClass(alpha=0.1, beta=0.3, a=2, name="wide"),
+        ]
+        sim = AsynchronousCrossbarSimulator(dims, classes, seed=13)
+        record = sim.run(horizon=500.0, check_invariants=True)
+        assert record.events > 100
+
+    def test_invariants_hold_with_hot_spot(self):
+        dims = SwitchDimensions(4, 4)
+        classes = [TrafficClass.poisson(0.4, name="p")]
+        sim = AsynchronousCrossbarSimulator(
+            dims, classes, seed=3,
+            output_weights=[0.7, 0.1, 0.1, 0.1],
+        )
+        record = sim.run(horizon=400.0, check_invariants=True)
+        assert record.events > 100

@@ -1,0 +1,213 @@
+"""Tests for the discrete-event crossbar simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+from repro.sim import (
+    AsynchronousCrossbarSimulator,
+    Deterministic,
+    Erlang,
+    Exponential,
+    compare_with_analysis,
+    hot_spot_weights,
+    relative_error,
+    run_hot_spot,
+    run_replications,
+)
+
+
+class TestConstruction:
+    def test_requires_classes(self):
+        with pytest.raises(ConfigurationError):
+            AsynchronousCrossbarSimulator(SwitchDimensions(2, 2), [])
+
+    def test_service_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            AsynchronousCrossbarSimulator(
+                SwitchDimensions(2, 2),
+                [TrafficClass.poisson(0.1)],
+                services=[Exponential(1.0), Exponential(1.0)],
+            )
+
+    def test_service_mean_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            AsynchronousCrossbarSimulator(
+                SwitchDimensions(2, 2),
+                [TrafficClass.poisson(0.1, mu=2.0)],
+                services=[Exponential(1.0)],  # should be mean 0.5
+            )
+
+    def test_bad_output_weights(self):
+        with pytest.raises(ConfigurationError):
+            AsynchronousCrossbarSimulator(
+                SwitchDimensions(2, 3),
+                [TrafficClass.poisson(0.1)],
+                output_weights=[0.5, 0.5],  # wrong length
+            )
+
+    def test_horizon_must_exceed_warmup(self):
+        sim = AsynchronousCrossbarSimulator(
+            SwitchDimensions(2, 2), [TrafficClass.poisson(0.1)]
+        )
+        with pytest.raises(ConfigurationError):
+            sim.run(horizon=10.0, warmup=10.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.2)]
+        a = AsynchronousCrossbarSimulator(dims, classes, seed=5).run(500.0)
+        b = AsynchronousCrossbarSimulator(dims, classes, seed=5).run(500.0)
+        assert a.classes[0].offered == b.classes[0].offered
+        assert a.classes[0].accepted == b.classes[0].accepted
+        assert a.mean_occupancy == pytest.approx(b.mean_occupancy)
+
+    def test_different_seeds_differ(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.2)]
+        a = AsynchronousCrossbarSimulator(dims, classes, seed=5).run(500.0)
+        b = AsynchronousCrossbarSimulator(dims, classes, seed=6).run(500.0)
+        assert a.classes[0].offered != b.classes[0].offered
+
+
+class TestAgainstAnalysis:
+    def test_poisson_acceptance_matches(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.25, name="p")]
+        summary = run_replications(
+            dims, classes, horizon=4000.0, warmup=400.0,
+            replications=5, seed=11,
+        )
+        solution = solve_convolution(dims, classes)
+        comparison = compare_with_analysis(summary, classes, solution)
+        assert comparison["classes"][0]["acceptance_covered"]
+        assert relative_error(summary, classes, solution) < 0.05
+
+    def test_bursty_call_acceptance_matches(self):
+        """The BPP call-acceptance closed form is what arrivals see."""
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass(alpha=0.1, beta=0.35, name="pascal")]
+        summary = run_replications(
+            dims, classes, horizon=4000.0, warmup=400.0,
+            replications=5, seed=23,
+        )
+        solution = solve_convolution(dims, classes)
+        sim = summary.classes[0].acceptance.estimate
+        ana = solution.call_acceptance(0)
+        assert sim == pytest.approx(ana, rel=0.05)
+        # ... and it is NOT the time-average ratio form:
+        assert abs(sim - solution.non_blocking(0)) > abs(sim - ana)
+
+    def test_multirate_blocking_ordering(self):
+        """An a=2 class must see far more blocking than an a=1 class
+        (Figure 4's key effect), already visible in simulation."""
+        dims = SwitchDimensions(4, 4)
+        classes = [
+            TrafficClass.poisson(0.08, a=1, name="narrow"),
+            TrafficClass.poisson(0.04, a=2, name="wide"),
+        ]
+        summary = run_replications(
+            dims, classes, horizon=3000.0, warmup=300.0,
+            replications=4, seed=2,
+        )
+        narrow = summary.classes[0].acceptance.estimate
+        wide = summary.classes[1].acceptance.estimate
+        assert wide < narrow
+
+    def test_occupancy_covered(self):
+        dims = SwitchDimensions(4, 5)
+        classes = [
+            TrafficClass.poisson(0.1),
+            TrafficClass(alpha=0.05, beta=0.2),
+        ]
+        summary = run_replications(
+            dims, classes, horizon=4000.0, warmup=400.0,
+            replications=5, seed=31,
+        )
+        comparison = compare_with_analysis(summary, classes)
+        assert comparison["occupancy_covered"] or (
+            abs(
+                comparison["occupancy_sim"].estimate
+                - comparison["occupancy_analytical"]
+            )
+            / comparison["occupancy_analytical"]
+            < 0.05
+        )
+
+
+class TestInsensitivity:
+    """The paper's insensitivity claim: only the service *mean* matters."""
+
+    @pytest.mark.parametrize(
+        "service",
+        [Deterministic(1.0), Erlang(1.0, k=4)],
+        ids=["deterministic", "erlang4"],
+    )
+    def test_non_exponential_service_same_blocking(self, service):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.3, name="p")]
+        summary = run_replications(
+            dims, classes, horizon=4000.0, warmup=400.0,
+            replications=5, seed=17, services=[service],
+        )
+        solution = solve_convolution(dims, classes)
+        sim = summary.classes[0].acceptance.estimate
+        assert sim == pytest.approx(solution.non_blocking(0), rel=0.05)
+
+
+class TestHotSpot:
+    def test_weights_shape(self):
+        w = hot_spot_weights(5, hot_output=2, factor=4.0)
+        assert w.sum() == pytest.approx(1.0)
+        assert w[2] == pytest.approx(4.0 * w[0])
+
+    def test_uniform_factor_recovers_model(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.25)]
+        summary = run_hot_spot(
+            dims, classes, factor=1.0, horizon=3000.0, warmup=300.0,
+            replications=4, seed=5,
+        )
+        solution = solve_convolution(dims, classes)
+        assert summary.classes[0].acceptance.estimate == pytest.approx(
+            solution.non_blocking(0), rel=0.05
+        )
+
+    def test_hot_spot_increases_blocking(self):
+        dims = SwitchDimensions(4, 4)
+        classes = [TrafficClass.poisson(0.2)]
+        uniform = run_hot_spot(
+            dims, classes, factor=1.0, horizon=3000.0, warmup=300.0,
+            replications=4, seed=9,
+        )
+        skewed = run_hot_spot(
+            dims, classes, factor=8.0, horizon=3000.0, warmup=300.0,
+            replications=4, seed=9,
+        )
+        assert (
+            skewed.classes[0].acceptance.estimate
+            < uniform.classes[0].acceptance.estimate
+        )
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hot_spot_weights(4, 0, factor=0.5)
+
+    def test_bad_hot_output_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hot_spot_weights(4, 7, factor=2.0)
+
+
+class TestRunnerValidation:
+    def test_replications_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            run_replications(
+                SwitchDimensions(2, 2), [TrafficClass.poisson(0.1)],
+                horizon=100.0, replications=0,
+            )

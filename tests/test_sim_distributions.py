@@ -1,0 +1,101 @@
+"""Tests for the service-time distribution family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sim.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormalService,
+    ParetoService,
+    UniformService,
+    from_name,
+)
+
+ALL = [
+    Exponential(2.0),
+    Deterministic(2.0),
+    Erlang(2.0, k=3),
+    HyperExponential(2.0, p=0.2),
+    UniformService(2.0),
+    LogNormalService(2.0, target_scv=1.5),
+    ParetoService(2.0, alpha=3.0),
+]
+
+
+class TestMeans:
+    @pytest.mark.parametrize("dist", ALL, ids=[type(d).__name__ for d in ALL])
+    def test_empirical_mean_matches(self, dist):
+        rng = np.random.default_rng(42)
+        n = 200_000
+        samples = np.array([dist.sample(rng) for _ in range(n)])
+        tolerance = 6.0 * np.sqrt(max(dist.scv, 1e-9)) * 2.0 / np.sqrt(n)
+        assert samples.mean() == pytest.approx(2.0, abs=max(tolerance, 0.02))
+
+    @pytest.mark.parametrize("dist", ALL, ids=[type(d).__name__ for d in ALL])
+    def test_samples_positive(self, dist):
+        rng = np.random.default_rng(3)
+        assert all(dist.sample(rng) >= 0.0 for _ in range(1000))
+
+
+class TestScv:
+    def test_ordering(self):
+        assert Deterministic(1.0).scv == 0.0
+        assert Erlang(1.0, k=4).scv == pytest.approx(0.25)
+        assert UniformService(1.0).scv == pytest.approx(1.0 / 3.0)
+        assert Exponential(1.0).scv == 1.0
+        assert HyperExponential(1.0, p=0.1).scv > 1.0
+        assert ParetoService(1.0, alpha=2.5).scv == pytest.approx(5.0)
+
+    def test_empirical_scv_hyperexponential(self):
+        dist = HyperExponential(1.0, p=0.1)
+        rng = np.random.default_rng(11)
+        samples = np.array([dist.sample(rng) for _ in range(300_000)])
+        empirical = samples.var() / samples.mean() ** 2
+        assert empirical == pytest.approx(dist.scv, rel=0.05)
+
+    def test_empirical_scv_lognormal(self):
+        dist = LogNormalService(1.0, target_scv=2.0)
+        rng = np.random.default_rng(13)
+        samples = np.array([dist.sample(rng) for _ in range(300_000)])
+        empirical = samples.var() / samples.mean() ** 2
+        assert empirical == pytest.approx(2.0, rel=0.1)
+
+
+class TestValidation:
+    def test_nonpositive_mean_rejected(self):
+        for factory in (Exponential, Deterministic, UniformService):
+            with pytest.raises(InvalidParameterError):
+                factory(0.0)
+
+    def test_erlang_needs_positive_k(self):
+        with pytest.raises(InvalidParameterError):
+            Erlang(1.0, k=0)
+
+    def test_hyperexponential_p_range(self):
+        with pytest.raises(InvalidParameterError):
+            HyperExponential(1.0, p=1.0)
+
+    def test_pareto_needs_finite_variance(self):
+        with pytest.raises(InvalidParameterError):
+            ParetoService(1.0, alpha=2.0)
+
+    def test_lognormal_needs_positive_scv(self):
+        with pytest.raises(InvalidParameterError):
+            LogNormalService(1.0, target_scv=0.0)
+
+
+class TestRegistry:
+    def test_from_name(self):
+        dist = from_name("erlang", 3.0, k=2)
+        assert isinstance(dist, Erlang)
+        assert dist.mean == 3.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            from_name("zipf", 1.0)

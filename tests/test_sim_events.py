@@ -1,0 +1,92 @@
+"""Unit tests for the event queue and random-stream plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.events import ARRIVAL, DEPARTURE, Event, EventQueue
+from repro.sim.rng import RandomStreams
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, ARRIVAL)
+        q.push(1.0, DEPARTURE)
+        q.push(2.0, ARRIVAL)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        first = q.push(1.0, ARRIVAL, payload="first")
+        second = q.push(1.0, ARRIVAL, payload="second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+        assert first.seq < second.seq
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, ARRIVAL)
+        assert q and len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() == float("inf")
+        q.push(5.0, ARRIVAL)
+        assert q.peek_time() == 5.0
+        assert len(q) == 1  # peek does not pop
+
+    def test_payload_not_compared(self):
+        # Payloads that are not orderable must not break the heap.
+        q = EventQueue()
+        q.push(1.0, ARRIVAL, payload={"a": 1})
+        q.push(1.0, ARRIVAL, payload={"b": 2})
+        assert q.pop().payload == {"a": 1}
+
+    def test_version_token_carried(self):
+        q = EventQueue()
+        event = q.push(1.0, ARRIVAL, version=7)
+        assert event.version == 7
+
+    def test_event_ordering_dataclass(self):
+        early = Event(time=1.0, seq=0, kind=ARRIVAL)
+        late = Event(time=2.0, seq=1, kind=ARRIVAL)
+        assert early < late
+
+
+class TestRandomStreams:
+    def test_reproducible(self):
+        a = RandomStreams(seed=42, n_classes=2)
+        b = RandomStreams(seed=42, n_classes=2)
+        assert a.exponential(0, 1.0) == b.exponential(0, 1.0)
+        assert np.array_equal(a.choose_ports(8, 2), b.choose_ports(8, 2))
+
+    def test_streams_independent(self):
+        """Consuming one class's arrival stream must not perturb
+        another's — the common-random-numbers property."""
+        a = RandomStreams(seed=1, n_classes=2)
+        b = RandomStreams(seed=1, n_classes=2)
+        for _ in range(100):
+            a.exponential(0, 1.0)  # burn stream 0 on `a` only
+        assert a.exponential(1, 1.0) == b.exponential(1, 1.0)
+
+    def test_zero_rate_never_fires(self):
+        streams = RandomStreams(seed=0, n_classes=1)
+        assert streams.exponential(0, 0.0) == float("inf")
+        assert streams.exponential(0, -1.0) == float("inf")
+
+    def test_choose_ports_distinct(self):
+        streams = RandomStreams(seed=3, n_classes=1)
+        for _ in range(100):
+            ports = streams.choose_ports(6, 3)
+            assert len(set(ports.tolist())) == 3
+            assert all(0 <= p < 6 for p in ports)
+
+    def test_exponential_mean(self):
+        streams = RandomStreams(seed=11, n_classes=1)
+        rate = 4.0
+        samples = [streams.exponential(0, rate) for _ in range(50_000)]
+        assert np.mean(samples) == pytest.approx(1.0 / rate, rel=0.05)

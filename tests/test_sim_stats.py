@@ -1,0 +1,110 @@
+"""Tests for the simulation statistics toolkit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.stats import (
+    ConfidenceInterval,
+    RatioEstimator,
+    TallyStatistic,
+    TimeWeightedMean,
+    t_confidence_interval,
+)
+
+
+class TestTimeWeightedMean:
+    def test_piecewise_constant_average(self):
+        twm = TimeWeightedMean()
+        twm.update(2.0, 1.0)   # value 2 held over [0, 1)
+        twm.update(4.0, 3.0)   # value 4 held over [1, 3)
+        assert twm.mean(3.0) == pytest.approx((2.0 + 8.0) / 3.0)
+
+    def test_reset_discards_warmup(self):
+        twm = TimeWeightedMean()
+        twm.update(100.0, 5.0)
+        twm.reset(5.0)
+        twm.update(1.0, 7.0)
+        assert twm.mean(7.0) == pytest.approx(1.0)
+
+    def test_zero_span_is_zero(self):
+        assert TimeWeightedMean().mean(0.0) == 0.0
+
+    def test_time_reversal_rejected(self):
+        twm = TimeWeightedMean()
+        twm.update(1.0, 2.0)
+        with pytest.raises(SimulationError):
+            twm.update(1.0, 1.0)
+
+
+class TestTallyStatistic:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(3.0, 2.0, size=500)
+        tally = TallyStatistic()
+        for v in data:
+            tally.add(float(v))
+        assert tally.mean == pytest.approx(float(np.mean(data)))
+        assert tally.variance == pytest.approx(float(np.var(data, ddof=1)))
+        assert tally.stddev == pytest.approx(float(np.std(data, ddof=1)))
+
+    def test_variance_zero_below_two_samples(self):
+        tally = TallyStatistic()
+        tally.add(5.0)
+        assert tally.variance == 0.0
+
+
+class TestRatioEstimator:
+    def test_counts(self):
+        est = RatioEstimator()
+        for accepted in (True, False, True, True):
+            est.observe(accepted)
+        assert est.offered == 4
+        assert est.accepted == 3
+        assert est.ratio == pytest.approx(0.75)
+
+    def test_empty_ratio_is_one(self):
+        assert RatioEstimator().ratio == 1.0
+
+    def test_merge(self):
+        a = RatioEstimator(offered=10, accepted=7)
+        b = RatioEstimator(offered=5, accepted=1)
+        a.merge(b)
+        assert (a.offered, a.accepted) == (15, 8)
+
+
+class TestConfidenceIntervals:
+    def test_interval_bounds(self):
+        ci = ConfidenceInterval(estimate=2.0, half_width=0.5, level=0.95)
+        assert ci.low == pytest.approx(1.5)
+        assert ci.high == pytest.approx(2.5)
+        assert ci.contains(2.4)
+        assert not ci.contains(2.6)
+
+    def test_t_interval_known_case(self):
+        values = [1.0, 2.0, 3.0]
+        ci = t_confidence_interval(values, level=0.95)
+        assert ci.estimate == pytest.approx(2.0)
+        # t(0.975, df=2) = 4.3027; s = 1; half = 4.3027 / sqrt(3)
+        assert ci.half_width == pytest.approx(4.3027 / np.sqrt(3), rel=1e-4)
+
+    def test_single_value_gives_infinite_width(self):
+        ci = t_confidence_interval([5.0])
+        assert ci.half_width == np.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            t_confidence_interval([])
+
+    def test_coverage_on_synthetic_data(self):
+        """~95% of CIs from normal samples should contain the mean."""
+        rng = np.random.default_rng(7)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.normal(10.0, 3.0, size=8)
+            ci = t_confidence_interval([float(v) for v in sample], 0.95)
+            hits += ci.contains(10.0)
+        assert 0.90 <= hits / trials <= 0.99

@@ -1,0 +1,152 @@
+"""Regression tests for smooth-traffic numerical stability.
+
+The paper's eq. 9 auxiliary recursion ``V(n, r) = Q(n - aI) + b V(...)``
+is an *alternating* series for smooth (Bernoulli, ``beta < 0``) classes.
+Once ``|beta/mu| * (free pairs)`` exceeds one, its terms grow while the
+true sum stays modest — catastrophic cancellation that no float
+representation survives.  The same applies to Algorithm 2's D-chain and
+to the diagonal concurrency recursion.  The paper's own examples sit in
+the stable regime (``|b~| ~ 1e-6``); a 2-source smooth class on a 32x32
+switch does not.
+
+The library's remedies, all locked in here:
+
+* Algorithm 1 folds smooth classes via the positive-term identity
+  ``Q(N) = sum_k Phi_r(k) Q_rest(N - a k I)``;
+* smooth-class concurrency uses the analogous positive sum
+  (``e_smooth`` grids) instead of the unstable recursion;
+* Algorithm 2 detects the regime and refuses with a clear error;
+* the exact-rational oracle uses the same truncated (clamped-rate)
+  model as the product form, so all solvers answer the same question.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.exact import solve_exact
+from repro.core.mva import solve_mva
+from repro.core.productform import solve_brute_force
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ComputationError
+
+#: A strongly smooth class: 2 sources, Z = 0.75 -> |b| = 1/3.
+STRONG_SMOOTH = TrafficClass.from_moments(
+    mean=0.5, peakedness=0.75, mu=1.0, name="smooth"
+)
+
+
+class TestFoldCorrectness:
+    @pytest.mark.parametrize("mode", ["log", "scaled", "float"])
+    def test_strong_smooth_matches_brute_force(self, mode):
+        dims = SwitchDimensions(12, 14)
+        classes = [STRONG_SMOOTH, TrafficClass.poisson(0.01, name="p")]
+        solution = solve_convolution(dims, classes, mode=mode)
+        reference = solve_brute_force(dims, classes)
+        assert solution.non_blocking(0) == pytest.approx(
+            reference.non_blocking_probability(0), rel=1e-12
+        )
+        assert solution.concurrency(0) == pytest.approx(
+            reference.concurrency(0), rel=1e-12
+        )
+
+    def test_large_switch_plausible_measures(self):
+        """The original failure: this used to raise / return garbage."""
+        dims = SwitchDimensions.square(64)
+        classes = [STRONG_SMOOTH]
+        solution = solve_convolution(dims, classes)
+        # 2 sources, offered over ~64^2 port pairs: the class runs at
+        # its source cap, so E is just under 2 and blocking is small.
+        assert 1.9 < solution.concurrency(0) < 2.0
+        assert 0.0 < solution.blocking(0) < 0.1
+
+    def test_blocking_falls_with_switch_size_at_fixed_sources(self):
+        blockings = [
+            solve_convolution(
+                SwitchDimensions.square(n), [STRONG_SMOOTH]
+            ).blocking(0)
+            for n in (8, 16, 32, 64)
+        ]
+        assert all(b > c for b, c in zip(blockings, blockings[1:]))
+
+    def test_two_smooth_classes(self):
+        dims = SwitchDimensions(9, 8)
+        classes = [
+            TrafficClass.bernoulli(2, 0.4, name="b1"),
+            TrafficClass.bernoulli(3, 0.3, a=2, name="b2"),
+            TrafficClass(alpha=0.05, beta=0.2, name="pk"),
+        ]
+        solution = solve_convolution(dims, classes)
+        reference = solve_brute_force(dims, classes)
+        for r in range(3):
+            assert solution.concurrency(r) == pytest.approx(
+                reference.concurrency(r), rel=1e-10
+            )
+
+    def test_e_smooth_grids_only_for_smooth_classes(self):
+        dims = SwitchDimensions(6, 6)
+        classes = [
+            TrafficClass.poisson(0.1),
+            TrafficClass.bernoulli(3, 0.2),
+            TrafficClass(alpha=0.1, beta=0.3),
+        ]
+        solution = solve_convolution(dims, classes)
+        assert set(solution.e_smooth) == {1}
+
+    def test_sub_dimension_concurrency_matches_direct_solve(self):
+        dims = SwitchDimensions(14, 12)
+        classes = [STRONG_SMOOTH]
+        big = solve_convolution(dims, classes)
+        sub = SwitchDimensions(9, 7)
+        direct = solve_convolution(sub, classes)
+        assert big.concurrency(0, at=sub) == pytest.approx(
+            direct.concurrency(0), rel=1e-12
+        )
+
+
+class TestExactTruncationSemantics:
+    def test_exact_matches_brute_force_for_near_integer_sources(self):
+        """from_moments produces a float source count a few ULPs off an
+        integer; the oracle must truncate exactly like the product
+        form (not follow the spurious negative-binomial tail)."""
+        dims = SwitchDimensions(10, 10)
+        classes = [STRONG_SMOOTH]
+        exact = solve_exact(dims, classes)
+        reference = solve_brute_force(dims, classes)
+        assert exact.non_blocking(0) == pytest.approx(
+            reference.non_blocking_probability(0), rel=1e-13
+        )
+        assert exact.concurrency(0) == pytest.approx(
+            reference.concurrency(0), rel=1e-13
+        )
+
+
+class TestMvaGuard:
+    def test_raises_in_unstable_regime(self):
+        dims = SwitchDimensions.square(32)
+        with pytest.raises(ComputationError, match="unstable"):
+            solve_mva(dims, [STRONG_SMOOTH])
+
+    def test_allows_stable_smooth_configurations(self):
+        dims = SwitchDimensions(6, 6)
+        classes = [TrafficClass.bernoulli(4, 0.05)]
+        solution = solve_mva(dims, classes)
+        reference = solve_convolution(dims, classes)
+        assert solution.non_blocking(0) == pytest.approx(
+            reference.non_blocking(0), rel=1e-9
+        )
+
+    def test_paper_regime_is_stable(self):
+        """Figure 1's smooth parameters (|b~| ~ 1e-6) pass the guard."""
+        n = 128
+        dims = SwitchDimensions.square(n)
+        classes = [
+            TrafficClass.from_aggregate(0.0024, -4e-6, n2=n, mu=1.0)
+        ]
+        solution = solve_mva(dims, classes)
+        reference = solve_convolution(dims, classes)
+        assert solution.blocking(0) == pytest.approx(
+            reference.blocking(0), rel=1e-8
+        )

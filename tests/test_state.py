@@ -1,0 +1,139 @@
+"""Unit tests for switch dimensions and the state space."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.state import (
+    SwitchDimensions,
+    iter_states,
+    log_permutation,
+    max_connections,
+    occupancy,
+    occupancy_counts,
+    permutation,
+    state_space_size,
+)
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+
+
+class TestSwitchDimensions:
+    def test_capacity_is_min(self):
+        assert SwitchDimensions(3, 9).capacity == 3
+        assert SwitchDimensions(9, 3).capacity == 3
+
+    def test_crosspoints(self):
+        assert SwitchDimensions(4, 6).crosspoints == 24
+
+    def test_square(self):
+        dims = SwitchDimensions.square(5)
+        assert (dims.n1, dims.n2) == (5, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchDimensions(-1, 2)
+
+    def test_shrink_floors_at_zero(self):
+        assert SwitchDimensions(2, 5).shrink(3) == SwitchDimensions(0, 2)
+
+    def test_contains(self):
+        big = SwitchDimensions(5, 7)
+        assert big.contains(SwitchDimensions(5, 7))
+        assert big.contains(SwitchDimensions(2, 3))
+        assert not big.contains(SwitchDimensions(6, 2))
+
+    def test_free_pairs(self):
+        assert SwitchDimensions(4, 6).free_pairs(3) == (1, 3)
+
+    def test_free_pairs_rejects_over_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SwitchDimensions(4, 6).free_pairs(5)
+
+    def test_str(self):
+        assert str(SwitchDimensions(3, 4)) == "3x4"
+
+
+class TestPermutation:
+    def test_falling_factorial(self):
+        assert permutation(5, 2) == 20
+        assert permutation(5, 0) == 1
+        assert permutation(5, 5) == 120
+
+    def test_zero_when_a_exceeds_n(self):
+        assert permutation(3, 4) == 0
+
+    def test_negative_a_rejected(self):
+        with pytest.raises(ConfigurationError):
+            permutation(3, -1)
+
+    def test_log_permutation_matches(self):
+        assert log_permutation(10, 3) == pytest.approx(math.log(720))
+
+    def test_log_permutation_minus_inf(self):
+        assert log_permutation(2, 3) == -math.inf
+
+
+class TestStateSpace:
+    def test_single_class_unit_bandwidth(self):
+        dims = SwitchDimensions(3, 5)
+        states = list(iter_states(dims, [TrafficClass.poisson(0.1)]))
+        assert states == [(0,), (1,), (2,), (3,)]
+
+    def test_capacity_uses_min_dimension(self):
+        dims = SwitchDimensions(5, 3)
+        states = list(iter_states(dims, [TrafficClass.poisson(0.1)]))
+        assert max(s[0] for s in states) == 3
+
+    def test_multirate_weights(self):
+        dims = SwitchDimensions(4, 4)
+        classes = [TrafficClass.poisson(0.1), TrafficClass.poisson(0.1, a=2)]
+        states = set(iter_states(dims, classes))
+        assert (4, 0) in states
+        assert (0, 2) in states
+        assert (2, 1) in states
+        assert (3, 1) not in states  # 3 + 2 > 4
+
+    def test_size_matches_enumeration(self, small_dims, mixed_classes):
+        states = list(iter_states(small_dims, mixed_classes))
+        assert state_space_size(small_dims, mixed_classes) == len(states)
+
+    def test_states_unique(self, small_dims, mixed_classes):
+        states = list(iter_states(small_dims, mixed_classes))
+        assert len(set(states)) == len(states)
+
+    def test_occupancy_counts_sum_to_size(self, small_dims, mixed_classes):
+        counts = occupancy_counts(small_dims, mixed_classes)
+        assert sum(counts) == state_space_size(small_dims, mixed_classes)
+
+    def test_occupancy_counts_by_level(self):
+        dims = SwitchDimensions(3, 3)
+        classes = [TrafficClass.poisson(0.1), TrafficClass.poisson(0.1, a=2)]
+        counts = occupancy_counts(dims, classes)
+        # m=0: (0,0); m=1: (1,0); m=2: (2,0),(0,1); m=3: (3,0),(1,1)
+        assert counts == [1, 1, 2, 2]
+
+    def test_empty_switch_has_only_empty_state(self):
+        dims = SwitchDimensions(0, 5)
+        states = list(iter_states(dims, [TrafficClass.poisson(0.1)]))
+        assert states == [(0,)]
+
+    def test_occupancy_helper(self):
+        classes = [TrafficClass.poisson(0.1), TrafficClass.poisson(0.1, a=3)]
+        assert occupancy((2, 1), classes) == 5
+
+    def test_occupancy_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            occupancy((1, 2, 3), [TrafficClass.poisson(0.1)])
+
+    def test_max_connections(self):
+        dims = SwitchDimensions(7, 9)
+        assert max_connections(dims, TrafficClass.poisson(0.1, a=2)) == 3
+
+    def test_lexicographic_order(self):
+        dims = SwitchDimensions(2, 2)
+        classes = [TrafficClass.poisson(0.1), TrafficClass.poisson(0.1)]
+        states = list(iter_states(dims, classes))
+        assert states == sorted(states)

@@ -1,0 +1,121 @@
+"""Tests for piecewise-stationary (time-varying traffic) analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.productform import solve_brute_force
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.ctmc import (
+    TrafficSchedule,
+    blocking_profile,
+    piecewise_transient,
+    transient_distribution,
+)
+from repro.exceptions import ConfigurationError
+
+DIMS = SwitchDimensions(3, 3)
+LIGHT = (TrafficClass.poisson(0.05, name="light"),)
+HEAVY = (TrafficClass.poisson(0.6, name="heavy"),)
+
+
+class TestScheduleConstruction:
+    def test_total_duration(self):
+        schedule = TrafficSchedule.build([(2.0, LIGHT), (3.0, HEAVY)])
+        assert schedule.total_duration == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSchedule.build([])
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSchedule.build([(0.0, LIGHT)])
+
+    def test_bandwidth_vector_must_match(self):
+        wide = (TrafficClass.poisson(0.1, a=2),)
+        with pytest.raises(ConfigurationError):
+            TrafficSchedule.build([(1.0, LIGHT), (1.0, wide)])
+
+    def test_segment_needs_classes(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSchedule.build([(1.0, [])])
+
+
+class TestPiecewiseTransient:
+    def test_single_segment_matches_plain_transient(self):
+        schedule = TrafficSchedule.build([(2.5, LIGHT)])
+        snapshots = piecewise_transient(DIMS, schedule)
+        assert len(snapshots) == 1
+        t, dist = snapshots[0]
+        assert t == pytest.approx(2.5)
+        reference = transient_distribution(DIMS, list(LIGHT), t=2.5)
+        for state, p in reference.items():
+            assert dist[state] == pytest.approx(p, abs=1e-10)
+
+    def test_distributions_normalized(self):
+        schedule = TrafficSchedule.build([(1.0, LIGHT), (1.0, HEAVY)])
+        for _, dist in piecewise_transient(
+            DIMS, schedule, checkpoints_per_segment=3
+        ):
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_long_segment_reaches_stationarity(self):
+        schedule = TrafficSchedule.build([(200.0, HEAVY)])
+        _, dist = piecewise_transient(DIMS, schedule)[-1]
+        stationary = solve_brute_force(DIMS, list(HEAVY))
+        for state, p in zip(stationary.states, stationary.probabilities):
+            assert dist[state] == pytest.approx(p, abs=1e-8)
+
+    def test_checkpoint_count(self):
+        schedule = TrafficSchedule.build([(1.0, LIGHT), (2.0, HEAVY)])
+        snapshots = piecewise_transient(
+            DIMS, schedule, checkpoints_per_segment=4
+        )
+        assert len(snapshots) == 8
+        assert snapshots[-1][0] == pytest.approx(3.0)
+
+    def test_invalid_checkpoints(self):
+        schedule = TrafficSchedule.build([(1.0, LIGHT)])
+        with pytest.raises(ConfigurationError):
+            piecewise_transient(DIMS, schedule, checkpoints_per_segment=0)
+
+    def test_invalid_initial(self):
+        schedule = TrafficSchedule.build([(1.0, LIGHT)])
+        with pytest.raises(ConfigurationError):
+            piecewise_transient(DIMS, schedule, initial=(9,))
+
+
+class TestBlockingProfile:
+    def test_rises_on_heavy_segment_falls_after(self):
+        schedule = TrafficSchedule.build(
+            [(30.0, LIGHT), (30.0, HEAVY), (30.0, LIGHT)]
+        )
+        profile = blocking_profile(
+            DIMS, schedule, checkpoints_per_segment=6
+        )
+        light_end = profile[5][1]    # end of first light segment
+        heavy_end = profile[11][1]   # end of heavy segment
+        recovered = profile[-1][1]   # end of final light segment
+        assert heavy_end > 3 * light_end
+        assert recovered == pytest.approx(light_end, rel=0.05)
+
+    def test_converges_to_stationary_blocking(self):
+        schedule = TrafficSchedule.build([(300.0, HEAVY)])
+        profile = blocking_profile(DIMS, schedule)
+        stationary = solve_convolution(DIMS, list(HEAVY)).blocking(0)
+        assert profile[-1][1] == pytest.approx(stationary, abs=1e-7)
+
+    def test_starts_near_zero_from_empty(self):
+        schedule = TrafficSchedule.build([(0.01, HEAVY)])
+        profile = blocking_profile(
+            DIMS, schedule, checkpoints_per_segment=1
+        )
+        assert profile[0][1] < 0.05
+
+    def test_bad_class_index(self):
+        schedule = TrafficSchedule.build([(1.0, LIGHT)])
+        with pytest.raises(ConfigurationError):
+            blocking_profile(DIMS, schedule, r=3)

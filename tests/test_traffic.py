@@ -1,0 +1,253 @@
+"""Unit tests for BPP traffic classes and moment utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.traffic import (
+    PEAKY,
+    REGULAR,
+    SMOOTH,
+    TrafficClass,
+    bpp_mean,
+    bpp_peakedness,
+    bpp_variance,
+    classify_bpp,
+    fit_bpp_from_moments,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestBppMoments:
+    def test_poisson_mean_equals_offered_load(self):
+        assert bpp_mean(0.4, 0.0, mu=2.0) == pytest.approx(0.2)
+
+    def test_poisson_variance_equals_mean(self):
+        assert bpp_variance(0.4, 0.0) == pytest.approx(bpp_mean(0.4, 0.0))
+
+    def test_pascal_variance_exceeds_mean(self):
+        assert bpp_variance(0.4, 0.5) > bpp_mean(0.4, 0.5)
+
+    def test_bernoulli_variance_below_mean(self):
+        assert bpp_variance(0.4, -0.5) < bpp_mean(0.4, -0.5)
+
+    def test_peakedness_is_variance_over_mean(self):
+        alpha, beta, mu = 0.3, 0.25, 1.5
+        z = bpp_variance(alpha, beta, mu) / bpp_mean(alpha, beta, mu)
+        assert bpp_peakedness(beta, mu) == pytest.approx(z)
+
+    def test_mean_rejects_beta_at_mu(self):
+        with pytest.raises(InvalidParameterError):
+            bpp_mean(0.1, 1.0, mu=1.0)
+
+    def test_variance_rejects_beta_above_mu(self):
+        with pytest.raises(InvalidParameterError):
+            bpp_variance(0.1, 2.0, mu=1.0)
+
+    def test_peakedness_rejects_beta_at_mu(self):
+        with pytest.raises(InvalidParameterError):
+            bpp_peakedness(1.0, mu=1.0)
+
+
+class TestClassification:
+    def test_negative_beta_is_smooth(self):
+        assert classify_bpp(0.5, -0.1) == SMOOTH
+
+    def test_zero_beta_is_regular(self):
+        assert classify_bpp(0.5, 0.0) == REGULAR
+
+    def test_positive_beta_is_peaky(self):
+        assert classify_bpp(0.5, 0.1) == PEAKY
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            classify_bpp(-0.1, 0.0)
+
+
+class TestMomentFitting:
+    def test_roundtrip_peaky(self):
+        alpha, beta = fit_bpp_from_moments(0.8, 2.5, mu=1.0)
+        assert bpp_mean(alpha, beta) == pytest.approx(0.8)
+        assert bpp_peakedness(beta) == pytest.approx(2.5)
+
+    def test_roundtrip_smooth(self):
+        alpha, beta = fit_bpp_from_moments(0.3, 0.5, mu=2.0)
+        assert beta < 0
+        assert bpp_mean(alpha, beta, 2.0) == pytest.approx(0.3)
+        assert bpp_peakedness(beta, 2.0) == pytest.approx(0.5)
+
+    def test_unit_peakedness_gives_poisson(self):
+        alpha, beta = fit_bpp_from_moments(0.7, 1.0)
+        assert beta == pytest.approx(0.0)
+        assert alpha == pytest.approx(0.7)
+
+    @pytest.mark.parametrize("bad", [-1.0, 0.0])
+    def test_rejects_nonpositive_peakedness(self, bad):
+        with pytest.raises(InvalidParameterError):
+            fit_bpp_from_moments(0.5, bad)
+
+    def test_rejects_negative_mean(self):
+        with pytest.raises(InvalidParameterError):
+            fit_bpp_from_moments(-0.5, 1.0)
+
+    def test_rejects_nonpositive_mu(self):
+        with pytest.raises(InvalidParameterError):
+            fit_bpp_from_moments(0.5, 1.0, mu=0.0)
+
+
+class TestTrafficClass:
+    def test_default_weight_is_mu(self):
+        cls = TrafficClass(alpha=0.1, mu=2.5)
+        assert cls.weight == 2.5
+
+    def test_rho_and_b(self):
+        cls = TrafficClass(alpha=0.3, beta=0.1, mu=2.0)
+        assert cls.rho == pytest.approx(0.15)
+        assert cls.b == pytest.approx(0.05)
+
+    def test_rate_is_linear(self):
+        cls = TrafficClass(alpha=0.2, beta=0.05)
+        assert cls.rate(0) == pytest.approx(0.2)
+        assert cls.rate(4) == pytest.approx(0.4)
+
+    def test_rate_clamped_at_zero_for_bernoulli(self):
+        cls = TrafficClass.bernoulli(3, 0.1)
+        assert cls.rate(3) == 0.0
+        assert cls.rate(5) == 0.0
+
+    def test_poisson_constructor(self):
+        cls = TrafficClass.poisson(0.25, mu=4.0)
+        assert cls.alpha == pytest.approx(1.0)
+        assert cls.is_poisson and not cls.is_bursty
+
+    def test_bernoulli_constructor_sources(self):
+        cls = TrafficClass.bernoulli(6, 0.1)
+        assert cls.sources == pytest.approx(6.0)
+        assert cls.kind == SMOOTH
+
+    def test_sources_none_for_poisson_and_pascal(self):
+        assert TrafficClass.poisson(0.1).sources is None
+        assert TrafficClass(alpha=0.1, beta=0.2).sources is None
+
+    def test_from_moments_constructor(self):
+        cls = TrafficClass.from_moments(0.5, 3.0, mu=1.0)
+        assert cls.peakedness == pytest.approx(3.0)
+        assert cls.kind == PEAKY
+
+    def test_from_aggregate_divides_by_output_sets(self):
+        cls = TrafficClass.from_aggregate(0.24, 0.12, n2=4, a=1)
+        assert cls.alpha == pytest.approx(0.06)
+        assert cls.beta == pytest.approx(0.03)
+
+    def test_from_aggregate_multirate_uses_binomial(self):
+        cls = TrafficClass.from_aggregate(0.6, 0.0, n2=4, a=2)
+        assert cls.alpha == pytest.approx(0.6 / 6)
+
+    def test_from_aggregate_rejects_small_switch(self):
+        with pytest.raises(InvalidParameterError):
+            TrafficClass.from_aggregate(0.1, 0.0, n2=1, a=2)
+
+    def test_aggregate_roundtrip(self):
+        cls = TrafficClass.from_aggregate(0.24, -0.001, n2=8, a=1)
+        assert cls.aggregate_alpha(8) == pytest.approx(0.24)
+        assert cls.aggregate_beta(8) == pytest.approx(-0.001)
+
+    def test_with_weight(self):
+        cls = TrafficClass.poisson(0.1).with_weight(7.0)
+        assert cls.weight == 7.0
+        assert cls.rho == pytest.approx(0.1)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            TrafficClass(alpha=-0.1)
+
+    def test_rejects_nonpositive_mu(self):
+        with pytest.raises(InvalidParameterError):
+            TrafficClass(alpha=0.1, mu=0.0)
+
+    def test_rejects_beta_at_mu(self):
+        with pytest.raises(InvalidParameterError):
+            TrafficClass(alpha=0.1, beta=1.0, mu=1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(InvalidParameterError):
+            TrafficClass(alpha=0.1, a=0)
+
+    def test_bernoulli_rejects_bad_sources(self):
+        with pytest.raises(InvalidParameterError):
+            TrafficClass.bernoulli(0, 0.1)
+
+    def test_bernoulli_rejects_bad_rate(self):
+        with pytest.raises(InvalidParameterError):
+            TrafficClass.bernoulli(3, 0.0)
+
+    def test_describe_mentions_kind(self):
+        assert "pascal" in TrafficClass(alpha=0.1, beta=0.2).describe()
+
+    def test_from_service_slowdown_equivalence(self):
+        """Section 2: state-dependent service mu(k) = k mu/(v + dk)
+        with unit Poisson arrivals == BPP arrivals with
+        alpha = v + delta, beta = delta."""
+        cls = TrafficClass.from_service_slowdown(v=0.3, delta=0.1, mu=2.0)
+        assert cls.alpha == pytest.approx(0.4)
+        assert cls.beta == pytest.approx(0.1)
+        assert cls.kind == PEAKY
+
+    def test_from_service_slowdown_delta_zero_is_poisson(self):
+        cls = TrafficClass.from_service_slowdown(v=0.5, delta=0.0)
+        assert cls.is_poisson
+        assert cls.rho == pytest.approx(0.5)
+
+    def test_from_service_slowdown_rejects_negative_v(self):
+        with pytest.raises(InvalidParameterError):
+            TrafficClass.from_service_slowdown(v=-0.1, delta=0.2)
+
+
+class TestValidateFor:
+    def test_class_too_wide_for_switch(self):
+        cls = TrafficClass.poisson(0.1, a=4)
+        with pytest.raises(InvalidParameterError):
+            cls.validate_for(3, 8)
+
+    def test_integer_sources_always_valid(self):
+        # 3 sources but up to 10 connections could fit: the series
+        # terminates at k=3 so this is fine.
+        TrafficClass.bernoulli(3, 0.2).validate_for(10, 10)
+
+    def test_non_integer_sources_rejected_when_rate_goes_negative(self):
+        cls = TrafficClass(alpha=0.35, beta=-0.1)  # 3.5 sources
+        with pytest.raises(InvalidParameterError):
+            cls.validate_for(10, 10)
+
+    def test_non_integer_sources_ok_on_small_switch(self):
+        cls = TrafficClass(alpha=0.35, beta=-0.1)  # 3.5 sources
+        cls.validate_for(3, 3)  # k <= 3, rate stays non-negative
+
+    def test_poisson_always_valid(self):
+        TrafficClass.poisson(100.0).validate_for(2, 2)
+
+
+class TestPeakednessInterpretation:
+    """The Z-factor tripartition the paper builds the model around."""
+
+    def test_smooth_has_z_below_one(self):
+        assert TrafficClass.bernoulli(10, 0.01).peakedness < 1.0
+
+    def test_poisson_has_z_one(self):
+        assert TrafficClass.poisson(0.5).peakedness == pytest.approx(1.0)
+
+    def test_peaky_has_z_above_one(self):
+        assert TrafficClass(alpha=0.1, beta=0.4).peakedness > 1.0
+
+    def test_peakedness_matches_infinite_server_simulation_formula(self):
+        cls = TrafficClass(alpha=0.3, beta=0.2, mu=2.0)
+        # Z = mu/(mu - beta)
+        assert cls.peakedness == pytest.approx(2.0 / 1.8)
+
+    def test_mean_on_infinite_server(self):
+        cls = TrafficClass(alpha=0.3, beta=0.2, mu=2.0)
+        assert bpp_mean(cls.alpha, cls.beta, cls.mu) == pytest.approx(
+            0.3 / 1.8
+        )

@@ -1,0 +1,137 @@
+"""Tests for the self-validation report and blocking elasticities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sensitivity import (
+    blocking_elasticity_matrix,
+    blocking_gradient,
+)
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError
+from repro.validation import cross_validate
+
+
+class TestCrossValidate:
+    def test_small_config_runs_all_methods(self, small_dims, mixed_classes):
+        report = cross_validate(small_dims, mixed_classes)
+        assert report.consistent
+        assert {"convolution/log", "mva", "series", "exact",
+                "brute-force", "ctmc"} <= set(report.methods)
+        assert not report.skipped
+
+    def test_large_config_skips_enumeration(self):
+        dims = SwitchDimensions.square(64)
+        classes = [
+            TrafficClass.poisson(0.001, name="a"),
+            TrafficClass.poisson(0.0005, name="b"),
+            TrafficClass.poisson(0.0002, name="c"),
+        ]
+        report = cross_validate(dims, classes)
+        assert report.consistent
+        skipped_methods = {name for name, _ in report.skipped}
+        assert {"exact", "brute-force", "ctmc"} <= skipped_methods
+        assert "series" in report.methods
+
+    def test_unstable_smooth_regime_skips_mva(self):
+        dims = SwitchDimensions.square(32)
+        classes = [TrafficClass.from_moments(0.5, peakedness=0.75)]
+        report = cross_validate(dims, classes)
+        assert report.consistent  # the remaining methods agree
+        skipped_methods = {name for name, _ in report.skipped}
+        assert "mva" in skipped_methods
+
+    def test_render_mentions_verdict(self, small_dims, mixed_classes):
+        text = cross_validate(small_dims, mixed_classes).render()
+        assert "CONSISTENT" in text
+        assert "worst relative deviation" in text
+
+
+class TestBlockingElasticities:
+    def test_all_entries_nonnegative(self):
+        dims = SwitchDimensions(5, 5)
+        classes = [
+            TrafficClass.poisson(0.2, name="a"),
+            TrafficClass.poisson(0.1, a=2, name="b"),
+        ]
+        matrix = blocking_elasticity_matrix(dims, classes)
+        for row in matrix:
+            for entry in row:
+                assert entry >= -1e-9
+
+    def test_own_load_elasticity_positive(self):
+        dims = SwitchDimensions(4, 4)
+        classes = [TrafficClass.poisson(0.3)]
+        matrix = blocking_elasticity_matrix(dims, classes)
+        assert matrix[0][0] > 0.0
+
+    def test_gradient_matches_manual_difference(self):
+        from repro.core.convolution import solve_convolution
+
+        dims = SwitchDimensions(4, 4)
+        classes = [
+            TrafficClass.poisson(0.2, name="a"),
+            TrafficClass.poisson(0.1, name="b"),
+        ]
+        step = 1e-5
+        manual = (
+            solve_convolution(
+                dims,
+                [classes[0], TrafficClass.poisson(0.1 + step, name="b")],
+            ).blocking(0)
+            - solve_convolution(
+                dims,
+                [classes[0], TrafficClass.poisson(0.1 - step, name="b")],
+            ).blocking(0)
+        ) / (2 * step)
+        assert blocking_gradient(
+            dims, classes, 0, 1, step=step
+        ) == pytest.approx(manual, rel=1e-9)
+
+    def test_equal_bandwidth_classes_share_a_row(self):
+        """B_r depends only on a_r, so equal-a rows are identical."""
+        dims = SwitchDimensions(6, 6)
+        classes = [
+            TrafficClass.poisson(0.1, name="bg"),
+            TrafficClass.poisson(0.05, name="narrow"),
+            TrafficClass.poisson(0.002, a=2, name="wide"),
+        ]
+        matrix = blocking_elasticity_matrix(dims, classes)
+        for a, b in zip(matrix[0], matrix[1]):
+            assert a == pytest.approx(b, rel=1e-6)
+
+    def test_wide_class_gradient_exceeds_narrow_at_light_load(self):
+        """At light load an a=2 class's blocking reacts more strongly
+        to background growth (double port exposure: dB ~ 2a u').  At
+        heavy load the effect inverts as the wide class saturates
+        toward B = 1 — so the claim is asserted in its valid regime."""
+        dims = SwitchDimensions(6, 6)
+        classes = [
+            TrafficClass.poisson(0.01, name="bg"),
+            TrafficClass.poisson(0.005, name="narrow"),
+            TrafficClass.poisson(0.0005, a=2, name="wide"),
+        ]
+        wide = blocking_gradient(dims, classes, 2, 0, step=1e-6)
+        narrow = blocking_gradient(dims, classes, 1, 0, step=1e-6)
+        assert wide > narrow > 0.0
+
+    def test_zero_blocking_row_is_zero(self):
+        dims = SwitchDimensions(4, 4)
+        classes = [
+            TrafficClass.poisson(0.1),
+            TrafficClass(alpha=0.0, beta=0.0, name="inert"),
+        ]
+        matrix = blocking_elasticity_matrix(dims, classes)
+        # inert class offers nothing: its column is zero
+        assert matrix[0][1] == 0.0
+
+    def test_validation(self):
+        dims = SwitchDimensions(3, 3)
+        with pytest.raises(ConfigurationError):
+            blocking_elasticity_matrix(dims, [])
+        with pytest.raises(ConfigurationError):
+            blocking_gradient(
+                dims, [TrafficClass.poisson(0.1)], 0, 5
+            )

@@ -1,0 +1,38 @@
+"""Regenerate the golden figure snapshots under tests/golden/.
+
+Run ONLY after a deliberate scenario change, then review the diff:
+
+    python tools/refresh_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.workloads import figure1, figure2, figure3, figure4
+
+GOLDEN_DIR = Path(__file__).parent.parent / "tests" / "golden"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    builders = {
+        "figure1": figure1,
+        "figure2": figure2,
+        "figure3": figure3,
+        "figure4": figure4,
+    }
+    for name, builder in builders.items():
+        figure = builder()
+        record = {
+            "x": list(figure.x_values),
+            "curves": {c.label: list(c.values) for c in figure.curves},
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(record, indent=1) + "\n")
+        print(f"refreshed {path}")
+
+
+if __name__ == "__main__":
+    main()
