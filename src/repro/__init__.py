@@ -32,6 +32,8 @@ Package map
 * :mod:`repro.ctmc` -- independent CTMC solver (no product form);
 * :mod:`repro.sim` -- discrete-event simulator (paper's future work);
 * :mod:`repro.multistage` -- multistage-network extension (Section 8);
+* :mod:`repro.robust` -- fault models, degraded-mode analysis and the
+  resilient solver facade (``solve_robust``);
 * :mod:`repro.workloads` -- the paper's figure/table scenarios;
 * :mod:`repro.reporting` -- text tables and series for the benchmarks.
 """
@@ -71,6 +73,17 @@ from .exceptions import (
     OverflowInRecursionError,
     SimulationError,
 )
+from .robust import (
+    FailureMask,
+    FaultModel,
+    NoHealthySolutionError,
+    PortFailureProcess,
+    RobustSolution,
+    SolverDiagnostics,
+    availability_weighted_measures,
+    solve_degraded,
+    solve_robust,
+)
 
 __version__ = "1.0.0"
 
@@ -89,10 +102,19 @@ __all__ = [
     "ConfigurationError",
     "ConvergenceError",
     "CrossbarError",
+    "FailureMask",
+    "FaultModel",
     "InvalidParameterError",
+    "NoHealthySolutionError",
     "OverflowInRecursionError",
     "PerformanceSolution",
+    "PortFailureProcess",
+    "RobustSolution",
     "SimulationError",
+    "SolverDiagnostics",
+    "availability_weighted_measures",
+    "solve_degraded",
+    "solve_robust",
     "StateDistribution",
     "SwitchDimensions",
     "TrafficClass",

@@ -23,7 +23,7 @@ from collections.abc import Sequence
 from .core.convolution import solve_convolution
 from .core.state import SwitchDimensions
 from .core.traffic import TrafficClass
-from .exceptions import CrossbarError
+from .exceptions import ConfigurationError, CrossbarError
 from .multistage import TandemNetwork, analyze_tandem
 from .reporting.tables import format_table
 from .sim import compare_with_analysis, run_replications
@@ -182,6 +182,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-check every feasible solver on a configuration",
     )
     _add_traffic_arguments(p)
+
+    p = sub.add_parser(
+        "robust",
+        help="resilient solve: fallback chain, degraded mode, availability",
+    )
+    _add_traffic_arguments(p)
+    p.add_argument(
+        "--failed-inputs", default="", metavar="PORTS",
+        help="comma-separated dead input ports (e.g. 0,3): also print "
+             "degraded-mode measures",
+    )
+    p.add_argument(
+        "--failed-outputs", default="", metavar="PORTS",
+        help="comma-separated dead output ports",
+    )
+    p.add_argument(
+        "--availability", type=float, metavar="A",
+        help="per-port availability in [0, 1]: also print "
+             "availability-weighted long-run measures",
+    )
+    p.add_argument(
+        "--availability-out", type=float, metavar="A",
+        help="output-side availability (default: --availability)",
+    )
+    p.add_argument(
+        "--routing", default="reroute", choices=("reroute", "oblivious"),
+        help="how sources react to failures (default: reroute)",
+    )
+    p.add_argument(
+        "--budget", type=float, metavar="SECONDS",
+        help="wall-clock budget for the whole solver chain",
+    )
+    p.add_argument(
+        "--solver-budget", type=float, metavar="SECONDS",
+        help="wall-clock budget per solver attempt",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="structured log lines for every solver attempt",
+    )
 
     p = sub.add_parser(
         "hotspot",
@@ -362,6 +402,72 @@ def _dispatch(args: argparse.Namespace) -> int:
         report = cross_validate(dims, classes)
         print(report.render())
         return 0 if report.consistent else 1
+
+    if args.command == "robust":
+        from .robust import (
+            FailureMask,
+            availability_weighted_measures,
+            solve_degraded,
+            solve_robust,
+        )
+
+        if args.verbose:
+            import logging
+
+            from .logging import configure
+
+            configure(logging.DEBUG)
+
+        def parse_ports(spec: str) -> list[int]:
+            try:
+                return [int(tok) for tok in spec.split(",") if tok.strip()]
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad port list {spec!r}: expected comma-separated "
+                    "integers"
+                ) from exc
+
+        result = solve_robust(
+            dims, classes,
+            total_budget=args.budget, solver_budget=args.solver_budget,
+        )
+        print(result.diagnostics.render())
+        print()
+        rows = [
+            [
+                cls.name or f"class-{r}",
+                result.solution.blocking(r),
+                result.solution.concurrency(r),
+                result.solution.call_acceptance(r),
+            ]
+            for r, cls in enumerate(classes)
+        ]
+        print(
+            format_table(
+                ["class", "blocking", "E", "acceptance"],
+                rows,
+                title=f"Healthy {dims} via {result.method}",
+            )
+        )
+        mask = FailureMask.from_ports(
+            parse_ports(args.failed_inputs), parse_ports(args.failed_outputs)
+        )
+        if not mask.is_healthy:
+            print()
+            print(
+                solve_degraded(
+                    dims, classes, mask, routing=args.routing
+                ).render()
+            )
+        if args.availability is not None:
+            print()
+            print(
+                availability_weighted_measures(
+                    dims, classes, args.availability,
+                    args.availability_out, routing=args.routing,
+                ).render()
+            )
+        return 0
 
     if args.command == "asymptotic":
         from .core.asymptotic import solve_asymptotic

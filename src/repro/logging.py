@@ -1,0 +1,110 @@
+"""Structured, opt-in logging for the crossbar library.
+
+The library is silent by default (a :class:`logging.NullHandler` is
+attached to the ``"repro"`` root logger), following the standard advice
+for libraries.  Applications opt in either by configuring the stdlib
+``logging`` module themselves or by calling :func:`configure`, which
+attaches a stream handler with a structured ``key=value`` formatter::
+
+    >>> from repro.logging import configure, get_logger
+    >>> configure("DEBUG")                          # doctest: +SKIP
+    >>> get_logger("robust").info(
+    ...     "solver attempt %s", kv(solver="mva", status="ok"))  # doctest: +SKIP
+
+Every module in the package logs through :func:`get_logger` so one
+logger hierarchy (``repro``, ``repro.robust``, ``repro.sim``, ...)
+controls the whole library.  Events are single lines of
+``key=value`` pairs after a free-text message, grep- and
+machine-friendly without requiring a JSON dependency.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, TextIO
+
+__all__ = [
+    "LOGGER_NAME",
+    "StructuredFormatter",
+    "configure",
+    "get_logger",
+    "kv",
+]
+
+#: Name of the package's root logger; submodule loggers are children.
+LOGGER_NAME = "repro"
+
+#: Marker attribute set on handlers installed by :func:`configure` so
+#: repeated calls reconfigure instead of stacking duplicate handlers.
+_HANDLER_TAG = "_repro_structured_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the package logger, or a child logger ``repro.<name>``."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    if name.startswith(LOGGER_NAME + ".") or name == LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def kv(**fields: Any) -> str:
+    """Render keyword arguments as a stable ``key=value`` event string.
+
+    Values containing whitespace (or ``=``) are ``repr()``-quoted so the
+    line stays unambiguously parseable; floats are compacted with
+    ``%.6g``.  Keys are emitted in the order given.
+    """
+    parts = []
+    for key, value in fields.items():
+        if isinstance(value, float):
+            text = f"{value:.6g}"
+        else:
+            text = str(value)
+            if not text or any(c.isspace() for c in text) or "=" in text:
+                text = repr(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+class StructuredFormatter(logging.Formatter):
+    """One event per line: ``ts=... level=... logger=... msg``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        prefix = kv(
+            ts=self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            level=record.levelname,
+            logger=record.name,
+        )
+        message = record.getMessage()
+        if record.exc_info:
+            message = f"{message}\n{self.formatException(record.exc_info)}"
+        return f"{prefix} {message}"
+
+
+def configure(
+    level: int | str = logging.INFO, stream: TextIO | None = None
+) -> logging.Logger:
+    """Attach a structured stream handler to the package logger.
+
+    Idempotent: calling again replaces the previously installed handler
+    (so tests and CLI flags can adjust the level or stream freely)
+    without touching handlers installed by the application.
+    Returns the configured root package logger.
+    """
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(StructuredFormatter())
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger
+
+
+# Libraries must never emit "No handlers could be found" warnings nor
+# write to stderr unless asked to: stay silent until configured.
+get_logger().addHandler(logging.NullHandler())

@@ -1,0 +1,63 @@
+"""Resilience layer: fault models, degraded-mode analysis, robust solving.
+
+The paper's unbuffered optical crossbar motivates treating component
+failure as a first-class modeling concern.  This package adds three
+layers on top of the analytical core:
+
+* :mod:`repro.robust.faults` — deterministic failure masks and
+  exponential MTBF/MTTR port-failure processes (consumed by the
+  fault-injected discrete-event simulator);
+* :mod:`repro.robust.degraded` — product-form measures on the
+  surviving sub-switch, and availability-weighted long-run measures;
+* :mod:`repro.robust.facade` — :func:`solve_robust`, an ordered
+  solver fallback chain with wall-clock budgets, numerical-health
+  checks, and complete per-attempt diagnostics.
+
+Exposed on the CLI as ``crossbar-repro robust ...``.
+"""
+
+from .degraded import (
+    AvailabilityWeightedMeasures,
+    DegradedSolution,
+    availability_weighted_measures,
+    rerouted_classes,
+    solve_degraded,
+    validate_degraded_against_simulation,
+)
+from .facade import (
+    NoHealthySolutionError,
+    RobustSolution,
+    SolverAttempt,
+    SolverDiagnostics,
+    SolverSpec,
+    check_solution_health,
+    default_chain,
+    solve_robust,
+)
+from .faults import (
+    FailureMask,
+    FaultModel,
+    PortFailureProcess,
+    ScheduledFault,
+)
+
+__all__ = [
+    "AvailabilityWeightedMeasures",
+    "DegradedSolution",
+    "FailureMask",
+    "FaultModel",
+    "NoHealthySolutionError",
+    "PortFailureProcess",
+    "RobustSolution",
+    "ScheduledFault",
+    "SolverAttempt",
+    "SolverDiagnostics",
+    "SolverSpec",
+    "availability_weighted_measures",
+    "check_solution_health",
+    "default_chain",
+    "rerouted_classes",
+    "solve_degraded",
+    "solve_robust",
+    "validate_degraded_against_simulation",
+]

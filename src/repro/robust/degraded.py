@@ -1,0 +1,462 @@
+"""Degraded-mode analysis: product-form measures under port failures.
+
+Because ports are exchangeable in the model, a failure mask only
+matters through the *count* of surviving ports: the live sub-switch is
+again an ``N1' x N2'`` crossbar and the reversibility argument of the
+paper carries over unchanged.  Degraded-mode measures are therefore
+recomputed with the same Algorithm 1 machinery on the reduced switch.
+
+Two demand semantics are supported (and implemented identically in the
+fault-injected simulator, so the two can be cross-validated):
+
+``"reroute"`` (default)
+    Demand is conserved: users re-aim their requests at the surviving
+    ports, so the *aggregate* state-dependent intensity
+    ``lambda_r(k) P(N1,a_r) P(N2,a_r)`` is unchanged and the per-pair
+    parameters scale up by the tuple-count ratio
+    ``P(N1,a) P(N2,a) / (P(N1',a) P(N2',a))``.  This is the "same
+    users, fewer ports" scenario; per-class blocking can only get
+    worse as ports fail (for non-peaky unit-bandwidth traffic — see
+    ``docs/robustness.md`` for the exact scope and the counterexamples
+    outside it).
+
+``"oblivious"``
+    Sources do not learn the failure state: requests still address all
+    ``N1 x N2`` ports with the original per-pair rates, and a request
+    naming a dead port is cleared on the spot.  The live sub-switch
+    then behaves exactly like a reduced crossbar with *unscaled*
+    parameters (cleared requests never change the state), and offered
+    acceptance picks up the routable-tuple factor
+    ``P(N1',a) P(N2',a) / (P(N1,a) P(N2,a))``.
+
+A class that cannot be carried at all on the reduced switch
+(``a_r > min(N1', N2')``), or whose rerouted Pascal parameters leave
+the admissible BPP region (``beta' >= mu``), is reported *saturated*:
+blocking 1, concurrency 0.
+
+:func:`availability_weighted_measures` averages the degraded measures
+over the stationary up/down distribution of ports failing
+independently with given availabilities (binomial mixture over live
+port counts) — the long-run measure a maintained switch delivers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from ..core.convolution import solve_convolution
+from ..core.state import SwitchDimensions, permutation
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError, InvalidParameterError
+from ..logging import get_logger, kv
+from .faults import FailureMask, PortFailureProcess
+
+__all__ = [
+    "AvailabilityWeightedMeasures",
+    "DegradedSolution",
+    "availability_weighted_measures",
+    "rerouted_classes",
+    "solve_degraded",
+    "validate_degraded_against_simulation",
+]
+
+_ROUTINGS = ("reroute", "oblivious")
+
+logger = get_logger("robust.degraded")
+
+
+def _check_routing(routing: str) -> None:
+    if routing not in _ROUTINGS:
+        raise ConfigurationError(
+            f"routing must be one of {_ROUTINGS}, got {routing!r}"
+        )
+
+
+def tuple_scale(
+    dims: SwitchDimensions, degraded: SwitchDimensions, a: int
+) -> float:
+    """``P(N1,a) P(N2,a) / (P(N1',a) P(N2',a))`` — the reroute factor.
+
+    ``inf`` when the class does not fit the degraded switch at all.
+    """
+    reduced = permutation(degraded.n1, a) * permutation(degraded.n2, a)
+    if reduced == 0:
+        return math.inf
+    return permutation(dims.n1, a) * permutation(dims.n2, a) / reduced
+
+
+def rerouted_classes(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    degraded: SwitchDimensions,
+) -> list[TrafficClass | None]:
+    """Per-pair parameters for conserved demand on the reduced switch.
+
+    Entry ``r`` is ``None`` when class ``r`` is saturated: it cannot fit
+    (``a_r`` exceeds the degraded capacity) or its scaled Pascal
+    parameters leave the admissible region (``beta' >= mu`` — the
+    rerouted burst feedback has no BPP representation).
+    """
+    scaled: list[TrafficClass | None] = []
+    for cls in classes:
+        factor = tuple_scale(dims, degraded, cls.a)
+        if not math.isfinite(factor):
+            scaled.append(None)
+            continue
+        try:
+            scaled.append(
+                TrafficClass(
+                    alpha=cls.alpha * factor,
+                    beta=cls.beta * factor,
+                    mu=cls.mu,
+                    a=cls.a,
+                    weight=cls.weight,
+                    name=cls.name,
+                )
+            )
+        except InvalidParameterError:
+            # Rerouted Pascal feedback beta*factor >= mu: the scaled
+            # class has no stationary BPP representation.  Treat as
+            # saturated (conservative: blocking 1).
+            scaled.append(None)
+    return scaled
+
+
+@dataclass(frozen=True)
+class DegradedSolution:
+    """Product-form measures of a switch with a given failure mask."""
+
+    dims: SwitchDimensions
+    mask: FailureMask
+    degraded_dims: SwitchDimensions
+    routing: str
+    classes: tuple[TrafficClass, ...]
+    #: Per-class True when the class cannot be carried on the reduced
+    #: switch (blocking reported as 1, concurrency 0).
+    saturated: tuple[bool, ...]
+    #: Per-class offered blocking (arrival's view; includes requests
+    #: cleared at dead ports under ``"oblivious"`` routing).
+    blocking_values: tuple[float, ...]
+    concurrency_values: tuple[float, ...]
+    acceptance_values: tuple[float, ...]
+
+    def blocking(self, r: int) -> float:
+        """Probability an offered class-``r`` request is cleared."""
+        return self.blocking_values[r]
+
+    def concurrency(self, r: int) -> float:
+        """Mean concurrent class-``r`` connections on the live fabric."""
+        return self.concurrency_values[r]
+
+    def call_acceptance(self, r: int) -> float:
+        """Fraction of *offered* class-``r`` requests accepted.
+
+        This is what the fault-injected simulator's acceptance ratio
+        estimates, in both routing semantics.
+        """
+        return self.acceptance_values[r]
+
+    def call_congestion(self, r: int) -> float:
+        """``1 - call_acceptance``."""
+        return 1.0 - self.acceptance_values[r]
+
+    def render(self) -> str:
+        """Human-readable healthy-vs-degraded summary."""
+        lines = [
+            f"degraded-mode analysis on {self.dims} with "
+            f"{self.mask.n_failed} failed ports -> {self.degraded_dims} "
+            f"({self.routing}):"
+        ]
+        for r, cls in enumerate(self.classes):
+            tag = "  SATURATED" if self.saturated[r] else ""
+            lines.append(
+                f"  [{r}] {cls.name or cls.kind:>10s}: "
+                f"blocking={self.blocking(r):.6g}  "
+                f"E={self.concurrency(r):.6g}  "
+                f"acceptance={self.call_acceptance(r):.6g}{tag}"
+            )
+        return "\n".join(lines)
+
+
+def _degraded_measures(
+    dims: SwitchDimensions,
+    classes: tuple[TrafficClass, ...],
+    degraded: SwitchDimensions,
+    routing: str,
+    solver: Callable[..., object],
+) -> tuple[tuple[bool, ...], tuple[float, ...], tuple[float, ...], tuple[float, ...]]:
+    """Core computation shared by mask-based and availability-weighted paths.
+
+    Returns ``(saturated, blocking, concurrency, acceptance)`` tuples,
+    one entry per class.
+    """
+    n = len(classes)
+    if routing == "reroute":
+        effective = rerouted_classes(dims, classes, degraded)
+    else:
+        effective = [
+            cls if cls.a <= degraded.capacity else None for cls in classes
+        ]
+    live = [(r, cls) for r, cls in enumerate(effective) if cls is not None]
+    saturated = tuple(cls is None for cls in effective)
+    blocking = [1.0] * n
+    concurrency = [0.0] * n
+    acceptance = [0.0] * n
+    if live:
+        solution = solver(degraded, [cls for _, cls in live])
+        for j, (r, _) in enumerate(live):
+            concurrency[r] = solution.concurrency(j)
+            if routing == "reroute":
+                blocking[r] = solution.blocking(j)
+                acceptance[r] = solution.call_acceptance(j)
+            else:
+                routable = 1.0 / tuple_scale(dims, degraded, classes[r].a)
+                blocking[r] = 1.0 - routable * solution.non_blocking(j)
+                acceptance[r] = routable * solution.call_acceptance(j)
+    return saturated, tuple(blocking), tuple(concurrency), tuple(acceptance)
+
+
+def solve_degraded(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    mask: FailureMask,
+    routing: str = "reroute",
+    solver: Callable[..., object] = solve_convolution,
+) -> DegradedSolution:
+    """Product-form measures of the switch under a failure mask.
+
+    ``solver`` must accept ``(dims, classes)`` and return an object
+    with ``blocking / non_blocking / concurrency / call_acceptance``
+    per-class accessors (any of the library's analytical solvers, or
+    :func:`repro.robust.facade.solve_robust` wrapped appropriately).
+    """
+    _check_routing(routing)
+    classes = tuple(classes)
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    degraded = mask.degraded_dims(dims)
+    saturated, blocking, concurrency, acceptance = _degraded_measures(
+        dims, classes, degraded, routing, solver
+    )
+    logger.debug(
+        "degraded solve %s",
+        kv(
+            dims=str(dims),
+            degraded=str(degraded),
+            routing=routing,
+            saturated=sum(saturated),
+        ),
+    )
+    return DegradedSolution(
+        dims=dims,
+        mask=mask,
+        degraded_dims=degraded,
+        routing=routing,
+        classes=classes,
+        saturated=saturated,
+        blocking_values=blocking,
+        concurrency_values=concurrency,
+        acceptance_values=acceptance,
+    )
+
+
+def _binomial_pmf(n: int, p: float) -> list[float]:
+    """``P(Binomial(n, p) = k)`` for ``k = 0..n``."""
+    return [
+        math.comb(n, k) * p**k * (1.0 - p) ** (n - k) for k in range(n + 1)
+    ]
+
+
+@dataclass(frozen=True)
+class AvailabilityWeightedMeasures:
+    """Measures averaged over the stationary port up/down distribution."""
+
+    dims: SwitchDimensions
+    classes: tuple[TrafficClass, ...]
+    availability_in: float
+    availability_out: float
+    routing: str
+    blocking: tuple[float, ...]
+    concurrency: tuple[float, ...]
+    acceptance: tuple[float, ...]
+    #: Probability mass of the (live-inputs, live-outputs) cells that
+    #: were actually evaluated (1 minus the truncated tail).
+    coverage: float
+
+    def render(self) -> str:
+        lines = [
+            f"availability-weighted measures on {self.dims} "
+            f"(A_in={self.availability_in:.4g}, "
+            f"A_out={self.availability_out:.4g}, {self.routing}, "
+            f"coverage {self.coverage:.6g}):"
+        ]
+        for r, cls in enumerate(self.classes):
+            lines.append(
+                f"  [{r}] {cls.name or cls.kind:>10s}: "
+                f"blocking={self.blocking[r]:.6g}  "
+                f"E={self.concurrency[r]:.6g}  "
+                f"acceptance={self.acceptance[r]:.6g}"
+            )
+        return "\n".join(lines)
+
+
+def availability_weighted_measures(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    availability_in: float | PortFailureProcess,
+    availability_out: float | PortFailureProcess | None = None,
+    routing: str = "reroute",
+    tail: float = 1e-12,
+) -> AvailabilityWeightedMeasures:
+    """Average Algorithm 1 measures over the stationary failure masks.
+
+    Ports fail independently; an input is up with probability
+    ``availability_in`` (a float, or a :class:`PortFailureProcess`
+    whose ``availability`` is used), outputs with
+    ``availability_out`` (defaults to the input value).  By port
+    exchangeability the mask distribution collapses to the product of
+    two binomials over live-port *counts*; cells with probability below
+    ``tail`` are skipped (their mass is reported via ``coverage``).
+    """
+    _check_routing(routing)
+    classes = tuple(classes)
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    if isinstance(availability_in, PortFailureProcess):
+        availability_in = availability_in.availability
+    if availability_out is None:
+        availability_out = availability_in
+    elif isinstance(availability_out, PortFailureProcess):
+        availability_out = availability_out.availability
+    for label, value in (
+        ("availability_in", availability_in),
+        ("availability_out", availability_out),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise InvalidParameterError(
+                f"{label} must be in [0, 1], got {value}"
+            )
+
+    w1 = _binomial_pmf(dims.n1, availability_in)
+    w2 = _binomial_pmf(dims.n2, availability_out)
+    n = len(classes)
+    blocking = [0.0] * n
+    concurrency = [0.0] * n
+    acceptance = [0.0] * n
+    coverage = 0.0
+
+    # Under oblivious routing every cell uses the *unscaled* classes, so
+    # one full-grid solve answers every sub-switch query.
+    full = solve_convolution(dims, classes) if routing == "oblivious" else None
+
+    for m1, p1 in enumerate(w1):
+        for m2, p2 in enumerate(w2):
+            weight = p1 * p2
+            if weight < tail:
+                continue
+            coverage += weight
+            degraded = SwitchDimensions(m1, m2)
+            if routing == "oblivious":
+                for r, cls in enumerate(classes):
+                    if cls.a > degraded.capacity:
+                        blocking[r] += weight
+                        continue
+                    routable = 1.0 / tuple_scale(dims, degraded, cls.a)
+                    blocking[r] += weight * (
+                        1.0 - routable * full.non_blocking(r, degraded)
+                    )
+                    concurrency[r] += weight * full.concurrency(r, degraded)
+                    acceptance[r] += weight * (
+                        routable * full.call_acceptance(r, degraded)
+                    )
+            else:
+                sat, blk, conc, acc = _degraded_measures(
+                    dims, classes, degraded, routing, solve_convolution
+                )
+                for r in range(n):
+                    blocking[r] += weight * blk[r]
+                    concurrency[r] += weight * conc[r]
+                    acceptance[r] += weight * acc[r]
+
+    if coverage <= 0.0:
+        raise ConfigurationError(
+            f"tail threshold {tail} discarded the entire mask distribution"
+        )
+    norm = 1.0 / coverage
+    logger.debug(
+        "availability-weighted solve %s",
+        kv(dims=str(dims), routing=routing, coverage=coverage),
+    )
+    return AvailabilityWeightedMeasures(
+        dims=dims,
+        classes=classes,
+        availability_in=availability_in,
+        availability_out=availability_out,
+        routing=routing,
+        blocking=tuple(b * norm for b in blocking),
+        concurrency=tuple(c * norm for c in concurrency),
+        acceptance=tuple(a * norm for a in acceptance),
+        coverage=coverage,
+    )
+
+
+def validate_degraded_against_simulation(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    mask: FailureMask,
+    horizon: float = 2000.0,
+    warmup: float = 200.0,
+    replications: int = 8,
+    seed: int = 0,
+    routing: str = "reroute",
+    level: float = 0.95,
+) -> dict:
+    """Cross-validate degraded analysis against the fault-injected simulator.
+
+    Runs the discrete-event simulator with ``mask`` statically injected
+    and compares each class's simulated acceptance ratio (CI at
+    ``level``) against the analytical :meth:`DegradedSolution.call_acceptance`.
+    Returns a dict with per-class entries and a top-level ``covered``
+    flag (True when every analytical value lies inside its CI).
+    """
+    # Imported lazily: repro.sim.crossbar imports repro.robust.faults,
+    # so a module-level import here would create a cycle.
+    from ..sim.runner import run_replications
+
+    analysis = solve_degraded(dims, classes, mask, routing=routing)
+    from .faults import FaultModel
+
+    summary = run_replications(
+        dims,
+        classes,
+        horizon=horizon,
+        warmup=warmup,
+        replications=replications,
+        seed=seed,
+        level=level,
+        faults=FaultModel.static(mask),
+        routing=routing,
+    )
+    per_class = []
+    covered = True
+    for r, cls in enumerate(classes):
+        ci = summary.classes[r].acceptance
+        analytical = analysis.call_acceptance(r)
+        inside = ci.contains(analytical)
+        covered = covered and inside
+        per_class.append(
+            {
+                "name": cls.name or f"class-{r}",
+                "acceptance_sim": ci,
+                "acceptance_analytical": analytical,
+                "covered": inside,
+            }
+        )
+    return {
+        "classes": per_class,
+        "covered": covered,
+        "analysis": analysis,
+        "summary": summary,
+    }

@@ -1,0 +1,260 @@
+"""Port-failure models for the unbuffered optical crossbar.
+
+The paper models blocked-calls-cleared precisely because the hardware
+is unforgiving: a free-space optical crosspoint cannot buffer light,
+and a misaligned or dead port cannot carry it at all.  This module
+gives the library a first-class notion of component failure:
+
+* :class:`FailureMask` — a deterministic set of dead input/output
+  ports (the "snapshot" view used by degraded-mode analysis);
+* :class:`PortFailureProcess` — an exponential MTBF/MTTR alternating
+  renewal process per port, whose stationary availability
+  ``MTBF / (MTBF + MTTR)`` drives the availability-weighted measures
+  of :mod:`repro.robust.degraded`;
+* :class:`ScheduledFault` — one deterministic failure or repair at a
+  known time (for reproducible what-if experiments);
+* :class:`FaultModel` — the bundle handed to the discrete-event
+  simulator (:class:`repro.sim.crossbar.AsynchronousCrossbarSimulator`):
+  an initial mask, optional stochastic processes per side, and an
+  optional deterministic schedule.
+
+Failure semantics (shared with the simulator and the analysis):
+a failing port **clears every connection holding it** — the optical
+analogue of blocked-calls-cleared — and accepts no new connections
+until repaired.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..core.state import SwitchDimensions
+from ..exceptions import ConfigurationError, InvalidParameterError
+
+__all__ = [
+    "FAIL",
+    "REPAIR",
+    "INPUT",
+    "OUTPUT",
+    "FailureMask",
+    "FaultModel",
+    "PortFailureProcess",
+    "ScheduledFault",
+]
+
+#: Kinds of a :class:`ScheduledFault`.
+FAIL = "fail"
+REPAIR = "repair"
+
+#: Sides of the fabric a fault can hit.
+INPUT = "input"
+OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class FailureMask:
+    """A snapshot of which ports are dead.
+
+    ``inputs`` and ``outputs`` are sets of port indices.  The mask is
+    switch-size agnostic until validated with :meth:`validate_for`.
+    """
+
+    inputs: frozenset[int] = field(default_factory=frozenset)
+    outputs: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inputs", frozenset(self.inputs))
+        object.__setattr__(self, "outputs", frozenset(self.outputs))
+        for port in self.inputs | self.outputs:
+            if not isinstance(port, int) or isinstance(port, bool) or port < 0:
+                raise ConfigurationError(
+                    f"port indices must be non-negative integers, got {port!r}"
+                )
+
+    @classmethod
+    def none(cls) -> "FailureMask":
+        """The healthy mask (no dead ports)."""
+        return cls()
+
+    @classmethod
+    def from_ports(
+        cls, inputs: Iterable[int] = (), outputs: Iterable[int] = ()
+    ) -> "FailureMask":
+        """Build a mask from any iterables of port indices."""
+        return cls(frozenset(inputs), frozenset(outputs))
+
+    @property
+    def is_healthy(self) -> bool:
+        """True when no port is failed."""
+        return not self.inputs and not self.outputs
+
+    @property
+    def n_failed(self) -> int:
+        """Total number of dead ports (both sides)."""
+        return len(self.inputs) + len(self.outputs)
+
+    def validate_for(self, dims: SwitchDimensions) -> None:
+        """Raise :class:`ConfigurationError` if a port index is out of range."""
+        bad_in = [p for p in self.inputs if p >= dims.n1]
+        bad_out = [p for p in self.outputs if p >= dims.n2]
+        if bad_in or bad_out:
+            raise ConfigurationError(
+                f"failure mask addresses ports outside the {dims} switch "
+                f"(inputs {sorted(bad_in)}, outputs {sorted(bad_out)})"
+            )
+
+    def degraded_dims(self, dims: SwitchDimensions) -> SwitchDimensions:
+        """Dimensions of the surviving sub-switch ``N1' x N2'``.
+
+        By symmetry of the model (ports are exchangeable), only the
+        *count* of live ports matters for the stationary law — which is
+        why degraded-mode analysis can recompute the product form on
+        the reduced switch.
+        """
+        self.validate_for(dims)
+        return SwitchDimensions(
+            dims.n1 - len(self.inputs), dims.n2 - len(self.outputs)
+        )
+
+    def union(self, other: "FailureMask") -> "FailureMask":
+        """Mask with every port failed in either operand."""
+        return FailureMask(
+            self.inputs | other.inputs, self.outputs | other.outputs
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FailureMask(in={sorted(self.inputs)}, "
+            f"out={sorted(self.outputs)})"
+        )
+
+
+@dataclass(frozen=True)
+class PortFailureProcess:
+    """Exponential alternating up/down process for one port.
+
+    Up times are ``Exponential(mean=mtbf)``, down times
+    ``Exponential(mean=mttr)``; both in the same time unit as the
+    traffic model (mean holding times ``1/mu_r``).
+    """
+
+    mtbf: float
+    mttr: float
+
+    def __post_init__(self) -> None:
+        if not (self.mtbf > 0 and math.isfinite(self.mtbf)):
+            raise InvalidParameterError(
+                f"mtbf must be finite and > 0, got {self.mtbf}"
+            )
+        if not (self.mttr > 0 and math.isfinite(self.mttr)):
+            raise InvalidParameterError(
+                f"mttr must be finite and > 0, got {self.mttr}"
+            )
+
+    @property
+    def availability(self) -> float:
+        """Stationary probability the port is up: ``MTBF/(MTBF+MTTR)``."""
+        return self.mtbf / (self.mtbf + self.mttr)
+
+    @property
+    def unavailability(self) -> float:
+        """``1 - availability``."""
+        return self.mttr / (self.mtbf + self.mttr)
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One deterministic failure or repair event."""
+
+    time: float
+    side: str  # INPUT or OUTPUT
+    port: int
+    kind: str = FAIL  # FAIL or REPAIR
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or not math.isfinite(self.time):
+            raise ConfigurationError(
+                f"fault time must be finite and >= 0, got {self.time}"
+            )
+        if self.side not in (INPUT, OUTPUT):
+            raise ConfigurationError(
+                f"fault side must be {INPUT!r} or {OUTPUT!r}, got {self.side!r}"
+            )
+        if self.kind not in (FAIL, REPAIR):
+            raise ConfigurationError(
+                f"fault kind must be {FAIL!r} or {REPAIR!r}, got {self.kind!r}"
+            )
+        if self.port < 0:
+            raise ConfigurationError(
+                f"fault port must be >= 0, got {self.port}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Everything the simulator needs to inject faults.
+
+    Parameters
+    ----------
+    initial_mask:
+        Ports dead at time zero.  With no processes and no schedule
+        this is a *static* fault experiment — the configuration the
+        degraded-mode analysis is cross-validated against.
+    input_process, output_process:
+        Optional stochastic MTBF/MTTR processes applied independently
+        to every port of that side.
+    schedule:
+        Deterministic failures/repairs at fixed times (applied on top
+        of the stochastic processes; a scheduled event for a port that
+        is already in the target state is a no-op).
+    """
+
+    initial_mask: FailureMask = field(default_factory=FailureMask)
+    input_process: PortFailureProcess | None = None
+    output_process: PortFailureProcess | None = None
+    schedule: tuple[ScheduledFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedule", tuple(self.schedule))
+
+    @classmethod
+    def static(cls, mask: FailureMask) -> "FaultModel":
+        """Ports in ``mask`` are dead for the whole run."""
+        return cls(initial_mask=mask)
+
+    @classmethod
+    def exponential(
+        cls,
+        mtbf: float,
+        mttr: float,
+        inputs: bool = True,
+        outputs: bool = True,
+    ) -> "FaultModel":
+        """Same MTBF/MTTR process on every port of the chosen sides."""
+        process = PortFailureProcess(mtbf, mttr)
+        return cls(
+            input_process=process if inputs else None,
+            output_process=process if outputs else None,
+        )
+
+    @property
+    def is_static(self) -> bool:
+        """True when the fault state never changes after time zero."""
+        return (
+            self.input_process is None
+            and self.output_process is None
+            and not self.schedule
+        )
+
+    def validate_for(self, dims: SwitchDimensions) -> None:
+        """Check every referenced port exists on the switch."""
+        self.initial_mask.validate_for(dims)
+        for fault in self.schedule:
+            limit = dims.n1 if fault.side == INPUT else dims.n2
+            if fault.port >= limit:
+                raise ConfigurationError(
+                    f"scheduled {fault.kind} for {fault.side} port "
+                    f"{fault.port} outside the {dims} switch"
+                )

@@ -18,6 +18,24 @@ State-dependent rates are handled by lazy invalidation: when ``k_r``
 changes, the pending class-``r`` arrival event is abandoned and a fresh
 exponential drawn at the new rate — exact because the conditional
 inter-arrival time is memoryless given the state.
+
+Fault injection (see :mod:`repro.robust.faults`): ports can fail and
+be repaired, statically (a :class:`~repro.robust.faults.FailureMask`),
+stochastically (exponential MTBF/MTTR per port) or on a deterministic
+schedule.  A failing port **clears every connection holding it** — the
+optical analogue of blocked-calls-cleared — and carries nothing until
+repaired.  Offered demand is conserved (the per-class request
+intensity keeps its healthy-switch tuple multiplier); the ``routing``
+parameter picks where that demand aims:
+
+* ``"reroute"`` (default): sources address live ports only — requests
+  are blocked outright when fewer than ``a_r`` live ports remain on
+  either side;
+* ``"oblivious"``: sources keep addressing all ports uniformly and any
+  request naming a dead port is cleared.
+
+Both semantics match :mod:`repro.robust.degraded` analytically, which
+is what the degraded-mode cross-validation tests rely on.
 """
 
 from __future__ import annotations
@@ -30,10 +48,16 @@ import numpy as np
 from ..core.state import SwitchDimensions, permutation
 from ..core.traffic import TrafficClass
 from ..exceptions import ConfigurationError, SimulationError
+from ..logging import get_logger, kv
+from ..robust.faults import FAIL, INPUT, OUTPUT, FailureMask, FaultModel
 from .distributions import Exponential, ServiceDistribution
-from .events import ARRIVAL, DEPARTURE, EventQueue
+from .events import ARRIVAL, DEPARTURE, FAILURE, REPAIR, EventQueue
 from .rng import RandomStreams
 from .stats import RatioEstimator, TimeWeightedMean
+
+logger = get_logger("sim.crossbar")
+
+_ROUTINGS = ("reroute", "oblivious")
 
 __all__ = ["AsynchronousCrossbarSimulator", "ClassRecord", "SimulationRecord"]
 
@@ -47,6 +71,9 @@ class ClassRecord:
     accepted: int
     acceptance_ratio: float
     mean_concurrency: float
+    #: Accepted connections torn down mid-service by a port failure
+    #: (counted over the whole run, not just the measurement window).
+    interrupted: int = 0
 
     @property
     def blocking_ratio(self) -> float:
@@ -65,6 +92,13 @@ class SimulationRecord:
     horizon: float
     warmup: float
     events: int
+    #: Fault-injection diagnostics: failure/repair events applied over
+    #: the whole run, and time-weighted mean live port counts over the
+    #: measurement window (equal to N1/N2 in a healthy run).
+    failures: int = 0
+    repairs: int = 0
+    mean_live_inputs: float = float("nan")
+    mean_live_outputs: float = float("nan")
 
     def class_record(self, r: int) -> ClassRecord:
         return self.classes[r]
@@ -95,6 +129,17 @@ class AsynchronousCrossbarSimulator:
         :mod:`repro.extensions.admission`): a class-``r`` request is
         rejected — even if its ports are free — when accepting it would
         push the total occupancy above ``admission_thresholds[r]``.
+    faults:
+        Optional :class:`~repro.robust.faults.FaultModel` (a bare
+        :class:`~repro.robust.faults.FailureMask` is promoted to a
+        static model).  Ports named by the model fail and are repaired
+        during the run; failing ports clear their in-flight
+        connections.
+    routing:
+        How sources react to failures: ``"reroute"`` (they address
+        live ports only) or ``"oblivious"`` (they keep addressing all
+        ports; requests naming a dead port are cleared).  Irrelevant
+        without ``faults``.
     """
 
     def __init__(
@@ -105,6 +150,8 @@ class AsynchronousCrossbarSimulator:
         seed: int | None = None,
         output_weights: Sequence[float] | None = None,
         admission_thresholds: Sequence[int] | None = None,
+        faults: FaultModel | FailureMask | None = None,
+        routing: str = "reroute",
     ) -> None:
         if not classes:
             raise ConfigurationError("at least one traffic class is required")
@@ -157,8 +204,20 @@ class AsynchronousCrossbarSimulator:
             self._admission = tuple(thresholds)
         else:
             self._admission = None
+        if routing not in _ROUTINGS:
+            raise ConfigurationError(
+                f"routing must be one of {_ROUTINGS}, got {routing!r}"
+            )
+        self.routing = routing
+        if isinstance(faults, FailureMask):
+            faults = FaultModel.static(faults)
+        if faults is not None:
+            faults.validate_for(dims)
+        self.faults = faults
         # Number of ordered (inputs, outputs) tuples per class — the
-        # arrival-rate multiplier of the model semantics.
+        # arrival-rate multiplier of the model semantics.  Deliberately
+        # computed on the FULL switch even under faults: offered demand
+        # is conserved, failures move acceptance, not intensity.
         self._tuples = [
             permutation(dims.n1, c.a) * permutation(dims.n2, c.a)
             for c in self.classes
@@ -205,6 +264,19 @@ class AsynchronousCrossbarSimulator:
         warmed_up = warmup == 0.0
         events_processed = 0
 
+        faults = self.faults
+        input_failed = np.zeros(dims.n1, dtype=bool)
+        output_failed = np.zeros(dims.n2, dtype=bool)
+        cleared: set[int] = set()  # connections torn down by failures
+        interrupted = [0] * n_classes
+        failures = repairs = 0
+        live_in_tw = TimeWeightedMean()
+        live_out_tw = TimeWeightedMean()
+
+        def advance_live(now: float) -> None:
+            live_in_tw.update(dims.n1 - int(input_failed.sum()), now)
+            live_out_tw.update(dims.n2 - int(output_failed.sum()), now)
+
         def schedule_arrival(r: int, now: float) -> None:
             rate = self._offered_rate(r, k[r])
             gap = self.rng.exponential(r, rate)
@@ -237,6 +309,37 @@ class AsynchronousCrossbarSimulator:
                     f"{len(connections)} live connections but "
                     f"concurrencies sum to {sum(k)}"
                 )
+            if input_busy[input_failed].any():
+                raise SimulationError("failed input port marked busy")
+            if output_busy[output_failed].any():
+                raise SimulationError("failed output port marked busy")
+
+        if faults is not None:
+            for p in faults.initial_mask.inputs:
+                input_failed[p] = True
+            for p in faults.initial_mask.outputs:
+                output_failed[p] = True
+            for side, n_ports, failed, process in (
+                (INPUT, dims.n1, input_failed, faults.input_process),
+                (OUTPUT, dims.n2, output_failed, faults.output_process),
+            ):
+                if process is None:
+                    continue
+                for p in range(n_ports):
+                    # Initially-dead ports start mid-repair.
+                    if failed[p]:
+                        delay, kind = process.mttr, REPAIR
+                    else:
+                        delay, kind = process.mtbf, FAILURE
+                    queue.push(
+                        self.rng.fault_time(delay), kind, payload=(side, p)
+                    )
+            for fault in faults.schedule:
+                queue.push(
+                    fault.time,
+                    FAILURE if fault.kind == FAIL else REPAIR,
+                    payload=(fault.side, fault.port),
+                )
 
         for r in range(n_classes):
             schedule_arrival(r, 0.0)
@@ -251,6 +354,9 @@ class AsynchronousCrossbarSimulator:
                 and event.version != arrival_version[event.payload]
             ):
                 continue  # stale: k_r changed since this was drawn
+            if event.kind == DEPARTURE and event.payload in cleared:
+                cleared.discard(event.payload)
+                continue  # connection already torn down by a failure
             now = event.time
             events_processed += 1
             if max_events is not None and events_processed > max_events:
@@ -264,22 +370,62 @@ class AsynchronousCrossbarSimulator:
                 )
                 occupancy.update(used, warmup)
                 occupancy.reset(warmup)
+                advance_live(warmup)
+                live_in_tw.reset(warmup)
+                live_out_tw.reset(warmup)
                 ratios = [RatioEstimator() for _ in range(n_classes)]
                 warmed_up = True
 
             if event.kind == ARRIVAL:
                 r = event.payload
                 cls = self.classes[r]
-                inputs = self.rng.choose_ports(dims.n1, cls.a)
-                if self._output_weights is None:
-                    outputs = self.rng.choose_ports(dims.n2, cls.a)
-                else:
-                    outputs = self.rng.ports.choice(
-                        dims.n2, size=cls.a, replace=False,
-                        p=self._output_weights,
+                degraded = bool(input_failed.any() or output_failed.any())
+                inputs: np.ndarray | None = None
+                outputs: np.ndarray | None = None
+                if not degraded:
+                    # Healthy fast path: byte-identical RNG consumption
+                    # to the pre-fault-injection simulator.
+                    inputs = self.rng.choose_ports(dims.n1, cls.a)
+                    if self._output_weights is None:
+                        outputs = self.rng.choose_ports(dims.n2, cls.a)
+                    else:
+                        outputs = self.rng.ports.choice(
+                            dims.n2, size=cls.a, replace=False,
+                            p=self._output_weights,
+                        )
+                elif self.routing == "reroute":
+                    live_in = np.flatnonzero(~input_failed)
+                    live_out = np.flatnonzero(~output_failed)
+                    if len(live_in) >= cls.a and len(live_out) >= cls.a:
+                        inputs = self.rng.choose_from(live_in, cls.a)
+                        if self._output_weights is None:
+                            outputs = self.rng.choose_from(live_out, cls.a)
+                        else:
+                            w = self._output_weights[live_out]
+                            total = w.sum()
+                            if total > 0.0:
+                                outputs = self.rng.ports.choice(
+                                    live_out, size=cls.a, replace=False,
+                                    p=w / total,
+                                )
+                else:  # oblivious: sources have not learned of failures
+                    inputs = self.rng.choose_ports(dims.n1, cls.a)
+                    if self._output_weights is None:
+                        outputs = self.rng.choose_ports(dims.n2, cls.a)
+                    else:
+                        outputs = self.rng.ports.choice(
+                            dims.n2, size=cls.a, replace=False,
+                            p=self._output_weights,
+                        )
+                free = (
+                    inputs is not None
+                    and outputs is not None
+                    and not (
+                        input_busy[inputs].any()
+                        or output_busy[outputs].any()
+                        or input_failed[inputs].any()
+                        or output_failed[outputs].any()
                     )
-                free = not (
-                    input_busy[inputs].any() or output_busy[outputs].any()
                 )
                 if free and self._admission is not None:
                     used_now = sum(
@@ -313,6 +459,65 @@ class AsynchronousCrossbarSimulator:
                     raise SimulationError(f"negative concurrency for class {r}")
                 arrival_version[r] += 1
                 schedule_arrival(r, now)
+            elif event.kind == FAILURE:
+                side, port = event.payload
+                failed = input_failed if side == INPUT else output_failed
+                if not failed[port]:
+                    advance_stats(now)
+                    advance_live(now)
+                    failed[port] = True
+                    failures += 1
+                    # Blocked-calls-cleared: every connection holding
+                    # the dead port is torn down immediately.
+                    doomed = [
+                        cid
+                        for cid, (cr, ins, outs) in connections.items()
+                        if port in (ins if side == INPUT else outs)
+                    ]
+                    for cid in doomed:
+                        cr, ins, outs = connections.pop(cid)
+                        input_busy[ins] = False
+                        output_busy[outs] = False
+                        k[cr] -= 1
+                        interrupted[cr] += 1
+                        cleared.add(cid)
+                        arrival_version[cr] += 1
+                        schedule_arrival(cr, now)
+                    logger.debug(
+                        "port failure %s",
+                        kv(side=side, port=port, time=now,
+                           cleared=len(doomed)),
+                    )
+                    process = (
+                        faults.input_process
+                        if side == INPUT
+                        else faults.output_process
+                    )
+                    if process is not None:
+                        queue.push(
+                            now + self.rng.fault_time(process.mttr),
+                            REPAIR, payload=(side, port),
+                        )
+            elif event.kind == REPAIR:
+                side, port = event.payload
+                failed = input_failed if side == INPUT else output_failed
+                if failed[port]:
+                    advance_live(now)
+                    failed[port] = False
+                    repairs += 1
+                    logger.debug(
+                        "port repair %s", kv(side=side, port=port, time=now)
+                    )
+                    process = (
+                        faults.input_process
+                        if side == INPUT
+                        else faults.output_process
+                    )
+                    if process is not None:
+                        queue.push(
+                            now + self.rng.fault_time(process.mtbf),
+                            FAILURE, payload=(side, port),
+                        )
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {event.kind!r}")
             if check_invariants:
@@ -320,10 +525,12 @@ class AsynchronousCrossbarSimulator:
 
         # Close the observation window at the horizon.
         end = min(max(now, warmup), horizon)
+        close = horizon if warmed_up else end
         for r in range(n_classes):
-            conc[r].update(k[r], horizon if warmed_up else end)
+            conc[r].update(k[r], close)
         used = sum(k[r] * self.classes[r].a for r in range(n_classes))
-        occupancy.update(used, horizon if warmed_up else end)
+        occupancy.update(used, close)
+        advance_live(close)
 
         records = tuple(
             ClassRecord(
@@ -332,6 +539,7 @@ class AsynchronousCrossbarSimulator:
                 accepted=ratios[r].accepted,
                 acceptance_ratio=ratios[r].ratio,
                 mean_concurrency=conc[r].mean(horizon),
+                interrupted=interrupted[r],
             )
             for r, cls in enumerate(self.classes)
         )
@@ -344,4 +552,8 @@ class AsynchronousCrossbarSimulator:
             horizon=horizon,
             warmup=warmup,
             events=events_processed,
+            failures=failures,
+            repairs=repairs,
+            mean_live_inputs=live_in_tw.mean(horizon),
+            mean_live_outputs=live_out_tw.mean(horizon),
         )

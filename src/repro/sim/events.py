@@ -17,11 +17,15 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Event", "EventQueue", "ARRIVAL", "DEPARTURE"]
+__all__ = ["Event", "EventQueue", "ARRIVAL", "DEPARTURE", "FAILURE", "REPAIR"]
 
 #: Event kinds used by the crossbar simulator.
 ARRIVAL = "arrival"
 DEPARTURE = "departure"
+#: Fault-injection kinds (see :mod:`repro.robust.faults`): a port dies,
+#: clearing its in-flight connections, or comes back from repair.
+FAILURE = "failure"
+REPAIR = "repair"
 
 
 @dataclass(frozen=True, order=True)

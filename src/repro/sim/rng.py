@@ -20,7 +20,10 @@ class RandomStreams:
 
     def __init__(self, seed: int | None = None, n_classes: int = 1) -> None:
         self._root = np.random.SeedSequence(seed)
-        children = self._root.spawn(2 * n_classes + 1)
+        # Spawning is prefix-stable: asking for one extra child (the
+        # fault stream) leaves the arrival/service/port streams of
+        # existing experiments byte-identical.
+        children = self._root.spawn(2 * n_classes + 2)
         self.arrivals = [
             np.random.default_rng(children[i]) for i in range(n_classes)
         ]
@@ -29,6 +32,8 @@ class RandomStreams:
             for i in range(n_classes)
         ]
         self.ports = np.random.default_rng(children[2 * n_classes])
+        #: Stream for port failure/repair processes (fault injection).
+        self.faults = np.random.default_rng(children[2 * n_classes + 1])
 
     def exponential(self, r: int, rate: float) -> float:
         """Exponential inter-arrival sample for class ``r``.
@@ -44,3 +49,17 @@ class RandomStreams:
         if a == 1:
             return np.array([self.ports.integers(0, n)])
         return self.ports.choice(n, size=a, replace=False)
+
+    def choose_from(self, pool: np.ndarray, a: int) -> np.ndarray:
+        """``a`` distinct indices uniformly from an explicit pool.
+
+        Used when some ports are failed: the pool holds the live port
+        indices.  The caller guarantees ``len(pool) >= a``.
+        """
+        if a == 1:
+            return pool[[self.ports.integers(0, len(pool))]]
+        return self.ports.choice(pool, size=a, replace=False)
+
+    def fault_time(self, mean: float) -> float:
+        """Exponential up/down duration from the fault stream."""
+        return float(self.faults.exponential(mean))

@@ -5,22 +5,39 @@ Runs independent replications of
 each measure with a Student-t confidence interval, and compares against
 the analytical solution — the "compare with simulation" item of the
 paper's future work (Section 8).
+
+Long experiments are hardened two ways: a replication that dies with
+:class:`~repro.exceptions.SimulationError` is retried with a fresh
+deterministic seed (up to ``max_retries`` times), and an optional
+JSONL ``checkpoint`` file records every finished replication so an
+interrupted sweep resumes where it stopped instead of starting over.
 """
 
 from __future__ import annotations
 
+import json
 import math
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 from ..core.convolution import solve_convolution
 from ..core.measures import PerformanceSolution
 from ..core.state import SwitchDimensions
 from ..core.traffic import TrafficClass
-from ..exceptions import ConfigurationError
-from .crossbar import AsynchronousCrossbarSimulator, SimulationRecord
+from ..exceptions import ConfigurationError, SimulationError
+from ..logging import get_logger, kv
+from ..robust.faults import FailureMask, FaultModel
+from .crossbar import AsynchronousCrossbarSimulator, ClassRecord, SimulationRecord
 from .distributions import ServiceDistribution
 from .stats import ConfidenceInterval, t_confidence_interval
+
+logger = get_logger("sim.runner")
+
+#: Seed stride between retry attempts of one replication — far larger
+#: than any realistic replication count, so retry seeds never collide
+#: with the base seeds ``seed + i`` of other replications.
+_RETRY_SEED_STRIDE = 1_000_003
 
 __all__ = [
     "ClassSummary",
@@ -54,6 +71,48 @@ class SimulationSummary:
     records: tuple[SimulationRecord, ...]
 
 
+def _record_to_json(record: SimulationRecord) -> dict:
+    """JSON-serializable form of one replication's record."""
+    payload = asdict(record)
+    payload["dims"] = {"n1": record.dims.n1, "n2": record.dims.n2}
+    return payload
+
+
+def _record_from_json(payload: dict) -> SimulationRecord:
+    """Inverse of :func:`_record_to_json`."""
+    data = dict(payload)
+    data["dims"] = SwitchDimensions(**data["dims"])
+    data["classes"] = tuple(ClassRecord(**c) for c in data["classes"])
+    return SimulationRecord(**data)
+
+
+def _load_checkpoint(
+    path: Path, dims: SwitchDimensions, horizon: float, warmup: float
+) -> dict[int, SimulationRecord]:
+    """Completed replications from a JSONL checkpoint file."""
+    completed: dict[int, SimulationRecord] = {}
+    if not path.exists():
+        return completed
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        record = _record_from_json(entry["record"])
+        if (
+            record.dims != dims
+            or record.horizon != horizon
+            or record.warmup != warmup
+        ):
+            raise ConfigurationError(
+                f"checkpoint {path} was written by a different experiment "
+                f"({record.dims}, horizon={record.horizon}, "
+                f"warmup={record.warmup})"
+            )
+        completed[int(entry["replication"])] = record
+    return completed
+
+
 def run_replications(
     dims: SwitchDimensions,
     classes: Sequence[TrafficClass],
@@ -65,27 +124,74 @@ def run_replications(
     level: float = 0.95,
     output_weights: Sequence[float] | None = None,
     admission_thresholds: Sequence[int] | None = None,
+    faults: FaultModel | FailureMask | None = None,
+    routing: str = "reroute",
+    max_retries: int = 2,
+    checkpoint: str | Path | None = None,
 ) -> SimulationSummary:
     """Run ``replications`` independent simulations and summarize.
 
     Each replication gets seed ``seed + i`` so the whole experiment is
-    reproducible from one integer.
+    reproducible from one integer.  A replication that raises
+    :class:`SimulationError` is retried up to ``max_retries`` times
+    with a fresh deterministic seed (``seed + i + j * 1_000_003`` on
+    attempt ``j``); only when every attempt fails does the error
+    propagate.  With ``checkpoint`` set, each finished replication is
+    appended to that JSONL file and already-recorded replications are
+    skipped on re-run, so an interrupted experiment resumes cheaply.
     """
     if replications < 1:
         raise ConfigurationError(
             f"replications must be >= 1, got {replications}"
         )
+    if max_retries < 0:
+        raise ConfigurationError(
+            f"max_retries must be >= 0, got {max_retries}"
+        )
+    checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+    completed = (
+        _load_checkpoint(checkpoint_path, dims, horizon, warmup)
+        if checkpoint_path is not None
+        else {}
+    )
     records = []
     for i in range(replications):
-        sim = AsynchronousCrossbarSimulator(
-            dims,
-            classes,
-            services=services,
-            seed=seed + i,
-            output_weights=output_weights,
-            admission_thresholds=admission_thresholds,
-        )
-        records.append(sim.run(horizon=horizon, warmup=warmup))
+        if i in completed:
+            records.append(completed[i])
+            continue
+        record = None
+        for attempt in range(max_retries + 1):
+            run_seed = seed + i + attempt * _RETRY_SEED_STRIDE
+            sim = AsynchronousCrossbarSimulator(
+                dims,
+                classes,
+                services=services,
+                seed=run_seed,
+                output_weights=output_weights,
+                admission_thresholds=admission_thresholds,
+                faults=faults,
+                routing=routing,
+            )
+            try:
+                record = sim.run(horizon=horizon, warmup=warmup)
+                break
+            except SimulationError as exc:
+                logger.warning(
+                    "replication failed %s",
+                    kv(replication=i, attempt=attempt, seed=run_seed,
+                       error=str(exc)[:120]),
+                )
+                if attempt == max_retries:
+                    raise
+        records.append(record)
+        if checkpoint_path is not None:
+            with checkpoint_path.open("a") as fh:
+                fh.write(
+                    json.dumps(
+                        {"replication": i, "record": _record_to_json(record)}
+                    )
+                    + "\n"
+                )
 
     summaries = []
     for r, cls in enumerate(classes):

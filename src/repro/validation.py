@@ -49,7 +49,14 @@ class ValidationReport:
 
     @property
     def consistent(self) -> bool:
-        """True when all methods agree to ~1e-8 relative."""
+        """True when all methods agree to ~1e-8 relative.
+
+        Vacuous agreement does not count: a run in which *every*
+        method was skipped is inconsistent — there is nothing to
+        validate against, and reporting success would hide the problem.
+        """
+        if not self.methods:
+            return False
         return (
             self.worst_blocking_deviation < 1e-8
             and self.worst_concurrency_deviation < 1e-8
@@ -65,6 +72,10 @@ class ValidationReport:
             lines.append(
                 f"  {method:>18}: blocking="
                 + ", ".join(f"{b:.10g}" for b in entry["blocking"])
+            )
+            lines.append(
+                f"  {'':>18}  concurrency="
+                + ", ".join(f"{e:.10g}" for e in entry["concurrency"])
             )
         for method, reason in self.skipped:
             lines.append(f"  {method:>18}: skipped ({reason})")
@@ -122,20 +133,26 @@ def cross_validate(
     except ComputationError as exc:
         skipped.append(("mva", str(exc)[:60]))
 
-    series = solve_series(dims, classes)
-    record(
-        "series",
-        [series.blocking(r) for r in range(len(classes))],
-        [series.concurrency(r) for r in range(len(classes))],
-    )
+    try:
+        series = solve_series(dims, classes)
+        record(
+            "series",
+            [series.blocking(r) for r in range(len(classes))],
+            [series.concurrency(r) for r in range(len(classes))],
+        )
+    except ComputationError as exc:
+        skipped.append(("series", str(exc)[:60]))
 
     if dims.capacity <= EXACT_CAPACITY_LIMIT:
-        solution = solve_exact(dims, classes)
-        record(
-            "exact",
-            [solution.blocking(r) for r in range(len(classes))],
-            [solution.concurrency(r) for r in range(len(classes))],
-        )
+        try:
+            solution = solve_exact(dims, classes)
+            record(
+                "exact",
+                [solution.blocking(r) for r in range(len(classes))],
+                [solution.concurrency(r) for r in range(len(classes))],
+            )
+        except ComputationError as exc:
+            skipped.append(("exact", str(exc)[:60]))
     else:
         skipped.append(("exact", f"capacity > {EXACT_CAPACITY_LIMIT}"))
 

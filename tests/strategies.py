@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core.state import SwitchDimensions
 from repro.core.traffic import TrafficClass
+from repro.robust.faults import FailureMask
 
 dims_strategy = st.builds(
     SwitchDimensions,
@@ -32,3 +33,45 @@ def traffic_class(draw, max_a: int = 2):
 
 
 classes_strategy = st.lists(traffic_class(), min_size=1, max_size=3)
+
+
+@st.composite
+def non_peaky_unit_class(draw):
+    """A smooth or Poisson class with ``a = 1``.
+
+    This is the regime where degraded-mode blocking is provably
+    monotone in port failures (see ``docs/robustness.md``); Pascal
+    peakedness and multi-rate geometry both admit counterexamples.
+    """
+    kind = draw(st.sampled_from(["poisson", "bernoulli"]))
+    mu = draw(st.floats(min_value=0.5, max_value=2.0, allow_nan=False))
+    if kind == "poisson":
+        alpha = draw(st.floats(min_value=0.0, max_value=1.0))
+        return TrafficClass(alpha=alpha, beta=0.0, mu=mu, a=1)
+    sources = draw(st.integers(min_value=1, max_value=8))
+    rate = draw(st.floats(min_value=1e-3, max_value=0.5))
+    return TrafficClass.bernoulli(sources, rate, mu=mu, a=1)
+
+
+non_peaky_classes_strategy = st.lists(
+    non_peaky_unit_class(), min_size=1, max_size=3
+)
+
+
+@st.composite
+def failure_mask_for(draw, dims: SwitchDimensions):
+    """A random (possibly empty, possibly total) failure mask for ``dims``."""
+    inputs = draw(
+        st.sets(st.integers(min_value=0, max_value=dims.n1 - 1))
+    )
+    outputs = draw(
+        st.sets(st.integers(min_value=0, max_value=dims.n2 - 1))
+    )
+    return FailureMask.from_ports(inputs, outputs)
+
+
+@st.composite
+def dims_and_mask(draw):
+    """A switch plus a random failure mask that fits it."""
+    dims = draw(dims_strategy)
+    return dims, draw(failure_mask_for(dims))

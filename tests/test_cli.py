@@ -141,3 +141,32 @@ class TestCommands:
         assert main(["table2", "--set", "2"]) == 0
         out = capsys.readouterr().out
         assert "Table 2" in out
+
+    def test_robust_healthy(self, capsys):
+        code = main(["robust", "--n", "4", "--poisson", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solver chain" in out
+        assert "chosen: mva" in out
+        assert "Healthy 4x4 via mva" in out
+
+    def test_robust_degraded_and_availability(self, capsys):
+        code = main(
+            ["robust", "--n", "5", "--poisson", "0.1",
+             "--failed-inputs", "0,2", "--failed-outputs", "4",
+             "--availability", "0.9", "--routing", "oblivious"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded-mode analysis" in out
+        assert "3 failed ports -> 3x4" in out
+        assert "availability-weighted measures" in out
+        assert "A_in=0.9" in out
+
+    def test_robust_budgets_parse(self, capsys):
+        code = main(
+            ["robust", "--n", "4", "--poisson", "0.1",
+             "--budget", "30", "--solver-budget", "10"]
+        )
+        assert code == 0
+        assert "chosen:" in capsys.readouterr().out

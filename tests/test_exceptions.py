@@ -1,0 +1,156 @@
+"""Every exception class in :mod:`repro.exceptions` has a live raise path.
+
+One test per class (plus the hierarchy contract), so that dead error
+branches cannot silently rot: if a refactor stops raising one of these,
+this module fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.cli import _parse_classes
+from repro.core.asymptotic import solve_asymptotic
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.ctmc.generator import IndexedStateSpace
+from repro.ctmc.solve import stationary_vector
+from repro.exceptions import (
+    ComputationError,
+    ConfigurationError,
+    ConvergenceError,
+    CrossbarError,
+    InvalidParameterError,
+    OverflowInRecursionError,
+    SimulationError,
+)
+from repro.sim.stats import TimeWeightedMean, t_confidence_interval
+from repro.validation import cross_validate
+
+
+class TestHierarchy:
+    def test_every_class_derives_from_crossbar_error(self):
+        for exc in (
+            ConfigurationError,
+            InvalidParameterError,
+            ComputationError,
+            OverflowInRecursionError,
+            ConvergenceError,
+            SimulationError,
+        ):
+            assert issubclass(exc, CrossbarError)
+
+    def test_parameter_errors_are_configuration_errors(self):
+        assert issubclass(InvalidParameterError, ConfigurationError)
+
+    def test_numeric_errors_are_computation_errors(self):
+        assert issubclass(OverflowInRecursionError, ComputationError)
+        assert issubclass(ConvergenceError, ComputationError)
+
+
+class TestRaisePaths:
+    def test_crossbar_error_from_cli_argument_parsing(self):
+        args = argparse.Namespace(poisson=None, pascal=None, bernoulli=None)
+        with pytest.raises(CrossbarError):
+            _parse_classes(args)
+
+    def test_configuration_error_from_empty_traffic_mix(self):
+        from repro.sim.crossbar import AsynchronousCrossbarSimulator
+
+        with pytest.raises(ConfigurationError):
+            AsynchronousCrossbarSimulator(SwitchDimensions(2, 2), [])
+
+    def test_invalid_parameter_error_from_pascal_beta(self):
+        with pytest.raises(InvalidParameterError):
+            TrafficClass(alpha=0.1, beta=1.5, mu=1.0)
+
+    def test_computation_error_from_empty_solver_chain(self):
+        from repro.robust.facade import solve_robust
+
+        with pytest.raises(ComputationError):
+            solve_robust(
+                SwitchDimensions(2, 2),
+                [TrafficClass.poisson(0.1)],
+                chain=(),
+            )
+
+    def test_overflow_in_unscaled_recursion(self):
+        dims = SwitchDimensions.square(200)
+        with pytest.raises(OverflowInRecursionError):
+            solve_convolution(
+                dims, [TrafficClass.poisson(1e-5)], mode="float"
+            )
+
+    def test_convergence_error_from_asymptotic_bisection(self):
+        dims = SwitchDimensions.square(64)
+        classes = [TrafficClass.poisson(0.5)]
+        with pytest.raises(ConvergenceError):
+            solve_asymptotic(dims, classes, max_iter=1)
+
+    def test_convergence_error_from_power_iteration(self):
+        space = IndexedStateSpace.build(
+            SwitchDimensions(3, 3), [TrafficClass.poisson(0.3)]
+        )
+        with pytest.raises(ConvergenceError):
+            stationary_vector(space, method="power", max_iter=1)
+
+    def test_simulation_error_from_time_going_backwards(self):
+        stat = TimeWeightedMean()
+        stat.update(1.0, 5.0)
+        with pytest.raises(SimulationError):
+            stat.update(1.0, 4.0)
+
+    def test_simulation_error_from_empty_replications(self):
+        with pytest.raises(SimulationError):
+            t_confidence_interval([])
+
+
+class TestCrossValidateSkipPaths:
+    """The skipped-solver guards added around series and exact."""
+
+    def setup_method(self):
+        self.dims = SwitchDimensions(3, 3)
+        self.classes = [TrafficClass.poisson(0.2, name="p")]
+
+    def test_series_failure_is_skipped_not_fatal(self, monkeypatch):
+        def explode(dims, classes):
+            raise ComputationError("injected series failure")
+
+        monkeypatch.setattr("repro.validation.solve_series", explode)
+        report = cross_validate(self.dims, self.classes)
+        assert "series" not in report.methods
+        assert ("series", "injected series failure") in report.skipped
+        assert report.consistent  # remaining methods still agree
+        assert "skipped (injected series failure)" in report.render()
+
+    def test_exact_failure_is_skipped_not_fatal(self, monkeypatch):
+        def explode(dims, classes):
+            raise ComputationError("injected exact failure")
+
+        monkeypatch.setattr("repro.validation.solve_exact", explode)
+        report = cross_validate(self.dims, self.classes)
+        assert "exact" not in report.methods
+        assert ("exact", "injected exact failure") in report.skipped
+        assert report.consistent
+
+    def test_all_solvers_skipped_is_inconsistent(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise ComputationError("nothing works")
+
+        for name in (
+            "solve_convolution",
+            "solve_mva",
+            "solve_series",
+            "solve_exact",
+        ):
+            monkeypatch.setattr(f"repro.validation.{name}", explode)
+        # Push the state space over the enumeration limit so brute
+        # force and the CTMC are skipped too.
+        monkeypatch.setattr("repro.validation.ENUMERATION_LIMIT", -1)
+        report = cross_validate(self.dims, self.classes)
+        assert report.methods == ()
+        assert not report.consistent
+        assert "INCONSISTENT" in report.render()

@@ -1,0 +1,66 @@
+"""The package's structured key=value logger."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.logging import LOGGER_NAME, configure, get_logger, kv
+
+
+class TestKv:
+    def test_preserves_key_order(self):
+        assert kv(b=1, a=2) == "b=1 a=2"
+
+    def test_compacts_floats(self):
+        assert kv(x=0.123456789) == "x=0.123457"
+        assert kv(x=1e-12) == "x=1e-12"
+
+    def test_quotes_awkward_strings(self):
+        assert kv(msg="two words") == "msg='two words'"
+        assert kv(msg="a=b") == "msg='a=b'"
+        assert kv(msg="") == "msg=''"
+        assert kv(msg="plain") == "msg=plain"
+
+
+class TestLoggerHierarchy:
+    def test_default_is_package_root(self):
+        assert get_logger().name == LOGGER_NAME
+
+    def test_child_names_are_namespaced(self):
+        assert get_logger("sim.crossbar").name == "repro.sim.crossbar"
+        assert get_logger("repro.robust").name == "repro.robust"
+
+
+class TestConfigure:
+    def teardown_method(self):
+        # Remove any handler this test installed.
+        configure(logging.WARNING, stream=io.StringIO())
+        logger = get_logger()
+        for handler in list(logger.handlers):
+            if not isinstance(handler, logging.NullHandler):
+                logger.removeHandler(handler)
+
+    def test_emits_structured_lines(self):
+        stream = io.StringIO()
+        configure(logging.INFO, stream=stream)
+        get_logger("test").info("solver attempt %s", kv(solver="mva"))
+        line = stream.getvalue().strip()
+        assert "level=INFO" in line
+        assert "logger=repro.test" in line
+        assert line.endswith("solver attempt solver=mva")
+
+    def test_idempotent_reconfiguration(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure(logging.INFO, stream=first)
+        configure(logging.INFO, stream=second)
+        get_logger("test").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_silent_below_level(self):
+        stream = io.StringIO()
+        configure(logging.WARNING, stream=stream)
+        get_logger("test").info("quiet")
+        assert stream.getvalue() == ""

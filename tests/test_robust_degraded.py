@@ -1,0 +1,243 @@
+"""Degraded-mode analysis: reduced-switch measures and availability."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions, permutation
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError, InvalidParameterError
+from repro.robust import (
+    FailureMask,
+    PortFailureProcess,
+    availability_weighted_measures,
+    rerouted_classes,
+    solve_degraded,
+    validate_degraded_against_simulation,
+)
+from repro.robust.degraded import tuple_scale
+
+
+@pytest.fixture
+def dims() -> SwitchDimensions:
+    return SwitchDimensions(6, 6)
+
+
+@pytest.fixture
+def classes() -> list[TrafficClass]:
+    return [
+        TrafficClass.poisson(0.1, name="poisson"),
+        TrafficClass.bernoulli(8, 0.05, name="bernoulli"),
+    ]
+
+
+class TestTupleScale:
+    def test_healthy_is_one(self, dims):
+        assert tuple_scale(dims, dims, 1) == pytest.approx(1.0)
+        assert tuple_scale(dims, dims, 2) == pytest.approx(1.0)
+
+    def test_matches_permutation_ratio(self, dims):
+        reduced = SwitchDimensions(4, 5)
+        expected = (
+            permutation(6, 2) * permutation(6, 2)
+            / (permutation(4, 2) * permutation(5, 2))
+        )
+        assert tuple_scale(dims, reduced, 2) == pytest.approx(expected)
+
+    def test_infinite_when_class_cannot_fit(self, dims):
+        assert math.isinf(tuple_scale(dims, SwitchDimensions(1, 6), 2))
+
+
+class TestReroutedClasses:
+    def test_scales_alpha_and_beta(self, dims):
+        cls = TrafficClass(alpha=0.02, beta=-0.01, mu=1.0, a=1)
+        reduced = SwitchDimensions(3, 6)
+        (scaled,) = rerouted_classes(dims, [cls], reduced)
+        factor = tuple_scale(dims, reduced, 1)
+        assert scaled.alpha == pytest.approx(cls.alpha * factor)
+        assert scaled.beta == pytest.approx(cls.beta * factor)
+
+    def test_saturated_when_too_wide(self, dims):
+        cls = TrafficClass.poisson(0.1, a=2)
+        assert rerouted_classes(dims, [cls], SwitchDimensions(1, 6)) == [None]
+
+    def test_saturated_when_pascal_leaves_bpp_region(self, dims):
+        # beta close to mu: any up-scaling pushes beta' >= mu.
+        cls = TrafficClass(alpha=0.1, beta=0.9, mu=1.0, a=1)
+        reduced = SwitchDimensions(2, 2)
+        assert rerouted_classes(dims, [cls], reduced) == [None]
+
+
+class TestSolveDegraded:
+    def test_healthy_mask_matches_plain_solve(self, dims, classes):
+        degraded = solve_degraded(dims, classes, FailureMask.none())
+        full = solve_convolution(dims, classes)
+        for r in range(len(classes)):
+            assert degraded.blocking(r) == pytest.approx(full.blocking(r))
+            assert degraded.concurrency(r) == pytest.approx(
+                full.concurrency(r)
+            )
+            assert degraded.call_acceptance(r) == pytest.approx(
+                full.call_acceptance(r)
+            )
+
+    def test_reroute_equals_reduced_switch_with_scaled_classes(
+        self, dims, classes
+    ):
+        mask = FailureMask.from_ports(inputs=[0, 4], outputs=[1])
+        degraded = solve_degraded(dims, classes, mask, routing="reroute")
+        reduced_dims = mask.degraded_dims(dims)
+        scaled = rerouted_classes(dims, classes, reduced_dims)
+        reference = solve_convolution(reduced_dims, scaled)
+        for r in range(len(classes)):
+            assert degraded.blocking(r) == pytest.approx(
+                reference.blocking(r)
+            )
+            assert degraded.concurrency(r) == pytest.approx(
+                reference.concurrency(r)
+            )
+
+    def test_oblivious_routable_factor(self, dims, classes):
+        mask = FailureMask.from_ports(inputs=[0], outputs=[3, 5])
+        degraded = solve_degraded(dims, classes, mask, routing="oblivious")
+        reduced_dims = mask.degraded_dims(dims)
+        reference = solve_convolution(reduced_dims, classes)
+        for r, cls in enumerate(classes):
+            routable = 1.0 / tuple_scale(dims, reduced_dims, cls.a)
+            assert degraded.blocking(r) == pytest.approx(
+                1.0 - routable * reference.non_blocking(r)
+            )
+            assert degraded.call_acceptance(r) == pytest.approx(
+                routable * reference.call_acceptance(r)
+            )
+            # Requests cleared at dead ports never touch the live
+            # fabric, so concurrency is that of the unscaled sub-switch.
+            assert degraded.concurrency(r) == pytest.approx(
+                reference.concurrency(r)
+            )
+
+    def test_total_failure_saturates_everything(self, dims, classes):
+        mask = FailureMask.from_ports(inputs=range(6))
+        degraded = solve_degraded(dims, classes, mask)
+        for r in range(len(classes)):
+            assert degraded.saturated[r]
+            assert degraded.blocking(r) == 1.0
+            assert degraded.concurrency(r) == 0.0
+            assert degraded.call_acceptance(r) == 0.0
+
+    def test_call_congestion_complements_acceptance(self, dims, classes):
+        mask = FailureMask.from_ports(outputs=[0])
+        degraded = solve_degraded(dims, classes, mask)
+        for r in range(len(classes)):
+            assert degraded.call_congestion(r) == pytest.approx(
+                1.0 - degraded.call_acceptance(r)
+            )
+
+    def test_render_mentions_saturation(self, dims):
+        wide = TrafficClass.poisson(0.05, a=2, name="wide")
+        mask = FailureMask.from_ports(inputs=range(5))
+        text = solve_degraded(dims, [wide], mask).render()
+        assert "SATURATED" in text
+        assert "1x6" in text
+
+    def test_rejects_bad_routing_and_empty_classes(self, dims, classes):
+        with pytest.raises(ConfigurationError):
+            solve_degraded(dims, classes, FailureMask.none(), routing="psychic")
+        with pytest.raises(ConfigurationError):
+            solve_degraded(dims, [], FailureMask.none())
+
+    def test_rejects_mask_outside_switch(self, dims, classes):
+        with pytest.raises(ConfigurationError):
+            solve_degraded(
+                dims, classes, FailureMask.from_ports(inputs=[6])
+            )
+
+
+class TestAvailabilityWeighted:
+    def test_full_availability_equals_healthy(self, dims, classes):
+        weighted = availability_weighted_measures(dims, classes, 1.0)
+        full = solve_convolution(dims, classes)
+        assert weighted.coverage == pytest.approx(1.0)
+        for r in range(len(classes)):
+            assert weighted.blocking[r] == pytest.approx(full.blocking(r))
+            assert weighted.concurrency[r] == pytest.approx(
+                full.concurrency(r)
+            )
+
+    def test_zero_availability_blocks_everything(self, dims, classes):
+        weighted = availability_weighted_measures(dims, classes, 0.0)
+        for r in range(len(classes)):
+            assert weighted.blocking[r] == pytest.approx(1.0)
+            assert weighted.concurrency[r] == pytest.approx(0.0)
+
+    def test_lower_availability_worsens_poisson_blocking(self, dims):
+        classes = [TrafficClass.poisson(0.1)]
+        high = availability_weighted_measures(dims, classes, 0.99)
+        low = availability_weighted_measures(dims, classes, 0.8)
+        assert low.blocking[0] > high.blocking[0]
+
+    def test_accepts_processes(self, dims, classes):
+        process = PortFailureProcess(mtbf=99.0, mttr=1.0)
+        via_process = availability_weighted_measures(dims, classes, process)
+        via_float = availability_weighted_measures(
+            dims, classes, process.availability
+        )
+        assert via_process.blocking == pytest.approx(via_float.blocking)
+
+    def test_oblivious_and_reroute_agree_at_full_availability(
+        self, dims, classes
+    ):
+        reroute = availability_weighted_measures(
+            dims, classes, 1.0, routing="reroute"
+        )
+        oblivious = availability_weighted_measures(
+            dims, classes, 1.0, routing="oblivious"
+        )
+        assert reroute.blocking == pytest.approx(oblivious.blocking)
+
+    def test_coverage_reported_when_tail_truncates(self, dims, classes):
+        weighted = availability_weighted_measures(
+            dims, classes, 0.9, tail=1e-3
+        )
+        assert 0.9 < weighted.coverage < 1.0
+
+    def test_rejects_bad_availability(self, dims, classes):
+        with pytest.raises(InvalidParameterError):
+            availability_weighted_measures(dims, classes, 1.5)
+
+    def test_render(self, dims, classes):
+        text = availability_weighted_measures(dims, classes, 0.95).render()
+        assert "A_in=0.95" in text
+        assert "poisson" in text
+
+
+class TestAgainstSimulation:
+    def test_acceptance_within_ci_on_two_class_config(self):
+        # The PR's acceptance criterion: on a <= 8x8 switch with two
+        # classes, the fault-injected simulator's acceptance ratio
+        # agrees with the degraded-mode analysis within the 95% CI.
+        dims = SwitchDimensions(6, 6)
+        classes = [
+            TrafficClass.poisson(0.12, name="poisson"),
+            TrafficClass.bernoulli(10, 0.04, name="bernoulli"),
+        ]
+        mask = FailureMask.from_ports(inputs=[0, 3], outputs=[5])
+        result = validate_degraded_against_simulation(
+            dims, classes, mask,
+            horizon=1500.0, warmup=150.0, replications=8, seed=11,
+        )
+        assert result["covered"], result["classes"]
+
+    def test_oblivious_acceptance_within_ci(self):
+        dims = SwitchDimensions(5, 5)
+        classes = [TrafficClass.poisson(0.15, name="poisson")]
+        mask = FailureMask.from_ports(inputs=[2], outputs=[0])
+        result = validate_degraded_against_simulation(
+            dims, classes, mask,
+            horizon=1500.0, warmup=150.0, replications=8, seed=5,
+            routing="oblivious",
+        )
+        assert result["covered"], result["classes"]

@@ -1,0 +1,237 @@
+"""The resilient solver facade: fallback order, budgets, diagnostics."""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ComputationError, ConvergenceError
+from repro.robust.facade import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    STATUS_UNHEALTHY,
+    NoHealthySolutionError,
+    SolverSpec,
+    check_solution_health,
+    default_chain,
+    solve_robust,
+)
+
+
+@pytest.fixture
+def dims() -> SwitchDimensions:
+    return SwitchDimensions(4, 4)
+
+
+@pytest.fixture
+def classes() -> list[TrafficClass]:
+    return [TrafficClass.poisson(0.1, name="poisson")]
+
+
+class FakeClock:
+    """Monotonic fake advancing a fixed step per reading."""
+
+    def __init__(self, step: float) -> None:
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class FakeSolution:
+    def __init__(self, blocking=0.5, concurrency=1.0):
+        self._b = blocking
+        self._e = concurrency
+
+    def blocking(self, r):
+        return self._b
+
+    def concurrency(self, r):
+        return self._e
+
+
+def failing(name: str, exc: Exception) -> SolverSpec:
+    def solve(dims, classes):
+        raise exc
+
+    return SolverSpec(name, solve)
+
+
+def sleeping(name: str, seconds: float) -> SolverSpec:
+    def solve(dims, classes):
+        time.sleep(seconds)
+        return FakeSolution()
+
+    return SolverSpec(name, solve)
+
+
+class TestDefaultChain:
+    def test_healthy_config_uses_first_solver(self, dims, classes):
+        result = solve_robust(dims, classes)
+        assert result.method == "mva"
+        assert result.diagnostics.chosen == "mva"
+        assert result.diagnostics.attempted == ("mva",)
+        assert result.solution.blocking(0) == pytest.approx(
+            solve_convolution(dims, classes).blocking(0)
+        )
+
+    def test_chain_order(self):
+        names = [spec.name for spec in default_chain()]
+        assert names == [
+            "mva", "convolution/log", "convolution/scaled", "series", "exact",
+        ]
+
+    def test_exact_guard_skips_large_switches(self, classes):
+        big = SwitchDimensions(64, 64)
+        guard = default_chain()[-1].guard
+        assert guard is not None
+        assert "capacity" in guard(big, classes)
+        assert guard(SwitchDimensions(4, 4), classes) is None
+
+
+class TestFallback:
+    def test_falls_through_failures_to_healthy_solver(self, dims, classes):
+        # The PR's acceptance criterion: earlier solvers forced to fail
+        # still yield a healthy solution plus complete diagnostics.
+        chain = (
+            failing("broken", ComputationError("injected")),
+            failing("diverged", ConvergenceError("injected")),
+            SolverSpec("real", solve_convolution),
+        )
+        result = solve_robust(dims, classes, chain=chain)
+        assert result.method == "real"
+        diag = result.diagnostics
+        assert [a.solver for a in diag.attempts] == [
+            "broken", "diverged", "real",
+        ]
+        assert diag.attempt("broken").status == STATUS_ERROR
+        assert "ComputationError" in diag.attempt("broken").detail
+        assert diag.attempt("diverged").status == STATUS_ERROR
+        assert diag.attempt("real").status == STATUS_OK
+        assert diag.attempted == ("broken", "diverged", "real")
+
+    def test_unhealthy_solution_is_rejected(self, dims, classes):
+        chain = (
+            SolverSpec("nan", lambda d, c: FakeSolution(blocking=math.nan)),
+            SolverSpec("big", lambda d, c: FakeSolution(blocking=1.5)),
+            SolverSpec("negative", lambda d, c: FakeSolution(concurrency=-1.0)),
+            SolverSpec("good", lambda d, c: FakeSolution()),
+        )
+        result = solve_robust(dims, classes, chain=chain)
+        assert result.method == "good"
+        diag = result.diagnostics
+        for name in ("nan", "big", "negative"):
+            assert diag.attempt(name).status == STATUS_UNHEALTHY
+
+    def test_guard_records_skip(self, dims, classes):
+        chain = (
+            SolverSpec("guarded", solve_convolution, lambda d, c: "not today"),
+            SolverSpec("good", solve_convolution),
+        )
+        result = solve_robust(dims, classes, chain=chain)
+        diag = result.diagnostics
+        assert diag.attempt("guarded").status == STATUS_SKIPPED
+        assert diag.attempt("guarded").detail == "not today"
+        assert diag.attempted == ("good",)
+
+    def test_solver_budget_times_out_slow_solver(self, dims, classes):
+        chain = (
+            sleeping("slow", 5.0),
+            SolverSpec("fast", solve_convolution),
+        )
+        result = solve_robust(dims, classes, chain=chain, solver_budget=0.1)
+        assert result.method == "fast"
+        assert result.diagnostics.attempt("slow").status == STATUS_TIMEOUT
+
+    def test_total_budget_skips_remaining_solvers(self, dims, classes):
+        # Each clock reading advances 10s; with a 15s total budget the
+        # second solver starts after the budget is spent.
+        chain = (
+            failing("broken", ComputationError("injected")),
+            SolverSpec("never-ran", solve_convolution),
+        )
+        with pytest.raises(NoHealthySolutionError) as excinfo:
+            solve_robust(
+                dims, classes, chain=chain,
+                total_budget=15.0, clock=FakeClock(10.0),
+            )
+        diag = excinfo.value.diagnostics
+        assert diag.attempt("broken").status == STATUS_ERROR
+        assert diag.attempt("never-ran").status == STATUS_SKIPPED
+        assert diag.attempt("never-ran").detail == "time budget exhausted"
+        assert diag.chosen is None
+
+    def test_all_failures_raise_with_diagnostics(self, dims, classes):
+        chain = (
+            failing("a", ComputationError("first")),
+            failing("b", ComputationError("second")),
+        )
+        with pytest.raises(NoHealthySolutionError) as excinfo:
+            solve_robust(dims, classes, chain=chain)
+        diag = excinfo.value.diagnostics
+        assert len(diag.attempts) == 2
+        assert diag.attempted == ("a", "b")
+        assert "no solver produced a healthy solution" in str(excinfo.value)
+
+    def test_empty_chain_rejected(self, dims, classes):
+        with pytest.raises(ComputationError):
+            solve_robust(dims, classes, chain=())
+
+
+class TestDiagnostics:
+    def test_attempt_lookup_raises_for_unknown(self, dims, classes):
+        result = solve_robust(dims, classes)
+        with pytest.raises(KeyError):
+            result.diagnostics.attempt("nonexistent")
+
+    def test_render_marks_chosen(self, dims, classes):
+        chain = (
+            failing("broken", ComputationError("injected")),
+            SolverSpec("real", solve_convolution),
+        )
+        text = solve_robust(dims, classes, chain=chain).diagnostics.render()
+        assert "* " in text
+        assert "chosen: real" in text
+        assert "broken" in text
+
+
+class TestHealthCheck:
+    def test_accepts_real_solution(self, dims, classes):
+        solution = solve_convolution(dims, classes)
+        assert check_solution_health(solution, 1) is None
+
+    @pytest.mark.parametrize(
+        "solution,needle",
+        [
+            (FakeSolution(blocking=math.nan), "not finite"),
+            (FakeSolution(blocking=math.inf), "not finite"),
+            (FakeSolution(blocking=-0.1), "outside [0, 1]"),
+            (FakeSolution(blocking=1.1), "outside [0, 1]"),
+            (FakeSolution(concurrency=math.nan), "not finite"),
+            (FakeSolution(concurrency=-0.5), "negative"),
+        ],
+    )
+    def test_rejects_unhealthy_values(self, solution, needle):
+        reason = check_solution_health(solution, 1)
+        assert reason is not None and needle in reason
+
+    def test_reports_measure_evaluation_failure(self):
+        class Exploding:
+            def blocking(self, r):
+                raise ComputationError("boom")
+
+            def concurrency(self, r):
+                return 0.0
+
+        reason = check_solution_health(Exploding(), 1)
+        assert "measure evaluation failed" in reason

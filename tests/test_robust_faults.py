@@ -1,0 +1,126 @@
+"""Fault-model primitives: masks, processes, schedules, bundles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import SwitchDimensions
+from repro.exceptions import ConfigurationError, InvalidParameterError
+from repro.robust.faults import (
+    FAIL,
+    INPUT,
+    OUTPUT,
+    REPAIR,
+    FailureMask,
+    FaultModel,
+    PortFailureProcess,
+    ScheduledFault,
+)
+
+
+class TestFailureMask:
+    def test_none_is_healthy(self):
+        mask = FailureMask.none()
+        assert mask.is_healthy
+        assert mask.n_failed == 0
+
+    def test_from_ports_deduplicates(self):
+        mask = FailureMask.from_ports(inputs=[1, 1, 2], outputs=[0])
+        assert mask.inputs == frozenset({1, 2})
+        assert mask.n_failed == 3
+        assert not mask.is_healthy
+
+    def test_rejects_negative_and_non_integer_ports(self):
+        with pytest.raises(ConfigurationError):
+            FailureMask.from_ports(inputs=[-1])
+        with pytest.raises(ConfigurationError):
+            FailureMask.from_ports(outputs=[1.5])
+        with pytest.raises(ConfigurationError):
+            FailureMask.from_ports(inputs=[True])
+
+    def test_validate_for_range(self):
+        dims = SwitchDimensions(4, 3)
+        FailureMask.from_ports(inputs=[3], outputs=[2]).validate_for(dims)
+        with pytest.raises(ConfigurationError):
+            FailureMask.from_ports(inputs=[4]).validate_for(dims)
+        with pytest.raises(ConfigurationError):
+            FailureMask.from_ports(outputs=[3]).validate_for(dims)
+
+    def test_degraded_dims(self):
+        dims = SwitchDimensions(6, 5)
+        mask = FailureMask.from_ports(inputs=[0, 2], outputs=[4])
+        assert mask.degraded_dims(dims) == SwitchDimensions(4, 4)
+
+    def test_degraded_dims_can_reach_zero(self):
+        dims = SwitchDimensions(2, 2)
+        mask = FailureMask.from_ports(inputs=[0, 1], outputs=[0, 1])
+        assert mask.degraded_dims(dims) == SwitchDimensions(0, 0)
+
+    def test_union(self):
+        a = FailureMask.from_ports(inputs=[0])
+        b = FailureMask.from_ports(inputs=[1], outputs=[2])
+        merged = a.union(b)
+        assert merged.inputs == frozenset({0, 1})
+        assert merged.outputs == frozenset({2})
+
+
+class TestPortFailureProcess:
+    def test_availability(self):
+        process = PortFailureProcess(mtbf=99.0, mttr=1.0)
+        assert process.availability == pytest.approx(0.99)
+        assert process.unavailability == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("mtbf,mttr", [(0.0, 1.0), (1.0, 0.0),
+                                           (-1.0, 1.0), (float("inf"), 1.0)])
+    def test_rejects_bad_parameters(self, mtbf, mttr):
+        with pytest.raises(InvalidParameterError):
+            PortFailureProcess(mtbf=mtbf, mttr=mttr)
+
+
+class TestScheduledFault:
+    def test_valid(self):
+        fault = ScheduledFault(time=1.0, side=INPUT, port=0)
+        assert fault.kind == FAIL
+        ScheduledFault(time=0.0, side=OUTPUT, port=3, kind=REPAIR)
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            ScheduledFault(time=-1.0, side=INPUT, port=0)
+        with pytest.raises(ConfigurationError):
+            ScheduledFault(time=1.0, side="sideways", port=0)
+        with pytest.raises(ConfigurationError):
+            ScheduledFault(time=1.0, side=INPUT, port=0, kind="explode")
+        with pytest.raises(ConfigurationError):
+            ScheduledFault(time=1.0, side=INPUT, port=-2)
+
+
+class TestFaultModel:
+    def test_static(self):
+        mask = FailureMask.from_ports(inputs=[1])
+        model = FaultModel.static(mask)
+        assert model.is_static
+        assert model.initial_mask == mask
+
+    def test_exponential_sides(self):
+        model = FaultModel.exponential(mtbf=10.0, mttr=1.0, outputs=False)
+        assert model.input_process is not None
+        assert model.output_process is None
+        assert not model.is_static
+
+    def test_schedule_breaks_static(self):
+        model = FaultModel(
+            schedule=[ScheduledFault(time=1.0, side=INPUT, port=0)]
+        )
+        assert not model.is_static
+
+    def test_validate_for_checks_mask_and_schedule(self):
+        dims = SwitchDimensions(2, 2)
+        FaultModel.static(FailureMask.from_ports(inputs=[1])).validate_for(dims)
+        with pytest.raises(ConfigurationError):
+            FaultModel.static(
+                FailureMask.from_ports(outputs=[2])
+            ).validate_for(dims)
+        with pytest.raises(ConfigurationError):
+            FaultModel(
+                schedule=[ScheduledFault(time=1.0, side=OUTPUT, port=5)]
+            ).validate_for(dims)

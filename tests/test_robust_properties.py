@@ -1,0 +1,88 @@
+"""Property-based tests for the resilience layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.convolution import solve_convolution
+from repro.robust import FailureMask, solve_degraded
+from repro.robust.facade import NoHealthySolutionError, solve_robust
+
+from tests.strategies import (
+    classes_strategy,
+    dims_and_mask,
+    dims_strategy,
+    failure_mask_for,
+    non_peaky_classes_strategy,
+)
+from hypothesis import strategies as st
+
+
+@st.composite
+def degraded_scenario(draw):
+    dims = draw(dims_strategy)
+    mask = draw(failure_mask_for(dims))
+    classes = draw(non_peaky_classes_strategy)
+    return dims, mask, classes
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenario=degraded_scenario())
+def test_failures_never_improve_nonpeaky_blocking(scenario):
+    """Port failures cannot lower blocking for smooth unit-rate traffic.
+
+    This is the monotonicity law of rerouted (demand-conserving)
+    degradation, and it holds exactly in the regime generated here:
+    Bernoulli/Poisson classes with ``a = 1``.  Outside it — Pascal
+    peakedness or multi-rate geometry — genuine counterexamples exist;
+    see ``docs/robustness.md``.
+    """
+    dims, mask, classes = scenario
+    healthy = solve_convolution(dims, classes)
+    degraded = solve_degraded(dims, classes, mask, routing="reroute")
+    for r in range(len(classes)):
+        assert degraded.blocking(r) >= healthy.blocking(r) - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenario=degraded_scenario())
+def test_degraded_measures_within_bounds(scenario):
+    dims, mask, classes = scenario
+    degraded = solve_degraded(dims, classes, mask)
+    for r in range(len(classes)):
+        assert -1e-12 <= degraded.blocking(r) <= 1.0 + 1e-12
+        assert degraded.concurrency(r) >= -1e-12
+        assert -1e-12 <= degraded.call_acceptance(r) <= 1.0 + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_solve_robust_always_names_an_attempted_solver(dims, classes):
+    """Diagnostics are never empty, whether the chain succeeds or not."""
+    try:
+        result = solve_robust(dims, classes)
+    except NoHealthySolutionError as exc:
+        diagnostics = exc.diagnostics
+        assert diagnostics.chosen is None
+    else:
+        diagnostics = result.diagnostics
+        assert diagnostics.chosen == result.method
+        assert (
+            diagnostics.attempt(result.method).status == "ok"
+        )
+    assert len(diagnostics.attempted) >= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(dims=dims_strategy, classes=classes_strategy)
+def test_solve_robust_matches_convolution_when_healthy(dims, classes):
+    try:
+        result = solve_robust(dims, classes)
+    except NoHealthySolutionError:
+        return
+    reference = solve_convolution(dims, classes)
+    for r in range(len(classes)):
+        assert result.solution.blocking(r) == pytest.approx(
+            reference.blocking(r), rel=1e-6, abs=1e-9
+        )

@@ -1,0 +1,262 @@
+"""Fault injection in the simulator and the hardened runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.robust.faults import (
+    INPUT,
+    OUTPUT,
+    REPAIR,
+    FailureMask,
+    FaultModel,
+    ScheduledFault,
+)
+from repro.sim import runner as runner_module
+from repro.sim.crossbar import AsynchronousCrossbarSimulator
+from repro.sim.runner import (
+    _record_from_json,
+    _record_to_json,
+    run_replications,
+)
+
+
+@pytest.fixture
+def dims() -> SwitchDimensions:
+    return SwitchDimensions(4, 4)
+
+
+@pytest.fixture
+def classes() -> list[TrafficClass]:
+    return [TrafficClass.poisson(0.5, name="poisson")]
+
+
+class TestSimulatorFaults:
+    def test_healthy_model_changes_nothing(self, dims, classes):
+        plain = AsynchronousCrossbarSimulator(dims, classes, seed=9)
+        masked = AsynchronousCrossbarSimulator(
+            dims, classes, seed=9, faults=FailureMask.none()
+        )
+        assert plain.run(300.0, warmup=30.0) == masked.run(300.0, warmup=30.0)
+
+    def test_static_mask_reduces_live_ports_exactly(self, dims, classes):
+        mask = FailureMask.from_ports(inputs=[0], outputs=[1, 2])
+        record = AsynchronousCrossbarSimulator(
+            dims, classes, seed=1, faults=mask
+        ).run(200.0, warmup=20.0, check_invariants=True)
+        assert record.mean_live_inputs == pytest.approx(3.0)
+        assert record.mean_live_outputs == pytest.approx(2.0)
+        assert record.failures == 0
+        assert all(c.interrupted == 0 for c in record.classes)
+
+    def test_total_input_failure_blocks_everything(self, dims, classes):
+        mask = FailureMask.from_ports(inputs=range(4))
+        record = AsynchronousCrossbarSimulator(
+            dims, classes, seed=2, faults=mask
+        ).run(100.0, check_invariants=True)
+        assert record.classes[0].offered > 0
+        assert record.classes[0].accepted == 0
+        assert record.mean_occupancy == 0.0
+
+    def test_scheduled_failure_clears_connections(self, dims):
+        # Heavy load keeps every port busy, so killing one mid-run must
+        # tear down at least one in-flight connection.
+        classes = [TrafficClass.poisson(2.0, name="hot")]
+        model = FaultModel(
+            schedule=[ScheduledFault(time=50.0, side=INPUT, port=0)]
+        )
+        record = AsynchronousCrossbarSimulator(
+            dims, classes, seed=3, faults=model
+        ).run(100.0, check_invariants=True)
+        assert record.failures == 1
+        assert record.repairs == 0
+        assert record.classes[0].interrupted >= 1
+
+    def test_scheduled_repair_restores_capacity(self, dims, classes):
+        model = FaultModel(
+            schedule=[
+                ScheduledFault(time=10.0, side=OUTPUT, port=3),
+                ScheduledFault(time=20.0, side=OUTPUT, port=3, kind=REPAIR),
+            ]
+        )
+        record = AsynchronousCrossbarSimulator(
+            dims, classes, seed=4, faults=model
+        ).run(30.0, check_invariants=True)
+        assert record.failures == 1
+        assert record.repairs == 1
+        # Down exactly 10 of 30 time units on one of four outputs.
+        assert record.mean_live_outputs == pytest.approx(
+            (4.0 * 20.0 + 3.0 * 10.0) / 30.0
+        )
+        assert record.mean_live_inputs == pytest.approx(4.0)
+
+    def test_duplicate_scheduled_failure_is_noop(self, dims, classes):
+        model = FaultModel(
+            schedule=[
+                ScheduledFault(time=10.0, side=INPUT, port=1),
+                ScheduledFault(time=15.0, side=INPUT, port=1),
+            ]
+        )
+        record = AsynchronousCrossbarSimulator(
+            dims, classes, seed=5, faults=model
+        ).run(30.0, check_invariants=True)
+        assert record.failures == 1
+
+    def test_stochastic_faults_alternate_and_keep_invariants(self, dims):
+        classes = [TrafficClass.poisson(1.0, name="hot")]
+        model = FaultModel.exponential(mtbf=20.0, mttr=2.0)
+        record = AsynchronousCrossbarSimulator(
+            dims, classes, seed=6, faults=model
+        ).run(500.0, warmup=50.0, check_invariants=True)
+        assert record.failures > 0
+        assert record.repairs > 0
+        assert abs(record.failures - record.repairs) <= 8  # one per port
+        assert 0.0 < record.mean_live_inputs < 4.0
+        # availability = 20/22; time-averaged live ports should be near
+        # 4 * availability.
+        assert record.mean_live_inputs == pytest.approx(
+            4.0 * 20.0 / 22.0, rel=0.1
+        )
+
+    def test_oblivious_routing_clears_requests_at_dead_ports(self, dims):
+        classes = [TrafficClass.poisson(0.5, name="poisson")]
+        mask = FailureMask.from_ports(inputs=[0, 1])
+        reroute = AsynchronousCrossbarSimulator(
+            dims, classes, seed=7, faults=mask, routing="reroute"
+        ).run(400.0, warmup=40.0)
+        oblivious = AsynchronousCrossbarSimulator(
+            dims, classes, seed=7, faults=mask, routing="oblivious"
+        ).run(400.0, warmup=40.0)
+        # Oblivious sources waste half their requests on dead inputs, so
+        # they see strictly worse acceptance than rerouting sources.
+        assert (
+            oblivious.classes[0].acceptance_ratio
+            < reroute.classes[0].acceptance_ratio
+        )
+
+    def test_rejects_bad_routing(self, dims, classes):
+        with pytest.raises(ConfigurationError):
+            AsynchronousCrossbarSimulator(
+                dims, classes, routing="telepathic"
+            )
+
+    def test_rejects_mask_outside_switch(self, dims, classes):
+        with pytest.raises(ConfigurationError):
+            AsynchronousCrossbarSimulator(
+                dims, classes, faults=FailureMask.from_ports(inputs=[4])
+            )
+
+
+class FlakySimulator(AsynchronousCrossbarSimulator):
+    """Raises SimulationError whenever built with a poisoned seed."""
+
+    poisoned: set[int] = set()
+    seeds_run: list[int] = []
+
+    def __init__(self, dims, classes, **kwargs):
+        self._test_seed = kwargs.get("seed")
+        super().__init__(dims, classes, **kwargs)
+
+    def run(self, *args, **kwargs):
+        FlakySimulator.seeds_run.append(self._test_seed)
+        if self._test_seed in FlakySimulator.poisoned:
+            raise SimulationError("injected flake")
+        return super().run(*args, **kwargs)
+
+
+class TestRunnerHardening:
+    def test_retry_with_reseed(self, dims, classes, monkeypatch):
+        FlakySimulator.poisoned = {3}  # replication 0's base seed
+        FlakySimulator.seeds_run = []
+        monkeypatch.setattr(
+            runner_module, "AsynchronousCrossbarSimulator", FlakySimulator
+        )
+        summary = run_replications(
+            dims, classes, horizon=50.0, replications=2, seed=3,
+            max_retries=2,
+        )
+        assert summary.replications == 2
+        assert FlakySimulator.seeds_run == [3, 3 + 1_000_003, 4]
+
+    def test_exhausted_retries_propagate(self, dims, classes, monkeypatch):
+        FlakySimulator.poisoned = {3, 3 + 1_000_003}
+        FlakySimulator.seeds_run = []
+        monkeypatch.setattr(
+            runner_module, "AsynchronousCrossbarSimulator", FlakySimulator
+        )
+        with pytest.raises(SimulationError):
+            run_replications(
+                dims, classes, horizon=50.0, replications=1, seed=3,
+                max_retries=1,
+            )
+        assert FlakySimulator.seeds_run == [3, 3 + 1_000_003]
+
+    def test_rejects_negative_max_retries(self, dims, classes):
+        with pytest.raises(ConfigurationError):
+            run_replications(
+                dims, classes, horizon=50.0, max_retries=-1
+            )
+
+    def test_checkpoint_resumes_without_recomputing(
+        self, dims, classes, monkeypatch, tmp_path
+    ):
+        checkpoint = tmp_path / "reps.jsonl"
+        first = run_replications(
+            dims, classes, horizon=50.0, replications=3, seed=0,
+            checkpoint=checkpoint,
+        )
+        assert len(checkpoint.read_text().splitlines()) == 3
+
+        FlakySimulator.poisoned = set()
+        FlakySimulator.seeds_run = []
+        monkeypatch.setattr(
+            runner_module, "AsynchronousCrossbarSimulator", FlakySimulator
+        )
+        second = run_replications(
+            dims, classes, horizon=50.0, replications=5, seed=0,
+            checkpoint=checkpoint,
+        )
+        # Only the two new replications were simulated.
+        assert FlakySimulator.seeds_run == [3, 4]
+        assert second.records[:3] == first.records
+        assert len(checkpoint.read_text().splitlines()) == 5
+
+    def test_checkpoint_rejects_mismatched_experiment(
+        self, dims, classes, tmp_path
+    ):
+        checkpoint = tmp_path / "reps.jsonl"
+        run_replications(
+            dims, classes, horizon=50.0, replications=1,
+            checkpoint=checkpoint,
+        )
+        with pytest.raises(ConfigurationError):
+            run_replications(
+                dims, classes, horizon=60.0, replications=1,
+                checkpoint=checkpoint,
+            )
+
+    def test_record_json_round_trip(self, dims, classes):
+        mask = FailureMask.from_ports(inputs=[0])
+        record = AsynchronousCrossbarSimulator(
+            dims, classes, seed=8, faults=mask
+        ).run(100.0, warmup=10.0)
+        payload = json.loads(json.dumps(_record_to_json(record)))
+        assert _record_from_json(payload) == record
+
+    def test_faults_passthrough_matches_direct_simulation(
+        self, dims, classes
+    ):
+        mask = FailureMask.from_ports(outputs=[2])
+        summary = run_replications(
+            dims, classes, horizon=100.0, replications=2, seed=1,
+            faults=mask, routing="oblivious",
+        )
+        direct = AsynchronousCrossbarSimulator(
+            dims, classes, seed=1, faults=mask, routing="oblivious"
+        ).run(100.0)
+        assert summary.records[0] == direct
