@@ -1,0 +1,188 @@
+"""Benchmark the batched evaluation engine against point-by-point solves.
+
+Three checks, all asserted (the script exits non-zero on failure) and
+all recorded in ``BENCH_engine.json``:
+
+1. **Sweep speedup** — a square size sweep (two BPP classes, Algorithm
+   1) through ``BatchSolver.evaluate_many`` must beat solving each size
+   independently, with *numerically identical* per-class blocking and
+   concurrency.  The batch needs one Q-grid at the largest size; the
+   point-by-point loop pays ``O(n^2 R)`` per size.
+2. **Robust availability hit-rate** — the availability-weighted
+   degraded-mode analysis on a 16-port switch followed by three failure
+   masks and a second availability pass must serve more than half of
+   its engine lookups from cache (mask cells share degraded shapes).
+3. **Second-pass hit-rate** — re-evaluating the sweep batch on the same
+   engine must be pure cache hits (nonzero hit-rate, zero solves).
+
+Run ``python benchmarks/bench_engine.py --quick`` for the CI-sized
+variant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.api import SolveRequest
+from repro.core.convolution import solve_convolution
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.engine import BatchSolver, EngineConfig, set_default_engine
+from repro.robust import FailureMask, availability_weighted_measures, solve_degraded
+
+#: Two size-independent per-pair BPP classes (Poisson + peaky Pascal),
+#: light enough to be admissible on every sweep size.
+SWEEP_CLASSES = (
+    TrafficClass.poisson(0.002, name="data"),
+    TrafficClass(alpha=0.001, beta=0.0005, name="video"),
+)
+
+
+def bench_sweep(n_lo: int, n_hi: int, min_speedup: float) -> dict:
+    """Batched vs point-by-point size sweep; asserts identity + speedup."""
+    sizes = list(range(n_lo, n_hi + 1))
+    requests = [SolveRequest.square(n, SWEEP_CLASSES) for n in sizes]
+
+    began = time.perf_counter()
+    baseline = [
+        solve_convolution(SwitchDimensions.square(n), SWEEP_CLASSES)
+        for n in sizes
+    ]
+    baseline_elapsed = time.perf_counter() - began
+
+    engine = BatchSolver(EngineConfig())
+    began = time.perf_counter()
+    results = engine.evaluate_many(requests)
+    batch_elapsed = time.perf_counter() - began
+
+    for n, result, direct in zip(sizes, results, baseline):
+        expect_b = tuple(direct.blocking(r) for r in range(len(SWEEP_CLASSES)))
+        expect_e = tuple(
+            direct.concurrency(r) for r in range(len(SWEEP_CLASSES))
+        )
+        assert result.blocking == expect_b, (
+            f"N={n}: batched blocking {result.blocking} != point solve "
+            f"{expect_b}"
+        )
+        assert result.concurrency == expect_e, (
+            f"N={n}: batched concurrency {result.concurrency} != point "
+            f"solve {expect_e}"
+        )
+
+    speedup = baseline_elapsed / batch_elapsed if batch_elapsed > 0 else float("inf")
+    assert speedup >= min_speedup, (
+        f"sweep speedup {speedup:.2f}x below the {min_speedup:g}x floor "
+        f"(baseline {baseline_elapsed:.4f}s, batch {batch_elapsed:.4f}s)"
+    )
+
+    # Second pass on the same engine: everything must come from cache.
+    second = engine.evaluate_many(requests)
+    metrics = engine.last_metrics
+    assert metrics is not None
+    assert metrics.hit_rate > 0.0, "second pass recorded no cache hits"
+    assert metrics.solved == 0, "second pass re-solved cached requests"
+    assert [s.blocking for s in second] == [r.blocking for r in results]
+
+    return {
+        "sizes": [n_lo, n_hi],
+        "points": len(sizes),
+        "baseline_seconds": baseline_elapsed,
+        "batch_seconds": batch_elapsed,
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "identical": True,
+        "first_pass": engine_first_pass_metrics(results),
+        "second_pass": metrics.to_dict(),
+    }
+
+
+def engine_first_pass_metrics(results) -> dict:
+    return {
+        "from_cache": sum(r.from_cache for r in results),
+        "total": len(results),
+    }
+
+
+def bench_robust_availability() -> dict:
+    """Availability-weighted + 3-mask scenario on 16 ports; >50% hits."""
+    dims = SwitchDimensions.square(16)
+    classes = (
+        TrafficClass.poisson(0.01, name="data"),
+        TrafficClass(alpha=0.004, beta=0.002, name="video"),
+    )
+    masks = (
+        FailureMask.from_ports([0], []),
+        FailureMask.from_ports([0, 5], [3]),
+        FailureMask.from_ports([], [1, 9]),
+    )
+
+    engine = BatchSolver(EngineConfig())
+    previous = set_default_engine(engine)
+    try:
+        began = time.perf_counter()
+        availability_weighted_measures(dims, classes, 0.98, routing="reroute")
+        for mask in masks:
+            solve_degraded(dims, classes, mask, routing="reroute")
+        availability_weighted_measures(dims, classes, 0.98, routing="reroute")
+        elapsed = time.perf_counter() - began
+    finally:
+        set_default_engine(previous)
+
+    stats = engine.stats.snapshot()
+    assert stats["hit_rate"] > 0.5, (
+        f"availability-weighted cache hit-rate {stats['hit_rate']:.3f} "
+        "did not exceed 50%"
+    )
+    return {
+        "dims": [dims.n1, dims.n2],
+        "masks": len(masks),
+        "elapsed_seconds": elapsed,
+        **stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: smaller sweep, relaxed speedup floor",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_engine.json",
+        help="where to write the JSON report (default: ./BENCH_engine.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sweep = bench_sweep(4, 32, min_speedup=2.0)
+    else:
+        sweep = bench_sweep(4, 64, min_speedup=5.0)
+    robust = bench_robust_availability()
+
+    report = {
+        "benchmark": "engine",
+        "quick": args.quick,
+        "sweep": sweep,
+        "robust_availability": robust,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(
+        f"\nsweep speedup {sweep['speedup']:.1f}x "
+        f"(floor {sweep['min_speedup']:g}x); "
+        f"second-pass hit-rate {sweep['second_pass']['hit_rate']:.0%}; "
+        f"availability hit-rate {robust['hit_rate']:.1%} -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except AssertionError as exc:
+        print(f"BENCH FAILURE: {exc}", file=sys.stderr)
+        sys.exit(1)

@@ -28,6 +28,10 @@ True
 
 Package map
 -----------
+* :mod:`repro.api` -- the unified typed entry point
+  (``SolveRequest -> solve/solve_many -> SolveResult``);
+* :mod:`repro.engine` -- the batched, memoizing evaluation engine
+  behind every solve;
 * :mod:`repro.core` -- the analytical model (paper Sections 2-6);
 * :mod:`repro.ctmc` -- independent CTMC solver (no product form);
 * :mod:`repro.sim` -- discrete-event simulator (paper's future work);
@@ -38,6 +42,7 @@ Package map
 * :mod:`repro.reporting` -- text tables and series for the benchmarks.
 """
 
+from .api import SolveRequest, SolveResult, solve, solve_many
 from .core import (
     AsymptoticSolution,
     CrossbarModel,
@@ -73,6 +78,7 @@ from .exceptions import (
     OverflowInRecursionError,
     SimulationError,
 )
+from .methods import SolveMethod
 from .robust import (
     FailureMask,
     FaultModel,
@@ -111,6 +117,11 @@ __all__ = [
     "PortFailureProcess",
     "RobustSolution",
     "SimulationError",
+    "SolveMethod",
+    "SolveRequest",
+    "SolveResult",
+    "solve",
+    "solve_many",
     "SolverDiagnostics",
     "availability_weighted_measures",
     "solve_degraded",

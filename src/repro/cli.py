@@ -20,10 +20,10 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from .core.convolution import solve_convolution
 from .core.state import SwitchDimensions
 from .core.traffic import TrafficClass
 from .exceptions import ConfigurationError, CrossbarError
+from .methods import SolveMethod
 from .multistage import TandemNetwork, analyze_tandem
 from .reporting.tables import format_table
 from .sim import compare_with_analysis, run_replications
@@ -139,8 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("solve", help="solve an arbitrary configuration")
     _add_traffic_arguments(p, required=False)
     p.add_argument(
-        "--method", default="convolution",
-        choices=("convolution", "mva"), help="algorithm",
+        "--method", default=SolveMethod.CONVOLUTION.value,
+        choices=tuple(
+            m.value for m in SolveMethod
+            # robust has its own subcommand; the series solver does not
+            # expose the full summary/JSON measure set.
+            if m not in (SolveMethod.ROBUST, SolveMethod.SERIES)
+        ),
+        help="algorithm",
     )
     p.add_argument(
         "--config", help="JSON model file (see repro.io); overrides --n "
@@ -351,12 +357,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         classes = _parse_classes(args)
 
     if args.command == "solve":
-        if args.method == "mva":
-            from .core.mva import solve_mva
+        from .api import SolveRequest
+        from .engine import get_default_engine
 
-            solution = solve_mva(dims, classes)
-        else:
-            solution = solve_convolution(dims, classes)
+        solution = get_default_engine().solution_for(
+            SolveRequest(dims, tuple(classes), args.method)
+        )
         if args.as_json:
             import json
 

@@ -33,24 +33,23 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..exceptions import ConfigurationError
-from .convolution import solve_convolution
-from .exact import solve_exact
+from ..methods import SolveMethod
 from .measures import PerformanceSolution
-from .mva import solve_mva
 from .productform import StateDistribution, solve_brute_force
 from .state import SwitchDimensions, state_space_size
 from .traffic import TrafficClass
 
-__all__ = ["CrossbarModel"]
+__all__ = ["CrossbarModel", "solve_brute_force_solution"]
 
-#: Methods accepted by :meth:`CrossbarModel.solve`.
+#: Methods accepted by :meth:`CrossbarModel.solve` (kept for backward
+#: compatibility; the canonical list is :class:`repro.SolveMethod`).
 METHODS = (
-    "convolution",
-    "convolution-scaled",
-    "convolution-float",
-    "mva",
-    "exact",
-    "brute-force",
+    SolveMethod.CONVOLUTION.value,
+    SolveMethod.CONVOLUTION_SCALED.value,
+    SolveMethod.CONVOLUTION_FLOAT.value,
+    SolveMethod.MVA.value,
+    SolveMethod.EXACT.value,
+    SolveMethod.BRUTE_FORCE.value,
 )
 
 
@@ -91,30 +90,24 @@ class CrossbarModel:
         """Number of states in ``Gamma(N)``."""
         return state_space_size(self.dims, self.classes)
 
-    def solve(self, method: str = "convolution") -> PerformanceSolution:
+    def solve(
+        self, method: SolveMethod | str = SolveMethod.CONVOLUTION
+    ) -> PerformanceSolution:
         """Solve for all performance measures.
 
         See the module docstring for the method table.  All methods
         return the same :class:`PerformanceSolution` interface and agree
         to within floating-point error (the test suite asserts this).
+
+        This is now a thin delegate over the process-wide batched
+        engine (:mod:`repro.engine`): repeated solves of an equivalent
+        model are served from its memo.
         """
-        if method == "convolution":
-            return solve_convolution(self.dims, self.classes, mode="log")
-        if method == "convolution-scaled":
-            return solve_convolution(self.dims, self.classes, mode="scaled")
-        if method == "convolution-float":
-            return solve_convolution(self.dims, self.classes, mode="float")
-        if method == "mva":
-            return solve_mva(self.dims, self.classes)
-        if method == "exact":
-            return solve_exact(self.dims, self.classes)
-        if method == "brute-force":
-            dist = self.distribution()
-            # Re-expose as the common interface via the ratio identity.
-            return _solution_from_distribution(self, dist)
-        raise ConfigurationError(
-            f"unknown method {method!r}; expected one of {METHODS}"
-        )
+        from ..api import SolveRequest
+        from ..engine import get_default_engine
+
+        request = SolveRequest(self.dims, self.classes, method)
+        return get_default_engine().solution_for(request)
 
     def distribution(self) -> StateDistribution:
         """The full stationary distribution (brute-force enumeration).
@@ -193,10 +186,10 @@ class CrossbarModel:
         return CrossbarModel(SwitchDimensions.square(n), tuple(new_classes))
 
 
-def _solution_from_distribution(
-    model: CrossbarModel, dist: StateDistribution
+def solve_brute_force_solution(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
 ) -> PerformanceSolution:
-    """Wrap a brute-force distribution in the common solution type.
+    """Brute-force state-space summation as the common solution type.
 
     The H grids are only filled at the full dimensions (sub-dimension
     queries would need one enumeration each), which is enough for the
@@ -208,10 +201,11 @@ def _solution_from_distribution(
 
     from .state import permutation
 
-    dims = model.dims
+    classes = tuple(classes)
+    dist = solve_brute_force(dims, classes)
     h_grids = []
-    needs_diagonal = any(c.is_bursty for c in model.classes)
-    for r, cls in enumerate(model.classes):
+    needs_diagonal = any(c.is_bursty for c in classes)
+    for r, cls in enumerate(classes):
         grid = np.zeros((dims.n1 + 1, dims.n2 + 1))
         a = cls.a
         points = [(dims.n1, dims.n2)]
@@ -225,7 +219,7 @@ def _solution_from_distribution(
             sub = SwitchDimensions(m1, m2)
             sub_dist = (
                 dist if (m1, m2) == (dims.n1, dims.n2)
-                else solve_brute_force(sub, model.classes)
+                else solve_brute_force(sub, classes)
             )
             grid[m1, m2] = sub_dist.non_blocking_probability(r) * (
                 permutation(m1, a) * permutation(m2, a)
@@ -233,8 +227,16 @@ def _solution_from_distribution(
         h_grids.append(grid)
     return PerformanceSolution(
         dims=dims,
-        classes=model.classes,
+        classes=classes,
         h=tuple(h_grids),
         log_q=None,
         method="brute-force",
     )
+
+
+def _solution_from_distribution(
+    model: CrossbarModel, dist: StateDistribution
+) -> PerformanceSolution:
+    """Backward-compatible wrapper over :func:`solve_brute_force_solution`."""
+    del dist  # recomputed; kept only for signature compatibility
+    return solve_brute_force_solution(model.dims, model.classes)

@@ -1,0 +1,43 @@
+"""Batched, cached evaluation engine for crossbar solve requests.
+
+See :class:`BatchSolver` for the execution model: canonical cache keys
+(:mod:`repro.engine.keys`), LRU + optional disk caches
+(:mod:`repro.engine.cache`), shared Algorithm 1 Q-grids for size
+sweeps, and process-parallel fan-out for independent misses.
+"""
+
+from .batch import (
+    BatchMetrics,
+    BatchSolver,
+    EngineConfig,
+    EngineStats,
+    get_default_engine,
+    reset_default_engine,
+    set_default_engine,
+    sliced_solution,
+)
+from .cache import (
+    CacheCorruptionError,
+    DiskCache,
+    LRUCache,
+    StaleCacheKeyError,
+)
+from .keys import classes_key, key_digest, request_key
+
+__all__ = [
+    "BatchMetrics",
+    "BatchSolver",
+    "EngineConfig",
+    "EngineStats",
+    "get_default_engine",
+    "reset_default_engine",
+    "set_default_engine",
+    "sliced_solution",
+    "CacheCorruptionError",
+    "DiskCache",
+    "LRUCache",
+    "StaleCacheKeyError",
+    "classes_key",
+    "key_digest",
+    "request_key",
+]

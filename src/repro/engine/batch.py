@@ -1,0 +1,651 @@
+"""The batched evaluation engine: memoized, grid-sharing, parallel.
+
+:class:`BatchSolver` is the execution layer behind the unified solve
+API (:mod:`repro.api`).  It exploits three structural facts about the
+model:
+
+1. **Memoization** — requests canonicalize into exact cache keys
+   (:mod:`repro.engine.keys`), so identical models are never solved
+   twice.  An LRU holds :class:`~repro.api.SolveResult` records (plus a
+   smaller memo of full solution objects); an optional
+   :class:`~repro.engine.cache.DiskCache` persists results as JSON.
+2. **Q-grid reuse** — Algorithm 1 computes the normalization grid
+   ``Q(n)`` *for every sub-dimension* ``n <= N`` in one ``O(N1 N2 R)``
+   pass, and every measure is a ratio read ``G(N - a_r 1_i)/G(N)`` off
+   that grid.  A size sweep therefore needs **one** solve at the
+   largest requested dimensions, not one per point;
+   :meth:`BatchSolver.evaluate_many` groups batch members that share a
+   traffic mix and grid method and serves the whole group from the
+   single big grid.  The sub-dimension reads are bit-for-bit identical
+   to individual solves (the recurrence at cell ``(m1, m2)`` never
+   looks at cells beyond it).
+3. **Independence** — cache-miss requests that cannot share a grid are
+   embarrassingly parallel; large miss batches fan out over a
+   ``ProcessPoolExecutor`` with deterministic (request-order) results.
+
+Every batch records a :class:`BatchMetrics` (timings, hit counts,
+grid reuse) surfaced through :mod:`repro.logging` and kept on
+``engine.last_metrics``; cumulative counters live on ``engine.stats``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from ..api import SolveRequest, SolveResult
+from ..core.measures import PerformanceSolution
+from ..exceptions import ComputationError, ConfigurationError, CrossbarError
+from ..logging import get_logger, kv
+from ..methods import SolveMethod
+from .cache import DiskCache, LRUCache
+from .keys import canonical_order, class_params, classes_key
+
+__all__ = [
+    "BatchMetrics",
+    "BatchSolver",
+    "EngineConfig",
+    "EngineStats",
+    "get_default_engine",
+    "set_default_engine",
+    "reset_default_engine",
+]
+
+logger = get_logger("engine.batch")
+
+#: Environment variable enabling the on-disk result cache by default.
+CACHE_DIR_ENV = "REPRO_ENGINE_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of a :class:`BatchSolver`."""
+
+    #: Capacity of the scalar-result LRU.
+    lru_size: int = 4096
+    #: Capacity of the (heavier) full-solution memo.
+    solution_lru_size: int = 128
+    #: Directory for the persistent JSON cache; None disables it.
+    disk_cache: str | Path | None = None
+    #: Raise on corrupt/stale disk entries instead of quarantining.
+    strict_cache: bool = False
+    #: Worker processes for parallel batches (None: one per CPU).
+    processes: int | None = None
+    #: Minimum number of non-shareable cache misses in one batch before
+    #: a process pool is worth its start-up cost.
+    parallel_threshold: int = 8
+    #: Requests per pool task; None picks a chunk that gives each
+    #: worker a few tasks.
+    chunk_size: int | None = None
+
+    @classmethod
+    def from_env(cls) -> "EngineConfig":
+        """Default config, honoring ``REPRO_ENGINE_CACHE_DIR``."""
+        return cls(disk_cache=os.environ.get(CACHE_DIR_ENV) or None)
+
+
+class EngineStats:
+    """Cumulative, thread-safe cache counters for one engine."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.lookups = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.solves = 0
+        self.grid_reads = 0
+
+    def _add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from a cache (0 when idle)."""
+        with self._lock:
+            hits = self.memory_hits + self.disk_hits
+            return hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "lookups": self.lookups,
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "solves": self.solves,
+                "grid_reads": self.grid_reads,
+                "hit_rate": (
+                    (self.memory_hits + self.disk_hits) / self.lookups
+                    if self.lookups else 0.0
+                ),
+            }
+
+
+@dataclass(frozen=True)
+class BatchMetrics:
+    """What one :meth:`BatchSolver.evaluate_many` call actually did."""
+
+    requests: int
+    memory_hits: int
+    disk_hits: int
+    #: Number of shared-grid groups and the points they served.
+    grid_groups: int
+    grid_points: int
+    #: Requests solved individually (after cache + grid sharing).
+    solved: int
+    parallel: bool
+    elapsed: float
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.requests:
+            return 0.0
+        return (self.memory_hits + self.disk_hits) / self.requests
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "grid_groups": self.grid_groups,
+            "grid_points": self.grid_points,
+            "solved": self.solved,
+            "parallel": self.parallel,
+            "elapsed": self.elapsed,
+            "hit_rate": self.hit_rate,
+        }
+
+
+# ----------------------------------------------------------------------
+# Method dispatch (shared by the engine and its pool workers)
+# ----------------------------------------------------------------------
+
+
+def _dispatch_solve(request: SolveRequest) -> Any:
+    """Run the requested algorithm; returns the raw solution object."""
+    dims, classes, method = request.dims, request.classes, request.method
+    mode = method.convolution_mode
+    if mode is not None:
+        from ..core.convolution import solve_convolution
+
+        return solve_convolution(dims, classes, mode=mode)
+    if method is SolveMethod.MVA:
+        from ..core.mva import solve_mva
+
+        return solve_mva(dims, classes)
+    if method is SolveMethod.EXACT:
+        from ..core.exact import solve_exact
+
+        return solve_exact(dims, classes)
+    if method is SolveMethod.SERIES:
+        from ..core.series_solver import solve_series
+
+        return solve_series(dims, classes)
+    if method is SolveMethod.BRUTE_FORCE:
+        from ..core.model import solve_brute_force_solution
+
+        return solve_brute_force_solution(dims, classes)
+    if method is SolveMethod.ROBUST:
+        from ..robust.facade import _solve_robust_direct
+
+        return _solve_robust_direct(dims, classes)
+    raise ConfigurationError(
+        f"method {method.value!r} has no engine dispatch"
+    )  # pragma: no cover - enum is exhaustive above
+
+
+def _measurable(solution: Any) -> tuple[Any, str]:
+    """Unwrap container solutions (RobustSolution) to a measure object."""
+    inner = getattr(solution, "solution", None)
+    if inner is not None and hasattr(solution, "diagnostics"):
+        return inner, getattr(solution, "method", "") or "robust"
+    return solution, getattr(solution, "method", "")
+
+
+def _result_from(
+    request: SolveRequest, solution: Any, elapsed: float
+) -> SolveResult:
+    measurable, label = _measurable(solution)
+    return SolveResult.from_solution(
+        request, measurable, solved_by=label, elapsed=elapsed
+    )
+
+
+def _solve_one(request: SolveRequest) -> SolveResult:
+    """Plain uncached solve -> result; the pool-worker entry point."""
+    began = time.perf_counter()
+    solution = _dispatch_solve(request)
+    return _result_from(request, solution, time.perf_counter() - began)
+
+
+class _SubDimsView:
+    """Measure adapter reading a grid solution at a sub-switch.
+
+    Presents the ``blocking(r)/concurrency(r)/call_acceptance(r)``
+    interface :meth:`SolveResult.from_solution` expects, with every
+    query pinned ``at`` the member's dimensions.
+    """
+
+    def __init__(self, solution: PerformanceSolution, at) -> None:
+        self._solution = solution
+        self._at = at
+
+    def blocking(self, r: int) -> float:
+        return self._solution.blocking(r, at=self._at)
+
+    def concurrency(self, r: int) -> float:
+        return self._solution.concurrency(r, at=self._at)
+
+    def call_acceptance(self, r: int) -> float:
+        return self._solution.call_acceptance(r, at=self._at)
+
+    @property
+    def method(self) -> str:
+        return self._solution.method
+
+
+def sliced_solution(
+    solution: PerformanceSolution, dims
+) -> PerformanceSolution:
+    """A :class:`PerformanceSolution` restricted to a sub-switch.
+
+    Because Algorithm 1's recurrence at cell ``(m1, m2)`` only reads
+    cells dominated by it, the sliced grids are bit-for-bit what a
+    direct solve at ``dims`` would have produced.
+    """
+    if not solution.dims.contains(dims):
+        raise ConfigurationError(
+            f"cannot slice {solution.dims} down to larger dims {dims}"
+        )
+    n1, n2 = dims.n1, dims.n2
+    return PerformanceSolution(
+        dims=dims,
+        classes=solution.classes,
+        h=tuple(grid[: n1 + 1, : n2 + 1] for grid in solution.h),
+        log_q=(
+            None if solution.log_q is None
+            else solution.log_q[: n1 + 1, : n2 + 1]
+        ),
+        method=solution.method,
+        e_smooth={
+            r: grid[: n1 + 1, : n2 + 1]
+            for r, grid in solution.e_smooth.items()
+        },
+    )
+
+
+def _reorder_permutation(
+    stored: Sequence, requested: Sequence
+) -> list[int] | None:
+    """``perm[i]`` = index in ``stored`` matching ``requested[i]``.
+
+    None when the class multisets differ (cannot happen for equal
+    canonical keys, but kept defensive).
+    """
+    if tuple(stored) == tuple(requested):
+        return None
+    stored_order = canonical_order(stored)
+    requested_order = canonical_order(requested)
+    perm = [0] * len(requested)
+    for k, i in enumerate(requested_order):
+        j = stored_order[k]
+        if class_params(stored[j]) != class_params(requested[i]):
+            raise ComputationError(
+                "cache entry class parameters do not match the request "
+                "(key collision)"
+            )
+        perm[i] = j
+    return perm
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+class BatchSolver:
+    """Cached, batched, optionally process-parallel solve engine."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig.from_env()
+        self._results = LRUCache(self.config.lru_size)
+        self._solutions = LRUCache(self.config.solution_lru_size)
+        self.disk = (
+            DiskCache(self.config.disk_cache, strict=self.config.strict_cache)
+            if self.config.disk_cache is not None
+            else None
+        )
+        self.stats = EngineStats()
+        self.last_metrics: BatchMetrics | None = None
+
+    # ------------------------------------------------------------------
+    # Single-request entry points
+    # ------------------------------------------------------------------
+
+    def solve(self, request: SolveRequest) -> SolveResult:
+        """One request, through every cache layer."""
+        key = request.cache_key
+        self.stats._add("lookups")
+        hit = self._lookup(key, request)
+        if hit is not None:
+            return hit
+        began = time.perf_counter()
+        solution = self._solution_memo_or_solve(request, key)
+        result = _result_from(
+            request, solution, time.perf_counter() - began
+        )
+        self._store(key, result)
+        return result
+
+    def solution_for(self, request: SolveRequest) -> Any:
+        """The full solution object (grids and all), memoized.
+
+        This is what the legacy entry points
+        (:meth:`CrossbarModel.solve`, ``solve_robust``, the sweep
+        helpers) delegate to: they keep returning rich solution objects
+        while sharing the engine's memoization.
+        """
+        self.stats._add("lookups")
+        key = request.cache_key
+        entry = self._solutions.get(key)
+        if entry is not None:
+            stored_classes, solution = entry
+            if stored_classes == request.classes:
+                self.stats._add("memory_hits")
+                return solution
+            if isinstance(solution, PerformanceSolution):
+                perm = _reorder_permutation(stored_classes, request.classes)
+                self.stats._add("memory_hits")
+                if perm is None:
+                    return solution
+                return replace(
+                    solution,
+                    classes=request.classes,
+                    h=tuple(solution.h[j] for j in perm),
+                    e_smooth={
+                        i: solution.e_smooth[j]
+                        for i, j in enumerate(perm)
+                        if j in solution.e_smooth
+                    },
+                    _concurrency_cache={},
+                )
+            # Non-grid solution types are cheapest to just re-solve for
+            # the new class order (measure indices must line up).
+        solution = _dispatch_solve(request)
+        self.stats._add("solves")
+        self._solutions.put(key, (request.classes, solution))
+        return solution
+
+    # ------------------------------------------------------------------
+    # Batch evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_many(
+        self,
+        requests: Sequence[SolveRequest],
+        parallel: bool | None = None,
+    ) -> list[SolveResult]:
+        """Evaluate a batch: cache, share Q-grids, then fan out.
+
+        Results are returned in request order regardless of execution
+        order, and are byte-identical whether served serially, in
+        parallel, or from cache.
+        """
+        requests = list(requests)
+        began = time.perf_counter()
+        results: list[SolveResult | None] = [None] * len(requests)
+        memory_hits = disk_hits = 0
+
+        misses: list[tuple[int, SolveRequest, str]] = []
+        for i, request in enumerate(requests):
+            if not isinstance(request, SolveRequest):
+                raise ConfigurationError(
+                    f"evaluate_many needs SolveRequest items, got "
+                    f"{request!r}"
+                )
+            key = request.cache_key
+            self.stats._add("lookups")
+            before_disk = self.stats.disk_hits
+            hit = self._lookup(key, request)
+            if hit is not None:
+                if self.stats.disk_hits > before_disk:
+                    disk_hits += 1
+                else:
+                    memory_hits += 1
+                results[i] = hit
+            else:
+                misses.append((i, request, key))
+
+        grid_groups, grid_points, leftover = self._serve_grid_groups(
+            misses, results
+        )
+
+        use_pool = self._should_parallelize(len(leftover), parallel)
+        if use_pool:
+            self._solve_parallel(leftover, results)
+        else:
+            for i, request, key in leftover:
+                began_one = time.perf_counter()
+                solution = self._solution_memo_or_solve(request, key)
+                result = _result_from(
+                    request, solution, time.perf_counter() - began_one
+                )
+                self._store(key, result)
+                results[i] = result
+
+        metrics = BatchMetrics(
+            requests=len(requests),
+            memory_hits=memory_hits,
+            disk_hits=disk_hits,
+            grid_groups=grid_groups,
+            grid_points=grid_points,
+            solved=len(leftover),
+            parallel=use_pool,
+            elapsed=time.perf_counter() - began,
+        )
+        self.last_metrics = metrics
+        logger.info("batch evaluated %s", kv(**metrics.to_dict()))
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Cache bookkeeping
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk cache is left alone)."""
+        self._results.clear()
+        self._solutions.clear()
+
+    def _lookup(self, key: str, request: SolveRequest) -> SolveResult | None:
+        hit = self._results.get(key)
+        if hit is not None:
+            self.stats._add("memory_hits")
+            return self._adapt(hit, request)
+        if self.disk is not None:
+            payload = self.disk.load(key)
+            if payload is not None:
+                try:
+                    result = SolveResult.from_dict(payload)
+                except (KeyError, TypeError, ValueError) as exc:
+                    if self.config.strict_cache:
+                        from .cache import CacheCorruptionError
+
+                        raise CacheCorruptionError(
+                            f"disk cache payload for {key!r} does not "
+                            f"deserialize: {exc}"
+                        ) from exc
+                    return None
+                self.stats._add("disk_hits")
+                self._results.put(key, result)
+                return self._adapt(result, request)
+        return None
+
+    def _store(self, key: str, result: SolveResult) -> None:
+        self.stats._add("solves")
+        self._results.put(key, result)
+        if self.disk is not None:
+            self.disk.store(key, result.to_dict())
+
+    def _adapt(self, hit: SolveResult, request: SolveRequest) -> SolveResult:
+        """Re-address a cached result to the incoming request."""
+        perm = _reorder_permutation(hit.request.classes, request.classes)
+        if perm is not None:
+            hit = hit.reordered(perm, request)
+        elif hit.request != request:
+            hit = replace(hit, request=request)
+        return replace(hit, from_cache=True, elapsed=0.0)
+
+    def _solution_memo_or_solve(
+        self, request: SolveRequest, key: str
+    ) -> Any:
+        entry = self._solutions.get(key)
+        if entry is not None and entry[0] == request.classes:
+            return entry[1]
+        solution = _dispatch_solve(request)
+        self._solutions.put(key, (request.classes, solution))
+        return solution
+
+    # ------------------------------------------------------------------
+    # Q-grid sharing
+    # ------------------------------------------------------------------
+
+    def _serve_grid_groups(
+        self,
+        misses: list[tuple[int, SolveRequest, str]],
+        results: list[SolveResult | None],
+    ) -> tuple[int, int, list[tuple[int, SolveRequest, str]]]:
+        """Serve groups of misses from one shared Algorithm 1 grid.
+
+        Misses sharing (ordered traffic mix, grid method) need a single
+        solve at the componentwise-max dimensions; every member is a
+        ratio read at its own ``(n1, n2)``.  Returns the group count,
+        points served, and the misses left for individual solving.
+        """
+        groups: dict[tuple, list[tuple[int, SolveRequest, str]]] = {}
+        leftover: list[tuple[int, SolveRequest, str]] = []
+        for item in misses:
+            _, request, _ = item
+            if request.method.is_grid:
+                group_key = (
+                    request.method,
+                    tuple(class_params(c) for c in request.classes),
+                )
+                groups.setdefault(group_key, []).append(item)
+            else:
+                leftover.append(item)
+
+        grid_groups = grid_points = 0
+        for members in groups.values():
+            if len(members) < 2:
+                leftover.extend(members)
+                continue
+            base_request = members[0][1]
+            from ..core.state import SwitchDimensions
+
+            top = SwitchDimensions(
+                max(m[1].dims.n1 for m in members),
+                max(m[1].dims.n2 for m in members),
+            )
+            try:
+                solution = self.solution_for(base_request.with_dims(top))
+            except CrossbarError as exc:
+                # E.g. a Bernoulli admissibility guard that only trips
+                # at the enlarged dims: solve members individually.
+                logger.warning(
+                    "grid group fell back to point solves %s",
+                    kv(dims=str(top), reason=str(exc)[:80]),
+                )
+                leftover.extend(members)
+                continue
+            grid_groups += 1
+            for i, request, key in members:
+                began = time.perf_counter()
+                view = _SubDimsView(solution, request.dims)
+                result = _result_from(
+                    request, view, time.perf_counter() - began
+                )
+                self._store(key, result)
+                self.stats._add("grid_reads")
+                results[i] = result
+                grid_points += 1
+        return grid_groups, grid_points, leftover
+
+    # ------------------------------------------------------------------
+    # Parallel fan-out
+    # ------------------------------------------------------------------
+
+    def _worker_count(self) -> int:
+        if self.config.processes is not None:
+            return max(1, self.config.processes)
+        return max(1, os.cpu_count() or 1)
+
+    def _should_parallelize(
+        self, n_misses: int, parallel: bool | None
+    ) -> bool:
+        if n_misses < 2:
+            return False
+        if parallel is not None:
+            return parallel and self._worker_count() > 1
+        return (
+            n_misses >= self.config.parallel_threshold
+            and self._worker_count() > 1
+        )
+
+    def _solve_parallel(
+        self,
+        misses: list[tuple[int, SolveRequest, str]],
+        results: list[SolveResult | None],
+    ) -> None:
+        workers = min(self._worker_count(), len(misses))
+        chunk = self.config.chunk_size or max(
+            1, math.ceil(len(misses) / (workers * 4))
+        )
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            solved = executor.map(
+                _solve_one, [m[1] for m in misses], chunksize=chunk
+            )
+            for (i, _, key), result in zip(misses, solved):
+                self._store(key, result)
+                results[i] = result
+
+
+# ----------------------------------------------------------------------
+# The process-wide default engine
+# ----------------------------------------------------------------------
+
+_default_engine: BatchSolver | None = None
+_default_lock = threading.Lock()
+
+
+def get_default_engine() -> BatchSolver:
+    """The shared engine every thin delegate routes through."""
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            _default_engine = BatchSolver()
+        return _default_engine
+
+
+def set_default_engine(engine: BatchSolver) -> BatchSolver:
+    """Swap the process-wide engine (returns the previous one)."""
+    global _default_engine
+    with _default_lock:
+        previous, _default_engine = _default_engine, engine
+    return previous if previous is not None else engine
+
+
+def reset_default_engine() -> None:
+    """Drop the process-wide engine (a fresh one is built lazily)."""
+    global _default_engine
+    with _default_lock:
+        _default_engine = None

@@ -1,0 +1,220 @@
+"""Solve caches: a thread-safe LRU plus an optional on-disk JSON store.
+
+The memory cache is a plain LRU over canonical request keys.  The disk
+cache stores one JSON file per key under a directory, making cached
+sweeps survive process restarts and shareable between machines.  Disk
+entries are self-describing — each records the schema version and the
+full (un-hashed) key it was stored under — so corruption and staleness
+are *detectable*, not silent:
+
+* an unparseable or structurally wrong file raises
+  :class:`CacheCorruptionError` in strict mode (default: the entry is
+  quarantined — deleted — and treated as a miss);
+* a version bump or a key mismatch (e.g. a digest collision, or a file
+  copied from an incompatible cache) raises :class:`StaleCacheKeyError`
+  in strict mode (default: miss + quarantine).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable
+
+from ..exceptions import ComputationError
+from ..logging import get_logger, kv
+from .keys import key_digest
+
+__all__ = [
+    "CacheCorruptionError",
+    "StaleCacheKeyError",
+    "LRUCache",
+    "DiskCache",
+]
+
+logger = get_logger("engine.cache")
+
+#: Version of the on-disk entry envelope; bump to invalidate old caches.
+DISK_CACHE_VERSION = 1
+
+
+class CacheCorruptionError(ComputationError):
+    """An on-disk cache entry could not be parsed or is malformed."""
+
+
+class StaleCacheKeyError(ComputationError):
+    """An on-disk cache entry exists but belongs to a different key or
+    an incompatible cache version."""
+
+
+class LRUCache:
+    """A small thread-safe least-recently-used mapping."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ComputationError(f"LRU maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Any | None:
+        with self._lock:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                return None
+            return self._data[key]
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+
+class DiskCache:
+    """One-JSON-file-per-key persistent store for solve results.
+
+    Values are stored and returned as JSON-compatible dicts; the engine
+    owns the conversion to/from :class:`~repro.api.SolveResult`.
+    """
+
+    def __init__(self, directory: str | Path, strict: bool = False) -> None:
+        self.directory = Path(directory)
+        self.strict = strict
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key_digest(key)}.json"
+
+    # ------------------------------------------------------------------
+
+    def load(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or None on a miss.
+
+        Raise/quarantine behavior for bad entries follows ``strict``
+        (see the module docstring).
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            return self._reject(
+                path,
+                CacheCorruptionError(
+                    f"cache entry {path.name} unreadable: {exc}"
+                ),
+            )
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return self._reject(
+                path,
+                CacheCorruptionError(
+                    f"cache entry {path.name} is not valid JSON: {exc}"
+                ),
+            )
+        if not isinstance(envelope, dict) or "payload" not in envelope:
+            return self._reject(
+                path,
+                CacheCorruptionError(
+                    f"cache entry {path.name} has no payload envelope"
+                ),
+            )
+        if envelope.get("version") != DISK_CACHE_VERSION:
+            return self._reject(
+                path,
+                StaleCacheKeyError(
+                    f"cache entry {path.name} has version "
+                    f"{envelope.get('version')!r}, expected "
+                    f"{DISK_CACHE_VERSION}"
+                ),
+            )
+        if envelope.get("key") != key:
+            return self._reject(
+                path,
+                StaleCacheKeyError(
+                    f"cache entry {path.name} was stored for a different "
+                    f"key (digest collision or copied cache)"
+                ),
+            )
+        return envelope["payload"]
+
+    def store(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_for(key)
+        envelope = {
+            "version": DISK_CACHE_VERSION,
+            "key": key,
+            "payload": payload,
+        }
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(envelope))
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deleters
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    # ------------------------------------------------------------------
+
+    def _reject(self, path: Path, error: ComputationError) -> None:
+        """Raise in strict mode; otherwise quarantine and miss."""
+        if self.strict:
+            raise error
+        logger.warning(
+            "quarantining bad cache entry %s",
+            kv(path=str(path), reason=type(error).__name__),
+        )
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing deleters
+            pass
+        return None
+
+
+def load_or_compute(
+    disk: DiskCache | None,
+    key: str,
+    compute: Callable[[], dict],
+) -> tuple[dict, bool]:
+    """Convenience: disk lookup falling back to ``compute`` + store.
+
+    Returns ``(payload, was_hit)``.
+    """
+    if disk is not None:
+        payload = disk.load(key)
+        if payload is not None:
+            return payload, True
+    payload = compute()
+    if disk is not None:
+        disk.store(key, payload)
+    return payload, False

@@ -27,11 +27,12 @@ from __future__ import annotations
 
 import csv
 import io
+import warnings
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
-from ..core.convolution import solve_convolution
+from ..api import SolveRequest, SolveResult, solve_many
 from ..core.measures import PerformanceSolution
 from ..core.state import SwitchDimensions
 from ..core.traffic import TrafficClass
@@ -39,7 +40,8 @@ from ..exceptions import ConfigurationError
 
 __all__ = ["SweepSpec", "run_sweep", "write_csv"]
 
-#: Measures resolvable per class.
+#: Measures resolvable per class (solution-object accessors; used by
+#: the deprecated custom-``solver`` path).
 _PER_CLASS = {
     "blocking": lambda s, r: s.blocking(r),
     "non_blocking": lambda s, r: s.non_blocking(r),
@@ -48,7 +50,7 @@ _PER_CLASS = {
     "throughput": lambda s, r: s.throughput(r),
 }
 
-#: Measures of the whole switch.
+#: Measures of the whole switch (solution-object accessors).
 _GLOBAL = {
     "revenue": lambda s: s.revenue(),
     "utilization": lambda s: s.utilization(),
@@ -56,10 +58,34 @@ _GLOBAL = {
     "total_throughput": lambda s: s.total_throughput(),
 }
 
+#: The same measures read off a :class:`~repro.api.SolveResult` (the
+#: engine path).  ``SolveResult.from_solution`` computes the aggregates
+#: with the same ``fsum`` formulas, so the two maps agree bit-for-bit.
+_PER_CLASS_RESULT = {
+    "blocking": lambda res, r: res.blocking[r],
+    "non_blocking": lambda res, r: res.non_blocking[r],
+    "concurrency": lambda res, r: res.concurrency[r],
+    "call_congestion": lambda res, r: res.call_congestion[r],
+    "throughput": lambda res, r: res.throughput[r],
+}
+
+_GLOBAL_RESULT = {
+    "revenue": lambda res: res.revenue,
+    "utilization": lambda res: res.utilization,
+    "mean_occupancy": lambda res: res.mean_occupancy,
+    "total_throughput": lambda res: res.total_throughput,
+}
+
 
 @dataclass
 class SweepSpec:
-    """A size sweep: which switches, which traffic, which measures."""
+    """A size sweep: which switches, which traffic, which measures.
+
+    ``solver`` is deprecated: by default the sweep runs through the
+    batched engine (:func:`repro.api.solve_many`), which deduplicates
+    repeated points and serves constant-mix sweeps from one shared
+    Q-grid.  Passing a custom solver still works but forgoes batching.
+    """
 
     name: str
     sizes: Sequence[int]
@@ -67,7 +93,7 @@ class SweepSpec:
     measures: Sequence[str] = ("blocking", "concurrency", "revenue")
     solver: Callable[
         [SwitchDimensions, Sequence[TrafficClass]], PerformanceSolution
-    ] = field(default=solve_convolution)
+    ] | None = None
 
     def validate(self) -> None:
         if not self.sizes:
@@ -80,9 +106,23 @@ class SweepSpec:
                 )
 
 
-def run_sweep(spec: SweepSpec) -> list[dict]:
-    """Execute a sweep; one flat dict per size."""
-    spec.validate()
+def _result_row(
+    spec: SweepSpec, n: int, result: SolveResult
+) -> dict:
+    row: dict = {"n": n}
+    for measure in spec.measures:
+        if measure in _GLOBAL_RESULT:
+            row[measure] = _GLOBAL_RESULT[measure](result)
+        else:
+            for r, cls in enumerate(result.classes):
+                label = cls.name or f"class{r}"
+                row[f"{measure}[{label}]"] = _PER_CLASS_RESULT[measure](
+                    result, r
+                )
+    return row
+
+
+def _run_sweep_legacy(spec: SweepSpec) -> list[dict]:
     rows: list[dict] = []
     for n in spec.sizes:
         dims = SwitchDimensions.square(n)
@@ -100,6 +140,34 @@ def run_sweep(spec: SweepSpec) -> list[dict]:
                     )
         rows.append(row)
     return rows
+
+
+def run_sweep(spec: SweepSpec) -> list[dict]:
+    """Execute a sweep; one flat dict per size.
+
+    The default path batches every point through
+    :func:`repro.api.solve_many`: cached points are free, and sweeps
+    whose traffic mix does not depend on ``n`` are served from a single
+    Algorithm 1 grid solved at the largest size.
+    """
+    spec.validate()
+    if spec.solver is not None:
+        warnings.warn(
+            "SweepSpec.solver is deprecated; leave it unset to run the "
+            "sweep through the batched engine (repro.api.solve_many)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _run_sweep_legacy(spec)
+    requests = [
+        SolveRequest.square(n, tuple(spec.classes_for(n)))
+        for n in spec.sizes
+    ]
+    results = solve_many(requests)
+    return [
+        _result_row(spec, n, result)
+        for n, result in zip(spec.sizes, results)
+    ]
 
 
 def write_csv(rows: Sequence[dict], path: str | Path | None = None) -> str:

@@ -24,10 +24,26 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, replace
 
-from ..core.convolution import solve_convolution
 from ..core.traffic import TrafficClass
 from ..exceptions import ConvergenceError
 from .topology import TandemNetwork
+
+
+def _solve_stage(dims, thinned):
+    """One stage solve through the batched engine.
+
+    The fixed point converges geometrically, so late iterations rebuild
+    nearly identical thinned classes; stages that actually stopped
+    changing (their pass-through factors converged first) become exact
+    cache hits instead of fresh Algorithm 1 runs.
+    """
+    from ..api import SolveRequest
+    from ..engine import get_default_engine
+    from ..methods import SolveMethod
+
+    return get_default_engine().solution_for(
+        SolveRequest(dims, tuple(thinned), SolveMethod.CONVOLUTION)
+    )
 
 __all__ = ["MultistageResult", "analyze_tandem"]
 
@@ -88,7 +104,7 @@ def analyze_tandem(
                     replace(cls, alpha=cls.alpha * pass_through,
                             beta=cls.beta * pass_through)
                 )
-            solution = solve_convolution(dims, thinned)
+            solution = _solve_stage(dims, thinned)
             new_blocking.append(
                 [solution.blocking(r) for r in range(n_classes)]
             )

@@ -46,7 +46,6 @@ import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from ..core.convolution import solve_convolution
 from ..core.state import SwitchDimensions, permutation
 from ..core.traffic import TrafficClass
 from ..exceptions import ConfigurationError, InvalidParameterError
@@ -72,6 +71,26 @@ def _check_routing(routing: str) -> None:
         raise ConfigurationError(
             f"routing must be one of {_ROUTINGS}, got {routing!r}"
         )
+
+
+def _engine_solver(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> object:
+    """Default cell solver: Algorithm 1 (log) through the batched engine.
+
+    Availability-weighted analysis evaluates one reduced switch per
+    binomial mask cell; many cells (and repeated scenarios, e.g. the
+    mask sweep after an availability pass) share degraded dimensions
+    and rerouted classes, so memoizing here converts the quadratic cell
+    grid into mostly cache hits.
+    """
+    from ..api import SolveRequest
+    from ..engine import get_default_engine
+    from ..methods import SolveMethod
+
+    return get_default_engine().solution_for(
+        SolveRequest(dims, tuple(classes), SolveMethod.CONVOLUTION)
+    )
 
 
 def tuple_scale(
@@ -223,7 +242,7 @@ def solve_degraded(
     classes: Sequence[TrafficClass],
     mask: FailureMask,
     routing: str = "reroute",
-    solver: Callable[..., object] = solve_convolution,
+    solver: Callable[..., object] | None = None,
 ) -> DegradedSolution:
     """Product-form measures of the switch under a failure mask.
 
@@ -231,8 +250,12 @@ def solve_degraded(
     with ``blocking / non_blocking / concurrency / call_acceptance``
     per-class accessors (any of the library's analytical solvers, or
     :func:`repro.robust.facade.solve_robust` wrapped appropriately).
+    The default routes through the batched engine, so masks sharing a
+    degraded shape are solved once.
     """
     _check_routing(routing)
+    if solver is None:
+        solver = _engine_solver
     classes = tuple(classes)
     if not classes:
         raise ConfigurationError("at least one traffic class is required")
@@ -349,7 +372,7 @@ def availability_weighted_measures(
 
     # Under oblivious routing every cell uses the *unscaled* classes, so
     # one full-grid solve answers every sub-switch query.
-    full = solve_convolution(dims, classes) if routing == "oblivious" else None
+    full = _engine_solver(dims, classes) if routing == "oblivious" else None
 
     for m1, p1 in enumerate(w1):
         for m2, p2 in enumerate(w2):
@@ -373,7 +396,7 @@ def availability_weighted_measures(
                     )
             else:
                 sat, blk, conc, acc = _degraded_measures(
-                    dims, classes, degraded, routing, solve_convolution
+                    dims, classes, degraded, routing, _engine_solver
                 )
                 for r in range(n):
                     blocking[r] += weight * blk[r]

@@ -245,6 +245,13 @@ def solve_robust(
 ) -> RobustSolution:
     """Solve with the fallback chain; never return an unhealthy answer.
 
+    With every knob at its default the call is *pure* (a deterministic
+    function of ``dims`` and ``classes``), so it is memoized through the
+    process-wide batched engine (:mod:`repro.engine`) — repeated robust
+    solves of the same model, e.g. across availability-weighted degraded
+    scenarios, cost one chain run.  Custom chains, budgets, or clocks
+    bypass the cache and run directly.
+
     Parameters
     ----------
     dims, classes:
@@ -266,6 +273,40 @@ def solve_robust(
         When no solver returns a healthy solution; its ``diagnostics``
         attribute records every attempt.
     """
+    pure = (
+        chain is None
+        and total_budget is None
+        and solver_budget is None
+        and clock is time.perf_counter
+    )
+    if pure and classes:
+        from ..api import SolveRequest
+        from ..engine import get_default_engine
+        from ..methods import SolveMethod
+
+        request = SolveRequest(dims, tuple(classes), SolveMethod.ROBUST)
+        return get_default_engine().solution_for(request)
+    return _solve_robust_impl(
+        dims, classes, chain, total_budget, solver_budget, clock
+    )
+
+
+def _solve_robust_direct(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> RobustSolution:
+    """Uncached default-chain run (the engine's dispatch target)."""
+    return _solve_robust_impl(dims, classes, None, None, None,
+                              time.perf_counter)
+
+
+def _solve_robust_impl(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    chain: Sequence[SolverSpec] | None,
+    total_budget: float | None,
+    solver_budget: float | None,
+    clock: Callable[[], float],
+) -> RobustSolution:
     classes = tuple(classes)
     specs = tuple(chain) if chain is not None else default_chain()
     if not specs:

@@ -1,14 +1,25 @@
-"""Generic parameter-sweep helpers used by examples and benchmarks."""
+"""Generic parameter-sweep helpers used by examples and benchmarks.
+
+All helpers route their solves through the process-wide batched engine
+(:mod:`repro.engine`).  Two structural savings follow:
+
+* repeated probes of the same model (bisection revisiting a size, a
+  load appearing in two sweeps) are cache hits;
+* sweeps whose traffic mix does not depend on the size share **one**
+  Algorithm 1 Q-grid solved at the largest size — every smaller point
+  is a ratio read, bit-for-bit identical to solving it directly.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
 
-from ..core.convolution import solve_convolution
+from ..api import SolveRequest
 from ..core.measures import PerformanceSolution
 from ..core.state import SwitchDimensions
 from ..core.traffic import TrafficClass
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, CrossbarError
+from ..methods import SolveMethod
 
 __all__ = [
     "sweep_sizes",
@@ -16,6 +27,20 @@ __all__ = [
     "find_size_for_blocking",
     "find_load_for_blocking",
 ]
+
+
+def _engine():
+    from ..engine import get_default_engine
+
+    return get_default_engine()
+
+
+def _solution(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> PerformanceSolution:
+    return _engine().solution_for(
+        SolveRequest(dims, tuple(classes), SolveMethod.CONVOLUTION)
+    )
 
 
 def sweep_sizes(
@@ -26,12 +51,29 @@ def sweep_sizes(
     """Evaluate ``measure`` on square switches of the given sizes.
 
     ``classes_for(n)`` builds the (size-dependent) traffic mix — the
-    natural hook for the paper's constant-tilde-parameter sweeps.
+    natural hook for the paper's constant-tilde-parameter sweeps.  When
+    the mix turns out *not* to depend on the size, the whole sweep is
+    served from one Q-grid solved at the largest size.
     """
+    sizes = list(sizes)
+    mixes = [tuple(classes_for(n)) for n in sizes]
+    constant = len(sizes) > 1 and all(mix == mixes[0] for mix in mixes)
+    if constant:
+        try:
+            base = _solution(
+                SwitchDimensions.square(max(sizes)), mixes[0]
+            )
+        except CrossbarError:
+            constant = False  # e.g. admissibility fails at the top size
     out = []
-    for n in sizes:
+    for n, mix in zip(sizes, mixes):
         dims = SwitchDimensions.square(n)
-        solution = solve_convolution(dims, classes_for(n))
+        if constant:
+            from ..engine import sliced_solution
+
+            solution = sliced_solution(base, dims)
+        else:
+            solution = _solution(dims, mix)
         out.append((n, measure(solution)))
     return out
 
@@ -45,7 +87,7 @@ def sweep_parameter(
     out = []
     for value in values:
         dims, classes = model_for(value)
-        solution = solve_convolution(dims, classes)
+        solution = _solution(dims, classes)
         out.append((value, measure(solution)))
     return out
 
@@ -63,15 +105,30 @@ def find_size_for_blocking(
     (size-dependent) traffic builder — the standard dimensioning
     question for switch designers.  Raises when even ``n_max`` cannot
     meet the target.
+
+    The feasibility check already solves the full ``n_max`` Q-grid;
+    when ``classes_for`` does not actually depend on the size, every
+    bisection probe is answered from that grid (an O(1) ratio read)
+    instead of re-running Algorithm 1 per probe.  Size-dependent mixes
+    (the paper's constant-tilde sweeps) fall back to engine-cached
+    per-probe solves.
     """
     if not 0.0 < target_blocking < 1.0:
         raise ConfigurationError(
             f"target_blocking must be in (0, 1), got {target_blocking}"
         )
 
+    top_classes = tuple(classes_for(n_max))
+    top = _solution(SwitchDimensions.square(n_max), top_classes)
+
     def blocking(n: int) -> float:
         dims = SwitchDimensions.square(n)
-        return solve_convolution(dims, classes_for(n)).blocking(r)
+        if n == n_max:
+            return top.blocking(r)
+        classes = tuple(classes_for(n))
+        if classes == top_classes:
+            return top.blocking(r, at=dims)
+        return _solution(dims, classes).blocking(r)
 
     if blocking(n_max) > target_blocking:
         raise ConfigurationError(
@@ -110,7 +167,7 @@ def find_load_for_blocking(
         )
 
     def blocking(load: float) -> float:
-        return solve_convolution(dims, classes_for_load(load)).blocking(r)
+        return _solution(dims, classes_for_load(load)).blocking(r)
 
     if blocking(0.0) > target_blocking:
         raise ConfigurationError(

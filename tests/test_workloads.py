@@ -266,3 +266,97 @@ class TestSweepHelpers:
             find_size_for_blocking(
                 lambda n: [TrafficClass.poisson(10.0)], 1e-9, n_max=4
             )
+
+
+def _reference_find_size(classes_for, target, r=0, n_min=1, n_max=64):
+    """The pre-engine algorithm: bisection with one full solve per probe."""
+    from repro.core.convolution import solve_convolution
+
+    def blocking(n):
+        dims = SwitchDimensions.square(n)
+        return solve_convolution(dims, classes_for(n)).blocking(r)
+
+    assert blocking(n_max) <= target
+    lo, hi = n_min, n_max
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if blocking(mid) <= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+class TestFindSizeEngineEquivalence:
+    """The shared-Q-grid ``find_size_for_blocking`` must return exactly
+    what per-probe re-solving (the original implementation) returned."""
+
+    def test_table1_configuration_answer_unchanged(self):
+        # The paper's Table 1 traffic: the constant aggregate load
+        # tau_2 = .0048 re-spread as rho~ = tau / C(n, 2) at every
+        # candidate size (a size-dependent mix, the per-probe path) —
+        # the same construction as figure4's a=2 series.
+        from repro.core.convolution import solve_convolution
+        from repro.workloads.scenarios import TABLE1_TAUS
+
+        def classes_for(n):
+            rho_tilde = TABLE1_TAUS[1] / math.comb(n, 2)
+            return [
+                TrafficClass.from_aggregate(
+                    rho_tilde, 0.0, n2=n, a=2, name="tau2"
+                )
+            ]
+
+        # A target strictly between the blocking at n=8 and n=32 so the
+        # bisection has real work on the Table 1 size range.
+        def blocking_at(n):
+            return solve_convolution(
+                SwitchDimensions.square(n), classes_for(n)
+            ).blocking(0)
+
+        b8, b32 = blocking_at(8), blocking_at(32)
+        assert b32 < b8, "Table 1 blocking must fall with size"
+        target = math.sqrt(b8 * b32)
+
+        found = find_size_for_blocking(classes_for, target, n_max=64)
+        expected = _reference_find_size(classes_for, target, n_max=64)
+        assert found == expected
+        assert 8 < found <= 32
+
+    def test_constant_mix_served_from_one_grid(self):
+        # A size-independent mix takes the shared-grid fast path: the
+        # feasibility check solves the n_max Q-grid once, and every
+        # bisection probe is an O(1) ratio read off it — the engine
+        # records exactly one solve for the whole search.
+        from repro.core.convolution import solve_convolution
+        from repro.engine import (
+            BatchSolver,
+            EngineConfig,
+            set_default_engine,
+        )
+
+        classes = [TrafficClass.poisson(0.001, name="data")]
+
+        def classes_for(n):
+            return classes
+
+        # Per-pair load is constant, so blocking *rises* with size;
+        # any target at or above the n_max blocking is feasible and the
+        # bisection walks down to n_min.
+        target = (
+            solve_convolution(SwitchDimensions.square(32), classes)
+            .blocking(0)
+            * 1.000001
+        )
+
+        engine = BatchSolver(EngineConfig())
+        previous = set_default_engine(engine)
+        try:
+            found = find_size_for_blocking(classes_for, target, n_max=32)
+        finally:
+            set_default_engine(previous)
+        expected = _reference_find_size(classes_for, target, n_max=32)
+        assert found == expected
+        assert engine.stats.solves == 1, (
+            "constant-mix bisection must be served by a single Q-grid solve"
+        )
