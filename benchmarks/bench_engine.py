@@ -15,6 +15,12 @@ all recorded in ``BENCH_engine.json``:
 3. **Second-pass hit-rate** — re-evaluating the sweep batch on the same
    engine must be pure cache hits (nonzero hit-rate, zero solves).
 
+A fourth section (recorded, not asserted — wall-clock ratios are too
+noisy for CI gating) measures **resilience overhead**: the same clean
+parallel MVA batch run under the default supervisor (retries +
+deadline armed) vs the unsupervised fast path (``max_retries=0``),
+with both runs' ``BatchMetrics`` dicts included in the JSON.
+
 Run ``python benchmarks/bench_engine.py --quick`` for the CI-sized
 variant.
 """
@@ -145,6 +151,56 @@ def bench_robust_availability() -> dict:
     }
 
 
+def bench_resilience_overhead(n_points: int) -> dict:
+    """Supervision on vs off over one clean parallel MVA batch.
+
+    MVA requests are never grid-grouped, so every point is a real pool
+    task — the comparison isolates the supervisor's bookkeeping (
+    per-task futures + deadline/hedge polling vs one chunked ``map``).
+    Results must be identical; the timing ratio is recorded for trend
+    tracking, not asserted.
+    """
+    from repro.methods import SolveMethod
+
+    requests = [
+        SolveRequest.square(n, SWEEP_CLASSES, method=SolveMethod.MVA)
+        for n in range(3, 3 + n_points)
+    ]
+
+    plain = BatchSolver(EngineConfig(max_retries=0))
+    assert not plain.config.supervised
+    began = time.perf_counter()
+    plain_results = plain.evaluate_many(requests, parallel=True)
+    plain_elapsed = time.perf_counter() - began
+
+    supervised = BatchSolver(EngineConfig(task_deadline=60.0))
+    assert supervised.config.supervised
+    began = time.perf_counter()
+    supervised_results = supervised.evaluate_many(requests, parallel=True)
+    supervised_elapsed = time.perf_counter() - began
+
+    assert supervised_results == plain_results, (
+        "supervised batch changed the numbers"
+    )
+    clean_metrics = supervised.last_metrics
+    assert clean_metrics.retries == 0 and clean_metrics.failed == 0, (
+        "clean run recorded spurious retries/failures"
+    )
+
+    return {
+        "points": n_points,
+        "plain_seconds": plain_elapsed,
+        "supervised_seconds": supervised_elapsed,
+        "overhead_ratio": (
+            supervised_elapsed / plain_elapsed
+            if plain_elapsed > 0 else float("inf")
+        ),
+        "identical": True,
+        "plain_metrics": plain.last_metrics.to_dict(),
+        "supervised_metrics": clean_metrics.to_dict(),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -162,12 +218,14 @@ def main(argv=None) -> int:
     else:
         sweep = bench_sweep(4, 64, min_speedup=5.0)
     robust = bench_robust_availability()
+    resilience = bench_resilience_overhead(16 if args.quick else 50)
 
     report = {
         "benchmark": "engine",
         "quick": args.quick,
         "sweep": sweep,
         "robust_availability": robust,
+        "resilience_overhead": resilience,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -175,7 +233,9 @@ def main(argv=None) -> int:
         f"\nsweep speedup {sweep['speedup']:.1f}x "
         f"(floor {sweep['min_speedup']:g}x); "
         f"second-pass hit-rate {sweep['second_pass']['hit_rate']:.0%}; "
-        f"availability hit-rate {robust['hit_rate']:.1%} -> {args.output}"
+        f"availability hit-rate {robust['hit_rate']:.1%}; "
+        f"supervision overhead {resilience['overhead_ratio']:.2f}x "
+        f"-> {args.output}"
     )
     return 0
 

@@ -394,14 +394,19 @@ def solve_many(
     *,
     engine: "BatchSolver | None" = None,
     parallel: bool | None = None,
+    strict: bool | None = None,
 ) -> list[SolveResult]:
     """Solve a batch of requests with caching, Q-grid reuse and fan-out.
 
     See :meth:`repro.engine.BatchSolver.evaluate_many` for the batching
-    semantics; results come back in request order.
+    semantics; results come back in request order.  Under the default
+    supervisor a request that terminally fails yields a
+    :class:`repro.engine.FailedResult` in its slot (check
+    ``getattr(result, "failed", False)``) while the rest of the batch
+    completes; ``strict=True`` re-raises the first failure instead.
     """
     from .engine import get_default_engine
 
     return (engine or get_default_engine()).evaluate_many(
-        requests, parallel=parallel
+        requests, parallel=parallel, strict=strict
     )

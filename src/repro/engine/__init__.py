@@ -1,9 +1,14 @@
-"""Batched, cached evaluation engine for crossbar solve requests.
+"""Batched, cached, fault-tolerant evaluation engine for crossbar
+solve requests.
 
 See :class:`BatchSolver` for the execution model: canonical cache keys
 (:mod:`repro.engine.keys`), LRU + optional disk caches
-(:mod:`repro.engine.cache`), shared Algorithm 1 Q-grids for size
-sweeps, and process-parallel fan-out for independent misses.
+(:mod:`repro.engine.cache`) guarded by a circuit breaker
+(:mod:`repro.engine.breaker`), shared Algorithm 1 Q-grids for size
+sweeps, process-parallel fan-out for independent misses, and a
+supervision layer (retries, deadlines, hedging, worker-crash recovery)
+exercised by the deterministic chaos harness
+(:mod:`repro.engine.chaos`).
 """
 
 from .batch import (
@@ -11,16 +16,34 @@ from .batch import (
     BatchSolver,
     EngineConfig,
     EngineStats,
+    FailedResult,
+    TaskAttempt,
+    TaskDeadlineError,
     get_default_engine,
     reset_default_engine,
     set_default_engine,
     sliced_solution,
+)
+from .breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerEvent,
+    CircuitBreaker,
 )
 from .cache import (
     CacheCorruptionError,
     DiskCache,
     LRUCache,
     StaleCacheKeyError,
+)
+from .chaos import (
+    ALL_ATTEMPTS,
+    CacheFaultInjector,
+    ChaosFault,
+    FaultPlan,
+    WorkerKilledError,
+    corrupt_entry,
 )
 from .keys import classes_key, key_digest, request_key
 
@@ -29,14 +52,28 @@ __all__ = [
     "BatchSolver",
     "EngineConfig",
     "EngineStats",
+    "FailedResult",
+    "TaskAttempt",
+    "TaskDeadlineError",
     "get_default_engine",
     "reset_default_engine",
     "set_default_engine",
     "sliced_solution",
+    "BreakerEvent",
+    "CircuitBreaker",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
     "CacheCorruptionError",
     "DiskCache",
     "LRUCache",
     "StaleCacheKeyError",
+    "ALL_ATTEMPTS",
+    "CacheFaultInjector",
+    "ChaosFault",
+    "FaultPlan",
+    "WorkerKilledError",
+    "corrupt_entry",
     "classes_key",
     "key_digest",
     "request_key",

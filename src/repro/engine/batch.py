@@ -1,4 +1,5 @@
-"""The batched evaluation engine: memoized, grid-sharing, parallel.
+"""The batched evaluation engine: memoized, grid-sharing, parallel,
+fault-tolerant.
 
 :class:`BatchSolver` is the execution layer behind the unified solve
 API (:mod:`repro.api`).  It exploits three structural facts about the
@@ -23,9 +24,38 @@ model:
    embarrassingly parallel; large miss batches fan out over a
    ``ProcessPoolExecutor`` with deterministic (request-order) results.
 
-Every batch records a :class:`BatchMetrics` (timings, hit counts,
-grid reuse) surfaced through :mod:`repro.logging` and kept on
+Fault tolerance
+---------------
+Long batches must survive partial failure the way the paper's crossbar
+survives a blocked call: fail one request, never the fabric.  The
+supervision layer (on by default; disable with
+``EngineConfig(max_retries=0)`` and no deadline/hedging/chaos) adds:
+
+* **retry with exponential backoff + deterministic jitter** for
+  transient failures (``OSError``; jitter is a pure function of the
+  cache key and attempt number, so runs are reproducible);
+* **per-task deadlines** — an attempt exceeding
+  ``EngineConfig.task_deadline`` seconds is abandoned (recorded as a
+  ``timeout`` attempt) and retried;
+* **worker-crash recovery** — a dead pool worker breaks the whole
+  ``ProcessPoolExecutor``; the supervisor respawns the pool and
+  requeues *only* the lost tasks (completed results are kept, and
+  requeues do not consume the retry budget);
+* **hedged duplicates** — with ``hedge_after`` set, a straggling task
+  gets a duplicate attempt; the first to finish wins (results are
+  identical either way — solves are pure);
+* **a terminal per-request** :class:`FailedResult` — a request that
+  exhausts its retries comes back as a structured error envelope with
+  the full attempt trail instead of poisoning the batch.  Callers that
+  want the old throwing behavior pass ``strict=True`` (or set
+  ``EngineConfig(strict_batch=True)``).
+
+Every batch records a :class:`BatchMetrics` (timings, hit counts, grid
+reuse, retries/timeouts/hedges/losses and the cache circuit-breaker
+state) surfaced through :mod:`repro.logging` and kept on
 ``engine.last_metrics``; cumulative counters live on ``engine.stats``.
+Deterministic fault injection for all of the above lives in
+:mod:`repro.engine.chaos`.
 """
 
 from __future__ import annotations
@@ -35,8 +65,8 @@ import os
 import threading
 import time
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
 
@@ -45,14 +75,19 @@ from ..core.measures import PerformanceSolution
 from ..exceptions import ComputationError, ConfigurationError, CrossbarError
 from ..logging import get_logger, kv
 from ..methods import SolveMethod
+from .breaker import CircuitBreaker
 from .cache import DiskCache, LRUCache
-from .keys import canonical_order, class_params, classes_key
+from .chaos import CacheFaultInjector, FaultPlan
+from .keys import canonical_order, class_params, key_digest
 
 __all__ = [
     "BatchMetrics",
     "BatchSolver",
     "EngineConfig",
     "EngineStats",
+    "FailedResult",
+    "TaskAttempt",
+    "TaskDeadlineError",
     "get_default_engine",
     "set_default_engine",
     "reset_default_engine",
@@ -62,6 +97,10 @@ logger = get_logger("engine.batch")
 
 #: Environment variable enabling the on-disk result cache by default.
 CACHE_DIR_ENV = "REPRO_ENGINE_CACHE_DIR"
+
+
+class TaskDeadlineError(ComputationError):
+    """A supervised task attempt exceeded its wall-clock deadline."""
 
 
 @dataclass(frozen=True)
@@ -82,8 +121,46 @@ class EngineConfig:
     #: a process pool is worth its start-up cost.
     parallel_threshold: int = 8
     #: Requests per pool task; None picks a chunk that gives each
-    #: worker a few tasks.
+    #: worker a few tasks.  (Only the unsupervised fan-out chunks;
+    #: supervision needs per-task granularity.)
     chunk_size: int | None = None
+
+    # --- resilience ------------------------------------------------------
+    #: Retries per request for transient failures (timeouts, ``OSError``,
+    #: lost workers beyond the free requeue).  0 disables supervision's
+    #: retry loop.
+    max_retries: int = 2
+    #: Wall-clock seconds one task attempt may run before it is
+    #: abandoned and retried; None disables deadlines.
+    task_deadline: float | None = None
+    #: Base of the exponential retry backoff (seconds).
+    retry_backoff: float = 0.05
+    #: Ceiling of one backoff sleep (seconds).
+    backoff_cap: float = 2.0
+    #: Launch a duplicate of a still-running task after this many
+    #: seconds (parallel batches only); None disables hedging.
+    hedge_after: float | None = None
+    #: Re-raise the first terminal failure instead of returning a
+    #: :class:`FailedResult` for it (the pre-resilience behavior).
+    strict_batch: bool = False
+    #: Consecutive disk-cache I/O failures before the cache circuit
+    #: breaker trips and the engine goes memory-only.
+    breaker_threshold: int = 5
+    #: Seconds an open breaker waits before letting a probe through.
+    breaker_cooldown: float = 30.0
+    #: Deterministic fault plan for chaos testing (see
+    #: :mod:`repro.engine.chaos`); None in production.
+    chaos: FaultPlan | None = None
+
+    @property
+    def supervised(self) -> bool:
+        """Whether batches run under the fault-tolerance supervisor."""
+        return (
+            self.max_retries > 0
+            or self.task_deadline is not None
+            or self.hedge_after is not None
+            or self.chaos is not None
+        )
 
     @classmethod
     def from_env(cls) -> "EngineConfig":
@@ -132,6 +209,52 @@ class EngineStats:
 
 
 @dataclass(frozen=True)
+class TaskAttempt:
+    """One attempt at one supervised task: what happened, how long."""
+
+    attempt: int
+    outcome: str  # "ok" | "error" | "timeout" | "lost"
+    elapsed: float
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "elapsed": self.elapsed,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class FailedResult:
+    """Terminal failure envelope for one request in a batch.
+
+    Returned (in request order, like any :class:`~repro.api.SolveResult`)
+    when a request exhausts its retries in non-strict mode, so one bad
+    request never poisons the rest of the batch.  ``attempts`` is the
+    full forensic trail.
+    """
+
+    request: SolveRequest
+    error_type: str
+    error_message: str
+    attempts: tuple[TaskAttempt, ...] = ()
+
+    #: Discriminator: ``getattr(result, "failed", False)`` is True only
+    #: for failure envelopes.
+    failed = True
+
+    def to_dict(self) -> dict:
+        return {
+            "request": self.request.to_dict(),
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+
+@dataclass(frozen=True)
 class BatchMetrics:
     """What one :meth:`BatchSolver.evaluate_many` call actually did."""
 
@@ -145,6 +268,24 @@ class BatchMetrics:
     solved: int
     parallel: bool
     elapsed: float
+    # --- resilience --------------------------------------------------
+    #: Retry attempts launched (transient errors and timeouts).
+    retries: int = 0
+    #: Attempts abandoned at the per-task deadline.
+    timeouts: int = 0
+    #: Hedged duplicates launched, and how many beat the original.
+    hedges: int = 0
+    hedges_won: int = 0
+    #: Requests that ended as a :class:`FailedResult`.
+    failed: int = 0
+    #: Tasks whose in-flight attempt died with a pool worker, and how
+    #: often the pool had to be respawned.
+    tasks_lost: int = 0
+    pool_respawns: int = 0
+    #: Disk-cache circuit breaker: state after the batch and trips
+    #: during it ("disabled" when no disk cache is configured).
+    breaker_state: str = "disabled"
+    breaker_trips: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -163,7 +304,80 @@ class BatchMetrics:
             "parallel": self.parallel,
             "elapsed": self.elapsed,
             "hit_rate": self.hit_rate,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "hedges": self.hedges,
+            "hedges_won": self.hedges_won,
+            "failed": self.failed,
+            "tasks_lost": self.tasks_lost,
+            "pool_respawns": self.pool_respawns,
+            "breaker_state": self.breaker_state,
+            "breaker_trips": self.breaker_trips,
         }
+
+
+class _ResilienceCounters:
+    """Mutable per-batch tallies feeding :class:`BatchMetrics`."""
+
+    __slots__ = (
+        "retries", "timeouts", "hedges", "hedges_won", "failed",
+        "tasks_lost", "pool_respawns",
+    )
+
+    def __init__(self) -> None:
+        self.retries = 0
+        self.timeouts = 0
+        self.hedges = 0
+        self.hedges_won = 0
+        self.failed = 0
+        self.tasks_lost = 0
+        self.pool_respawns = 0
+
+
+def _deterministic_backoff(
+    key: str, retry: int, base: float, cap: float
+) -> float:
+    """Exponential backoff with jitter derived from the cache key.
+
+    The jitter factor in ``[0.5, 1.0]`` is a pure function of
+    ``(key, retry)`` — retries de-synchronize across requests without
+    any global random state, so a rerun backs off identically.
+    """
+    if base <= 0.0 or retry < 1:
+        return 0.0
+    frac = int(key_digest(f"{key}#retry{retry}")[:8], 16) / 0xFFFFFFFF
+    return min(cap, base * 2.0 ** (retry - 1) * (0.5 + 0.5 * frac))
+
+
+def _call_with_deadline(fn, deadline: float, name: str):
+    """Run ``fn`` on a daemon thread; abandon it after ``deadline``.
+
+    Python cannot kill a running thread, so on timeout the worker is
+    left to finish (or not) in the background — the daemon flag
+    guarantees it can never block interpreter exit.
+    """
+    box: list[tuple[str, Any]] = []
+
+    def runner() -> None:
+        try:
+            box.append(("ok", fn()))
+        except BaseException as exc:  # noqa: BLE001 - relayed to caller
+            box.append(("error", exc))
+
+    thread = threading.Thread(
+        target=runner, daemon=True, name=f"engine-{name}"
+    )
+    thread.start()
+    thread.join(deadline)
+    if not box:
+        raise TaskDeadlineError(
+            f"attempt exceeded the {deadline:.3g}s deadline "
+            "(worker thread abandoned)"
+        )
+    status, value = box[0]
+    if status == "error":
+        raise value
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -226,6 +440,22 @@ def _solve_one(request: SolveRequest) -> SolveResult:
     began = time.perf_counter()
     solution = _dispatch_solve(request)
     return _result_from(request, solution, time.perf_counter() - began)
+
+
+def _supervised_worker(
+    request: SolveRequest,
+    task_index: int,
+    attempt: int,
+    chaos: FaultPlan | None,
+) -> SolveResult:
+    """Pool-worker entry point for supervised batches.
+
+    Applies any planned chaos fault for ``(task_index, attempt)`` first
+    (a kill fault hard-exits this worker process), then solves.
+    """
+    if chaos is not None:
+        chaos.apply_task(task_index, attempt, in_worker=True)
+    return _solve_one(request)
 
 
 class _SubDimsView:
@@ -309,6 +539,324 @@ def _reorder_permutation(
 
 
 # ----------------------------------------------------------------------
+# The pool supervisor
+# ----------------------------------------------------------------------
+
+
+class _Task:
+    """Mutable supervision state for one batch member."""
+
+    __slots__ = (
+        "index", "request", "key", "attempts", "retries_used",
+        "next_attempt", "inflight", "hedged", "queued", "losses",
+        "last_error",
+    )
+
+    def __init__(self, index: int, request: SolveRequest, key: str) -> None:
+        self.index = index
+        self.request = request
+        self.key = key
+        self.attempts: list[TaskAttempt] = []
+        self.retries_used = 0
+        self.next_attempt = 0
+        self.inflight = 0
+        self.hedged = False
+        self.queued = False
+        self.losses = 0
+        self.last_error: BaseException | None = None
+
+
+class _PoolSupervisor:
+    """Drives one parallel fan-out with deadlines, retries, hedging and
+    pool-respawn recovery.
+
+    The supervisor owns the :class:`ProcessPoolExecutor` for the batch:
+    one future per task attempt (no chunking — supervision needs
+    per-task granularity).  A broken pool (a worker died) invalidates
+    every in-flight future; the supervisor records those attempts as
+    ``lost``, respawns the pool, and requeues only the unfinished
+    tasks.  Attempts running past the deadline are abandoned — the
+    worker process cannot be preempted, but its eventual result is
+    discarded and a fresh attempt takes over; since solves are pure,
+    whichever attempt wins produces the identical result.
+    """
+
+    TICK = 0.05
+
+    def __init__(
+        self,
+        engine: "BatchSolver",
+        misses: list[tuple[int, SolveRequest, str]],
+        results: list,
+        counters: _ResilienceCounters,
+        strict: bool,
+    ) -> None:
+        self.engine = engine
+        self.config = engine.config
+        self.results = results
+        self.counters = counters
+        self.strict = strict
+        self.tasks = [_Task(i, request, key) for i, request, key in misses]
+        self.unfinished = {task.index: task for task in self.tasks}
+        self.inflight: dict[Any, tuple[_Task, int, float, bool]] = {}
+        self.retry_queue: list[tuple[float, _Task]] = []
+        self.workers = min(engine._worker_count(), max(1, len(misses)))
+        self.executor: ProcessPoolExecutor | None = None
+        self.broke = False
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        self.executor = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            for task in self.tasks:
+                self._launch(task)
+            while self.unfinished:
+                if self.broke:
+                    self._respawn()
+                self._launch_due_retries()
+                if not self.inflight:
+                    if not self._sleep_until_retry():
+                        break  # pragma: no cover - defensive
+                    continue
+                done, _ = wait(
+                    list(self.inflight), timeout=self.TICK,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    if self._collect(future):
+                        self.broke = True
+                if self.broke:
+                    self._respawn()
+                self._enforce_deadlines_and_hedges()
+        finally:
+            # Non-blocking: abandoned workers drain on their own.
+            self.executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+
+    def _launch(self, task: _Task, is_hedge: bool = False) -> None:
+        attempt = task.next_attempt
+        task.next_attempt += 1
+        self._submit(task, attempt, is_hedge)
+
+    def _submit(self, task: _Task, attempt: int, is_hedge: bool) -> None:
+        try:
+            future = self.executor.submit(
+                _supervised_worker, task.request, task.index, attempt,
+                self.config.chaos,
+            )
+        except BrokenExecutor:
+            # The pool died between detections; the main loop respawns
+            # and requeues this task (its inflight count stays 0).
+            self.broke = True
+            task.next_attempt = max(task.next_attempt - 1, attempt)
+            return
+        self.inflight[future] = (task, attempt, time.monotonic(), is_hedge)
+        task.inflight += 1
+
+    def _collect(self, future) -> bool:
+        """Fold one completed future into the task state.
+
+        Returns True when the future failed because the pool broke (the
+        caller then respawns).
+        """
+        task, attempt, started, is_hedge = self.inflight.pop(future)
+        elapsed = time.monotonic() - started
+        if task.index not in self.unfinished:
+            return False  # stale attempt of an already-finished task
+        task.inflight -= 1
+        try:
+            result = future.result()
+        except BrokenExecutor:
+            # Put the entry back: _respawn records every in-flight
+            # attempt as lost uniformly.
+            self.inflight[future] = (task, attempt, started, is_hedge)
+            task.inflight += 1
+            return True
+        except CrossbarError as exc:
+            self._attempt_failed(
+                task, attempt, elapsed, exc, retryable=False
+            )
+        except OSError as exc:
+            self._attempt_failed(task, attempt, elapsed, exc, retryable=True)
+        except Exception as exc:  # noqa: BLE001 - unknown worker failure
+            self._attempt_failed(
+                task, attempt, elapsed, exc, retryable=False
+            )
+        else:
+            task.attempts.append(TaskAttempt(attempt, "ok", elapsed))
+            if is_hedge:
+                self.counters.hedges_won += 1
+            self._finish(task, result)
+        return False
+
+    def _finish(self, task: _Task, result: SolveResult) -> None:
+        self.engine._store(task.key, result)
+        self.results[task.index] = result
+        del self.unfinished[task.index]
+
+    def _attempt_failed(
+        self,
+        task: _Task,
+        attempt: int,
+        elapsed: float,
+        exc: BaseException,
+        retryable: bool,
+        outcome: str = "error",
+    ) -> None:
+        detail = f"{type(exc).__name__}: {str(exc)[:120]}"
+        task.attempts.append(TaskAttempt(attempt, outcome, elapsed, detail))
+        task.last_error = exc
+        logger.warning(
+            "supervised attempt failed %s",
+            kv(task=task.index, attempt=attempt, outcome=outcome,
+               detail=detail, retryable=retryable),
+        )
+        if task.queued:
+            return  # a retry is already scheduled
+        if retryable and task.retries_used < self.config.max_retries:
+            task.retries_used += 1
+            self.counters.retries += 1
+            delay = _deterministic_backoff(
+                task.key, task.retries_used,
+                self.config.retry_backoff, self.config.backoff_cap,
+            )
+            task.queued = True
+            self.retry_queue.append((time.monotonic() + delay, task))
+        elif task.inflight > 0:
+            pass  # a sibling attempt (hedge/abandoned) may still win
+        else:
+            self._fail(task, exc)
+
+    def _fail(self, task: _Task, exc: BaseException) -> None:
+        self.counters.failed += 1
+        del self.unfinished[task.index]
+        if self.strict:
+            raise exc
+        self.results[task.index] = FailedResult(
+            request=task.request,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            attempts=tuple(task.attempts),
+        )
+        logger.warning(
+            "request terminally failed %s",
+            kv(task=task.index, error=type(exc).__name__,
+               attempts=len(task.attempts)),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _respawn(self) -> None:
+        """Rebuild a broken pool; requeue exactly the lost tasks."""
+        self.broke = False
+        self.counters.pool_respawns += 1
+        now = time.monotonic()
+        lost: set[int] = set()
+        for task, attempt, started, _ in self.inflight.values():
+            if task.index in self.unfinished:
+                task.attempts.append(
+                    TaskAttempt(
+                        attempt, "lost", now - started,
+                        "worker process died; pool respawned",
+                    )
+                )
+                task.losses += 1
+                lost.add(task.index)
+            task.inflight = 0
+        self.inflight.clear()
+        self.counters.tasks_lost += len(lost)
+        try:
+            self.executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - already broken
+            pass
+        self.executor = ProcessPoolExecutor(max_workers=self.workers)
+        logger.warning(
+            "process pool respawned %s",
+            kv(lost=len(lost), unfinished=len(self.unfinished),
+               workers=self.workers),
+        )
+        for task in list(self.unfinished.values()):
+            if task.inflight or task.queued:
+                continue
+            if task.losses > self.config.max_retries + 1:
+                # A task that keeps killing workers is terminal: free
+                # requeues must not respawn the pool forever.
+                self._fail(
+                    task,
+                    ComputationError(
+                        f"request killed {task.losses} pool workers; "
+                        "giving up"
+                    ),
+                )
+                continue
+            self._launch(task)
+
+    def _launch_due_retries(self) -> None:
+        if not self.retry_queue:
+            return
+        now = time.monotonic()
+        still: list[tuple[float, _Task]] = []
+        for ready_at, task in self.retry_queue:
+            if task.index not in self.unfinished:
+                continue
+            if ready_at <= now:
+                task.queued = False
+                self._launch(task)
+            else:
+                still.append((ready_at, task))
+        self.retry_queue = still
+
+    def _sleep_until_retry(self) -> bool:
+        """Nothing in flight: sleep until the earliest queued retry."""
+        pending = [
+            ready_at for ready_at, task in self.retry_queue
+            if task.index in self.unfinished
+        ]
+        if not pending:
+            return False
+        delay = max(0.0, min(pending) - time.monotonic())
+        time.sleep(min(delay, 0.25))
+        return True
+
+    def _enforce_deadlines_and_hedges(self) -> None:
+        deadline = self.config.task_deadline
+        hedge_after = self.config.hedge_after
+        if deadline is None and hedge_after is None:
+            return
+        now = time.monotonic()
+        for future, (task, attempt, started, _) in list(
+            self.inflight.items()
+        ):
+            if task.index not in self.unfinished:
+                continue
+            age = now - started
+            if deadline is not None and age > deadline:
+                # Abandon: the worker cannot be preempted, but its
+                # eventual result is discarded.
+                del self.inflight[future]
+                task.inflight -= 1
+                self.counters.timeouts += 1
+                self._attempt_failed(
+                    task, attempt, age,
+                    TaskDeadlineError(
+                        f"attempt exceeded the {deadline:.3g}s deadline"
+                    ),
+                    retryable=True, outcome="timeout",
+                )
+            elif (
+                hedge_after is not None
+                and not task.hedged
+                and not task.queued
+                and age > hedge_after
+            ):
+                task.hedged = True
+                self.counters.hedges += 1
+                self._launch(task, is_hedge=True)
+
+
+# ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
 
@@ -320,8 +868,21 @@ class BatchSolver:
         self.config = config or EngineConfig.from_env()
         self._results = LRUCache(self.config.lru_size)
         self._solutions = LRUCache(self.config.solution_lru_size)
+        chaos = self.config.chaos
         self.disk = (
-            DiskCache(self.config.disk_cache, strict=self.config.strict_cache)
+            DiskCache(
+                self.config.disk_cache,
+                strict=self.config.strict_cache,
+                breaker=CircuitBreaker(
+                    failure_threshold=self.config.breaker_threshold,
+                    cooldown=self.config.breaker_cooldown,
+                ),
+                fault_hook=(
+                    CacheFaultInjector(chaos)
+                    if chaos is not None and chaos.cache_faults
+                    else None
+                ),
+            )
             if self.config.disk_cache is not None
             else None
         )
@@ -353,7 +914,8 @@ class BatchSolver:
         This is what the legacy entry points
         (:meth:`CrossbarModel.solve`, ``solve_robust``, the sweep
         helpers) delegate to: they keep returning rich solution objects
-        while sharing the engine's memoization.
+        while sharing the engine's memoization — and its transient-error
+        retry policy (``max_retries`` with deterministic backoff).
         """
         self.stats._add("lookups")
         key = request.cache_key
@@ -381,7 +943,7 @@ class BatchSolver:
                 )
             # Non-grid solution types are cheapest to just re-solve for
             # the new class order (measure indices must line up).
-        solution = _dispatch_solve(request)
+        solution = self._dispatch_with_retries(request)
         self.stats._add("solves")
         self._solutions.put(key, (request.classes, solution))
         return solution
@@ -394,16 +956,30 @@ class BatchSolver:
         self,
         requests: Sequence[SolveRequest],
         parallel: bool | None = None,
-    ) -> list[SolveResult]:
+        strict: bool | None = None,
+    ) -> list[SolveResult | FailedResult]:
         """Evaluate a batch: cache, share Q-grids, then fan out.
 
         Results are returned in request order regardless of execution
         order, and are byte-identical whether served serially, in
-        parallel, or from cache.
+        parallel, or from cache.  Under the (default) supervisor a
+        request that terminally fails comes back as a
+        :class:`FailedResult` in its slot while the rest of the batch
+        completes; pass ``strict=True`` (or configure
+        ``strict_batch=True``) to re-raise the first terminal failure
+        instead.
         """
         requests = list(requests)
         began = time.perf_counter()
-        results: list[SolveResult | None] = [None] * len(requests)
+        strict_mode = (
+            self.config.strict_batch if strict is None else strict
+        )
+        counters = _ResilienceCounters()
+        breaker = self.disk.breaker if self.disk is not None else None
+        trips_before = breaker.trips if breaker is not None else 0
+        results: list[SolveResult | FailedResult | None] = (
+            [None] * len(requests)
+        )
         memory_hits = disk_hits = 0
 
         misses: list[tuple[int, SolveRequest, str]] = []
@@ -431,8 +1007,17 @@ class BatchSolver:
         )
 
         use_pool = self._should_parallelize(len(leftover), parallel)
-        if use_pool:
+        if use_pool and self.config.supervised:
+            _PoolSupervisor(
+                self, leftover, results, counters, strict_mode
+            ).run()
+        elif use_pool:
             self._solve_parallel(leftover, results)
+        elif self.config.supervised:
+            for i, request, key in leftover:
+                results[i] = self._solve_serial_supervised(
+                    i, request, key, counters, strict_mode
+                )
         else:
             for i, request, key in leftover:
                 began_one = time.perf_counter()
@@ -452,6 +1037,19 @@ class BatchSolver:
             solved=len(leftover),
             parallel=use_pool,
             elapsed=time.perf_counter() - began,
+            retries=counters.retries,
+            timeouts=counters.timeouts,
+            hedges=counters.hedges,
+            hedges_won=counters.hedges_won,
+            failed=counters.failed,
+            tasks_lost=counters.tasks_lost,
+            pool_respawns=counters.pool_respawns,
+            breaker_state=(
+                breaker.state if breaker is not None else "disabled"
+            ),
+            breaker_trips=(
+                breaker.trips - trips_before if breaker is not None else 0
+            ),
         )
         self.last_metrics = metrics
         logger.info("batch evaluated %s", kv(**metrics.to_dict()))
@@ -515,6 +1113,136 @@ class BatchSolver:
         self._solutions.put(key, (request.classes, solution))
         return solution
 
+    def _dispatch_with_retries(self, request: SolveRequest) -> Any:
+        """Dispatch with the engine's transient-error retry policy.
+
+        Only ``OSError`` is retried: solver failures
+        (:class:`CrossbarError`) are deterministic, so retrying them
+        cannot change the outcome.
+        """
+        last: OSError | None = None
+        for attempt in range(self.config.max_retries + 1):
+            if attempt:
+                delay = _deterministic_backoff(
+                    request.cache_key, attempt,
+                    self.config.retry_backoff, self.config.backoff_cap,
+                )
+                if delay:
+                    time.sleep(delay)
+                logger.warning(
+                    "retrying solve %s",
+                    kv(attempt=attempt, error=str(last)[:80]),
+                )
+            try:
+                return _dispatch_solve(request)
+            except OSError as exc:
+                last = exc
+        raise last
+
+    # ------------------------------------------------------------------
+    # Supervised serial solving
+    # ------------------------------------------------------------------
+
+    def _solve_serial_supervised(
+        self,
+        index: int,
+        request: SolveRequest,
+        key: str,
+        counters: _ResilienceCounters,
+        strict: bool,
+    ) -> SolveResult | FailedResult:
+        """One task under supervision, in-process.
+
+        Same retry/deadline semantics as the pool supervisor; chaos
+        kill faults are simulated (raised) rather than executed, so a
+        serial batch survives to supervise them.
+        """
+        cfg = self.config
+        attempts: list[TaskAttempt] = []
+        last_error: BaseException | None = None
+        attempt = 0
+        retries_used = 0
+        while True:
+            began = time.perf_counter()
+            try:
+                result = self._run_serial_attempt(index, request, key, attempt)
+            except TaskDeadlineError as exc:
+                counters.timeouts += 1
+                attempts.append(
+                    TaskAttempt(
+                        attempt, "timeout",
+                        time.perf_counter() - began, str(exc),
+                    )
+                )
+                last_error, retryable = exc, True
+            except OSError as exc:
+                attempts.append(
+                    TaskAttempt(
+                        attempt, "error", time.perf_counter() - began,
+                        f"{type(exc).__name__}: {str(exc)[:120]}",
+                    )
+                )
+                last_error, retryable = exc, True
+            except CrossbarError as exc:
+                attempts.append(
+                    TaskAttempt(
+                        attempt, "error", time.perf_counter() - began,
+                        f"{type(exc).__name__}: {str(exc)[:120]}",
+                    )
+                )
+                last_error, retryable = exc, False
+            else:
+                attempts.append(
+                    TaskAttempt(attempt, "ok", time.perf_counter() - began)
+                )
+                return result
+            logger.warning(
+                "supervised attempt failed %s",
+                kv(task=index, attempt=attempt,
+                   outcome=attempts[-1].outcome,
+                   detail=attempts[-1].detail, retryable=retryable),
+            )
+            if retryable and retries_used < cfg.max_retries:
+                retries_used += 1
+                counters.retries += 1
+                delay = _deterministic_backoff(
+                    key, retries_used, cfg.retry_backoff, cfg.backoff_cap
+                )
+                if delay:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            counters.failed += 1
+            if strict:
+                raise last_error
+            return FailedResult(
+                request=request,
+                error_type=type(last_error).__name__,
+                error_message=str(last_error),
+                attempts=tuple(attempts),
+            )
+
+    def _run_serial_attempt(
+        self, index: int, request: SolveRequest, key: str, attempt: int
+    ) -> SolveResult:
+        def attempt_fn() -> SolveResult:
+            chaos = self.config.chaos
+            if chaos is not None:
+                chaos.apply_task(index, attempt, in_worker=False)
+            began = time.perf_counter()
+            solution = self._solution_memo_or_solve(request, key)
+            result = _result_from(
+                request, solution, time.perf_counter() - began
+            )
+            self._store(key, result)
+            return result
+
+        if self.config.task_deadline is not None:
+            return _call_with_deadline(
+                attempt_fn, self.config.task_deadline, name=f"task-{index}"
+            )
+        return attempt_fn()
+
     # ------------------------------------------------------------------
     # Q-grid sharing
     # ------------------------------------------------------------------
@@ -522,7 +1250,7 @@ class BatchSolver:
     def _serve_grid_groups(
         self,
         misses: list[tuple[int, SolveRequest, str]],
-        results: list[SolveResult | None],
+        results: list[SolveResult | FailedResult | None],
     ) -> tuple[int, int, list[tuple[int, SolveRequest, str]]]:
         """Serve groups of misses from one shared Algorithm 1 grid.
 
@@ -604,8 +1332,9 @@ class BatchSolver:
     def _solve_parallel(
         self,
         misses: list[tuple[int, SolveRequest, str]],
-        results: list[SolveResult | None],
+        results: list[SolveResult | FailedResult | None],
     ) -> None:
+        """Unsupervised fan-out (``supervised`` off): plain pool map."""
         workers = min(self._worker_count(), len(misses))
         chunk = self.config.chunk_size or max(
             1, math.ceil(len(misses) / (workers * 4))

@@ -1,0 +1,198 @@
+"""Circuit breaker guarding the engine's disk-cache backend.
+
+A flaky cache directory (full disk, yanked network mount, permission
+flap) must not take down a batch of product-form evaluations: the disk
+cache is an *optimization*, so after repeated I/O failures the engine
+should stop touching it and serve memory-only.  :class:`CircuitBreaker`
+implements the standard three-state machine:
+
+``closed``
+    Normal operation.  Failures are counted; ``failure_threshold``
+    *consecutive* failures trip the breaker to ``open``.
+``open``
+    Every request is rejected without touching the backend.  After
+    ``cooldown`` seconds the next request is allowed through as a
+    *probe* and the breaker moves to ``half-open``.
+``half-open``
+    Exactly one probe is in flight; further requests are rejected.
+    A recorded success closes the breaker, a failure re-opens it (and
+    restarts the cooldown).
+
+The breaker is thread-safe, clock-injectable (tests drive the cooldown
+with a fake clock), and every transition is logged through
+:mod:`repro.logging` and kept on :attr:`CircuitBreaker.events` so batch
+metrics can report what happened.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from ..logging import get_logger, kv
+
+__all__ = [
+    "BreakerEvent",
+    "CircuitBreaker",
+    "STATE_CLOSED",
+    "STATE_OPEN",
+    "STATE_HALF_OPEN",
+]
+
+logger = get_logger("engine.breaker")
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerEvent:
+    """One state transition: when, from where, to where, and why."""
+
+    at: float
+    from_state: str
+    to_state: str
+    reason: str
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        name: str = "disk-cache",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0.0:
+            raise ConfigurationError(
+                f"cooldown must be >= 0, got {cooldown}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: Times the breaker tripped ``closed``/``half-open`` -> ``open``.
+        self.trips = 0
+        #: Half-open probes allowed through.
+        self.probes = 0
+        #: Requests rejected while open/half-open.
+        self.rejections = 0
+        #: Successes and failures recorded against the backend.
+        self.successes = 0
+        self.failures = 0
+        self.events: list[BreakerEvent] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether the protected backend may be touched right now.
+
+        In ``open`` state this flips to ``half-open`` (allowing one
+        probe) once the cooldown has elapsed; in ``half-open`` state
+        only the single in-flight probe is allowed.
+        """
+        with self._lock:
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_OPEN:
+                if self._clock() - self._opened_at >= self.cooldown:
+                    self._transition(STATE_HALF_OPEN, "cooldown elapsed")
+                    self.probes += 1
+                    return True
+                self.rejections += 1
+                return False
+            # half-open: the probe is already out; reject until it lands.
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        """The backend answered: reset the failure run, close a probe."""
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            if self._state == STATE_HALF_OPEN:
+                self._transition(STATE_CLOSED, "probe succeeded")
+
+    def record_failure(self, reason: str = "") -> None:
+        """The backend failed: count it, trip or re-open as needed."""
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            if self._state == STATE_HALF_OPEN:
+                self.trips += 1
+                self._opened_at = self._clock()
+                self._transition(
+                    STATE_OPEN, reason or "probe failed"
+                )
+            elif (
+                self._state == STATE_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self.trips += 1
+                self._opened_at = self._clock()
+                self._transition(
+                    STATE_OPEN,
+                    reason
+                    or f"{self._consecutive_failures} consecutive failures",
+                )
+
+    def reset(self) -> None:
+        """Force-close (administrative reset); counters are kept."""
+        with self._lock:
+            if self._state != STATE_CLOSED:
+                self._transition(STATE_CLOSED, "manual reset")
+            self._consecutive_failures = 0
+
+    def snapshot(self) -> dict:
+        """Counters and state as a plain dict (for metrics/JSON)."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "trips": self.trips,
+                "probes": self.probes,
+                "rejections": self.rejections,
+                "successes": self.successes,
+                "failures": self.failures,
+                "consecutive_failures": self._consecutive_failures,
+            }
+
+    # ------------------------------------------------------------------
+
+    def _transition(self, to_state: str, reason: str) -> None:
+        """Record + log one transition.  Caller holds the lock."""
+        event = BreakerEvent(
+            at=self._clock(),
+            from_state=self._state,
+            to_state=to_state,
+            reason=reason,
+        )
+        self._state = to_state
+        self.events.append(event)
+        logger.warning(
+            "cache breaker transition %s",
+            kv(
+                breaker=self.name,
+                from_state=event.from_state,
+                to_state=event.to_state,
+                reason=reason,
+            ),
+        )

@@ -13,6 +13,20 @@ are *detectable*, not silent:
 * a version bump or a key mismatch (e.g. a digest collision, or a file
   copied from an incompatible cache) raises :class:`StaleCacheKeyError`
   in strict mode (default: miss + quarantine).
+
+I/O failures are a different animal from corruption: a full disk or a
+yanked mount is *transient infrastructure*, not bad data.  The disk
+cache therefore distinguishes the two: ``OSError`` during a read or
+write is counted against an optional
+:class:`~repro.engine.breaker.CircuitBreaker` (after enough
+consecutive failures the cache goes memory-only, with half-open
+probes) and the entry is *not* quarantined; a failed write is logged
+and swallowed — persistence is an optimization, never a correctness
+requirement.
+
+Writes are atomic (``tmp`` file + ``rename``), but a worker dying
+mid-write can orphan its ``<digest>.tmp-<pid>`` file; stale tmp files
+older than ``stale_tmp_age`` seconds are swept when the cache opens.
 """
 
 from __future__ import annotations
@@ -20,13 +34,17 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..exceptions import ComputationError
 from ..logging import get_logger, kv
 from .keys import key_digest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .breaker import CircuitBreaker
 
 __all__ = [
     "CacheCorruptionError",
@@ -39,6 +57,12 @@ logger = get_logger("engine.cache")
 
 #: Version of the on-disk entry envelope; bump to invalidate old caches.
 DISK_CACHE_VERSION = 1
+
+#: Default age (seconds) after which an orphaned ``.tmp-<pid>`` file —
+#: left behind by a writer that died mid-store — is swept at cache
+#: open.  Generous enough that no live writer's tmp file is ever this
+#: old (writes are sub-second).
+STALE_TMP_AGE = 600.0
 
 
 class CacheCorruptionError(ComputationError):
@@ -93,12 +117,42 @@ class DiskCache:
 
     Values are stored and returned as JSON-compatible dicts; the engine
     owns the conversion to/from :class:`~repro.api.SolveResult`.
+
+    Parameters
+    ----------
+    directory, strict:
+        As before: where entries live, and whether corrupt/stale
+        entries raise instead of being quarantined.
+    breaker:
+        Optional :class:`~repro.engine.breaker.CircuitBreaker`; when
+        given, ``OSError`` during reads/writes counts against it and an
+        open breaker short-circuits all disk I/O (every lookup is a
+        miss, every store a no-op) until a half-open probe succeeds.
+    fault_hook:
+        Optional chaos hook called as ``fault_hook(op, key, path)``
+        before each ``"load"``/``"store"``; it may raise ``OSError``
+        (denied I/O) or corrupt the entry file.  See
+        :mod:`repro.engine.chaos`.
+    stale_tmp_age:
+        Orphaned ``.tmp-<pid>`` files older than this many seconds are
+        deleted when the cache opens.
     """
 
-    def __init__(self, directory: str | Path, strict: bool = False) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        strict: bool = False,
+        breaker: "CircuitBreaker | None" = None,
+        fault_hook: Callable[[str, str, Path], None] | None = None,
+        stale_tmp_age: float = STALE_TMP_AGE,
+    ) -> None:
         self.directory = Path(directory)
         self.strict = strict
+        self.breaker = breaker
+        self.fault_hook = fault_hook
+        self.stale_tmp_age = stale_tmp_age
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.sweep_stale_tmp()
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key_digest(key)}.json"
@@ -109,20 +163,22 @@ class DiskCache:
         """The stored payload for ``key``, or None on a miss.
 
         Raise/quarantine behavior for bad entries follows ``strict``
-        (see the module docstring).
+        (see the module docstring).  With an open circuit breaker the
+        call is a miss without touching the disk at all.
         """
+        if self.breaker is not None and not self.breaker.allow():
+            return None
         path = self.path_for(key)
         try:
+            if self.fault_hook is not None:
+                self.fault_hook("load", key, path)
             text = path.read_text()
         except FileNotFoundError:
+            self._io_ok()
             return None
         except OSError as exc:
-            return self._reject(
-                path,
-                CacheCorruptionError(
-                    f"cache entry {path.name} unreadable: {exc}"
-                ),
-            )
+            return self._io_failure("load", key, exc)
+        self._io_ok()
         try:
             envelope = json.loads(text)
         except json.JSONDecodeError as exc:
@@ -158,8 +214,16 @@ class DiskCache:
             )
         return envelope["payload"]
 
-    def store(self, key: str, payload: dict) -> None:
-        """Atomically persist ``payload`` under ``key``."""
+    def store(self, key: str, payload: dict) -> bool:
+        """Atomically persist ``payload`` under ``key``.
+
+        Returns True when the entry hit the disk.  An ``OSError``
+        (including a chaos denial) is counted against the breaker,
+        logged, and swallowed — the engine keeps serving from memory.
+        An open breaker skips the write outright.
+        """
+        if self.breaker is not None and not self.breaker.allow():
+            return False
         path = self.path_for(key)
         envelope = {
             "version": DISK_CACHE_VERSION,
@@ -167,8 +231,44 @@ class DiskCache:
             "payload": payload,
         }
         tmp = path.with_suffix(f".tmp-{os.getpid()}")
-        tmp.write_text(json.dumps(envelope))
-        tmp.replace(path)
+        try:
+            if self.fault_hook is not None:
+                self.fault_hook("store", key, path)
+            tmp.write_text(json.dumps(envelope))
+            tmp.replace(path)
+        except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            self._io_failure("store", key, exc)
+            return False
+        self._io_ok()
+        return True
+
+    def sweep_stale_tmp(self) -> int:
+        """Delete orphaned ``.tmp-<pid>`` files; returns the count.
+
+        A worker that dies between ``tmp.write_text`` and the atomic
+        rename leaves its tmp file behind forever.  Only files older
+        than ``stale_tmp_age`` are touched, so a concurrent live
+        writer's in-flight tmp file is never yanked out from under it.
+        """
+        cutoff = time.time() - self.stale_tmp_age
+        removed = 0
+        for tmp in self.directory.glob("*.tmp-*"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:  # pragma: no cover - racing sweepers
+                pass
+        if removed:
+            logger.info(
+                "swept stale cache tmp files %s",
+                kv(directory=str(self.directory), removed=removed),
+            )
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
@@ -185,6 +285,21 @@ class DiskCache:
         return sum(1 for _ in self.directory.glob("*.json"))
 
     # ------------------------------------------------------------------
+
+    def _io_ok(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def _io_failure(self, op: str, key: str, exc: OSError) -> None:
+        """Count a transient I/O failure; miss (load) / no-op (store)."""
+        if self.breaker is not None:
+            self.breaker.record_failure(f"{op}: {type(exc).__name__}")
+        logger.warning(
+            "disk cache %s failed %s",
+            op,
+            kv(key=key[:60], error=f"{type(exc).__name__}: {exc}"),
+        )
+        return None
 
     def _reject(self, path: Path, error: ComputationError) -> None:
         """Raise in strict mode; otherwise quarantine and miss."""

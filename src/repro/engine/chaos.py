@@ -1,0 +1,288 @@
+"""Deterministic, seed-driven fault injection for the batch engine.
+
+The resilience claims of :mod:`repro.engine.batch` — worker-crash
+recovery, per-task deadlines, retry, the cache circuit breaker — are
+only trustworthy if they can be *exercised on demand*.  This module is
+the chaos harness: a :class:`FaultPlan` describes exactly which task
+(or cache operation) fails, how, and on which attempt, and the batch
+and cache layers consult it through two hooks:
+
+* ``EngineConfig.chaos`` — the plan rides into pool workers (it is a
+  small frozen, picklable dataclass) and
+  :meth:`FaultPlan.apply_task` fires task faults;
+* ``DiskCache.fault_hook`` — a :class:`CacheFaultInjector` built from
+  the same plan fires cache faults (deny = transient ``OSError``,
+  corrupt = scribble over the entry before the read).
+
+Fault kinds
+-----------
+``kill-worker``
+    The worker process exits hard (``os._exit``) mid-task, breaking
+    the process pool; applied in-process (serial batches) it raises
+    :class:`WorkerKilledError` instead, so the supervisor sees the
+    same retryable failure without killing the interpreter.
+``delay``
+    The task sleeps ``duration`` seconds before solving — long enough
+    to blow a per-task deadline or trigger a hedge.
+``transient-error``
+    The task raises ``OSError`` (retryable) on the targeted attempt.
+``cache-deny``
+    The next ``count`` matching cache operations raise ``OSError``
+    (this is what trips the circuit breaker).
+``cache-corrupt``
+    The entry file is overwritten with garbage just before the cache
+    touches it; the normal corruption path (quarantine/strict raise)
+    takes over from there.
+
+Plans are deterministic: :meth:`FaultPlan.from_seed` derives victims
+from a seed via :class:`random.Random`, and everything else is data.
+Because every solve is a pure function of its request, a recovered run
+is *byte-identical* to a fault-free run — the property the chaos tests
+assert.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "ALL_ATTEMPTS",
+    "CacheFaultInjector",
+    "ChaosFault",
+    "FaultPlan",
+    "WorkerKilledError",
+    "corrupt_entry",
+    "KIND_KILL",
+    "KIND_DELAY",
+    "KIND_ERROR",
+    "KIND_CACHE_DENY",
+    "KIND_CACHE_CORRUPT",
+]
+
+KIND_KILL = "kill-worker"
+KIND_DELAY = "delay"
+KIND_ERROR = "transient-error"
+KIND_CACHE_DENY = "cache-deny"
+KIND_CACHE_CORRUPT = "cache-corrupt"
+
+_TASK_KINDS = (KIND_KILL, KIND_DELAY, KIND_ERROR)
+_CACHE_KINDS = (KIND_CACHE_DENY, KIND_CACHE_CORRUPT)
+
+#: Sentinel attempt number meaning "fire on every attempt" (a
+#: permanently failing task, not a transient hiccup).
+ALL_ATTEMPTS = -1
+
+#: Exit status of a chaos-killed pool worker (visible in core dumps /
+#: process tables; any nonzero value breaks the pool identically).
+KILL_EXIT_STATUS = 77
+
+GARBAGE = "{chaos corrupted this entry"
+
+
+class WorkerKilledError(OSError):
+    """In-process stand-in for a hard worker death (serial batches)."""
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One planned fault.
+
+    Task faults (``kill-worker``/``delay``/``transient-error``) target
+    a batch ``task`` index and an ``attempt`` number
+    (:data:`ALL_ATTEMPTS` = every attempt).  Cache faults
+    (``cache-deny``/``cache-corrupt``) target an operation (``"load"``,
+    ``"store"``, or ``""`` for both) and optionally a specific ``key``
+    (``""`` = any key), firing at most ``count`` times.
+    """
+
+    kind: str
+    task: int = -1
+    attempt: int = 0
+    duration: float = 0.0
+    op: str = ""
+    key: str = ""
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TASK_KINDS + _CACHE_KINDS:
+            raise ConfigurationError(
+                f"unknown chaos fault kind {self.kind!r}; expected one of "
+                f"{_TASK_KINDS + _CACHE_KINDS}"
+            )
+
+    def matches_task(self, task: int, attempt: int) -> bool:
+        return (
+            self.kind in _TASK_KINDS
+            and self.task == task
+            and (self.attempt == ALL_ATTEMPTS or self.attempt == attempt)
+        )
+
+    def matches_cache(self, op: str, key: str) -> bool:
+        return (
+            self.kind in _CACHE_KINDS
+            and (not self.op or self.op == op)
+            and (not self.key or self.key == key)
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults for one (or more) batch runs."""
+
+    faults: tuple[ChaosFault, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def task_faults(self) -> tuple[ChaosFault, ...]:
+        return tuple(f for f in self.faults if f.kind in _TASK_KINDS)
+
+    @property
+    def cache_faults(self) -> tuple[ChaosFault, ...]:
+        return tuple(f for f in self.faults if f.kind in _CACHE_KINDS)
+
+    def task_fault(self, task: int, attempt: int) -> ChaosFault | None:
+        """The first fault targeting (task, attempt), or None."""
+        for fault in self.faults:
+            if fault.matches_task(task, attempt):
+                return fault
+        return None
+
+    def apply_task(self, task: int, attempt: int, in_worker: bool) -> None:
+        """Fire the planned fault for this (task, attempt), if any.
+
+        Called at the top of every task attempt — inside the pool
+        worker for parallel batches (``in_worker=True``), in the engine
+        process for serial ones.  ``kill-worker`` hard-exits a real
+        worker but raises :class:`WorkerKilledError` in-process so a
+        serial batch survives to supervise it.
+        """
+        fault = self.task_fault(task, attempt)
+        if fault is None:
+            return
+        if fault.kind == KIND_DELAY:
+            time.sleep(fault.duration)
+            return
+        if fault.kind == KIND_ERROR:
+            raise OSError(
+                f"chaos: transient error (task {task}, attempt {attempt})"
+            )
+        # kill-worker
+        if in_worker:
+            os._exit(KILL_EXIT_STATUS)
+        raise WorkerKilledError(
+            f"chaos: worker killed (task {task}, attempt {attempt}; "
+            "simulated in-process)"
+        )
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        tasks: int,
+        kills: int = 1,
+        delays: int = 0,
+        errors: int = 0,
+        delay_duration: float = 1.0,
+        cache_denies: int = 0,
+        attempt: int = 0,
+    ) -> "FaultPlan":
+        """Derive a plan from a seed: distinct victims, fixed kinds.
+
+        Victim task indices are drawn without replacement by
+        ``random.Random(seed)``, so the same seed always produces the
+        same plan — the chaos tests' reproducibility contract.
+        """
+        wanted = kills + delays + errors
+        if wanted > tasks:
+            raise ConfigurationError(
+                f"cannot pick {wanted} distinct victims from {tasks} tasks"
+            )
+        rng = random.Random(seed)
+        victims = rng.sample(range(tasks), k=wanted)
+        faults: list[ChaosFault] = []
+        cursor = 0
+        for kind, n in (
+            (KIND_KILL, kills), (KIND_DELAY, delays), (KIND_ERROR, errors)
+        ):
+            for _ in range(n):
+                faults.append(
+                    ChaosFault(
+                        kind=kind,
+                        task=victims[cursor],
+                        attempt=attempt,
+                        duration=(
+                            delay_duration if kind == KIND_DELAY else 0.0
+                        ),
+                    )
+                )
+                cursor += 1
+        if cache_denies:
+            faults.append(
+                ChaosFault(kind=KIND_CACHE_DENY, count=cache_denies)
+            )
+        return cls(faults=tuple(faults), seed=seed)
+
+
+class CacheFaultInjector:
+    """Stateful hook wired into :class:`~repro.engine.cache.DiskCache`.
+
+    Called as ``injector(op, key, path)`` before each disk-cache
+    operation; counts down each cache fault's ``count`` budget and
+    fires it (deny raises ``OSError``, corrupt scribbles over the
+    entry file).  Lives in the engine process only — pool workers never
+    touch the parent's disk cache.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._remaining = {
+            i: fault.count
+            for i, fault in enumerate(plan.faults)
+            if fault.kind in _CACHE_KINDS
+        }
+        #: Faults actually fired, for test assertions.
+        self.fired: list[tuple[str, str, str]] = []
+
+    def __call__(self, op: str, key: str, path: Path) -> None:
+        for i, fault in enumerate(self.plan.faults):
+            if self._remaining.get(i, 0) <= 0:
+                continue
+            if not fault.matches_cache(op, key):
+                continue
+            self._remaining[i] -= 1
+            self.fired.append((fault.kind, op, key))
+            if fault.kind == KIND_CACHE_DENY:
+                raise OSError(
+                    f"chaos: cache {op} denied (key {key[:40]!r})"
+                )
+            corrupt_path(path)
+            return
+
+
+def corrupt_path(path: Path) -> None:
+    """Overwrite a cache entry file with unparseable garbage."""
+    path.write_text(GARBAGE)
+
+
+def corrupt_entry(disk, key: str) -> Path:
+    """Corrupt the on-disk entry for ``key``; returns the file path.
+
+    The file must exist (corrupting a miss would silently test
+    nothing).
+    """
+    path = disk.path_for(key)
+    if not path.exists():
+        raise ConfigurationError(
+            f"no cache entry to corrupt for key {key[:60]!r}"
+        )
+    corrupt_path(path)
+    return path

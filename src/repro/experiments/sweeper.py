@@ -164,10 +164,21 @@ def run_sweep(spec: SweepSpec) -> list[dict]:
         for n in spec.sizes
     ]
     results = solve_many(requests)
-    return [
-        _result_row(spec, n, result)
-        for n, result in zip(spec.sizes, results)
-    ]
+    rows: list[dict] = []
+    for n, result in zip(spec.sizes, results):
+        if getattr(result, "failed", False):
+            # A terminally failed point (engine FailedResult): keep the
+            # sweep alive, record the error; write_csv unions columns,
+            # so measure cells stay blank for this row.
+            rows.append(
+                {
+                    "n": n,
+                    "error": f"{result.error_type}: {result.error_message}",
+                }
+            )
+            continue
+        rows.append(_result_row(spec, n, result))
+    return rows
 
 
 def write_csv(rows: Sequence[dict], path: str | Path | None = None) -> str:

@@ -33,9 +33,9 @@ should treat budgets as scheduling hints, not hard real-time bounds.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import NamedTuple
@@ -222,17 +222,37 @@ def _run_with_timeout(
     classes: Sequence[TrafficClass],
     timeout: float | None,
 ) -> object:
-    """Run one solver, abandoning it after ``timeout`` seconds."""
+    """Run one solver, abandoning it after ``timeout`` seconds.
+
+    A timed-out solver cannot be killed, only abandoned: the worker
+    thread is marked *daemonic* so an abandoned long-running solve can
+    never stall interpreter exit (a ``ThreadPoolExecutor`` worker is
+    non-daemon and would be joined at shutdown — exactly the hang this
+    function exists to prevent).
+    """
     if timeout is None or not math.isfinite(timeout):
         return spec.solve(dims, classes)
-    executor = ThreadPoolExecutor(
-        max_workers=1, thread_name_prefix=f"robust-{spec.name}"
+    box: list[tuple[bool, object]] = []
+
+    def runner() -> None:
+        try:
+            box.append((True, spec.solve(dims, classes)))
+        except BaseException as exc:  # noqa: BLE001 - relayed below
+            box.append((False, exc))
+
+    thread = threading.Thread(
+        target=runner, daemon=True, name=f"robust-{spec.name}"
     )
-    try:
-        future = executor.submit(spec.solve, dims, classes)
-        return future.result(timeout=timeout)
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
+    thread.start()
+    thread.join(timeout)
+    if not box:
+        raise FutureTimeoutError(
+            f"solver {spec.name!r} exceeded its {timeout:.3g}s budget"
+        )
+    ok, value = box[0]
+    if not ok:
+        raise value
+    return value
 
 
 def solve_robust(

@@ -1,0 +1,255 @@
+"""Chaos harness drills: seed-driven fault injection against full
+50-point sweeps, asserting recovery is byte-identical to a clean run.
+
+Every solve is a pure function of its request, and ``SolveResult``
+equality deliberately excludes timing/provenance fields — so a batch
+that survived a worker kill, a blown deadline, or a corrupted cache
+entry must compare *equal* to the fault-free batch.  That equality is
+the resilience layer's correctness contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SolveRequest
+from repro.core.traffic import TrafficClass
+from repro.engine import (
+    BatchSolver,
+    EngineConfig,
+    FailedResult,
+    corrupt_entry,
+)
+from repro.engine.chaos import (
+    ALL_ATTEMPTS,
+    KIND_ERROR,
+    KIND_KILL,
+    CacheFaultInjector,
+    ChaosFault,
+    FaultPlan,
+    WorkerKilledError,
+)
+from repro.exceptions import ConfigurationError
+from repro.methods import SolveMethod
+
+SEED = 1992  # the paper's year; any seed works, this one is pinned
+N_POINTS = 50
+
+
+@pytest.fixture(scope="module")
+def classes():
+    return (
+        TrafficClass.poisson(0.03, name="data"),
+        TrafficClass(alpha=0.01, beta=0.005, name="video"),
+    )
+
+
+@pytest.fixture(scope="module")
+def requests(classes):
+    """50 distinct MVA points (MVA is never grid-grouped: one task
+    per point, which is what the fault plans target)."""
+    return [
+        SolveRequest.square(n, classes, method=SolveMethod.MVA)
+        for n in range(3, 3 + N_POINTS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def clean(requests):
+    """Fault-free reference results, solved serially (once)."""
+    return BatchSolver(
+        EngineConfig(max_retries=0)
+    ).evaluate_many(requests, parallel=False)
+
+
+class TestFaultPlans:
+    def test_from_seed_is_deterministic(self):
+        a = FaultPlan.from_seed(SEED, tasks=N_POINTS, kills=1, delays=2)
+        b = FaultPlan.from_seed(SEED, tasks=N_POINTS, kills=1, delays=2)
+        assert a == b
+        c = FaultPlan.from_seed(SEED + 1, tasks=N_POINTS, kills=1, delays=2)
+        assert a != c
+
+    def test_from_seed_victims_are_distinct(self):
+        plan = FaultPlan.from_seed(
+            SEED, tasks=10, kills=3, delays=3, errors=3
+        )
+        victims = [f.task for f in plan.task_faults]
+        assert len(victims) == len(set(victims)) == 9
+
+    def test_from_seed_rejects_overcommitment(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_seed(SEED, tasks=2, kills=3)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosFault("melt-the-switch")
+
+    def test_kill_applied_in_process_raises(self):
+        plan = FaultPlan(faults=(ChaosFault(KIND_KILL, task=0),))
+        with pytest.raises(WorkerKilledError):
+            plan.apply_task(0, 0, in_worker=False)
+        # Non-matching task/attempt: no-op.
+        plan.apply_task(1, 0, in_worker=False)
+        plan.apply_task(0, 1, in_worker=False)
+
+    def test_cache_injector_respects_count_budget(self, tmp_path):
+        plan = FaultPlan(
+            faults=(ChaosFault("cache-deny", op="load", count=2),)
+        )
+        injector = CacheFaultInjector(plan)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                injector("load", "k", tmp_path / "k.json")
+        injector("load", "k", tmp_path / "k.json")  # budget spent
+        injector("store", "k", tmp_path / "k.json")  # op mismatch
+        assert len(injector.fired) == 2
+
+
+class TestWorkerKillRecovery:
+    def test_sweep_survives_a_worker_kill(self, requests, clean):
+        plan = FaultPlan.from_seed(SEED, tasks=N_POINTS, kills=1)
+        engine = BatchSolver(EngineConfig(chaos=plan, processes=2))
+        results = engine.evaluate_many(requests, parallel=True)
+        assert results == clean
+        metrics = engine.last_metrics
+        assert metrics.failed == 0
+        assert metrics.pool_respawns >= 1
+        assert metrics.tasks_lost >= 1
+
+    def test_kill_simulated_in_serial_batch_is_retried(
+        self, requests, clean
+    ):
+        plan = FaultPlan.from_seed(SEED, tasks=N_POINTS, kills=1)
+        engine = BatchSolver(EngineConfig(chaos=plan))
+        results = engine.evaluate_many(requests, parallel=False)
+        assert results == clean
+        assert engine.last_metrics.retries >= 1
+        assert engine.last_metrics.failed == 0
+
+
+class TestDeadlineRecovery:
+    def test_sweep_survives_a_delayed_task(self, requests, clean):
+        plan = FaultPlan.from_seed(
+            SEED, tasks=N_POINTS, kills=0, delays=1, delay_duration=2.0
+        )
+        engine = BatchSolver(
+            EngineConfig(chaos=plan, task_deadline=0.4, processes=2)
+        )
+        results = engine.evaluate_many(requests, parallel=True)
+        assert results == clean
+        metrics = engine.last_metrics
+        assert metrics.timeouts >= 1
+        assert metrics.retries >= 1
+        assert metrics.failed == 0
+
+
+class TestCacheCorruptionRecovery:
+    def test_sweep_survives_a_corrupted_entry(
+        self, tmp_path, requests, clean
+    ):
+        # Pass 1: populate the disk cache.
+        warm = BatchSolver(EngineConfig(disk_cache=tmp_path))
+        first = warm.evaluate_many(requests, parallel=False)
+        assert first == clean
+
+        # Chaos corrupts the seed-chosen victim's entry right before
+        # the engine reads it.
+        victim = FaultPlan.from_seed(
+            SEED, tasks=N_POINTS, kills=1
+        ).task_faults[0].task
+        victim_key = requests[victim].cache_key
+        plan = FaultPlan(
+            faults=(
+                ChaosFault(
+                    "cache-corrupt", op="load", key=victim_key
+                ),
+            ),
+            seed=SEED,
+        )
+        engine = BatchSolver(
+            EngineConfig(disk_cache=tmp_path, chaos=plan)
+        )
+        results = engine.evaluate_many(requests, parallel=False)
+        assert results == clean
+        assert engine.disk.fault_hook.fired == [
+            ("cache-corrupt", "load", victim_key)
+        ]
+        # The quarantined entry was re-solved and re-stored intact.
+        assert engine.disk.load(victim_key) is not None
+
+    def test_corrupt_entry_helper(self, tmp_path, classes):
+        disk_engine = BatchSolver(EngineConfig(disk_cache=tmp_path))
+        request = SolveRequest.square(
+            4, classes, method=SolveMethod.MVA
+        )
+        before = disk_engine.solve(request)
+        path = corrupt_entry(disk_engine.disk, request.cache_key)
+        assert path.exists()
+        disk_engine.clear()
+        after = disk_engine.solve(request)  # quarantine + re-solve
+        assert after == before
+        with pytest.raises(ConfigurationError):
+            corrupt_entry(disk_engine.disk, "never-stored-key")
+
+
+class TestPermanentFailure:
+    def test_parallel_batch_isolates_a_permanent_failure(
+        self, requests, clean
+    ):
+        victim = 7
+        plan = FaultPlan(
+            faults=(
+                ChaosFault(
+                    KIND_ERROR, task=victim, attempt=ALL_ATTEMPTS
+                ),
+            )
+        )
+        engine = BatchSolver(
+            EngineConfig(chaos=plan, processes=2, max_retries=1)
+        )
+        results = engine.evaluate_many(requests, parallel=True)
+        failure = results[victim]
+        assert isinstance(failure, FailedResult)
+        assert failure.error_type == "OSError"
+        assert len(failure.attempts) == 2  # original + 1 retry
+        others = [r for i, r in enumerate(results) if i != victim]
+        expected = [r for i, r in enumerate(clean) if i != victim]
+        assert others == expected
+        assert engine.last_metrics.failed == 1
+
+    def test_parallel_strict_reraises(self, requests):
+        plan = FaultPlan(
+            faults=(
+                ChaosFault(KIND_ERROR, task=7, attempt=ALL_ATTEMPTS),
+            )
+        )
+        engine = BatchSolver(
+            EngineConfig(chaos=plan, processes=2, max_retries=0)
+        )
+        with pytest.raises(OSError):
+            engine.evaluate_many(requests, parallel=True, strict=True)
+
+
+class TestBreakerUnderChaos:
+    def test_cache_denies_trip_the_breaker_mid_sweep(
+        self, tmp_path, requests, clean
+    ):
+        plan = FaultPlan(
+            faults=(ChaosFault("cache-deny", count=3),), seed=SEED
+        )
+        engine = BatchSolver(
+            EngineConfig(
+                disk_cache=tmp_path,
+                chaos=plan,
+                breaker_threshold=3,
+                breaker_cooldown=3600.0,
+            )
+        )
+        results = engine.evaluate_many(requests[:10], parallel=False)
+        assert results == clean[:10]
+        metrics = engine.last_metrics
+        assert metrics.breaker_trips == 1
+        assert metrics.breaker_state == "open"
+        assert engine.disk.breaker.rejections > 0
+        assert engine.last_metrics.failed == 0

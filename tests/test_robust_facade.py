@@ -235,3 +235,44 @@ class TestHealthCheck:
 
         reason = check_solution_health(Exploding(), 1)
         assert "measure evaluation failed" in reason
+
+
+class TestTimeoutThreadHygiene:
+    """Regression: a timed-out solver used to run on a non-daemon
+    ThreadPoolExecutor worker, which the interpreter joins at shutdown
+    — one abandoned long-running solve could stall process exit."""
+
+    def test_abandoned_worker_thread_is_daemonic(self, dims, classes):
+        import threading
+
+        from repro.robust.facade import FutureTimeoutError, _run_with_timeout
+
+        release = threading.Event()
+
+        def stuck_solve(d, c):
+            release.wait(30.0)
+            return FakeSolution()
+
+        spec = SolverSpec("stuck", stuck_solve)
+        with pytest.raises(FutureTimeoutError):
+            _run_with_timeout(spec, dims, classes, timeout=0.05)
+        workers = [
+            t for t in threading.enumerate() if t.name == "robust-stuck"
+        ]
+        assert workers, "the abandoned solver thread should still exist"
+        assert all(t.daemon for t in workers)
+        release.set()
+
+    def test_fast_solver_result_and_errors_pass_through(
+        self, dims, classes
+    ):
+        from repro.robust.facade import _run_with_timeout
+
+        good = SolverSpec("good", lambda d, c: FakeSolution())
+        assert isinstance(
+            _run_with_timeout(good, dims, classes, timeout=5.0),
+            FakeSolution,
+        )
+        bad = failing("bad", ComputationError("boom"))
+        with pytest.raises(ComputationError):
+            _run_with_timeout(bad, dims, classes, timeout=5.0)

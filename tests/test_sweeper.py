@@ -96,3 +96,48 @@ class TestWriteCsv:
 
         results = doctest.testmod(module)
         assert results.failed == 0
+
+
+class TestFailedPoints:
+    def test_failed_point_becomes_error_row(self):
+        from repro.engine import (
+            BatchSolver,
+            ChaosFault,
+            EngineConfig,
+            FaultPlan,
+            set_default_engine,
+        )
+        from repro.engine.chaos import ALL_ATTEMPTS
+
+        # Size-dependent mixes prevent Q-grid grouping, so each point
+        # is its own supervised task; task 1 (n=4) fails permanently.
+        chaos = FaultPlan(
+            faults=(
+                ChaosFault(
+                    "transient-error", task=1, attempt=ALL_ATTEMPTS
+                ),
+            )
+        )
+        previous = set_default_engine(
+            BatchSolver(EngineConfig(chaos=chaos, max_retries=0))
+        )
+        try:
+            spec = SweepSpec(
+                name="s", sizes=[3, 4], classes_for=_classes,
+                measures=("blocking",),
+            )
+            rows = run_sweep(spec)
+        finally:
+            set_default_engine(previous)
+        assert rows[0]["n"] == 3
+        assert "blocking[p]" in rows[0]
+        assert rows[1] == {
+            "n": 4,
+            "error": rows[1]["error"],
+        }
+        assert rows[1]["error"].startswith("OSError")
+        # The union-of-columns CSV writer leaves the measures blank.
+        text = write_csv(rows)
+        reader = list(csv.DictReader(io.StringIO(text)))
+        assert reader[1]["blocking[p]"] == ""
+        assert "OSError" in reader[1]["error"]
