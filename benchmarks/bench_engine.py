@@ -21,6 +21,13 @@ parallel MVA batch run under the default supervisor (retries +
 deadline armed) vs the unsupervised fast path (``max_retries=0``),
 with both runs' ``BatchMetrics`` dicts included in the JSON.
 
+A fifth section, **service**, drives the solve-serving daemon
+(``repro.service``) over its real JSON/HTTP wire at 1, 8 and 64
+concurrent clients and records throughput plus p50/p99 latency per
+level and the overall coalesce hit-rate (asserted: every sampled wire
+result equals the local solve; the timings are recorded for trend
+tracking).
+
 Run ``python benchmarks/bench_engine.py --quick`` for the CI-sized
 variant.
 """
@@ -201,6 +208,84 @@ def bench_resilience_overhead(n_points: int) -> dict:
     }
 
 
+def bench_service(n_requests: int) -> dict:
+    """The daemon under 1/8/64 concurrent clients, real wire included.
+
+    Requests rotate over four distinct warmed models, so the numbers
+    measure the service path (framing, gate, coalescing, batching)
+    rather than solve time — which is exactly the overhead a deployer
+    wants to know.  Byte identity with local solves is asserted;
+    throughput and latency are recorded.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.api import solve
+    from repro.service import ServiceClient, ServiceConfig, start_in_thread
+
+    pool_requests = [
+        SolveRequest.square(n, SWEEP_CLASSES) for n in (4, 6, 8, 10)
+    ]
+    local = {r.cache_key: solve(r) for r in pool_requests}
+
+    handle = start_in_thread(
+        ServiceConfig(port=0, gate_capacity=256, batch_window=0.001),
+        engine=BatchSolver(EngineConfig()),
+    )
+    try:
+        client = ServiceClient(*handle.address)
+        for request in pool_requests:  # warm the daemon's engine
+            result = client.solve(request)
+            assert result == local[request.cache_key], (
+                f"wire result diverged from local solve for {request.dims}"
+            )
+
+        def one_call(index: int) -> float:
+            request = pool_requests[index % len(pool_requests)]
+            began = time.perf_counter()
+            result = client.solve(request)
+            elapsed = time.perf_counter() - began
+            assert result == local[request.cache_key]
+            return elapsed
+
+        def percentile(sorted_values: list[float], q: float) -> float:
+            index = min(len(sorted_values) - 1,
+                        int(q * (len(sorted_values) - 1) + 0.5))
+            return sorted_values[index]
+
+        levels = {}
+        for clients in (1, 8, 64):
+            with ThreadPoolExecutor(max_workers=clients) as executor:
+                began = time.perf_counter()
+                latencies = sorted(
+                    executor.map(one_call, range(n_requests))
+                )
+                elapsed = time.perf_counter() - began
+            levels[str(clients)] = {
+                "clients": clients,
+                "requests": n_requests,
+                "throughput_rps": n_requests / elapsed,
+                "p50_ms": percentile(latencies, 0.50) * 1e3,
+                "p99_ms": percentile(latencies, 0.99) * 1e3,
+            }
+
+        flights = handle.service.flights
+        attempts = flights.hits + flights.leaders
+        coalesce_hit_rate = flights.hits / attempts if attempts else 0.0
+        gate = handle.service.gate.snapshot()
+        assert gate.rejected == 0, "benchmark gate unexpectedly rejected"
+    finally:
+        handle.stop()
+
+    return {
+        "models": len(pool_requests),
+        "levels": levels,
+        "coalesce_hits": flights.hits,
+        "coalesce_leaders": flights.leaders,
+        "coalesce_hit_rate": coalesce_hit_rate,
+        "identical": True,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -219,6 +304,7 @@ def main(argv=None) -> int:
         sweep = bench_sweep(4, 64, min_speedup=5.0)
     robust = bench_robust_availability()
     resilience = bench_resilience_overhead(16 if args.quick else 50)
+    service = bench_service(128 if args.quick else 512)
 
     report = {
         "benchmark": "engine",
@@ -226,6 +312,7 @@ def main(argv=None) -> int:
         "sweep": sweep,
         "robust_availability": robust,
         "resilience_overhead": resilience,
+        "service": service,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -234,7 +321,10 @@ def main(argv=None) -> int:
         f"(floor {sweep['min_speedup']:g}x); "
         f"second-pass hit-rate {sweep['second_pass']['hit_rate']:.0%}; "
         f"availability hit-rate {robust['hit_rate']:.1%}; "
-        f"supervision overhead {resilience['overhead_ratio']:.2f}x "
+        f"supervision overhead {resilience['overhead_ratio']:.2f}x; "
+        f"service {service['levels']['64']['throughput_rps']:.0f} req/s "
+        f"@64 clients (p99 {service['levels']['64']['p99_ms']:.1f}ms, "
+        f"coalesce {service['coalesce_hit_rate']:.0%}) "
         f"-> {args.output}"
     )
     return 0

@@ -91,7 +91,23 @@ from .robust import (
     solve_robust,
 )
 
-__version__ = "1.0.0"
+#: Version of last resort when the distribution metadata is absent
+#: (e.g. running from a source checkout via ``PYTHONPATH=src``).
+_FALLBACK_VERSION = "1.1.0"
+
+
+def _detect_version() -> str:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - stdlib since 3.8
+        return _FALLBACK_VERSION
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return _FALLBACK_VERSION
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "AsymptoticSolution",

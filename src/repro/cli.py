@@ -116,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
             "(Stirpe & Pinsky, SIGCOMM 1992 reproduction)"
         ),
     )
+    from . import __version__
+
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
+    )
     resilience = parser.add_argument_group(
         "engine resilience",
         "fault-tolerance knobs of the batch engine (global; place "
@@ -251,6 +257,78 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--verbose", action="store_true",
         help="structured log lines for every solver attempt",
+    )
+
+    p = sub.add_parser(
+        "batch",
+        help="evaluate a batch of solve requests through the engine",
+    )
+    _add_traffic_arguments(p, required=False)
+    p.add_argument(
+        "--sizes", metavar="N1,N2,...",
+        help="comma-separated square sizes to sweep with the class flags",
+    )
+    p.add_argument(
+        "--requests", metavar="FILE",
+        help="JSON file with a list of solve-request records "
+             "(overrides --n/--sizes and the class flags)",
+    )
+    p.add_argument(
+        "--method", default=SolveMethod.CONVOLUTION.value,
+        choices=tuple(
+            m.value for m in SolveMethod if m is not SolveMethod.SERIES
+        ),
+        help="algorithm for --sizes sweeps",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit results as JSON instead of a table",
+    )
+    p.add_argument(
+        "--metrics-json", metavar="PATH", dest="metrics_json",
+        help="dump the run's BatchMetrics as JSON to PATH "
+             "('-' for stdout)",
+    )
+    p.add_argument(
+        "--parallel", action="store_true", default=None,
+        help="force process-pool fan-out for cache misses",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the asyncio solve-serving daemon (see docs/service.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8377)
+    p.add_argument(
+        "--gate-capacity", type=int, default=64, metavar="TOKENS",
+        help="admission tokens; full gate => 503, blocked calls cleared "
+             "(default 64)",
+    )
+    p.add_argument(
+        "--point-weight", type=int, default=1, metavar="TOKENS",
+        help="tokens one /solve request holds (default 1)",
+    )
+    p.add_argument(
+        "--batch-member-weight", type=int, default=1, metavar="TOKENS",
+        help="tokens per member of a /batch request (default 1)",
+    )
+    p.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="SECONDS",
+        help="micro-batch collection window (default 2ms)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=256, metavar="N",
+        help="flush as soon as this many requests are pending",
+    )
+    p.add_argument(
+        "--min-hold", type=float, default=0.0, metavar="SECONDS",
+        help="artificial admission-token holding time (load emulation; "
+             "default 0)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="structured request logs on stderr",
     )
 
     p = sub.add_parser(
@@ -395,6 +473,12 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         )
         return 0
+
+    if args.command == "batch":
+        return _cmd_batch(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
 
     if args.command == "solve" and getattr(args, "config", None):
         from .io import load_model
@@ -573,6 +657,144 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise CrossbarError(f"unhandled command {args.command!r}")
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """``crossbar-repro batch``: one engine batch, metrics on request."""
+    import json
+    from pathlib import Path
+
+    from .api import SolveRequest
+    from .engine import get_default_engine
+
+    if args.requests:
+        try:
+            payload = json.loads(Path(args.requests).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CrossbarError(
+                f"cannot read request file {args.requests!r}: {exc}"
+            ) from exc
+        if isinstance(payload, dict):
+            payload = payload.get("requests")
+        if not isinstance(payload, list) or not payload:
+            raise CrossbarError(
+                "request file must hold a non-empty list of request "
+                "records (or {'requests': [...]})"
+            )
+        try:
+            requests = [SolveRequest.from_dict(rec) for rec in payload]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CrossbarError(f"malformed request record: {exc}") from exc
+    else:
+        classes = _parse_classes(args)
+        if args.sizes:
+            try:
+                sizes = [
+                    int(tok) for tok in args.sizes.split(",") if tok.strip()
+                ]
+            except ValueError as exc:
+                raise CrossbarError(
+                    f"bad --sizes {args.sizes!r}: expected comma-separated "
+                    "integers"
+                ) from exc
+        elif args.n is not None:
+            sizes = [args.n]
+        else:
+            raise CrossbarError(
+                "batch needs --requests, or class flags with --sizes/--n"
+            )
+        requests = [
+            SolveRequest(
+                SwitchDimensions(n, args.n2 or n), tuple(classes),
+                args.method,
+            )
+            for n in sizes
+        ]
+
+    engine = get_default_engine()
+    results = engine.evaluate_many(requests, parallel=args.parallel)
+    metrics = engine.last_metrics
+
+    if args.metrics_json:
+        text = json.dumps(metrics.to_dict(), indent=2) + "\n"
+        if args.metrics_json == "-":
+            print(text, end="")
+        else:
+            Path(args.metrics_json).write_text(text)
+
+    failed = sum(1 for r in results if getattr(r, "failed", False))
+    if args.as_json:
+        records = [
+            (r.to_dict() | {"failed": True})
+            if getattr(r, "failed", False) else r.to_dict()
+            for r in results
+        ]
+        print(json.dumps(records, indent=2))
+    else:
+        rows = []
+        for request, result in zip(requests, results):
+            if getattr(result, "failed", False):
+                rows.append([
+                    f"{request.dims.n1}x{request.dims.n2}",
+                    request.method.value,
+                    f"FAILED: {result.error_type}", "-", "-",
+                ])
+            else:
+                rows.append([
+                    f"{request.dims.n1}x{request.dims.n2}",
+                    result.solved_by or request.method.value,
+                    " / ".join(f"{b:.6g}" for b in result.blocking),
+                    result.revenue,
+                    result.utilization,
+                ])
+        print(
+            format_table(
+                ["dims", "method", "blocking (per class)", "W",
+                 "utilization"],
+                rows,
+                title=f"Batch of {len(requests)} requests "
+                      f"(hit-rate {metrics.hit_rate:.0%}, "
+                      f"{metrics.grid_points} grid-served, "
+                      f"{metrics.solved} solved)",
+            )
+        )
+    return 1 if failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``crossbar-repro serve``: run the daemon until interrupted."""
+    from .service import ServiceConfig, serve
+
+    if args.verbose:
+        import logging as _logging
+
+        from .logging import configure
+
+        configure(_logging.INFO)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        gate_capacity=args.gate_capacity,
+        point_weight=args.point_weight,
+        batch_member_weight=args.batch_member_weight,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        min_hold=args.min_hold,
+    )
+    print(
+        f"serving on http://{config.host}:{config.port} "
+        f"(gate {config.gate_capacity} tokens, "
+        f"window {config.batch_window:g}s; Ctrl-C to stop)"
+    )
+    try:
+        # On 3.11+ asyncio.run turns Ctrl-C into a cancellation that the
+        # daemon absorbs as its clean-shutdown path, so serve() returns
+        # normally; older loops re-raise KeyboardInterrupt instead.
+        serve(config)
+    except KeyboardInterrupt:
+        pass
+    print("interrupted; shut down cleanly")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

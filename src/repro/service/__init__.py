@@ -1,0 +1,68 @@
+"""The solve-serving daemon: asyncio JSON-over-HTTP, stdlib only.
+
+This package turns the batch-oriented library into a long-lived
+service a client can send :class:`~repro.api.SolveRequest`s to,
+admission-controlled the way the paper's crossbar admits calls:
+
+* **blocked calls cleared** — the :class:`~repro.service.gate.AdmissionGate`
+  holds a bounded pool of tokens; a request that cannot get its weight
+  immediately is rejected with a structured 503 + ``retry_after``
+  (never queued), and the gate's measured ``rejected/offered`` ratio is
+  the service's own blocking probability, reported on ``/metrics`` the
+  way ``B_r(N)`` is reported for the crossbar;
+* **request coalescing** — concurrent identical requests (same
+  canonical key from :mod:`repro.engine.keys`) share one in-flight
+  engine computation (:class:`~repro.service.coalesce.SingleFlight`);
+* **micro-batching** — requests arriving within a small window are
+  flushed as a single :meth:`~repro.engine.BatchSolver.evaluate_many`
+  call, inheriting Q-grid sharing and the process pool
+  (:class:`~repro.service.batcher.MicroBatcher`);
+* **observability** — a hand-rolled Prometheus ``/metrics`` page
+  (:mod:`repro.service.metrics`) plus per-request ids through
+  :mod:`repro.logging`.
+
+Run it with ``crossbar-repro serve``; talk to it with
+:class:`~repro.service.client.ServiceClient`; embed it in tests with
+:func:`~repro.service.server.start_in_thread`.  See
+``docs/service.md``.
+"""
+
+from .batcher import BatcherClosedError, MicroBatcher
+from .client import (
+    AdmissionRejectedError,
+    RemoteSolveError,
+    ServiceClient,
+    ServiceProtocolError,
+)
+from .coalesce import SingleFlight
+from .gate import AdmissionGate, GateLease, GateSnapshot
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .server import (
+    ServiceConfig,
+    ServiceHandle,
+    SolveService,
+    serve,
+    start_in_thread,
+)
+
+__all__ = [
+    "AdmissionGate",
+    "AdmissionRejectedError",
+    "BatcherClosedError",
+    "Counter",
+    "Gauge",
+    "GateLease",
+    "GateSnapshot",
+    "Histogram",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "RemoteSolveError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceHandle",
+    "ServiceProtocolError",
+    "SingleFlight",
+    "SolveService",
+    "serve",
+    "start_in_thread",
+]

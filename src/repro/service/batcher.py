@@ -1,0 +1,134 @@
+"""Micro-batching: nearby requests become one engine batch.
+
+Requests that arrive within ``window`` seconds of each other are
+flushed as a single :meth:`~repro.engine.BatchSolver.evaluate_many`
+call, so wire-level traffic inherits the engine's batch economics:
+size sweeps collapse onto one shared Algorithm 1 Q-grid, cache misses
+fan out over the process pool, and every flush produces one
+:class:`~repro.engine.BatchMetrics`.
+
+The flush runner executes on a single dedicated worker thread: the
+engine is thread-safe, but serializing flushes keeps its metrics
+attribution exact and lets the next batch accumulate while the current
+one computes — under load the batches grow on their own, which is the
+whole point of the window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from ..api import SolveRequest
+from ..exceptions import ComputationError
+
+__all__ = ["MicroBatcher", "BatcherClosedError"]
+
+
+class BatcherClosedError(ComputationError):
+    """The service is shutting down; the request was not evaluated."""
+
+
+class MicroBatcher:
+    """Collects ``(request, future)`` pairs and flushes them together."""
+
+    def __init__(
+        self,
+        runner: Callable[[list[SolveRequest]], list[Any]],
+        *,
+        window: float = 0.002,
+        max_batch: int = 256,
+        observer: Callable[[int, float], None] | None = None,
+    ) -> None:
+        self._runner = runner
+        self.window = max(0.0, float(window))
+        self.max_batch = max(1, int(max_batch))
+        self._observer = observer
+        self._pending: list[tuple[SolveRequest, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._flushes: set[asyncio.Task] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-flush"
+        )
+        self._closed = False
+        self.flush_count = 0
+        self.batched_requests = 0
+
+    # ------------------------------------------------------------------
+
+    def submit(self, request: SolveRequest, future: asyncio.Future) -> None:
+        """Queue one request; ``future`` resolves with its result.
+
+        A terminally failing request resolves its future with the
+        engine's :class:`~repro.engine.FailedResult` envelope (the
+        engine runs non-strict); only infrastructure errors — the
+        runner itself raising — surface as future exceptions.
+        """
+        if self._closed:
+            future.set_exception(
+                BatcherClosedError("service is shutting down")
+            )
+            return
+        self._pending.append((request, future))
+        loop = asyncio.get_running_loop()
+        if len(self._pending) >= self.max_batch:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            self._start_flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window, self._window_expired)
+
+    def _window_expired(self) -> None:
+        self._timer = None
+        if self._pending:
+            self._start_flush()
+
+    def _start_flush(self) -> None:
+        batch, self._pending = self._pending, []
+        task = asyncio.get_running_loop().create_task(self._flush(batch))
+        self._flushes.add(task)
+        task.add_done_callback(self._flushes.discard)
+
+    async def _flush(
+        self, batch: list[tuple[SolveRequest, asyncio.Future]]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        requests = [request for request, _ in batch]
+        began = time.perf_counter()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._runner, requests
+            )
+        except BaseException as exc:  # noqa: BLE001 - relayed to callers
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.flush_count += 1
+        self.batched_requests += len(batch)
+        if self._observer is not None:
+            self._observer(len(batch), time.perf_counter() - began)
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+    # ------------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Stop accepting work, fail the queue, drain in-flight flushes."""
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        pending, self._pending = self._pending, []
+        for _, future in pending:
+            if not future.done():
+                future.set_exception(
+                    BatcherClosedError("service is shutting down")
+                )
+        if self._flushes:
+            await asyncio.gather(*list(self._flushes), return_exceptions=True)
+        self._executor.shutdown(wait=False)

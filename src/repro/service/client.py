@@ -1,0 +1,182 @@
+"""A small blocking client for the solve-serving daemon (stdlib only).
+
+>>> from repro.service import ServiceClient
+>>> client = ServiceClient("127.0.0.1", 8377)           # doctest: +SKIP
+>>> result = client.solve(request)                      # doctest: +SKIP
+
+Every call opens a fresh connection (the daemon closes after each
+response), so one client instance is safe to share across threads.
+``solve`` raises :class:`AdmissionRejectedError` on a 503 — carrying
+the structured ``retry_after`` hint — instead of silently retrying:
+blocked calls are *cleared* and retry policy belongs to the caller.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any
+
+from ..api import SolveRequest, SolveResult
+from ..engine import FailedResult
+from ..exceptions import ComputationError
+from .protocol import decode_failed, decode_result
+
+__all__ = [
+    "AdmissionRejectedError",
+    "RemoteSolveError",
+    "ServiceClient",
+    "ServiceProtocolError",
+]
+
+
+class ServiceProtocolError(ComputationError):
+    """The daemon replied with something the client cannot parse."""
+
+
+class RemoteSolveError(ComputationError):
+    """The engine terminally failed the request on the server side."""
+
+    def __init__(self, failed: FailedResult) -> None:
+        super().__init__(
+            f"remote solve failed: {failed.error_type}: "
+            f"{failed.error_message}"
+        )
+        self.failed = failed
+
+
+class AdmissionRejectedError(ComputationError):
+    """The daemon cleared the request (blocked-calls-cleared 503)."""
+
+    def __init__(self, payload: dict) -> None:
+        error = payload.get("error", {})
+        super().__init__(
+            error.get("message", "admission rejected (503)")
+        )
+        self.retry_after = float(error.get("retry_after", 0.0) or 0.0)
+        self.blocking_ratio = float(error.get("blocking_ratio", 0.0) or 0.0)
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client for :mod:`repro.service`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8377,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _roundtrip(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, dict | str]:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                try:
+                    return response.status, json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ServiceProtocolError(
+                        f"unparseable JSON reply ({exc})"
+                    ) from exc
+            return response.status, raw.decode("utf-8", "replace")
+        finally:
+            connection.close()
+
+    def _check(self, status: int, payload: dict | str) -> dict:
+        if not isinstance(payload, dict):
+            raise ServiceProtocolError(
+                f"expected a JSON object, got {type(payload).__name__} "
+                f"(HTTP {status})"
+            )
+        if status == 503:
+            raise AdmissionRejectedError(payload)
+        if status == 500 and payload.get("error", {}).get(
+            "kind"
+        ) == "solve_failed":
+            raise RemoteSolveError(decode_failed(payload["error"]))
+        if status != 200:
+            message = payload.get("error", {}).get("message", payload)
+            raise ServiceProtocolError(f"HTTP {status}: {message}")
+        return payload
+
+    # ------------------------------------------------------------------
+
+    def solve(self, request: SolveRequest) -> SolveResult:
+        """One request; byte-identical to a local ``repro.api.solve``."""
+        status, payload = self._roundtrip(
+            "POST", "/solve", {"request": request.to_dict()}
+        )
+        payload = self._check(status, payload)
+        try:
+            return decode_result(payload["result"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceProtocolError(
+                f"malformed solve reply: {exc}"
+            ) from exc
+
+    def solve_many(
+        self, requests: list[SolveRequest]
+    ) -> list[SolveResult | FailedResult]:
+        """A batch; failed members come back as ``FailedResult``s."""
+        status, payload = self._roundtrip(
+            "POST", "/batch",
+            {"requests": [r.to_dict() for r in requests]},
+        )
+        payload = self._check(status, payload)
+        out: list[SolveResult | FailedResult] = []
+        try:
+            for item in payload["results"]:
+                if item.get("failed") or item.get("kind") == "solve_failed":
+                    out.append(decode_failed(item))
+                else:
+                    out.append(decode_result(item))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceProtocolError(
+                f"malformed batch reply: {exc}"
+            ) from exc
+        return out
+
+    def health(self) -> dict:
+        status, payload = self._roundtrip("GET", "/healthz")
+        return self._check(status, payload)
+
+    def metrics(self) -> str:
+        """The raw Prometheus text page."""
+        status, payload = self._roundtrip("GET", "/metrics")
+        if status != 200 or not isinstance(payload, str):
+            raise ServiceProtocolError(f"metrics scrape failed ({status})")
+        return payload
+
+    def metric_value(self, name: str, **labels: str) -> float:
+        """Parse one sample off ``/metrics`` (exact ``repr`` floats)."""
+        page = self.metrics()
+        wanted = {f'{k}="{v}"' for k, v in labels.items()}
+        for line in page.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            series, _, value = line.rpartition(" ")
+            base, _, label_text = series.partition("{")
+            if base != name:
+                continue
+            present = set(
+                label_text.rstrip("}").split(",")
+            ) if label_text else set()
+            if wanted <= present:
+                return float(value)
+        raise ServiceProtocolError(
+            f"metric {name}{sorted(wanted)} not found on /metrics"
+        )

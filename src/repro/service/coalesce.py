@@ -1,0 +1,63 @@
+"""Single-flight request coalescing keyed by canonical cache keys.
+
+Two concurrent requests for the same model are the same computation:
+the canonical key (:mod:`repro.engine.keys`) already proves it, and
+solves are pure, so the second caller can simply await the first
+caller's in-flight future instead of entering the engine at all.  The
+map holds *futures*, not results — completed work belongs to the
+engine's caches; this layer only deduplicates the in-flight window,
+which is exactly the window the engine's caches cannot cover.
+
+Only ever touched from the service event loop (no locks needed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """An in-flight future per canonical key, with exact hit counts."""
+
+    def __init__(self) -> None:
+        self._flights: dict[str, asyncio.Future] = {}
+        self.leaders = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def join(self, key: str) -> asyncio.Future | None:
+        """The in-flight future for ``key``, if a leader is working."""
+        future = self._flights.get(key)
+        if future is not None:
+            self.hits += 1
+        return future
+
+    def lead(
+        self, key: str, loop: asyncio.AbstractEventLoop
+    ) -> asyncio.Future:
+        """Register a new leader future for ``key``.
+
+        The entry removes itself the moment the future resolves (with a
+        result *or* an exception): a later identical request starts a
+        fresh flight — and is then served by the engine's result cache,
+        so nothing is recomputed either way.
+        """
+        future: asyncio.Future = loop.create_future()
+        self._flights[key] = future
+        future.add_done_callback(self._evict(key, future))
+        self.leaders += 1
+        return future
+
+    def _evict(
+        self, key: str, future: asyncio.Future
+    ) -> Callable[[Any], None]:
+        def callback(_done: Any) -> None:
+            if self._flights.get(key) is future:
+                del self._flights[key]
+
+        return callback

@@ -1,0 +1,130 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Just enough of RFC 9112 for a JSON point-to-point API: request-line +
+headers + ``Content-Length`` bodies in, status + headers + body out.
+No chunked encoding, no pipelining, one request per connection (every
+response carries ``Connection: close``) — deliberately boring framing
+so the interesting parts of the daemon (admission, coalescing,
+batching) stay testable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["HttpError", "HttpRequest", "read_request", "write_response"]
+
+#: Hard header-section cap; a peer sending more is not speaking our
+#: dialect of HTTP.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Default request-body cap (a batch of a few thousand requests).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ConfigurationError):
+    """A malformed or oversized HTTP request (maps to a 4xx)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, path (query split off), headers, body."""
+
+    method: str
+    path: str
+    query: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> HttpRequest | None:
+    """Parse one request; None on a clean EOF before any bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    path, _, query = target.partition("?")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise HttpError(400, "bad Content-Length") from exc
+        if length < 0 or length > max_body:
+            raise HttpError(413, f"body of {length} bytes exceeds the cap")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise HttpError(400, "truncated request body") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    return HttpRequest(
+        method=method.upper(), path=path, query=query,
+        headers=headers, body=body,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Serialize one response and flush it (connection stays ours)."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()

@@ -1,0 +1,123 @@
+"""The JSON wire schema shared by the daemon and its client.
+
+Byte identity is the contract of the whole service: a result served
+over the wire must compare equal — ``float.hex``-exact — to what a
+direct in-process :func:`repro.api.solve` returns.  Python's ``json``
+module already guarantees this (floats are emitted with ``repr``,
+the shortest exact round-trip), so results travel as the plain
+:meth:`~repro.api.SolveResult.to_dict` records; this module only adds
+the envelopes (success, failure, rejection) and their inverses.
+
+Wire envelopes
+--------------
+* success: ``{"id", "result", "from_cache", "coalesced", "elapsed_ms"}``
+* failure: ``{"id", "error": {"kind": "solve_failed", "error_type",
+  "error_message", "request", "attempts"}}`` — a faithful round-trip of
+  the engine's :class:`~repro.engine.FailedResult` envelope;
+* rejection: ``{"id", "error": {"kind": "admission_rejected",
+  "retry_after", ...gate counters}}`` with HTTP 503 and a
+  ``Retry-After`` header (blocked calls are *cleared*: the daemon
+  holds no queue for them).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import Any
+
+from ..api import SolveRequest, SolveResult
+from ..engine import FailedResult, TaskAttempt
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "decode_failed",
+    "decode_request",
+    "decode_request_list",
+    "decode_result",
+    "encode_failed",
+    "encode_result",
+    "new_request_id",
+]
+
+_counter = itertools.count(1)
+_prefix = f"{os.getpid():x}"
+
+
+def new_request_id() -> str:
+    """A process-unique request id, threaded through logs and replies."""
+    return f"req-{_prefix}-{next(_counter):06x}"
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+
+def decode_request(payload: Any) -> SolveRequest:
+    """Parse one request record (the ``SolveRequest.to_dict`` schema)."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"request payload must be an object, got {type(payload).__name__}"
+        )
+    record = payload.get("request", payload)
+    try:
+        return SolveRequest.from_dict(record)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed solve request: {exc}") from exc
+
+
+def decode_request_list(payload: Any) -> list[SolveRequest]:
+    """Parse a batch body: ``{"requests": [...]}`` or a bare list."""
+    if isinstance(payload, dict):
+        payload = payload.get("requests")
+    if not isinstance(payload, list) or not payload:
+        raise ConfigurationError(
+            "batch payload needs a non-empty 'requests' list"
+        )
+    return [decode_request(item) for item in payload]
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+
+def encode_result(result: SolveResult) -> dict:
+    record = result.to_dict()
+    record["from_cache"] = result.from_cache
+    return record
+
+
+def decode_result(record: dict) -> SolveResult:
+    from_cache = bool(record.get("from_cache", False))
+    result = SolveResult.from_dict(record)
+    if from_cache:
+        from dataclasses import replace
+
+        result = replace(result, from_cache=True)
+    return result
+
+
+def encode_failed(failed: FailedResult) -> dict:
+    record = failed.to_dict()
+    record["kind"] = "solve_failed"
+    return record
+
+
+def decode_failed(record: dict) -> FailedResult:
+    """Rebuild the engine's failure envelope from its wire form."""
+    return FailedResult(
+        request=SolveRequest.from_dict(record["request"]),
+        error_type=str(record.get("error_type", "ComputationError")),
+        error_message=str(record.get("error_message", "")),
+        attempts=tuple(
+            TaskAttempt(
+                attempt=int(a.get("attempt", 0)),
+                outcome=str(a.get("outcome", "error")),
+                elapsed=float(a.get("elapsed", 0.0)),
+                detail=str(a.get("detail", "")),
+            )
+            for a in record.get("attempts", ())
+        ),
+    )

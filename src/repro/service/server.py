@@ -1,0 +1,756 @@
+"""The asyncio solve-serving daemon.
+
+One event loop owns everything: connections are parsed by
+:mod:`repro.service.httpio`, admission-controlled by the
+blocked-calls-cleared :class:`~repro.service.gate.AdmissionGate`,
+deduplicated by the :class:`~repro.service.coalesce.SingleFlight` map,
+and micro-batched by the :class:`~repro.service.batcher.MicroBatcher`
+into :meth:`~repro.engine.BatchSolver.evaluate_many` calls running on
+a dedicated worker thread.  The event loop itself never computes — it
+only routes — so the daemon stays responsive (and ``/metrics`` stays
+scrapeable) while the engine grinds through a cold sweep.
+
+Endpoints
+---------
+* ``POST /solve`` — one :class:`~repro.api.SolveRequest` record;
+* ``POST /batch`` — ``{"requests": [...]}``, admission-weighted by
+  size (a sweep "acquires more ports" than a point solve, the paper's
+  multi-rate ``a_r`` in miniature);
+* ``GET /metrics`` — Prometheus text format;
+* ``GET /healthz`` — liveness + engine/gate snapshots.
+
+Byte identity is enforced by tests: a result served over this wire
+compares equal to a direct :func:`repro.api.solve` on the same
+request, coalesced, batched or cached.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from .. import __version__
+from ..api import SolveRequest, SolveResult
+from ..engine import BatchSolver, get_default_engine
+from ..exceptions import ConfigurationError, CrossbarError
+from ..logging import get_logger, kv
+from .batcher import BatcherClosedError, MicroBatcher
+from .coalesce import SingleFlight
+from .gate import AdmissionGate
+from .httpio import HttpError, HttpRequest, read_request, write_response
+from .metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
+from .protocol import (
+    decode_request,
+    decode_request_list,
+    encode_failed,
+    encode_result,
+    new_request_id,
+)
+
+__all__ = ["ServiceConfig", "SolveService", "ServiceHandle",
+           "serve", "start_in_thread"]
+
+logger = get_logger("service")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`SolveService`."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (tests read it back).
+    port: int = 8377
+    #: Admission tokens — the daemon's "number of ports".  Every
+    #: admitted request holds its weight in tokens until it completes;
+    #: a request that cannot get its tokens is cleared with a 503,
+    #: never queued.
+    gate_capacity: int = 64
+    #: Tokens one ``/solve`` request holds.
+    point_weight: int = 1
+    #: Tokens per member of a ``/batch`` request (total clamped to the
+    #: gate capacity, like ``a_r <= min(N1, N2)``).
+    batch_member_weight: int = 1
+    #: Seconds the micro-batcher waits for companions before flushing.
+    batch_window: float = 0.002
+    #: Flush immediately once this many requests are pending.
+    max_batch: int = 256
+    #: Forwarded to ``evaluate_many`` (None: the engine decides).
+    parallel: bool | None = None
+    #: Artificial per-request token-holding time (seconds) *after* the
+    #: solve completes.  0 in production; load tests set it to emulate
+    #: a call-holding time so the gate reproduces classical loss-system
+    #: blocking (the cross-validation tests check it against Erlang B).
+    min_hold: float = 0.0
+    #: Floor of the 503 ``retry_after`` hint (seconds); the live hint
+    #: tracks an EWMA of recent holding times above this floor.
+    retry_after_floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.gate_capacity < 1:
+            raise ConfigurationError("gate_capacity must be >= 1")
+        if self.point_weight < 1 or self.batch_member_weight < 1:
+            raise ConfigurationError("admission weights must be >= 1")
+
+
+class _Instruments:
+    """Every metric the daemon exports, built on one registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        gate: AdmissionGate,
+        engine: BatchSolver,
+    ) -> None:
+        self.registry = registry
+        self.requests_total = registry.counter(
+            "repro_service_requests_total",
+            "Requests handled, by endpoint and HTTP status.",
+        )
+        self.request_seconds = registry.histogram(
+            "repro_service_request_seconds",
+            "Wall-clock request latency by endpoint (admitted or not).",
+        )
+        self.admission_offered = registry.counter(
+            "repro_service_admission_offered_total",
+            "Requests offered to the admission gate, by class.",
+        )
+        self.admission_rejected = registry.counter(
+            "repro_service_admission_rejected_total",
+            "Requests cleared (503) by the admission gate, by class.",
+        )
+        self.blocking_ratio = registry.gauge(
+            "repro_service_admission_blocking_ratio",
+            "Measured blocking probability: rejected / offered.",
+        )
+        self.blocking_ratio.set(lambda: gate.snapshot().blocking_ratio)
+        self.gate_gauge = registry.gauge(
+            "repro_service_gate_tokens",
+            "Admission gate tokens by state.",
+        )
+        self.gate_gauge.set(lambda: gate.capacity, state="capacity")
+        self.gate_gauge.set(lambda: gate.in_use, state="in_use")
+        self.gate_gauge.set(lambda: gate.peak_in_use, state="peak")
+        self.coalesce_hits = registry.counter(
+            "repro_service_coalesce_hits_total",
+            "Requests that joined an identical in-flight computation.",
+        )
+        self.coalesce_leaders = registry.counter(
+            "repro_service_coalesce_leaders_total",
+            "Requests that led a new in-flight computation.",
+        )
+        self.batch_flushes = registry.counter(
+            "repro_service_batch_flushes_total",
+            "Micro-batch flushes into the engine.",
+        )
+        self.batch_size = registry.histogram(
+            "repro_service_batch_size",
+            "Requests per micro-batch flush.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self.solve_failures = registry.counter(
+            "repro_service_solve_failures_total",
+            "Requests that terminally failed in the engine.",
+        )
+        self.inflight = registry.gauge(
+            "repro_service_inflight_requests",
+            "Requests currently inside the daemon (admitted, unfinished).",
+        )
+        self._inflight_count = 0
+        self.inflight.set(lambda: self._inflight_count)
+
+        engine_stat = registry.gauge(
+            "repro_engine_stat",
+            "Cumulative engine cache counters (see repro.engine).",
+        )
+        for stat in ("lookups", "memory_hits", "disk_hits", "solves",
+                     "grid_reads", "hit_rate"):
+            engine_stat.set(
+                (lambda s=stat: engine.stats.snapshot()[s]), stat=stat
+            )
+        last_batch = registry.gauge(
+            "repro_engine_last_batch",
+            "BatchMetrics of the engine's most recent batch.",
+        )
+        for fname in ("requests", "memory_hits", "disk_hits", "grid_groups",
+                      "grid_points", "solved", "elapsed", "hit_rate",
+                      "retries", "timeouts", "hedges", "failed",
+                      "tasks_lost", "pool_respawns", "breaker_trips"):
+            last_batch.set(
+                (lambda f=fname: self._last_batch_field(engine, f)),
+                field=fname,
+            )
+        breaker = registry.gauge(
+            "repro_engine_breaker_state",
+            "Disk-cache circuit breaker state (one-hot).",
+        )
+        for state in ("closed", "open", "half-open", "disabled"):
+            breaker.set(
+                (lambda s=state: 1 if self._breaker_state(engine) == s
+                 else 0),
+                state=state,
+            )
+        info = registry.gauge(
+            "repro_service_info", "Build information (constant 1)."
+        )
+        info.set(1, version=__version__)
+
+    @staticmethod
+    def _last_batch_field(engine: BatchSolver, fname: str) -> float:
+        metrics = engine.last_metrics
+        if metrics is None:
+            return 0.0
+        return float(getattr(metrics, fname))
+
+    @staticmethod
+    def _breaker_state(engine: BatchSolver) -> str:
+        metrics = engine.last_metrics
+        if metrics is not None:
+            return metrics.breaker_state
+        if engine.disk is not None and engine.disk.breaker is not None:
+            return engine.disk.breaker.state
+        return "disabled"
+
+
+@dataclass
+class _Reply:
+    """What a route handler produced, ready for the wire."""
+
+    status: int
+    payload: dict
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+class SolveService:
+    """The daemon: routes requests through gate -> coalesce -> batch."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        engine: BatchSolver | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.engine = engine if engine is not None else get_default_engine()
+        self.gate = AdmissionGate(self.config.gate_capacity)
+        self.flights = SingleFlight()
+        self.registry = MetricsRegistry()
+        self.instruments = _Instruments(self.registry, self.gate, self.engine)
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+            observer=self._observe_flush,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._started_at = time.monotonic()
+        self._ewma_hold = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._started_at = time.monotonic()
+        logger.info(
+            "service listening %s",
+            kv(host=self.host, port=self.port,
+               gate_capacity=self.gate.capacity,
+               batch_window=self.config.batch_window),
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.close()
+        logger.info(
+            "service stopped %s",
+            kv(**{
+                "offered": self.gate.offered,
+                "rejected": self.gate.rejected,
+                "coalesce_hits": self.flights.hits,
+            }),
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self.config.port
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        began = time.perf_counter()
+        endpoint = "unknown"
+        status = 500
+        request_id = new_request_id()
+        try:
+            try:
+                http = await read_request(reader)
+            except HttpError as exc:
+                status = exc.status
+                await self._write_error(
+                    writer, exc.status, "bad_request", str(exc), request_id
+                )
+                return
+            if http is None:  # clean disconnect before any bytes
+                status = 0
+                return
+            endpoint = f"{http.method} {http.path}"
+            reply = await self._route(http, request_id)
+            status = reply.status
+            body = json.dumps(reply.payload).encode("utf-8") \
+                if isinstance(reply.payload, dict) \
+                else reply.payload
+            content_type = reply.headers.pop(
+                "Content-Type", "application/json"
+            )
+            reply.headers.setdefault("X-Request-Id", request_id)
+            await write_response(
+                writer, status, body,
+                content_type=content_type, extra_headers=reply.headers,
+            )
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            # The peer vanished: work is done (and any gate tokens are
+            # already released); only the reply is lost.
+            logger.info(
+                "client disconnected %s",
+                kv(request_id=request_id, endpoint=endpoint,
+                   detail=type(exc).__name__),
+            )
+            status = 499
+        except Exception:  # noqa: BLE001 - last-resort 500
+            logger.exception("unhandled service error")
+            status = 500
+            try:
+                await self._write_error(
+                    writer, 500, "internal_error",
+                    "unhandled service error", request_id,
+                )
+            except OSError:
+                pass
+        finally:
+            if status != 0:  # ignore empty keep-alive probes
+                elapsed = time.perf_counter() - began
+                self.instruments.requests_total.inc(
+                    endpoint=endpoint, status=str(status)
+                )
+                self.instruments.request_seconds.observe(
+                    elapsed, endpoint=endpoint
+                )
+                logger.info(
+                    "request handled %s",
+                    kv(request_id=request_id, endpoint=endpoint,
+                       status=status, elapsed=elapsed),
+                )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write_error(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        kind: str,
+        message: str,
+        request_id: str,
+        extra: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        payload = {
+            "id": request_id,
+            "error": {"kind": kind, "message": message, **(extra or {})},
+        }
+        base_headers = {"X-Request-Id": request_id}
+        if headers:
+            base_headers.update(headers)
+        await write_response(
+            writer, status, json.dumps(payload).encode("utf-8"),
+            extra_headers=base_headers,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _route(self, http: HttpRequest, request_id: str) -> _Reply:
+        if http.path == "/metrics":
+            if http.method != "GET":
+                return self._method_not_allowed(request_id, "GET")
+            return _Reply(
+                200, self.registry.render().encode("utf-8"),
+                {"Content-Type": MetricsRegistry.CONTENT_TYPE},
+            )
+        if http.path == "/healthz":
+            if http.method != "GET":
+                return self._method_not_allowed(request_id, "GET")
+            return _Reply(200, self._health(request_id))
+        if http.path == "/solve":
+            if http.method != "POST":
+                return self._method_not_allowed(request_id, "POST")
+            return await self._handle_solve(http, request_id)
+        if http.path == "/batch":
+            if http.method != "POST":
+                return self._method_not_allowed(request_id, "POST")
+            return await self._handle_batch(http, request_id)
+        return _Reply(404, {
+            "id": request_id,
+            "error": {"kind": "not_found",
+                      "message": f"no route for {http.path}"},
+        })
+
+    def _method_not_allowed(self, request_id: str, allowed: str) -> _Reply:
+        return _Reply(
+            405,
+            {"id": request_id,
+             "error": {"kind": "method_not_allowed",
+                       "message": f"use {allowed}"}},
+            {"Allow": allowed},
+        )
+
+    def _health(self, request_id: str) -> dict:
+        gate = self.gate.snapshot()
+        return {
+            "id": request_id,
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": time.monotonic() - self._started_at,
+            "gate": {
+                "capacity": gate.capacity,
+                "in_use": gate.in_use,
+                "peak_in_use": gate.peak_in_use,
+                "offered": gate.offered,
+                "rejected": gate.rejected,
+                "blocking_ratio": gate.blocking_ratio,
+            },
+            "coalesce": {
+                "hits": self.flights.hits,
+                "leaders": self.flights.leaders,
+                "in_flight": len(self.flights),
+            },
+            "engine": self.engine.stats.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Solve endpoints
+    # ------------------------------------------------------------------
+
+    def _parse_body(self, http: HttpRequest) -> Any:
+        try:
+            return json.loads(http.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"request body is not JSON: {exc}") \
+                from exc
+
+    async def _handle_solve(
+        self, http: HttpRequest, request_id: str
+    ) -> _Reply:
+        try:
+            request = decode_request(self._parse_body(http))
+        except CrossbarError as exc:
+            return self._bad_request(request_id, str(exc))
+        lease = self.gate.try_acquire("solve", self.config.point_weight)
+        self._count_admission("solve", lease is not None)
+        if lease is None:
+            return self._rejected(request_id, "solve")
+        began = time.perf_counter()
+        self.instruments._inflight_count += 1
+        try:
+            result, coalesced = await self._execute(request)
+            if self.config.min_hold > 0.0:
+                await asyncio.sleep(self.config.min_hold)
+        except BatcherClosedError:
+            return self._shutting_down(request_id)
+        finally:
+            self.instruments._inflight_count -= 1
+            self.gate.release(lease)
+            self._note_hold(time.perf_counter() - began)
+        if getattr(result, "failed", False):
+            self.instruments.solve_failures.inc()
+            return _Reply(500, {
+                "id": request_id,
+                "error": encode_failed(result) | {
+                    "message": result.error_message,
+                },
+            })
+        return _Reply(200, {
+            "id": request_id,
+            "result": encode_result(result),
+            "coalesced": coalesced,
+            "from_cache": result.from_cache,
+            "elapsed_ms": (time.perf_counter() - began) * 1e3,
+        })
+
+    async def _handle_batch(
+        self, http: HttpRequest, request_id: str
+    ) -> _Reply:
+        try:
+            requests = decode_request_list(self._parse_body(http))
+        except CrossbarError as exc:
+            return self._bad_request(request_id, str(exc))
+        weight = self.config.batch_member_weight * len(requests)
+        lease = self.gate.try_acquire("batch", weight)
+        self._count_admission("batch", lease is not None)
+        if lease is None:
+            return self._rejected(request_id, "batch")
+        began = time.perf_counter()
+        self.instruments._inflight_count += 1
+        try:
+            outcomes = await asyncio.gather(
+                *(self._execute(r) for r in requests)
+            )
+            if self.config.min_hold > 0.0:
+                await asyncio.sleep(self.config.min_hold)
+        except BatcherClosedError:
+            return self._shutting_down(request_id)
+        finally:
+            self.instruments._inflight_count -= 1
+            self.gate.release(lease)
+            self._note_hold(time.perf_counter() - began)
+        items = []
+        failures = coalesced_count = 0
+        for result, coalesced in outcomes:
+            coalesced_count += coalesced
+            if getattr(result, "failed", False):
+                failures += 1
+                self.instruments.solve_failures.inc()
+                items.append(encode_failed(result) | {"failed": True})
+            else:
+                items.append(encode_result(result))
+        return _Reply(200, {
+            "id": request_id,
+            "results": items,
+            "failed": failures,
+            "coalesced": coalesced_count,
+            "admission_weight": lease.weight,
+            "elapsed_ms": (time.perf_counter() - began) * 1e3,
+        })
+
+    def _bad_request(self, request_id: str, message: str) -> _Reply:
+        return _Reply(400, {
+            "id": request_id,
+            "error": {"kind": "bad_request", "message": message},
+        })
+
+    def _shutting_down(self, request_id: str) -> _Reply:
+        return _Reply(503, {
+            "id": request_id,
+            "error": {"kind": "shutting_down",
+                      "message": "service is shutting down"},
+        }, {"Retry-After": "1"})
+
+    def _count_admission(self, admission_class: str, admitted: bool) -> None:
+        self.instruments.admission_offered.inc(
+            **{"class": admission_class}
+        )
+        if not admitted:
+            self.instruments.admission_rejected.inc(
+                **{"class": admission_class}
+            )
+
+    def _rejected(self, request_id: str, admission_class: str) -> _Reply:
+        """Blocked-calls-cleared: structured 503, no queueing."""
+        gate = self.gate.snapshot()
+        retry_after = self._retry_after()
+        logger.info(
+            "request cleared %s",
+            kv(request_id=request_id, admission_class=admission_class,
+               in_use=gate.in_use, capacity=gate.capacity,
+               retry_after=retry_after),
+        )
+        return _Reply(503, {
+            "id": request_id,
+            "error": {
+                "kind": "admission_rejected",
+                "message": (
+                    "admission gate is full; the request was cleared "
+                    "(not queued) -- retry after the hint"
+                ),
+                "admission_class": admission_class,
+                "retry_after": retry_after,
+                "gate_capacity": gate.capacity,
+                "gate_in_use": gate.in_use,
+                "offered": gate.offered,
+                "rejected": gate.rejected,
+                "blocking_ratio": gate.blocking_ratio,
+            },
+        }, {"Retry-After": str(max(1, math.ceil(retry_after)))})
+
+    def _note_hold(self, elapsed: float) -> None:
+        self._ewma_hold = (
+            elapsed if self._ewma_hold == 0.0
+            else 0.8 * self._ewma_hold + 0.2 * elapsed
+        )
+
+    def _retry_after(self) -> float:
+        return max(self.config.retry_after_floor, self._ewma_hold)
+
+    # ------------------------------------------------------------------
+    # Execution: coalesce -> micro-batch -> engine
+    # ------------------------------------------------------------------
+
+    async def _execute(self, request: SolveRequest) -> tuple[Any, bool]:
+        """One request's result plus whether it coalesced.
+
+        Identical in-flight requests share a single engine computation:
+        the first becomes the leader (its future is resolved by the
+        batcher), later ones await the same future — including across a
+        batch-window boundary while the leader's flush is still
+        computing.  A leader's terminal failure resolves the future
+        with the engine's :class:`~repro.engine.FailedResult`, so
+        followers receive the same envelope instead of hanging.
+        """
+        key = request.cache_key
+        future = self.flights.join(key)
+        if future is not None:
+            self.instruments.coalesce_hits.inc()
+            return await asyncio.shield(future), True
+        loop = asyncio.get_running_loop()
+        future = self.flights.lead(key, loop)
+        self.instruments.coalesce_leaders.inc()
+        self.batcher.submit(request, future)
+        return await asyncio.shield(future), False
+
+    def _run_batch(self, requests: list[SolveRequest]) -> list[Any]:
+        """The flush runner (worker thread): one engine batch."""
+        return self.engine.evaluate_many(
+            requests, parallel=self.config.parallel, strict=False
+        )
+
+    def _observe_flush(self, batch_size: int, elapsed: float) -> None:
+        self.instruments.batch_flushes.inc()
+        self.instruments.batch_size.observe(float(batch_size))
+
+
+# ----------------------------------------------------------------------
+# Hosting helpers
+# ----------------------------------------------------------------------
+
+
+async def _serve_async(
+    config: ServiceConfig, engine: BatchSolver | None = None
+) -> None:
+    service = SolveService(config, engine=engine)
+    await service.start()
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        pass
+    finally:
+        await service.stop()
+
+
+def serve(
+    config: ServiceConfig | None = None,
+    engine: BatchSolver | None = None,
+) -> None:
+    """Run the daemon in the current thread until interrupted."""
+    asyncio.run(_serve_async(config or ServiceConfig(), engine))
+
+
+class ServiceHandle:
+    """A daemon running on its own thread/event loop (tests, benchmarks)."""
+
+    def __init__(
+        self,
+        service: SolveService,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.service = service
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop serving, drain flushes, join the thread."""
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self.thread.join(timeout)
+        if self.thread.is_alive():  # pragma: no cover - hang guard
+            raise RuntimeError("service thread did not stop in time")
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    config: ServiceConfig | None = None,
+    engine: BatchSolver | None = None,
+) -> ServiceHandle:
+    """Start a daemon on a fresh daemon thread; returns its handle.
+
+    The default config binds an ephemeral port (``port=0``); read it
+    back from ``handle.port``.
+    """
+    config = config or ServiceConfig(port=0)
+    started = threading.Event()
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        service = SolveService(config, engine=engine)
+        try:
+            loop.run_until_complete(service.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            box["error"] = exc
+            started.set()
+            loop.close()
+            return
+        box["service"], box["loop"] = service, loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(service.stop())
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, daemon=True, name="repro-service"
+    )
+    thread.start()
+    if not started.wait(15.0):  # pragma: no cover - startup hang guard
+        raise RuntimeError("service did not start within 15s")
+    if "error" in box:
+        raise box["error"]
+    return ServiceHandle(box["service"], box["loop"], thread)

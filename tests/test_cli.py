@@ -17,6 +17,21 @@ class TestParser:
         parser.parse_args(["figure1"])
         parser.parse_args(["table2", "--set", "1"])
         parser.parse_args(["solve", "--n", "4", "--poisson", "0.1"])
+        parser.parse_args(
+            ["batch", "--n", "4", "--poisson", "0.1", "--sizes", "4,8"]
+        )
+        parser.parse_args(
+            ["serve", "--port", "0", "--gate-capacity", "8",
+             "--batch-window", "0.01"]
+        )
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
 
 
 class TestCommands:
@@ -170,6 +185,85 @@ class TestCommands:
         )
         assert code == 0
         assert "chosen:" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def test_batch_sizes_table(self, capsys):
+        code = main(
+            ["batch", "--poisson", "0.01", "--sizes", "4,8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Batch of 2 requests" in out
+        assert "4x4" in out and "8x8" in out
+
+    def test_batch_metrics_json_to_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["batch", "--poisson", "0.01", "--sizes", "4,8,16",
+             "--metrics-json", str(path)]
+        )
+        assert code == 0
+        record = json.loads(path.read_text())
+        assert record["requests"] == 3
+        assert "hit_rate" in record and "grid_points" in record
+        assert "breaker_state" in record
+
+    def test_batch_metrics_json_to_stdout(self, capsys):
+        import json
+
+        code = main(
+            ["batch", "--poisson", "0.01", "--sizes", "4", "--json",
+             "--metrics-json", "-"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # stdout holds the metrics object then the results array
+        metrics_text, _, results_text = out.partition("\n[")
+        record = json.loads(metrics_text)
+        assert record["requests"] == 1
+        results = json.loads("[" + results_text)
+        assert results[0]["request"]["n1"] == 4
+        assert results[0]["request"]["n2"] == 4
+
+    def test_batch_from_request_file(self, capsys, tmp_path):
+        import json
+
+        from repro.api import SolveRequest
+        from repro.core.traffic import TrafficClass
+
+        request = SolveRequest.square(4, [TrafficClass.poisson(0.05)])
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps({"requests": [request.to_dict()]}))
+        assert main(["batch", "--requests", str(path)]) == 0
+        assert "4x4" in capsys.readouterr().out
+
+    def test_batch_without_inputs_fails(self, capsys):
+        assert main(["batch", "--poisson", "0.1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_parses_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9999",
+             "--gate-capacity", "16", "--point-weight", "2",
+             "--batch-member-weight", "3", "--batch-window", "0.05",
+             "--max-batch", "32", "--min-hold", "0.1"]
+        )
+        assert args.host == "0.0.0.0" and args.port == 9999
+        assert args.gate_capacity == 16
+        assert args.point_weight == 2
+        assert args.batch_member_weight == 3
+        assert args.batch_window == 0.05
+        assert args.max_batch == 32
+        assert args.min_hold == 0.1
+
+    def test_serve_rejects_bad_capacity(self, capsys):
+        assert main(["serve", "--port", "0", "--gate-capacity", "0"]) == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestResilienceFlags:

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""End-to-end smoke drill for the solve-serving daemon.
+
+Starts a daemon in-process, fires ~200 concurrent mixed requests at
+it from a thread pool (point solves, repeats that must coalesce or
+hit cache, `/batch` sweeps, a deliberate overload burst against a
+second small-gate daemon), and asserts:
+
+* **Determinism** — every response for a given request is byte-equal
+  (``float.hex``) to the local ``repro.api.solve`` answer: zero
+  non-deterministic results across all concurrency.
+* **Coalescing happened** — nonzero coalesce hits (the workload
+  guarantees racing identical requests).
+* **Admission held** — the overload drill never exceeds its gate
+  bound, clears the excess with structured 503s, and the metrics
+  ratio equals the observed count exactly.
+* **Clean shutdown** — both daemons stop and join; the process exits.
+
+Exit code 0 on success, 1 on any violation.  CI runs this under
+``timeout`` so a hang fails the job instead of stalling the runner.
+"""
+
+from __future__ import annotations
+
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import SolveRequest, solve  # noqa: E402
+from repro.core.traffic import TrafficClass  # noqa: E402
+from repro.engine import BatchSolver, EngineConfig  # noqa: E402
+from repro.service import (  # noqa: E402
+    AdmissionRejectedError,
+    ServiceClient,
+    ServiceConfig,
+    start_in_thread,
+)
+
+POINT_SIZES = (4, 5, 6, 8, 10, 12)
+REPEAT_FANOUT = 10  # concurrent callers per hot request
+
+
+def point_request(n: int) -> SolveRequest:
+    return SolveRequest.square(
+        n,
+        [
+            TrafficClass.poisson(0.002, name="data"),
+            TrafficClass(alpha=0.001, beta=0.002, mu=1.0, a=2,
+                         name="burst"),
+        ],
+    )
+
+
+def check(condition: bool, label: str, failures: list[str]) -> None:
+    print(f"  [{'ok' if condition else 'FAIL'}] {label}")
+    if not condition:
+        failures.append(label)
+
+
+def main() -> int:
+    failures: list[str] = []
+    locals_by_key = {
+        r.cache_key: solve(r) for r in map(point_request, POINT_SIZES)
+    }
+
+    print("service smoke: main daemon (gate 256)")
+    # Gate sized above the drill's worst-case concurrent weight (the
+    # overload behaviour has its own dedicated daemon below).
+    handle = start_in_thread(
+        ServiceConfig(port=0, gate_capacity=256, batch_window=0.02),
+        engine=BatchSolver(EngineConfig()),
+    )
+    client = ServiceClient(*handle.address)
+    mismatches = []
+
+    def one_point(n: int) -> None:
+        request = point_request(n)
+        result = client.solve(request)
+        if result != locals_by_key[request.cache_key]:
+            mismatches.append(f"point n={n}")
+
+    def one_sweep(_index: int) -> None:
+        requests = [point_request(n) for n in POINT_SIZES[:4]]
+        for request, result in zip(requests,
+                                   client.solve_many(requests)):
+            if result != locals_by_key[request.cache_key]:
+                mismatches.append(f"sweep member {request.dims}")
+
+    # ~200 requests: 6 sizes x 10 racing repeats (guaranteed identical
+    # concurrent requests), 20 sweeps of 4 members, 60 mixed repeats.
+    with ThreadPoolExecutor(max_workers=32) as pool:
+        futures = []
+        for n in POINT_SIZES:
+            futures += [pool.submit(one_point, n)
+                        for _ in range(REPEAT_FANOUT)]
+        futures += [pool.submit(one_sweep, i) for i in range(20)]
+        futures += [pool.submit(one_point, POINT_SIZES[i % 6])
+                    for i in range(60)]
+        for future in futures:
+            future.result()
+
+    total = 6 * REPEAT_FANOUT + 20 * 4 + 60
+    print(f"  drove {total} requests over "
+          f"{len(POINT_SIZES)} distinct models")
+    check(not mismatches,
+          f"zero non-deterministic results ({len(mismatches)} mismatches)",
+          failures)
+    hits = handle.service.flights.hits
+    check(hits > 0, f"nonzero coalesce hits ({hits})", failures)
+    check(handle.service.gate.in_use == 0,
+          "all gate tokens released", failures)
+    page = client.metrics()
+    check("repro_service_requests_total" in page
+          and "repro_engine_breaker_state" in page,
+          "metrics page renders", failures)
+    handle.stop()
+    check(not handle.thread.is_alive(), "clean shutdown (main)", failures)
+
+    print("service smoke: overload daemon (gate 2, 60ms holds)")
+    small = start_in_thread(
+        ServiceConfig(port=0, gate_capacity=2, batch_window=0.001,
+                      min_hold=0.06),
+        engine=BatchSolver(EngineConfig()),
+    )
+    small_client = ServiceClient(*small.address)
+    hot = point_request(4)
+    small_client.solve(hot)  # warm: holds become ~min_hold
+    admitted = rejected = 0
+
+    def overload_call(_index: int) -> None:
+        nonlocal admitted, rejected
+        try:
+            result = small_client.solve(hot)
+        except AdmissionRejectedError as exc:
+            rejected += 1
+            assert exc.retry_after > 0.0
+        else:
+            admitted += 1
+            if result != locals_by_key[hot.cache_key]:
+                mismatches.append("overload result")
+
+    with ThreadPoolExecutor(max_workers=16) as pool:
+        list(pool.map(overload_call, range(16)))
+    check(admitted + rejected == 16 and rejected > 0,
+          f"overload cleared with 503s ({admitted} admitted, "
+          f"{rejected} rejected)", failures)
+    gate = small.service.gate
+    check(gate.peak_in_use <= 2,
+          f"admission bound held (peak {gate.peak_in_use} <= 2)",
+          failures)
+    ratio = small_client.metric_value(
+        "repro_service_admission_blocking_ratio"
+    )
+    check(ratio == gate.rejected / gate.offered,
+          "metrics blocking ratio exact", failures)
+    check(not mismatches, "overload results deterministic", failures)
+    small.stop()
+    check(not small.thread.is_alive(), "clean shutdown (overload)",
+          failures)
+
+    if failures:
+        print(f"service smoke: FAILED ({len(failures)} checks)")
+        return 1
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
