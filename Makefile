@@ -1,12 +1,21 @@
 # Convenience targets for the crossbar reproduction library.
 
-.PHONY: install test bench report examples validate all
+.PHONY: install test test-fast verify bench report examples validate all
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# The inner development loop: skip the service daemon, chaos and fuzz
+# harnesses and anything marked slow; run few hypothesis examples.
+test-fast:
+	HYPOTHESIS_PROFILE=dev pytest tests/ -m "not slow and not service and not chaos and not fuzz"
+
+# The differential verification campaign (see docs/testing.md).
+verify:
+	python -m repro.cli verify --seed 0 --budget 60s
 
 bench:
 	pytest benchmarks/ --benchmark-only

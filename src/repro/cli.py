@@ -345,6 +345,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated skew factors (default 1,2,4,8)",
     )
 
+    p = sub.add_parser(
+        "verify",
+        help="differential + metamorphic verification campaign "
+             "(see docs/testing.md)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="fuzzer seed; a campaign is reproducible from it (default 0)",
+    )
+    p.add_argument(
+        "--budget", default="60s", metavar="DURATION",
+        help="fuzzing time budget, e.g. 30s, 2m, 0.5h (default 60s)",
+    )
+    p.add_argument(
+        "--max-configs", type=int, default=None, metavar="N",
+        help="stop fuzzing after N configs even with budget left",
+    )
+    p.add_argument(
+        "--max-side", type=int, default=12, metavar="N",
+        help="largest switch side the fuzzer samples (default 12)",
+    )
+    p.add_argument(
+        "--repro-dir", default="verify-repros", metavar="DIR",
+        help="where shrunk JSON reproducers are written (default "
+             "verify-repros/)",
+    )
+    p.add_argument(
+        "--skip-named", action="store_true",
+        help="skip the Table 1 / Table 2 paper configurations",
+    )
+    p.add_argument(
+        "--skip-fuzz", action="store_true",
+        help="only check the named paper configurations",
+    )
+    p.add_argument(
+        "--invariant", action="append", metavar="NAME", dest="invariants",
+        help="restrict to one invariant (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--list-invariants", action="store_true",
+        help="print the invariant registry and exit",
+    )
+
     return parser
 
 
@@ -386,6 +429,29 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "verify":
+        from .verify import runner as verify_runner
+        from .verify.invariants import INVARIANTS
+
+        if args.list_invariants:
+            for inv in INVARIANTS.values():
+                print(f"{inv.name}  [{inv.paper_ref}]")
+                print(f"    {inv.description}")
+            return 0
+        options = verify_runner.VerifyOptions(
+            seed=args.seed,
+            budget_seconds=verify_runner.parse_budget(args.budget),
+            max_configs=args.max_configs,
+            repro_dir=args.repro_dir,
+            skip_named=args.skip_named,
+            skip_fuzz=args.skip_fuzz,
+            invariants=tuple(args.invariants) if args.invariants else None,
+            max_side=args.max_side,
+        )
+        report = verify_runner.run_verify(options, echo=print)
+        print(report.render())
+        return 0 if report.passed else 1
+
     if args.command in ("figure1", "figure2", "figure3", "figure4"):
         builder = {
             "figure1": figure1,

@@ -55,6 +55,20 @@ class SolveMethod(str, Enum):
         return _CONVOLUTION_MODES.get(self)
 
     @property
+    def rel_tolerance(self) -> float:
+        """Relative accuracy this method is trusted to on its measures.
+
+        Used by the differential verifier (:mod:`repro.verify`) to set
+        pairwise comparison tolerances: two methods must agree to
+        ``max(rel_tolerance_a, rel_tolerance_b)`` (plus a small ULP
+        floor).  The figures are empirical — tight enough to catch a
+        real defect (an off-by-one in a recursion shifts measures by
+        orders of magnitude more), loose enough that legitimate
+        round-off across numeric domains never fires.
+        """
+        return _REL_TOLERANCES[self]
+
+    @property
     def is_grid(self) -> bool:
         """True when the method produces a full sub-dimension ratio grid.
 
@@ -100,6 +114,23 @@ _CONVOLUTION_MODES = {
 _GRID_METHODS = frozenset(
     {SolveMethod.CONVOLUTION, SolveMethod.CONVOLUTION_SCALED}
 )
+
+#: Per-method relative tolerances for differential comparison.  The
+#: exact solver evaluates in rational arithmetic and only rounds once
+#: at the end; brute force and the convolution modes accumulate
+#: float64 round-off over the state space / grid sweep; MVA and the
+#: series solver work in ratio/series domains with somewhat larger
+#: constants; the CTMC goes through a sparse linear solve.
+_REL_TOLERANCES = {
+    SolveMethod.CONVOLUTION: 1e-9,
+    SolveMethod.CONVOLUTION_SCALED: 1e-9,
+    SolveMethod.CONVOLUTION_FLOAT: 1e-9,
+    SolveMethod.MVA: 1e-8,
+    SolveMethod.EXACT: 1e-12,
+    SolveMethod.BRUTE_FORCE: 1e-9,
+    SolveMethod.SERIES: 1e-8,
+    SolveMethod.ROBUST: 1e-8,
+}
 
 #: Historical spellings (robust-facade chain names) still accepted.
 _ALIASES = {

@@ -1,0 +1,181 @@
+"""Golden-snapshot corpus: provenance-stamped records with drift diffing.
+
+``tests/golden/*.json`` locks the reproduced figure series against
+silent numeric drift.  This module is the one owner of that corpus'
+on-disk format, shared by the pytest lock (``tests/test_golden.py``),
+the refresh tool (``tools/refresh_golden.py``) and the verify runner:
+
+* every refreshed file carries a ``"_provenance"`` header recording
+  what generated it and under which schema/library version, so a stale
+  snapshot is distinguishable from a stale solver;
+* :meth:`GoldenCorpus.diff` reports *structured* drift (missing file,
+  curve-set change, x-grid change, per-point value drift with the
+  worst offender located) instead of a bare assert, so a refresh
+  review shows exactly what moved;
+* legacy headerless files load fine — provenance is added on the next
+  refresh, never required.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["GoldenCorpus", "GoldenDrift", "figure_record"]
+
+#: On-disk schema version for provenance-stamped snapshots.
+SCHEMA_VERSION = 1
+
+#: Relative drift below this is round-off, not a regression (matches
+#: the historical pytest.approx(rel=1e-9) lock).
+DRIFT_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class GoldenDrift:
+    """One structural or numeric difference against a golden record."""
+
+    name: str
+    kind: str  # "missing" | "structure" | "value"
+    detail: str
+    magnitude: float = 0.0
+
+    def describe(self) -> str:
+        extra = f" (rel {self.magnitude:.3g})" if self.kind == "value" else ""
+        return f"{self.name}: {self.kind}: {self.detail}{extra}"
+
+
+class GoldenCorpus:
+    """All golden snapshots under one directory."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    def path(self, name: str) -> Path:
+        return self.root / f"{name}.json"
+
+    def names(self) -> list[str]:
+        """Snapshot names present on disk, sorted."""
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    # ------------------------------------------------------------------
+
+    def load(self, name: str) -> dict:
+        """The stored record, provenance header stripped."""
+        record = json.loads(self.path(name).read_text())
+        record.pop("_provenance", None)
+        return record
+
+    def provenance(self, name: str) -> dict | None:
+        """The stored provenance header, or None for legacy files."""
+        return json.loads(self.path(name).read_text()).get("_provenance")
+
+    def store(self, name: str, record: dict, generator: str = "") -> Path:
+        """Write ``record`` with a fresh provenance header."""
+        from .. import __version__
+
+        stamped = {
+            "_provenance": {
+                "schema": SCHEMA_VERSION,
+                "generator": generator or f"GoldenCorpus.store({name!r})",
+                "library_version": __version__,
+            }
+        }
+        stamped.update(record)
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(name)
+        path.write_text(json.dumps(stamped, indent=1) + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+
+    def diff(
+        self, name: str, record: dict, rel_tol: float = DRIFT_REL_TOL
+    ) -> list[GoldenDrift]:
+        """Differences between ``record`` and the stored snapshot.
+
+        ``record`` uses the figure schema: ``{"x": [...], "curves":
+        {label: [...]}}``.  An empty list means no drift.
+        """
+        if not self.path(name).exists():
+            return [GoldenDrift(name, "missing", "no golden file on disk")]
+        golden = self.load(name)
+        drifts: list[GoldenDrift] = []
+        if list(record["x"]) != list(golden["x"]):
+            drifts.append(
+                GoldenDrift(
+                    name,
+                    "structure",
+                    f"x grid changed: {golden['x']} -> {list(record['x'])}",
+                )
+            )
+            return drifts  # point-wise comparison is meaningless now
+        stored_curves = set(golden["curves"])
+        new_curves = set(record["curves"])
+        for label in sorted(stored_curves - new_curves):
+            drifts.append(
+                GoldenDrift(name, "structure", f"curve {label!r} disappeared")
+            )
+        for label in sorted(new_curves - stored_curves):
+            drifts.append(
+                GoldenDrift(name, "structure", f"curve {label!r} appeared")
+            )
+        for label in sorted(stored_curves & new_curves):
+            locked = golden["curves"][label]
+            measured = list(record["curves"][label])
+            if len(locked) != len(measured):
+                drifts.append(
+                    GoldenDrift(
+                        name,
+                        "structure",
+                        f"curve {label!r} length {len(locked)} -> "
+                        f"{len(measured)}",
+                    )
+                )
+                continue
+            worst = 0.0
+            where = None
+            for i, (old, new) in enumerate(zip(locked, measured)):
+                scale = max(abs(old), abs(new), 1e-300)
+                rel = abs(old - new) / scale
+                if rel > worst:
+                    worst, where = rel, (i, old, new)
+            if worst > rel_tol:
+                i, old, new = where
+                drifts.append(
+                    GoldenDrift(
+                        name,
+                        "value",
+                        f"curve {label!r} point {i} "
+                        f"(x={record['x'][i]}): {old!r} -> {new!r}",
+                        worst,
+                    )
+                )
+        return drifts
+
+    def check(self, name: str, record: dict) -> None:
+        """Raise AssertionError with a readable report on any drift."""
+        drifts = self.diff(name, record)
+        if drifts:
+            raise AssertionError(
+                "golden drift:\n"
+                + "\n".join("  " + d.describe() for d in drifts)
+            )
+
+
+def figure_record(figure) -> dict:
+    """The corpus schema for one built figure."""
+    record = {
+        "x": [float(x) for x in figure.x_values],
+        "curves": {
+            curve.label: [float(v) for v in curve.values]
+            for curve in figure.curves
+        },
+    }
+    for values in record["curves"].values():
+        for v in values:
+            if not math.isfinite(v):
+                raise ValueError(f"non-finite value {v!r} in figure record")
+    return record

@@ -1,0 +1,209 @@
+"""Seeded sampling of BPP crossbar configurations for the fuzzer.
+
+The sampler deliberately does **not** use hypothesis: the CLI entry
+point (``crossbar-repro verify``) must run from a plain install, and a
+fuzz campaign must be exactly reproducible from its integer seed alone.
+The distributions mirror ``tests/strategies.py`` for the *typical*
+regime and add a *corner* regime biased toward the places differential
+bugs historically hide:
+
+* ``beta_r`` within a hair of ``mu_r`` (Pascal normalization near its
+  divergence pole — huge peakedness);
+* smooth classes whose source pool nearly exhausts the switch;
+* large ``a_r`` relative to ``min(N1, N2)`` (multi-rate geometry,
+  including classes that barely fit or do not fit at all);
+* strongly rectangular switches (``N1 >> N2`` and vice versa);
+* loads spanning ``1e-6`` .. ``~1`` per pair, i.e. from the paper's
+  operating point (~0.5% blocking) to heavy overload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.state import SwitchDimensions
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError
+
+__all__ = ["ModelConfig", "ConfigSampler"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A switch plus its traffic mix — the unit the fuzzer works on."""
+
+    dims: SwitchDimensions
+    classes: tuple[TrafficClass, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "classes", tuple(self.classes))
+        if not self.classes:
+            raise ConfigurationError("a model config needs >= 1 class")
+
+    @property
+    def capacity(self) -> int:
+        return self.dims.capacity
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{c.kind}(alpha={c.alpha:.4g}, beta={c.beta:.4g}, "
+            f"mu={c.mu:.4g}, a={c.a})"
+            for c in self.classes
+        )
+        return f"{self.dims.n1}x{self.dims.n2} [{parts}]"
+
+    def to_dict(self) -> dict:
+        from ..io import class_to_dict
+
+        return {
+            "n1": self.dims.n1,
+            "n2": self.dims.n2,
+            "classes": [class_to_dict(c) for c in self.classes],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ModelConfig":
+        from ..io import class_from_dict
+
+        return cls(
+            SwitchDimensions(int(record["n1"]), int(record["n2"])),
+            tuple(class_from_dict(c) for c in record["classes"]),
+        )
+
+
+class ConfigSampler:
+    """Deterministic stream of model configs from one integer seed.
+
+    ``corner_fraction`` of the draws come from the corner regime; the
+    rest mirror the typical test-suite distributions.  Every draw is a
+    pure function of the seed and the draw index, so a campaign can be
+    replayed exactly and any config re-derived from ``(seed, index)``.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        max_side: int = 12,
+        max_classes: int = 3,
+        corner_fraction: float = 0.4,
+    ) -> None:
+        self.seed = seed
+        self.max_side = max_side
+        self.max_classes = max_classes
+        self.corner_fraction = corner_fraction
+        self.index = 0
+
+    def sample(self) -> ModelConfig:
+        """The next config in the stream (advances the draw index)."""
+        # str seeds hash through sha512: stable across processes, and
+        # (seed, index) pairs never collide the way seed+index would.
+        rng = random.Random(f"{self.seed}:{self.index}")
+        self.index += 1
+        if rng.random() < self.corner_fraction:
+            return self._corner(rng)
+        return self._typical(rng)
+
+    # ------------------------------------------------------------------
+
+    def _typical(self, rng: random.Random) -> ModelConfig:
+        dims = SwitchDimensions(
+            rng.randint(1, min(7, self.max_side)),
+            rng.randint(1, min(7, self.max_side)),
+        )
+        count = rng.randint(1, self.max_classes)
+        classes = tuple(
+            self._typical_class(rng, dims) for _ in range(count)
+        )
+        return ModelConfig(dims, classes)
+
+    def _typical_class(
+        self, rng: random.Random, dims: SwitchDimensions
+    ) -> TrafficClass:
+        kind = rng.choice(("poisson", "pascal", "bernoulli"))
+        mu = rng.uniform(0.5, 2.0)
+        a = rng.randint(1, 2)
+        if kind == "poisson":
+            return TrafficClass(
+                alpha=rng.uniform(0.0, 1.0), beta=0.0, mu=mu, a=a
+            )
+        if kind == "pascal":
+            return TrafficClass(
+                alpha=rng.uniform(1e-3, 1.0),
+                beta=rng.uniform(1e-3, 0.4) * mu,
+                mu=mu,
+                a=a,
+            )
+        return TrafficClass.bernoulli(
+            rng.randint(1, 8), rng.uniform(1e-3, 0.5), mu=mu, a=a
+        )
+
+    def _corner(self, rng: random.Random) -> ModelConfig:
+        shape = rng.choice(("skewed", "tall", "square", "tiny"))
+        if shape == "skewed":
+            dims = SwitchDimensions(
+                rng.randint(max(1, self.max_side - 2), self.max_side),
+                rng.randint(1, 3),
+            )
+        elif shape == "tall":
+            dims = SwitchDimensions(
+                rng.randint(1, 3),
+                rng.randint(max(1, self.max_side - 2), self.max_side),
+            )
+        elif shape == "square":
+            n = rng.randint(4, self.max_side)
+            dims = SwitchDimensions(n, n)
+        else:
+            dims = SwitchDimensions(rng.randint(1, 2), rng.randint(1, 2))
+        count = rng.randint(1, self.max_classes)
+        classes = tuple(
+            self._corner_class(rng, dims) for _ in range(count)
+        )
+        return ModelConfig(dims, classes)
+
+    def _corner_class(
+        self, rng: random.Random, dims: SwitchDimensions
+    ) -> TrafficClass:
+        cap = max(1, dims.capacity)
+        kind = rng.choice(
+            ("near-pole", "huge-a", "tiny-load", "heavy-load", "deep-smooth")
+        )
+        mu = rng.choice((1.0, rng.uniform(0.1, 10.0)))
+        if kind == "near-pole":
+            # Pascal with beta within 0.2% .. 5% of mu: peakedness up
+            # to ~500, the regime where eq. 19-style defects explode.
+            return TrafficClass(
+                alpha=rng.uniform(1e-4, 0.1) * mu,
+                beta=mu * (1.0 - rng.uniform(0.002, 0.05)),
+                mu=mu,
+                a=1,
+            )
+        if kind == "huge-a":
+            # A class that needs most of (or exactly) the whole fabric.
+            a = rng.choice((max(1, cap - 1), cap))
+            return TrafficClass(
+                alpha=rng.uniform(1e-3, 0.5) * mu,
+                beta=rng.choice((0.0, 0.3 * mu)),
+                mu=mu,
+                a=a,
+            )
+        if kind == "tiny-load":
+            return TrafficClass(
+                alpha=rng.uniform(1e-6, 1e-4) * mu,
+                beta=rng.choice((0.0, rng.uniform(1e-6, 1e-4) * mu)),
+                mu=mu,
+                a=rng.randint(1, min(2, cap)),
+            )
+        if kind == "heavy-load":
+            return TrafficClass(
+                alpha=rng.uniform(1.0, 5.0) * mu,
+                beta=0.0,
+                mu=mu,
+                a=rng.randint(1, min(2, cap)),
+            )
+        # deep-smooth: source pool comparable to the state-space depth,
+        # so the Bernoulli fold runs to its termination boundary.
+        sources = max(1, min(cap, rng.randint(cap // 2 + 1, cap + 2)))
+        return TrafficClass.bernoulli(
+            sources, rng.uniform(0.05, 0.9), mu=mu, a=1
+        )

@@ -1,0 +1,582 @@
+"""A registry of metamorphic invariants over the paper's model.
+
+Each :class:`Invariant` encodes a property that must hold for *every*
+valid BPP configuration — an identity the paper derives, an exact
+symmetry of the model, or an ordering/monotonicity law.  Unlike the
+differential comparison (which can only say "two solvers disagree"),
+a violated invariant names the *property* that broke, which usually
+localizes the defect immediately.
+
+The monotonicity invariants carry **guards** determined empirically:
+blocking is *not* monotone in ``alpha_r`` for general multirate mixes
+(raising one class's load can re-shape the occupancy distribution in
+favour of another geometry), and *not* monotone in switch size for
+peaky or smooth traffic.  The registry encodes the regimes where the
+laws provably hold (single class, or unit bandwidth throughout; single
+Poisson class for the size law) rather than folk versions that a
+correct solver would "violate".
+
+Checks raise nothing on healthy input: a configuration a check cannot
+handle (e.g. Algorithm 2's smooth-stability guard trips) is a *skip*,
+not a violation — :func:`check_invariants` swallows
+:class:`~repro.exceptions.ComputationError` per invariant.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from ..core.state import SwitchDimensions
+from ..core.traffic import TrafficClass
+from ..exceptions import ComputationError
+from .generators import ModelConfig
+
+__all__ = [
+    "INVARIANTS",
+    "Invariant",
+    "Violation",
+    "check_invariants",
+    "invariant_names",
+]
+
+#: Identity checks (same quantity, two derivations) agree to this.
+IDENTITY_TOL = 1e-8
+#: Ordering/monotonicity checks tolerate this much counter-movement
+#: (pure round-off; a real violation is orders of magnitude larger).
+ORDER_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant check on one configuration."""
+
+    invariant: str
+    detail: str
+    magnitude: float
+
+    def describe(self) -> str:
+        return f"{self.invariant}: {self.detail} (magnitude {self.magnitude:.3g})"
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "magnitude": self.magnitude,
+        }
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A named executable property of the model.
+
+    ``check`` receives the configuration and a :class:`SolutionCache`
+    (so invariants sharing a base solve don't recompute it) and returns
+    the violations found — an empty list means the property held.
+    """
+
+    name: str
+    paper_ref: str
+    description: str
+    applies: Callable[[ModelConfig], bool]
+    check: Callable[[ModelConfig, "SolutionCache"], list[Violation]]
+
+
+class SolutionCache:
+    """Per-run memo of solver results, keyed by (dims, classes).
+
+    Late-binds the solver modules on every call so test monkeypatches
+    are honoured, and keeps Algorithm 2 failures cached as exceptions
+    (the stability guard is deterministic — retrying is waste).
+    """
+
+    def __init__(self) -> None:
+        self._conv: dict = {}
+        self._mva: dict = {}
+
+    def conv(self, dims: SwitchDimensions, classes: tuple[TrafficClass, ...]):
+        key = (dims, classes)
+        if key not in self._conv:
+            from ..core import convolution
+
+            self._conv[key] = convolution.solve_convolution(
+                dims, classes, mode="log"
+            )
+        return self._conv[key]
+
+    def mva(self, dims: SwitchDimensions, classes: tuple[TrafficClass, ...]):
+        key = (dims, classes)
+        if key not in self._mva:
+            from ..core import mva
+
+            try:
+                self._mva[key] = mva.solve_mva(dims, classes)
+            except ComputationError as exc:
+                self._mva[key] = exc
+        result = self._mva[key]
+        if isinstance(result, ComputationError):
+            raise result
+        return result
+
+
+INVARIANTS: dict[str, Invariant] = {}
+
+
+def _register(
+    name: str,
+    paper_ref: str,
+    description: str,
+    applies: Callable[[ModelConfig], bool] = lambda config: True,
+):
+    def wrap(check):
+        INVARIANTS[name] = Invariant(
+            name=name,
+            paper_ref=paper_ref,
+            description=description,
+            applies=applies,
+            check=check,
+        )
+        return check
+
+    return wrap
+
+
+def invariant_names() -> tuple[str, ...]:
+    """All registered invariant names, in registration order."""
+    return tuple(INVARIANTS)
+
+
+def check_invariants(
+    config: ModelConfig,
+    names: Iterable[str] | None = None,
+    cache: SolutionCache | None = None,
+) -> list[Violation]:
+    """Run every applicable invariant on ``config``; collect violations.
+
+    Unknown ``names`` raise ``KeyError`` (a typo in a campaign spec must
+    not silently check nothing).
+    """
+    cache = cache or SolutionCache()
+    selected = (
+        [INVARIANTS[n] for n in names]
+        if names is not None
+        else list(INVARIANTS.values())
+    )
+    violations: list[Violation] = []
+    for inv in selected:
+        if not inv.applies(config):
+            continue
+        try:
+            violations.extend(inv.check(config, cache))
+        except ComputationError:
+            continue  # solver guard tripped: skip, don't fail
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Identity invariants (the paper's equations, two derivations each)
+# ----------------------------------------------------------------------
+
+
+@_register(
+    "normalization-series-identity",
+    "eq. 5-7",
+    "log G(N) from Algorithm 1 equals the generating-function "
+    "reconstruction Q(N) = sum_m f_m / ((N1-m)!(N2-m)!).",
+)
+def _check_normalization_series(config, cache):
+    from ..core import generating
+
+    solution = cache.conv(config.dims, config.classes)
+    log_q_solver = float(solution.log_q[config.dims.n1, config.dims.n2])
+    q_series = generating.q_from_series(config.dims, config.classes)
+    if not (q_series > 0.0 and math.isfinite(q_series)):
+        return []  # series path out of float range: nothing to compare
+    log_q_series = math.log(q_series)
+    diff = abs(log_q_solver - log_q_series)
+    tol = IDENTITY_TOL * max(1.0, abs(log_q_solver))
+    if diff > tol:
+        return [
+            Violation(
+                "normalization-series-identity",
+                f"log Q(N): solver {log_q_solver!r} vs series "
+                f"{log_q_series!r} on {config.describe()}",
+                diff,
+            )
+        ]
+    return []
+
+
+@_register(
+    "series-closed-form",
+    "eq. 5",
+    "Each class's occupancy series built from the Phi_r product "
+    "definition matches the closed form (exp / negative binomial).",
+)
+def _check_series_closed_form(config, cache):
+    from ..core import generating
+
+    violations = []
+    order = config.capacity
+    for r, cls in enumerate(config.classes):
+        direct = generating.class_series(cls, order)
+        closed = generating.closed_form_class_series(cls, order)
+        scale = max(max(map(abs, direct)), max(map(abs, closed)), 1.0)
+        for m, (x, y) in enumerate(zip(direct, closed)):
+            if abs(x - y) > IDENTITY_TOL * scale:
+                violations.append(
+                    Violation(
+                        "series-closed-form",
+                        f"class {r} coefficient u^{m}: definition {x!r} "
+                        f"vs closed form {y!r}",
+                        abs(x - y) / scale,
+                    )
+                )
+                break  # one coefficient per class is enough signal
+    return violations
+
+
+@_register(
+    "blocking-identity",
+    "eq. 4",
+    "B_r = G(N - a_r I)/G(N) / (P(N1,a_r) P(N2,a_r)): the reported "
+    "non-blocking probability matches the raw normalization ratio.",
+    applies=lambda config: any(
+        c.a <= min(config.dims.n1, config.dims.n2) for c in config.classes
+    ),
+)
+def _check_blocking_identity(config, cache):
+    solution = cache.conv(config.dims, config.classes)
+    dims = config.dims
+    violations = []
+    for r, cls in enumerate(config.classes):
+        if cls.a > min(dims.n1, dims.n2):
+            continue
+        sub = SwitchDimensions(dims.n1 - cls.a, dims.n2 - cls.a)
+        # log G already carries the N1! N2! factors, so the G ratio IS
+        # the non-blocking probability (the permutation denominators
+        # cancel into the factorial difference).
+        expected = math.exp(solution.log_g(sub) - solution.log_g())
+        got = solution.non_blocking(r)
+        if abs(got - expected) > IDENTITY_TOL * max(1.0, abs(expected)):
+            violations.append(
+                Violation(
+                    "blocking-identity",
+                    f"class {r}: non_blocking {got!r} vs eq. 4 ratio "
+                    f"{expected!r}",
+                    abs(got - expected),
+                )
+            )
+    return violations
+
+
+@_register(
+    "mva-path-consistency",
+    "eq. 12-13",
+    "Algorithm 2 reaches the same H_r ratio along the input and the "
+    "output axis (path independence of the F recursion).",
+)
+def _check_mva_path(config, cache):
+    solution = cache.mva(config.dims, config.classes)
+    residual = solution.grids.consistency_residual()
+    if residual > IDENTITY_TOL:
+        return [
+            Violation(
+                "mva-path-consistency",
+                f"axis-1 vs axis-2 H residual {residual!r} on "
+                f"{config.describe()}",
+                residual,
+            )
+        ]
+    return []
+
+
+@_register(
+    "mva-ratio-identity",
+    "eq. 12-13",
+    "F_1(n) Q(n) = Q(n - e_1): Algorithm 2's ratio grid against "
+    "Algorithm 1's log Q grid, everywhere on the lattice.",
+)
+def _check_mva_ratio(config, cache):
+    mva_solution = cache.mva(config.dims, config.classes)
+    conv_solution = cache.conv(config.dims, config.classes)
+    log_q = conv_solution.log_q
+    grids = mva_solution.grids
+    worst = 0.0
+    where = None
+    for m1 in range(1, config.dims.n1 + 1):
+        for m2 in range(config.dims.n2 + 1):
+            expected = math.exp(float(log_q[m1 - 1, m2] - log_q[m1, m2]))
+            got = float(grids.f1[m1, m2])
+            err = abs(got - expected) / max(abs(expected), 1.0)
+            if err > worst:
+                worst, where = err, (m1, m2, got, expected)
+    if worst > IDENTITY_TOL:
+        m1, m2, got, expected = where
+        return [
+            Violation(
+                "mva-ratio-identity",
+                f"F_1({m1},{m2}) = {got!r} but Q({m1 - 1},{m2})/Q({m1},{m2})"
+                f" = {expected!r}",
+                worst,
+            )
+        ]
+    return []
+
+
+@_register(
+    "sub-dimension-consistency",
+    "§5",
+    "Measures read off a larger solved grid at (m1, m2) equal a fresh "
+    "solve at exactly (m1, m2).",
+    applies=lambda config: config.dims.n1 + config.dims.n2 >= 3,
+)
+def _check_sub_dimension(config, cache):
+    dims = config.dims
+    solution = cache.conv(dims, config.classes)
+    subs = {
+        SwitchDimensions(max(1, dims.n1 - 1), dims.n2),
+        SwitchDimensions(dims.n1, max(1, dims.n2 - 1)),
+        SwitchDimensions((dims.n1 + 1) // 2, (dims.n2 + 1) // 2),
+    } - {dims}
+    violations = []
+    for sub in subs:
+        fresh = cache.conv(sub, config.classes)
+        for r in range(len(config.classes)):
+            at_grid = solution.blocking(r, at=sub)
+            direct = fresh.blocking(r)
+            if abs(at_grid - direct) > IDENTITY_TOL:
+                violations.append(
+                    Violation(
+                        "sub-dimension-consistency",
+                        f"class {r} blocking at {sub}: grid {at_grid!r} "
+                        f"vs direct {direct!r}",
+                        abs(at_grid - direct),
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Symmetry invariants (exact model equivalences)
+# ----------------------------------------------------------------------
+
+
+@_register(
+    "holding-time-insensitivity",
+    "§2",
+    "Scaling (alpha_r, beta_r, mu_r) by a common factor changes only "
+    "the time unit: blocking and concurrency are invariant.",
+)
+def _check_insensitivity(config, cache):
+    scale = 3.0
+    scaled = tuple(
+        TrafficClass(
+            alpha=cls.alpha * scale,
+            beta=cls.beta * scale,
+            mu=cls.mu * scale,
+            a=cls.a,
+        )
+        for cls in config.classes
+    )
+    base = cache.conv(config.dims, config.classes)
+    other = cache.conv(config.dims, scaled)
+    violations = []
+    for r in range(len(config.classes)):
+        for measure in ("blocking", "concurrency"):
+            x = getattr(base, measure)(r)
+            y = getattr(other, measure)(r)
+            if abs(x - y) > IDENTITY_TOL * max(1.0, abs(x)):
+                violations.append(
+                    Violation(
+                        "holding-time-insensitivity",
+                        f"class {r} {measure}: {x!r} at mu vs {y!r} at "
+                        f"{scale}*mu",
+                        abs(x - y),
+                    )
+                )
+    return violations
+
+
+@_register(
+    "class-permutation-invariance",
+    "eq. 2-3",
+    "Reordering the class list permutes the per-class measures and "
+    "changes nothing else.",
+    applies=lambda config: len(config.classes) >= 2,
+)
+def _check_permutation(config, cache):
+    base = cache.conv(config.dims, config.classes)
+    reordered = tuple(reversed(config.classes))
+    other = cache.conv(config.dims, reordered)
+    n = len(config.classes)
+    violations = []
+    for r in range(n):
+        x = base.blocking(r)
+        y = other.blocking(n - 1 - r)
+        if abs(x - y) > IDENTITY_TOL:
+            violations.append(
+                Violation(
+                    "class-permutation-invariance",
+                    f"class {r} blocking {x!r} became {y!r} after "
+                    "reversing the class list",
+                    abs(x - y),
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Ordering and monotonicity invariants
+# ----------------------------------------------------------------------
+
+
+def _poissonized(cls: TrafficClass) -> TrafficClass:
+    """The Poisson class with the same alpha_r (beta_r zeroed).
+
+    This is the paper's Figure 1-2 comparison: hold ``alpha~`` fixed
+    and sweep ``beta~`` through zero.  (Matching the infinite-server
+    *mean* instead does NOT give an ordering — a peaky class of equal
+    mean can block less than its Poisson counterpart.)
+    """
+    return TrafficClass(alpha=cls.alpha, beta=0.0, mu=cls.mu, a=cls.a)
+
+
+def _swap_class(
+    classes: tuple[TrafficClass, ...], r: int, new: TrafficClass
+) -> tuple[TrafficClass, ...]:
+    return classes[:r] + (new,) + classes[r + 1 :]
+
+
+@_register(
+    "poisson-bounds-smooth",
+    "§3, Fig. 2",
+    "Zeroing a lone smooth class's negative beta_r (same alpha_r) "
+    "never lowers its blocking: peakedness Z < 1 helps.  Guarded to a "
+    "single class: in a mix, cross-class occupancy shifts break the "
+    "ordering.",
+    applies=lambda config: len(config.classes) == 1
+    and config.classes[0].beta < 0,
+)
+def _check_poisson_bounds_smooth(config, cache):
+    base = cache.conv(config.dims, config.classes)
+    violations = []
+    for r, cls in enumerate(config.classes):
+        if not cls.beta < 0:
+            continue
+        swapped = _swap_class(config.classes, r, _poissonized(cls))
+        other = cache.conv(config.dims, swapped)
+        smooth_b = base.blocking(r)
+        poisson_b = other.blocking(r)
+        if poisson_b < smooth_b - ORDER_TOL:
+            violations.append(
+                Violation(
+                    "poisson-bounds-smooth",
+                    f"class {r}: smooth blocking {smooth_b!r} exceeds "
+                    f"the beta=0 blocking {poisson_b!r}",
+                    smooth_b - poisson_b,
+                )
+            )
+    return violations
+
+
+@_register(
+    "pascal-dominates-poisson",
+    "§3, Fig. 2",
+    "Zeroing a lone peaky class's positive beta_r (same alpha_r) "
+    "never raises its blocking: peakedness Z > 1 hurts.  Guarded to a "
+    "single class: in a mix, cross-class occupancy shifts break the "
+    "ordering.",
+    applies=lambda config: len(config.classes) == 1
+    and config.classes[0].beta > 0,
+)
+def _check_pascal_dominates(config, cache):
+    base = cache.conv(config.dims, config.classes)
+    violations = []
+    for r, cls in enumerate(config.classes):
+        if not cls.beta > 0:
+            continue
+        swapped = _swap_class(config.classes, r, _poissonized(cls))
+        other = cache.conv(config.dims, swapped)
+        pascal_b = base.blocking(r)
+        poisson_b = other.blocking(r)
+        if pascal_b < poisson_b - ORDER_TOL:
+            violations.append(
+                Violation(
+                    "pascal-dominates-poisson",
+                    f"class {r}: Pascal blocking {pascal_b!r} below "
+                    f"the beta=0 blocking {poisson_b!r}",
+                    poisson_b - pascal_b,
+                )
+            )
+    return violations
+
+
+@_register(
+    "blocking-monotone-in-alpha",
+    "§3",
+    "Doubling a lone class's alpha_r raises its blocking.  Guarded "
+    "to a single class: even unit-bandwidth mixes of near-pole Pascal "
+    "classes are genuinely non-monotone in one class's alpha.",
+    applies=lambda config: len(config.classes) == 1,
+)
+def _check_alpha_monotone(config, cache):
+    base = cache.conv(config.dims, config.classes)
+    violations = []
+    for r, cls in enumerate(config.classes):
+        if cls.alpha == 0.0:
+            continue
+        louder = _swap_class(
+            config.classes,
+            r,
+            TrafficClass(
+                # x2, not x1.5: a Bernoulli class's source count
+                # -alpha/beta must stay an integer to remain valid.
+                alpha=cls.alpha * 2.0, beta=cls.beta, mu=cls.mu, a=cls.a
+            ),
+        )
+        other = cache.conv(config.dims, louder)
+        before = base.blocking(r)
+        after = other.blocking(r)
+        if after < before - ORDER_TOL:
+            violations.append(
+                Violation(
+                    "blocking-monotone-in-alpha",
+                    f"class {r}: blocking fell {before!r} -> {after!r} "
+                    "when alpha doubled",
+                    before - after,
+                )
+            )
+    return violations
+
+
+@_register(
+    "blocking-monotone-in-size",
+    "§3, Fig. 3",
+    "With per-pair parameters fixed, a larger switch carries more "
+    "competing sources: blocking rises with N.  Guarded: provably "
+    "monotone only for a single Poisson class.",
+    applies=lambda config: len(config.classes) == 1
+    and config.classes[0].is_poisson
+    # A class that does not fit blocks with certainty; growing the
+    # switch until it first fits *lowers* blocking from 1.0, so the
+    # law only starts once the class is feasible.
+    and config.classes[0].a <= min(config.dims.n1, config.dims.n2),
+)
+def _check_size_monotone(config, cache):
+    bigger = SwitchDimensions(config.dims.n1 + 1, config.dims.n2 + 1)
+    base = cache.conv(config.dims, config.classes)
+    grown = cache.conv(bigger, config.classes)
+    before = base.blocking(0)
+    after = grown.blocking(0)
+    if after < before - ORDER_TOL:
+        return [
+            Violation(
+                "blocking-monotone-in-size",
+                f"blocking fell {before!r} -> {after!r} growing "
+                f"{config.dims} to {bigger}",
+                before - after,
+            )
+        ]
+    return []

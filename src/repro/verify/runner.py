@@ -1,0 +1,307 @@
+"""The budgeted verification campaign behind ``crossbar-repro verify``.
+
+One run has two phases:
+
+1. **Named configurations** — the paper's own operating points (every
+   Table 1 load on its switch size, every Table 2 parameter set on a
+   spread of sizes) go through the full differential + invariant
+   battery.  These are the configs a reader will actually reproduce,
+   so they are checked first and unconditionally.
+2. **Fuzz** — seeded sampling (:class:`~repro.verify.generators.ConfigSampler`)
+   until the time budget runs out, same battery per config.
+
+Any failure is greedily shrunk (:func:`~repro.verify.shrink.shrink_config`)
+under a predicate that preserves the *specific* failure — the same
+disagreeing solver pair, or the same violated invariant — and dumped
+as a self-contained JSON reproducer naming that pair/invariant, so a
+regression lands as a one-file bug report rather than a fuzzer log.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.state import SwitchDimensions
+from ..core.traffic import TrafficClass
+from ..exceptions import ConfigurationError
+from .differential import run_differential
+from .generators import ConfigSampler, ModelConfig
+from .invariants import SolutionCache, check_invariants, invariant_names
+from .shrink import shrink_config
+
+__all__ = [
+    "VerifyFailure",
+    "VerifyOptions",
+    "VerifyReport",
+    "named_configs",
+    "parse_budget",
+    "run_verify",
+]
+
+#: JSON reproducer schema version.
+REPRO_SCHEMA = 1
+
+_BUDGET_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*(ms|s|m|h)?\s*$")
+_BUDGET_UNITS = {None: 1.0, "ms": 1e-3, "s": 1.0, "m": 60.0, "h": 3600.0}
+
+
+def parse_budget(text: str | float | int) -> float:
+    """``"60s"`` / ``"2m"`` / ``"0.5h"`` / plain seconds -> seconds."""
+    if isinstance(text, (int, float)):
+        value = float(text)
+    else:
+        match = _BUDGET_RE.match(text)
+        if not match:
+            raise ConfigurationError(
+                f"cannot parse budget {text!r}; expected e.g. '60s', "
+                "'2m', '0.5h' or plain seconds"
+            )
+        value = float(match.group(1)) * _BUDGET_UNITS[match.group(2)]
+    if value <= 0:
+        raise ConfigurationError(f"budget must be > 0, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class VerifyOptions:
+    """Everything one campaign needs (all reproducible from here)."""
+
+    seed: int = 0
+    budget_seconds: float = 60.0
+    max_configs: int | None = None
+    repro_dir: Path | str = "verify-repros"
+    skip_named: bool = False
+    skip_fuzz: bool = False
+    invariants: tuple[str, ...] | None = None
+    max_side: int = 12
+    #: Stop fuzzing after this many distinct failures: each one is
+    #: shrunk (expensive) and one campaign rarely needs more evidence.
+    max_failures: int = 5
+
+
+@dataclass
+class VerifyFailure:
+    """One shrunk, reproducible failure."""
+
+    kind: str  # "differential" | "invariant"
+    label: str  # "mva vs convolution" or the invariant name
+    detail: str
+    source: str  # "named:<name>" or "fuzz:<index>"
+    config: ModelConfig
+    shrunk_from: ModelConfig
+    repro_path: Path | None = None
+
+    def to_dict(self) -> dict:
+        from .. import __version__
+
+        return {
+            "schema": REPRO_SCHEMA,
+            "library_version": __version__,
+            "kind": self.kind,
+            "label": self.label,
+            "detail": self.detail,
+            "source": self.source,
+            "config": self.config.to_dict(),
+            "shrunk_from": self.shrunk_from.to_dict(),
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one campaign."""
+
+    options: VerifyOptions
+    named_checked: int = 0
+    fuzz_checked: int = 0
+    elapsed: float = 0.0
+    failures: list[VerifyFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def configs_checked(self) -> int:
+        return self.named_checked + self.fuzz_checked
+
+    def render(self) -> str:
+        lines = [
+            f"verify: seed={self.options.seed} "
+            f"budget={self.options.budget_seconds:g}s "
+            f"invariants={len(invariant_names())}",
+            f"  named paper configs: {self.named_checked} checked",
+            f"  fuzzed configs:      {self.fuzz_checked} checked",
+            f"  elapsed:             {self.elapsed:.1f}s",
+        ]
+        for f in self.failures:
+            lines.append(
+                f"  FAILURE [{f.kind}] {f.label} ({f.source}): {f.detail}"
+            )
+            lines.append(f"    shrunk to: {f.config.describe()}")
+            if f.repro_path is not None:
+                lines.append(f"    reproducer: {f.repro_path}")
+        lines.append("PASS" if self.passed else "FAIL")
+        return "\n".join(lines)
+
+
+def named_configs() -> list[tuple[str, ModelConfig]]:
+    """The paper's own operating points, as (name, config) pairs.
+
+    Table 1 contributes each printed load on its own switch (the two
+    bandwidth classes analyzed separately, as the paper does); Table 2
+    contributes every parameter set on a spread of sizes (capped where
+    exhaustive solvers stay affordable).
+    """
+    from ..workloads import scenarios
+
+    configs: list[tuple[str, ModelConfig]] = []
+    for n, (rho1, rho2) in scenarios.TABLE1_PAPER.items():
+        dims = SwitchDimensions.square(n)
+        for a, rho in ((1, rho1), (2, rho2)):
+            cls = TrafficClass.from_aggregate(rho, 0.0, n2=n, mu=1.0, a=a)
+            configs.append(
+                (f"table1-n{n}-a{a}", ModelConfig(dims, (cls,)))
+            )
+    for set_index in range(len(scenarios.TABLE2_PARAMETER_SETS)):
+        for n in (2, 4, 8, 16):
+            classes = scenarios.table2_classes(set_index, n)
+            configs.append(
+                (
+                    f"table2-set{set_index + 1}-n{n}",
+                    ModelConfig(SwitchDimensions.square(n), tuple(classes)),
+                )
+            )
+    return configs
+
+
+# ----------------------------------------------------------------------
+
+
+def _differential_predicate(pair: frozenset):
+    """Still-fails test: the same solver pair still disagrees."""
+
+    def still_fails(config: ModelConfig) -> bool:
+        report = run_differential(config)
+        return any(
+            frozenset((d.method_a, d.method_b)) == pair
+            for d in report.disagreements
+        )
+
+    return still_fails
+
+
+def _invariant_predicate(name: str):
+    """Still-fails test: the same invariant is still violated."""
+
+    def still_fails(config: ModelConfig) -> bool:
+        return bool(check_invariants(config, names=[name]))
+
+    return still_fails
+
+
+def _check_one(
+    source: str,
+    config: ModelConfig,
+    options: VerifyOptions,
+) -> list[VerifyFailure]:
+    """Full battery on one config; failures come back shrunk."""
+    failures: list[VerifyFailure] = []
+
+    report = run_differential(config)
+    if report.disagreements:
+        worst = max(report.disagreements, key=lambda d: d.rel_error)
+        pair = frozenset((worst.method_a, worst.method_b))
+        shrunk = shrink_config(config, _differential_predicate(pair))
+        failures.append(
+            VerifyFailure(
+                kind="differential",
+                label=f"{worst.method_a} vs {worst.method_b}",
+                detail=worst.describe(),
+                source=source,
+                config=shrunk,
+                shrunk_from=config,
+            )
+        )
+
+    violations = check_invariants(
+        config, names=options.invariants, cache=SolutionCache()
+    )
+    for name in sorted({v.invariant for v in violations}):
+        first = next(v for v in violations if v.invariant == name)
+        shrunk = shrink_config(config, _invariant_predicate(name))
+        failures.append(
+            VerifyFailure(
+                kind="invariant",
+                label=name,
+                detail=first.describe(),
+                source=source,
+                config=shrunk,
+                shrunk_from=config,
+            )
+        )
+    return failures
+
+
+def _write_repros(
+    failures: list[VerifyFailure], repro_dir: Path
+) -> None:
+    repro_dir.mkdir(parents=True, exist_ok=True)
+    for i, failure in enumerate(failures):
+        safe = re.sub(r"[^a-z0-9]+", "-", failure.label.lower()).strip("-")
+        path = repro_dir / f"repro-{i:03d}-{failure.kind}-{safe}.json"
+        path.write_text(json.dumps(failure.to_dict(), indent=1) + "\n")
+        failure.repro_path = path
+
+
+def run_verify(
+    options: VerifyOptions | None = None, echo=None
+) -> VerifyReport:
+    """Run one verification campaign; see the module docstring.
+
+    ``echo`` (optional callable) receives one progress line per phase —
+    the CLI passes ``print``; library callers usually pass nothing.
+    """
+    options = options or VerifyOptions()
+    say = echo or (lambda line: None)
+    report = VerifyReport(options=options)
+    start = time.monotonic()
+
+    if not options.skip_named:
+        named = named_configs()
+        say(f"checking {len(named)} named paper configurations ...")
+        for name, config in named:
+            report.failures.extend(
+                _check_one(f"named:{name}", config, options)
+            )
+            report.named_checked += 1
+
+    if not options.skip_fuzz:
+        say(
+            f"fuzzing (seed {options.seed}, "
+            f"budget {options.budget_seconds:g}s) ..."
+        )
+        sampler = ConfigSampler(options.seed, max_side=options.max_side)
+        while time.monotonic() - start < options.budget_seconds:
+            if (
+                options.max_configs is not None
+                and report.fuzz_checked >= options.max_configs
+            ):
+                break
+            if len(report.failures) >= options.max_failures:
+                say("failure cap reached; stopping the fuzz phase early")
+                break
+            index = sampler.index
+            config = sampler.sample()
+            report.failures.extend(
+                _check_one(f"fuzz:{index}", config, options)
+            )
+            report.fuzz_checked += 1
+
+    if report.failures:
+        _write_repros(report.failures, Path(options.repro_dir))
+    report.elapsed = time.monotonic() - start
+    return report

@@ -1,0 +1,106 @@
+"""Greedy minimization of a failing configuration.
+
+Once the fuzzer finds a config on which solvers disagree (or an
+invariant breaks), the raw reproducer is usually noisy: three classes,
+seven-significant-digit parameters, a 11x9 switch.  ``shrink_config``
+walks it toward the smallest config that *still fails*, trying, in
+order of how much they simplify:
+
+1. dropping whole classes,
+2. shrinking the switch (halving a side, then decrementing),
+3. reducing bandwidth requirements ``a_r`` toward 1,
+4. zeroing ``beta_r`` (Pascal/Bernoulli -> Poisson),
+5. snapping ``alpha_r``/``beta_r``/``mu_r`` to short decimals.
+
+The predicate is treated as a black box; a candidate on which it
+*raises* is simply not taken (the failure being shrunk must be
+preserved, not traded for a different crash).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import replace
+
+from ..core.state import SwitchDimensions
+from ..core.traffic import TrafficClass
+from ..exceptions import CrossbarError
+from .generators import ModelConfig
+
+__all__ = ["shrink_config"]
+
+
+def _simpler_float(x: float) -> list[float]:
+    """Progressively shorter decimal approximations of ``x``."""
+    out = []
+    for digits in (1, 2, 4):
+        snapped = float(f"{x:.{digits}g}")
+        if snapped != x and snapped not in out:
+            out.append(snapped)
+    return out
+
+
+def _class_candidates(cls: TrafficClass) -> Iterator[TrafficClass]:
+    if cls.a > 1:
+        yield replace(cls, a=1)
+        yield replace(cls, a=cls.a // 2) if cls.a > 2 else replace(cls, a=1)
+    if cls.beta != 0.0:
+        yield replace(cls, beta=0.0)
+    if cls.mu != 1.0:
+        yield replace(cls, mu=1.0, beta=cls.beta if cls.beta < 1.0 else 0.0)
+    for alpha in _simpler_float(cls.alpha):
+        if alpha > 0.0:
+            yield replace(cls, alpha=alpha)
+    for beta in _simpler_float(cls.beta):
+        if beta < cls.mu:
+            yield replace(cls, beta=beta)
+
+
+def _candidates(config: ModelConfig) -> Iterator[ModelConfig]:
+    """Strictly-simpler one-step variants, most aggressive first."""
+    dims, classes = config.dims, config.classes
+    if len(classes) > 1:
+        for r in range(len(classes)):
+            yield ModelConfig(dims, classes[:r] + classes[r + 1 :])
+    for n1, n2 in (
+        ((dims.n1 + 1) // 2, dims.n2),
+        (dims.n1, (dims.n2 + 1) // 2),
+        (dims.n1 - 1, dims.n2),
+        (dims.n1, dims.n2 - 1),
+    ):
+        if n1 >= 1 and n2 >= 1 and (n1, n2) != (dims.n1, dims.n2):
+            yield ModelConfig(SwitchDimensions(n1, n2), classes)
+    for r, cls in enumerate(classes):
+        for simpler in _class_candidates(cls):
+            yield ModelConfig(dims, classes[:r] + (simpler,) + classes[r + 1 :])
+
+
+def shrink_config(
+    config: ModelConfig,
+    still_fails: Callable[[ModelConfig], bool],
+    max_steps: int = 200,
+) -> ModelConfig:
+    """Smallest one-step-at-a-time simplification that still fails.
+
+    ``still_fails`` must return True on ``config`` itself (the caller
+    just observed the failure); if it does not — the failure is flaky —
+    the original config is returned unchanged.
+    """
+    try:
+        if not still_fails(config):
+            return config
+    except CrossbarError:
+        return config
+
+    current = config
+    for _ in range(max_steps):
+        for candidate in _candidates(current):
+            try:
+                if still_fails(candidate):
+                    current = candidate
+                    break
+            except CrossbarError:
+                continue  # different crash: not the failure we shrink
+        else:
+            break  # no candidate preserved the failure: minimal
+    return current

@@ -1,11 +1,44 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures, hypothesis profiles and helpers for the test suite.
+
+Hypothesis settings live HERE, not in per-file ``@settings`` decorators
+(which historically drifted between 15 and 50 examples per test with no
+rationale).  Three profiles:
+
+* ``ci`` (default) — 25 examples, derandomized so CI failures are
+  reproducible without a seed hunt, no deadline (solver calls can
+  legitimately take hundreds of ms on a loaded runner);
+* ``dev`` — 10 examples for a fast local loop;
+* ``nightly`` — 200 examples for scheduled deep runs.
+
+Select with ``HYPOTHESIS_PROFILE=dev pytest ...``.  The one deliberate
+exception is :data:`POOL_SETTINGS` for tests that spin up process
+pools, where even a handful of examples dominates suite wall-clock.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.state import SwitchDimensions
 from repro.core.traffic import TrafficClass
+
+settings.register_profile(
+    "ci", max_examples=25, derandomize=True, deadline=None
+)
+settings.register_profile("dev", max_examples=10, deadline=None)
+settings.register_profile("nightly", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+#: For property tests that launch a process pool per example: the pool
+#: spawn dominates, so the example count stays tiny in every profile.
+POOL_SETTINGS = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 
 
 @pytest.fixture

@@ -111,6 +111,7 @@ class TestSolver:
             )
 
 
+@pytest.mark.slow
 class TestAgainstSimulation:
     def test_simulator_matches_ctmc_under_policy(self):
         policy = OccupancyThresholdPolicy((4, 2))

@@ -89,6 +89,7 @@ class TestAnalyticalAgreement:
             )
 
 
+@pytest.mark.slow
 class TestSimulationAgreement:
     @pytest.mark.parametrize(
         "dims,classes",

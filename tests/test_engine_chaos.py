@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.chaos  # fault-injection chaos harness
+
 from repro.api import SolveRequest
 from repro.core.traffic import TrafficClass
 from repro.engine import (

@@ -13,8 +13,10 @@ import pytest
 
 hypothesis = pytest.importorskip("hypothesis")
 
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
+
+from tests.conftest import POOL_SETTINGS
 
 from repro.api import SolveRequest, SolveResult
 from repro.core.traffic import TrafficClass
@@ -59,7 +61,6 @@ sizes = st.lists(
 
 
 @given(n=st.integers(min_value=2, max_value=8), classes=mixes)
-@settings(max_examples=25, deadline=None)
 def test_cached_equals_uncached(n, classes):
     request = SolveRequest.square(n, tuple(classes))
     engine = BatchSolver(EngineConfig())
@@ -70,7 +71,6 @@ def test_cached_equals_uncached(n, classes):
 
 
 @given(n=st.integers(min_value=2, max_value=8), classes=mixes)
-@settings(max_examples=15, deadline=None)
 def test_disk_cache_round_trip_is_lossless(n, classes, tmp_path_factory):
     request = SolveRequest.square(n, tuple(classes))
     cache_dir = tmp_path_factory.mktemp("engine-cache")
@@ -84,7 +84,6 @@ def test_disk_cache_round_trip_is_lossless(n, classes, tmp_path_factory):
 
 
 @given(ns=sizes, classes=mixes)
-@settings(max_examples=20, deadline=None)
 def test_grid_sharing_equals_point_solves(ns, classes):
     requests = [SolveRequest.square(n, tuple(classes)) for n in ns]
     shared = BatchSolver(EngineConfig()).evaluate_many(
@@ -95,11 +94,7 @@ def test_grid_sharing_equals_point_solves(ns, classes):
 
 
 @given(ns=sizes, classes=mixes)
-@settings(
-    max_examples=5,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+@POOL_SETTINGS
 def test_parallel_equals_serial(ns, classes):
     # Unscaled-float requests cannot share a grid, so every miss goes
     # through the pool — the strongest exercise of worker-vs-inline

@@ -8,6 +8,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow  # every example script is executed end-to-end
+
 EXAMPLES = sorted(
     (Path(__file__).parent.parent / "examples").glob("*.py")
 )

@@ -1,35 +1,30 @@
 """Golden-value regression locks for the reproduced figures.
 
 ``tests/golden/*.json`` snapshots the figure series produced by the
-(six-way cross-validated) solvers.  Any future change that silently
-alters a reproduced number — a refactor of the recursions, a
-parameterization slip in the scenarios — fails here with the exact
-curve and point.
+(cross-validated) solvers.  Any future change that silently alters a
+reproduced number — a refactor of the recursions, a parameterization
+slip in the scenarios — fails here with a structured drift report
+locating the exact curve and point (via
+:class:`repro.verify.corpus.GoldenCorpus`).
 
 To intentionally refresh after a *deliberate* scenario change::
 
-    python - <<'PY'
-    import json
-    from repro.workloads import figure1, figure2, figure3, figure4
-    for name, builder in [("figure1", figure1), ("figure2", figure2),
-                          ("figure3", figure3), ("figure4", figure4)]:
-        fig = builder()
-        json.dump({"x": list(fig.x_values),
-                   "curves": {c.label: list(c.values) for c in fig.curves}},
-                  open(f"tests/golden/{name}.json", "w"), indent=1)
-    PY
+    python tools/refresh_golden.py
+
+and review the resulting diff; ``--check`` previews the drift without
+rewriting the corpus.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
 
+from repro.verify.corpus import GoldenCorpus, figure_record
 from repro.workloads import figure1, figure2, figure3, figure4
 
-GOLDEN_DIR = Path(__file__).parent / "golden"
+CORPUS = GoldenCorpus(Path(__file__).parent / "golden")
 BUILDERS = {
     "figure1": figure1,
     "figure2": figure2,
@@ -40,22 +35,20 @@ BUILDERS = {
 
 @pytest.mark.parametrize("name", sorted(BUILDERS))
 def test_figure_matches_golden(name):
-    golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
-    figure = BUILDERS[name]()
-    assert list(figure.x_values) == golden["x"]
-    assert {c.label for c in figure.curves} == set(golden["curves"])
-    for curve in figure.curves:
-        expected = golden["curves"][curve.label]
-        for i, (measured, locked) in enumerate(
-            zip(curve.values, expected)
-        ):
-            assert measured == pytest.approx(locked, rel=1e-9), (
-                f"{name} curve {curve.label!r} point {i} "
-                f"(x={figure.x_values[i]}) drifted: "
-                f"{measured} vs locked {locked}"
-            )
+    CORPUS.check(name, figure_record(BUILDERS[name]()))
 
 
 def test_golden_files_exist():
-    for name in BUILDERS:
-        assert (GOLDEN_DIR / f"{name}.json").exists()
+    assert set(BUILDERS) <= set(CORPUS.names())
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_golden_provenance_header(name):
+    provenance = CORPUS.provenance(name)
+    assert provenance is not None, (
+        f"{name}.json lacks a _provenance header; regenerate it with "
+        "python tools/refresh_golden.py"
+    )
+    assert provenance["schema"] >= 1
+    assert provenance["generator"]
+    assert provenance["library_version"]

@@ -94,6 +94,7 @@ class TestSkewEffects:
         assert solution.probability(0, 1) == 0.0  # infeasible
 
 
+@pytest.mark.slow
 class TestAgainstSimulation:
     @pytest.mark.parametrize("factor", [1.0, 4.0])
     def test_acceptance_matches_simulator(self, factor):

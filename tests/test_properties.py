@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.core.convolution import log_q_grid, solve_convolution
@@ -30,7 +30,6 @@ from tests.strategies import classes_strategy, dims_strategy, traffic_class
 # ----------------------------------------------------------------------
 
 
-@settings(max_examples=30, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_algorithm1_matches_brute_force(dims, classes):
     conv = solve_convolution(dims, classes)
@@ -44,7 +43,6 @@ def test_algorithm1_matches_brute_force(dims, classes):
         )
 
 
-@settings(max_examples=30, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_measures_within_physical_bounds(dims, classes):
     solution = solve_convolution(dims, classes)
@@ -58,7 +56,6 @@ def test_measures_within_physical_bounds(dims, classes):
     assert 0.0 <= solution.utilization() <= 1.0 + 1e-12
 
 
-@settings(max_examples=25, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_distribution_normalized_and_reversible(dims, classes):
     dist = solve_brute_force(dims, classes)
@@ -66,7 +63,6 @@ def test_distribution_normalized_and_reversible(dims, classes):
     assert dist.detailed_balance_residual() < 1e-10
 
 
-@settings(max_examples=25, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_dimension_swap_symmetry(dims, classes):
     """Measures are invariant under exchanging inputs and outputs."""
@@ -83,7 +79,6 @@ def test_dimension_swap_symmetry(dims, classes):
         )
 
 
-@settings(max_examples=25, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_series_reconstruction_matches_recursion(dims, classes):
     grid = log_q_grid(dims, classes)
@@ -93,7 +88,6 @@ def test_series_reconstruction_matches_recursion(dims, classes):
     )
 
 
-@settings(max_examples=25, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_numeric_modes_agree(dims, classes):
     log_mode = solve_convolution(dims, classes, mode="log")
@@ -109,7 +103,6 @@ def test_numeric_modes_agree(dims, classes):
 # ----------------------------------------------------------------------
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     dims=dims_strategy,
     classes=st.lists(traffic_class(max_a=3), min_size=1, max_size=4),
@@ -120,7 +113,6 @@ def test_state_space_size_matches_enumeration(dims, classes):
     )
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     n=st.integers(min_value=1, max_value=8),
     rho_low=st.floats(min_value=0.01, max_value=0.5),
@@ -136,7 +128,6 @@ def test_single_class_blocking_monotone_in_load(n, rho_low, factor):
     assert high.concurrency(0) >= low.concurrency(0) - 1e-13
 
 
-@settings(max_examples=25, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_inert_class_does_not_change_measures(dims, classes):
     """A class with alpha = 0 can never start a connection."""
@@ -149,7 +140,6 @@ def test_inert_class_does_not_change_measures(dims, classes):
         )
 
 
-@settings(max_examples=20, deadline=None)
 @given(
     n=st.integers(min_value=2, max_value=7),
     alpha=st.floats(min_value=0.01, max_value=0.5),
@@ -168,7 +158,6 @@ def test_pascal_limits_to_poisson_as_beta_vanishes(n, alpha):
     )
 
 
-@settings(max_examples=20, deadline=None)
 @given(
     n=st.integers(min_value=2, max_value=6),
     alpha=st.floats(min_value=0.05, max_value=0.4),
@@ -183,7 +172,6 @@ def test_peaky_blocks_more_than_poisson_at_same_alpha(n, alpha, beta):
     assert peaky.blocking(0) >= poisson.blocking(0) - 1e-13
 
 
-@settings(max_examples=20, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_sub_dimension_query_matches_direct_solve(dims, classes):
     assume(dims.n1 >= 2 and dims.n2 >= 2)
@@ -196,7 +184,6 @@ def test_sub_dimension_query_matches_direct_solve(dims, classes):
         )
 
 
-@settings(max_examples=20, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_flow_balance_identity(dims, classes):
     """mu_r E_r equals accepted-request rate for every class."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.baselines.erlang import engset_blocking, erlang_b
@@ -21,7 +21,6 @@ from repro.extensions import (
 from tests.strategies import classes_strategy, dims_strategy
 
 
-@settings(max_examples=25, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_series_solver_matches_convolution(dims, classes):
     series = solve_series(dims, classes)
@@ -35,7 +34,6 @@ def test_series_solver_matches_convolution(dims, classes):
         )
 
 
-@settings(max_examples=20, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_unrestricted_admission_is_product_form(dims, classes):
     policy = OccupancyThresholdPolicy.unrestricted(dims, len(classes))
@@ -47,7 +45,6 @@ def test_unrestricted_admission_is_product_form(dims, classes):
         )
 
 
-@settings(max_examples=15, deadline=None)
 @given(
     n=st.integers(min_value=2, max_value=5),
     rho=st.floats(min_value=0.05, max_value=0.8),
@@ -73,7 +70,6 @@ def test_admission_threshold_monotonicity(n, rho, threshold):
     assert tight.concurrency(1) <= loose.concurrency(1) + 1e-10
 
 
-@settings(max_examples=20, deadline=None)
 @given(
     n=st.integers(min_value=2, max_value=8),
     rho=st.floats(min_value=0.01, max_value=1.0),
@@ -88,7 +84,6 @@ def test_hot_spot_uniform_limit(n, rho):
     )
 
 
-@settings(max_examples=20, deadline=None)
 @given(
     n=st.integers(min_value=2, max_value=6),
     rho=st.floats(min_value=0.01, max_value=0.5),
@@ -103,7 +98,6 @@ def test_hot_spot_skew_never_helps(n, rho, factor):
     assert 0.0 <= skewed.blocking() <= 1.0
 
 
-@settings(max_examples=25, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_io_roundtrip_preserves_solution(dims, classes):
     """Model -> JSON dict -> model gives bit-identical measures."""
@@ -119,7 +113,6 @@ def test_io_roundtrip_preserves_solution(dims, classes):
         assert recovered.concurrency(r) == original.concurrency(r)
 
 
-@settings(max_examples=30, deadline=None)
 @given(
     servers=st.integers(min_value=1, max_value=60),
     load=st.floats(min_value=0.0, max_value=100.0),
@@ -130,7 +123,6 @@ def test_erlang_b_bounds_and_monotonicity(servers, load):
     assert erlang_b(servers + 1, load) <= b + 1e-12
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     sources=st.integers(min_value=2, max_value=30),
     per_source=st.floats(min_value=0.01, max_value=3.0),

@@ -214,6 +214,7 @@ class TestAvailabilityWeighted:
         assert "poisson" in text
 
 
+@pytest.mark.slow
 class TestAgainstSimulation:
     def test_acceptance_within_ci_on_two_class_config(self):
         # The PR's acceptance criterion: on a <= 8x8 switch with two

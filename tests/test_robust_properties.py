@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.core.convolution import solve_convolution
 from repro.robust import FailureMask, solve_degraded
@@ -27,7 +27,6 @@ def degraded_scenario(draw):
     return dims, mask, classes
 
 
-@settings(max_examples=50, deadline=None)
 @given(scenario=degraded_scenario())
 def test_failures_never_improve_nonpeaky_blocking(scenario):
     """Port failures cannot lower blocking for smooth unit-rate traffic.
@@ -45,7 +44,6 @@ def test_failures_never_improve_nonpeaky_blocking(scenario):
         assert degraded.blocking(r) >= healthy.blocking(r) - 1e-9
 
 
-@settings(max_examples=50, deadline=None)
 @given(scenario=degraded_scenario())
 def test_degraded_measures_within_bounds(scenario):
     dims, mask, classes = scenario
@@ -56,7 +54,6 @@ def test_degraded_measures_within_bounds(scenario):
         assert -1e-12 <= degraded.call_acceptance(r) <= 1.0 + 1e-12
 
 
-@settings(max_examples=30, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_solve_robust_always_names_an_attempted_solver(dims, classes):
     """Diagnostics are never empty, whether the chain succeeds or not."""
@@ -74,7 +71,6 @@ def test_solve_robust_always_names_an_attempted_solver(dims, classes):
     assert len(diagnostics.attempted) >= 1
 
 
-@settings(max_examples=30, deadline=None)
 @given(dims=dims_strategy, classes=classes_strategy)
 def test_solve_robust_matches_convolution_when_healthy(dims, classes):
     try:

@@ -19,6 +19,8 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+pytestmark = pytest.mark.service  # spins up the solve-serving daemon
+
 from repro.api import SolveRequest, solve, solve_many
 from repro.core.traffic import TrafficClass
 from repro.engine import BatchSolver, EngineConfig

@@ -22,6 +22,8 @@ import time
 
 import pytest
 
+pytestmark = pytest.mark.service  # daemon plus Monte-Carlo cross-validation
+
 from repro.api import SolveRequest
 from repro.baselines.erlang import erlang_b
 from repro.core.traffic import TrafficClass

@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # long simulation runs for batch-means statistics
+
 from repro.core.state import SwitchDimensions
 from repro.core.traffic import TrafficClass
 from repro.exceptions import SimulationError

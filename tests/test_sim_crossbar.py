@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow  # Monte-Carlo runs against the analytic solvers
+
 from repro.core.convolution import solve_convolution
 from repro.core.state import SwitchDimensions
 from repro.core.traffic import TrafficClass

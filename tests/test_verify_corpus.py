@@ -1,0 +1,112 @@
+"""Tests for the golden-snapshot corpus manager (repro.verify.corpus)."""
+
+from __future__ import annotations
+
+import json
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.verify.corpus import GoldenCorpus, figure_record
+
+RECORD = {
+    "x": [1.0, 2.0, 4.0],
+    "curves": {"poisson": [0.1, 0.05, 0.025], "pascal": [0.2, 0.1, 0.05]},
+}
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    return GoldenCorpus(tmp_path)
+
+
+class TestStoreLoad:
+    def test_round_trip_strips_provenance(self, corpus):
+        corpus.store("fig", RECORD, generator="unit-test")
+        assert corpus.load("fig") == RECORD
+
+    def test_provenance_header_is_stamped(self, corpus):
+        from repro import __version__
+
+        corpus.store("fig", RECORD, generator="unit-test")
+        provenance = corpus.provenance("fig")
+        assert provenance["generator"] == "unit-test"
+        assert provenance["library_version"] == __version__
+        assert provenance["schema"] >= 1
+
+    def test_legacy_headerless_file_loads(self, corpus, tmp_path):
+        (tmp_path / "legacy.json").write_text(json.dumps(RECORD))
+        assert corpus.load("legacy") == RECORD
+        assert corpus.provenance("legacy") is None
+
+    def test_names_lists_snapshots(self, corpus):
+        corpus.store("b", RECORD)
+        corpus.store("a", RECORD)
+        assert corpus.names() == ["a", "b"]
+
+
+class TestDiff:
+    def test_identical_record_has_no_drift(self, corpus):
+        corpus.store("fig", RECORD)
+        assert corpus.diff("fig", RECORD) == []
+
+    def test_missing_file_reported(self, corpus):
+        (drift,) = corpus.diff("absent", RECORD)
+        assert drift.kind == "missing"
+
+    def test_value_drift_locates_worst_point(self, corpus):
+        corpus.store("fig", RECORD)
+        moved = json.loads(json.dumps(RECORD))
+        moved["curves"]["pascal"][1] = 0.11
+        (drift,) = corpus.diff("fig", moved)
+        assert drift.kind == "value"
+        assert "pascal" in drift.detail
+        assert "point 1" in drift.detail
+        assert drift.magnitude == pytest.approx(0.01 / 0.11)
+
+    def test_round_off_is_not_drift(self, corpus):
+        corpus.store("fig", RECORD)
+        nudged = json.loads(json.dumps(RECORD))
+        nudged["curves"]["poisson"][0] = 0.1 * (1.0 + 1e-12)
+        assert corpus.diff("fig", nudged) == []
+
+    def test_curve_set_changes_reported(self, corpus):
+        corpus.store("fig", RECORD)
+        changed = {
+            "x": RECORD["x"],
+            "curves": {"poisson": RECORD["curves"]["poisson"], "new": [1, 2, 3]},
+        }
+        kinds = {d.detail for d in corpus.diff("fig", changed)}
+        assert any("disappeared" in d for d in kinds)
+        assert any("appeared" in d for d in kinds)
+
+    def test_x_grid_change_short_circuits(self, corpus):
+        corpus.store("fig", RECORD)
+        regridded = {"x": [1.0, 3.0, 4.0], "curves": RECORD["curves"]}
+        (drift,) = corpus.diff("fig", regridded)
+        assert drift.kind == "structure"
+        assert "x grid" in drift.detail
+
+    def test_check_raises_with_readable_report(self, corpus):
+        corpus.store("fig", RECORD)
+        moved = json.loads(json.dumps(RECORD))
+        moved["curves"]["poisson"][2] = 99.0
+        with pytest.raises(AssertionError, match="poisson"):
+            corpus.check("fig", moved)
+
+
+class TestFigureRecord:
+    def _figure(self, values):
+        curve = SimpleNamespace(label="c", values=values)
+        return SimpleNamespace(x_values=[1, 2], curves=[curve])
+
+    def test_coerces_to_plain_floats(self):
+        record = figure_record(self._figure([1, 2]))
+        assert record == {"x": [1.0, 2.0], "curves": {"c": [1.0, 2.0]}}
+
+    def test_rejects_non_finite_values(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            figure_record(self._figure([1.0, math.nan]))
+        with pytest.raises(ValueError, match="non-finite"):
+            figure_record(self._figure([math.inf, 1.0]))

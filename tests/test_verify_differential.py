@@ -1,0 +1,217 @@
+"""Tests for the cross-solver differential comparator (repro.verify).
+
+The headline acceptance test injects an off-by-one into Algorithm 2's
+dhat recursion (the exact class of bug the fuzzer exists to catch) via
+a monkeypatched ``solve_mva``, runs a short campaign, and requires a
+shrunk JSON reproducer that names the disagreeing solver pair.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.verify.differential import (
+    _values_disagree,
+    applicable_methods,
+    pair_tolerance,
+    run_differential,
+)
+from repro.verify.generators import ModelConfig
+from repro.verify.runner import VerifyOptions, run_verify
+
+MIXED = ModelConfig(
+    SwitchDimensions(4, 5),
+    (
+        TrafficClass.poisson(0.2),
+        TrafficClass(alpha=0.1, beta=0.3, mu=1.5, a=2),
+        TrafficClass.bernoulli(4, 0.05),
+    ),
+)
+
+
+class TestApplicableMethods:
+    def test_small_config_gets_full_battery(self):
+        methods = applicable_methods(MIXED)
+        for expected in (
+            "convolution",
+            "convolution-scaled",
+            "convolution-float",
+            "mva",
+            "series",
+            "exact",
+            "brute-force",
+            "ctmc",
+        ):
+            assert expected in methods
+
+    def test_large_state_space_drops_enumeration(self):
+        # Three classes on a 64x64: ~50k states (> enumeration limit)
+        # and capacity 64 (> exact-rational limit).
+        big = ModelConfig(
+            SwitchDimensions(64, 64),
+            (
+                TrafficClass.poisson(0.01),
+                TrafficClass.poisson(0.02),
+                TrafficClass.poisson(0.03),
+            ),
+        )
+        methods = applicable_methods(big)
+        assert "brute-force" not in methods
+        assert "ctmc" not in methods
+        assert "exact" not in methods
+        assert "mva" in methods
+
+    def test_huge_bandwidth_drops_only_ctmc(self):
+        # a = 12 on a 12x12: two states in total, but the generator's
+        # P(12,12)^2 ~ 2e17 rate spread exceeds what sparse LU resolves.
+        config = ModelConfig(
+            SwitchDimensions(12, 12),
+            (TrafficClass(alpha=0.1, beta=0.0, mu=1.0, a=12),),
+        )
+        methods = applicable_methods(config)
+        assert "ctmc" not in methods
+        assert "brute-force" in methods
+
+
+class TestComparison:
+    def test_all_solvers_agree_on_mixed_config(self):
+        report = run_differential(MIXED)
+        assert report.consistent, report.render()
+        assert len(report.values) >= 6
+
+    def test_pair_tolerance_is_looser_of_the_two(self):
+        assert pair_tolerance("exact", "mva") == pair_tolerance(
+            "mva", "exact"
+        )
+        assert pair_tolerance("exact", "mva") >= pair_tolerance(
+            "exact", "convolution"
+        )
+        assert pair_tolerance("ctmc", "exact") == 1e-6
+
+    def test_values_disagree_semantics(self):
+        assert not _values_disagree(1.0, 1.0, 1e-9)
+        assert _values_disagree(1.0, 1.1, 1e-9)
+        assert _values_disagree(1.0, math.nan, 1e-9)
+        # below the absolute floor everything is round-off
+        assert not _values_disagree(1e-14, 3e-14, 1e-9)
+
+    def test_complement_scaling_forgives_tiny_blocking_roundoff(self):
+        # blocking = 1 - non_blocking: at B ~ 7e-5 an absolute error of
+        # 3e-13 is round-off of the complement, not a 4.6e-9 "relative"
+        # disagreement (the table1-n64 case).
+        x, y = 7.440716332629549e-05, 7.440716298523498e-05
+        assert _values_disagree(x, y, 1e-9)
+        assert not _values_disagree(x, y, 1e-9, complement=True)
+        # ... but a genuine relative error is still caught.
+        assert _values_disagree(7e-5, 8e-5, 1e-9, complement=True)
+
+    def test_unsolvable_method_becomes_skip(self):
+        # A near-pole pascal mix can overflow the unscaled float mode;
+        # whatever happens it must be a skip or a value, never a crash.
+        config = ModelConfig(
+            SwitchDimensions(8, 8),
+            (TrafficClass(alpha=0.05, beta=0.98, mu=1.0, a=1),),
+        )
+        report = run_differential(config)
+        assert report.consistent, report.render()
+
+
+def _buggy_solve_mva(dims, classes):
+    """Algorithm 2 with an off-by-one in the dhat recursion index."""
+    from repro.core import measures
+    from repro.core.mva import MvaGrids, _k_product
+
+    classes = tuple(classes)
+    grids = MvaGrids(dims, classes)
+    n1, n2 = dims.n1, dims.n2
+    for m1 in range(1, n1 + 1):
+        grids.f1[m1, 0] = m1
+    for m2 in range(1, n2 + 1):
+        grids.f2[0, m2] = m2
+    for m2 in range(1, n2 + 1):
+        for m1 in range(1, n1 + 1):
+            denom1 = 1.0
+            denom2 = 1.0
+            fits = []
+            for r, cls in enumerate(classes):
+                if m1 < cls.a or m2 < cls.a:
+                    fits.append(False)
+                    continue
+                fits.append(True)
+                if cls.is_poisson:
+                    c = 1.0
+                else:
+                    # BUG UNDER TEST: reads one row above the correct
+                    # (m1 - a, m2 - a) predecessor state.
+                    c = 1.0 + cls.b * grids.dhat[r][
+                        max(0, m1 - cls.a - 1), m2 - cls.a
+                    ]
+                load = cls.a * cls.rho * c
+                denom1 += load * _k_product(grids, r, m1, m2, axis=1)
+                denom2 += load * _k_product(grids, r, m1, m2, axis=2)
+            grids.f1[m1, m2] = m1 / denom1
+            grids.f2[m1, m2] = m2 / denom2
+            for r, cls in enumerate(classes):
+                if not fits[r]:
+                    continue
+                h = grids.f1[m1, m2] * _k_product(grids, r, m1, m2, axis=1)
+                grids.h[r][m1, m2] = h
+                grids.dhat[r][m1, m2] = h * (
+                    1.0 + cls.b * grids.dhat[r][m1 - cls.a, m2 - cls.a]
+                )
+    solution = measures.PerformanceSolution(
+        dims=dims,
+        classes=classes,
+        h=tuple(np.array(g) for g in grids.h),
+        log_q=None,
+        method="mva",
+    )
+    solution.grids = grids
+    return solution
+
+
+@pytest.mark.fuzz
+def test_injected_mva_bug_yields_shrunk_reproducer(monkeypatch, tmp_path):
+    """The acceptance test: a planted dhat off-by-one must come back as
+    a minimal JSON reproducer naming an mva-vs-* solver pair."""
+    from repro.core import mva
+
+    monkeypatch.setattr(mva, "solve_mva", _buggy_solve_mva)
+
+    options = VerifyOptions(
+        seed=3,
+        budget_seconds=60.0,
+        max_configs=200,
+        repro_dir=tmp_path,
+        skip_named=True,
+        # differential only: the invariant battery also (correctly)
+        # fails under the planted bug but is covered elsewhere.
+        invariants=(),
+        max_failures=1,
+    )
+    report = run_verify(options)
+    assert not report.passed, "planted bug survived the campaign"
+    failure = next(f for f in report.failures if f.kind == "differential")
+    assert "mva" in failure.label
+    # greedy shrinking never grows the config
+    assert failure.config.capacity <= failure.shrunk_from.capacity
+    assert len(failure.config.classes) <= len(failure.shrunk_from.classes)
+
+    assert failure.repro_path is not None and failure.repro_path.exists()
+    record = json.loads(failure.repro_path.read_text())
+    assert record["kind"] == "differential"
+    assert "mva" in record["label"]
+
+    # The reproducer is self-contained: reloading it re-triggers the
+    # same disagreement while the bug is in place.
+    replayed = ModelConfig.from_dict(record["config"])
+    diff = run_differential(replayed)
+    assert any(
+        "mva" in (d.method_a, d.method_b) for d in diff.disagreements
+    ), diff.render()

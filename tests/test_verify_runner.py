@@ -1,0 +1,115 @@
+"""Tests for the verify campaign runner and its CLI subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ConfigurationError
+from repro.verify.runner import (
+    VerifyOptions,
+    named_configs,
+    parse_budget,
+    run_verify,
+)
+
+
+class TestParseBudget:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [
+            ("60s", 60.0),
+            ("500ms", 0.5),
+            ("2m", 120.0),
+            ("0.5h", 1800.0),
+            ("45", 45.0),
+            (45, 45.0),
+            (1.5, 1.5),
+        ],
+    )
+    def test_accepted_forms(self, text, seconds):
+        assert parse_budget(text) == seconds
+
+    @pytest.mark.parametrize("bad", ["", "abc", "10 minutes", "-5s", "0"])
+    def test_rejected_forms(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_budget(bad)
+
+
+class TestNamedConfigs:
+    def test_covers_both_paper_tables(self):
+        names = [name for name, _ in named_configs()]
+        assert len(names) == len(set(names))
+        assert sum(n.startswith("table1-") for n in names) == 10
+        assert sum(n.startswith("table2-") for n in names) == 12
+        assert "table1-n64-a1" in names
+        assert "table2-set3-n16" in names
+
+    def test_table1_configs_are_square_single_class(self):
+        for name, config in named_configs():
+            if name.startswith("table1-"):
+                assert config.dims.n1 == config.dims.n2
+                assert len(config.classes) == 1
+
+
+@pytest.mark.fuzz
+class TestRunVerify:
+    def test_short_fuzz_campaign_passes(self, tmp_path):
+        options = VerifyOptions(
+            seed=11,
+            budget_seconds=30.0,
+            max_configs=40,
+            repro_dir=tmp_path,
+            skip_named=True,
+        )
+        report = run_verify(options)
+        assert report.passed, report.render()
+        assert report.fuzz_checked == 40
+        assert report.named_checked == 0
+        assert "PASS" in report.render()
+        assert not list(tmp_path.iterdir())  # no repros on a clean run
+
+    def test_echo_receives_progress_lines(self, tmp_path):
+        lines = []
+        options = VerifyOptions(
+            seed=1,
+            budget_seconds=10.0,
+            max_configs=2,
+            repro_dir=tmp_path,
+            skip_named=True,
+        )
+        run_verify(options, echo=lines.append)
+        assert any("fuzzing" in line for line in lines)
+
+
+class TestCli:
+    def test_list_invariants(self, capsys):
+        assert main(["verify", "--list-invariants"]) == 0
+        out = capsys.readouterr().out
+        assert "blocking-identity" in out
+        assert "eq." in out or "§" in out
+
+    @pytest.mark.fuzz
+    def test_verify_smoke(self, capsys, tmp_path):
+        code = main(
+            [
+                "verify",
+                "--seed",
+                "5",
+                "--budget",
+                "20s",
+                "--max-configs",
+                "10",
+                "--skip-named",
+                "--repro-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "PASS" in out
+        assert "fuzzed configs" in out
+
+    def test_verify_rejects_bad_budget(self, capsys):
+        assert main(["verify", "--budget", "soon"]) != 0
+        assert "cannot parse budget" in capsys.readouterr().err

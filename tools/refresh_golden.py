@@ -1,38 +1,68 @@
-"""Regenerate the golden figure snapshots under tests/golden/.
+"""Regenerate (or drift-check) the golden snapshots under tests/golden/.
 
-Run ONLY after a deliberate scenario change, then review the diff:
+Refresh ONLY after a deliberate scenario change, then review the diff:
 
     python tools/refresh_golden.py
+
+To see what *would* change without touching the corpus (exit 1 on
+drift, with the worst offender per curve located):
+
+    python tools/refresh_golden.py --check
 """
 
 from __future__ import annotations
 
-import json
+import argparse
+import sys
 from pathlib import Path
 
+from repro.verify.corpus import GoldenCorpus, figure_record
 from repro.workloads import figure1, figure2, figure3, figure4
 
-GOLDEN_DIR = Path(__file__).parent.parent / "tests" / "golden"
+DEFAULT_ROOT = Path(__file__).parent.parent / "tests" / "golden"
+
+BUILDERS = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+}
 
 
-def main() -> None:
-    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-    builders = {
-        "figure1": figure1,
-        "figure2": figure2,
-        "figure3": figure3,
-        "figure4": figure4,
-    }
-    for name, builder in builders.items():
-        figure = builder()
-        record = {
-            "x": list(figure.x_values),
-            "curves": {c.label: list(c.values) for c in figure.curves},
-        }
-        path = GOLDEN_DIR / f"{name}.json"
-        path.write_text(json.dumps(record, indent=1) + "\n")
-        print(f"refreshed {path}")
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report drift against the stored corpus instead of rewriting",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=DEFAULT_ROOT,
+        help=f"corpus directory (default: {DEFAULT_ROOT})",
+    )
+    args = parser.parse_args(argv)
+
+    corpus = GoldenCorpus(args.root)
+    drifted = False
+    for name, builder in BUILDERS.items():
+        record = figure_record(builder())
+        if args.check:
+            drifts = corpus.diff(name, record)
+            if drifts:
+                drifted = True
+                for drift in drifts:
+                    print(drift.describe())
+            else:
+                print(f"{name}: no drift")
+        else:
+            path = corpus.store(
+                name, record, generator=f"tools/refresh_golden.py::{name}"
+            )
+            print(f"refreshed {path}")
+    return 1 if drifted else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
