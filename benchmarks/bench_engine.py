@@ -286,6 +286,131 @@ def bench_service(n_requests: int) -> dict:
     }
 
 
+def bench_service_degraded(n_requests: int) -> dict:
+    """The daemon at every brownout stage: what degrading actually buys.
+
+    The ladder is forced stage by stage (normal -> admission-shrink ->
+    cheap-method -> stale-cache -> fast-503) while a single-threaded
+    client replays a mix of warmed models, cold models, and a few
+    1 ms-budget requests.  Per stage the section records throughput,
+    p50/p99 latency, and the outcome rates — ok / degraded-hit / 503 /
+    504 — so a deployer can read off what each shed stage costs and
+    what it protects.
+    """
+    import threading
+
+    from repro.api import solve
+    from repro.service import (
+        AdmissionRejectedError,
+        DeadlineExceededError,
+        ServiceClient,
+        ServiceConfig,
+        start_in_thread,
+    )
+    from repro.service.brownout import STAGE_NAMES, BrownoutConfig
+
+    warmed = [SolveRequest.square(n, SWEEP_CLASSES) for n in (4, 6, 8)]
+    local = {r.cache_key: solve(r) for r in warmed}
+
+    handle = start_in_thread(
+        ServiceConfig(
+            port=0, gate_capacity=64, batch_window=0.001,
+            brownout=BrownoutConfig(enabled=True, interval=60.0),
+        ),
+        engine=BatchSolver(EngineConfig()),
+    )
+
+    def force_stage(stage: int) -> None:
+        done = threading.Event()
+
+        def _apply() -> None:
+            handle.service.brownout.force_stage(stage)
+            done.set()
+
+        handle.loop.call_soon_threadsafe(_apply)
+        assert done.wait(10.0), "brownout controller did not respond"
+
+    def percentile(sorted_values: list[float], q: float) -> float:
+        index = min(len(sorted_values) - 1,
+                    int(q * (len(sorted_values) - 1) + 0.5))
+        return sorted_values[index]
+
+    tiny_budget = max(2, n_requests // 8)
+    stages = {}
+    try:
+        client = ServiceClient(*handle.address)
+        for request in warmed:  # prime the cache at stage 0
+            result = client.solve(request)
+            assert result == local[request.cache_key]
+
+        cold_n = 12  # distinct cold model per request, never reused
+        for stage, stage_name in enumerate(STAGE_NAMES):
+            force_stage(stage)
+            counts = {"ok": 0, "degraded": 0, "503": 0, "504": 0}
+            latencies: list[float] = []
+            began_stage = time.perf_counter()
+            for index in range(n_requests):
+                if index < tiny_budget:
+                    request = SolveRequest.square(cold_n, SWEEP_CLASSES)
+                    cold_n += 1
+                    budget = 1.0  # ms; blown by design
+                else:
+                    request = warmed[index % len(warmed)]
+                    budget = None
+                began = time.perf_counter()
+                try:
+                    envelope = client.solve_raw(
+                        request, deadline_ms=budget
+                    )
+                except AdmissionRejectedError:
+                    counts["503"] += 1
+                except DeadlineExceededError:
+                    counts["504"] += 1
+                else:
+                    if envelope.get("degraded"):
+                        counts["degraded"] += 1
+                    else:
+                        counts["ok"] += 1
+                latencies.append(time.perf_counter() - began)
+            elapsed = time.perf_counter() - began_stage
+            latencies.sort()
+            stages[stage_name] = {
+                "stage": stage,
+                "requests": n_requests,
+                "throughput_rps": n_requests / elapsed,
+                "p50_ms": percentile(latencies, 0.50) * 1e3,
+                "p99_ms": percentile(latencies, 0.99) * 1e3,
+                "gate_limit": handle.service.gate.limit,
+                "rate_ok": counts["ok"] / n_requests,
+                "rate_degraded": counts["degraded"] / n_requests,
+                "rate_503": counts["503"] / n_requests,
+                "rate_504": counts["504"] / n_requests,
+            }
+
+        # The ladder's contract, as rates: full service at stage 0 (the
+        # only sheds are the by-design 1 ms budgets), conversion not
+        # rejection at stage 2, cache-only service at stage 3, and a
+        # total fast-503 clear at stage 4.
+        assert stages["normal"]["rate_ok"] > 0.0
+        assert stages["normal"]["rate_degraded"] == 0.0
+        assert stages["normal"]["rate_503"] == 0.0
+        assert stages["normal"]["rate_504"] > 0.0  # the 1 ms budgets
+        assert stages["cheap-method"]["rate_degraded"] > 0.0
+        assert stages["stale-cache"]["rate_degraded"] > 0.0  # warm hits
+        assert stages["stale-cache"]["rate_503"] > 0.0       # cold sheds
+        assert stages["fast-503"]["rate_503"] == 1.0
+        transitions = handle.service.brownout.transitions
+        assert transitions >= len(STAGE_NAMES) - 1
+    finally:
+        handle.stop()
+
+    return {
+        "stages": stages,
+        "tiny_budget_requests": tiny_budget,
+        "brownout_transitions": transitions,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -305,6 +430,7 @@ def main(argv=None) -> int:
     robust = bench_robust_availability()
     resilience = bench_resilience_overhead(16 if args.quick else 50)
     service = bench_service(128 if args.quick else 512)
+    service_degraded = bench_service_degraded(32 if args.quick else 96)
 
     report = {
         "benchmark": "engine",
@@ -313,6 +439,7 @@ def main(argv=None) -> int:
         "robust_availability": robust,
         "resilience_overhead": resilience,
         "service": service,
+        "service_degraded": service_degraded,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -324,7 +451,10 @@ def main(argv=None) -> int:
         f"supervision overhead {resilience['overhead_ratio']:.2f}x; "
         f"service {service['levels']['64']['throughput_rps']:.0f} req/s "
         f"@64 clients (p99 {service['levels']['64']['p99_ms']:.1f}ms, "
-        f"coalesce {service['coalesce_hit_rate']:.0%}) "
+        f"coalesce {service['coalesce_hit_rate']:.0%}); "
+        f"brownout fast-503 clears at "
+        f"{service_degraded['stages']['fast-503']['throughput_rps']:.0f}"
+        f" req/s "
         f"-> {args.output}"
     )
     return 0

@@ -327,6 +327,27 @@ def build_parser() -> argparse.ArgumentParser:
              "default 0)",
     )
     p.add_argument(
+        "--read-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="slow-loris bound: close connections that take longer than "
+             "this to deliver a request head or body (0 disables; "
+             "default 10)",
+    )
+    p.add_argument(
+        "--write-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="abort connections whose peer stops draining the reply "
+             "(0 disables; default 10)",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="how long a SIGTERM drain waits for in-flight work before "
+             "stopping anyway (default 10)",
+    )
+    p.add_argument(
+        "--no-brownout", action="store_true",
+        help="disable the brownout ladder (serve at full fidelity until "
+             "the gate alone sheds load)",
+    )
+    p.add_argument(
         "--verbose", action="store_true",
         help="structured request logs on stderr",
     )
@@ -829,7 +850,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``crossbar-repro serve``: run the daemon until interrupted."""
-    from .service import ServiceConfig, serve
+    from .service import BrownoutConfig, ServiceConfig, serve
 
     if args.verbose:
         import logging as _logging
@@ -846,6 +867,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         max_batch=args.max_batch,
         min_hold=args.min_hold,
+        read_timeout=args.read_timeout or None,
+        write_timeout=args.write_timeout or None,
+        drain_timeout=args.drain_timeout,
+        brownout=BrownoutConfig(enabled=not args.no_brownout),
     )
     print(
         f"serving on http://{config.host}:{config.port} "

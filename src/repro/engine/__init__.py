@@ -42,6 +42,9 @@ from .chaos import (
     CacheFaultInjector,
     ChaosFault,
     FaultPlan,
+    ServiceFault,
+    ServiceFaultInjector,
+    ServiceFaultPlan,
     WorkerKilledError,
     corrupt_entry,
 )
@@ -72,6 +75,9 @@ __all__ = [
     "CacheFaultInjector",
     "ChaosFault",
     "FaultPlan",
+    "ServiceFault",
+    "ServiceFaultInjector",
+    "ServiceFaultPlan",
     "WorkerKilledError",
     "corrupt_entry",
     "classes_key",

@@ -590,9 +590,12 @@ class _PoolSupervisor:
         results: list,
         counters: _ResilienceCounters,
         strict: bool,
+        config: "EngineConfig | None" = None,
     ) -> None:
         self.engine = engine
-        self.config = engine.config
+        # Per-call override (e.g. a service deadline budget mapped onto
+        # this batch); defaults to the engine's standing config.
+        self.config = config if config is not None else engine.config
         self.results = results
         self.counters = counters
         self.strict = strict
@@ -957,6 +960,8 @@ class BatchSolver:
         requests: Sequence[SolveRequest],
         parallel: bool | None = None,
         strict: bool | None = None,
+        *,
+        task_deadline: float | None = None,
     ) -> list[SolveResult | FailedResult]:
         """Evaluate a batch: cache, share Q-grids, then fan out.
 
@@ -968,12 +973,31 @@ class BatchSolver:
         completes; pass ``strict=True`` (or configure
         ``strict_batch=True``) to re-raise the first terminal failure
         instead.
+
+        ``task_deadline`` bounds *this call only*: per-attempt
+        wall-clock seconds, combined with any configured
+        ``EngineConfig.task_deadline`` by taking the tighter of the
+        two.  The serving daemon uses it to map a client's remaining
+        ``deadline_ms`` budget onto the batch (cache hits and grid
+        reads are unaffected — only fresh solves are bounded).
         """
         requests = list(requests)
         began = time.perf_counter()
         strict_mode = (
             self.config.strict_batch if strict is None else strict
         )
+        run_config = self.config
+        if task_deadline is not None:
+            configured = run_config.task_deadline
+            bound = (
+                task_deadline if configured is None
+                else min(configured, task_deadline)
+            )
+            # Clamp: an already-blown budget still needs a positive
+            # deadline for the attempt machinery to time out cleanly.
+            run_config = replace(
+                run_config, task_deadline=max(bound, 1e-3)
+            )
         counters = _ResilienceCounters()
         breaker = self.disk.breaker if self.disk is not None else None
         trips_before = breaker.trips if breaker is not None else 0
@@ -1007,16 +1031,18 @@ class BatchSolver:
         )
 
         use_pool = self._should_parallelize(len(leftover), parallel)
-        if use_pool and self.config.supervised:
+        if use_pool and run_config.supervised:
             _PoolSupervisor(
-                self, leftover, results, counters, strict_mode
+                self, leftover, results, counters, strict_mode,
+                config=run_config,
             ).run()
         elif use_pool:
             self._solve_parallel(leftover, results)
-        elif self.config.supervised:
+        elif run_config.supervised:
             for i, request, key in leftover:
                 results[i] = self._solve_serial_supervised(
-                    i, request, key, counters, strict_mode
+                    i, request, key, counters, strict_mode,
+                    config=run_config,
                 )
         else:
             for i, request, key in leftover:
@@ -1063,6 +1089,21 @@ class BatchSolver:
         """Drop every in-memory entry (the disk cache is left alone)."""
         self._results.clear()
         self._solutions.clear()
+
+    def cached_result(self, request: SolveRequest) -> SolveResult | None:
+        """A cache-only lookup: memory then disk, never a solve.
+
+        The brownout ladder's "stale-cache" stage serves exclusively
+        from here — under that much pressure the daemon answers what it
+        already knows and clears everything else.  Counts as a normal
+        lookup in ``engine.stats``; returns None on a miss.
+        """
+        if not isinstance(request, SolveRequest):
+            raise ConfigurationError(
+                f"cached_result needs a SolveRequest, got {request!r}"
+            )
+        self.stats._add("lookups")
+        return self._lookup(request.cache_key, request)
 
     def _lookup(self, key: str, request: SolveRequest) -> SolveResult | None:
         hit = self._results.get(key)
@@ -1150,6 +1191,7 @@ class BatchSolver:
         key: str,
         counters: _ResilienceCounters,
         strict: bool,
+        config: "EngineConfig | None" = None,
     ) -> SolveResult | FailedResult:
         """One task under supervision, in-process.
 
@@ -1157,7 +1199,7 @@ class BatchSolver:
         kill faults are simulated (raised) rather than executed, so a
         serial batch survives to supervise them.
         """
-        cfg = self.config
+        cfg = config if config is not None else self.config
         attempts: list[TaskAttempt] = []
         last_error: BaseException | None = None
         attempt = 0
@@ -1165,7 +1207,10 @@ class BatchSolver:
         while True:
             began = time.perf_counter()
             try:
-                result = self._run_serial_attempt(index, request, key, attempt)
+                result = self._run_serial_attempt(
+                    index, request, key, attempt,
+                    deadline=cfg.task_deadline,
+                )
             except TaskDeadlineError as exc:
                 counters.timeouts += 1
                 attempts.append(
@@ -1223,7 +1268,12 @@ class BatchSolver:
             )
 
     def _run_serial_attempt(
-        self, index: int, request: SolveRequest, key: str, attempt: int
+        self,
+        index: int,
+        request: SolveRequest,
+        key: str,
+        attempt: int,
+        deadline: float | None = None,
     ) -> SolveResult:
         def attempt_fn() -> SolveResult:
             chaos = self.config.chaos
@@ -1237,9 +1287,11 @@ class BatchSolver:
             self._store(key, result)
             return result
 
-        if self.config.task_deadline is not None:
+        if deadline is None:
+            deadline = self.config.task_deadline
+        if deadline is not None:
             return _call_with_deadline(
-                attempt_fn, self.config.task_deadline, name=f"task-{index}"
+                attempt_fn, deadline, name=f"task-{index}"
             )
         return attempt_fn()
 

@@ -45,9 +45,12 @@ from __future__ import annotations
 
 import os
 import random
+import socket
+import struct
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any, Callable
 
 from ..exceptions import ConfigurationError
 
@@ -56,6 +59,9 @@ __all__ = [
     "CacheFaultInjector",
     "ChaosFault",
     "FaultPlan",
+    "ServiceFault",
+    "ServiceFaultInjector",
+    "ServiceFaultPlan",
     "WorkerKilledError",
     "corrupt_entry",
     "KIND_KILL",
@@ -63,6 +69,11 @@ __all__ = [
     "KIND_ERROR",
     "KIND_CACHE_DENY",
     "KIND_CACHE_CORRUPT",
+    "KIND_CLIENT_STALL",
+    "KIND_CLIENT_DISCONNECT",
+    "KIND_ENGINE_DELAY",
+    "KIND_ENGINE_ERROR",
+    "KIND_BREAKER_OPEN",
 ]
 
 KIND_KILL = "kill-worker"
@@ -286,3 +297,239 @@ def corrupt_entry(disk, key: str) -> Path:
         )
     corrupt_path(path)
     return path
+
+
+# ----------------------------------------------------------------------
+# Wire-level chaos: faults against the serving daemon
+# ----------------------------------------------------------------------
+
+KIND_CLIENT_STALL = "client-stall"
+KIND_CLIENT_DISCONNECT = "client-disconnect"
+KIND_ENGINE_DELAY = "engine-delay"
+KIND_ENGINE_ERROR = "engine-error"
+KIND_BREAKER_OPEN = "breaker-open"
+
+_SERVICE_CLIENT_KINDS = (KIND_CLIENT_STALL, KIND_CLIENT_DISCONNECT)
+_SERVICE_ENGINE_KINDS = (KIND_ENGINE_DELAY, KIND_ENGINE_ERROR)
+_SERVICE_KINDS = (
+    _SERVICE_CLIENT_KINDS + _SERVICE_ENGINE_KINDS + (KIND_BREAKER_OPEN,)
+)
+
+
+@dataclass(frozen=True)
+class ServiceFault:
+    """One planned wire-level fault.
+
+    Engine faults (``engine-delay``/``engine-error``) target a batcher
+    ``flush`` index (the n-th flush the daemon runs while the injector
+    is wrapped in); client faults (``client-stall``/
+    ``client-disconnect``) and ``breaker-open`` are fired explicitly by
+    the test driving the injector's socket/breaker helpers.
+    """
+
+    kind: str
+    flush: int = -1
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SERVICE_KINDS:
+            raise ConfigurationError(
+                f"unknown service fault kind {self.kind!r}; expected one "
+                f"of {_SERVICE_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """A deterministic set of wire-level faults for one serving run."""
+
+    faults: tuple[ServiceFault, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def engine_fault(self, flush: int) -> ServiceFault | None:
+        """The first engine fault targeting this flush index, or None."""
+        for fault in self.faults:
+            if fault.kind in _SERVICE_ENGINE_KINDS and fault.flush == flush:
+                return fault
+        return None
+
+    @property
+    def client_faults(self) -> tuple[ServiceFault, ...]:
+        return tuple(
+            f for f in self.faults if f.kind in _SERVICE_CLIENT_KINDS
+        )
+
+    @property
+    def wants_breaker_open(self) -> bool:
+        return any(f.kind == KIND_BREAKER_OPEN for f in self.faults)
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        *,
+        stalls: int = 0,
+        disconnects: int = 0,
+        engine_delays: int = 0,
+        engine_errors: int = 0,
+        flushes: int = 8,
+        breaker_open: bool = False,
+        delay_duration: float = 0.3,
+    ) -> "ServiceFaultPlan":
+        """Derive a plan from a seed (same contract as ``FaultPlan``).
+
+        Victim flush indices for the engine faults are drawn without
+        replacement from ``range(flushes)`` by ``random.Random(seed)``;
+        client faults are counts (the test fires them explicitly, one
+        socket each).
+        """
+        wanted = engine_delays + engine_errors
+        if wanted > flushes:
+            raise ConfigurationError(
+                f"cannot pick {wanted} distinct flushes from {flushes}"
+            )
+        rng = random.Random(seed)
+        victims = rng.sample(range(flushes), k=wanted)
+        faults: list[ServiceFault] = []
+        cursor = 0
+        for kind, n in (
+            (KIND_ENGINE_DELAY, engine_delays),
+            (KIND_ENGINE_ERROR, engine_errors),
+        ):
+            for _ in range(n):
+                faults.append(
+                    ServiceFault(
+                        kind=kind,
+                        flush=victims[cursor],
+                        duration=(
+                            delay_duration
+                            if kind == KIND_ENGINE_DELAY else 0.0
+                        ),
+                    )
+                )
+                cursor += 1
+        faults.extend(
+            ServiceFault(kind=KIND_CLIENT_STALL) for _ in range(stalls)
+        )
+        faults.extend(
+            ServiceFault(kind=KIND_CLIENT_DISCONNECT)
+            for _ in range(disconnects)
+        )
+        if breaker_open:
+            faults.append(ServiceFault(kind=KIND_BREAKER_OPEN))
+        return cls(faults=tuple(faults), seed=seed)
+
+
+class ServiceFaultInjector:
+    """Drives a :class:`ServiceFaultPlan` against a live daemon.
+
+    Three fault surfaces:
+
+    * **engine** — :meth:`wrap_runner` wraps the daemon's micro-batch
+      runner; targeted flushes sleep (``engine-delay``) or die with an
+      ``OSError`` (``engine-error``, exercising the batcher's
+      respawn-and-requeue supervision) before the real engine runs.
+    * **clients** — :meth:`stalled_socket` opens a connection that
+      trickles a partial request head and then goes silent (the slow
+      loris); :meth:`disconnect_mid_request` sends a complete request
+      and slams the connection shut without reading the reply (the
+      daemon must still release every admission token).
+    * **breaker** — :meth:`force_breaker_open` records failures until
+      the disk-cache circuit breaker opens.
+
+    Everything fired is recorded on :attr:`fired` for assertions.
+    """
+
+    def __init__(self, plan: ServiceFaultPlan) -> None:
+        self.plan = plan
+        self._flush_index = 0
+        #: ``(kind, detail)`` tuples, in firing order.
+        self.fired: list[tuple[str, Any]] = []
+
+    # -- engine surface -------------------------------------------------
+
+    def wrap_runner(
+        self, runner: Callable[..., list]
+    ) -> Callable[[list, Any], list]:
+        """Wrap the daemon's flush runner with the plan's engine faults.
+
+        The wrapper keeps the two-argument ``(requests, task_deadline)``
+        shape the micro-batcher probes for.  Flush indices count every
+        invocation, including the batcher's supervised requeue — a plan
+        targeting consecutive indices therefore kills the retry too.
+        """
+
+        def wrapped(requests: list, task_deadline: Any = None) -> list:
+            index = self._flush_index
+            self._flush_index += 1
+            fault = self.plan.engine_fault(index)
+            if fault is not None:
+                self.fired.append((fault.kind, index))
+                if fault.kind == KIND_ENGINE_DELAY:
+                    time.sleep(fault.duration)
+                else:
+                    raise OSError(
+                        f"chaos: engine runner killed (flush {index})"
+                    )
+            return runner(requests, task_deadline)
+
+        return wrapped
+
+    # -- client surface -------------------------------------------------
+
+    def stalled_socket(
+        self, host: str, port: int, partial: bytes = b"POST /solve HTTP/1.1\r\n"
+    ) -> socket.socket:
+        """A slow-loris connection: partial head, then silence.
+
+        Returns the open socket; the caller closes it (or lets the
+        daemon's read timeout do so first, which is the point).
+        """
+        sock = socket.create_connection((host, port), timeout=30.0)
+        sock.sendall(partial)
+        self.fired.append((KIND_CLIENT_STALL, len(partial)))
+        return sock
+
+    def disconnect_mid_request(
+        self, host: str, port: int, body: bytes,
+        path: str = "/solve",
+    ) -> None:
+        """Send a full request, then vanish without reading the reply.
+
+        The daemon will finish the solve and fail the write — every
+        admission token it granted must still come back.
+        """
+        head = (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        sock = socket.create_connection((host, port), timeout=30.0)
+        try:
+            sock.sendall(head + body)
+            # Hard reset (RST) rather than FIN: the worst-behaved exit.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        finally:
+            sock.close()
+        self.fired.append((KIND_CLIENT_DISCONNECT, path))
+
+    # -- breaker surface ------------------------------------------------
+
+    def force_breaker_open(self, breaker: Any) -> None:
+        """Record failures until the circuit breaker reports open."""
+        for _ in range(1000):
+            if breaker.state == "open":
+                self.fired.append((KIND_BREAKER_OPEN, breaker.state))
+                return
+            breaker.record_failure("chaos: forced open")
+        raise ConfigurationError(
+            "breaker did not open after 1000 recorded failures"
+        )

@@ -19,7 +19,12 @@ admission-controlled the way the paper's crossbar admits calls:
   (:class:`~repro.service.batcher.MicroBatcher`);
 * **observability** — a hand-rolled Prometheus ``/metrics`` page
   (:mod:`repro.service.metrics`) plus per-request ids through
-  :mod:`repro.logging`.
+  :mod:`repro.logging`;
+* **overload resilience** — per-request ``deadline_ms`` budgets
+  propagate wire -> gate -> batcher -> engine (structured 504s), a
+  brownout ladder (:mod:`repro.service.brownout`) degrades service in
+  measured stages instead of collapsing, and SIGTERM drains in-flight
+  work before exit.  See the resilience section of ``docs/service.md``.
 
 Run it with ``crossbar-repro serve``; talk to it with
 :class:`~repro.service.client.ServiceClient`; embed it in tests with
@@ -27,10 +32,17 @@ Run it with ``crossbar-repro serve``; talk to it with
 ``docs/service.md``.
 """
 
-from .batcher import BatcherClosedError, MicroBatcher
+from .batcher import BatcherClosedError, MicroBatcher, RequestExpiredError
+from .brownout import (
+    STAGE_NAMES,
+    BrownoutConfig,
+    ServicePressureController,
+)
 from .client import (
     AdmissionRejectedError,
+    DeadlineExceededError,
     RemoteSolveError,
+    RetryPolicy,
     ServiceClient,
     ServiceProtocolError,
 )
@@ -49,7 +61,9 @@ __all__ = [
     "AdmissionGate",
     "AdmissionRejectedError",
     "BatcherClosedError",
+    "BrownoutConfig",
     "Counter",
+    "DeadlineExceededError",
     "Gauge",
     "GateLease",
     "GateSnapshot",
@@ -57,9 +71,13 @@ __all__ = [
     "MetricsRegistry",
     "MicroBatcher",
     "RemoteSolveError",
+    "RequestExpiredError",
+    "RetryPolicy",
+    "STAGE_NAMES",
     "ServiceClient",
     "ServiceConfig",
     "ServiceHandle",
+    "ServicePressureController",
     "ServiceProtocolError",
     "SingleFlight",
     "SolveService",

@@ -12,11 +12,27 @@ engine is thread-safe, but serializing flushes keeps its metrics
 attribution exact and lets the next batch accumulate while the current
 one computes — under load the batches grow on their own, which is the
 whole point of the window.
+
+Resilience
+----------
+* **Deadlines** — ``submit`` accepts an absolute ``deadline``
+  (``time.monotonic()`` instant).  A member whose deadline has already
+  passed when its flush starts is dropped — its future resolves with
+  :class:`RequestExpiredError` instead of occupying a batch slot — and
+  when *every* live member carries a deadline, the flush forwards the
+  latest remaining budget to the runner so the engine can abandon
+  attempts no client is still waiting for.
+* **Worker supervision** — a flush whose runner dies with an
+  infrastructure error (not a solver error: the engine runs non-strict
+  and returns :class:`~repro.engine.FailedResult` envelopes for those)
+  gets one respawn-and-requeue: the worker executor is rebuilt and the
+  same batch rerun before the failure is relayed to callers.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
@@ -24,19 +40,24 @@ from typing import Any, Callable
 from ..api import SolveRequest
 from ..exceptions import ComputationError
 
-__all__ = ["MicroBatcher", "BatcherClosedError"]
+__all__ = ["MicroBatcher", "BatcherClosedError", "RequestExpiredError"]
 
 
 class BatcherClosedError(ComputationError):
     """The service is shutting down; the request was not evaluated."""
 
 
+class RequestExpiredError(ComputationError):
+    """The request's deadline passed before its flush started."""
+
+
 class MicroBatcher:
-    """Collects ``(request, future)`` pairs and flushes them together."""
+    """Collects ``(request, future, deadline)`` entries and flushes them
+    together."""
 
     def __init__(
         self,
-        runner: Callable[[list[SolveRequest]], list[Any]],
+        runner: Callable[..., list[Any]],
         *,
         window: float = 0.002,
         max_batch: int = 256,
@@ -46,32 +67,67 @@ class MicroBatcher:
         self.window = max(0.0, float(window))
         self.max_batch = max(1, int(max_batch))
         self._observer = observer
-        self._pending: list[tuple[SolveRequest, asyncio.Future]] = []
+        self._pending: list[
+            tuple[SolveRequest, asyncio.Future, float | None]
+        ] = []
         self._timer: asyncio.TimerHandle | None = None
         self._flushes: set[asyncio.Task] = set()
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-service-flush"
-        )
+        self._flush_began: dict[asyncio.Task, float] = {}
+        self._executor = self._new_executor()
         self._closed = False
         self.flush_count = 0
         self.batched_requests = 0
+        #: Members dropped at flush time because their deadline passed.
+        self.expired_requests = 0
+        #: Times the worker executor was rebuilt after a runner death.
+        self.worker_respawns = 0
+
+    @staticmethod
+    def _accepts_deadline(runner: Callable[..., list[Any]]) -> bool:
+        """Whether ``runner`` takes a second ``task_deadline`` argument."""
+        try:
+            parameters = inspect.signature(runner).parameters
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            return False
+        positional = [
+            p for p in parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        return len(positional) >= 2 or any(
+            p.kind is p.VAR_POSITIONAL for p in parameters.values()
+        )
+
+    @staticmethod
+    def _new_executor() -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-flush"
+        )
 
     # ------------------------------------------------------------------
 
-    def submit(self, request: SolveRequest, future: asyncio.Future) -> None:
+    def submit(
+        self,
+        request: SolveRequest,
+        future: asyncio.Future,
+        deadline: float | None = None,
+    ) -> None:
         """Queue one request; ``future`` resolves with its result.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; a
+        member still queued when it passes is dropped at flush time
+        (future resolves with :class:`RequestExpiredError`).
 
         A terminally failing request resolves its future with the
         engine's :class:`~repro.engine.FailedResult` envelope (the
         engine runs non-strict); only infrastructure errors — the
-        runner itself raising — surface as future exceptions.
+        runner itself raising, twice — surface as future exceptions.
         """
         if self._closed:
             future.set_exception(
                 BatcherClosedError("service is shutting down")
             )
             return
-        self._pending.append((request, future))
+        self._pending.append((request, future, deadline))
         loop = asyncio.get_running_loop()
         if len(self._pending) >= self.max_batch:
             if self._timer is not None:
@@ -86,34 +142,144 @@ class MicroBatcher:
         if self._pending:
             self._start_flush()
 
+    def flush_pending(self) -> None:
+        """Flush the queue right now (drain path: no window to wait)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._pending:
+            self._start_flush()
+
+    @property
+    def busy(self) -> bool:
+        """Whether any request is queued or any flush is computing."""
+        return bool(self._pending or self._flushes)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for the next flush (pressure signal)."""
+        return len(self._pending)
+
+    @property
+    def worker_lag(self) -> float:
+        """Age in seconds of the oldest in-flight flush (0.0 if idle).
+
+        The brownout controller reads this as the batch-worker lag: a
+        flush that has been computing for a long time means new windows
+        are piling up behind a slow (or wedged) engine.
+        """
+        if not self._flush_began:
+            return 0.0
+        return time.monotonic() - min(self._flush_began.values())
+
     def _start_flush(self) -> None:
         batch, self._pending = self._pending, []
         task = asyncio.get_running_loop().create_task(self._flush(batch))
         self._flushes.add(task)
-        task.add_done_callback(self._flushes.discard)
+        self._flush_began[task] = time.monotonic()
+
+        def _done(finished: asyncio.Task) -> None:
+            self._flushes.discard(finished)
+            self._flush_began.pop(finished, None)
+
+        task.add_done_callback(_done)
+
+    # ------------------------------------------------------------------
+
+    def _expire(
+        self, batch: list[tuple[SolveRequest, asyncio.Future, float | None]]
+    ) -> tuple[
+        list[tuple[SolveRequest, asyncio.Future, float | None]],
+        float | None,
+    ]:
+        """Drop already-expired members; compute the batch budget.
+
+        Returns the live members and the wall-clock budget (seconds) to
+        forward to the runner: the *latest* remaining deadline when
+        every live member has one (an attempt running past it serves
+        nobody), else None (some member is unbounded).
+        """
+        now = time.monotonic()
+        live: list[tuple[SolveRequest, asyncio.Future, float | None]] = []
+        for request, future, deadline in batch:
+            if deadline is not None and now >= deadline:
+                self.expired_requests += 1
+                if not future.done():
+                    future.set_exception(
+                        RequestExpiredError(
+                            "deadline passed before the batch flushed"
+                        )
+                    )
+                continue
+            live.append((request, future, deadline))
+        budget: float | None = None
+        if live and all(deadline is not None for _, _, deadline in live):
+            budget = max(deadline for _, _, deadline in live) - now
+        return live, budget
+
+    def _run(
+        self, requests: list[SolveRequest], budget: float | None
+    ) -> list[Any]:
+        # Arity is probed per call: tests swap ``_runner`` for plain
+        # single-argument stubs after construction.
+        if self._accepts_deadline(self._runner):
+            return self._runner(requests, budget)
+        return self._runner(requests)
 
     async def _flush(
-        self, batch: list[tuple[SolveRequest, asyncio.Future]]
+        self,
+        batch: list[tuple[SolveRequest, asyncio.Future, float | None]],
     ) -> None:
         loop = asyncio.get_running_loop()
-        requests = [request for request, _ in batch]
+        batch, budget = self._expire(batch)
+        if not batch:
+            return
+        requests = [request for request, _, _ in batch]
         began = time.perf_counter()
         try:
             results = await loop.run_in_executor(
-                self._executor, self._runner, requests
+                self._executor, self._run, requests, budget
             )
-        except BaseException as exc:  # noqa: BLE001 - relayed to callers
-            for _, future in batch:
-                if not future.done():
-                    future.set_exception(exc)
-            return
+        except asyncio.CancelledError:  # pragma: no cover - loop teardown
+            raise
+        except BaseException as first:  # noqa: BLE001 - supervised below
+            # The runner itself died (infrastructure, not a solver
+            # error).  Supervise: rebuild the worker executor and rerun
+            # this batch once before giving up.
+            if self._closed:
+                self._relay_failure(batch, first)
+                return
+            self._respawn_executor()
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self._run, requests, budget
+                )
+            except asyncio.CancelledError:  # pragma: no cover
+                raise
+            except BaseException as second:  # noqa: BLE001 - relayed
+                self._relay_failure(batch, second)
+                return
         self.flush_count += 1
         self.batched_requests += len(batch)
         if self._observer is not None:
             self._observer(len(batch), time.perf_counter() - began)
-        for (_, future), result in zip(batch, results):
+        for (_, future, _), result in zip(batch, results):
             if not future.done():
                 future.set_result(result)
+
+    def _respawn_executor(self) -> None:
+        self.worker_respawns += 1
+        old, self._executor = self._executor, self._new_executor()
+        old.shutdown(wait=False)
+
+    @staticmethod
+    def _relay_failure(
+        batch: list[tuple[SolveRequest, asyncio.Future, float | None]],
+        exc: BaseException,
+    ) -> None:
+        for _, future, _ in batch:
+            if not future.done():
+                future.set_exception(exc)
 
     # ------------------------------------------------------------------
 
@@ -124,7 +290,7 @@ class MicroBatcher:
             self._timer.cancel()
             self._timer = None
         pending, self._pending = self._pending, []
-        for _, future in pending:
+        for _, future, _ in pending:
             if not future.done():
                 future.set_exception(
                     BatcherClosedError("service is shutting down")

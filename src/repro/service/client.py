@@ -6,25 +6,49 @@
 
 Every call opens a fresh connection (the daemon closes after each
 response), so one client instance is safe to share across threads.
-``solve`` raises :class:`AdmissionRejectedError` on a 503 — carrying
-the structured ``retry_after`` hint — instead of silently retrying:
-blocked calls are *cleared* and retry policy belongs to the caller.
+
+Retry policy belongs to the caller, and this client makes it explicit:
+by default ``solve`` raises :class:`AdmissionRejectedError` on a 503 —
+carrying the structured ``retry_after`` hint — without retrying.  An
+opt-in :class:`RetryPolicy` adds:
+
+* **retries with exponential backoff** for 503 clears and transport
+  errors, sleeping the *longer* of the server's ``retry_after`` hint
+  and the deterministic backoff for that attempt (the server knows its
+  own holding times better than any client-side curve);
+* **hedged requests** — with ``hedge_after`` set, a second identical
+  request launches if the first has not answered within the threshold;
+  whichever answers first wins (solves are pure, so the results are
+  byte-identical either way).
+
+A 504 (:class:`DeadlineExceededError`) is never retried: the budget
+the caller attached to the request is gone by definition.
 """
 
 from __future__ import annotations
 
 import json
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+    wait,
+)
+from dataclasses import dataclass
 from http.client import HTTPConnection
-from typing import Any
+from typing import Any, Callable
 
 from ..api import SolveRequest, SolveResult
 from ..engine import FailedResult
-from ..exceptions import ComputationError
+from ..exceptions import ComputationError, ConfigurationError
 from .protocol import decode_failed, decode_result
 
 __all__ = [
     "AdmissionRejectedError",
+    "DeadlineExceededError",
     "RemoteSolveError",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceProtocolError",
 ]
@@ -55,7 +79,50 @@ class AdmissionRejectedError(ComputationError):
         )
         self.retry_after = float(error.get("retry_after", 0.0) or 0.0)
         self.blocking_ratio = float(error.get("blocking_ratio", 0.0) or 0.0)
+        self.kind = str(error.get("kind", "admission_rejected"))
         self.payload = payload
+
+
+class DeadlineExceededError(ComputationError):
+    """The request's ``deadline_ms`` budget expired server-side (504)."""
+
+    def __init__(self, payload: dict) -> None:
+        error = payload.get("error", {})
+        super().__init__(
+            error.get("message", "deadline exceeded (504)")
+        )
+        self.phase = str(error.get("phase", ""))
+        self.payload = payload
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry/hedging knobs (all off by default)."""
+
+    #: Retries after the initial attempt for 503s and transport errors.
+    max_retries: int = 0
+    #: Base of the exponential backoff (seconds).
+    backoff_base: float = 0.05
+    #: Ceiling of one backoff sleep (seconds).
+    backoff_cap: float = 2.0
+    #: Launch a duplicate request if the first has not answered within
+    #: this many seconds; None disables hedging.
+    hedge_after: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError("backoff values must be >= 0")
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ConfigurationError("hedge_after must be > 0")
+
+    def backoff(self, retry_number: int) -> float:
+        """Deterministic sleep before retry ``retry_number`` (1-based)."""
+        return min(
+            self.backoff_cap,
+            self.backoff_base * (2.0 ** (retry_number - 1)),
+        )
 
 
 class ServiceClient:
@@ -64,10 +131,18 @@ class ServiceClient:
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8377,
         timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self._sleep = sleep
+        #: Observable retry/hedge counters (tests and capacity tuning).
+        self.retries = 0
+        self.hedges = 0
+        self.hedges_won = 0
 
     # ------------------------------------------------------------------
 
@@ -104,6 +179,8 @@ class ServiceClient:
             )
         if status == 503:
             raise AdmissionRejectedError(payload)
+        if status == 504:
+            raise DeadlineExceededError(payload)
         if status == 500 and payload.get("error", {}).get(
             "kind"
         ) == "solve_failed":
@@ -114,13 +191,81 @@ class ServiceClient:
         return payload
 
     # ------------------------------------------------------------------
+    # Retry / hedge machinery
+    # ------------------------------------------------------------------
 
-    def solve(self, request: SolveRequest) -> SolveResult:
-        """One request; byte-identical to a local ``repro.api.solve``."""
-        status, payload = self._roundtrip(
-            "POST", "/solve", {"request": request.to_dict()}
+    def _with_retries(self, call: Callable[[], dict]) -> dict:
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                return self._maybe_hedged(call)
+            except AdmissionRejectedError as exc:
+                if attempt >= policy.max_retries:
+                    raise
+                # The server's hint is an EWMA of real holding times;
+                # trust it when it is longer than our own curve.
+                delay = max(exc.retry_after, policy.backoff(attempt + 1))
+            except (ConnectionError, OSError):
+                if attempt >= policy.max_retries:
+                    raise
+                delay = policy.backoff(attempt + 1)
+            attempt += 1
+            self.retries += 1
+            if delay > 0:
+                self._sleep(delay)
+
+    def _maybe_hedged(self, call: Callable[[], dict]) -> dict:
+        hedge_after = self.retry.hedge_after
+        if hedge_after is None:
+            return call()
+        pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-client-hedge"
         )
-        payload = self._check(status, payload)
+        try:
+            first = pool.submit(call)
+            try:
+                return first.result(hedge_after)
+            except FutureTimeoutError:
+                pass
+            self.hedges += 1
+            second = pool.submit(call)
+            done, _ = wait({first, second}, return_when=FIRST_COMPLETED)
+            winner = done.pop()
+            if winner is second:
+                self.hedges_won += 1
+            return winner.result()
+        finally:
+            # Do not wait for the losing request; its thread dies once
+            # the daemon answers (or its socket times out).
+            pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+
+    def solve_raw(
+        self, request: SolveRequest, deadline_ms: float | None = None
+    ) -> dict:
+        """One request; the full checked reply envelope.
+
+        The envelope carries fields ``solve`` drops: ``coalesced``,
+        ``elapsed_ms`` and — under brownout — the ``degraded`` /
+        ``degraded_stage`` markers.
+        """
+        body: dict[str, Any] = {"request": request.to_dict()}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+
+        def call() -> dict:
+            status, payload = self._roundtrip("POST", "/solve", body)
+            return self._check(status, payload)
+
+        return self._with_retries(call)
+
+    def solve(
+        self, request: SolveRequest, deadline_ms: float | None = None
+    ) -> SolveResult:
+        """One request; byte-identical to a local ``repro.api.solve``."""
+        payload = self.solve_raw(request, deadline_ms=deadline_ms)
         try:
             return decode_result(payload["result"])
         except (KeyError, TypeError, ValueError) as exc:
@@ -129,14 +274,22 @@ class ServiceClient:
             ) from exc
 
     def solve_many(
-        self, requests: list[SolveRequest]
+        self,
+        requests: list[SolveRequest],
+        deadline_ms: float | None = None,
     ) -> list[SolveResult | FailedResult]:
         """A batch; failed members come back as ``FailedResult``s."""
-        status, payload = self._roundtrip(
-            "POST", "/batch",
-            {"requests": [r.to_dict() for r in requests]},
-        )
-        payload = self._check(status, payload)
+        body: dict[str, Any] = {
+            "requests": [r.to_dict() for r in requests]
+        }
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+
+        def call() -> dict:
+            status, payload = self._roundtrip("POST", "/batch", body)
+            return self._check(status, payload)
+
+        payload = self._with_retries(call)
         out: list[SolveResult | FailedResult] = []
         try:
             for item in payload["results"]:

@@ -43,6 +43,9 @@ class GateSnapshot:
     admitted: int
     rejected: int
     released: int
+    #: Soft admission limit (<= capacity); the brownout controller
+    #: shrinks this under pressure.  Equals ``capacity`` when unshrunk.
+    limit: int = 0
 
     @property
     def blocking_ratio(self) -> float:
@@ -65,6 +68,12 @@ class AdmissionGate:
                 f"gate capacity must be >= 1, got {capacity}"
             )
         self.capacity = capacity
+        #: Soft limit actually enforced by ``try_acquire``.  Starts at
+        #: ``capacity``; the brownout controller shrinks it (stage 1,
+        #: "admission-shrink") and restores it when pressure clears.
+        #: Shrinking never evicts holders — ``in_use`` may exceed the
+        #: limit transiently until leases drain.
+        self.limit = capacity
         self.in_use = 0
         self.peak_in_use = 0
         self.offered = 0
@@ -94,7 +103,7 @@ class AdmissionGate:
         self._offered_by_class[admission_class] = (
             self._offered_by_class.get(admission_class, 0) + 1
         )
-        if self.in_use + weight > self.capacity:
+        if self.in_use + weight > self.limit:
             self.rejected += 1
             self._rejected_by_class[admission_class] = (
                 self._rejected_by_class.get(admission_class, 0) + 1
@@ -110,6 +119,17 @@ class AdmissionGate:
         self.released += 1
         if self.in_use < 0:  # pragma: no cover - double release is a bug
             raise ConfigurationError("admission gate released below zero")
+
+    def set_limit(self, limit: int) -> int:
+        """Clamp and apply a new soft admission limit; returns it.
+
+        The limit lives in ``[1, capacity]``: the gate can be shrunk to
+        a trickle but never closed outright (stage 4 of the brownout
+        ladder rejects *before* the gate instead), and it can never
+        exceed the configured capacity.
+        """
+        self.limit = max(1, min(int(limit), self.capacity))
+        return self.limit
 
     # ------------------------------------------------------------------
 
@@ -128,4 +148,5 @@ class AdmissionGate:
             admitted=self.admitted,
             rejected=self.rejected,
             released=self.released,
+            limit=self.limit,
         )

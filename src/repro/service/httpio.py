@@ -6,6 +6,23 @@ No chunked encoding, no pipelining, one request per connection (every
 response carries ``Connection: close``) — deliberately boring framing
 so the interesting parts of the daemon (admission, coalescing,
 batching) stay testable.
+
+Timeouts
+--------
+Both directions are clock-bounded so a misbehaving peer cannot pin a
+connection open:
+
+* **reads** — ``read_request(..., timeout=...)`` caps the wall-clock
+  spent waiting for the request head and, separately, for the body.
+  A peer that trickles bytes (slow loris) or stalls after the header
+  gets a :class:`HttpError` with status 408 and the connection is
+  closed; the request never reaches the admission gate, so it holds
+  no tokens.
+* **writes** — ``write_response(..., timeout=...)`` caps the flush.
+  A client that stops reading its reply raises
+  :class:`SlowClientError` (an ``OSError``); the caller treats it as
+  a disconnect and aborts the transport rather than waiting on a
+  full kernel buffer.
 """
 
 from __future__ import annotations
@@ -15,7 +32,13 @@ from dataclasses import dataclass, field
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["HttpError", "HttpRequest", "read_request", "write_response"]
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "SlowClientError",
+    "read_request",
+    "write_response",
+]
 
 #: Hard header-section cap; a peer sending more is not speaking our
 #: dialect of HTTP.
@@ -29,18 +52,25 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 class HttpError(ConfigurationError):
-    """A malformed or oversized HTTP request (maps to a 4xx)."""
+    """A malformed, oversized or stalled HTTP request (maps to a 4xx)."""
 
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+class SlowClientError(OSError):
+    """The peer stopped reading its reply before the write timeout."""
 
 
 @dataclass
@@ -54,12 +84,34 @@ class HttpRequest:
     body: bytes = b""
 
 
-async def read_request(
-    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
-) -> HttpRequest | None:
-    """Parse one request; None on a clean EOF before any bytes."""
+async def _read_bounded(awaitable, timeout: float | None, what: str):
+    """Await a read, converting a stall into a 408 :class:`HttpError`."""
+    if timeout is None or timeout <= 0:
+        return await awaitable
     try:
-        head = await reader.readuntil(b"\r\n\r\n")
+        return await asyncio.wait_for(awaitable, timeout)
+    except asyncio.TimeoutError as exc:
+        raise HttpError(
+            408, f"timed out after {timeout:.3g}s reading the {what}"
+        ) from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body: int = MAX_BODY_BYTES,
+    timeout: float | None = None,
+) -> HttpRequest | None:
+    """Parse one request; None on a clean EOF before any bytes.
+
+    ``timeout`` bounds each framing phase (head, then body)
+    independently: a connection that goes quiet — or trickles bytes
+    slower than a whole section per window — raises
+    ``HttpError(408)``.  ``None`` (or ``0``) disables the bound.
+    """
+    try:
+        head = await _read_bounded(
+            reader.readuntil(b"\r\n\r\n"), timeout, "request head"
+        )
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
@@ -96,7 +148,9 @@ async def read_request(
             raise HttpError(413, f"body of {length} bytes exceeds the cap")
         if length:
             try:
-                body = await reader.readexactly(length)
+                body = await _read_bounded(
+                    reader.readexactly(length), timeout, "request body"
+                )
             except asyncio.IncompleteReadError as exc:
                 raise HttpError(400, "truncated request body") from exc
     elif headers.get("transfer-encoding"):
@@ -114,8 +168,14 @@ async def write_response(
     body: bytes,
     content_type: str = "application/json",
     extra_headers: dict[str, str] | None = None,
+    timeout: float | None = None,
 ) -> None:
-    """Serialize one response and flush it (connection stays ours)."""
+    """Serialize one response and flush it (connection stays ours).
+
+    ``timeout`` bounds the flush; a peer that stops draining its
+    receive buffer raises :class:`SlowClientError` so the caller can
+    abort the transport instead of blocking on it.
+    """
     reason = _REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
@@ -127,4 +187,12 @@ async def write_response(
         lines.append(f"{name}: {value}")
     head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
     writer.write(head + body)
-    await writer.drain()
+    if timeout is None or timeout <= 0:
+        await writer.drain()
+        return
+    try:
+        await asyncio.wait_for(writer.drain(), timeout)
+    except asyncio.TimeoutError as exc:
+        raise SlowClientError(
+            f"client did not drain the reply within {timeout:.3g}s"
+        ) from exc

@@ -17,12 +17,21 @@ Wire envelopes
 * rejection: ``{"id", "error": {"kind": "admission_rejected",
   "retry_after", ...gate counters}}`` with HTTP 503 and a
   ``Retry-After`` header (blocked calls are *cleared*: the daemon
-  holds no queue for them).
+  holds no queue for them);
+* deadline: requests may carry ``"deadline_ms"`` (a client latency
+  budget); a request that cannot be served inside it returns HTTP 504
+  with ``{"kind": "deadline_exceeded"}`` — see
+  :func:`decode_deadline_ms`;
+* degraded: under brownout (:mod:`repro.service.brownout`) a served
+  result may be marked ``"degraded": true`` plus a
+  ``"degraded_stage"`` and provenance — byte identity is only
+  promised for envelopes *without* the marker.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import os
 from typing import Any
 
@@ -31,6 +40,7 @@ from ..engine import FailedResult, TaskAttempt
 from ..exceptions import ConfigurationError
 
 __all__ = [
+    "decode_deadline_ms",
     "decode_failed",
     "decode_request",
     "decode_request_list",
@@ -65,6 +75,33 @@ def decode_request(payload: Any) -> SolveRequest:
         return SolveRequest.from_dict(record)
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"malformed solve request: {exc}") from exc
+
+
+def decode_deadline_ms(payload: Any) -> float | None:
+    """The request's latency budget in **seconds**, or None.
+
+    Clients send ``"deadline_ms"`` alongside the request record (on
+    either a ``/solve`` or a ``/batch`` envelope): the wall-clock
+    budget, in milliseconds, they are willing to wait.  The daemon
+    enforces it end to end — an expired request returns a structured
+    504 instead of occupying a batch slot.  Absent, ``null``, zero or
+    negative budgets all decode to None (no deadline): a non-positive
+    budget cannot mean "reject everything", only "no bound".
+    """
+    if not isinstance(payload, dict):
+        return None
+    raw = payload.get("deadline_ms")
+    if raw is None:
+        return None
+    try:
+        budget_ms = float(raw)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"deadline_ms must be a number, got {raw!r}"
+        ) from exc
+    if not budget_ms > 0.0 or not math.isfinite(budget_ms):
+        return None  # 0, negative, NaN and inf all mean "no bound"
+    return budget_ms / 1e3
 
 
 def decode_request_list(payload: Any) -> list[SolveRequest]:

@@ -29,9 +29,10 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import signal
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from .. import __version__
@@ -39,12 +40,25 @@ from ..api import SolveRequest, SolveResult
 from ..engine import BatchSolver, get_default_engine
 from ..exceptions import ConfigurationError, CrossbarError
 from ..logging import get_logger, kv
-from .batcher import BatcherClosedError, MicroBatcher
+from ..methods import SolveMethod
+from .batcher import BatcherClosedError, MicroBatcher, RequestExpiredError
+from .brownout import (
+    STAGE_NAMES,
+    BrownoutConfig,
+    ServicePressureController,
+)
 from .coalesce import SingleFlight
 from .gate import AdmissionGate
-from .httpio import HttpError, HttpRequest, read_request, write_response
+from .httpio import (
+    HttpError,
+    HttpRequest,
+    SlowClientError,
+    read_request,
+    write_response,
+)
 from .metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
 from .protocol import (
+    decode_deadline_ms,
     decode_request,
     decode_request_list,
     encode_failed,
@@ -89,12 +103,27 @@ class ServiceConfig:
     #: Floor of the 503 ``retry_after`` hint (seconds); the live hint
     #: tracks an EWMA of recent holding times above this floor.
     retry_after_floor: float = 0.05
+    #: Wall-clock seconds a peer may take to deliver the request head
+    #: (and, separately, the body) before the connection is closed with
+    #: a 408 — the slow-loris bound.  None or 0 disables it.
+    read_timeout: float | None = 10.0
+    #: Seconds a peer may take to drain its reply before the transport
+    #: is aborted.  None or 0 disables it.
+    write_timeout: float | None = 10.0
+    #: Default budget of :meth:`SolveService.drain`: seconds to wait
+    #: for in-flight work before giving up and stopping anyway.
+    drain_timeout: float = 10.0
+    #: Brownout ladder tunables; ``BrownoutConfig(enabled=False)``
+    #: pins the daemon at full service.
+    brownout: BrownoutConfig = field(default_factory=BrownoutConfig)
 
     def __post_init__(self) -> None:
         if self.gate_capacity < 1:
             raise ConfigurationError("gate_capacity must be >= 1")
         if self.point_weight < 1 or self.batch_member_weight < 1:
             raise ConfigurationError("admission weights must be >= 1")
+        if self.drain_timeout < 0:
+            raise ConfigurationError("drain_timeout must be >= 0")
 
 
 class _Instruments:
@@ -135,6 +164,7 @@ class _Instruments:
         self.gate_gauge.set(lambda: gate.capacity, state="capacity")
         self.gate_gauge.set(lambda: gate.in_use, state="in_use")
         self.gate_gauge.set(lambda: gate.peak_in_use, state="peak")
+        self.gate_gauge.set(lambda: gate.limit, state="limit")
         self.coalesce_hits = registry.counter(
             "repro_service_coalesce_hits_total",
             "Requests that joined an identical in-flight computation.",
@@ -162,6 +192,26 @@ class _Instruments:
         )
         self._inflight_count = 0
         self.inflight.set(lambda: self._inflight_count)
+        self.deadline_exceeded = registry.counter(
+            "repro_service_deadline_exceeded_total",
+            "Requests whose deadline_ms budget ran out (504), by phase.",
+        )
+        self.degraded_responses = registry.counter(
+            "repro_service_degraded_responses_total",
+            "Responses served degraded under brownout, by stage.",
+        )
+        self.brownout_transitions = registry.counter(
+            "repro_service_brownout_transitions_total",
+            "Brownout ladder stage transitions, labeled from -> to.",
+        )
+        self.brownout_shed = registry.counter(
+            "repro_service_brownout_shed_total",
+            "Solves cleared by the brownout ladder before the gate.",
+        )
+        self.slow_clients = registry.counter(
+            "repro_service_slow_clients_total",
+            "Connections aborted for stalled reads or undrained writes.",
+        )
 
         engine_stat = registry.gauge(
             "repro_engine_stat",
@@ -198,6 +248,38 @@ class _Instruments:
             "repro_service_info", "Build information (constant 1)."
         )
         info.set(1, version=__version__)
+
+    def bind_runtime(
+        self,
+        controller: ServicePressureController,
+        batcher: MicroBatcher,
+    ) -> None:
+        """Gauges that need the controller/batcher (built after us)."""
+        stage = self.registry.gauge(
+            "repro_service_brownout_stage",
+            "Brownout ladder stage (0=normal .. 4=fast-503).",
+        )
+        stage.set(lambda: controller.stage)
+        pressure = self.registry.gauge(
+            "repro_service_brownout_pressure",
+            "Live pressure components driving the brownout ladder.",
+        )
+        for comp in ("gate", "queue", "lag", "breaker", "overall"):
+            pressure.set(
+                (lambda c=comp: controller.pressure()[c]), component=comp
+            )
+        batcher_gauge = self.registry.gauge(
+            "repro_service_batcher",
+            "Micro-batcher internals (queue, lag, supervision counters).",
+        )
+        batcher_gauge.set(lambda: batcher.queue_depth, field="queue_depth")
+        batcher_gauge.set(lambda: batcher.worker_lag, field="worker_lag")
+        batcher_gauge.set(
+            lambda: batcher.worker_respawns, field="worker_respawns"
+        )
+        batcher_gauge.set(
+            lambda: batcher.expired_requests, field="expired_requests"
+        )
 
     @staticmethod
     def _last_batch_field(engine: BatchSolver, fname: str) -> float:
@@ -245,9 +327,20 @@ class SolveService:
             max_batch=self.config.max_batch,
             observer=self._observe_flush,
         )
+        self.brownout = ServicePressureController(
+            self.config.brownout,
+            gate=self.gate,
+            batcher=self.batcher,
+            engine=self.engine,
+            on_transition=self._on_brownout_transition,
+        )
+        self.instruments.bind_runtime(self.brownout, self.batcher)
         self._server: asyncio.base_events.Server | None = None
         self._started_at = time.monotonic()
         self._ewma_hold = 0.0
+        self._draining = False
+        self._open_connections = 0
+        self._brownout_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -258,6 +351,10 @@ class SolveService:
             self._handle_connection, self.config.host, self.config.port
         )
         self._started_at = time.monotonic()
+        if self.config.brownout.enabled:
+            self._brownout_task = asyncio.get_running_loop().create_task(
+                self.brownout.run(), name="repro-brownout"
+            )
         logger.info(
             "service listening %s",
             kv(host=self.host, port=self.port,
@@ -265,7 +362,51 @@ class SolveService:
                batch_window=self.config.batch_window),
         )
 
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown, phase one: finish what we admitted.
+
+        Stops accepting connections, flushes the pending micro-batch
+        immediately, and waits (up to ``timeout``, default
+        ``config.drain_timeout``) for every admitted request — leaders
+        *and* coalesced followers — to resolve.  Returns True when the
+        daemon drained clean, False on timeout (callers stop anyway;
+        the engine's supervisor fails the remnants with structured
+        envelopes rather than leaking them).
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.batcher.flush_pending()
+        budget = self.config.drain_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while (
+            self.instruments._inflight_count > 0
+            or self._open_connections > 0
+            or self.batcher.busy
+        ):
+            if time.monotonic() >= deadline:
+                logger.warning(
+                    "drain timed out %s",
+                    kv(inflight=self.instruments._inflight_count,
+                       connections=self._open_connections,
+                       batcher_busy=self.batcher.busy, budget=budget),
+                )
+                return False
+            self.batcher.flush_pending()
+            await asyncio.sleep(0.005)
+        logger.info("drain complete %s", kv(budget=budget))
+        return True
+
     async def stop(self) -> None:
+        if self._brownout_task is not None:
+            self._brownout_task.cancel()
+            try:
+                await self._brownout_task
+            except asyncio.CancelledError:
+                pass
+            self._brownout_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -307,13 +448,25 @@ class SolveService:
         endpoint = "unknown"
         status = 500
         request_id = new_request_id()
+        # Counted for the whole handler body (reply write included) so
+        # drain() cannot declare victory while a response is in flight.
+        self._open_connections += 1
         try:
             try:
-                http = await read_request(reader)
+                http = await read_request(
+                    reader, timeout=self.config.read_timeout
+                )
             except HttpError as exc:
                 status = exc.status
+                if exc.status == 408:
+                    # Slow loris: the peer held the connection without
+                    # delivering a request.  It never reached the gate,
+                    # so it holds no tokens; just cut it loose.
+                    self.instruments.slow_clients.inc(direction="read")
                 await self._write_error(
-                    writer, exc.status, "bad_request", str(exc), request_id
+                    writer, exc.status,
+                    "slow_client" if exc.status == 408 else "bad_request",
+                    str(exc), request_id,
                 )
                 return
             if http is None:  # clean disconnect before any bytes
@@ -332,7 +485,22 @@ class SolveService:
             await write_response(
                 writer, status, body,
                 content_type=content_type, extra_headers=reply.headers,
+                timeout=self.config.write_timeout,
             )
+        except SlowClientError as exc:
+            # The peer stopped draining its reply; abort the transport
+            # so the connection cannot pin the daemon (tokens were
+            # released before the write).
+            self.instruments.slow_clients.inc(direction="write")
+            logger.info(
+                "slow client aborted %s",
+                kv(request_id=request_id, endpoint=endpoint,
+                   detail=str(exc)),
+            )
+            status = 499
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
         except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
             # The peer vanished: work is done (and any gate tokens are
             # already released); only the reply is lost.
@@ -353,6 +521,7 @@ class SolveService:
             except OSError:
                 pass
         finally:
+            self._open_connections -= 1
             if status != 0:  # ignore empty keep-alive probes
                 elapsed = time.perf_counter() - began
                 self.instruments.requests_total.inc(
@@ -392,6 +561,7 @@ class SolveService:
         await write_response(
             writer, status, json.dumps(payload).encode("utf-8"),
             extra_headers=base_headers,
+            timeout=self.config.write_timeout,
         )
 
     # ------------------------------------------------------------------
@@ -437,11 +607,18 @@ class SolveService:
         gate = self.gate.snapshot()
         return {
             "id": request_id,
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "version": __version__,
             "uptime_s": time.monotonic() - self._started_at,
+            "brownout": {
+                "stage": self.brownout.stage,
+                "stage_name": self.brownout.stage_name,
+                "transitions": self.brownout.transitions,
+                "pressure": self.brownout.pressure(),
+            },
             "gate": {
                 "capacity": gate.capacity,
+                "limit": gate.limit,
                 "in_use": gate.in_use,
                 "peak_in_use": gate.peak_in_use,
                 "offered": gate.offered,
@@ -471,9 +648,21 @@ class SolveService:
         self, http: HttpRequest, request_id: str
     ) -> _Reply:
         try:
-            request = decode_request(self._parse_body(http))
+            payload = self._parse_body(http)
+            request = decode_request(payload)
+            budget = decode_deadline_ms(payload)
         except CrossbarError as exc:
             return self._bad_request(request_id, str(exc))
+        if self._draining:
+            return self._shutting_down(request_id)
+        if self.brownout.shedding:
+            return self._shed(request_id, "solve")
+        if self.brownout.stale_only:
+            return self._serve_stale(request_id, request)
+        request, degraded = self._maybe_degrade(request)
+        deadline_at = (
+            time.monotonic() + budget if budget is not None else None
+        )
         lease = self.gate.try_acquire("solve", self.config.point_weight)
         self._count_admission("solve", lease is not None)
         if lease is None:
@@ -481,16 +670,24 @@ class SolveService:
         began = time.perf_counter()
         self.instruments._inflight_count += 1
         try:
-            result, coalesced = await self._execute(request)
+            result, coalesced = await self._execute(
+                request, deadline_at=deadline_at
+            )
             if self.config.min_hold > 0.0:
                 await asyncio.sleep(self.config.min_hold)
         except BatcherClosedError:
             return self._shutting_down(request_id)
+        except RequestExpiredError:
+            return self._deadline_exceeded(request_id, budget, "batch")
+        except asyncio.TimeoutError:
+            return self._deadline_exceeded(request_id, budget, "wait")
         finally:
             self.instruments._inflight_count -= 1
             self.gate.release(lease)
             self._note_hold(time.perf_counter() - began)
         if getattr(result, "failed", False):
+            if budget is not None and result.error_type == "TaskDeadlineError":
+                return self._deadline_exceeded(request_id, budget, "engine")
             self.instruments.solve_failures.inc()
             return _Reply(500, {
                 "id": request_id,
@@ -498,21 +695,42 @@ class SolveService:
                     "message": result.error_message,
                 },
             })
-        return _Reply(200, {
+        reply = {
             "id": request_id,
             "result": encode_result(result),
             "coalesced": coalesced,
             "from_cache": result.from_cache,
             "elapsed_ms": (time.perf_counter() - began) * 1e3,
-        })
+        }
+        if degraded:
+            self._stamp_degraded(reply)
+        return _Reply(200, reply)
 
     async def _handle_batch(
         self, http: HttpRequest, request_id: str
     ) -> _Reply:
         try:
-            requests = decode_request_list(self._parse_body(http))
+            payload = self._parse_body(http)
+            requests = decode_request_list(payload)
+            budget = decode_deadline_ms(payload)
         except CrossbarError as exc:
             return self._bad_request(request_id, str(exc))
+        if self._draining:
+            return self._shutting_down(request_id)
+        if self.brownout.shedding:
+            return self._shed(request_id, "batch")
+        if self.brownout.stale_only:
+            return self._serve_stale_batch(request_id, requests)
+        degraded = False
+        rewritten = []
+        for request in requests:
+            request, was_degraded = self._maybe_degrade(request)
+            degraded = degraded or was_degraded
+            rewritten.append(request)
+        requests = rewritten
+        deadline_at = (
+            time.monotonic() + budget if budget is not None else None
+        )
         weight = self.config.batch_member_weight * len(requests)
         lease = self.gate.try_acquire("batch", weight)
         self._count_admission("batch", lease is not None)
@@ -522,12 +740,17 @@ class SolveService:
         self.instruments._inflight_count += 1
         try:
             outcomes = await asyncio.gather(
-                *(self._execute(r) for r in requests)
+                *(self._execute(r, deadline_at=deadline_at)
+                  for r in requests)
             )
             if self.config.min_hold > 0.0:
                 await asyncio.sleep(self.config.min_hold)
         except BatcherClosedError:
             return self._shutting_down(request_id)
+        except RequestExpiredError:
+            return self._deadline_exceeded(request_id, budget, "batch")
+        except asyncio.TimeoutError:
+            return self._deadline_exceeded(request_id, budget, "wait")
         finally:
             self.instruments._inflight_count -= 1
             self.gate.release(lease)
@@ -542,20 +765,142 @@ class SolveService:
                 items.append(encode_failed(result) | {"failed": True})
             else:
                 items.append(encode_result(result))
-        return _Reply(200, {
+        reply = {
             "id": request_id,
             "results": items,
             "failed": failures,
             "coalesced": coalesced_count,
             "admission_weight": lease.weight,
             "elapsed_ms": (time.perf_counter() - began) * 1e3,
-        })
+        }
+        if degraded:
+            self._stamp_degraded(reply)
+        return _Reply(200, reply)
 
     def _bad_request(self, request_id: str, message: str) -> _Reply:
         return _Reply(400, {
             "id": request_id,
             "error": {"kind": "bad_request", "message": message},
         })
+
+    # ------------------------------------------------------------------
+    # Brownout and deadline envelopes
+    # ------------------------------------------------------------------
+
+    def _maybe_degrade(self, request: SolveRequest) -> tuple[SolveRequest, bool]:
+        """Stage >= 2: rewrite the solve onto the cheapest robust path.
+
+        The robust facade's fallback chain is ordered cheapest-first
+        (MVA leads), so ``SolveMethod.ROBUST`` *is* the degraded path —
+        the daemon converts work instead of dropping it.  A request
+        already asking for ROBUST is served as-is and not marked
+        degraded (it got exactly what it asked for).
+        """
+        if not self.brownout.degrade_method:
+            return request, False
+        if request.method is SolveMethod.ROBUST:
+            return request, False
+        return replace(request, method=SolveMethod.ROBUST), True
+
+    def _stamp_degraded(self, reply: dict) -> None:
+        reply["degraded"] = True
+        reply["degraded_stage"] = self.brownout.stage_name
+        self.instruments.degraded_responses.inc(
+            stage=self.brownout.stage_name
+        )
+
+    def _shed(self, request_id: str, admission_class: str) -> _Reply:
+        """Stage 4: clear the request before it touches the gate."""
+        self.instruments.brownout_shed.inc(
+            **{"class": admission_class}
+        )
+        retry_after = self._retry_after()
+        return _Reply(503, {
+            "id": request_id,
+            "error": {
+                "kind": "brownout_rejected",
+                "message": (
+                    "service is shedding load (brownout stage "
+                    f"{self.brownout.stage_name}); retry after the hint"
+                ),
+                "brownout_stage": self.brownout.stage_name,
+                "retry_after": retry_after,
+            },
+        }, {"Retry-After": str(max(1, math.ceil(retry_after)))})
+
+    def _serve_stale(self, request_id: str, request: SolveRequest) -> _Reply:
+        """Stage 3: a cache hit (stamped degraded) or a fast 503."""
+        hit = self.engine.cached_result(request)
+        if hit is None:
+            return self._shed(request_id, "solve")
+        reply = {
+            "id": request_id,
+            "result": encode_result(hit),
+            "coalesced": False,
+            "from_cache": True,
+            "elapsed_ms": 0.0,
+        }
+        self._stamp_degraded(reply)
+        return _Reply(200, reply)
+
+    def _serve_stale_batch(
+        self, request_id: str, requests: list[SolveRequest]
+    ) -> _Reply:
+        """Stage 3 for ``/batch``: hits served, misses marked failed."""
+        items = []
+        failures = 0
+        for request in requests:
+            hit = self.engine.cached_result(request)
+            if hit is None:
+                failures += 1
+                items.append({
+                    "failed": True,
+                    "kind": "degraded_unavailable",
+                    "request": request.to_dict(),
+                    "error_type": "BrownoutError",
+                    "error_message": (
+                        "stale-cache stage: not cached, not solving"
+                    ),
+                })
+            else:
+                items.append(encode_result(hit))
+        reply = {
+            "id": request_id,
+            "results": items,
+            "failed": failures,
+            "coalesced": 0,
+            "admission_weight": 0,
+            "elapsed_ms": 0.0,
+        }
+        self._stamp_degraded(reply)
+        return _Reply(200, reply)
+
+    def _deadline_exceeded(
+        self, request_id: str, budget: float | None, phase: str
+    ) -> _Reply:
+        """Structured 504: the client's budget ran out, work was shed."""
+        self.instruments.deadline_exceeded.inc(phase=phase)
+        return _Reply(504, {
+            "id": request_id,
+            "error": {
+                "kind": "deadline_exceeded",
+                "message": (
+                    "the request's deadline_ms budget expired in the "
+                    f"{phase} phase"
+                ),
+                "deadline_ms": (
+                    budget * 1e3 if budget is not None else None
+                ),
+                "phase": phase,
+            },
+        })
+
+    def _on_brownout_transition(
+        self, old: int, new: int, score: float
+    ) -> None:
+        self.instruments.brownout_transitions.inc(
+            **{"from": STAGE_NAMES[old], "to": STAGE_NAMES[new]}
+        )
 
     def _shutting_down(self, request_id: str) -> _Reply:
         return _Reply(503, {
@@ -614,7 +959,11 @@ class SolveService:
     # Execution: coalesce -> micro-batch -> engine
     # ------------------------------------------------------------------
 
-    async def _execute(self, request: SolveRequest) -> tuple[Any, bool]:
+    async def _execute(
+        self,
+        request: SolveRequest,
+        deadline_at: float | None = None,
+    ) -> tuple[Any, bool]:
         """One request's result plus whether it coalesced.
 
         Identical in-flight requests share a single engine computation:
@@ -624,22 +973,52 @@ class SolveService:
         computing.  A leader's terminal failure resolves the future
         with the engine's :class:`~repro.engine.FailedResult`, so
         followers receive the same envelope instead of hanging.
+
+        ``deadline_at`` (absolute ``time.monotonic()``) carries the
+        client's ``deadline_ms`` budget: the batcher drops the request
+        if it expires before its flush, and the await itself is bounded
+        (``asyncio.TimeoutError``) — the shield keeps a shared flight
+        alive for its other waiters when this one gives up.
         """
         key = request.cache_key
         future = self.flights.join(key)
         if future is not None:
             self.instruments.coalesce_hits.inc()
-            return await asyncio.shield(future), True
+            return await self._await_flight(future, deadline_at), True
         loop = asyncio.get_running_loop()
         future = self.flights.lead(key, loop)
         self.instruments.coalesce_leaders.inc()
-        self.batcher.submit(request, future)
-        return await asyncio.shield(future), False
+        self.batcher.submit(request, future, deadline_at)
+        return await self._await_flight(future, deadline_at), False
 
-    def _run_batch(self, requests: list[SolveRequest]) -> list[Any]:
-        """The flush runner (worker thread): one engine batch."""
+    @staticmethod
+    async def _await_flight(
+        future: asyncio.Future, deadline_at: float | None
+    ) -> Any:
+        shielded = asyncio.shield(future)
+        if deadline_at is None:
+            return await shielded
+        remaining = deadline_at - time.monotonic()
+        if remaining <= 0:
+            shielded.cancel()
+            raise asyncio.TimeoutError
+        return await asyncio.wait_for(shielded, remaining)
+
+    def _run_batch(
+        self,
+        requests: list[SolveRequest],
+        task_deadline: float | None = None,
+    ) -> list[Any]:
+        """The flush runner (worker thread): one engine batch.
+
+        ``task_deadline`` is the remaining wall-clock budget the
+        micro-batcher computed from its members' deadlines (None when
+        any member is unbounded); the engine bounds each fresh solve
+        attempt by it.
+        """
         return self.engine.evaluate_many(
-            requests, parallel=self.config.parallel, strict=False
+            requests, parallel=self.config.parallel, strict=False,
+            task_deadline=task_deadline,
         )
 
     def _observe_flush(self, batch_size: int, elapsed: float) -> None:
@@ -657,11 +1036,55 @@ async def _serve_async(
 ) -> None:
     service = SolveService(config, engine=engine)
     await service.start()
+    loop = asyncio.get_running_loop()
+    stop_now = asyncio.Event()
+    signals_seen = 0
+
+    def _on_signal() -> None:
+        # First signal: graceful drain (stop accepting, finish what was
+        # admitted, resolve coalesced followers).  Second: force exit.
+        nonlocal signals_seen
+        signals_seen += 1
+        if signals_seen == 1:
+            logger.warning("shutdown signal received; draining")
+
+            async def _drain_then_stop() -> None:
+                await service.drain()
+                stop_now.set()
+
+            loop.create_task(_drain_then_stop())
+        else:
+            logger.warning("second shutdown signal; forcing exit")
+            stop_now.set()
+
+    installed: list[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, _on_signal)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or unsupported platform
+
     try:
-        await service.serve_forever()
+        forever = loop.create_task(service.serve_forever())
+        stopper = loop.create_task(stop_now.wait())
+        await asyncio.wait(
+            {forever, stopper}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if not stopper.done() and service._draining:
+            # The listener closing is a *consequence* of the drain, not
+            # the end of it: keep the loop alive until the drain (or a
+            # second, forcing signal) sets stop_now, so in-flight
+            # replies are written before asyncio.run cancels tasks.
+            await stopper
     except asyncio.CancelledError:  # pragma: no cover - shutdown path
         pass
     finally:
+        for task in (forever, stopper):
+            task.cancel()
+        await asyncio.gather(forever, stopper, return_exceptions=True)
+        for sig in installed:
+            loop.remove_signal_handler(sig)
         await service.stop()
 
 
@@ -697,6 +1120,19 @@ class ServiceHandle:
     @property
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Run the graceful drain on the service loop; True if clean."""
+        if not self.thread.is_alive():
+            return True
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.drain(timeout), self.loop
+        )
+        budget = (
+            timeout if timeout is not None
+            else self.service.config.drain_timeout
+        )
+        return future.result(budget + 5.0)
 
     def stop(self, timeout: float = 10.0) -> None:
         """Stop serving, drain flushes, join the thread."""

@@ -1,0 +1,241 @@
+"""Wire-level chaos: the daemon under a deterministic fault plan.
+
+The suite drives :class:`ServiceFaultInjector` plans — stalled
+sockets, mid-request disconnects, delayed and killed engine flushes,
+a forced-open disk breaker — against a live daemon and asserts the
+three invariants the resilience work promises:
+
+* **no hung connections** — every well-formed request gets an answer,
+  every malformed peer is cut loose by a timeout;
+* **no leaked admission tokens** — ``admitted == released`` and
+  ``in_use == 0`` once the dust settles, whatever the fault;
+* **byte identity** — non-degraded responses match the local solver
+  exactly, faults or not.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+pytestmark = [pytest.mark.service, pytest.mark.chaos]
+
+from repro.api import SolveRequest, solve
+from repro.core.traffic import TrafficClass
+from repro.engine import (
+    BatchSolver,
+    EngineConfig,
+    ServiceFault,
+    ServiceFaultInjector,
+    ServiceFaultPlan,
+)
+from repro.engine.chaos import (
+    KIND_CLIENT_DISCONNECT,
+    KIND_CLIENT_STALL,
+    KIND_ENGINE_DELAY,
+    KIND_ENGINE_ERROR,
+)
+from repro.exceptions import ConfigurationError
+from repro.service import (
+    BrownoutConfig,
+    ServiceClient,
+    ServiceConfig,
+    start_in_thread,
+)
+
+
+def point_request(n: int, rate: float = 0.01) -> SolveRequest:
+    return SolveRequest.square(n, [TrafficClass.poisson(rate)])
+
+
+def assert_byte_identical(remote, local) -> None:
+    assert remote == local
+    for field in ("blocking", "throughput", "mean_occupancy",
+                  "utilization"):
+        r, l = getattr(remote, field), getattr(local, field)
+        if isinstance(r, float):
+            assert r.hex() == l.hex(), field
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+
+
+def test_fault_plan_is_seed_deterministic():
+    kwargs = dict(stalls=2, disconnects=2, engine_delays=2,
+                  engine_errors=1, flushes=12, breaker_open=True)
+    assert ServiceFaultPlan.from_seed(7, **kwargs) == \
+        ServiceFaultPlan.from_seed(7, **kwargs)
+    plans = {
+        ServiceFaultPlan.from_seed(seed, **kwargs).faults
+        for seed in range(6)
+    }
+    assert len(plans) > 1  # seeds actually steer the victim flushes
+
+
+def test_fault_plan_rejects_overcommitted_flushes():
+    with pytest.raises(ConfigurationError):
+        ServiceFaultPlan.from_seed(1, engine_errors=5, flushes=3)
+
+
+def test_fault_kind_is_validated():
+    with pytest.raises(ConfigurationError):
+        ServiceFault(kind="cosmic-ray")
+
+
+def test_engine_fault_lookup_by_flush_index():
+    plan = ServiceFaultPlan(faults=(
+        ServiceFault(kind=KIND_ENGINE_DELAY, flush=3, duration=0.1),
+        ServiceFault(kind=KIND_ENGINE_ERROR, flush=5),
+        ServiceFault(kind=KIND_CLIENT_STALL),
+    ))
+    assert plan.engine_fault(3).kind == KIND_ENGINE_DELAY
+    assert plan.engine_fault(5).kind == KIND_ENGINE_ERROR
+    assert plan.engine_fault(0) is None
+    assert len(plan.client_faults) == 1
+    assert not plan.wants_breaker_open
+
+
+# ----------------------------------------------------------------------
+# The full suite: every fault surface against one live daemon
+# ----------------------------------------------------------------------
+
+
+SOLVE_COUNT = 10
+
+
+@pytest.mark.parametrize("seed", [3, 17, 92])
+def test_daemon_survives_full_fault_plan(seed):
+    plan = ServiceFaultPlan.from_seed(
+        seed,
+        stalls=2,
+        disconnects=2,
+        engine_delays=1,
+        engine_errors=1,
+        flushes=SOLVE_COUNT,
+        delay_duration=0.15,
+    )
+    injector = ServiceFaultInjector(plan)
+    engine = BatchSolver(EngineConfig())
+    config = ServiceConfig(
+        port=0, batch_window=0.005, gate_capacity=16,
+        read_timeout=0.5,
+        brownout=BrownoutConfig(enabled=False),
+    )
+    with start_in_thread(config, engine=engine) as handle:
+        service = handle.service
+        service.batcher._runner = injector.wrap_runner(service._run_batch)
+        host, port = handle.address
+
+        # Surface 1: slow-loris connections held open for the duration.
+        stalled = [
+            injector.stalled_socket(host, port)
+            for f in plan.client_faults if f.kind == KIND_CLIENT_STALL
+        ]
+
+        # Surface 2: complete requests whose client vanishes pre-reply.
+        body = json.dumps(
+            {"request": point_request(12, rate=0.02).to_dict()}
+        ).encode("utf-8")
+        for fault in plan.client_faults:
+            if fault.kind == KIND_CLIENT_DISCONNECT:
+                injector.disconnect_mid_request(host, port, body)
+
+        # Surface 3: the engine faults fire on their planned flush
+        # indices while normal traffic flows.
+        client = ServiceClient(host, port, timeout=30.0)
+        for i in range(SOLVE_COUNT):
+            request = point_request(4 + i)
+            began = time.monotonic()
+            remote = client.solve(request)
+            assert time.monotonic() - began < 20.0  # no hung connection
+            assert_byte_identical(remote, solve(request))
+            raw = client.solve_raw(request)
+            assert "degraded" not in raw  # non-degraded stays unmarked
+
+        # Every planned engine fault actually fired (flush indices are
+        # all < SOLVE_COUNT and we ran at least that many flushes).
+        fired_kinds = [kind for kind, _ in injector.fired]
+        assert fired_kinds.count(KIND_ENGINE_DELAY) >= 1
+        assert fired_kinds.count(KIND_ENGINE_ERROR) >= 1
+        assert fired_kinds.count(KIND_CLIENT_STALL) == 2
+        assert fired_kinds.count(KIND_CLIENT_DISCONNECT) == 2
+
+        # The killed flush was supervised: respawn + requeue, invisible
+        # to callers.
+        assert service.batcher.worker_respawns >= 1
+
+        # Zero leaked admission tokens, whatever the disconnects did.
+        deadline = time.monotonic() + 10.0
+        while service.gate.in_use and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert service.gate.in_use == 0
+        assert service.gate.admitted == service.gate.released
+        assert service.instruments._inflight_count == 0
+        assert len(service.flights) == 0
+
+        # The stalled sockets were cut loose by the read timeout, not
+        # left pinning the daemon.
+        for sock in stalled:
+            sock.settimeout(5.0)
+            tail = b""
+            try:
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    tail += chunk
+            finally:
+                sock.close()
+            assert tail == b"" or b"408" in tail
+
+
+def test_stalled_peer_does_not_block_live_traffic():
+    engine = BatchSolver(EngineConfig())
+    config = ServiceConfig(
+        port=0, batch_window=0.005, read_timeout=2.0,
+        brownout=BrownoutConfig(enabled=False),
+    )
+    with start_in_thread(config, engine=engine) as handle:
+        injector = ServiceFaultInjector(
+            ServiceFaultPlan.from_seed(5, stalls=1)
+        )
+        sock = injector.stalled_socket(*handle.address)
+        try:
+            client = ServiceClient(*handle.address)
+            request = point_request(6)
+            began = time.monotonic()
+            remote = client.solve(request)
+            # The solve completed long before the loris timed out.
+            assert time.monotonic() - began < 2.0
+            assert_byte_identical(remote, solve(request))
+        finally:
+            sock.close()
+
+
+def test_forced_breaker_open_registers_as_pressure(tmp_path):
+    engine = BatchSolver(EngineConfig(disk_cache=tmp_path / "cache"))
+    config = ServiceConfig(
+        port=0, batch_window=0.005,
+        brownout=BrownoutConfig(enabled=True, interval=60.0),
+    )
+    with start_in_thread(config, engine=engine) as handle:
+        injector = ServiceFaultInjector(
+            ServiceFaultPlan.from_seed(9, breaker_open=True)
+        )
+        assert injector.plan.wants_breaker_open
+        injector.force_breaker_open(engine.disk.breaker)
+        assert engine.disk.breaker.state == "open"
+
+        client = ServiceClient(*handle.address)
+        # The controller sees the open breaker as pressure ...
+        health = client.health()
+        assert health["brownout"]["pressure"]["breaker"] == \
+            pytest.approx(0.6)
+        # ... and the daemon keeps solving (the breaker may half-open
+        # and recover on the probe; service is never interrupted).
+        request = point_request(5)
+        assert_byte_identical(client.solve(request), solve(request))

@@ -1,0 +1,278 @@
+"""Client-side resilience: retries, backoff, retry_after, hedging.
+
+The retry loop is deterministic (no jitter), so the unit tests pin the
+exact sleep sequence: each delay is the *longer* of the server's
+``retry_after`` hint and the exponential backoff curve.  504s are
+final by contract — the budget is spent, a retry cannot un-spend it.
+Hedging is exercised both with a monkeypatched transport (deterministic
+winner) and end to end against a fault-injected daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+pytestmark = pytest.mark.service
+
+from repro.api import SolveRequest, solve
+from repro.core.traffic import TrafficClass
+from repro.engine import (
+    BatchSolver,
+    EngineConfig,
+    ServiceFaultInjector,
+    ServiceFaultPlan,
+)
+from repro.exceptions import ConfigurationError
+from repro.service import (
+    AdmissionRejectedError,
+    BrownoutConfig,
+    DeadlineExceededError,
+    RetryPolicy,
+    ServiceClient,
+    ServiceConfig,
+    start_in_thread,
+)
+
+
+def point_request(n: int = 4, rate: float = 0.01) -> SolveRequest:
+    return SolveRequest.square(n, [TrafficClass.poisson(rate)])
+
+
+def rejected(retry_after: float) -> tuple[int, dict]:
+    return 503, {"error": {
+        "kind": "admission_rejected",
+        "message": "gate full",
+        "retry_after": retry_after,
+    }}
+
+
+OK_ENVELOPE = (200, {"id": "r-1", "result": {"ok": True}})
+
+
+def make_client(policy: RetryPolicy, script) -> tuple[ServiceClient, list]:
+    """A client whose transport replays ``script`` and records sleeps."""
+    sleeps: list[float] = []
+    client = ServiceClient(
+        "127.0.0.1", 1, retry=policy, sleep=sleeps.append
+    )
+    replies = iter(script)
+
+    def fake_roundtrip(method, path, payload=None):
+        reply = next(replies)
+        if isinstance(reply, Exception):
+            raise reply
+        return reply
+
+    client._roundtrip = fake_roundtrip
+    return client, sleeps
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+
+
+def test_backoff_curve_doubles_and_caps():
+    policy = RetryPolicy(max_retries=5, backoff_base=0.1, backoff_cap=0.5)
+    assert policy.backoff(1) == pytest.approx(0.1)
+    assert policy.backoff(2) == pytest.approx(0.2)
+    assert policy.backoff(3) == pytest.approx(0.4)
+    assert policy.backoff(4) == pytest.approx(0.5)  # capped
+    assert policy.backoff(10) == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize("bad", [
+    dict(max_retries=-1),
+    dict(backoff_base=-0.1),
+    dict(backoff_cap=-1.0),
+    dict(hedge_after=0.0),
+    dict(hedge_after=-1.0),
+])
+def test_retry_policy_rejects_bad_knobs(bad):
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(**bad)
+
+
+# ----------------------------------------------------------------------
+# Retry loop (monkeypatched transport)
+# ----------------------------------------------------------------------
+
+
+def test_default_policy_does_not_retry():
+    client, sleeps = make_client(RetryPolicy(), [rejected(0.5)])
+    with pytest.raises(AdmissionRejectedError):
+        client.solve_raw(point_request())
+    assert client.retries == 0
+    assert sleeps == []
+
+
+def test_503_retry_honors_server_hint_when_longer():
+    client, sleeps = make_client(
+        RetryPolicy(max_retries=3, backoff_base=0.05),
+        [rejected(0.7), rejected(0.7), OK_ENVELOPE],
+    )
+    envelope = client.solve_raw(point_request())
+    assert envelope["result"] == {"ok": True}
+    assert client.retries == 2
+    # hint (0.7) > backoff (0.05, 0.1) on both sleeps
+    assert sleeps == [pytest.approx(0.7), pytest.approx(0.7)]
+
+
+def test_503_retry_uses_backoff_when_hint_is_shorter():
+    client, sleeps = make_client(
+        RetryPolicy(max_retries=3, backoff_base=0.2),
+        [rejected(0.01), rejected(0.01), OK_ENVELOPE],
+    )
+    client.solve_raw(point_request())
+    assert sleeps == [pytest.approx(0.2), pytest.approx(0.4)]
+
+
+def test_retries_exhaust_and_reraise():
+    client, sleeps = make_client(
+        RetryPolicy(max_retries=2),
+        [rejected(0.1), rejected(0.1), rejected(0.1)],
+    )
+    with pytest.raises(AdmissionRejectedError):
+        client.solve_raw(point_request())
+    assert client.retries == 2
+    assert len(sleeps) == 2
+
+
+def test_transport_errors_retry_with_backoff():
+    client, sleeps = make_client(
+        RetryPolicy(max_retries=2, backoff_base=0.03),
+        [ConnectionResetError("boom"), OK_ENVELOPE],
+    )
+    envelope = client.solve_raw(point_request())
+    assert envelope["result"] == {"ok": True}
+    assert client.retries == 1
+    assert sleeps == [pytest.approx(0.03)]
+
+
+def test_504_is_never_retried():
+    calls = {"n": 0}
+    client = ServiceClient(
+        "127.0.0.1", 1,
+        retry=RetryPolicy(max_retries=5), sleep=lambda _s: None,
+    )
+
+    def fake_roundtrip(method, path, payload=None):
+        calls["n"] += 1
+        return 504, {"error": {
+            "kind": "deadline_exceeded", "phase": "wait",
+            "message": "budget expired", "deadline_ms": 50.0,
+        }}
+
+    client._roundtrip = fake_roundtrip
+    with pytest.raises(DeadlineExceededError) as excinfo:
+        client.solve_raw(point_request(), deadline_ms=50)
+    assert excinfo.value.phase == "wait"
+    assert calls["n"] == 1  # the budget is spent; retrying is senseless
+    assert client.retries == 0
+
+
+# ----------------------------------------------------------------------
+# Hedging (monkeypatched transport)
+# ----------------------------------------------------------------------
+
+
+def test_hedge_fires_after_threshold_and_second_wins():
+    release_first = threading.Event()
+    calls = {"n": 0}
+    lock = threading.Lock()
+    client = ServiceClient(
+        "127.0.0.1", 1,
+        retry=RetryPolicy(hedge_after=0.05),
+    )
+
+    def fake_roundtrip(method, path, payload=None):
+        with lock:
+            calls["n"] += 1
+            mine = calls["n"]
+        if mine == 1:
+            release_first.wait(5.0)  # the stuck primary
+        return OK_ENVELOPE
+
+    client._roundtrip = fake_roundtrip
+    try:
+        envelope = client.solve_raw(point_request())
+        assert envelope["result"] == {"ok": True}
+        assert client.hedges == 1
+        assert client.hedges_won == 1
+        assert calls["n"] == 2
+    finally:
+        release_first.set()
+
+
+def test_fast_primary_never_hedges():
+    client = ServiceClient(
+        "127.0.0.1", 1, retry=RetryPolicy(hedge_after=5.0),
+    )
+    client._roundtrip = lambda method, path, payload=None: OK_ENVELOPE
+    client.solve_raw(point_request())
+    assert client.hedges == 0
+    assert client.hedges_won == 0
+
+
+# ----------------------------------------------------------------------
+# End to end against a fault-injected daemon
+# ----------------------------------------------------------------------
+
+
+def test_retries_ride_out_a_saturated_gate():
+    config = ServiceConfig(
+        port=0, batch_window=0.005, gate_capacity=1, min_hold=0.2,
+        brownout=BrownoutConfig(enabled=False),
+    )
+    with start_in_thread(
+        config, engine=BatchSolver(EngineConfig())
+    ) as handle:
+        blocker = ServiceClient(*handle.address)
+        patient = ServiceClient(
+            *handle.address,
+            retry=RetryPolicy(max_retries=10, backoff_base=0.05),
+        )
+        request = point_request(6)
+        local = solve(request)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            occupant = pool.submit(blocker.solve, point_request(5))
+            time.sleep(0.05)  # let it take the only token
+            assert patient.solve(request) == local
+            occupant.result(10.0)
+        assert patient.retries >= 1
+
+
+def test_hedging_against_a_delayed_engine():
+    injector = ServiceFaultInjector(
+        ServiceFaultPlan.from_seed(
+            4, engine_delays=1, flushes=1, delay_duration=0.4
+        )
+    )
+    config = ServiceConfig(
+        port=0, batch_window=0.005,
+        brownout=BrownoutConfig(enabled=False),
+    )
+    with start_in_thread(
+        config, engine=BatchSolver(EngineConfig())
+    ) as handle:
+        service = handle.service
+        service.batcher._runner = injector.wrap_runner(service._run_batch)
+        client = ServiceClient(
+            *handle.address,
+            retry=RetryPolicy(hedge_after=0.1),
+        )
+        request = point_request(7)
+        remote = client.solve(request)
+        assert remote == solve(request)
+        # The delayed first flush forced the hedge; the duplicate
+        # coalesced onto the same in-flight solve (single-flight), so
+        # whichever copy answers first carries the identical bytes.
+        assert client.hedges == 1
+        deadline = time.monotonic() + 5.0
+        while service.gate.in_use and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert service.gate.in_use == 0
