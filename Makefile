@@ -1,6 +1,6 @@
 # Convenience targets for the crossbar reproduction library.
 
-.PHONY: install test test-fast verify bench report examples validate all
+.PHONY: install test test-fast verify bench report examples validate smoke all
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,5 +30,10 @@ examples:
 
 validate:
 	python -m repro validate --n 8 --poisson 0.01 --pascal 0.005:0.2
+
+# Live end-to-end drills: one daemon, then a 4-worker sharded fleet.
+smoke:
+	timeout 180 python tools/service_smoke.py
+	timeout 300 python tools/cluster_smoke.py
 
 all: test bench report

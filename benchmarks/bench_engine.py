@@ -28,6 +28,15 @@ level and the overall coalesce hit-rate (asserted: every sampled wire
 result equals the local solve; the timings are recorded for trend
 tracking).
 
+A sixth section, **service_cluster**, boots a 4-worker sharded fleet
+and drives it with the ``repro.loadgen`` harness (client-side direct
+sharding, 256 closed-loop users).  Asserted: byte-identical results
+from every worker, best-of-3 throughput at least 3x the single-worker
+service section, measured Poisson 503 blocking within 0.13 of the
+offered-load-weighted Erlang-B prediction, and bursty traffic
+(``burst_mean=3``) blocking strictly above the Poisson run — the
+source paper's central claim, re-proved on the serving tier.
+
 Run ``python benchmarks/bench_engine.py --quick`` for the CI-sized
 variant.
 """
@@ -286,6 +295,191 @@ def bench_service(n_requests: int) -> dict:
     }
 
 
+def bench_service_cluster(single_worker_rps: float) -> dict:
+    """The 4-worker sharded fleet vs one daemon, plus the loss-system leg.
+
+    Throughput: 256 closed-loop users from one generator process drive
+    the workers directly (client-side hash sharding); best of three
+    4-second trials, each preceded by a 2-second settle so teardown
+    work from the previous trial cannot bleed in.  The floor is 3x the
+    single-worker service section's 64-client figure.
+
+    Blocking: a second fleet is squeezed into a real loss system
+    (2 admission tokens, 50 ms minimum hold) and offered open-loop
+    traffic.  Pure Poisson arrivals must land within 0.13 of the
+    per-shard Erlang-B prediction; geometric batches of mean 3 must
+    block strictly more — the paper's bursty-traffic effect, measured
+    on the serving tier instead of the crossbar.
+    """
+    import http.client
+    import tempfile
+
+    from repro.api import solve
+    from repro.loadgen import LoadSpec, expected_fleet_blocking, run_load
+    from repro.service import (
+        ClusterConfig,
+        ServiceConfig,
+        start_cluster_in_thread,
+    )
+    from repro.service.protocol import decode_result
+
+    pool_requests = [
+        SolveRequest.square(n, SWEEP_CLASSES) for n in (4, 6, 8, 10)
+    ]
+    local = {r.cache_key: solve(r) for r in pool_requests}
+    workers = 4
+
+    def wire_result(address: tuple[str, int], request) -> tuple[str, object]:
+        """(canonical solution bytes, decoded result) from one worker.
+
+        ``from_cache`` is provenance (warmed owner vs cold peer), not
+        part of the answer, so it is stripped before comparing bytes.
+        """
+        connection = http.client.HTTPConnection(*address, timeout=30.0)
+        try:
+            connection.request(
+                "POST", "/solve",
+                body=json.dumps({"request": request.to_dict()}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            envelope = json.loads(response.read().decode())
+            assert response.status == 200, envelope
+        finally:
+            connection.close()
+        fragment = dict(envelope["result"])
+        fragment.pop("from_cache", None)
+        return (
+            json.dumps(fragment, sort_keys=True),
+            decode_result(envelope["result"]),
+        )
+
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as cache_dir:
+        config = ServiceConfig(
+            port=0, gate_capacity=256, batch_window=0.001,
+            cluster=ClusterConfig(workers=workers, cache_dir=cache_dir),
+        )
+        with start_cluster_in_thread(config) as handle:
+            from repro.service import ServiceClient
+
+            chart = ServiceClient(*handle.address).cluster_map()
+            assert chart is not None and chart["workers"] == workers
+            addresses = [
+                (entry["host"], entry["port"])
+                for entry in chart["shards"]
+            ]
+
+            # Byte identity across the whole fleet (also warms every
+            # worker's cache for every key in the mix).
+            for request in pool_requests:
+                fragments = set()
+                for address in addresses:
+                    payload, decoded = wire_result(address, request)
+                    fragments.add(payload)
+                    assert decoded == local[request.cache_key], (
+                        f"worker {address} diverged from the local solve"
+                    )
+                assert len(fragments) == 1, (
+                    f"workers disagreed on result bytes for {request.dims}"
+                )
+
+            spec = LoadSpec(
+                generators=1, connections=256, duration=4.0,
+                mode="closed", sizes=(4, 6, 8, 10), warmup=2,
+            )
+            trials = []
+            best = None
+            for _ in range(3):
+                time.sleep(2.0)  # let the previous trial's teardown drain
+                report = run_load(spec, *handle.address)
+                assert report.errors == 0 and report.completed > 0
+                trials.append(report.throughput_rps)
+                if best is None or report.throughput_rps > best.throughput_rps:
+                    best = report
+
+    speedup = (
+        best.throughput_rps / single_worker_rps
+        if single_worker_rps > 0 else float("inf")
+    )
+    assert speedup >= 3.0, (
+        f"4-worker fleet at {best.throughput_rps:.0f} req/s is only "
+        f"{speedup:.2f}x the single worker ({single_worker_rps:.0f} "
+        "req/s); the floor is 3x"
+    )
+
+    # -- the loss-system leg: Erlang-B fidelity, then burstiness ------
+    servers, hold = 2, 0.05
+    loss_config = ServiceConfig(
+        port=0, gate_capacity=servers, point_weight=1.0,
+        min_hold=hold, batch_window=0.001,
+        cluster=ClusterConfig(workers=workers),
+    )
+    loss_spec = LoadSpec(
+        generators=2, connections=256, duration=10.0, mode="open",
+        rate=160.0, sizes=tuple(range(3, 15)), warmup=2,
+    )
+    blocking = {}
+    for burst_mean in (1.0, 3.0):
+        with start_cluster_in_thread(loss_config) as handle:
+            import dataclasses
+
+            report = run_load(
+                dataclasses.replace(loss_spec, burst_mean=burst_mean),
+                *handle.address,
+            )
+        assert report.errors == 0
+        blocking[burst_mean] = {
+            "burst_mean": burst_mean,
+            "offered": report.offered,
+            "measured": report.blocking_measured,
+            "expected_erlang_b": expected_fleet_blocking(
+                report, servers=servers, hold_s=hold
+            ),
+        }
+
+    tolerance = 0.13
+    poisson = blocking[1.0]
+    delta = abs(poisson["measured"] - poisson["expected_erlang_b"])
+    assert delta <= tolerance, (
+        f"Poisson fleet blocking {poisson['measured']:.3f} is "
+        f"{delta:.3f} from the Erlang-B prediction "
+        f"{poisson['expected_erlang_b']:.3f} (tolerance {tolerance})"
+    )
+    bursty = blocking[3.0]
+    assert bursty["measured"] > poisson["measured"], (
+        f"bursty blocking {bursty['measured']:.3f} did not exceed the "
+        f"Poisson run's {poisson['measured']:.3f} — the paper's effect "
+        "should survive the serving tier"
+    )
+
+    return {
+        "workers": workers,
+        "throughput": {
+            "connections": spec.connections,
+            "trial_rps": trials,
+            "best_rps": best.throughput_rps,
+            "single_worker_rps": single_worker_rps,
+            "speedup": speedup,
+            "min_speedup": 3.0,
+            "p50_ms": best.latency_ms(0.50),
+            "p99_ms": best.latency_ms(0.99),
+            "per_shard": {
+                str(shard): dict(counts)
+                for shard, counts in sorted(best.per_shard.items())
+            },
+        },
+        "blocking": {
+            "servers_per_shard": servers,
+            "hold_s": hold,
+            "tolerance": tolerance,
+            "poisson": {**poisson, "delta": delta},
+            "bursty": bursty,
+            "bursty_exceeds_poisson": True,
+        },
+        "identical": True,
+    }
+
+
 def bench_service_degraded(n_requests: int) -> dict:
     """The daemon at every brownout stage: what degrading actually buys.
 
@@ -430,6 +624,9 @@ def main(argv=None) -> int:
     robust = bench_robust_availability()
     resilience = bench_resilience_overhead(16 if args.quick else 50)
     service = bench_service(128 if args.quick else 512)
+    service_cluster = bench_service_cluster(
+        service["levels"]["64"]["throughput_rps"]
+    )
     service_degraded = bench_service_degraded(32 if args.quick else 96)
 
     report = {
@@ -439,6 +636,7 @@ def main(argv=None) -> int:
         "robust_availability": robust,
         "resilience_overhead": resilience,
         "service": service,
+        "service_cluster": service_cluster,
         "service_degraded": service_degraded,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
@@ -452,6 +650,11 @@ def main(argv=None) -> int:
         f"service {service['levels']['64']['throughput_rps']:.0f} req/s "
         f"@64 clients (p99 {service['levels']['64']['p99_ms']:.1f}ms, "
         f"coalesce {service['coalesce_hit_rate']:.0%}); "
+        f"cluster x{service_cluster['workers']} "
+        f"{service_cluster['throughput']['best_rps']:.0f} req/s "
+        f"({service_cluster['throughput']['speedup']:.1f}x, "
+        f"Erlang-B delta "
+        f"{service_cluster['blocking']['poisson']['delta']:.3f}); "
         f"brownout fast-503 clears at "
         f"{service_degraded['stages']['fast-503']['throughput_rps']:.0f}"
         f" req/s "

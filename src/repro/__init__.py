@@ -38,8 +38,17 @@ Package map
 * :mod:`repro.multistage` -- multistage-network extension (Section 8);
 * :mod:`repro.robust` -- fault models, degraded-mode analysis and the
   resilient solver facade (``solve_robust``);
+* :mod:`repro.service` -- the JSON/HTTP solve-serving daemon and the
+  sharded multi-worker cluster supervisor (``ServiceConfig`` is the
+  typed way to configure either);
+* :mod:`repro.loadgen` -- the declarative cluster load harness
+  (``LoadSpec -> run_load -> LoadReport``);
 * :mod:`repro.workloads` -- the paper's figure/table scenarios;
 * :mod:`repro.reporting` -- text tables and series for the benchmarks.
+
+Serving and load-generation names (``ServiceConfig``, ``ServiceClient``,
+``serve_cluster``, ``LoadSpec``, ...) are promoted to this namespace but
+imported lazily, so ``import repro`` stays cheap for pure-analysis use.
 """
 
 from .api import SolveRequest, SolveResult, solve, solve_many
@@ -91,9 +100,45 @@ from .robust import (
     solve_robust,
 )
 
+#: Serving / load-harness names promoted to the package namespace but
+#: resolved on first access (PEP 562), keeping ``import repro`` cheap.
+_LAZY_EXPORTS = {
+    "ClusterConfig": ".service",
+    "ClusterSupervisor": ".service",
+    "LoadReport": ".loadgen",
+    "LoadSpec": ".loadgen",
+    "RetryPolicy": ".service",
+    "ServiceClient": ".service",
+    "ServiceConfig": ".service",
+    "expected_fleet_blocking": ".loadgen",
+    "run_load": ".loadgen",
+    "serve": ".service",
+    "serve_cluster": ".service",
+    "start_cluster_in_thread": ".service",
+    "start_in_thread": ".service",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    from importlib import import_module
+
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
 #: Version of last resort when the distribution metadata is absent
 #: (e.g. running from a source checkout via ``PYTHONPATH=src``).
-_FALLBACK_VERSION = "1.1.0"
+_FALLBACK_VERSION = "1.2.0"
 
 
 def _detect_version() -> str:
@@ -111,8 +156,21 @@ __version__ = _detect_version()
 
 __all__ = [
     "AsymptoticSolution",
+    "ClusterConfig",
+    "ClusterSupervisor",
     "CrossbarModel",
     "ComputationError",
+    "LoadReport",
+    "LoadSpec",
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceConfig",
+    "expected_fleet_blocking",
+    "run_load",
+    "serve",
+    "serve_cluster",
+    "start_cluster_in_thread",
+    "start_in_thread",
     "carried_peakedness",
     "concurrency_covariance",
     "concurrency_variance",

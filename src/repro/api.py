@@ -26,8 +26,9 @@ True
   process-wide default :class:`~repro.engine.BatchSolver`; batches get
   Q-grid sharing, memoization and optional process parallelism.
 
-The legacy keyword form ``solve(dims, classes, method=...)`` keeps
-working for one release behind a :class:`DeprecationWarning`.
+The legacy keyword form ``solve(dims, classes, method=...)`` still
+works behind a :class:`DeprecationWarning` but is scheduled for
+removal in version 2.0 — see ``docs/api.md`` for the migration table.
 """
 
 from __future__ import annotations
@@ -139,11 +140,17 @@ class SolveRequest:
 
         Class order does not affect the product-form measures, so two
         requests differing only by class permutation share one key (and
-        therefore one cached solve).
+        therefore one cached solve).  Memoized on the (frozen)
+        instance: the serving hot path reads it several times per
+        request and the canonicalization is not free.
         """
-        from .engine.keys import request_key
+        key = self.__dict__.get("_cache_key_memo")
+        if key is None:
+            from .engine.keys import request_key
 
-        return request_key(self.dims, self.classes, self.method)
+            key = request_key(self.dims, self.classes, self.method)
+            object.__setattr__(self, "_cache_key_memo", key)
+        return key
 
     def with_dims(self, dims: "SwitchDimensions | int") -> "SolveRequest":
         """Same traffic and method on a different switch."""
@@ -349,8 +356,9 @@ def _legacy_request(
     method: SolveMethod | str | None,
 ) -> SolveRequest:
     warnings.warn(
-        "solve(dims, classes, method=...) is deprecated; pass a "
-        "SolveRequest: solve(SolveRequest(dims, classes, method))",
+        "solve(dims, classes, method=...) is deprecated and will be "
+        "removed in 2.0; pass a SolveRequest: "
+        "solve(SolveRequest(dims, classes, method))",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -371,7 +379,8 @@ def solve(
 
     The engine memoizes: repeated calls with an equivalent request are
     served from cache.  The legacy form ``solve(dims, classes,
-    method=...)`` still works but emits a :class:`DeprecationWarning`.
+    method=...)`` still works but emits a :class:`DeprecationWarning`
+    and will be removed in version 2.0.
     """
     if not isinstance(request, SolveRequest):
         if classes is None:

@@ -296,51 +296,80 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="run the asyncio solve-serving daemon (see docs/service.md)",
+        help="run the solve-serving daemon or a sharded cluster of them "
+             "(see docs/service.md)",
     )
-    p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, default=8377)
+    # Every knob defaults to "not given" so ServiceConfig.load() can
+    # layer defaults < --config TOML < REPRO_SERVICE_* env < flags.
     p.add_argument(
-        "--gate-capacity", type=int, default=64, metavar="TOKENS",
+        "--config", metavar="FILE", default=None,
+        help="TOML service config ([service] / [service.brownout] / "
+             "[cluster] sections; flags and env override it)",
+    )
+    p.add_argument("--host", default=None)
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument(
+        "--gate-capacity", type=int, default=None, metavar="TOKENS",
         help="admission tokens; full gate => 503, blocked calls cleared "
              "(default 64)",
     )
     p.add_argument(
-        "--point-weight", type=int, default=1, metavar="TOKENS",
+        "--point-weight", type=int, default=None, metavar="TOKENS",
         help="tokens one /solve request holds (default 1)",
     )
     p.add_argument(
-        "--batch-member-weight", type=int, default=1, metavar="TOKENS",
+        "--batch-member-weight", type=int, default=None, metavar="TOKENS",
         help="tokens per member of a /batch request (default 1)",
     )
     p.add_argument(
-        "--batch-window", type=float, default=0.002, metavar="SECONDS",
+        "--batch-window", type=float, default=None, metavar="SECONDS",
         help="micro-batch collection window (default 2ms)",
     )
     p.add_argument(
-        "--max-batch", type=int, default=256, metavar="N",
+        "--max-batch", type=int, default=None, metavar="N",
         help="flush as soon as this many requests are pending",
     )
     p.add_argument(
-        "--min-hold", type=float, default=0.0, metavar="SECONDS",
+        "--min-hold", type=float, default=None, metavar="SECONDS",
         help="artificial admission-token holding time (load emulation; "
              "default 0)",
     )
     p.add_argument(
-        "--read-timeout", type=float, default=10.0, metavar="SECONDS",
+        "--read-timeout", type=float, default=None, metavar="SECONDS",
         help="slow-loris bound: close connections that take longer than "
              "this to deliver a request head or body (0 disables; "
              "default 10)",
     )
     p.add_argument(
-        "--write-timeout", type=float, default=10.0, metavar="SECONDS",
+        "--write-timeout", type=float, default=None, metavar="SECONDS",
         help="abort connections whose peer stops draining the reply "
              "(0 disables; default 10)",
     )
     p.add_argument(
-        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
         help="how long a SIGTERM drain waits for in-flight work before "
              "stopping anyway (default 10)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes; above 1 runs the sharded cluster "
+             "supervisor (default 1)",
+    )
+    p.add_argument(
+        "--shard-strategy", default=None, metavar="MODE",
+        choices=("hash", "reuseport"),
+        help="cluster routing: 'hash' (consistent-hash router over "
+             "canonical keys, the default) or 'reuseport' (kernel "
+             "SO_REUSEPORT spraying; needs a fixed --port)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared disk-cache directory handed to every worker",
+    )
+    p.add_argument(
+        "--start-method", default=None, metavar="METHOD",
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for workers (default: auto)",
     )
     p.add_argument(
         "--no-brownout", action="store_true",
@@ -348,8 +377,38 @@ def build_parser() -> argparse.ArgumentParser:
              "the gate alone sheds load)",
     )
     p.add_argument(
+        "--no-keepalive", action="store_true",
+        help="close every connection after one response (pre-1.2 wire "
+             "behavior)",
+    )
+    p.add_argument(
         "--verbose", action="store_true",
         help="structured request logs on stderr",
+    )
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a daemon or cluster with a declarative load spec "
+             "and print the merged report",
+    )
+    p.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="TOML load spec ([loadgen] section; defaults used if "
+             "omitted)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8377)
+    p.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="override the spec's measured duration",
+    )
+    p.add_argument(
+        "--mode", default=None, choices=("open", "closed"),
+        help="override the spec's arrival mode",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of a summary table",
     )
 
     p = sub.add_parser(
@@ -566,6 +625,8 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
 
     if args.command == "solve" and getattr(args, "config", None):
         from .io import load_model
@@ -849,8 +910,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """``crossbar-repro serve``: run the daemon until interrupted."""
-    from .service import BrownoutConfig, ServiceConfig, serve
+    """``crossbar-repro serve``: run the daemon (or cluster) until
+    interrupted.  Config precedence: defaults < ``--config`` TOML <
+    ``REPRO_SERVICE_*`` env < explicit flags."""
+    import os
+
+    from .service import ServiceConfig, serve, serve_cluster
 
     if args.verbose:
         import logging as _logging
@@ -858,33 +923,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from .logging import configure
 
         configure(_logging.INFO)
-    config = ServiceConfig(
-        host=args.host,
-        port=args.port,
-        gate_capacity=args.gate_capacity,
-        point_weight=args.point_weight,
-        batch_member_weight=args.batch_member_weight,
-        batch_window=args.batch_window,
-        max_batch=args.max_batch,
-        min_hold=args.min_hold,
-        read_timeout=args.read_timeout or None,
-        write_timeout=args.write_timeout or None,
-        drain_timeout=args.drain_timeout,
-        brownout=BrownoutConfig(enabled=not args.no_brownout),
+    config = ServiceConfig.load(
+        toml_path=args.config, environ=os.environ, args=args
     )
-    print(
-        f"serving on http://{config.host}:{config.port} "
-        f"(gate {config.gate_capacity} tokens, "
-        f"window {config.batch_window:g}s; Ctrl-C to stop)"
-    )
+    workers = config.cluster.workers
+    if workers > 1:
+        print(
+            f"serving cluster on http://{config.host}:{config.port} "
+            f"({workers} workers, {config.cluster.shard_strategy} "
+            f"sharding, gate {config.gate_capacity} tokens/worker; "
+            f"Ctrl-C to stop)"
+        )
+    else:
+        print(
+            f"serving on http://{config.host}:{config.port} "
+            f"(gate {config.gate_capacity} tokens, "
+            f"window {config.batch_window:g}s; Ctrl-C to stop)"
+        )
     try:
         # On 3.11+ asyncio.run turns Ctrl-C into a cancellation that the
         # daemon absorbs as its clean-shutdown path, so serve() returns
         # normally; older loops re-raise KeyboardInterrupt instead.
-        serve(config)
+        if workers > 1:
+            serve_cluster(config)
+        else:
+            serve(config)
     except KeyboardInterrupt:
         pass
     print("interrupted; shut down cleanly")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """``crossbar-repro loadgen``: run a load spec, print the report."""
+    import dataclasses as _dataclasses
+    import json as _json
+
+    from .loadgen import LoadSpec, run_load
+
+    spec = (
+        LoadSpec.from_toml(args.spec) if args.spec is not None
+        else LoadSpec()
+    )
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.mode is not None:
+        overrides["mode"] = args.mode
+    if overrides:
+        spec = _dataclasses.replace(spec, **overrides)
+    report = run_load(spec, args.host, args.port)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    record = report.to_dict()
+    print(
+        f"{spec.mode} loop, {spec.generators} generator(s) x "
+        f"{spec.connections} connections, {report.duration:.1f}s"
+    )
+    print(
+        f"offered {report.offered}  completed {report.completed}  "
+        f"rejected {report.rejected}  errors {report.errors}"
+    )
+    print(
+        f"throughput {report.throughput_rps:.1f} req/s   "
+        f"blocking {report.blocking_measured:.4f}"
+    )
+    latency = record["latency_ms"]
+    print(
+        f"latency ms: mean {latency['mean']:.2f}  "
+        f"p50 {latency['p50']:.2f}  p90 {latency['p90']:.2f}  "
+        f"p99 {latency['p99']:.2f}"
+    )
+    for shard, counts in sorted(report.per_shard.items()):
+        label = "unsharded" if shard < 0 else f"shard {shard}"
+        print(
+            f"  {label}: ok {counts['ok']}  "
+            f"rejected {counts['rejected']}"
+        )
     return 0
 
 

@@ -1090,19 +1090,31 @@ class BatchSolver:
         self._results.clear()
         self._solutions.clear()
 
-    def cached_result(self, request: SolveRequest) -> SolveResult | None:
+    def cached_result(
+        self, request: SolveRequest, memory_only: bool = False
+    ) -> SolveResult | None:
         """A cache-only lookup: memory then disk, never a solve.
 
         The brownout ladder's "stale-cache" stage serves exclusively
         from here — under that much pressure the daemon answers what it
         already knows and clears everything else.  Counts as a normal
         lookup in ``engine.stats``; returns None on a miss.
+
+        ``memory_only=True`` skips the disk tier entirely — the serving
+        daemon's cache-hot fast path calls this *on the event loop*, so
+        it must never block on file I/O.
         """
         if not isinstance(request, SolveRequest):
             raise ConfigurationError(
                 f"cached_result needs a SolveRequest, got {request!r}"
             )
         self.stats._add("lookups")
+        if memory_only:
+            hit = self._results.get(request.cache_key)
+            if hit is None:
+                return None
+            self.stats._add("memory_hits")
+            return self._adapt(hit, request)
         return self._lookup(request.cache_key, request)
 
     def _lookup(self, key: str, request: SolveRequest) -> SolveResult | None:

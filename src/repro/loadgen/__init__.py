@@ -1,0 +1,36 @@
+"""Declarative cluster load harness (spec -> generators -> report).
+
+The serving side of this repo reproduces the paper's loss-system
+behavior; this package reproduces its *offered traffic*: a
+:class:`~repro.loadgen.spec.LoadSpec` describes an experiment (BPP
+open-loop arrivals or closed-loop virtual users, request mix, seed),
+:func:`~repro.loadgen.runner.run_load` fans it out over generator
+processes each driving persistent connections from a lean asyncio
+client, and the merged :class:`~repro.loadgen.runner.LoadReport`
+carries throughput, latency percentiles, the measured 503 blocking
+ratio, and per-shard tallies —
+:func:`~repro.loadgen.runner.expected_fleet_blocking` gives the
+matching Erlang-B prediction per shard and fleet-wide.
+
+Run it from the CLI: ``crossbar-repro loadgen --spec load.toml``.
+"""
+
+from .aioclient import WireClient, WireReply
+from .runner import (
+    LoadReport,
+    UNSHARDED,
+    expected_fleet_blocking,
+    run_load,
+)
+from .spec import DEFAULT_CLASSES, LoadSpec
+
+__all__ = [
+    "DEFAULT_CLASSES",
+    "LoadReport",
+    "LoadSpec",
+    "UNSHARDED",
+    "WireClient",
+    "WireReply",
+    "expected_fleet_blocking",
+    "run_load",
+]

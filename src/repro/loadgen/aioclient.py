@@ -1,0 +1,141 @@
+"""A lean asyncio wire client for driving the serving daemon hard.
+
+``http.client`` costs a TCP handshake and a few object allocations per
+request; at load-harness rates that overhead dominates the measurement.
+:class:`WireClient` keeps one persistent HTTP/1.1 connection, writes
+pre-framed bytes, and parses just enough of the response (status line,
+headers, ``Content-Length`` body) to hand back the JSON envelope —
+measuring the *service*, not the client stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+__all__ = ["WireClient", "WireReply"]
+
+
+class WireReply:
+    """One parsed response: status, raw head bytes, raw body.
+
+    Header access is lazy — the hot measurement loop only ever needs
+    the status and the ``X-Shard`` header, so the per-reply header
+    dict is built on first :attr:`headers` access, not per reply.
+    """
+
+    __slots__ = ("status", "body", "_head")
+
+    def __init__(self, status: int, head: bytes, body: bytes) -> None:
+        self.status = status
+        self.body = body
+        self._head = head  # lowercased response head (no body)
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def headers(self) -> dict[str, str]:
+        """All response headers, parsed on demand.  The whole head is
+        lowercased at read time, so values come back lowercase too —
+        fine for the numeric/hex headers this client cares about."""
+        headers: dict[str, str] = {}
+        for line in self._head.decode("latin-1").split("\r\n")[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip()] = value.strip()
+        return headers
+
+    @property
+    def shard(self) -> int | None:
+        """The worker shard that answered (``X-Shard``), if clustered."""
+        at = self._head.find(b"x-shard:")
+        if at < 0:
+            return None
+        return int(self._head[at + 8:self._head.index(b"\r", at)])
+
+
+class WireClient:
+    """One persistent connection to a daemon or cluster router."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _ensure(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._writer is not None and not self._writer.is_closing():
+            return self._reader, self._writer  # type: ignore[return-value]
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+        return self._reader, self._writer
+
+    def frame(self, method: str, path: str, body: bytes = b"") -> bytes:
+        """Pre-frame a request (hot loops reuse the same bytes)."""
+        return (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1") + body
+
+    async def roundtrip_raw(self, wire: bytes) -> WireReply:
+        """Send pre-framed bytes, parse one reply; reconnects once if
+        the pooled connection went stale (server-side close)."""
+        for attempt in (0, 1):
+            reader, writer = await self._ensure()
+            try:
+                writer.write(wire)
+                await writer.drain()
+                return await asyncio.wait_for(
+                    self._read_reply(reader), self.timeout
+                )
+            except (ConnectionError, OSError,
+                    asyncio.IncompleteReadError):
+                await self.close()
+                if attempt == 1:
+                    raise
+        raise ConnectionError("unreachable")  # pragma: no cover
+
+    async def roundtrip(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> WireReply:
+        body = (
+            b"" if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        return await self.roundtrip_raw(self.frame(method, path, body))
+
+    @staticmethod
+    async def _read_reply(reader: asyncio.StreamReader) -> WireReply:
+        head = (await reader.readuntil(b"\r\n\r\n")).lower()
+        if not head.startswith(b"http/1."):
+            raise ConnectionError(
+                f"malformed status line {head[:32]!r}"
+            )
+        space = head.index(b" ")
+        status = int(head[space + 1:space + 4])
+        at = head.find(b"content-length:")
+        length = (
+            int(head[at + 15:head.index(b"\r", at)]) if at >= 0 else 0
+        )
+        body = await reader.readexactly(length) if length else b""
+        return WireReply(status, head, body)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None

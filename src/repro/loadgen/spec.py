@@ -1,0 +1,212 @@
+"""Declarative load specifications (spec -> generators -> report).
+
+A :class:`LoadSpec` describes a whole experiment the way the paper
+describes an offered traffic mix: how many generator processes, the
+arrival process (open-loop BPP — Poisson batch arrivals with geometric
+batch sizes, the bursty-traffic model of the source paper — or a
+closed loop of virtual users), the request mix, and the seed.  It
+round-trips through TOML/dicts so experiments are checked into version
+control, mirroring the declarative harness idiom cited in ROADMAP.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["LoadSpec", "DEFAULT_CLASSES"]
+
+#: The benchmark traffic mix: one Poisson class, one bursty BPP class
+#: (same shape the service cross-validation tests use).
+DEFAULT_CLASSES: tuple[dict, ...] = (
+    {"name": "data", "rate": 0.002},
+    {"name": "video", "alpha": 0.001, "beta": 0.0005},
+)
+
+_MODES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load experiment against a service or cluster."""
+
+    #: Generator processes (each runs its own event loop + connections).
+    generators: int = 2
+    #: Concurrent in-flight requests per generator: the closed-loop
+    #: virtual-user count, or the open-loop concurrency cap.
+    connections: int = 64
+    #: Measured seconds (after warmup).
+    duration: float = 5.0
+    #: ``"open"`` — Poisson batch arrivals at ``rate`` regardless of
+    #: completions (the loss-system regime the 503 cross-validation
+    #: needs); ``"closed"`` — ``connections`` virtual users in a
+    #: request-response loop (the throughput regime).
+    mode: str = "closed"
+    #: Fleet-wide arrival-*batch* rate per second (open loop only),
+    #: split evenly across generators.
+    rate: float = 200.0
+    #: Mean geometric batch size of one arrival (1.0 = pure Poisson;
+    #: larger = burstier, the BPP knob).
+    burst_mean: float = 1.0
+    #: Square crossbar sizes in the request mix (uniform draw).
+    sizes: tuple[int, ...] = (4, 6, 8, 10)
+    #: Traffic classes as dicts: ``{"name", "rate"}`` for Poisson or
+    #: ``{"name", "alpha", "beta"}`` for BPP.
+    classes: tuple[dict, ...] = field(
+        default_factory=lambda: tuple(dict(c) for c in DEFAULT_CLASSES)
+    )
+    #: Solve method name (None: server default).
+    method: str | None = None
+    #: Warmup round-trips per pool entry before the clock starts
+    #: (fills caches; 0 measures the cold path too).
+    warmup: int = 1
+    #: Per-request deadline_ms stamped on the wire (None: unbounded).
+    deadline_ms: float | None = None
+    #: Seed of every generator's arrival/mix randomness (generator i
+    #: uses ``seed + i``).
+    seed: int = 19920817
+    #: Socket timeout per round-trip (seconds).
+    timeout: float = 30.0
+    #: Route around the cluster router: fetch the ``/cluster`` shard
+    #: map once and drive each request straight at the worker owning
+    #: its canonical key (same consistent-hash ring, client side).
+    #: Falls back to the given address when the target is not a
+    #: hash-sharded cluster.
+    shard_direct: bool = True
+
+    def __post_init__(self) -> None:
+        if self.generators < 1:
+            raise ConfigurationError("generators must be >= 1")
+        if self.connections < 1:
+            raise ConfigurationError("connections must be >= 1")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be > 0")
+        if self.mode not in _MODES:
+            raise ConfigurationError(
+                f"mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.mode == "open" and self.rate <= 0:
+            raise ConfigurationError("open-loop rate must be > 0")
+        if self.burst_mean < 1.0:
+            raise ConfigurationError("burst_mean must be >= 1.0")
+        if not self.sizes:
+            raise ConfigurationError("sizes must not be empty")
+        if not self.classes:
+            raise ConfigurationError("classes must not be empty")
+        if self.warmup < 0:
+            raise ConfigurationError("warmup must be >= 0")
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        record = dataclasses.asdict(self)
+        record["sizes"] = list(self.sizes)
+        record["classes"] = [dict(c) for c in self.classes]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "LoadSpec":
+        names = {f.name for f in fields(cls)}
+        unknown = sorted(set(record) - names)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown load spec key(s): {', '.join(unknown)}"
+            )
+        payload = dict(record)
+        if "sizes" in payload:
+            payload["sizes"] = tuple(int(n) for n in payload["sizes"])
+        if "classes" in payload:
+            payload["classes"] = tuple(
+                dict(c) for c in payload["classes"]
+            )
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad load spec: {exc}") from exc
+
+    @classmethod
+    def from_toml(cls, path: str | Path) -> "LoadSpec":
+        """Parse a ``[loadgen]`` TOML file (``[[loadgen.classes]]``
+        tables for the traffic mix)."""
+        import tomllib
+
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read load spec {str(path)!r}: {exc}"
+            ) from exc
+        try:
+            document = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(
+                f"load spec {str(path)!r} is not valid TOML: {exc}"
+            ) from exc
+        section = document.get("loadgen", document)
+        return cls.from_dict(section)
+
+    def to_toml(self) -> str:
+        lines = ["[loadgen]"]
+        for spec_field in fields(self):
+            if spec_field.name == "classes":
+                continue
+            value = getattr(self, spec_field.name)
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                lines.append(
+                    f"{spec_field.name} = {'true' if value else 'false'}"
+                )
+            elif isinstance(value, (int, float)):
+                lines.append(f"{spec_field.name} = {value!r}")
+            elif isinstance(value, tuple):
+                inner = ", ".join(repr(v) for v in value)
+                lines.append(f"{spec_field.name} = [{inner}]")
+            else:
+                lines.append(f'{spec_field.name} = "{value}"')
+        for cls_record in self.classes:
+            lines.append("")
+            lines.append("[[loadgen.classes]]")
+            for key, value in cls_record.items():
+                if isinstance(value, str):
+                    lines.append(f'{key} = "{value}"')
+                else:
+                    lines.append(f"{key} = {value!r}")
+        return "\n".join(lines) + "\n"
+
+    # -- request materialization ---------------------------------------
+
+    def request_dicts(self) -> list[dict]:
+        """The request mix as wire payload dicts (one per size)."""
+        return [record for record, _ in self.request_entries()]
+
+    def request_entries(self) -> list[tuple[dict, str]]:
+        """The request mix as ``(wire dict, canonical cache key)``
+        pairs — the key is what client-side sharding routes on."""
+        from ..api import SolveRequest
+        from ..core.traffic import TrafficClass
+        from ..methods import SolveMethod
+
+        traffic = []
+        for record in self.classes:
+            record = dict(record)
+            name = record.pop("name", None)
+            if "rate" in record and "alpha" not in record:
+                traffic.append(
+                    TrafficClass.poisson(record["rate"], name=name)
+                )
+            else:
+                traffic.append(TrafficClass(name=name, **record))
+        entries = []
+        for size in self.sizes:
+            request = SolveRequest.square(size, tuple(traffic))
+            if self.method is not None:
+                request = dataclasses.replace(
+                    request, method=SolveMethod(self.method)
+                )
+            entries.append((request.to_dict(), request.cache_key))
+        return entries

@@ -46,27 +46,38 @@ from .client import (
     ServiceClient,
     ServiceProtocolError,
 )
+from .cluster import (
+    ClusterHandle,
+    ClusterSupervisor,
+    serve_cluster,
+    start_cluster_in_thread,
+)
 from .coalesce import SingleFlight
+from .config import ClusterConfig, ServiceConfig
 from .gate import AdmissionGate, GateLease, GateSnapshot
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .server import (
-    ServiceConfig,
     ServiceHandle,
     SolveService,
     serve,
     start_in_thread,
 )
+from .sharding import HashRing
 
 __all__ = [
     "AdmissionGate",
     "AdmissionRejectedError",
     "BatcherClosedError",
     "BrownoutConfig",
+    "ClusterConfig",
+    "ClusterHandle",
+    "ClusterSupervisor",
     "Counter",
     "DeadlineExceededError",
     "Gauge",
     "GateLease",
     "GateSnapshot",
+    "HashRing",
     "Histogram",
     "MetricsRegistry",
     "MicroBatcher",
@@ -82,5 +93,7 @@ __all__ = [
     "SingleFlight",
     "SolveService",
     "serve",
+    "serve_cluster",
+    "start_cluster_in_thread",
     "start_in_thread",
 ]

@@ -2,10 +2,15 @@
 
 >>> from repro.service import ServiceClient
 >>> client = ServiceClient("127.0.0.1", 8377)           # doctest: +SKIP
+>>> client = ServiceClient(base_url="http://127.0.0.1:8377")  # doctest: +SKIP
 >>> result = client.solve(request)                      # doctest: +SKIP
 
-Every call opens a fresh connection (the daemon closes after each
-response), so one client instance is safe to share across threads.
+Every call opens a fresh connection and closes it afterwards, so one
+client instance is safe to share across threads.  Pointed at a
+cluster router, the client also learns the shard map: 503s carry the
+rejecting shard (``AdmissionRejectedError.shard``, tallied per shard
+in ``shard_retry_after``), and hedged duplicates go to a different
+worker than the one owning the request's key.
 
 Retry policy belongs to the caller, and this client makes it explicit:
 by default ``solve`` raises :class:`AdmissionRejectedError` on a 503 —
@@ -80,6 +85,11 @@ class AdmissionRejectedError(ComputationError):
         self.retry_after = float(error.get("retry_after", 0.0) or 0.0)
         self.blocking_ratio = float(error.get("blocking_ratio", 0.0) or 0.0)
         self.kind = str(error.get("kind", "admission_rejected"))
+        #: Which cluster shard cleared the call (None on a single daemon).
+        raw_shard = error.get("shard")
+        self.shard: int | None = (
+            int(raw_shard) if raw_shard is not None else None
+        )
         self.payload = payload
 
 
@@ -126,14 +136,26 @@ class RetryPolicy:
 
 
 class ServiceClient:
-    """Blocking JSON-over-HTTP client for :mod:`repro.service`."""
+    """Blocking JSON-over-HTTP client for :mod:`repro.service`.
+
+    Address either classic ``(host, port)`` style or ``base_url``
+    style — ``ServiceClient(base_url="http://127.0.0.1:8377")`` — the
+    natural spelling when the target is a cluster router rather than a
+    daemon you started yourself.  Against a hash-sharded cluster the
+    client discovers the shard map (:meth:`cluster_map`) and hedged
+    requests go to a *different* worker than the one that owns the
+    request's key, so a hot shard is never hedged against itself.
+    """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8377,
         timeout: float = 30.0,
         retry: RetryPolicy | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        base_url: str | None = None,
     ) -> None:
+        if base_url is not None:
+            host, port = self._parse_base_url(base_url)
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -143,13 +165,43 @@ class ServiceClient:
         self.retries = 0
         self.hedges = 0
         self.hedges_won = 0
+        #: Last ``retry_after`` hint per rejecting shard (``None`` key:
+        #: single daemon / router-level rejections).
+        self.shard_retry_after: dict[int | None, float] = {}
+        # Cluster shard map, fetched lazily on first hedge; False means
+        # "probed, not a hash cluster" so we never probe twice.
+        self._cluster: dict | None | bool = None
+
+    @staticmethod
+    def _parse_base_url(base_url: str) -> tuple[str, int]:
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ConfigurationError(
+                f"unsupported scheme {parts.scheme!r} in base_url "
+                f"(this client speaks plain http)"
+            )
+        if not parts.hostname:
+            raise ConfigurationError(
+                f"base_url {base_url!r} has no host"
+            )
+        return parts.hostname, parts.port or 8377
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
 
     # ------------------------------------------------------------------
 
     def _roundtrip(
-        self, method: str, path: str, payload: Any | None = None
+        self, method: str, path: str, payload: Any | None = None,
+        address: tuple[str, int] | None = None,
     ) -> tuple[int, dict | str]:
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        host, port = address if address is not None else (
+            self.host, self.port
+        )
+        connection = HTTPConnection(host, port, timeout=self.timeout)
         try:
             body = None
             headers = {}
@@ -194,13 +246,20 @@ class ServiceClient:
     # Retry / hedge machinery
     # ------------------------------------------------------------------
 
-    def _with_retries(self, call: Callable[[], dict]) -> dict:
+    def _with_retries(
+        self,
+        call: Callable[..., dict],
+        cache_key: str | None = None,
+    ) -> dict:
         policy = self.retry
         attempt = 0
         while True:
             try:
-                return self._maybe_hedged(call)
+                return self._maybe_hedged(call, cache_key)
             except AdmissionRejectedError as exc:
+                # Remember the rejecting shard's own hint: each shard
+                # is its own loss system with its own holding times.
+                self.shard_retry_after[exc.shard] = exc.retry_after
                 if attempt >= policy.max_retries:
                     raise
                 # The server's hint is an EWMA of real holding times;
@@ -215,7 +274,9 @@ class ServiceClient:
             if delay > 0:
                 self._sleep(delay)
 
-    def _maybe_hedged(self, call: Callable[[], dict]) -> dict:
+    def _maybe_hedged(
+        self, call: Callable[..., dict], cache_key: str | None
+    ) -> dict:
         hedge_after = self.retry.hedge_after
         if hedge_after is None:
             return call()
@@ -229,7 +290,10 @@ class ServiceClient:
             except FutureTimeoutError:
                 pass
             self.hedges += 1
-            second = pool.submit(call)
+            # Never hedge the owning shard against itself: on a hash
+            # cluster the duplicate goes straight to a different worker
+            # (solves are pure, so any worker answers byte-identically).
+            second = pool.submit(call, self._hedge_address(cache_key))
             done, _ = wait({first, second}, return_when=FIRST_COMPLETED)
             winner = done.pop()
             if winner is second:
@@ -239,6 +303,49 @@ class ServiceClient:
             # Do not wait for the losing request; its thread dies once
             # the daemon answers (or its socket times out).
             pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Cluster awareness
+    # ------------------------------------------------------------------
+
+    def cluster_map(self, refresh: bool = False) -> dict | None:
+        """The router's ``/cluster`` shard map, or None when the target
+        is a single daemon (result is cached; ``refresh`` re-probes)."""
+        if refresh or self._cluster is None:
+            try:
+                status, payload = self._roundtrip("GET", "/cluster")
+            except (ConnectionError, OSError):
+                return None
+            self._cluster = (
+                payload if status == 200 and isinstance(payload, dict)
+                else False
+            )
+        return None if self._cluster is False else self._cluster
+
+    def _hedge_address(
+        self, cache_key: str | None
+    ) -> tuple[str, int] | None:
+        """A *different* shard's address for the hedged duplicate, or
+        None (same front door) off-cluster or without a key."""
+        if cache_key is None:
+            return None
+        chart = self.cluster_map()
+        if not chart or chart.get("strategy") != "hash":
+            return None
+        shards = {
+            entry["shard"]: (entry["host"], entry["port"])
+            for entry in chart.get("shards", [])
+            if entry.get("port")
+        }
+        workers = int(chart.get("workers", 0))
+        if workers < 2:
+            return None
+        from .sharding import HashRing
+
+        owner = HashRing(
+            workers, int(chart.get("hash_replicas", 64))
+        ).shard_for(cache_key)
+        return shards.get((owner + 1) % workers)
 
     # ------------------------------------------------------------------
 
@@ -255,11 +362,13 @@ class ServiceClient:
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
 
-        def call() -> dict:
-            status, payload = self._roundtrip("POST", "/solve", body)
+        def call(address: tuple[str, int] | None = None) -> dict:
+            status, payload = self._roundtrip(
+                "POST", "/solve", body, address=address
+            )
             return self._check(status, payload)
 
-        return self._with_retries(call)
+        return self._with_retries(call, cache_key=request.cache_key)
 
     def solve(
         self, request: SolveRequest, deadline_ms: float | None = None
@@ -285,11 +394,16 @@ class ServiceClient:
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
 
-        def call() -> dict:
-            status, payload = self._roundtrip("POST", "/batch", body)
+        def call(address: tuple[str, int] | None = None) -> dict:
+            status, payload = self._roundtrip(
+                "POST", "/batch", body, address=address
+            )
             return self._check(status, payload)
 
-        payload = self._with_retries(call)
+        payload = self._with_retries(
+            call,
+            cache_key=requests[0].cache_key if requests else None,
+        )
         out: list[SolveResult | FailedResult] = []
         try:
             for item in payload["results"]:

@@ -1,0 +1,888 @@
+"""Sharded multi-worker serving: supervisor, router, federation.
+
+The single daemon (:mod:`repro.service.server`) is bounded by one
+event loop; this module multiplies it the way the paper's crossbar
+multiplies throughput — parallel independent fabric paths:
+
+* a :class:`ClusterSupervisor` forks N worker processes, each hosting
+  the full admission/coalesce/micro-batch pipeline on its own port;
+* requests are **sharded by canonical cache key**: a thin asyncio
+  router on the public port proxies each ``/solve``/``/batch`` to the
+  worker owning its key on a consistent-hash ring
+  (:mod:`repro.service.sharding`), so single-flight coalescing and
+  cache locality keep their contracts fleet-wide;
+* workers share one on-disk cache tier (``cluster.cache_dir``); the
+  ``.tmp-<pid>`` write protocol makes concurrent writers safe and each
+  worker guards the directory with its *own* circuit breaker;
+* lifecycle — ready handshake over a multiprocessing queue, periodic
+  liveness sweeps, respawn-on-crash into the same shard slot (the ring
+  keys off shard indices, so routing is stable across respawns), and a
+  fleet-wide SIGTERM drain that lets every worker finish admitted work
+  (PR 6 semantics) before exit;
+* observability — ``GET /metrics`` on the router federates every
+  worker's Prometheus page with a ``shard="i"`` label injected into
+  each series; ``GET /healthz`` aggregates worker healths; ``GET
+  /cluster`` publishes the shard map so smart clients can route
+  themselves.
+
+With ``shard_strategy="reuseport"`` there is no router: every worker
+binds the public port with ``SO_REUSEPORT`` and the kernel spreads
+connections (no key affinity, no federation endpoint — cheapest wire
+path, weakest contracts).
+
+Entry points: :func:`serve_cluster` (CLI), and
+:func:`start_cluster_in_thread` -> :class:`ClusterHandle` for tests
+and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import multiprocessing
+import os
+import queue as queue_mod
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from .. import __version__
+from ..engine import BatchSolver
+from ..engine.batch import EngineConfig
+from ..exceptions import ConfigurationError
+from ..logging import get_logger, kv
+from .config import ServiceConfig
+from .httpio import HttpError, HttpRequest, read_request, write_response
+from .protocol import decode_request, decode_request_list, new_request_id
+from .server import serve
+from .sharding import HashRing
+
+__all__ = [
+    "ClusterHandle",
+    "ClusterSupervisor",
+    "serve_cluster",
+    "start_cluster_in_thread",
+]
+
+logger = get_logger("service.cluster")
+
+#: Cap of the router's body-bytes -> shard memo (hot keys repeat).
+_ROUTE_CACHE_MAX = 4096
+
+
+# ----------------------------------------------------------------------
+# Worker process entry point (module-level: picklable under "spawn")
+# ----------------------------------------------------------------------
+
+
+def _worker_main(
+    config: ServiceConfig,
+    shard: int,
+    cache_dir: str | None,
+    ready_queue: Any,
+) -> None:
+    """One worker: the classic daemon plus a ready handshake.
+
+    ``config`` is already the per-shard view (``ServiceConfig.for_shard``):
+    single-process, shard index stamped, ephemeral port in hash mode or
+    the shared ``SO_REUSEPORT`` port in reuseport mode.
+    """
+    if cache_dir:
+        # Both spellings so the engine's own from_env picks it up and
+        # explicit construction below stays authoritative.
+        os.environ["REPRO_ENGINE_CACHE_DIR"] = cache_dir
+    engine_config = EngineConfig.from_env()
+    if cache_dir:
+        engine_config = dataclasses.replace(
+            engine_config, disk_cache=cache_dir
+        )
+    engine = BatchSolver(engine_config)
+
+    def on_started(service: Any) -> None:
+        ready_queue.put(("ready", shard, service.port, os.getpid()))
+
+    serve(config, engine=engine, on_started=on_started)
+
+
+# ----------------------------------------------------------------------
+# Supervisor internals
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    """Supervisor-side record of one shard slot."""
+
+    shard: int
+    process: Any
+    port: int | None = None
+    pid: int | None = None
+    respawns: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class _WorkerPool:
+    """Keep-alive connections from the router to one worker."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._idle: list[tuple[asyncio.StreamReader,
+                               asyncio.StreamWriter]] = []
+
+    async def acquire(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+            writer.close()
+        return await asyncio.open_connection(self.host, self.port)
+
+    def release(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if writer.is_closing():
+            writer.close()
+        else:
+            self._idle.append((reader, writer))
+
+    def close(self) -> None:
+        for _, writer in self._idle:
+            writer.close()
+        self._idle.clear()
+
+
+async def _read_reply(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    """Parse one HTTP response off a worker connection."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ConfigurationError(f"worker spoke garbage: {lines[0]!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+def _label_shard(text: str, shard: int, keep_comments: bool) -> str:
+    """Inject ``shard="i"`` into every Prometheus sample line."""
+    label = f'shard="{shard}"'
+    out: list[str] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            if keep_comments:
+                out.append(line)
+            continue
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            out.append(f"{name}{{{label},{rest}")
+        else:
+            name, _, value = line.partition(" ")
+            out.append(f"{name}{{{label}}} {value}")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+
+
+class ClusterSupervisor:
+    """Owns the worker fleet and (in hash mode) the routing front door."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        if config.cluster.workers < 1:
+            raise ConfigurationError("a cluster needs at least one worker")
+        self.config = config
+        self.cluster = config.cluster
+        self.ring = HashRing(
+            self.cluster.workers, self.cluster.hash_replicas
+        )
+        self._ctx = multiprocessing.get_context(self._pick_start_method())
+        self._ready: Any = self._ctx.Queue()
+        self.workers: dict[int, _Worker] = {}
+        self._pools: dict[int, _WorkerPool] = {}
+        self._router: asyncio.base_events.Server | None = None
+        self._health_task: asyncio.Task | None = None
+        self._draining = False
+        self._started_at = time.monotonic()
+        self._route_cache: dict[bytes, int] = {}
+        #: requests proxied per shard (balance checks in smoke tests).
+        self.proxied: dict[int, int] = {
+            shard: 0 for shard in range(self.cluster.workers)
+        }
+
+    def _pick_start_method(self) -> str:
+        if self.cluster.start_method is not None:
+            return self.cluster.start_method
+        # fork is cheap and inherits the warmed interpreter, but is
+        # only safe while this process is single-threaded (the test
+        # harness runs the supervisor on a thread -> spawn).
+        if (
+            "fork" in multiprocessing.get_all_start_methods()
+            and threading.active_count() == 1
+        ):
+            return "fork"
+        return "spawn"
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        self._started_at = time.monotonic()
+        for shard in range(self.cluster.workers):
+            self._spawn(shard)
+        await self._collect_ready(set(range(self.cluster.workers)))
+        if self.cluster.shard_strategy == "hash":
+            self._router = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+        self._health_task = asyncio.get_running_loop().create_task(
+            self._health_loop(), name="repro-cluster-health"
+        )
+        logger.info(
+            "cluster up %s",
+            kv(workers=self.cluster.workers,
+               strategy=self.cluster.shard_strategy,
+               host=self.host, port=self.port,
+               cache_dir=self.cluster.cache_dir),
+        )
+
+    def _spawn(self, shard: int, respawns: int = 0) -> None:
+        worker_config = self.config.for_shard(shard, port=0)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_config, shard, self.cluster.cache_dir,
+                  self._ready),
+            name=f"repro-worker-{shard}",
+        )
+        process.start()
+        self.workers[shard] = _Worker(
+            shard=shard, process=process, respawns=respawns
+        )
+
+    async def _collect_ready(self, pending: set[int]) -> None:
+        loop = asyncio.get_running_loop()
+        deadline = time.monotonic() + self.cluster.spawn_timeout
+        while pending:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                raise RuntimeError(
+                    f"workers {sorted(pending)} did not report ready "
+                    f"within {self.cluster.spawn_timeout:.3g}s"
+                )
+            try:
+                message = await loop.run_in_executor(
+                    None, self._ready.get, True, min(budget, 0.5)
+                )
+            except queue_mod.Empty:
+                continue
+            shard = self._note_ready(message)
+            pending.discard(shard)
+
+    def _note_ready(self, message: tuple) -> int:
+        kind, shard, port, pid = message
+        worker = self.workers.get(shard)
+        if worker is None:
+            return shard
+        worker.port = port
+        worker.pid = pid
+        old_pool = self._pools.get(shard)
+        if old_pool is not None:
+            old_pool.close()
+        self._pools[shard] = _WorkerPool(
+            self.config.host
+            if self.cluster.shard_strategy == "reuseport"
+            else self.cluster.worker_host,
+            port,
+        )
+        logger.info(
+            "worker ready %s", kv(shard=shard, port=port, pid=pid)
+        )
+        return shard
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.cluster.health_interval)
+            # Late ready messages (respawned workers) update the map.
+            while True:
+                try:
+                    self._note_ready(self._ready.get_nowait())
+                except queue_mod.Empty:
+                    break
+            if self._draining:
+                continue
+            for shard, worker in self.workers.items():
+                if worker.alive:
+                    continue
+                if (
+                    not self.cluster.respawn
+                    or worker.respawns >= self.cluster.max_respawns
+                ):
+                    continue
+                logger.warning(
+                    "worker died; respawning %s",
+                    kv(shard=shard, pid=worker.pid,
+                       respawns=worker.respawns + 1),
+                )
+                pool = self._pools.pop(shard, None)
+                if pool is not None:
+                    pool.close()
+                self._spawn(shard, respawns=worker.respawns + 1)
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Fleet-wide graceful shutdown: every worker drains (PR 6
+        semantics — admitted work finishes), then exits."""
+        self._draining = True
+        if self._router is not None:
+            self._router.close()
+            await self._router.wait_closed()
+            self._router = None
+        for worker in self.workers.values():
+            if worker.alive:
+                worker.process.terminate()  # SIGTERM -> worker drain
+        budget = (
+            self.config.drain_timeout if timeout is None else timeout
+        )
+        deadline = time.monotonic() + budget
+        clean = True
+        for worker in self.workers.values():
+            remaining = max(0.0, deadline - time.monotonic())
+            await asyncio.get_running_loop().run_in_executor(
+                None, worker.process.join, remaining
+            )
+            if worker.alive:
+                clean = False
+        if not clean:
+            logger.warning("fleet drain timed out %s", kv(budget=budget))
+        else:
+            logger.info("fleet drained %s", kv(budget=budget))
+        return clean
+
+    async def stop(self) -> None:
+        self._draining = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        if self._router is not None:
+            self._router.close()
+            await self._router.wait_closed()
+            self._router = None
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+        for worker in self.workers.values():
+            if worker.alive:
+                worker.process.terminate()
+        for worker in self.workers.values():
+            worker.process.join(5.0)
+            if worker.alive:  # pragma: no cover - stuck worker guard
+                worker.process.kill()
+                worker.process.join(1.0)
+        self._ready.close()
+        logger.info("cluster stopped %s", kv(proxied=sum(
+            self.proxied.values()
+        )))
+
+    async def serve_forever(self) -> None:
+        if self._router is not None:
+            await self._router.serve_forever()
+        else:  # reuseport mode: nothing to accept here, just park
+            await asyncio.Event().wait()
+
+    # -- addressing -----------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The public port (resolves ``port=0`` through the router)."""
+        if self._router is not None and self._router.sockets:
+            return self._router.sockets[0].getsockname()[1]
+        return self.config.port
+
+    def shard_map(self) -> dict:
+        return {
+            "strategy": self.cluster.shard_strategy,
+            "workers": self.cluster.workers,
+            "hash_replicas": self.cluster.hash_replicas,
+            "draining": self._draining,
+            "shards": [
+                {
+                    "shard": worker.shard,
+                    "host": (
+                        self.config.host
+                        if self.cluster.shard_strategy == "reuseport"
+                        else self.cluster.worker_host
+                    ),
+                    "port": worker.port,
+                    "pid": worker.pid,
+                    "alive": worker.alive,
+                    "respawns": worker.respawns,
+                    "proxied": self.proxied.get(worker.shard, 0),
+                }
+                for worker in self.workers.values()
+            ],
+        }
+
+    # -- routing --------------------------------------------------------
+
+    def _shard_for_body(self, path: str, body: bytes) -> int:
+        """The shard owning a request body's canonical key.
+
+        A ``/batch`` routes by its first member's key (documented in
+        docs/service.md) — the single-flight contract only needs
+        per-key affinity for ``/solve``-shaped work.  Unparseable
+        bodies route to shard 0, whose worker produces the canonical
+        400 envelope.
+        """
+        memo = self._route_cache.get(body)
+        if memo is not None:
+            return memo
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if path == "/batch":
+                key = decode_request_list(payload)[0].cache_key
+            else:
+                key = decode_request(payload).cache_key
+            shard = self.ring.shard_for(key)
+        except Exception:  # noqa: BLE001 - worker owns error reporting
+            shard = 0
+        if len(self._route_cache) < _ROUTE_CACHE_MAX:
+            self._route_cache[body] = shard
+        return shard
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                if not await self._serve_one(reader, writer):
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        request_id = new_request_id()
+        try:
+            http = await read_request(
+                reader, timeout=self.config.read_timeout
+            )
+        except HttpError as exc:
+            await self._write_json(
+                writer, exc.status,
+                {"id": request_id,
+                 "error": {"kind": "bad_request", "message": str(exc)}},
+                close=True,
+            )
+            return False
+        if http is None:
+            return False
+        keep = (
+            self.config.keepalive
+            and not self._draining
+            and http.headers.get("connection", "").lower() != "close"
+        )
+        if http.path in ("/solve", "/batch"):
+            keep = await self._proxy(http, writer, keep, request_id)
+        elif http.path == "/cluster":
+            await self._write_json(
+                writer, 200,
+                {"id": request_id, **self.shard_map()}, close=not keep,
+            )
+        elif http.path == "/healthz":
+            await self._write_json(
+                writer, 200, await self._aggregate_health(request_id),
+                close=not keep,
+            )
+        elif http.path == "/metrics":
+            body = (await self._federate_metrics()).encode("utf-8")
+            await write_response(
+                writer, 200, body,
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+                extra_headers={"X-Request-Id": request_id},
+                timeout=self.config.write_timeout, close=not keep,
+            )
+        else:
+            await self._write_json(
+                writer, 404,
+                {"id": request_id,
+                 "error": {"kind": "not_found",
+                           "message": f"no route for {http.path}"}},
+                close=not keep,
+            )
+        return keep
+
+    async def _proxy(
+        self,
+        http: HttpRequest,
+        writer: asyncio.StreamWriter,
+        keep: bool,
+        request_id: str,
+    ) -> bool:
+        shard = self._shard_for_body(http.path, http.body)
+        try:
+            status, headers, body = await self._roundtrip(shard, http)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                ConfigurationError):
+            await self._write_json(
+                writer, 503,
+                {"id": request_id,
+                 "error": {
+                     "kind": "shard_unavailable",
+                     "message": (
+                         f"worker for shard {shard} is unavailable "
+                         "(crashed or respawning); retry"
+                     ),
+                     "shard": shard,
+                     "retry_after": self.cluster.health_interval * 2,
+                 }},
+                close=not keep,
+                extra={"Retry-After": "1"},
+            )
+            return keep
+        self.proxied[shard] = self.proxied.get(shard, 0) + 1
+        passthrough = {
+            name: headers[key]
+            for key, name in (
+                ("x-request-id", "X-Request-Id"),
+                ("x-shard", "X-Shard"),
+                ("retry-after", "Retry-After"),
+                ("allow", "Allow"),
+            )
+            if (key in headers)
+        }
+        await write_response(
+            writer, status, body,
+            content_type=headers.get("content-type", "application/json"),
+            extra_headers=passthrough,
+            timeout=self.config.write_timeout, close=not keep,
+        )
+        return keep
+
+    async def _roundtrip(
+        self, shard: int, http: HttpRequest
+    ) -> tuple[int, dict[str, str], bytes]:
+        """Forward one request to a worker over a pooled connection."""
+        last_error: Exception | None = None
+        for attempt in (0, 1):
+            pool = await self._pool_for(shard)
+            conn_reader, conn_writer = await pool.acquire()
+            try:
+                head = (
+                    f"{http.method} {http.path} HTTP/1.1\r\n"
+                    f"Host: shard-{shard}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(http.body)}\r\n"
+                    "Connection: keep-alive\r\n\r\n"
+                ).encode("latin-1")
+                conn_writer.write(head + http.body)
+                await conn_writer.drain()
+                status, headers, body = await _read_reply(conn_reader)
+            except (ConnectionError, OSError,
+                    asyncio.IncompleteReadError) as exc:
+                conn_writer.close()
+                last_error = exc
+                if attempt == 0:
+                    # The worker may have just died; give the health
+                    # loop one beat to respawn it, then retry once.
+                    await asyncio.sleep(self.cluster.health_interval)
+                    continue
+                raise
+            if headers.get("connection", "").lower() == "close":
+                conn_writer.close()
+            else:
+                pool.release(conn_reader, conn_writer)
+            return status, headers, body
+        raise last_error  # pragma: no cover - loop always raises/returns
+
+    async def _pool_for(self, shard: int) -> _WorkerPool:
+        deadline = time.monotonic() + self.cluster.spawn_timeout
+        while True:
+            pool = self._pools.get(shard)
+            worker = self.workers.get(shard)
+            if (
+                pool is not None and worker is not None and worker.alive
+                and worker.port == pool.port
+            ):
+                return pool
+            if pool is not None:
+                return pool  # stale but usable: roundtrip retries cover
+            if time.monotonic() >= deadline:
+                raise ConnectionError(f"no pool for shard {shard}")
+            await asyncio.sleep(self.cluster.health_interval / 2)
+
+    # -- fan-in endpoints ----------------------------------------------
+
+    async def _worker_get(
+        self, shard: int, path: str
+    ) -> tuple[int, dict[str, str], bytes]:
+        return await self._roundtrip(
+            shard, HttpRequest(method="GET", path=path, query="")
+        )
+
+    async def _aggregate_health(self, request_id: str) -> dict:
+        shards = []
+        degraded = False
+        for shard, worker in self.workers.items():
+            entry: dict[str, Any] = {
+                "shard": shard,
+                "alive": worker.alive,
+                "respawns": worker.respawns,
+            }
+            try:
+                status, _, body = await self._worker_get(shard, "/healthz")
+                entry["health"] = json.loads(body.decode("utf-8"))
+                entry["status"] = (
+                    entry["health"].get("status", "unknown")
+                    if status == 200 else "unreachable"
+                )
+            except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                    ValueError, ConfigurationError):
+                entry["status"] = "unreachable"
+            if entry["status"] not in ("ok", "draining"):
+                degraded = True
+            shards.append(entry)
+        return {
+            "id": request_id,
+            "status": (
+                "draining" if self._draining
+                else ("degraded" if degraded else "ok")
+            ),
+            "version": __version__,
+            "uptime_s": time.monotonic() - self._started_at,
+            "strategy": self.cluster.shard_strategy,
+            "workers": shards,
+        }
+
+    async def _federate_metrics(self) -> str:
+        parts = []
+        for shard in sorted(self.workers):
+            try:
+                status, _, body = await self._worker_get(shard, "/metrics")
+                if status != 200:
+                    raise ConnectionError(f"metrics status {status}")
+                parts.append(_label_shard(
+                    body.decode("utf-8"), shard,
+                    keep_comments=(shard == min(self.workers)),
+                ))
+            except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                    ConfigurationError):
+                parts.append(f"# shard {shard} unavailable")
+        parts.append(
+            "# TYPE repro_cluster_proxied_total counter\n" + "\n".join(
+                f'repro_cluster_proxied_total{{shard="{shard}"}} {count}'
+                for shard, count in sorted(self.proxied.items())
+            )
+        )
+        return "\n".join(parts) + "\n"
+
+    async def _write_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        close: bool,
+        extra: dict[str, str] | None = None,
+    ) -> None:
+        await write_response(
+            writer, status, json.dumps(payload).encode("utf-8"),
+            extra_headers=extra,
+            timeout=self.config.write_timeout, close=close,
+        )
+
+
+# ----------------------------------------------------------------------
+# Hosting helpers
+# ----------------------------------------------------------------------
+
+
+async def _serve_cluster_async(
+    config: ServiceConfig,
+    on_started: Any | None = None,
+) -> None:
+    supervisor = ClusterSupervisor(config)
+    await supervisor.start()
+    if on_started is not None:
+        on_started(supervisor)
+    loop = asyncio.get_running_loop()
+    stop_now = asyncio.Event()
+    signals_seen = 0
+
+    def _on_signal() -> None:
+        nonlocal signals_seen
+        signals_seen += 1
+        if signals_seen == 1:
+            logger.warning("shutdown signal received; draining fleet")
+
+            async def _drain_then_stop() -> None:
+                await supervisor.drain()
+                stop_now.set()
+
+            loop.create_task(_drain_then_stop())
+        else:
+            logger.warning("second shutdown signal; forcing exit")
+            stop_now.set()
+
+    installed: list[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, _on_signal)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+
+    forever = loop.create_task(supervisor.serve_forever())
+    stopper = loop.create_task(stop_now.wait())
+    try:
+        await asyncio.wait(
+            {forever, stopper}, return_when=asyncio.FIRST_COMPLETED
+        )
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        pass
+    finally:
+        for task in (forever, stopper):
+            task.cancel()
+        await asyncio.gather(forever, stopper, return_exceptions=True)
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        await supervisor.stop()
+
+
+def serve_cluster(config: ServiceConfig) -> None:
+    """Run a worker fleet until interrupted (``workers=1`` falls back
+    to the classic single-process daemon)."""
+    if config.cluster.workers <= 1:
+        serve(config)
+        return
+    asyncio.run(_serve_cluster_async(config))
+
+
+class ClusterHandle:
+    """A cluster running on its own thread/loop (tests, benchmarks)."""
+
+    def __init__(
+        self,
+        supervisor: ClusterSupervisor,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.supervisor = supervisor
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.supervisor.host
+
+    @property
+    def port(self) -> int:
+        return self.supervisor.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        if not self.thread.is_alive():
+            return True
+        future = asyncio.run_coroutine_threadsafe(
+            self.supervisor.drain(timeout), self.loop
+        )
+        budget = (
+            timeout if timeout is not None
+            else self.supervisor.config.drain_timeout
+        )
+        return future.result(budget + 10.0)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self.thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.supervisor.stop(), self.loop
+            )
+            try:
+                future.result(timeout)
+            finally:
+                self.loop.call_soon_threadsafe(self.loop.stop)
+                self.thread.join(timeout)
+        if self.thread.is_alive():  # pragma: no cover - hang guard
+            raise RuntimeError("cluster thread did not stop in time")
+
+    def __enter__(self) -> "ClusterHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_cluster_in_thread(config: ServiceConfig) -> ClusterHandle:
+    """Start a cluster on a fresh thread; returns its handle.
+
+    The default hash strategy supports ``port=0`` (read the router's
+    bound port back from ``handle.port``).  The supervisor thread is
+    multi-threaded territory, so workers start via ``spawn`` unless
+    the config forces a method.
+    """
+    started = threading.Event()
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        supervisor = ClusterSupervisor(config)
+        try:
+            loop.run_until_complete(supervisor.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            box["error"] = exc
+            started.set()
+            loop.close()
+            return
+        box["supervisor"], box["loop"] = supervisor, loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(supervisor.stop())
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, daemon=True, name="repro-cluster"
+    )
+    thread.start()
+    budget = config.cluster.spawn_timeout + 15.0
+    if not started.wait(budget):  # pragma: no cover - startup hang guard
+        raise RuntimeError(f"cluster did not start within {budget:.0f}s")
+    if "error" in box:
+        raise box["error"]
+    return ClusterHandle(box["supervisor"], box["loop"], thread)

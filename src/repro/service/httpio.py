@@ -2,10 +2,12 @@
 
 Just enough of RFC 9112 for a JSON point-to-point API: request-line +
 headers + ``Content-Length`` bodies in, status + headers + body out.
-No chunked encoding, no pipelining, one request per connection (every
-response carries ``Connection: close``) — deliberately boring framing
-so the interesting parts of the daemon (admission, coalescing,
-batching) stay testable.
+No chunked encoding, no pipelining.  Connections persist by default
+(HTTP/1.1 keep-alive: the server loops ``read_request`` /
+``write_response`` until either side closes); pass ``close=True`` to
+``write_response`` to advertise ``Connection: close`` and end the
+exchange.  Deliberately boring framing so the interesting parts of the
+daemon (admission, coalescing, batching) stay testable.
 
 Timeouts
 --------
@@ -169,19 +171,22 @@ async def write_response(
     content_type: str = "application/json",
     extra_headers: dict[str, str] | None = None,
     timeout: float | None = None,
+    close: bool = True,
 ) -> None:
     """Serialize one response and flush it (connection stays ours).
 
     ``timeout`` bounds the flush; a peer that stops draining its
     receive buffer raises :class:`SlowClientError` so the caller can
-    abort the transport instead of blocking on it.
+    abort the transport instead of blocking on it.  ``close=False``
+    advertises ``Connection: keep-alive`` so the peer may reuse the
+    connection for its next request.
     """
     reason = _REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
         f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
-        "Connection: close",
+        f"Connection: {'close' if close else 'keep-alive'}",
     ]
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")

@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import math
 import signal
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Callable
 
 from .. import __version__
 from ..api import SolveRequest, SolveResult
@@ -48,6 +50,7 @@ from .brownout import (
     ServicePressureController,
 )
 from .coalesce import SingleFlight
+from .config import ClusterConfig, ServiceConfig
 from .gate import AdmissionGate
 from .httpio import (
     HttpError,
@@ -66,64 +69,32 @@ from .protocol import (
     new_request_id,
 )
 
-__all__ = ["ServiceConfig", "SolveService", "ServiceHandle",
-           "serve", "start_in_thread"]
+__all__ = ["ServiceConfig", "ClusterConfig", "SolveService",
+           "ServiceHandle", "serve", "start_in_thread"]
 
 logger = get_logger("service")
 
+_LEGACY_KWARGS_HINT = (
+    "configuring the service through keyword arguments is deprecated "
+    "and will be removed in 2.0; build a repro.service.ServiceConfig "
+    "(or use ServiceConfig.load for TOML/env/CLI layering) and pass "
+    "it as `config` instead"
+)
 
-@dataclass(frozen=True)
-class ServiceConfig:
-    """Tunables of one :class:`SolveService`."""
 
-    host: str = "127.0.0.1"
-    #: TCP port; 0 binds an ephemeral port (tests read it back).
-    port: int = 8377
-    #: Admission tokens — the daemon's "number of ports".  Every
-    #: admitted request holds its weight in tokens until it completes;
-    #: a request that cannot get its tokens is cleared with a 503,
-    #: never queued.
-    gate_capacity: int = 64
-    #: Tokens one ``/solve`` request holds.
-    point_weight: int = 1
-    #: Tokens per member of a ``/batch`` request (total clamped to the
-    #: gate capacity, like ``a_r <= min(N1, N2)``).
-    batch_member_weight: int = 1
-    #: Seconds the micro-batcher waits for companions before flushing.
-    batch_window: float = 0.002
-    #: Flush immediately once this many requests are pending.
-    max_batch: int = 256
-    #: Forwarded to ``evaluate_many`` (None: the engine decides).
-    parallel: bool | None = None
-    #: Artificial per-request token-holding time (seconds) *after* the
-    #: solve completes.  0 in production; load tests set it to emulate
-    #: a call-holding time so the gate reproduces classical loss-system
-    #: blocking (the cross-validation tests check it against Erlang B).
-    min_hold: float = 0.0
-    #: Floor of the 503 ``retry_after`` hint (seconds); the live hint
-    #: tracks an EWMA of recent holding times above this floor.
-    retry_after_floor: float = 0.05
-    #: Wall-clock seconds a peer may take to deliver the request head
-    #: (and, separately, the body) before the connection is closed with
-    #: a 408 — the slow-loris bound.  None or 0 disables it.
-    read_timeout: float | None = 10.0
-    #: Seconds a peer may take to drain its reply before the transport
-    #: is aborted.  None or 0 disables it.
-    write_timeout: float | None = 10.0
-    #: Default budget of :meth:`SolveService.drain`: seconds to wait
-    #: for in-flight work before giving up and stopping anyway.
-    drain_timeout: float = 10.0
-    #: Brownout ladder tunables; ``BrownoutConfig(enabled=False)``
-    #: pins the daemon at full service.
-    brownout: BrownoutConfig = field(default_factory=BrownoutConfig)
-
-    def __post_init__(self) -> None:
-        if self.gate_capacity < 1:
-            raise ConfigurationError("gate_capacity must be >= 1")
-        if self.point_weight < 1 or self.batch_member_weight < 1:
-            raise ConfigurationError("admission weights must be >= 1")
-        if self.drain_timeout < 0:
-            raise ConfigurationError("drain_timeout must be >= 0")
+def _config_from_legacy(
+    config: ServiceConfig | None, kwargs: dict
+) -> ServiceConfig | None:
+    """Resolve the deprecated flat-kwargs spelling into a config."""
+    if not kwargs:
+        return config
+    if config is not None:
+        raise ConfigurationError(
+            "pass either a ServiceConfig or legacy keyword arguments, "
+            "not both"
+        )
+    warnings.warn(_LEGACY_KWARGS_HINT, DeprecationWarning, stacklevel=3)
+    return ServiceConfig.from_legacy_kwargs(kwargs)
 
 
 class _Instruments:
@@ -165,6 +136,11 @@ class _Instruments:
         self.gate_gauge.set(lambda: gate.in_use, state="in_use")
         self.gate_gauge.set(lambda: gate.peak_in_use, state="peak")
         self.gate_gauge.set(lambda: gate.limit, state="limit")
+        self.fast_path_hits = registry.counter(
+            "repro_service_fast_path_hits_total",
+            "Requests served off the in-memory cache on the event loop "
+            "(no coalesce, no batch, no thread hop).",
+        )
         self.coalesce_hits = registry.counter(
             "repro_service_coalesce_hits_total",
             "Requests that joined an identical in-flight computation.",
@@ -314,7 +290,9 @@ class SolveService:
         self,
         config: ServiceConfig | None = None,
         engine: BatchSolver | None = None,
+        **legacy: Any,
     ) -> None:
+        config = _config_from_legacy(config, legacy)
         self.config = config or ServiceConfig()
         self.engine = engine if engine is not None else get_default_engine()
         self.gate = AdmissionGate(self.config.gate_capacity)
@@ -339,16 +317,34 @@ class SolveService:
         self._started_at = time.monotonic()
         self._ewma_hold = 0.0
         self._draining = False
-        self._open_connections = 0
+        #: writer -> "currently serving a request" (head read, reply
+        #: not yet flushed).  Idle keep-alive connections are False.
+        self._conn_busy: dict[asyncio.StreamWriter, bool] = {}
         self._brownout_task: asyncio.Task | None = None
+        #: body bytes -> (decoded request, deadline budget).  Identical
+        #: bytes decode identically, so hot traffic skips the JSON
+        #: parse + request canonicalization on repeat sightings.
+        self._parse_memo: dict[bytes, tuple[SolveRequest, float | None]] = {}
+        # Canonical key -> serialized result JSON.  Solves are pure, so
+        # a request's encoded result fragment never changes; hot repeat
+        # requests splice it into the envelope instead of re-encoding.
+        self._result_memo: dict[str, bytes] = {}
+        self._shard_header = (
+            None if self.config.shard_index is None
+            else str(self.config.shard_index)
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
+        bind_kwargs: dict[str, Any] = {}
+        if self.config.reuse_port:
+            bind_kwargs["reuse_port"] = True
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection, self.config.host, self.config.port,
+            **bind_kwargs,
         )
         self._started_at = time.monotonic()
         if self.config.brownout.enabled:
@@ -379,25 +375,44 @@ class SolveService:
             await self._server.wait_closed()
             self._server = None
         self.batcher.flush_pending()
+        self._close_idle_connections()
         budget = self.config.drain_timeout if timeout is None else timeout
         deadline = time.monotonic() + budget
         while (
             self.instruments._inflight_count > 0
-            or self._open_connections > 0
+            or self._busy_connections > 0
             or self.batcher.busy
         ):
             if time.monotonic() >= deadline:
                 logger.warning(
                     "drain timed out %s",
                     kv(inflight=self.instruments._inflight_count,
-                       connections=self._open_connections,
+                       connections=self._busy_connections,
                        batcher_busy=self.batcher.busy, budget=budget),
                 )
                 return False
             self.batcher.flush_pending()
+            self._close_idle_connections()
             await asyncio.sleep(0.005)
+        self._close_idle_connections()
         logger.info("drain complete %s", kv(budget=budget))
         return True
+
+    @property
+    def _busy_connections(self) -> int:
+        return sum(1 for busy in self._conn_busy.values() if busy)
+
+    def _close_idle_connections(self) -> None:
+        """Cut loose keep-alive connections with no request in flight.
+
+        Drain must not wait on a peer that is merely holding a
+        persistent connection open; a busy connection finishes its
+        reply first (the serving loop then closes it itself because
+        ``_draining`` is set).
+        """
+        for conn_writer, busy in list(self._conn_busy.items()):
+            if not busy:
+                conn_writer.close()
 
     async def stop(self) -> None:
         if self._brownout_task is not None:
@@ -411,6 +426,14 @@ class SolveService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for conn_writer in list(self._conn_busy):
+            conn_writer.close()
+        # Give keep-alive serving loops a beat to observe the EOF and
+        # unwind, so the event loop does not die with pending handlers.
+        for _ in range(10):
+            if not self._conn_busy:
+                break
+            await asyncio.sleep(0.01)
         await self.batcher.close()
         logger.info(
             "service stopped %s",
@@ -444,13 +467,37 @@ class SolveService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """One TCP connection: serve requests until either side closes.
+
+        With ``config.keepalive`` (the default) the connection persists
+        across exchanges HTTP/1.1-style; a peer sending ``Connection:
+        close``, any framing error, a drain in progress, or
+        ``keepalive=False`` ends it after the current reply.
+        """
+        self._conn_busy[writer] = False
+        try:
+            while True:
+                keep = await self._serve_one(reader, writer)
+                if not keep:
+                    break
+        finally:
+            self._conn_busy.pop(writer, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Read, route and answer one request; True to keep the
+        connection for another exchange."""
         began = time.perf_counter()
         endpoint = "unknown"
         status = 500
+        keep = False
         request_id = new_request_id()
-        # Counted for the whole handler body (reply write included) so
-        # drain() cannot declare victory while a response is in flight.
-        self._open_connections += 1
         try:
             try:
                 http = await read_request(
@@ -468,13 +515,23 @@ class SolveService:
                     "slow_client" if exc.status == 408 else "bad_request",
                     str(exc), request_id,
                 )
-                return
-            if http is None:  # clean disconnect before any bytes
+                return False
+            if http is None:  # clean disconnect between requests
                 status = 0
-                return
+                return False
+            # Busy from head-read to reply-flushed, so drain() cannot
+            # declare victory while a response is in flight.
+            self._conn_busy[writer] = True
             endpoint = f"{http.method} {http.path}"
+            keep = (
+                self.config.keepalive
+                and not self._draining
+                and http.headers.get("connection", "").lower() != "close"
+            )
             reply = await self._route(http, request_id)
             status = reply.status
+            if self._draining:
+                keep = False
             body = json.dumps(reply.payload).encode("utf-8") \
                 if isinstance(reply.payload, dict) \
                 else reply.payload
@@ -482,11 +539,14 @@ class SolveService:
                 "Content-Type", "application/json"
             )
             reply.headers.setdefault("X-Request-Id", request_id)
+            if self._shard_header is not None:
+                reply.headers.setdefault("X-Shard", self._shard_header)
             await write_response(
                 writer, status, body,
                 content_type=content_type, extra_headers=reply.headers,
-                timeout=self.config.write_timeout,
+                timeout=self.config.write_timeout, close=not keep,
             )
+            return keep
         except SlowClientError as exc:
             # The peer stopped draining its reply; abort the transport
             # so the connection cannot pin the daemon (tokens were
@@ -501,15 +561,18 @@ class SolveService:
             transport = writer.transport
             if transport is not None:
                 transport.abort()
+            return False
         except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
             # The peer vanished: work is done (and any gate tokens are
             # already released); only the reply is lost.
-            logger.info(
-                "client disconnected %s",
-                kv(request_id=request_id, endpoint=endpoint,
-                   detail=type(exc).__name__),
-            )
+            if logger.isEnabledFor(logging.INFO):
+                logger.info(
+                    "client disconnected %s",
+                    kv(request_id=request_id, endpoint=endpoint,
+                       detail=type(exc).__name__),
+                )
             status = 499
+            return False
         except Exception:  # noqa: BLE001 - last-resort 500
             logger.exception("unhandled service error")
             status = 500
@@ -520,8 +583,10 @@ class SolveService:
                 )
             except OSError:
                 pass
+            return False
         finally:
-            self._open_connections -= 1
+            if writer in self._conn_busy:
+                self._conn_busy[writer] = False
             if status != 0:  # ignore empty keep-alive probes
                 elapsed = time.perf_counter() - began
                 self.instruments.requests_total.inc(
@@ -530,16 +595,12 @@ class SolveService:
                 self.instruments.request_seconds.observe(
                     elapsed, endpoint=endpoint
                 )
-                logger.info(
-                    "request handled %s",
-                    kv(request_id=request_id, endpoint=endpoint,
-                       status=status, elapsed=elapsed),
-                )
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+                if logger.isEnabledFor(logging.INFO):
+                    logger.info(
+                        "request handled %s",
+                        kv(request_id=request_id, endpoint=endpoint,
+                           status=status, elapsed=elapsed),
+                    )
 
     async def _write_error(
         self,
@@ -556,6 +617,8 @@ class SolveService:
             "error": {"kind": kind, "message": message, **(extra or {})},
         }
         base_headers = {"X-Request-Id": request_id}
+        if self._shard_header is not None:
+            base_headers["X-Shard"] = self._shard_header
         if headers:
             base_headers.update(headers)
         await write_response(
@@ -609,6 +672,7 @@ class SolveService:
             "id": request_id,
             "status": "draining" if self._draining else "ok",
             "version": __version__,
+            "shard": self.config.shard_index,
             "uptime_s": time.monotonic() - self._started_at,
             "brownout": {
                 "stage": self.brownout.stage,
@@ -647,12 +711,24 @@ class SolveService:
     async def _handle_solve(
         self, http: HttpRequest, request_id: str
     ) -> _Reply:
-        try:
-            payload = self._parse_body(http)
-            request = decode_request(payload)
-            budget = decode_deadline_ms(payload)
-        except CrossbarError as exc:
-            return self._bad_request(request_id, str(exc))
+        memo = (
+            self._parse_memo.get(http.body)
+            if self.config.hot_cache_fast_path else None
+        )
+        if memo is not None:
+            request, budget = memo
+        else:
+            try:
+                payload = self._parse_body(http)
+                request = decode_request(payload)
+                budget = decode_deadline_ms(payload)
+            except CrossbarError as exc:
+                return self._bad_request(request_id, str(exc))
+            if (
+                self.config.hot_cache_fast_path
+                and len(self._parse_memo) < 4096
+            ):
+                self._parse_memo[http.body] = (request, budget)
         if self._draining:
             return self._shutting_down(request_id)
         if self.brownout.shedding:
@@ -695,16 +771,34 @@ class SolveService:
                     "message": result.error_message,
                 },
             })
-        reply = {
-            "id": request_id,
-            "result": encode_result(result),
-            "coalesced": coalesced,
-            "from_cache": result.from_cache,
-            "elapsed_ms": (time.perf_counter() - began) * 1e3,
-        }
+        elapsed_ms = (time.perf_counter() - began) * 1e3
         if degraded:
+            reply = {
+                "id": request_id,
+                "result": encode_result(result),
+                "coalesced": coalesced,
+                "from_cache": result.from_cache,
+                "elapsed_ms": elapsed_ms,
+            }
             self._stamp_degraded(reply)
-        return _Reply(200, reply)
+            return _Reply(200, reply)
+        # Hot path: splice the memoized result fragment into the
+        # envelope instead of re-encoding the result dict per request
+        # (same bytes json.dumps would emit, without walking the tree).
+        fragment = self._result_memo.get(request.cache_key)
+        if fragment is None:
+            fragment = json.dumps(encode_result(result)).encode("utf-8")
+            if len(self._result_memo) < 4096:
+                self._result_memo[request.cache_key] = fragment
+        tail = (
+            f', "coalesced": {"true" if coalesced else "false"}'
+            f', "from_cache": {"true" if result.from_cache else "false"}'
+            f', "elapsed_ms": {elapsed_ms!r}}}'
+        )
+        return _Reply(200, (
+            f'{{"id": "{request_id}", "result": '.encode("utf-8")
+            + fragment + tail.encode("utf-8")
+        ))
 
     async def _handle_batch(
         self, http: HttpRequest, request_id: str
@@ -815,17 +909,20 @@ class SolveService:
             **{"class": admission_class}
         )
         retry_after = self._retry_after()
+        error = {
+            "kind": "brownout_rejected",
+            "message": (
+                "service is shedding load (brownout stage "
+                f"{self.brownout.stage_name}); retry after the hint"
+            ),
+            "brownout_stage": self.brownout.stage_name,
+            "retry_after": retry_after,
+        }
+        if self.config.shard_index is not None:
+            error["shard"] = self.config.shard_index
         return _Reply(503, {
             "id": request_id,
-            "error": {
-                "kind": "brownout_rejected",
-                "message": (
-                    "service is shedding load (brownout stage "
-                    f"{self.brownout.stage_name}); retry after the hint"
-                ),
-                "brownout_stage": self.brownout.stage_name,
-                "retry_after": retry_after,
-            },
+            "error": error,
         }, {"Retry-After": str(max(1, math.ceil(retry_after)))})
 
     def _serve_stale(self, request_id: str, request: SolveRequest) -> _Reply:
@@ -922,28 +1019,32 @@ class SolveService:
         """Blocked-calls-cleared: structured 503, no queueing."""
         gate = self.gate.snapshot()
         retry_after = self._retry_after()
-        logger.info(
-            "request cleared %s",
-            kv(request_id=request_id, admission_class=admission_class,
-               in_use=gate.in_use, capacity=gate.capacity,
-               retry_after=retry_after),
-        )
+        if logger.isEnabledFor(logging.INFO):
+            logger.info(
+                "request cleared %s",
+                kv(request_id=request_id, admission_class=admission_class,
+                   in_use=gate.in_use, capacity=gate.capacity,
+                   retry_after=retry_after),
+            )
+        error = {
+            "kind": "admission_rejected",
+            "message": (
+                "admission gate is full; the request was cleared "
+                "(not queued) -- retry after the hint"
+            ),
+            "admission_class": admission_class,
+            "retry_after": retry_after,
+            "gate_capacity": gate.capacity,
+            "gate_in_use": gate.in_use,
+            "offered": gate.offered,
+            "rejected": gate.rejected,
+            "blocking_ratio": gate.blocking_ratio,
+        }
+        if self.config.shard_index is not None:
+            error["shard"] = self.config.shard_index
         return _Reply(503, {
             "id": request_id,
-            "error": {
-                "kind": "admission_rejected",
-                "message": (
-                    "admission gate is full; the request was cleared "
-                    "(not queued) -- retry after the hint"
-                ),
-                "admission_class": admission_class,
-                "retry_after": retry_after,
-                "gate_capacity": gate.capacity,
-                "gate_in_use": gate.in_use,
-                "offered": gate.offered,
-                "rejected": gate.rejected,
-                "blocking_ratio": gate.blocking_ratio,
-            },
+            "error": error,
         }, {"Retry-After": str(max(1, math.ceil(retry_after)))})
 
     def _note_hold(self, elapsed: float) -> None:
@@ -980,6 +1081,15 @@ class SolveService:
         (``asyncio.TimeoutError``) — the shield keeps a shared flight
         alive for its other waiters when this one gives up.
         """
+        if self.config.hot_cache_fast_path:
+            # Cache-hot requests never leave the event loop: a pure
+            # in-memory lookup (no disk, no lock, no thread hop) serves
+            # the same bytes the batcher would.  Admission was already
+            # charged by the caller, so the loss-system contract holds.
+            hit = self.engine.cached_result(request, memory_only=True)
+            if hit is not None:
+                self.instruments.fast_path_hits.inc()
+                return hit, False
         key = request.cache_key
         future = self.flights.join(key)
         if future is not None:
@@ -1032,10 +1142,16 @@ class SolveService:
 
 
 async def _serve_async(
-    config: ServiceConfig, engine: BatchSolver | None = None
+    config: ServiceConfig,
+    engine: BatchSolver | None = None,
+    on_started: Callable[[SolveService], None] | None = None,
 ) -> None:
     service = SolveService(config, engine=engine)
     await service.start()
+    if on_started is not None:
+        # Cluster workers report their bound (possibly ephemeral) port
+        # to the supervisor through this hook.
+        on_started(service)
     loop = asyncio.get_running_loop()
     stop_now = asyncio.Event()
     signals_seen = 0
@@ -1091,9 +1207,12 @@ async def _serve_async(
 def serve(
     config: ServiceConfig | None = None,
     engine: BatchSolver | None = None,
+    on_started: Callable[[SolveService], None] | None = None,
+    **legacy: Any,
 ) -> None:
     """Run the daemon in the current thread until interrupted."""
-    asyncio.run(_serve_async(config or ServiceConfig(), engine))
+    config = _config_from_legacy(config, legacy)
+    asyncio.run(_serve_async(config or ServiceConfig(), engine, on_started))
 
 
 class ServiceHandle:
@@ -1152,12 +1271,14 @@ class ServiceHandle:
 def start_in_thread(
     config: ServiceConfig | None = None,
     engine: BatchSolver | None = None,
+    **legacy: Any,
 ) -> ServiceHandle:
     """Start a daemon on a fresh daemon thread; returns its handle.
 
     The default config binds an ephemeral port (``port=0``); read it
     back from ``handle.port``.
     """
+    config = _config_from_legacy(config, legacy)
     config = config or ServiceConfig(port=0)
     started = threading.Event()
     box: dict[str, Any] = {}

@@ -1,0 +1,67 @@
+"""Consistent-hash routing of canonical cache keys onto worker shards.
+
+The cluster's single-flight and cache-locality contracts only hold if
+every request for one canonical key (:mod:`repro.engine.keys`) always
+lands on the same worker.  A :class:`HashRing` maps keys to shard
+*indices* via consistent hashing with virtual nodes:
+
+* virtual nodes are derived from the **shard index**, never from the
+  worker's pid or port, so a worker respawned into the same slot keeps
+  exactly its old keyspace (routing stability under respawn);
+* hashing is SHA-256 based, so the mapping is identical in every
+  process regardless of ``PYTHONHASHSEED`` — a client that fetched the
+  ``/cluster`` shard map can compute the same routing as the router.
+
+With a fixed shard count the ring is equivalent to a modulo over a
+well-mixed hash, but the ring form keeps the door open for ROADMAP's
+elastic resharding (adding a shard only remaps ``~1/N`` of keys).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing", "ring_point"]
+
+
+def ring_point(token: str) -> int:
+    """A deterministic 64-bit position on the ring for ``token``."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Maps canonical cache keys to shard indices ``0..shards-1``."""
+
+    def __init__(self, shards: int, replicas: int = 64) -> None:
+        if shards < 1:
+            raise ValueError("a ring needs at least one shard")
+        if replicas < 1:
+            raise ValueError("a ring needs at least one virtual node")
+        self.shards = shards
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(replicas):
+                points.append((ring_point(f"shard:{shard}:vnode:{vnode}"),
+                               shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (a canonical cache key)."""
+        if self.shards == 1:
+            return 0
+        index = bisect.bisect(self._points, ring_point(key))
+        if index == len(self._points):  # wrap around the ring
+            index = 0
+        return self._owners[index]
+
+    def spread(self, keys: list[str]) -> dict[int, int]:
+        """Key count per shard — handy for balance assertions."""
+        counts: dict[int, int] = {shard: 0 for shard in range(self.shards)}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

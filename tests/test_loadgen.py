@@ -1,0 +1,193 @@
+"""The declarative load harness: specs, report math, live runs.
+
+The loadgen is measurement equipment, so its arithmetic is pinned by
+hand-computed cases (blocking ratios, Erlang-B fleet prediction,
+latency percentiles) and its end-to-end path is smoked against both a
+single daemon (replies land in the ``UNSHARDED`` bucket) and a real
+two-worker cluster (per-shard tallies from ``X-Shard`` headers,
+client-side direct sharding).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytestmark = pytest.mark.service  # spawns generator processes
+
+from repro.baselines.erlang import erlang_b
+from repro.exceptions import ConfigurationError
+from repro.loadgen import (
+    DEFAULT_CLASSES,
+    LoadReport,
+    LoadSpec,
+    UNSHARDED,
+    expected_fleet_blocking,
+    run_load,
+)
+from repro.service import (
+    ClusterConfig,
+    ServiceConfig,
+    start_cluster_in_thread,
+    start_in_thread,
+)
+
+QUICK = dict(
+    generators=1, connections=8, duration=1.0, warmup=1, timeout=10.0
+)
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+
+
+def test_spec_round_trips_through_toml(tmp_path):
+    spec = LoadSpec(
+        generators=3, connections=32, duration=2.5, mode="open",
+        rate=120.0, burst_mean=2.5, sizes=(4, 8), method="exact",
+        deadline_ms=250.0, shard_direct=False,
+    )
+    path = tmp_path / "load.toml"
+    path.write_text(spec.to_toml())
+    assert LoadSpec.from_toml(path) == spec
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"generators": 0},
+        {"connections": 0},
+        {"duration": 0.0},
+        {"mode": "bursty"},
+        {"mode": "open", "rate": 0.0},
+        {"burst_mean": 0.5},
+        {"sizes": ()},
+        {"classes": ()},
+        {"warmup": -1},
+    ],
+)
+def test_bad_specs_raise(bad):
+    with pytest.raises(ConfigurationError):
+        LoadSpec(**bad)
+
+
+def test_spec_rejects_unknown_keys():
+    with pytest.raises(ConfigurationError):
+        LoadSpec.from_dict({"generatorz": 2})
+
+
+def test_request_entries_carry_canonical_keys():
+    spec = LoadSpec(sizes=(4, 6), classes=tuple(DEFAULT_CLASSES))
+    entries = spec.request_entries()
+    assert len(entries) == 2
+    for record, key in entries:
+        assert isinstance(record, dict)
+        assert key  # the client-side sharding routes on this
+    assert len({key for _, key in entries}) == 2
+
+
+# ----------------------------------------------------------------------
+# Report arithmetic
+# ----------------------------------------------------------------------
+
+
+def test_report_ratios_and_percentiles():
+    report = LoadReport(
+        spec=LoadSpec(), offered=100, completed=60, rejected=30,
+        deadline_exceeded=10, duration=2.0,
+        latencies=sorted([0.010] * 50 + [0.020] * 10),
+        per_shard={
+            0: {"ok": 40, "rejected": 10},
+            1: {"ok": 20, "rejected": 20},
+        },
+    )
+    assert report.throughput_rps == pytest.approx(30.0)
+    assert report.blocking_measured == pytest.approx(0.3)
+    assert report.shard_blocking(0) == pytest.approx(0.2)
+    assert report.shard_blocking(1) == pytest.approx(0.5)
+    assert report.latency_ms(0.50) == pytest.approx(10.0)
+    assert report.latency_ms(0.99) == pytest.approx(20.0)
+    record = report.to_dict()
+    assert record["throughput_rps"] == pytest.approx(30.0)
+    assert record["per_shard"]["1"]["rejected"] == 20
+
+
+def test_expected_fleet_blocking_weights_by_offered_load():
+    report = LoadReport(
+        spec=LoadSpec(), duration=10.0,
+        per_shard={
+            0: {"ok": 80, "rejected": 20},   # 10/s offered
+            1: {"ok": 160, "rejected": 40},  # 20/s offered
+        },
+    )
+    hold = 0.1
+    want = (
+        100 * erlang_b(2, 10.0 * hold) + 200 * erlang_b(2, 20.0 * hold)
+    ) / 300
+    assert expected_fleet_blocking(report, servers=2, hold_s=hold) \
+        == pytest.approx(want)
+
+
+def test_expected_fleet_blocking_empty_report_is_zero():
+    assert expected_fleet_blocking(
+        LoadReport(spec=LoadSpec()), servers=2, hold_s=0.1
+    ) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Live runs
+# ----------------------------------------------------------------------
+
+
+def test_closed_loop_against_a_single_daemon():
+    with start_in_thread(ServiceConfig(port=0)) as handle:
+        spec = LoadSpec(mode="closed", **QUICK)
+        report = run_load(spec, *handle.address)
+    assert report.errors == 0
+    assert report.completed > 0
+    assert report.offered >= report.completed
+    # No cluster: every reply lands in the unsharded bucket (the
+    # shard_direct probe falls back to the given address).
+    assert set(report.per_shard) == {UNSHARDED}
+    assert report.latencies == sorted(report.latencies)
+
+
+def test_open_loop_offers_bursty_arrivals():
+    with start_in_thread(ServiceConfig(port=0)) as handle:
+        spec = LoadSpec(
+            mode="open", rate=150.0, burst_mean=2.0, **QUICK
+        )
+        report = run_load(spec, *handle.address)
+    assert report.errors == 0
+    assert report.offered > 0
+    assert report.completed + report.rejected \
+        + report.deadline_exceeded + report.other <= report.offered
+
+
+def test_direct_sharding_against_a_cluster():
+    config = ServiceConfig(
+        port=0, cluster=ClusterConfig(workers=2)
+    )
+    with start_cluster_in_thread(config) as handle:
+        spec = LoadSpec(mode="closed", **QUICK)
+        report = run_load(spec, *handle.address)
+    assert report.errors == 0
+    assert report.completed > 0
+    # Direct sharding: replies come from the workers themselves, so
+    # every bucket is a real shard index (nothing unsharded).
+    assert report.per_shard
+    assert UNSHARDED not in report.per_shard
+    assert set(report.per_shard) <= {0, 1}
+
+
+def test_transport_failures_are_tallied_not_raised():
+    # Nothing listens on this port: every round-trip fails, the
+    # generator ships its counters anyway, and errors are tallied
+    # rather than raised.
+    spec = LoadSpec(
+        generators=1, connections=2, duration=0.5, warmup=0,
+        timeout=0.5, shard_direct=False,
+    )
+    report = run_load(spec, "127.0.0.1", 9)
+    assert report.completed == 0
+    assert report.errors > 0

@@ -61,7 +61,7 @@ def make_client(policy: RetryPolicy, script) -> tuple[ServiceClient, list]:
     )
     replies = iter(script)
 
-    def fake_roundtrip(method, path, payload=None):
+    def fake_roundtrip(method, path, payload=None, address=None):
         reply = next(replies)
         if isinstance(reply, Exception):
             raise reply
@@ -160,7 +160,7 @@ def test_504_is_never_retried():
         retry=RetryPolicy(max_retries=5), sleep=lambda _s: None,
     )
 
-    def fake_roundtrip(method, path, payload=None):
+    def fake_roundtrip(method, path, payload=None, address=None):
         calls["n"] += 1
         return 504, {"error": {
             "kind": "deadline_exceeded", "phase": "wait",
@@ -189,7 +189,7 @@ def test_hedge_fires_after_threshold_and_second_wins():
         retry=RetryPolicy(hedge_after=0.05),
     )
 
-    def fake_roundtrip(method, path, payload=None):
+    def fake_roundtrip(method, path, payload=None, address=None):
         with lock:
             calls["n"] += 1
             mine = calls["n"]
@@ -203,7 +203,10 @@ def test_hedge_fires_after_threshold_and_second_wins():
         assert envelope["result"] == {"ok": True}
         assert client.hedges == 1
         assert client.hedges_won == 1
-        assert calls["n"] == 2
+        # Three transports: the stuck primary, the one-time /cluster
+        # probe (looking for a different shard to hedge at), and the
+        # hedged duplicate itself.
+        assert calls["n"] == 3
     finally:
         release_first.set()
 
@@ -212,7 +215,9 @@ def test_fast_primary_never_hedges():
     client = ServiceClient(
         "127.0.0.1", 1, retry=RetryPolicy(hedge_after=5.0),
     )
-    client._roundtrip = lambda method, path, payload=None: OK_ENVELOPE
+    client._roundtrip = (
+        lambda method, path, payload=None, address=None: OK_ENVELOPE
+    )
     client.solve_raw(point_request())
     assert client.hedges == 0
     assert client.hedges_won == 0

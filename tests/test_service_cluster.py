@@ -1,0 +1,269 @@
+"""The sharded multi-worker cluster: routing, identity, resilience.
+
+Four fleet-level contracts from the PR-7 tentpole:
+
+* **byte identity** — any worker, asked the same canonical request,
+  returns the same encoded result (solves are pure, so sharding is an
+  optimization, never a semantic);
+* **stable shard routing** — the consistent-hash ring is keyed by
+  shard *index*, so a respawned worker (new pid, new port) inherits
+  exactly the keys its predecessor owned;
+* **shared disk cache** — two workers writing the same entries through
+  the ``.tmp-<pid>`` + rename protocol never corrupt the store nor
+  leave droppings behind;
+* **metrics federation** — the router's ``/metrics`` page carries every
+  worker's samples, each labeled with its shard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.client import HTTPConnection
+
+import pytest
+
+pytestmark = pytest.mark.service  # spawns worker processes
+
+from repro.api import SolveRequest, solve
+from repro.core.traffic import TrafficClass
+from repro.service import (
+    ClusterConfig,
+    ServiceClient,
+    ServiceConfig,
+    start_cluster_in_thread,
+)
+from repro.service.sharding import HashRing
+
+REQUESTS = [
+    SolveRequest.square(
+        n,
+        [
+            TrafficClass.poisson(0.002, name="data"),
+            TrafficClass(alpha=0.001, beta=0.0005, name="video"),
+        ],
+    )
+    for n in (4, 5, 6, 7)
+]
+
+
+def solution_bytes(fragment: dict) -> str:
+    """Canonical solution bytes: the encoded result minus provenance
+    (``from_cache`` says where a worker got the answer, not what the
+    answer is — it differs between a warmed owner and a cold peer)."""
+    record = dict(fragment)
+    record.pop("from_cache", None)
+    return json.dumps(record, sort_keys=True)
+
+
+def wire_solve(
+    host: str, port: int, request: SolveRequest
+) -> tuple[int, int | None, dict]:
+    """One raw /solve round-trip returning (status, shard, envelope)."""
+    connection = HTTPConnection(host, port, timeout=30.0)
+    try:
+        connection.request(
+            "POST", "/solve",
+            body=json.dumps({"request": request.to_dict()}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        raw = response.read()
+        shard = response.getheader("X-Shard")
+        return (
+            response.status,
+            int(shard) if shard is not None else None,
+            json.loads(raw.decode()),
+        )
+    finally:
+        connection.close()
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("fleet-cache")
+    config = ServiceConfig(
+        port=0,
+        cluster=ClusterConfig(workers=2, cache_dir=str(cache_dir)),
+    )
+    with start_cluster_in_thread(config) as handle:
+        yield handle, cache_dir
+
+
+@pytest.fixture(scope="module")
+def shard_map(cluster):
+    handle, _ = cluster
+    client = ServiceClient(*handle.address)
+    chart = client.cluster_map()
+    assert chart is not None and chart["strategy"] == "hash"
+    return chart
+
+
+def test_cluster_map_reports_the_fleet(shard_map):
+    assert shard_map["workers"] == 2
+    shards = {entry["shard"]: entry for entry in shard_map["shards"]}
+    assert sorted(shards) == [0, 1]
+    assert all(entry["alive"] for entry in shards.values())
+    assert len({entry["pid"] for entry in shards.values()}) == 2
+    assert len({entry["port"] for entry in shards.values()}) == 2
+
+
+def test_router_routes_by_canonical_key(cluster, shard_map):
+    handle, _ = cluster
+    ring = HashRing(
+        shard_map["workers"], shard_map["hash_replicas"]
+    )
+    for request in REQUESTS:
+        status, shard, _ = wire_solve(*handle.address, request)
+        assert status == 200
+        assert shard == ring.shard_for(request.cache_key)
+        # Repeat solves of the same key stay on the same shard.
+        _, again, _ = wire_solve(*handle.address, request)
+        assert again == shard
+
+
+def test_cross_worker_byte_identity(cluster, shard_map):
+    """Every worker answers every request with identical result bytes,
+    and those bytes match a local in-process solve."""
+    workers = [
+        (entry["host"], entry["port"]) for entry in shard_map["shards"]
+    ]
+    for request in REQUESTS:
+        local = solve(request)
+        fragments = set()
+        for address in workers:
+            status, _, envelope = wire_solve(*address, request)
+            assert status == 200
+            fragments.add(solution_bytes(envelope["result"]))
+            from repro.service.protocol import decode_result
+
+            assert decode_result(envelope["result"]) == local
+        assert len(fragments) == 1, "workers disagreed on result bytes"
+
+
+def test_shared_disk_cache_survives_concurrent_writers(
+    cluster, shard_map
+):
+    """Both workers hammer the same fresh keys; the shared store ends
+    up consistent with no temp-file droppings."""
+    handle, cache_dir = cluster
+    workers = [
+        (entry["host"], entry["port"]) for entry in shard_map["shards"]
+    ]
+    fresh = [
+        SolveRequest.square(
+            n, [TrafficClass.poisson(0.003, name="burst")]
+        )
+        for n in (8, 9, 10, 11)
+    ]
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        futures = [
+            pool.submit(wire_solve, *address, request)
+            for request in fresh
+            for address in workers
+            for _ in range(2)
+        ]
+        outcomes = [f.result(60.0) for f in futures]
+    assert all(status == 200 for status, _, _ in outcomes)
+    by_key: dict[str, set[str]] = {}
+    for (status, _, envelope), request in zip(
+        outcomes, [r for r in fresh for _ in range(4)]
+    ):
+        by_key.setdefault(request.cache_key, set()).add(
+            solution_bytes(envelope["result"])
+        )
+    assert all(len(values) == 1 for values in by_key.values())
+    leftovers = [
+        name for name in os.listdir(cache_dir) if ".tmp" in name
+    ]
+    assert leftovers == [], f"temp droppings in shared cache: {leftovers}"
+    assert any(cache_dir.iterdir()), "shared disk cache stayed empty"
+
+
+def test_metrics_federation_labels_every_shard(cluster):
+    handle, _ = cluster
+    page = ServiceClient(*handle.address).metrics()
+    assert 'shard="0"' in page
+    assert 'shard="1"' in page
+    assert "repro_cluster_proxied_total" in page
+    # Worker pages merged: the core serving series survived federation.
+    assert "repro_service_requests_total" in page
+
+
+def test_healthz_aggregates_workers(cluster):
+    handle, _ = cluster
+    health = ServiceClient(*handle.address).health()
+    assert health["status"] in ("ok", "degraded")
+    assert len(health["workers"]) == 2
+    assert all(
+        entry["alive"] and entry["status"] == "ok"
+        for entry in health["workers"]
+    )
+
+
+def test_client_hedges_to_a_different_shard(cluster, shard_map):
+    handle, _ = cluster
+    client = ServiceClient(*handle.address)
+    ring = HashRing(
+        shard_map["workers"], shard_map["hash_replicas"]
+    )
+    shards = {
+        entry["shard"]: (entry["host"], entry["port"])
+        for entry in shard_map["shards"]
+    }
+    for request in REQUESTS:
+        owner = ring.shard_for(request.cache_key)
+        hedge = client._hedge_address(request.cache_key)
+        assert hedge is not None
+        assert hedge != shards[owner]
+        assert hedge in shards.values()
+
+
+def test_respawned_worker_inherits_its_shard(tmp_path):
+    """Kill a worker; the supervisor respawns the shard slot and the
+    ring keeps routing its keys there (virtual nodes are keyed by
+    shard index, not by pid or port)."""
+    config = ServiceConfig(
+        port=0,
+        cluster=ClusterConfig(
+            workers=2, health_interval=0.1, cache_dir=str(tmp_path)
+        ),
+    )
+    with start_cluster_in_thread(config) as handle:
+        client = ServiceClient(*handle.address)
+        before = client.cluster_map()
+        ring = HashRing(before["workers"], before["hash_replicas"])
+        request = REQUESTS[0]
+        owner = ring.shard_for(request.cache_key)
+        status, shard, envelope = wire_solve(*handle.address, request)
+        assert (status, shard) == (200, owner)
+        expected = solution_bytes(envelope["result"])
+
+        victim = next(
+            entry for entry in before["shards"]
+            if entry["shard"] == owner
+        )
+        os.kill(victim["pid"], signal.SIGKILL)
+
+        deadline = time.monotonic() + 60.0
+        while True:
+            chart = client.cluster_map(refresh=True)
+            entry = next(
+                e for e in chart["shards"] if e["shard"] == owner
+            )
+            if (
+                entry["alive"]
+                and entry["pid"] != victim["pid"]
+                and entry["port"]
+            ):
+                break
+            assert time.monotonic() < deadline, "respawn timed out"
+            time.sleep(0.1)
+        assert entry["respawns"] == 1
+
+        status, shard, envelope = wire_solve(*handle.address, request)
+        assert (status, shard) == (200, owner)
+        assert solution_bytes(envelope["result"]) == expected

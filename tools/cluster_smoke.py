@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""End-to-end smoke drill for the sharded multi-worker cluster.
+
+Boots a 4-worker fleet in-process (fork-per-worker supervisor, shared
+disk cache, hash sharding), exercises it over the real wire, and
+asserts:
+
+* **Fleet map** — `/cluster` shows 4 live workers on distinct pids
+  and ports.
+* **Shard routing** — every request lands on the shard its canonical
+  cache key hashes to (`X-Shard` header vs a client-side ring), and
+  repeats stay there.
+* **Byte identity** — every worker answers every request with the
+  same solution bytes (provenance stripped), equal to the local
+  ``repro.api.solve`` answer.
+* **Respawn** — a SIGKILLed worker is respawned into the same shard
+  slot and keeps answering its keys identically.
+* **Load harness** — a short closed-loop ``repro.loadgen`` run with
+  client-side direct sharding completes with zero transport errors
+  and touches only real shards.
+* **Metrics federation** — the router's `/metrics` carries samples
+  labeled for every shard.
+* **Clean shutdown** — the supervisor drains and joins.
+
+Exit code 0 on success, 1 on any violation.  CI runs this under
+``timeout`` so a hang fails the job instead of stalling the runner.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import SolveRequest, solve  # noqa: E402
+from repro.core.traffic import TrafficClass  # noqa: E402
+from repro.loadgen import UNSHARDED, LoadSpec, run_load  # noqa: E402
+from repro.service import (  # noqa: E402
+    ClusterConfig,
+    ServiceClient,
+    ServiceConfig,
+    start_cluster_in_thread,
+)
+from repro.service.protocol import decode_result  # noqa: E402
+from repro.service.sharding import HashRing  # noqa: E402
+
+WORKERS = 4
+
+
+def point_request(n: int) -> SolveRequest:
+    return SolveRequest.square(
+        n,
+        [
+            TrafficClass.poisson(0.002, name="data"),
+            TrafficClass(alpha=0.001, beta=0.0005, name="video"),
+        ],
+    )
+
+
+REQUESTS = [point_request(n) for n in (4, 5, 6, 8, 10, 12)]
+
+
+def check(condition: bool, label: str, failures: list[str]) -> None:
+    print(f"  [{'ok' if condition else 'FAIL'}] {label}")
+    if not condition:
+        failures.append(label)
+
+
+def solution_bytes(fragment: dict) -> str:
+    """Encoded result minus provenance (``from_cache`` differs between
+    a warmed owner and a cold peer; the answer must not)."""
+    record = dict(fragment)
+    record.pop("from_cache", None)
+    return json.dumps(record, sort_keys=True)
+
+
+def wire_solve(host: str, port: int, request: SolveRequest):
+    connection = HTTPConnection(host, port, timeout=30.0)
+    try:
+        connection.request(
+            "POST", "/solve",
+            body=json.dumps({"request": request.to_dict()}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        raw = response.read()
+        shard = response.getheader("X-Shard")
+        return (
+            response.status,
+            int(shard) if shard is not None else None,
+            json.loads(raw.decode()),
+        )
+    finally:
+        connection.close()
+
+
+def main() -> int:
+    failures: list[str] = []
+    local = {r.cache_key: solve(r) for r in REQUESTS}
+
+    with tempfile.TemporaryDirectory(prefix="cluster-smoke-") as cache:
+        config = ServiceConfig(
+            port=0,
+            cluster=ClusterConfig(
+                workers=WORKERS, cache_dir=cache, health_interval=0.2
+            ),
+        )
+        with start_cluster_in_thread(config) as handle:
+            client = ServiceClient(*handle.address)
+
+            print("fleet map")
+            chart = client.cluster_map()
+            check(chart is not None, "router serves /cluster", failures)
+            check(
+                chart["workers"] == WORKERS
+                and len(chart["shards"]) == WORKERS,
+                f"{WORKERS} shards in the map", failures,
+            )
+            check(
+                all(entry["alive"] for entry in chart["shards"]),
+                "every worker alive", failures,
+            )
+            check(
+                len({e["pid"] for e in chart["shards"]}) == WORKERS
+                and len({e["port"] for e in chart["shards"]}) == WORKERS,
+                "distinct pids and ports", failures,
+            )
+
+            print("shard routing + byte identity")
+            ring = HashRing(chart["workers"], chart["hash_replicas"])
+            addresses = [
+                (e["host"], e["port"]) for e in chart["shards"]
+            ]
+            routed_ok = identical = True
+            for request in REQUESTS:
+                status, shard, _ = wire_solve(*handle.address, request)
+                routed_ok &= status == 200
+                routed_ok &= shard == ring.shard_for(request.cache_key)
+                _, again, _ = wire_solve(*handle.address, request)
+                routed_ok &= again == shard
+                fragments = set()
+                for address in addresses:
+                    status, _, envelope = wire_solve(*address, request)
+                    identical &= status == 200
+                    fragments.add(solution_bytes(envelope["result"]))
+                    identical &= (
+                        decode_result(envelope["result"])
+                        == local[request.cache_key]
+                    )
+                identical &= len(fragments) == 1
+            check(routed_ok, "keys route to their ring shard", failures)
+            check(
+                identical,
+                "all workers byte-identical to the local solve",
+                failures,
+            )
+
+            print("respawn inherits the shard")
+            victim_request = REQUESTS[0]
+            owner = ring.shard_for(victim_request.cache_key)
+            _, _, envelope = wire_solve(*handle.address, victim_request)
+            expected = solution_bytes(envelope["result"])
+            victim = next(
+                e for e in chart["shards"] if e["shard"] == owner
+            )
+            os.kill(victim["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 60.0
+            respawned = False
+            while time.monotonic() < deadline:
+                chart = client.cluster_map(refresh=True)
+                entry = next(
+                    e for e in chart["shards"] if e["shard"] == owner
+                )
+                if (
+                    entry["alive"]
+                    and entry["pid"] != victim["pid"]
+                    and entry["port"]
+                ):
+                    respawned = True
+                    break
+                time.sleep(0.1)
+            check(respawned, "dead worker respawned", failures)
+            status, shard, envelope = wire_solve(
+                *handle.address, victim_request
+            )
+            check(
+                (status, shard) == (200, owner),
+                "respawned worker owns the same keys", failures,
+            )
+            check(
+                solution_bytes(envelope["result"]) == expected,
+                "respawned worker answers identically", failures,
+            )
+
+            print("load harness (direct sharding)")
+            spec = LoadSpec(
+                generators=1, connections=16, duration=1.5,
+                mode="closed", warmup=1, timeout=15.0,
+            )
+            report = run_load(spec, *handle.address)
+            check(report.errors == 0, "zero transport errors", failures)
+            check(report.completed > 0, "requests completed", failures)
+            check(
+                report.per_shard
+                and UNSHARDED not in report.per_shard,
+                "every reply tagged with a real shard", failures,
+            )
+
+            print("metrics federation")
+            page = client.metrics()
+            check(
+                all(
+                    f'shard="{i}"' in page for i in range(WORKERS)
+                ),
+                "every shard labeled on /metrics", failures,
+            )
+            check(
+                "repro_cluster_proxied_total" in page
+                and "repro_service_requests_total" in page,
+                "router + worker series federated", failures,
+            )
+
+        print("clean shutdown")
+        check(True, "supervisor drained and joined", failures)
+
+    if failures:
+        print(f"\nFAILED ({len(failures)}): " + "; ".join(failures))
+        return 1
+    print("\nall cluster smoke checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
