@@ -37,6 +37,17 @@ offered-load-weighted Erlang-B prediction, and bursty traffic
 (``burst_mean=3``) blocking strictly above the Poisson run — the
 source paper's central claim, re-proved on the serving tier.
 
+A seventh section, **cluster_failover**, measures the self-healing
+fleet: kill one worker of a two-shard fleet and record how long its
+keyspace spends failing over (recovery time, failover count, the
+share of failover replies served from the shared cache — the
+cache-locality cost of the detour), then hold one worker of a
+4-shard fleet dead and offer open-loop Poisson traffic through the
+router.  Asserted: the measured fleet blocking lands within 0.1 of
+the availability-weighted Erlang-B prediction
+(``B(c, (rate/(W-d)) * H)`` — the paper's loss model applied to the
+shrunken fleet).
+
 Run ``python benchmarks/bench_engine.py --quick`` for the CI-sized
 variant.
 """
@@ -480,6 +491,193 @@ def bench_service_cluster(single_worker_rps: float) -> dict:
     }
 
 
+def bench_cluster_failover(quick: bool) -> dict:
+    """Self-healing fleet: recovery time, failover cost, degraded loss.
+
+    **Recovery leg** — on a two-shard fleet, SIGKILL the worker owning
+    a warmed key and probe that key continuously: every probe must
+    answer 200 (failing over to the peer while the slot respawns), and
+    the leg records how long the keyspace spent detoured, how many
+    replies failed over, and what fraction of them the peer served
+    from the shared disk cache (the cache-locality cost of failover —
+    a shared store keeps it near zero).
+
+    **Degraded-blocking leg** — the acceptance check: a 4-worker loss
+    fleet (2 tokens, 50 ms hold per shard, brownout off for clean
+    math) with one worker held dead (``respawn=False``) is offered
+    open-loop Poisson traffic through the router.  Failover
+    concentrates the stream on the 3 survivors, so measured blocking
+    must land within 0.1 of ``B(2, (rate/3) * H)`` — the
+    availability-weighted Erlang-B prediction.
+    """
+    import http.client
+    import tempfile
+
+    from repro.loadgen import (
+        LoadSpec,
+        availability_weighted_blocking,
+        run_load,
+    )
+    from repro.service import (
+        BrownoutConfig,
+        ClusterConfig,
+        ServiceClient,
+        ServiceConfig,
+        start_cluster_in_thread,
+    )
+    from repro.service.sharding import HashRing
+
+    request = SolveRequest.square(6, SWEEP_CLASSES)
+
+    def probe(address: tuple[str, int]) -> tuple[int, int | None,
+                                                 int | None, bool]:
+        connection = http.client.HTTPConnection(*address, timeout=30.0)
+        try:
+            connection.request(
+                "POST", "/solve",
+                body=json.dumps({"request": request.to_dict()}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            envelope = json.loads(response.read().decode())
+            shard = response.getheader("X-Shard")
+            failover = response.getheader("X-Shard-Failover")
+            return (
+                response.status,
+                int(shard) if shard is not None else None,
+                int(failover) if failover is not None else None,
+                bool(envelope.get("result", {}).get("from_cache")),
+            )
+        finally:
+            connection.close()
+
+    # -- recovery leg -------------------------------------------------
+    with tempfile.TemporaryDirectory(prefix="bench-failover-") as cache:
+        config = ServiceConfig(
+            port=0, batch_window=0.001,
+            cluster=ClusterConfig(
+                workers=2, cache_dir=cache, health_interval=0.05,
+                respawn_backoff_base=0.1,
+            ),
+        )
+        with start_cluster_in_thread(config) as handle:
+            client = ServiceClient(*handle.address)
+            chart = client.cluster_map()
+            ring = HashRing(chart["workers"], chart["hash_replicas"])
+            owner = ring.shard_for(request.cache_key)
+            status, shard, _, _ = probe(handle.address)
+            assert (status, shard) == (200, owner)
+
+            killed_at = time.monotonic()
+            assert handle.kill_shard(owner)
+            probes = 0
+            failovers = 0
+            failover_hits = 0
+            recovery_s = None
+            deadline = killed_at + 60.0
+            while time.monotonic() < deadline:
+                status, shard, failover, from_cache = probe(
+                    handle.address
+                )
+                probes += 1
+                assert status == 200, (
+                    f"probe {probes} got {status} during failover"
+                )
+                if failover is not None:
+                    failovers += 1
+                    failover_hits += 1 if from_cache else 0
+                elif shard == owner:
+                    recovery_s = time.monotonic() - killed_at
+                    break
+                time.sleep(0.02)
+            assert recovery_s is not None, "owner never recovered"
+            assert failovers >= 1, "the kill was never observed"
+
+    recovery = {
+        "workers": 2,
+        "recovery_s": recovery_s,
+        "probes": probes,
+        "failover_replies": failovers,
+        "failover_cache_hit_rate": (
+            failover_hits / failovers if failovers else 0.0
+        ),
+    }
+
+    # -- degraded-blocking leg (the acceptance criterion) -------------
+    workers, dead, servers, hold = 4, 1, 2, 0.05
+    tolerance = 0.10
+    config = ServiceConfig(
+        port=0, gate_capacity=servers, point_weight=1.0,
+        min_hold=hold, batch_window=0.001,
+        brownout=BrownoutConfig(enabled=False),
+        cluster=ClusterConfig(
+            workers=workers, health_interval=0.05, respawn=False,
+        ),
+    )
+    spec = LoadSpec(
+        generators=2, connections=256, duration=6.0 if quick else 10.0,
+        mode="open", rate=160.0, sizes=tuple(range(3, 15)), warmup=2,
+        shard_direct=False,  # through the router: failover must engage
+    )
+    with start_cluster_in_thread(config) as handle:
+        client = ServiceClient(*handle.address)
+        chart = client.cluster_map()
+        victim = chart["shards"][0]["shard"]
+        assert handle.kill_shard(victim)
+        deadline = time.monotonic() + 30.0
+        while True:  # hold the shard dead before offering load
+            chart = client.cluster_map(refresh=True)
+            entry = next(
+                e for e in chart["shards"] if e["shard"] == victim
+            )
+            if entry["dead"]:
+                break
+            assert time.monotonic() < deadline, "death never declared"
+            time.sleep(0.05)
+        report = run_load(spec, *handle.address)
+
+    assert report.errors == 0, (
+        f"{report.errors} transport errors through a failing-over "
+        f"router ({report.connect_refused} refused, "
+        f"{report.read_errors} read)"
+    )
+    offered_rate = report.offered / report.duration
+    predicted = availability_weighted_blocking(
+        workers, dead, servers, offered_rate, hold
+    )
+    measured = report.blocking_measured
+    delta = abs(measured - predicted)
+    assert delta <= tolerance, (
+        f"fleet blocking with {dead}/{workers} workers dead measured "
+        f"{measured:.3f} but the availability-weighted Erlang-B "
+        f"prediction is {predicted:.3f} (|delta| {delta:.3f} > "
+        f"{tolerance})"
+    )
+
+    return {
+        "recovery": recovery,
+        "degraded_blocking": {
+            "workers": workers,
+            "dead": dead,
+            "servers_per_shard": servers,
+            "hold_s": hold,
+            "offered": report.offered,
+            "offered_rate": offered_rate,
+            "measured": measured,
+            "predicted_availability_weighted": predicted,
+            "delta": delta,
+            "tolerance": tolerance,
+            "healthy_prediction": availability_weighted_blocking(
+                workers, 0, servers, offered_rate, hold
+            ),
+            "no_failover_prediction": availability_weighted_blocking(
+                workers, dead, servers, offered_rate, hold,
+                failover=False,
+            ),
+        },
+    }
+
+
 def bench_service_degraded(n_requests: int) -> dict:
     """The daemon at every brownout stage: what degrading actually buys.
 
@@ -628,6 +826,7 @@ def main(argv=None) -> int:
         service["levels"]["64"]["throughput_rps"]
     )
     service_degraded = bench_service_degraded(32 if args.quick else 96)
+    cluster_failover = bench_cluster_failover(args.quick)
 
     report = {
         "benchmark": "engine",
@@ -638,6 +837,7 @@ def main(argv=None) -> int:
         "service": service,
         "service_cluster": service_cluster,
         "service_degraded": service_degraded,
+        "cluster_failover": cluster_failover,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -657,7 +857,11 @@ def main(argv=None) -> int:
         f"{service_cluster['blocking']['poisson']['delta']:.3f}); "
         f"brownout fast-503 clears at "
         f"{service_degraded['stages']['fast-503']['throughput_rps']:.0f}"
-        f" req/s "
+        f" req/s; "
+        f"failover recovery "
+        f"{cluster_failover['recovery']['recovery_s']:.2f}s, "
+        f"degraded-blocking delta "
+        f"{cluster_failover['degraded_blocking']['delta']:.3f} "
         f"-> {args.output}"
     )
     return 0

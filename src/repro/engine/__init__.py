@@ -41,6 +41,9 @@ from .chaos import (
     ALL_ATTEMPTS,
     CacheFaultInjector,
     ChaosFault,
+    ClusterFault,
+    ClusterFaultInjector,
+    ClusterFaultPlan,
     FaultPlan,
     ServiceFault,
     ServiceFaultInjector,
@@ -74,6 +77,9 @@ __all__ = [
     "ALL_ATTEMPTS",
     "CacheFaultInjector",
     "ChaosFault",
+    "ClusterFault",
+    "ClusterFaultInjector",
+    "ClusterFaultPlan",
     "FaultPlan",
     "ServiceFault",
     "ServiceFaultInjector",

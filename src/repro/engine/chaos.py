@@ -39,12 +39,20 @@ from a seed via :class:`random.Random`, and everything else is data.
 Because every solve is a pure function of its request, a recovered run
 is *byte-identical* to a fault-free run — the property the chaos tests
 assert.
+
+Two sibling harnesses share the same determinism contract:
+:class:`ServiceFaultPlan` fires wire-level faults against one serving
+daemon (stalled sockets, mid-request disconnects, killed flushes), and
+:class:`ClusterFaultPlan` fires fleet-level faults against a whole
+worker cluster (SIGKILL mid-request, SIGSTOP stalls, refused
+connections, shared-cache corruption, crash-looping slots).
 """
 
 from __future__ import annotations
 
 import os
 import random
+import signal as signal_mod
 import socket
 import struct
 import time
@@ -58,12 +66,16 @@ __all__ = [
     "ALL_ATTEMPTS",
     "CacheFaultInjector",
     "ChaosFault",
+    "ClusterFault",
+    "ClusterFaultInjector",
+    "ClusterFaultPlan",
     "FaultPlan",
     "ServiceFault",
     "ServiceFaultInjector",
     "ServiceFaultPlan",
     "WorkerKilledError",
     "corrupt_entry",
+    "corrupt_shared_cache",
     "KIND_KILL",
     "KIND_DELAY",
     "KIND_ERROR",
@@ -74,6 +86,11 @@ __all__ = [
     "KIND_ENGINE_DELAY",
     "KIND_ENGINE_ERROR",
     "KIND_BREAKER_OPEN",
+    "KIND_WORKER_KILL",
+    "KIND_WORKER_STALL",
+    "KIND_WORKER_REFUSE",
+    "KIND_SHARED_CACHE_CORRUPT",
+    "KIND_CRASH_LOOP",
 ]
 
 KIND_KILL = "kill-worker"
@@ -533,3 +550,248 @@ class ServiceFaultInjector:
         raise ConfigurationError(
             "breaker did not open after 1000 recorded failures"
         )
+
+
+# ----------------------------------------------------------------------
+# Cluster-level chaos: faults against a whole worker fleet
+# ----------------------------------------------------------------------
+
+KIND_WORKER_KILL = "worker-kill"
+KIND_WORKER_STALL = "worker-stall"
+KIND_WORKER_REFUSE = "worker-refuse"
+KIND_SHARED_CACHE_CORRUPT = "shared-cache-corrupt"
+KIND_CRASH_LOOP = "crash-loop"
+
+_CLUSTER_KINDS = (
+    KIND_WORKER_KILL,
+    KIND_WORKER_STALL,
+    KIND_WORKER_REFUSE,
+    KIND_SHARED_CACHE_CORRUPT,
+    KIND_CRASH_LOOP,
+)
+
+
+@dataclass(frozen=True)
+class ClusterFault:
+    """One planned fleet-level fault.
+
+    ``at`` is the offset (seconds) into the injector run at which the
+    fault fires.  ``duration`` is the stall length (``worker-stall``),
+    the respawn hold (``worker-refuse``), or the per-respawn wait
+    budget (``crash-loop``); ``count`` is the number of consecutive
+    kills a ``crash-loop`` lands on the slot.
+    """
+
+    kind: str
+    shard: int = 0
+    at: float = 0.0
+    duration: float = 0.5
+    count: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CLUSTER_KINDS:
+            raise ConfigurationError(
+                f"unknown cluster fault kind {self.kind!r}; expected one "
+                f"of {_CLUSTER_KINDS}"
+            )
+        if self.shard < 0 or self.at < 0 or self.duration < 0 \
+                or self.count < 1:
+            raise ConfigurationError(
+                "cluster fault needs shard/at/duration >= 0 and count >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterFaultPlan:
+    """A deterministic storm of fleet-level faults.
+
+    Same contract as the other plans: :meth:`from_seed` derives every
+    victim and firing time from one seed, so a chaos run is exactly
+    reproducible — and the supervisor's deterministic respawn jitter
+    keeps the *recovery* timeline reproducible too.
+    """
+
+    faults: tuple[ClusterFault, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "faults",
+            tuple(sorted(self.faults, key=lambda f: f.at)),
+        )
+
+    @property
+    def horizon(self) -> float:
+        """Seconds from start until the last fault has fully fired."""
+        return max(
+            (f.at + f.duration for f in self.faults), default=0.0
+        )
+
+    def kills_per_shard(self) -> dict[int, int]:
+        """SIGKILLs each shard takes (kills + refusals + loop kills)."""
+        counts: dict[int, int] = {}
+        for fault in self.faults:
+            if fault.kind in (KIND_WORKER_KILL, KIND_WORKER_REFUSE):
+                counts[fault.shard] = counts.get(fault.shard, 0) + 1
+            elif fault.kind == KIND_CRASH_LOOP:
+                counts[fault.shard] = counts.get(fault.shard, 0) \
+                    + fault.count
+        return counts
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        shards: int,
+        *,
+        kills_per_shard: int = 2,
+        stalls: int = 0,
+        refusals: int = 0,
+        corruptions: int = 0,
+        crash_loops: int = 0,
+        horizon: float = 3.0,
+        stall_duration: float = 0.4,
+        refuse_duration: float = 0.5,
+        loop_kills: int = 3,
+        loop_wait: float = 10.0,
+    ) -> "ClusterFaultPlan":
+        """Derive a storm from a seed.
+
+        Every shard is SIGKILLed exactly ``kills_per_shard`` times at
+        seed-drawn instants in ``[0, horizon)`` — the guarantee the
+        acceptance chaos test leans on — and the optional stall /
+        refuse / corrupt / crash-loop faults pick seed-drawn victims.
+        """
+        if shards < 1:
+            raise ConfigurationError("a cluster plan needs >= 1 shard")
+        rng = random.Random(seed)
+        faults: list[ClusterFault] = []
+        for shard in range(shards):
+            for _ in range(kills_per_shard):
+                faults.append(ClusterFault(
+                    kind=KIND_WORKER_KILL, shard=shard,
+                    at=rng.uniform(0.0, horizon), duration=0.0,
+                ))
+        for kind, n, duration in (
+            (KIND_WORKER_STALL, stalls, stall_duration),
+            (KIND_WORKER_REFUSE, refusals, refuse_duration),
+            (KIND_SHARED_CACHE_CORRUPT, corruptions, 0.0),
+        ):
+            for _ in range(n):
+                faults.append(ClusterFault(
+                    kind=kind, shard=rng.randrange(shards),
+                    at=rng.uniform(0.0, horizon), duration=duration,
+                ))
+        for _ in range(crash_loops):
+            faults.append(ClusterFault(
+                kind=KIND_CRASH_LOOP, shard=rng.randrange(shards),
+                at=rng.uniform(0.0, horizon), duration=loop_wait,
+                count=loop_kills,
+            ))
+        return cls(faults=tuple(faults), seed=seed)
+
+
+def corrupt_shared_cache(cache_dir: str | Path | None) -> int:
+    """Scribble garbage over every entry of a fleet's shared disk
+    cache (what a worker with a bad disk would leave behind); returns
+    the number of entries hit.  Each worker's quarantine path must
+    absorb them — answers stay byte-identical, served from a re-solve.
+    """
+    if not cache_dir:
+        return 0
+    count = 0
+    for path in Path(cache_dir).glob("*.json"):
+        corrupt_path(path)
+        count += 1
+    return count
+
+
+class ClusterFaultInjector:
+    """Drives a :class:`ClusterFaultPlan` against a live fleet.
+
+    ``cluster`` duck-types :class:`repro.service.cluster.ClusterHandle`
+    (``shard_pid`` / ``kill_shard`` / ``hold_respawn`` / ``cache_dir``)
+    so this module never imports the service layer.  :meth:`run`
+    blocks — callers drive it on its own thread next to the load —
+    firing faults in ``at`` order; a stall holds the injector for its
+    ``duration`` (SIGSTOP … SIGCONT), everything else returns
+    immediately.  Every fault fired lands on :attr:`fired` as
+    ``(kind, shard, elapsed_seconds)``.
+    """
+
+    def __init__(self, plan: ClusterFaultPlan) -> None:
+        self.plan = plan
+        self.fired: list[tuple[str, int, float]] = []
+
+    def run(self, cluster: Any) -> None:
+        start = time.monotonic()
+        for fault in self.plan.faults:
+            delay = start + fault.at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            self._fire(fault, cluster)
+            self.fired.append(
+                (fault.kind, fault.shard, time.monotonic() - start)
+            )
+
+    def _fire(self, fault: ClusterFault, cluster: Any) -> None:
+        if fault.kind == KIND_WORKER_KILL:
+            cluster.kill_shard(fault.shard)
+        elif fault.kind == KIND_WORKER_STALL:
+            self._stall(fault, cluster)
+        elif fault.kind == KIND_WORKER_REFUSE:
+            # Hold the respawn first so the slot's port refuses
+            # connections for the whole window after the kill.
+            cluster.hold_respawn(fault.shard, fault.duration)
+            cluster.kill_shard(fault.shard)
+        elif fault.kind == KIND_SHARED_CACHE_CORRUPT:
+            corrupt_shared_cache(cluster.cache_dir)
+        else:  # crash-loop
+            self._crash_loop(fault, cluster)
+
+    def _stall(self, fault: ClusterFault, cluster: Any) -> None:
+        pid = cluster.shard_pid(fault.shard)
+        if pid is None:
+            return
+        try:
+            os.kill(pid, signal_mod.SIGSTOP)
+        except ProcessLookupError:
+            return
+        try:
+            time.sleep(fault.duration)
+        finally:
+            try:
+                os.kill(pid, signal_mod.SIGCONT)
+            except ProcessLookupError:
+                pass
+
+    def _crash_loop(self, fault: ClusterFault, cluster: Any) -> None:
+        """Kill the slot's next ``count`` incarnations as each comes
+        up — the signature a crash-looping binary leaves, and what the
+        slot's flap breaker exists to dampen.  Stops early once the
+        breaker pauses respawns for longer than ``duration``."""
+        last_pid: int | None = None
+        for _ in range(fault.count):
+            pid = self._await_incarnation(
+                cluster, fault.shard, last_pid, fault.duration
+            )
+            if pid is None:
+                return  # respawns paused (flap breaker) — goal reached
+            try:
+                os.kill(pid, signal_mod.SIGKILL)
+            except ProcessLookupError:
+                pass
+            last_pid = pid
+
+    @staticmethod
+    def _await_incarnation(
+        cluster: Any, shard: int, last_pid: int | None, budget: float
+    ) -> int | None:
+        """First pid of the slot that differs from ``last_pid``."""
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            pid = cluster.shard_pid(shard)
+            if pid is not None and pid != last_pid:
+                return pid
+            time.sleep(0.02)
+        return None

@@ -10,7 +10,9 @@ client, and the merged :class:`~repro.loadgen.runner.LoadReport`
 carries throughput, latency percentiles, the measured 503 blocking
 ratio, and per-shard tallies —
 :func:`~repro.loadgen.runner.expected_fleet_blocking` gives the
-matching Erlang-B prediction per shard and fleet-wide.
+matching Erlang-B prediction per shard and fleet-wide, and
+:func:`~repro.loadgen.runner.availability_weighted_blocking` extends
+it to a degraded fleet with dead shards (with or without failover).
 
 Run it from the CLI: ``crossbar-repro loadgen --spec load.toml``.
 """
@@ -19,6 +21,7 @@ from .aioclient import WireClient, WireReply
 from .runner import (
     LoadReport,
     UNSHARDED,
+    availability_weighted_blocking,
     expected_fleet_blocking,
     run_load,
 )
@@ -31,6 +34,7 @@ __all__ = [
     "UNSHARDED",
     "WireClient",
     "WireReply",
+    "availability_weighted_blocking",
     "expected_fleet_blocking",
     "run_load",
 ]

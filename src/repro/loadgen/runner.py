@@ -15,6 +15,17 @@ independent Erlang loss system offered its measured per-shard arrival
 rate, so the fleet-wide prediction is the offered-load-weighted mean
 of ``B(c, lambda_s * H)`` — the same cross-validation contract the
 single-daemon tests enforce against ``erlang_b``.
+:func:`availability_weighted_blocking` extends the prediction to a
+*degraded* fleet: with ``d`` of ``W`` workers dead, failover
+concentrates the whole arrival stream on the survivors, so the fleet
+blocks like ``B(c, (lambda / (W - d)) * H)``; without failover the
+dead shards' keys are lost outright and the prediction becomes the
+availability-weighted mixture ``d/W + (1 - d/W) B(c, (lambda/W) H)``.
+
+Transport failures are classified, not just counted: ``errors`` stays
+the transport-level total while ``connect_refused`` (a dead or
+respawning worker's port) and ``read_errors`` (reset or stalled
+mid-reply) split it, both fleet-wide and per shard.
 """
 
 from __future__ import annotations
@@ -35,7 +46,12 @@ from ..logging import get_logger, kv
 from .aioclient import WireClient, WireReply
 from .spec import LoadSpec
 
-__all__ = ["LoadReport", "run_load", "expected_fleet_blocking"]
+__all__ = [
+    "LoadReport",
+    "run_load",
+    "expected_fleet_blocking",
+    "availability_weighted_blocking",
+]
 
 logger = get_logger("loadgen")
 
@@ -57,15 +73,26 @@ class LoadReport:
     rejected: int = 0
     #: 504s (deadline budget expired).
     deadline_exceeded: int = 0
-    #: Transport-level failures (reset, timeout).
+    #: Transport-level failures (reset, timeout); total of the two
+    #: classes below.
     errors: int = 0
+    #: ... of which the TCP connect was refused outright (a dead or
+    #: mid-respawn worker's port).
+    connect_refused: int = 0
+    #: ... of which the connection dropped or timed out after connect
+    #: (reset mid-reply, stalled worker).
+    read_errors: int = 0
     #: Any other HTTP status.
     other: int = 0
     #: Measured wall-clock of the longest generator (seconds).
     duration: float = 0.0
     #: Sorted round-trip latencies of completed requests (seconds).
     latencies: list[float] = field(default_factory=list)
-    #: shard -> {"ok": n, "rejected": n} from ``X-Shard`` headers.
+    #: shard -> {"ok", "rejected", "deadline_exceeded",
+    #: "connect_refused", "read_error"} counts.  Replies are
+    #: attributed by their ``X-Shard`` header; transport failures by
+    #: the route table's address -> shard map (``UNSHARDED`` when the
+    #: target is a single daemon or the router).
     per_shard: dict[int, dict[str, int]] = field(default_factory=dict)
 
     @property
@@ -100,6 +127,8 @@ class LoadReport:
             "rejected": self.rejected,
             "deadline_exceeded": self.deadline_exceeded,
             "errors": self.errors,
+            "connect_refused": self.connect_refused,
+            "read_errors": self.read_errors,
             "other": self.other,
             "duration_s": self.duration,
             "throughput_rps": self.throughput_rps,
@@ -144,6 +173,52 @@ def expected_fleet_blocking(
     return weighted / total if total else 0.0
 
 
+def availability_weighted_blocking(
+    workers: int,
+    dead: int,
+    servers: int,
+    rate: float,
+    hold_s: float,
+    *,
+    failover: bool = True,
+) -> float:
+    """Predicted fleet blocking with ``dead`` of ``workers`` shards down.
+
+    The availability-weighted extension of the paper's loss model: each
+    live worker is an Erlang loss system with ``servers`` tokens and
+    holding time ``hold_s``, and the fleet offers ``rate`` calls/s
+    uniformly over the key space.
+
+    With *failover* the router re-routes a dead shard's keys to the
+    survivors, so every arrival still reaches a server group — but the
+    per-worker offered load concentrates from ``rate / workers`` to
+    ``rate / (workers - dead)``:
+
+        B_fleet = B(c, (rate / (W - d)) * H)
+
+    Without failover a dead shard's keys are lost outright, giving the
+    availability-weighted mixture:
+
+        B_fleet = d/W + (1 - d/W) * B(c, (rate / W) * H)
+
+    Every worker dead blocks everything either way.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    if not 0 <= dead <= workers:
+        raise ConfigurationError(
+            f"dead must be in [0, {workers}], got {dead}"
+        )
+    live = workers - dead
+    if live <= 0:
+        return 1.0
+    if failover:
+        return erlang_b(servers, (rate / live) * hold_s)
+    survivor = erlang_b(servers, (rate / workers) * hold_s)
+    lost = dead / workers
+    return lost + (1.0 - lost) * survivor
+
+
 # ----------------------------------------------------------------------
 # Generator process
 # ----------------------------------------------------------------------
@@ -167,12 +242,16 @@ def _generator_main(
 
 async def _route_table(
     spec: LoadSpec, host: str, port: int
-) -> dict[str, tuple[str, int]] | None:
-    """key -> worker address, from the cluster's ``/cluster`` map.
+) -> tuple[
+    dict[str, tuple[str, int]], dict[tuple[str, int], int]
+] | None:
+    """(key -> worker address, address -> shard) from ``/cluster``.
 
-    None when the target is not a hash-sharded cluster (single daemon,
-    reuseport fleet, or ``shard_direct`` disabled) — then everything
-    goes to the given address.
+    The second map attributes *transport* failures — which never carry
+    an ``X-Shard`` reply header — to the shard whose port refused or
+    reset.  None when the target is not a hash-sharded cluster (single
+    daemon, reuseport fleet, or ``shard_direct`` disabled) — then
+    everything goes to the given address.
     """
     if not spec.shard_direct:
         return None
@@ -196,10 +275,14 @@ async def _route_table(
         ring = HashRing(
             chart["workers"], chart.get("hash_replicas", 64)
         )
-        return {
+        routes = {
             key: shards[ring.shard_for(key)]
             for _, key in spec.request_entries()
         }
+        addr_shards = {
+            address: shard for shard, address in shards.items()
+        }
+        return routes, addr_shards
     except (ConnectionError, OSError, asyncio.TimeoutError,
             ValueError, KeyError):
         return None
@@ -213,7 +296,8 @@ async def _generate(
     import json
 
     rng = random.Random(spec.seed + index)
-    routes = await _route_table(spec, host, port)
+    table = await _route_table(spec, host, port)
+    routes, addr_shards = table if table else (None, {})
     template = WireClient(host, port, timeout=spec.timeout)
     #: (pre-framed wire bytes, (host, port) to send them to)
     frames: list[tuple[bytes, tuple[str, int]]] = []
@@ -230,15 +314,22 @@ async def _generate(
 
     counters = {
         "index": index, "offered": 0, "completed": 0, "rejected": 0,
-        "deadline_exceeded": 0, "errors": 0, "other": 0,
+        "deadline_exceeded": 0, "errors": 0, "connect_refused": 0,
+        "read_errors": 0, "other": 0,
     }
     latencies: list[float] = []
     per_shard: dict[int, dict[str, int]] = {}
 
+    def shard_bucket(shard: int) -> dict[str, int]:
+        return per_shard.setdefault(shard, {
+            "ok": 0, "rejected": 0, "deadline_exceeded": 0,
+            "connect_refused": 0, "read_error": 0,
+        })
+
     def record_reply(reply: WireReply, elapsed: float) -> None:
         shard = reply.shard
         shard = UNSHARDED if shard is None else shard
-        bucket = per_shard.setdefault(shard, {"ok": 0, "rejected": 0})
+        bucket = shard_bucket(shard)
         if reply.status == 200:
             counters["completed"] += 1
             latencies.append(elapsed)
@@ -248,8 +339,21 @@ async def _generate(
             bucket["rejected"] += 1
         elif reply.status == 504:
             counters["deadline_exceeded"] += 1
+            bucket["deadline_exceeded"] += 1
         else:
             counters["other"] += 1
+
+    def record_error(
+        exc: BaseException, address: tuple[str, int]
+    ) -> None:
+        counters["errors"] += 1
+        bucket = shard_bucket(addr_shards.get(address, UNSHARDED))
+        if isinstance(exc, ConnectionRefusedError):
+            counters["connect_refused"] += 1
+            bucket["connect_refused"] += 1
+        else:
+            counters["read_errors"] += 1
+            bucket["read_error"] += 1
 
     # Warmup: fill every cache tier along each request's path,
     # through the same per-worker connections the run will use.
@@ -274,11 +378,11 @@ async def _generate(
     end = began + spec.duration
     if spec.mode == "closed":
         await _closed_loop(
-            spec, frames, rng, end, counters, record_reply
+            spec, frames, rng, end, counters, record_reply, record_error
         )
     else:
         await _open_loop(
-            spec, frames, rng, end, counters, record_reply
+            spec, frames, rng, end, counters, record_reply, record_error
         )
     counters["duration"] = time.perf_counter() - began
     counters["latencies"] = latencies
@@ -289,6 +393,7 @@ async def _generate(
 async def _closed_loop(
     spec: LoadSpec, frames: list[tuple[bytes, tuple[str, int]]],
     rng: random.Random, end: float, counters: dict, record_reply,
+    record_error,
 ) -> None:
     async def user() -> None:
         clients: dict[tuple[str, int], WireClient] = {}
@@ -309,8 +414,9 @@ async def _closed_loop(
                 counters["offered"] += 1
                 try:
                     reply = await client.roundtrip_raw(wire)
-                except (ConnectionError, OSError, asyncio.TimeoutError):
-                    counters["errors"] += 1
+                except (ConnectionError, OSError,
+                        asyncio.TimeoutError) as exc:
+                    record_error(exc, address)
                     continue
                 record_reply(reply, perf() - t0)
         finally:
@@ -323,6 +429,7 @@ async def _closed_loop(
 async def _open_loop(
     spec: LoadSpec, frames: list[tuple[bytes, tuple[str, int]]],
     rng: random.Random, end: float, counters: dict, record_reply,
+    record_error,
 ) -> None:
     """Poisson batch arrivals x geometric batch sizes (BPP), open loop:
     arrivals never wait on completions, so overload shows up as 503s
@@ -343,8 +450,9 @@ async def _open_loop(
             t0 = time.perf_counter()
             try:
                 reply = await client.roundtrip_raw(wire)
-            except (ConnectionError, OSError, asyncio.TimeoutError):
-                counters["errors"] += 1
+            except (ConnectionError, OSError,
+                    asyncio.TimeoutError) as exc:
+                record_error(exc, address)
                 await client.close()
             else:
                 record_reply(reply, time.perf_counter() - t0)
@@ -427,15 +535,15 @@ def run_load(spec: LoadSpec, host: str, port: int) -> LoadReport:
             report.rejected += result["rejected"]
             report.deadline_exceeded += result["deadline_exceeded"]
             report.errors += result["errors"]
+            report.connect_refused += result["connect_refused"]
+            report.read_errors += result["read_errors"]
             report.other += result["other"]
             report.duration = max(report.duration, result["duration"])
             report.latencies.extend(result["latencies"])
             for shard, counts in result["per_shard"].items():
-                bucket = report.per_shard.setdefault(
-                    shard, {"ok": 0, "rejected": 0}
-                )
-                bucket["ok"] += counts["ok"]
-                bucket["rejected"] += counts["rejected"]
+                bucket = report.per_shard.setdefault(shard, {})
+                for name, value in counts.items():
+                    bucket[name] = bucket.get(name, 0) + value
     finally:
         for process in processes:
             process.join(10.0)

@@ -5,8 +5,9 @@ when the preferred resource path is exhausted, *convert* the work to a
 cheaper path before dropping it.  The
 :class:`ServicePressureController` watches the daemon's own saturation
 signals — admission-gate occupancy, micro-batcher queue depth,
-batch-worker lag, and the disk-cache circuit breaker — folds them into
-one pressure score, and walks an ordered ladder of sheds:
+batch-worker lag, the disk-cache circuit breaker, and (inside a
+cluster) the router-reported fleet pressure from dead shards — folds
+them into one pressure score, and walks an ordered ladder of sheds:
 
 ==== =================== ===============================================
 stage name                behavior
@@ -149,6 +150,13 @@ class ServicePressureController:
         self.last_pressure: dict[str, float] = {"overall": 0.0}
         self._above = 0
         self._below = 0
+        #: Pressure pushed down from a cluster router (the
+        #: ``X-Fleet-Pressure`` request header): the excess load this
+        #: worker absorbs for dead shards, ``d / (W - d)``.  A lone
+        #: daemon never sees the header and stays at 0.  As a
+        #: component it is capped at ``breaker_pressure`` (see
+        #: :meth:`pressure`).
+        self.fleet_pressure = 0.0
 
     # ------------------------------------------------------------------
     # Signals
@@ -167,11 +175,20 @@ class ServicePressureController:
             self.config.breaker_pressure
             if self._breaker_open() else 0.0
         )
+        # Like the breaker: capped between the thresholds, so a
+        # shrunken fleet *holds* a degraded stage but cannot walk the
+        # ladder to fast-503 on its own — the load it actually absorbs
+        # shows up in gate/queue/lag and escalates honestly.
+        fleet = min(
+            self.config.breaker_pressure,
+            max(self.fleet_pressure, 0.0),
+        )
         components = {
             "gate": gate_occupancy,
             "queue": min(queue, 1.0),
             "lag": min(lag, 1.0),
             "breaker": breaker,
+            "fleet": fleet,
         }
         components["overall"] = max(components.values())
         return components

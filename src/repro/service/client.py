@@ -9,8 +9,11 @@ Every call opens a fresh connection and closes it afterwards, so one
 client instance is safe to share across threads.  Pointed at a
 cluster router, the client also learns the shard map: 503s carry the
 rejecting shard (``AdmissionRejectedError.shard``, tallied per shard
-in ``shard_retry_after``), and hedged duplicates go to a different
-worker than the one owning the request's key.
+in ``shard_retry_after``), hedged duplicates go to a different worker
+than the one owning the request's key, and repeated failures from one
+shard (``shard_failures``) force a refresh of the cached map — the
+shard may have respawned onto a new port or died — instead of hedging
+against a stale one.
 
 Retry policy belongs to the caller, and this client makes it explicit:
 by default ``solve`` raises :class:`AdmissionRejectedError` on a 503 —
@@ -168,6 +171,16 @@ class ServiceClient:
         #: Last ``retry_after`` hint per rejecting shard (``None`` key:
         #: single daemon / router-level rejections).
         self.shard_retry_after: dict[int | None, float] = {}
+        #: Consecutive failures (503 or transport error) per shard
+        #: since the last success; a success clears the whole table.
+        self.shard_failures: dict[int | None, int] = {}
+        #: Refresh the cached ``/cluster`` map once a shard racks up
+        #: this many consecutive failures — it may be respawning on a
+        #: new port, failing over, or declared dead, and hedging
+        #: against a stale map just re-dials the corpse.
+        self.map_refresh_after = 2
+        #: Map refreshes forced by repeated shard failures.
+        self.map_refreshes = 0
         # Cluster shard map, fetched lazily on first hedge; False means
         # "probed, not a hash cluster" so we never probe twice.
         self._cluster: dict | None | bool = None
@@ -255,17 +268,21 @@ class ServiceClient:
         attempt = 0
         while True:
             try:
-                return self._maybe_hedged(call, cache_key)
+                reply = self._maybe_hedged(call, cache_key)
+                self.shard_failures.clear()
+                return reply
             except AdmissionRejectedError as exc:
                 # Remember the rejecting shard's own hint: each shard
                 # is its own loss system with its own holding times.
                 self.shard_retry_after[exc.shard] = exc.retry_after
+                self._note_shard_failure(exc.shard)
                 if attempt >= policy.max_retries:
                     raise
                 # The server's hint is an EWMA of real holding times;
                 # trust it when it is longer than our own curve.
                 delay = max(exc.retry_after, policy.backoff(attempt + 1))
             except (ConnectionError, OSError):
+                self._note_shard_failure(None)
                 if attempt >= policy.max_retries:
                     raise
                 delay = policy.backoff(attempt + 1)
@@ -273,6 +290,21 @@ class ServiceClient:
             self.retries += 1
             if delay > 0:
                 self._sleep(delay)
+
+    def _note_shard_failure(self, shard: int | None) -> None:
+        """Track consecutive per-shard failures; repeated ones mean
+        the cached shard map is probably stale (the shard respawned
+        onto a new port, is failing over, or is dead) — re-fetch it
+        instead of retrying/hedging against a corpse."""
+        count = self.shard_failures.get(shard, 0) + 1
+        self.shard_failures[shard] = count
+        if count < self.map_refresh_after:
+            return
+        if self._cluster in (None, False):
+            return  # never probed, or probed and not a cluster
+        self.cluster_map(refresh=True)
+        self.map_refreshes += 1
+        self.shard_failures[shard] = 0
 
     def _maybe_hedged(
         self, call: Callable[..., dict], cache_key: str | None
@@ -418,7 +450,14 @@ class ServiceClient:
         return out
 
     def health(self) -> dict:
+        """The ``/healthz`` report.  A degraded fleet answers 503
+        with a full report body (``status``, ``dead_shards``) — that
+        is the probe's answer, returned rather than raised; inspect
+        ``payload["status"]``."""
         status, payload = self._roundtrip("GET", "/healthz")
+        if status == 503 and isinstance(payload, dict) \
+                and "status" in payload:
+            return payload
         return self._check(status, payload)
 
     def metrics(self) -> str:

@@ -19,6 +19,19 @@ multiplies throughput — parallel independent fabric paths:
   keys off shard indices, so routing is stable across respawns), and a
   fleet-wide SIGTERM drain that lets every worker finish admitted work
   (PR 6 semantics) before exit;
+* self-healing — while a shard's worker is down its keys **fail over**
+  to the next live shard on the ring (replies carry
+  ``X-Shard-Failover`` so the cache-locality cost is observable, and
+  the slot takes its keyspace back the moment it is live again);
+  respawns back off exponentially with deterministic jitter, and a
+  per-slot crash-loop circuit breaker (:mod:`repro.engine.breaker`
+  semantics) pauses slots that flap — die within ``flap_window`` of
+  becoming ready — until a cooldown probe; ``max_respawns`` exhaustion
+  is a first-class **dead shard** state surfaced on ``/cluster``,
+  ``/healthz`` (non-200) and the ``repro_cluster_shard_dead`` gauge,
+  and fed to every worker's brownout controller via the
+  ``X-Fleet-Pressure`` header so a shrunken fleet sheds load instead
+  of timing out;
 * observability — ``GET /metrics`` on the router federates every
   worker's Prometheus page with a ``shard="i"`` label injected into
   each series; ``GET /healthz`` aggregates worker healths; ``GET
@@ -52,13 +65,14 @@ from typing import Any
 from .. import __version__
 from ..engine import BatchSolver
 from ..engine.batch import EngineConfig
+from ..engine.breaker import CircuitBreaker
 from ..exceptions import ConfigurationError
 from ..logging import get_logger, kv
 from .config import ServiceConfig
 from .httpio import HttpError, HttpRequest, read_request, write_response
 from .protocol import decode_request, decode_request_list, new_request_id
 from .server import serve
-from .sharding import HashRing
+from .sharding import HashRing, ring_point
 
 __all__ = [
     "ClusterHandle",
@@ -121,6 +135,18 @@ class _Worker:
     port: int | None = None
     pid: int | None = None
     respawns: int = 0
+    #: Terminal: respawn disabled or ``max_respawns`` exhausted.
+    dead: bool = False
+    #: ``time.monotonic()`` of the ready handshake (flap detection).
+    ready_at: float | None = None
+    #: First health sweep that saw the process down (None while up).
+    died_at: float | None = None
+    #: Earliest ``time.monotonic()`` the next respawn may happen.
+    next_spawn_at: float = 0.0
+    #: Chaos hook: respawns additionally held until this instant.
+    hold_until: float = 0.0
+    #: The slot survived ``flap_window`` after ready (breaker credited).
+    settled: bool = False
 
     @property
     def alive(self) -> bool:
@@ -128,11 +154,22 @@ class _Worker:
 
 
 class _WorkerPool:
-    """Keep-alive connections from the router to one worker."""
+    """Keep-alive connections from the router to one worker.
+
+    An idle socket only knows it is stale (its worker died and a new
+    process owns the port — or nothing does) when a write fails, so
+    the supervisor **flushes** the pool whenever a worker death is
+    detected or a pooled roundtrip errors: the next acquire dials a
+    fresh connection instead of replaying the crash against another
+    corpse from the old process.  ``close()`` additionally retires the
+    pool for good — connections released after that (in-flight during
+    a respawn swap) are closed, not cached into a dead pool.
+    """
 
     def __init__(self, host: str, port: int) -> None:
         self.host = host
         self.port = port
+        self._closed = False
         self._idle: list[tuple[asyncio.StreamReader,
                                asyncio.StreamWriter]] = []
 
@@ -149,15 +186,20 @@ class _WorkerPool:
     def release(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        if writer.is_closing():
+        if self._closed or writer.is_closing():
             writer.close()
         else:
             self._idle.append((reader, writer))
 
-    def close(self) -> None:
+    def flush(self) -> None:
+        """Drop every idle socket; the pool itself stays usable."""
         for _, writer in self._idle:
             writer.close()
         self._idle.clear()
+
+    def close(self) -> None:
+        self._closed = True
+        self.flush()
 
 
 async def _read_reply(
@@ -224,10 +266,25 @@ class ClusterSupervisor:
         self._health_task: asyncio.Task | None = None
         self._draining = False
         self._started_at = time.monotonic()
-        self._route_cache: dict[bytes, int] = {}
+        self._route_cache: dict[bytes, tuple[int, ...]] = {}
         #: requests proxied per shard (balance checks in smoke tests).
         self.proxied: dict[int, int] = {
             shard: 0 for shard in range(self.cluster.workers)
+        }
+        #: requests re-routed away from each (down) owner shard.
+        self.failovers: dict[int, int] = {
+            shard: 0 for shard in range(self.cluster.workers)
+        }
+        #: Per-slot crash-loop breakers.  These outlive the _Worker
+        #: records (a respawn replaces the record) so consecutive
+        #: flaps accumulate across process generations.
+        self._flap_breakers: dict[int, CircuitBreaker] = {
+            shard: CircuitBreaker(
+                failure_threshold=self.cluster.flap_threshold,
+                cooldown=self.cluster.flap_cooldown,
+                name=f"shard-{shard}-flap",
+            )
+            for shard in range(self.cluster.workers)
         }
 
     def _pick_start_method(self) -> str:
@@ -304,6 +361,8 @@ class ClusterSupervisor:
             return shard
         worker.port = port
         worker.pid = pid
+        worker.ready_at = time.monotonic()
+        worker.settled = False
         old_pool = self._pools.get(shard)
         if old_pool is not None:
             old_pool.close()
@@ -329,23 +388,115 @@ class ClusterSupervisor:
                     break
             if self._draining:
                 continue
+            now = time.monotonic()
             for shard, worker in self.workers.items():
+                if worker.dead:
+                    continue
+                breaker = self._flap_breakers[shard]
                 if worker.alive:
+                    # A slot that held flap_window after ready pays
+                    # the breaker back (closes a half-open probe).
+                    if (
+                        not worker.settled
+                        and worker.ready_at is not None
+                        and now - worker.ready_at
+                        >= self.cluster.flap_window
+                    ):
+                        worker.settled = True
+                        breaker.record_success()
+                    continue
+                if worker.died_at is None:
+                    self._note_death(shard, worker, now)
                     continue
                 if (
                     not self.cluster.respawn
                     or worker.respawns >= self.cluster.max_respawns
                 ):
+                    self._declare_dead(shard, worker)
                     continue
+                if now < max(worker.next_spawn_at, worker.hold_until):
+                    continue  # exponential backoff / chaos hold
+                if not breaker.allow():
+                    continue  # crash-looping: wait for a cooldown probe
                 logger.warning(
-                    "worker died; respawning %s",
-                    kv(shard=shard, pid=worker.pid,
-                       respawns=worker.respawns + 1),
+                    "respawning worker %s",
+                    kv(shard=shard, respawns=worker.respawns + 1,
+                       flap_state=breaker.state),
                 )
-                pool = self._pools.pop(shard, None)
-                if pool is not None:
-                    pool.close()
                 self._spawn(shard, respawns=worker.respawns + 1)
+
+    def _note_death(
+        self, shard: int, worker: _Worker, now: float
+    ) -> None:
+        """First sweep after a worker died: flush its pool, classify
+        the death against the slot's flap breaker, arm the backoff."""
+        worker.died_at = now
+        pool = self._pools.get(shard)
+        if pool is not None:
+            pool.flush()
+        uptime = (
+            now - worker.ready_at if worker.ready_at is not None else 0.0
+        )
+        breaker = self._flap_breakers[shard]
+        if worker.ready_at is None or uptime < self.cluster.flap_window:
+            breaker.record_failure(
+                f"shard {shard} died {uptime:.2f}s after ready"
+            )
+        elif not worker.settled:
+            breaker.record_success()
+        delay = self._respawn_delay(shard, worker.respawns)
+        worker.next_spawn_at = now + delay
+        logger.warning(
+            "worker died %s",
+            kv(shard=shard, pid=worker.pid, uptime=round(uptime, 3),
+               backoff=round(delay, 3), flap_state=breaker.state),
+        )
+
+    def _respawn_delay(self, shard: int, respawns: int) -> float:
+        """Exponential backoff with deterministic jitter: the jitter
+        factor in [1, 1.25) derives from the (shard, generation) pair
+        the same way ring positions do, so two slots felled by one
+        fault never thundering-herd their respawns in lockstep — and a
+        rerun of a seeded chaos plan sees identical timing."""
+        delay = min(
+            self.cluster.respawn_backoff_cap,
+            self.cluster.respawn_backoff_base * (2 ** respawns),
+        )
+        jitter = ring_point(f"respawn:{shard}:{respawns}") % 1000 / 4000
+        return delay * (1.0 + jitter)
+
+    def _declare_dead(self, shard: int, worker: _Worker) -> None:
+        if worker.dead:
+            return
+        worker.dead = True
+        pool = self._pools.pop(shard, None)
+        if pool is not None:
+            pool.close()
+        logger.error(
+            "shard dead (respawns exhausted) %s",
+            kv(shard=shard, respawns=worker.respawns,
+               max_respawns=self.cluster.max_respawns,
+               failover=self.cluster.failover),
+        )
+
+    @property
+    def dead_shards(self) -> list[int]:
+        return sorted(
+            shard for shard, worker in self.workers.items() if worker.dead
+        )
+
+    def _fleet_pressure(self) -> float:
+        """Overload factor the survivors absorb: with ``d`` of ``W``
+        shards dead, failover multiplies each survivor's load by
+        ``W/(W-d)`` — pressure is the excess ``d/(W-d)``, clamped to 1
+        (all-dead degenerates to full pressure)."""
+        dead = len(self.dead_shards)
+        if dead == 0:
+            return 0.0
+        live = self.cluster.workers - dead
+        if live <= 0:
+            return 1.0
+        return min(1.0, dead / live)
 
     async def drain(self, timeout: float | None = None) -> bool:
         """Fleet-wide graceful shutdown: every worker drains (PR 6
@@ -424,12 +575,23 @@ class ClusterSupervisor:
             return self._router.sockets[0].getsockname()[1]
         return self.config.port
 
+    def _slot_state(self, worker: _Worker) -> str:
+        if worker.dead:
+            return "dead"
+        if worker.alive:
+            return "live" if worker.port is not None else "spawning"
+        if self._flap_breakers[worker.shard].state == "open":
+            return "flapping"
+        return "backoff"
+
     def shard_map(self) -> dict:
         return {
             "strategy": self.cluster.shard_strategy,
             "workers": self.cluster.workers,
             "hash_replicas": self.cluster.hash_replicas,
             "draining": self._draining,
+            "failover": self.cluster.failover,
+            "dead_shards": self.dead_shards,
             "shards": [
                 {
                     "shard": worker.shard,
@@ -441,8 +603,15 @@ class ClusterSupervisor:
                     "port": worker.port,
                     "pid": worker.pid,
                     "alive": worker.alive,
+                    "dead": worker.dead,
+                    "state": self._slot_state(worker),
                     "respawns": worker.respawns,
                     "proxied": self.proxied.get(worker.shard, 0),
+                    "failovers": self.failovers.get(worker.shard, 0),
+                    "flap_breaker": {
+                        "state": self._flap_breakers[worker.shard].state,
+                        "trips": self._flap_breakers[worker.shard].trips,
+                    },
                 }
                 for worker in self.workers.values()
             ],
@@ -450,8 +619,9 @@ class ClusterSupervisor:
 
     # -- routing --------------------------------------------------------
 
-    def _shard_for_body(self, path: str, body: bytes) -> int:
-        """The shard owning a request body's canonical key.
+    def _shard_for_body(self, path: str, body: bytes) -> tuple[int, ...]:
+        """The ring preference of a request body's canonical key —
+        owner first, then the failover order.
 
         A ``/batch`` routes by its first member's key (documented in
         docs/service.md) — the single-flight contract only needs
@@ -468,12 +638,12 @@ class ClusterSupervisor:
                 key = decode_request_list(payload)[0].cache_key
             else:
                 key = decode_request(payload).cache_key
-            shard = self.ring.shard_for(key)
+            preference = self.ring.preference(key)
         except Exception:  # noqa: BLE001 - worker owns error reporting
-            shard = 0
+            preference = tuple(range(self.cluster.workers))
         if len(self._route_cache) < _ROUTE_CACHE_MAX:
-            self._route_cache[body] = shard
-        return shard
+            self._route_cache[body] = preference
+        return preference
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -522,8 +692,11 @@ class ClusterSupervisor:
                 {"id": request_id, **self.shard_map()}, close=not keep,
             )
         elif http.path == "/healthz":
+            payload = await self._aggregate_health(request_id)
             await self._write_json(
-                writer, 200, await self._aggregate_health(request_id),
+                writer,
+                503 if payload.get("dead_shards") else 200,
+                payload,
                 close=not keep,
             )
         elif http.path == "/metrics":
@@ -544,6 +717,17 @@ class ClusterSupervisor:
             )
         return keep
 
+    def _routable(self, shard: int) -> bool:
+        """A shard the router can usefully dial right now."""
+        worker = self.workers.get(shard)
+        return (
+            worker is not None
+            and not worker.dead
+            and worker.alive
+            and worker.port is not None
+            and shard in self._pools
+        )
+
     async def _proxy(
         self,
         http: HttpRequest,
@@ -551,21 +735,37 @@ class ClusterSupervisor:
         keep: bool,
         request_id: str,
     ) -> bool:
-        shard = self._shard_for_body(http.path, http.body)
-        try:
-            status, headers, body = await self._roundtrip(shard, http)
-        except (ConnectionError, OSError, asyncio.IncompleteReadError,
-                ConfigurationError):
+        preference = self._shard_for_body(http.path, http.body)
+        owner = preference[0]
+        if self.cluster.failover:
+            # The ring with down shards skipped: the owner's keyspace
+            # drains onto its clockwise successors and snaps back the
+            # moment the owner is live again.
+            order = [s for s in preference if self._routable(s)] or [owner]
+        else:
+            order = [owner]
+        shard = owner
+        answered = False
+        for shard in order:
+            try:
+                status, headers, body = await self._roundtrip(shard, http)
+                answered = True
+                break
+            except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                    ConfigurationError):
+                continue
+        if not answered:
             await self._write_json(
                 writer, 503,
                 {"id": request_id,
                  "error": {
                      "kind": "shard_unavailable",
                      "message": (
-                         f"worker for shard {shard} is unavailable "
-                         "(crashed or respawning); retry"
+                         f"worker for shard {owner} is unavailable "
+                         "(crashed or respawning) and no live peer "
+                         "could take the key; retry"
                      ),
-                     "shard": shard,
+                     "shard": owner,
                      "retry_after": self.cluster.health_interval * 2,
                  }},
                 close=not keep,
@@ -583,6 +783,9 @@ class ClusterSupervisor:
             )
             if (key in headers)
         }
+        if shard != owner:
+            self.failovers[owner] = self.failovers.get(owner, 0) + 1
+            passthrough["X-Shard-Failover"] = str(owner)
         await write_response(
             writer, status, body,
             content_type=headers.get("content-type", "application/json"),
@@ -594,7 +797,15 @@ class ClusterSupervisor:
     async def _roundtrip(
         self, shard: int, http: HttpRequest
     ) -> tuple[int, dict[str, str], bytes]:
-        """Forward one request to a worker over a pooled connection."""
+        """Forward one request to a worker over a pooled connection.
+
+        Each attempt is bounded by ``cluster.proxy_timeout`` so a
+        stalled worker (e.g. SIGSTOP) costs the client a fast 503 or
+        a failover, never a hung connection.  Any transport error
+        flushes the shard's idle pool: every pooled socket shares the
+        dead peer, and retrying through the next corpse would burn the
+        retry budget without ever dialing the respawned process.
+        """
         last_error: Exception | None = None
         for attempt in (0, 1):
             pool = await self._pool_for(shard)
@@ -605,21 +816,33 @@ class ClusterSupervisor:
                     f"Host: shard-{shard}\r\n"
                     "Content-Type: application/json\r\n"
                     f"Content-Length: {len(http.body)}\r\n"
+                    f"X-Fleet-Pressure: {self._fleet_pressure():.6f}\r\n"
                     "Connection: keep-alive\r\n\r\n"
                 ).encode("latin-1")
                 conn_writer.write(head + http.body)
                 await conn_writer.drain()
-                status, headers, body = await _read_reply(conn_reader)
-            except (ConnectionError, OSError,
-                    asyncio.IncompleteReadError) as exc:
+                status, headers, body = await asyncio.wait_for(
+                    _read_reply(conn_reader),
+                    timeout=self.cluster.proxy_timeout,
+                )
+            except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError) as exc:
                 conn_writer.close()
+                pool.flush()
+                if isinstance(exc, asyncio.TimeoutError):
+                    # Stalled, not freshly dead — a second attempt
+                    # would just stall again; fail over now.
+                    raise ConnectionError(
+                        f"shard {shard} did not answer within "
+                        f"{self.cluster.proxy_timeout}s"
+                    ) from exc
                 last_error = exc
                 if attempt == 0:
                     # The worker may have just died; give the health
                     # loop one beat to respawn it, then retry once.
                     await asyncio.sleep(self.cluster.health_interval)
                     continue
-                raise
+                raise exc
             if headers.get("connection", "").lower() == "close":
                 conn_writer.close()
             else:
@@ -630,8 +853,10 @@ class ClusterSupervisor:
     async def _pool_for(self, shard: int) -> _WorkerPool:
         deadline = time.monotonic() + self.cluster.spawn_timeout
         while True:
-            pool = self._pools.get(shard)
             worker = self.workers.get(shard)
+            if worker is not None and worker.dead:
+                raise ConnectionError(f"shard {shard} is dead")
+            pool = self._pools.get(shard)
             if (
                 pool is not None and worker is not None and worker.alive
                 and worker.port == pool.port
@@ -659,8 +884,15 @@ class ClusterSupervisor:
             entry: dict[str, Any] = {
                 "shard": shard,
                 "alive": worker.alive,
+                "dead": worker.dead,
+                "state": self._slot_state(worker),
                 "respawns": worker.respawns,
             }
+            if worker.dead:
+                entry["status"] = "dead"
+                degraded = True
+                shards.append(entry)
+                continue
             try:
                 status, _, body = await self._worker_get(shard, "/healthz")
                 entry["health"] = json.loads(body.decode("utf-8"))
@@ -683,12 +915,17 @@ class ClusterSupervisor:
             "version": __version__,
             "uptime_s": time.monotonic() - self._started_at,
             "strategy": self.cluster.shard_strategy,
+            "dead_shards": self.dead_shards,
+            "fleet_pressure": self._fleet_pressure(),
             "workers": shards,
         }
 
     async def _federate_metrics(self) -> str:
         parts = []
         for shard in sorted(self.workers):
+            if self.workers[shard].dead:
+                parts.append(f"# shard {shard} dead")
+                continue
             try:
                 status, _, body = await self._worker_get(shard, "/metrics")
                 if status != 200:
@@ -704,6 +941,20 @@ class ClusterSupervisor:
             "# TYPE repro_cluster_proxied_total counter\n" + "\n".join(
                 f'repro_cluster_proxied_total{{shard="{shard}"}} {count}'
                 for shard, count in sorted(self.proxied.items())
+            )
+        )
+        parts.append(
+            "# TYPE repro_cluster_failover_total counter\n" + "\n".join(
+                f'repro_cluster_failover_total{{shard="{shard}"}} {count}'
+                for shard, count in sorted(self.failovers.items())
+            )
+        )
+        dead = set(self.dead_shards)
+        parts.append(
+            "# TYPE repro_cluster_shard_dead gauge\n" + "\n".join(
+                f'repro_cluster_shard_dead{{shard="{shard}"}} '
+                f"{1 if shard in dead else 0}"
+                for shard in sorted(self.workers)
             )
         )
         return "\n".join(parts) + "\n"
@@ -813,6 +1064,46 @@ class ClusterHandle:
     @property
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
+
+    # -- chaos hooks (ClusterFaultInjector drives these) ---------------
+
+    @property
+    def cache_dir(self) -> str | None:
+        """The fleet's shared disk-cache directory (None: memory-only)."""
+        return self.supervisor.cluster.cache_dir
+
+    def shard_pid(self, shard: int) -> int | None:
+        """Pid of the shard's current live worker (None while down)."""
+        worker = self.supervisor.workers.get(shard)
+        return worker.pid if worker is not None and worker.alive else None
+
+    def kill_shard(self, shard: int) -> bool:
+        """SIGKILL the shard's current worker; False if already down."""
+        pid = self.shard_pid(shard)
+        if pid is None:
+            return False
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            return False
+        return True
+
+    def hold_respawn(self, shard: int, seconds: float) -> None:
+        """Keep the slot down at least ``seconds`` beyond its backoff —
+        while held, its old port refuses connections (the
+        ``worker-refuse`` chaos fault pairs this with a kill)."""
+        until = time.monotonic() + seconds
+
+        def _set() -> None:
+            worker = self.supervisor.workers.get(shard)
+            if worker is not None:
+                worker.hold_until = max(worker.hold_until, until)
+
+        self.loop.call_soon_threadsafe(_set)
+
+    def flap_breaker(self, shard: int) -> dict:
+        """Snapshot of the slot's crash-loop breaker."""
+        return self.supervisor._flap_breakers[shard].snapshot()
 
     def drain(self, timeout: float | None = None) -> bool:
         if not self.thread.is_alive():

@@ -83,6 +83,24 @@ class ClusterConfig:
     hash_replicas: int = 64
     #: Seconds to wait for a spawned worker to report ready.
     spawn_timeout: float = 30.0
+    #: Re-route a down shard's keys to the next live shard on the ring
+    #: (stamped ``X-Shard-Failover``) instead of answering 503.
+    failover: bool = True
+    #: First respawn delay (seconds); doubles per consecutive respawn.
+    respawn_backoff_base: float = 0.25
+    #: Ceiling of the exponential respawn backoff (before jitter).
+    respawn_backoff_cap: float = 5.0
+    #: A worker death within this many seconds of becoming ready counts
+    #: as a *flap* against the slot's crash-loop circuit breaker.
+    flap_window: float = 5.0
+    #: Consecutive flaps that trip the slot's breaker (respawns pause).
+    flap_threshold: int = 3
+    #: Seconds a tripped slot waits before one half-open probe respawn.
+    flap_cooldown: float = 10.0
+    #: Router-side budget (seconds) for one proxied worker roundtrip;
+    #: a stalled worker yields a 503/failover instead of a hung client
+    #: connection.  None or 0 disables the bound.
+    proxy_timeout: float | None = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -106,6 +124,22 @@ class ClusterConfig:
             raise ConfigurationError("hash_replicas must be >= 1")
         if self.spawn_timeout <= 0:
             raise ConfigurationError("spawn_timeout must be > 0")
+        if self.respawn_backoff_base <= 0:
+            raise ConfigurationError("respawn_backoff_base must be > 0")
+        if self.respawn_backoff_cap < self.respawn_backoff_base:
+            raise ConfigurationError(
+                "respawn_backoff_cap must be >= respawn_backoff_base"
+            )
+        if self.flap_window <= 0:
+            raise ConfigurationError("flap_window must be > 0")
+        if self.flap_threshold < 1:
+            raise ConfigurationError("flap_threshold must be >= 1")
+        if self.flap_cooldown < 0:
+            raise ConfigurationError("flap_cooldown must be >= 0")
+        if self.proxy_timeout is not None and self.proxy_timeout <= 0:
+            raise ConfigurationError(
+                "proxy_timeout must be > 0 (or None to disable)"
+            )
 
 
 @dataclass(frozen=True)
@@ -303,7 +337,8 @@ _SERVICE_SCALARS = tuple(
 )
 
 #: Fields where a non-positive number means "disabled" (stored None).
-_NONE_WHEN_NON_POSITIVE = ("read_timeout", "write_timeout")
+_NONE_WHEN_NON_POSITIVE = ("read_timeout", "write_timeout",
+                           "proxy_timeout")
 #: Fields where an empty string means None.
 _NONE_WHEN_EMPTY = ("cache_dir", "start_method")
 

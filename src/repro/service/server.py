@@ -240,7 +240,8 @@ class _Instruments:
             "repro_service_brownout_pressure",
             "Live pressure components driving the brownout ladder.",
         )
-        for comp in ("gate", "queue", "lag", "breaker", "overall"):
+        for comp in ("gate", "queue", "lag", "breaker", "fleet",
+                     "overall"):
             pressure.set(
                 (lambda c=comp: controller.pressure()[c]), component=comp
             )
@@ -523,6 +524,18 @@ class SolveService:
             # declare victory while a response is in flight.
             self._conn_busy[writer] = True
             endpoint = f"{http.method} {http.path}"
+            fleet = http.headers.get("x-fleet-pressure")
+            if fleet is not None:
+                # The cluster router reports how much load this worker
+                # absorbs for dead shards; feed it to the brownout
+                # ladder so a shrunken fleet sheds instead of timing
+                # out (see ServicePressureController.fleet_pressure).
+                try:
+                    self.brownout.fleet_pressure = min(
+                        1.0, max(0.0, float(fleet))
+                    )
+                except ValueError:
+                    pass
             keep = (
                 self.config.keepalive
                 and not self._draining

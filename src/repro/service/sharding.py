@@ -59,6 +59,32 @@ class HashRing:
             index = 0
         return self._owners[index]
 
+    def preference(self, key: str) -> tuple[int, ...]:
+        """Every shard, ordered by distance clockwise from ``key``.
+
+        ``preference(key)[0] == shard_for(key)``; the rest is the
+        failover order: walking the ring clockwise, each successor
+        vnode owned by a shard not yet seen appends that shard.  A
+        router that skips dead shards in this order re-routes each
+        slot's keyspace exactly the way consistent hashing would
+        rebalance it if the slot were removed from the ring — and the
+        original owner resumes automatically once it is live again.
+        """
+        if self.shards == 1:
+            return (0,)
+        start = bisect.bisect(self._points, ring_point(key))
+        order: list[int] = []
+        seen = set()
+        total = len(self._owners)
+        for step in range(total):
+            owner = self._owners[(start + step) % total]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) == self.shards:
+                    break
+        return tuple(order)
+
     def spread(self, keys: list[str]) -> dict[int, int]:
         """Key count per shard — handy for balance assertions."""
         counts: dict[int, int] = {shard: 0 for shard in range(self.shards)}

@@ -1,0 +1,479 @@
+"""Cluster-scale chaos: seeded fleet-level fault storms.
+
+The PR-8 acceptance harness: a seeded :class:`ClusterFaultPlan` drives
+SIGKILL storms, SIGSTOP stalls, refuse-connection windows, shared-
+cache corruption and crash-loops against live fleets while client
+traffic hammers the router, proving
+
+* **zero hung connections** — every client call returns (bounded by
+  its own timeout), never parks on a stalled or killed worker;
+* **zero leaked admission tokens** — after quiescence every worker's
+  gate reads ``in_use == 0``;
+* **byte identity** — every successful reply matches a local solve,
+  storm or no storm;
+* **bounded error surface** — clients see only 200s and 503s, and the
+  503 fraction stays small because failover absorbs respawn windows;
+* **flap dampening** — a crash-looping slot trips its breaker instead
+  of burning respawns at full rate, and still heals afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+pytestmark = pytest.mark.service  # spawns worker fleets
+
+from repro.api import SolveRequest, solve
+from repro.core.traffic import TrafficClass
+from repro.engine.chaos import (
+    ClusterFault,
+    ClusterFaultInjector,
+    ClusterFaultPlan,
+    KIND_CRASH_LOOP,
+    KIND_WORKER_KILL,
+    KIND_WORKER_STALL,
+    corrupt_shared_cache,
+)
+from repro.exceptions import ConfigurationError
+from repro.service import (
+    ClusterConfig,
+    ServiceClient,
+    ServiceConfig,
+    start_cluster_in_thread,
+)
+from repro.service.sharding import HashRing
+
+REQUESTS = [
+    SolveRequest.square(
+        n,
+        [
+            TrafficClass.poisson(0.002, name="data"),
+            TrafficClass(alpha=0.001, beta=0.0005, name="video"),
+        ],
+    )
+    for n in (4, 5, 6, 7)
+]
+
+LOCAL_BYTES = {}
+
+
+def solution_bytes(fragment: dict) -> str:
+    record = dict(fragment)
+    record.pop("from_cache", None)
+    record.pop("degraded", None)
+    return json.dumps(record, sort_keys=True)
+
+
+def local_bytes(request: SolveRequest) -> str:
+    key = request.cache_key
+    if key not in LOCAL_BYTES:
+        from repro.service.protocol import encode_result
+
+        LOCAL_BYTES[key] = solution_bytes(encode_result(solve(request)))
+    return LOCAL_BYTES[key]
+
+
+def wire_solve(
+    host: str, port: int, request: SolveRequest, timeout: float = 30.0
+) -> tuple[int, int | None, int | None, dict]:
+    connection = HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request(
+            "POST", "/solve",
+            body=json.dumps({"request": request.to_dict()}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        raw = response.read()
+        shard = response.getheader("X-Shard")
+        failover = response.getheader("X-Shard-Failover")
+        return (
+            response.status,
+            int(shard) if shard is not None else None,
+            int(failover) if failover is not None else None,
+            json.loads(raw.decode()),
+        )
+    finally:
+        connection.close()
+
+
+def fleet_config(tmp_path, workers: int, **cluster_overrides):
+    defaults = dict(
+        workers=workers,
+        cache_dir=str(tmp_path),
+        health_interval=0.05,
+        respawn_backoff_base=0.05,
+        respawn_backoff_cap=0.3,
+        flap_window=0.3,
+        flap_threshold=3,
+        flap_cooldown=0.4,
+        proxy_timeout=5.0,
+        max_respawns=10,
+    )
+    defaults.update(cluster_overrides)
+    return ServiceConfig(port=0, cluster=ClusterConfig(**defaults))
+
+
+def await_fleet_live(client: ServiceClient, budget: float = 60.0) -> dict:
+    deadline = time.monotonic() + budget
+    while True:
+        chart = client.cluster_map(refresh=True)
+        if all(
+            entry["state"] == "live" for entry in chart["shards"]
+        ):
+            return chart
+        assert time.monotonic() < deadline, (
+            f"fleet never fully recovered: {chart['shards']}"
+        )
+        time.sleep(0.1)
+
+
+# ----------------------------------------------------------------------
+# Plan mechanics (no fleet)
+# ----------------------------------------------------------------------
+
+
+def test_plan_from_seed_is_deterministic_and_kills_every_shard():
+    first = ClusterFaultPlan.from_seed(
+        11, 3, kills_per_shard=2, stalls=1, corruptions=1, crash_loops=1
+    )
+    again = ClusterFaultPlan.from_seed(
+        11, 3, kills_per_shard=2, stalls=1, corruptions=1, crash_loops=1
+    )
+    assert first == again
+    other = ClusterFaultPlan.from_seed(12, 3, kills_per_shard=2)
+    assert first != other
+    # The guarantee the acceptance test leans on: every shard's SIGKILL
+    # budget is explicit in the plan.
+    kills = ClusterFaultPlan.from_seed(
+        7, 3, kills_per_shard=2
+    ).kills_per_shard()
+    assert kills == {0: 2, 1: 2, 2: 2}
+    # Faults fire in time order and the horizon covers them all.
+    ats = [fault.at for fault in first.faults]
+    assert ats == sorted(ats)
+    assert first.horizon >= max(ats)
+
+
+def test_cluster_fault_rejects_nonsense():
+    with pytest.raises(ConfigurationError):
+        ClusterFault(kind="meteor-strike")
+    with pytest.raises(ConfigurationError):
+        ClusterFault(kind=KIND_WORKER_KILL, shard=-1)
+    with pytest.raises(ConfigurationError):
+        ClusterFault(kind=KIND_CRASH_LOOP, count=0)
+    with pytest.raises(ConfigurationError):
+        ClusterFaultPlan.from_seed(1, 0)
+
+
+def test_corrupt_shared_cache_touches_every_entry(tmp_path):
+    for name in ("a.json", "b.json"):
+        (tmp_path / name).write_text('{"fine": true}')
+    (tmp_path / "note.txt").write_text("not a cache entry")
+    assert corrupt_shared_cache(str(tmp_path)) == 2
+    for name in ("a.json", "b.json"):
+        with pytest.raises(ValueError):
+            json.loads((tmp_path / name).read_text())
+    assert corrupt_shared_cache(None) == 0
+
+
+# ----------------------------------------------------------------------
+# The storm (acceptance)
+# ----------------------------------------------------------------------
+
+
+def test_seeded_kill_storm_leaves_no_damage(tmp_path):
+    """SIGKILL every worker of a 3-shard fleet (twice each, seeded
+    instants) while clients hammer the router: no hung or dropped
+    connections, only 200/503 on the wire, byte-identical successes,
+    zero admission tokens leaked, full fleet recovery."""
+    plan = ClusterFaultPlan.from_seed(
+        23, 3, kills_per_shard=2, horizon=5.0
+    )
+    config = fleet_config(tmp_path, workers=3)
+    with start_cluster_in_thread(config) as handle:
+        client = ServiceClient(*handle.address)
+        await_fleet_live(client)
+        for request in REQUESTS:  # warm every path before the storm
+            status, _, _, _ = wire_solve(*handle.address, request)
+            assert status == 200
+
+        injector = ClusterFaultInjector(plan)
+        storm = threading.Thread(
+            target=injector.run, args=(handle,), name="chaos-storm"
+        )
+        outcomes: list[tuple[int, int, str | None]] = []
+        failures: list[str] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def hammer(worker_index: int) -> None:
+            i = worker_index
+            while not stop.is_set():
+                request = REQUESTS[i % len(REQUESTS)]
+                i += 1
+                try:
+                    status, _, _, envelope = wire_solve(
+                        *handle.address, request, timeout=20.0
+                    )
+                except Exception as exc:  # noqa: BLE001 - tallied below
+                    with lock:
+                        failures.append(f"{type(exc).__name__}: {exc}")
+                    continue
+                body = (
+                    solution_bytes(envelope["result"])
+                    if status == 200 else None
+                )
+                with lock:
+                    outcomes.append((i - 1, status, body))
+
+        threads = [
+            threading.Thread(target=hammer, args=(n,), daemon=True)
+            for n in range(4)
+        ]
+        storm.start()
+        for thread in threads:
+            thread.start()
+        storm.join(plan.horizon + 60.0)
+        assert not storm.is_alive(), "injector hung"
+        time.sleep(0.5)  # let in-flight failovers complete under load
+        stop.set()
+        for thread in threads:
+            thread.join(30.0)
+            assert not thread.is_alive(), "hammer thread hung"
+
+        # Every planned fault fired.
+        assert len(injector.fired) == len(plan.faults)
+        # Zero hung or dropped client connections.
+        assert failures == []
+        # Only the documented statuses, and failover keeps the
+        # client-visible error surface small.
+        statuses = {status for _, status, _ in outcomes}
+        assert statuses <= {200, 503}
+        total = len(outcomes)
+        rejected = sum(1 for _, s, _ in outcomes if s == 503)
+        assert total > 0
+        assert rejected / total < 0.2, (
+            f"{rejected}/{total} rejected: failover did not absorb "
+            "the respawn windows"
+        )
+        # Byte identity of every success against a local solve.
+        for index, status, body in outcomes:
+            if status == 200:
+                assert body == local_bytes(REQUESTS[index % len(REQUESTS)])
+
+        # The fleet heals: every slot live again, kills accounted for.
+        chart = await_fleet_live(client)
+        respawns = {
+            entry["shard"]: entry["respawns"]
+            for entry in chart["shards"]
+        }
+        assert all(count >= 1 for count in respawns.values()), respawns
+        assert sum(respawns.values()) >= 4, respawns
+        assert chart["dead_shards"] == []
+
+        # Zero leaked admission tokens once quiescent.
+        for shard in range(3):
+            assert client.metric_value(
+                "repro_service_gate_tokens",
+                shard=str(shard), state="in_use",
+            ) == 0.0
+
+        # Traffic still lands on the owners afterwards.
+        ring = HashRing(chart["workers"], chart["hash_replicas"])
+        for request in REQUESTS:
+            status, shard, failover, envelope = wire_solve(
+                *handle.address, request
+            )
+            assert status == 200
+            assert shard == ring.shard_for(request.cache_key)
+            assert failover is None
+            assert solution_bytes(envelope["result"]) \
+                == local_bytes(request)
+
+
+def test_stalled_worker_costs_a_failover_not_a_hang(tmp_path):
+    """SIGSTOP the owner of a key: the proxy timeout converts the
+    stall into an immediate failover (200 from the peer), and the
+    slot serves again after SIGCONT."""
+    config = fleet_config(tmp_path, workers=2, proxy_timeout=0.75)
+    with start_cluster_in_thread(config) as handle:
+        client = ServiceClient(*handle.address)
+        chart = await_fleet_live(client)
+        ring = HashRing(chart["workers"], chart["hash_replicas"])
+        request = REQUESTS[0]
+        owner = ring.shard_for(request.cache_key)
+        peer = 1 - owner
+        assert wire_solve(*handle.address, request)[0] == 200
+
+        fault = ClusterFault(
+            kind=KIND_WORKER_STALL, shard=owner, duration=2.5
+        )
+        injector = ClusterFaultInjector(
+            ClusterFaultPlan(faults=(fault,))
+        )
+        stall = threading.Thread(target=injector.run, args=(handle,))
+        stall.start()
+        time.sleep(0.2)  # let SIGSTOP land
+        began = time.monotonic()
+        status, shard, failover, envelope = wire_solve(
+            *handle.address, request, timeout=15.0
+        )
+        elapsed = time.monotonic() - began
+        stall.join(30.0)
+        assert elapsed < 5.0, "stalled worker hung the client"
+        assert (status, shard, failover) == (200, peer, owner)
+        assert solution_bytes(envelope["result"]) == local_bytes(request)
+
+        # SIGCONT: the owner takes its keyspace back, no respawn burnt.
+        deadline = time.monotonic() + 30.0
+        while True:
+            status, shard, failover, _ = wire_solve(
+                *handle.address, request
+            )
+            if (status, shard, failover) == (200, owner, None):
+                break
+            assert time.monotonic() < deadline, "owner never resumed"
+            time.sleep(0.2)
+        entry = next(
+            e for e in client.cluster_map(refresh=True)["shards"]
+            if e["shard"] == owner
+        )
+        assert entry["respawns"] == 0
+
+
+def test_crash_loop_trips_the_flap_breaker_then_heals(tmp_path):
+    """Kill three consecutive incarnations of one slot: every death
+    lands inside flap_window, the slot's breaker trips (respawns
+    pause), and after the cooldown the slot still heals."""
+    config = fleet_config(
+        tmp_path, workers=2,
+        flap_window=10.0,  # every death in this test is a flap
+        flap_threshold=2,
+        flap_cooldown=0.4,
+    )
+    with start_cluster_in_thread(config) as handle:
+        client = ServiceClient(*handle.address)
+        await_fleet_live(client)
+        victim = 0
+        fault = ClusterFault(
+            kind=KIND_CRASH_LOOP, shard=victim, duration=15.0, count=3
+        )
+        ClusterFaultInjector(
+            ClusterFaultPlan(faults=(fault,))
+        ).run(handle)
+
+        # The injector returns as soon as its last SIGKILL is sent;
+        # the supervisor still has deaths to *observe*.  Wait for the
+        # breaker to trip rather than snapshotting instantly.
+        deadline = time.monotonic() + 60.0
+        while handle.flap_breaker(victim)["trips"] < 1:
+            assert time.monotonic() < deadline, (
+                f"breaker never tripped: {handle.flap_breaker(victim)}"
+            )
+            time.sleep(0.05)
+
+        # Healing: the half-open probe respawn survives (nobody kills
+        # it), the slot answers again, and its breaker closes.  Wait
+        # for the *fourth* incarnation (respawns >= 3) — earlier ones
+        # can flash "live" before the injector's kill is observed.
+        while True:
+            chart = client.cluster_map(refresh=True)
+            entry = next(
+                e for e in chart["shards"] if e["shard"] == victim
+            )
+            if entry["state"] == "live" and entry["respawns"] >= 3:
+                break
+            assert time.monotonic() < deadline, (
+                f"slot never healed: {entry}"
+            )
+            time.sleep(0.1)
+        assert chart["dead_shards"] == []
+        request = next(
+            r for r in REQUESTS
+            if HashRing(2).shard_for(r.cache_key) == victim
+        )
+        status, shard, _, _ = wire_solve(*handle.address, request)
+        assert (status, shard) == (200, victim)
+
+
+def test_corrupted_shared_cache_never_corrupts_answers(tmp_path):
+    """Scribble garbage over the fleet's shared disk cache mid-flight:
+    every worker's quarantine path absorbs it and replies stay
+    byte-identical."""
+    config = fleet_config(tmp_path, workers=2)
+    with start_cluster_in_thread(config) as handle:
+        client = ServiceClient(*handle.address)
+        await_fleet_live(client)
+        for request in REQUESTS:  # populate the shared store
+            assert wire_solve(*handle.address, request)[0] == 200
+        assert corrupt_shared_cache(handle.cache_dir) > 0
+        for request in REQUESTS:
+            status, _, _, envelope = wire_solve(*handle.address, request)
+            assert status == 200
+            assert solution_bytes(envelope["result"]) \
+                == local_bytes(request)
+
+
+def test_max_respawns_exhaustion_is_first_class_dead(tmp_path):
+    """Satellite: a slot that exhausts max_respawns is declared dead —
+    /cluster says so, /healthz goes non-200, the gauge flips — while
+    its keys keep answering through the peer."""
+    config = fleet_config(
+        tmp_path, workers=2,
+        max_respawns=1,
+        flap_threshold=10,  # keep the breaker out of this test's way
+    )
+    with start_cluster_in_thread(config) as handle:
+        client = ServiceClient(*handle.address)
+        await_fleet_live(client)
+        victim = 0
+        # Kill the original and then its only allowed respawn.
+        ClusterFaultInjector(ClusterFaultPlan(faults=(
+            ClusterFault(
+                kind=KIND_CRASH_LOOP, shard=victim,
+                duration=30.0, count=2,
+            ),
+        ))).run(handle)
+
+        deadline = time.monotonic() + 30.0
+        while True:
+            chart = client.cluster_map(refresh=True)
+            entry = next(
+                e for e in chart["shards"] if e["shard"] == victim
+            )
+            if entry["dead"]:
+                break
+            assert time.monotonic() < deadline, (
+                f"exhaustion never declared: {entry}"
+            )
+            time.sleep(0.05)
+        assert entry["state"] == "dead"
+        assert entry["respawns"] == 1
+        assert chart["dead_shards"] == [victim]
+
+        connection = HTTPConnection(*handle.address, timeout=30.0)
+        try:
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            payload = json.loads(response.read().decode())
+        finally:
+            connection.close()
+        assert response.status == 503
+        assert payload["dead_shards"] == [victim]
+
+        assert client.metric_value(
+            "repro_cluster_shard_dead", shard=str(victim)
+        ) == 1.0
+
+        request = next(
+            r for r in REQUESTS
+            if HashRing(2).shard_for(r.cache_key) == victim
+        )
+        status, shard, failover, _ = wire_solve(*handle.address, request)
+        assert (status, shard, failover) == (200, 1 - victim, victim)

@@ -21,6 +21,7 @@ from repro.loadgen import (
     LoadReport,
     LoadSpec,
     UNSHARDED,
+    availability_weighted_blocking,
     expected_fleet_blocking,
     run_load,
 )
@@ -134,6 +135,37 @@ def test_expected_fleet_blocking_empty_report_is_zero():
     ) == 0.0
 
 
+def test_availability_weighted_blocking_concentrates_with_failover():
+    # 1 of 4 dead, failover on: the whole stream lands on 3 survivors.
+    want = erlang_b(2, (120.0 / 3) * 0.05)
+    assert availability_weighted_blocking(
+        4, 1, 2, 120.0, 0.05
+    ) == pytest.approx(want)
+    # No failover: the dead quarter is lost outright, survivors keep
+    # their original share.
+    survivor = erlang_b(2, (120.0 / 4) * 0.05)
+    assert availability_weighted_blocking(
+        4, 1, 2, 120.0, 0.05, failover=False
+    ) == pytest.approx(0.25 + 0.75 * survivor)
+    # Degenerate cases.
+    assert availability_weighted_blocking(4, 0, 2, 120.0, 0.05) \
+        == pytest.approx(erlang_b(2, (120.0 / 4) * 0.05))
+    assert availability_weighted_blocking(4, 4, 2, 120.0, 0.05) == 1.0
+    with pytest.raises(ConfigurationError):
+        availability_weighted_blocking(4, 5, 2, 120.0, 0.05)
+    with pytest.raises(ConfigurationError):
+        availability_weighted_blocking(0, 0, 2, 120.0, 0.05)
+
+
+def test_failover_blocking_exceeds_healthy_but_beats_no_failover():
+    healthy = availability_weighted_blocking(4, 0, 2, 120.0, 0.05)
+    degraded = availability_weighted_blocking(4, 1, 2, 120.0, 0.05)
+    lossy = availability_weighted_blocking(
+        4, 1, 2, 120.0, 0.05, failover=False
+    )
+    assert healthy < degraded < lossy
+
+
 # ----------------------------------------------------------------------
 # Live runs
 # ----------------------------------------------------------------------
@@ -191,3 +223,15 @@ def test_transport_failures_are_tallied_not_raised():
     report = run_load(spec, "127.0.0.1", 9)
     assert report.completed == 0
     assert report.errors > 0
+    # Taxonomy: a silent port refuses the TCP connect, so every error
+    # is classified connect-refused and the classes sum to the total.
+    assert report.connect_refused == report.errors
+    assert report.read_errors == 0
+    assert report.connect_refused + report.read_errors == report.errors
+    # No reply ever carried X-Shard and no route table existed, so the
+    # failures land in the UNSHARDED bucket.
+    bucket = report.per_shard[UNSHARDED]
+    assert bucket["connect_refused"] == report.connect_refused
+    record = report.to_dict()
+    assert record["connect_refused"] == report.connect_refused
+    assert record["read_errors"] == 0

@@ -209,6 +209,33 @@ def test_breaker_pressure_holds_but_cannot_escalate():
     assert controller.stage == STAGE_NORMAL
 
 
+def test_fleet_pressure_holds_but_cannot_escalate_alone():
+    """The router-pushed fleet pressure (X-Fleet-Pressure) is a first-
+    class component, but — like an open disk breaker — it is capped at
+    ``breaker_pressure``: a shrunken fleet holds a degraded stage yet
+    never sheds traffic it is not actually receiving."""
+    controller = make_controller(raise_after=1)
+    assert controller.pressure()["fleet"] == 0.0
+    controller.fleet_pressure = 0.5
+    components = controller.pressure()
+    assert components["fleet"] == pytest.approx(0.5)
+    assert components["overall"] == pytest.approx(0.5)
+    # Half the fleet dead stamps 1.0; the component caps between the
+    # thresholds (0.55 < 0.6 < 0.85).
+    controller.fleet_pressure = 1.0
+    assert controller.pressure()["fleet"] == pytest.approx(0.6)
+    controller.fleet_pressure = -3.0
+    assert controller.pressure()["fleet"] == 0.0
+    controller.fleet_pressure = 1.0
+    controller.evaluate()
+    assert controller.stage == STAGE_NORMAL  # holds, never escalates
+    # ... but it does keep an escalated stage from recovering.
+    controller.force_stage(STAGE_ADMISSION_SHRINK, hold=False)
+    for _ in range(controller.config.lower_after * 4):
+        controller.evaluate()
+    assert controller.stage == STAGE_ADMISSION_SHRINK
+
+
 def test_force_stage_pins_and_release_resumes():
     controller = make_controller(raise_after=1)
     controller.force_stage(STAGE_STALE_CACHE)

@@ -22,17 +22,27 @@ asserts:
   labeled for every shard.
 * **Clean shutdown** — the supervisor drains and joins.
 
+With ``--chaos`` the drill instead boots a 3-worker fleet and runs a
+seeded :class:`repro.engine.chaos.ClusterFaultPlan` (every worker
+SIGKILLed twice at seed-drawn instants, plus a stall and a shared-
+cache corruption) while client threads hammer the router, asserting:
+no dropped or hung client calls, only 200/503 on the wire with a
+bounded 503 fraction, byte-identical successes, full fleet recovery,
+and zero leaked admission tokens afterwards.
+
 Exit code 0 on success, 1 on any violation.  CI runs this under
 ``timeout`` so a hang fails the job instead of stalling the runner.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import signal
 import sys
 import tempfile
+import threading
 import time
 from http.client import HTTPConnection
 from pathlib import Path
@@ -48,7 +58,10 @@ from repro.service import (  # noqa: E402
     ServiceConfig,
     start_cluster_in_thread,
 )
-from repro.service.protocol import decode_result  # noqa: E402
+from repro.service.protocol import (  # noqa: E402
+    decode_result,
+    encode_result,
+)
 from repro.service.sharding import HashRing  # noqa: E402
 
 WORKERS = 4
@@ -81,8 +94,9 @@ def solution_bytes(fragment: dict) -> str:
     return json.dumps(record, sort_keys=True)
 
 
-def wire_solve(host: str, port: int, request: SolveRequest):
-    connection = HTTPConnection(host, port, timeout=30.0)
+def wire_solve(host: str, port: int, request: SolveRequest,
+               timeout: float = 30.0):
+    connection = HTTPConnection(host, port, timeout=timeout)
     try:
         connection.request(
             "POST", "/solve",
@@ -99,6 +113,167 @@ def wire_solve(host: str, port: int, request: SolveRequest):
         )
     finally:
         connection.close()
+
+
+def chaos_main() -> int:
+    """The ``--chaos`` drill: a seeded fault storm against 3 workers."""
+    from repro.engine.chaos import ClusterFaultInjector, ClusterFaultPlan
+
+    failures: list[str] = []
+    workers = 3
+    requests = REQUESTS[:4]
+    local = {
+        r.cache_key: solution_bytes(encode_result(solve(r)))
+        for r in requests
+    }
+    plan = ClusterFaultPlan.from_seed(
+        42, workers, kills_per_shard=2, stalls=1, corruptions=1,
+        horizon=5.0, stall_duration=0.4,
+    )
+    print(
+        f"chaos plan: {len(plan.faults)} faults over "
+        f"{plan.horizon:.1f}s, kills {plan.kills_per_shard()}"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="cluster-chaos-") as cache:
+        config = ServiceConfig(
+            port=0,
+            cluster=ClusterConfig(
+                workers=workers, cache_dir=cache,
+                health_interval=0.05,
+                respawn_backoff_base=0.05, respawn_backoff_cap=0.3,
+                flap_window=0.3, flap_threshold=3, flap_cooldown=0.4,
+                proxy_timeout=5.0, max_respawns=10,
+            ),
+        )
+        with start_cluster_in_thread(config) as handle:
+            client = ServiceClient(*handle.address)
+            for request in requests:  # warm every path first
+                status, _, _ = wire_solve(*handle.address, request)
+                if status != 200:
+                    failures.append("warmup solve failed")
+
+            print("storm")
+            injector = ClusterFaultInjector(plan)
+            storm = threading.Thread(
+                target=injector.run, args=(handle,), name="chaos-storm"
+            )
+            outcomes: list[tuple[str, int, str | None]] = []
+            dropped: list[str] = []
+            lock = threading.Lock()
+            stop = threading.Event()
+
+            def hammer(offset: int) -> None:
+                i = offset
+                while not stop.is_set():
+                    request = requests[i % len(requests)]
+                    i += 1
+                    try:
+                        status, _, envelope = wire_solve(
+                            *handle.address, request, timeout=20.0
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        with lock:
+                            dropped.append(type(exc).__name__)
+                        continue
+                    body = (
+                        solution_bytes(envelope["result"])
+                        if status == 200 else None
+                    )
+                    with lock:
+                        outcomes.append((request.cache_key, status, body))
+
+            threads = [
+                threading.Thread(target=hammer, args=(n,), daemon=True)
+                for n in range(4)
+            ]
+            storm.start()
+            for thread in threads:
+                thread.start()
+            storm.join(plan.horizon + 60.0)
+            check(not storm.is_alive(), "injector completed", failures)
+            time.sleep(0.5)
+            stop.set()
+            hung = 0
+            for thread in threads:
+                thread.join(30.0)
+                hung += 1 if thread.is_alive() else 0
+
+            check(
+                len(injector.fired) == len(plan.faults),
+                f"all {len(plan.faults)} faults fired", failures,
+            )
+            check(hung == 0, "zero hung client threads", failures)
+            check(
+                not dropped,
+                f"zero dropped connections (saw {dropped[:5]})",
+                failures,
+            )
+            statuses = {status for _, status, _ in outcomes}
+            check(
+                statuses <= {200, 503},
+                f"only 200/503 on the wire (saw {sorted(statuses)})",
+                failures,
+            )
+            total = len(outcomes)
+            rejected = sum(1 for _, s, _ in outcomes if s == 503)
+            check(total > 0, "traffic flowed during the storm", failures)
+            check(
+                total > 0 and rejected / total < 0.2,
+                f"503 fraction bounded ({rejected}/{total})", failures,
+            )
+            identical = all(
+                body == local[key]
+                for key, status, body in outcomes
+                if status == 200
+            )
+            check(identical, "successes byte-identical", failures)
+
+            print("recovery")
+            deadline = time.monotonic() + 60.0
+            healed = False
+            chart: dict = {}
+            while time.monotonic() < deadline:
+                chart = client.cluster_map(refresh=True)
+                if all(
+                    e["state"] == "live" for e in chart["shards"]
+                ):
+                    healed = True
+                    break
+                time.sleep(0.1)
+            check(healed, "fleet fully recovered", failures)
+            check(
+                not chart.get("dead_shards"),
+                "no shard declared dead", failures,
+            )
+            respawns = {
+                e["shard"]: e["respawns"] for e in chart["shards"]
+            }
+            check(
+                all(count >= 1 for count in respawns.values()),
+                f"every shard respawned ({respawns})", failures,
+            )
+            leaked = 0.0
+            for shard in range(workers):
+                leaked += client.metric_value(
+                    "repro_service_gate_tokens",
+                    shard=str(shard), state="in_use",
+                )
+            check(
+                leaked == 0.0,
+                "zero leaked admission tokens", failures,
+            )
+            after_ok = all(
+                wire_solve(*handle.address, request)[0] == 200
+                for request in requests
+            )
+            check(after_ok, "fleet serves after the storm", failures)
+
+    if failures:
+        print(f"\nFAILED ({len(failures)}): " + "; ".join(failures))
+        return 1
+    print("\nall cluster chaos checks passed")
+    return 0
 
 
 def main() -> int:
@@ -238,4 +413,13 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the seeded fleet-level fault storm instead of the "
+             "routing/identity drill",
+    )
+    arguments = parser.parse_args()
+    sys.exit(chaos_main() if arguments.chaos else main())
