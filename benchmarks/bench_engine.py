@@ -839,7 +839,17 @@ def main(argv=None) -> int:
         "service_degraded": service_degraded,
         "cluster_failover": cluster_failover,
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    # Sections written by sibling benchmarks (e.g. bench_kernels.py's
+    # "kernels") live in the same file; preserve them on rewrite.
+    output = Path(args.output)
+    if output.exists():
+        try:
+            previous = json.loads(output.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        for key, value in previous.items():
+            report.setdefault(key, value)
+    output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(
         f"\nsweep speedup {sweep['speedup']:.1f}x "

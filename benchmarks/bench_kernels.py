@@ -1,0 +1,329 @@
+"""Benchmark the vectorized NumPy kernels against the reference sweeps.
+
+Four legs, written into the ``"kernels"`` section of the shared
+``BENCH_engine.json`` report (sibling sections are preserved — see
+``bench_engine.py``, which extends the same file):
+
+``single_solve``
+    Matched python-vs-numpy single-solve p50 per numeric mode
+    (``log``/``scaled``/``float``/``mva``) over the ROADMAP reference
+    sweep sizes, plus the *headline* ratio: the old default path
+    (``convolution/log``, python) against the fastest vectorized path
+    (``convolution/scaled``, numpy).  The full run asserts the
+    headline speedup stays >= 10x.
+
+``equivalence``
+    The differential-fuzzer campaign from the acceptance criteria:
+    >= 2000 seeded sampled configs per numeric mode through
+    ``repro.verify.run_differential`` on the (classic, numpy) method
+    pair, asserting **zero** disagreements.  ``--quick`` runs a
+    bounded smoke of the same campaign.
+
+``service``
+    Cold (cache-missing) ``/solve`` calls over a persistent HTTP
+    connection with ``method=convolution-scaled-numpy``, p50 per
+    request — both the client round trip and the daemon's own
+    ``elapsed_ms``.  The full run asserts the service-side p50 stays
+    under 1 ms (the pure-python kernel is measured alongside for
+    contrast; it does not fit under that line).
+
+``--check-baseline``
+    CI regression guard: compare the freshly measured numpy
+    single-solve p50s against the committed ``kernels`` section and
+    fail (exit 1) if any cell regressed by more than 2x.  Timing
+    cells absent from the baseline are reported but never fail.
+
+Run ``python benchmarks/bench_kernels.py --quick`` for the CI-sized
+variant; the committed numbers come from the full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.core.convolution import solve_convolution  # noqa: E402
+from repro.core.mva import solve_mva  # noqa: E402
+from repro.core.state import SwitchDimensions  # noqa: E402
+from repro.core.traffic import TrafficClass  # noqa: E402
+from repro.verify.differential import run_differential  # noqa: E402
+from repro.verify.generators import ConfigSampler  # noqa: E402
+
+#: The ROADMAP reference sweep mix: one Poisson data class, one bursty
+#: video class (same shape as bench_engine.SWEEP_CLASSES).
+CLASSES = (
+    TrafficClass.poisson(0.002, name="data"),
+    TrafficClass(alpha=0.001, beta=0.0005, name="video"),
+)
+
+#: (classic method name, numpy method name) per numeric mode.
+PAIRS = {
+    "log": ("convolution", "convolution-numpy"),
+    "scaled": ("convolution-scaled", "convolution-scaled-numpy"),
+    "float": ("convolution-float", "convolution-float-numpy"),
+    "mva": ("mva", "mva-numpy"),
+}
+
+#: Regression-guard threshold: fail CI when a numpy single-solve p50
+#: grows past this multiple of the committed baseline.
+REGRESSION_FACTOR = 2.0
+
+
+def _solve(mode: str, n: int, kernel: str) -> None:
+    dims = SwitchDimensions(n, n)
+    if mode == "mva":
+        solve_mva(dims, CLASSES, kernel=kernel)
+    else:
+        solve_convolution(dims, CLASSES, mode=mode, kernel=kernel)
+
+
+def _p50_ms(fn, repeats: int) -> float:
+    """Median latency over ``repeats`` timed calls, in milliseconds."""
+    fn()  # warm caches, allocator, import side effects
+    samples = []
+    for _ in range(repeats):
+        began = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - began)
+    return statistics.median(samples) * 1e3
+
+
+def bench_single_solve(sizes: tuple[int, ...], repeats: int) -> dict:
+    """Matched python/numpy p50 per (mode, n), plus the headline ratio."""
+    cells = {}
+    for mode in PAIRS:
+        for n in sizes:
+            python_ms = _p50_ms(lambda: _solve(mode, n, "python"), repeats)
+            numpy_ms = _p50_ms(lambda: _solve(mode, n, "numpy"), repeats)
+            cells[f"{mode}-n{n}"] = {
+                "mode": mode,
+                "n": n,
+                "python_p50_ms": python_ms,
+                "numpy_p50_ms": numpy_ms,
+                "speedup": python_ms / numpy_ms,
+            }
+    n = max(sizes)
+    old_ms = _p50_ms(lambda: _solve("log", n, "python"), repeats)
+    new_ms = _p50_ms(lambda: _solve("scaled", n, "numpy"), repeats)
+    return {
+        "classes": len(CLASSES),
+        "repeats": repeats,
+        "cells": cells,
+        "headline": {
+            "n": n,
+            "old_default_p50_ms": old_ms,
+            "numpy_scaled_p50_ms": new_ms,
+            "speedup": old_ms / new_ms,
+        },
+    }
+
+
+def bench_equivalence(cases_per_mode: int, seed: int = 2024) -> dict:
+    """The acceptance campaign: zero disagreements per mode pair."""
+    modes = {}
+    began = time.perf_counter()
+    for mode, pair in PAIRS.items():
+        sampler = ConfigSampler(seed=seed)
+        checked = 0
+        disagreements = []
+        for _ in range(cases_per_mode):
+            config = sampler.sample()
+            report = run_differential(config, methods=list(pair))
+            if len(report.values) == 2:
+                checked += 1
+            disagreements.extend(
+                d.describe() for d in report.disagreements
+            )
+        modes[mode] = {
+            "cases": cases_per_mode,
+            "compared": checked,
+            "disagreements": disagreements,
+        }
+    total = sum(len(m["disagreements"]) for m in modes.values())
+    return {
+        "seed": seed,
+        "elapsed_s": time.perf_counter() - began,
+        "modes": modes,
+        "total_disagreements": total,
+    }
+
+
+def bench_service(n_requests: int) -> dict:
+    """Cold ``/solve`` p50 over the wire with the scaled-numpy kernel.
+
+    Every request gets a distinct traffic mix, so each one misses the
+    engine cache and pays for a real kernel solve — the number a
+    deployer sees on first contact with a new operating point.  Both
+    views are recorded: the client round trip over a persistent
+    localhost connection, and the service's own ``elapsed_ms``
+    (request decode -> batcher -> engine -> encoded reply), which is
+    the daemon's latency metric and excludes client-side socket
+    scheduling.  The same cold sweep through the pure-python kernel
+    is measured for contrast — the vectorized kernel is what moves
+    the service-side p50 under the 1 ms line.
+    """
+    import http.client
+
+    from repro.api import SolveRequest
+    from repro.engine import BatchSolver, EngineConfig
+    from repro.service import ServiceConfig, start_in_thread
+
+    def request_for(i: int, method: str) -> SolveRequest:
+        classes = (
+            TrafficClass.poisson(0.002 + 1e-6 * i, name="data"),
+            TrafficClass(alpha=0.001, beta=0.0005, name="video"),
+        )
+        return SolveRequest.square(16, classes, method=method)
+
+    handle = start_in_thread(
+        ServiceConfig(port=0, gate_capacity=256, batch_window=0.0),
+        engine=BatchSolver(EngineConfig()),
+    )
+    try:
+        conn = http.client.HTTPConnection(*handle.address)
+
+        def wire_solve(request: SolveRequest) -> tuple[float, dict]:
+            body = json.dumps({"request": request.to_dict()})
+            began = time.perf_counter()
+            conn.request(
+                "POST", "/solve", body,
+                {"Content-Type": "application/json"},
+            )
+            envelope = json.loads(conn.getresponse().read())
+            return time.perf_counter() - began, envelope
+
+        def cold_sweep(method: str, offset: int) -> tuple[float, float]:
+            wire_solve(request_for(offset - 1, method))  # warm the path
+            client, server = [], []
+            for i in range(n_requests):
+                elapsed, envelope = wire_solve(
+                    request_for(offset + i, method)
+                )
+                assert not envelope["from_cache"], "cold solve hit cache"
+                client.append(elapsed)
+                server.append(envelope["elapsed_ms"])
+            return (
+                statistics.median(client) * 1e3,
+                statistics.median(server),
+            )
+
+        numpy_wire, numpy_service = cold_sweep(
+            "convolution-scaled-numpy", 0
+        )
+        python_wire, python_service = cold_sweep(
+            "convolution-scaled", 10**6
+        )
+        conn.close()
+    finally:
+        handle.stop()
+    return {
+        "n": 16,
+        "method": "convolution-scaled-numpy",
+        "requests": n_requests,
+        "p50_ms": numpy_service,
+        "wire_p50_ms": numpy_wire,
+        "python_p50_ms": python_service,
+        "python_wire_p50_ms": python_wire,
+    }
+
+
+def check_baseline(report: dict, baseline_path: Path) -> int:
+    """Exit status for the CI guard: 1 if any numpy p50 regressed > 2x."""
+    try:
+        committed = json.loads(baseline_path.read_text())["kernels"]
+    except (OSError, KeyError, json.JSONDecodeError) as exc:
+        print(f"no committed kernels baseline in {baseline_path}: {exc}")
+        return 1
+    base_cells = committed["single_solve"]["cells"]
+    failures = []
+    for name, cell in report["single_solve"]["cells"].items():
+        base = base_cells.get(name)
+        if base is None:
+            print(f"{name}: not in baseline (new cell), skipping")
+            continue
+        ratio = cell["numpy_p50_ms"] / base["numpy_p50_ms"]
+        verdict = "FAIL" if ratio > REGRESSION_FACTOR else "ok"
+        print(
+            f"{name}: {base['numpy_p50_ms']:.3f} ms -> "
+            f"{cell['numpy_p50_ms']:.3f} ms ({ratio:.2f}x) {verdict}"
+        )
+        if ratio > REGRESSION_FACTOR:
+            failures.append(name)
+    if failures:
+        print(f"regressed > {REGRESSION_FACTOR}x: {', '.join(failures)}")
+        return 1
+    print("kernel benchmark within baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: fewer sizes, repeats, and fuzz cases",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="compare against the committed report and exit 1 on a "
+        f">{REGRESSION_FACTOR}x numpy p50 regression (implies --quick "
+        "timing scope; does not rewrite the report)",
+    )
+    parser.add_argument("--output", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    quick = args.quick or args.check_baseline
+    sizes = (16, 32) if quick else (16, 32, 64)
+    repeats = 7 if quick else 15
+    cases = 150 if quick else 2000
+    service_requests = 50 if quick else 200
+
+    report = {"quick": quick, "single_solve": None}
+    print(f"single-solve p50, sizes {sizes}, {repeats} repeats ...")
+    report["single_solve"] = bench_single_solve(sizes, repeats)
+    headline = report["single_solve"]["headline"]
+    print(
+        f"  headline (log/python -> scaled/numpy, n={headline['n']}): "
+        f"{headline['old_default_p50_ms']:.2f} ms -> "
+        f"{headline['numpy_scaled_p50_ms']:.2f} ms "
+        f"({headline['speedup']:.1f}x)"
+    )
+
+    if args.check_baseline:
+        return check_baseline(report, Path(args.output))
+
+    print(f"differential equivalence, {cases} cases x 4 modes ...")
+    report["equivalence"] = bench_equivalence(cases)
+    total = report["equivalence"]["total_disagreements"]
+    print(f"  {total} disagreements")
+    assert total == 0, report["equivalence"]
+
+    print(f"service cold-solve leg, {service_requests} requests ...")
+    report["service"] = bench_service(service_requests)
+    print(
+        f"  service p50 {report['service']['p50_ms']:.3f} ms "
+        f"(wire {report['service']['wire_p50_ms']:.3f} ms; python "
+        f"kernel {report['service']['python_p50_ms']:.3f} ms)"
+    )
+
+    if not quick:
+        assert headline["speedup"] >= 10.0, headline
+        assert report["service"]["p50_ms"] < 1.0, report["service"]
+
+    output = Path(args.output)
+    merged = {}
+    if output.exists():
+        merged = json.loads(output.read_text())
+    merged["kernels"] = report
+    output.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"wrote kernels section of {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,11 +11,22 @@ with the auxiliary recursion (eq. 9)
 
     ``V(n, r) = Q(n - a_r I) + (beta_r/mu_r) V(n - a_r I, r)``
 
-sweeping the ``(n1, n2)`` grid (we sweep along ``i = 2``, i.e. row by
-row in ``n2``, with the whole ``n1`` axis vectorized).  ``Q`` of any
-point with a negative coordinate is zero and ``Q(n1, 0) = 1/n1!``
+sweeping the ``(n1, n2)`` grid column by column in ``n2``.  ``Q`` of
+any point with a negative coordinate is zero and ``Q(n1, 0) = 1/n1!``
 (only the empty state fits).  Complexity is ``O(N1 N2 R)`` exactly as
 the paper states.
+
+The sweeps in this module are the *reference* implementations: a
+scalar python loop over ``n2`` whose per-column updates go through the
+generic signed-log helpers (:mod:`repro.core.logspace`) or per-cell
+mantissa/exponent bookkeeping — easy to audit against the paper, but
+not fast.  The performance path is :mod:`repro.core.kernels`, which
+recomputes the same grids with whole-column NumPy operations (bitwise
+identical for the ``log`` and ``float`` modes, tolerance-equivalent
+with reference fallback for ``scaled``).  Select it per call with
+``kernel="numpy"``, process-wide with ``REPRO_KERNELS=numpy`` /
+:func:`repro.core.kernels.set_default_kernel`, or by method name
+(``convolution-numpy`` etc.) through the registry.
 
 Three numeric modes are provided:
 
@@ -350,33 +361,50 @@ def _fold_float(
 # ----------------------------------------------------------------------
 
 
+def _sweep_and_fold(
+    dims: SwitchDimensions,
+    sweep_classes: Sequence[TrafficClass],
+    mode: str,
+    kernel: str | None,
+):
+    """Pick the sweep for ``(mode, kernel)``; returns ``(base, fold)``."""
+    from .kernels import resolve_kernel, sweep_float, sweep_log, sweep_scaled
+
+    family = resolve_kernel(kernel)
+    sweeps = {
+        ("log", "python"): _sweep_log,
+        ("scaled", "python"): _sweep_scaled,
+        ("float", "python"): _sweep_float,
+        ("log", "numpy"): sweep_log,
+        ("scaled", "numpy"): sweep_scaled,
+        ("float", "numpy"): sweep_float,
+    }
+    folds = {"log": _fold_log, "scaled": _fold_log, "float": _fold_float}
+    if mode not in folds:
+        raise ConfigurationError(
+            f"unknown mode {mode!r}; expected one of {_MODES}"
+        )
+    return sweeps[(mode, family)](dims, sweep_classes), folds[mode]
+
+
 def log_q_grid(
     dims: SwitchDimensions,
     classes: Sequence[TrafficClass],
     mode: str = "log",
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Grid of ``log Q(n1, n2)`` for ``0 <= n1 <= N1, 0 <= n2 <= N2``.
 
     Smooth (Bernoulli) classes are folded in through the positive-term
     identity rather than the alternating ``V`` recursion — see the
-    module docstring's stability note.
+    module docstring's stability note.  ``kernel`` selects the sweep
+    implementation (``None`` -> the process default, see
+    :mod:`repro.core.kernels`).
     """
     _validate(dims, classes)
     sweep_classes = [c for c in classes if c.beta >= 0]
     fold_classes = [c for c in classes if c.beta < 0]
-    if mode == "log":
-        lq = _sweep_log(dims, sweep_classes)
-        fold = _fold_log
-    elif mode == "scaled":
-        lq = _sweep_scaled(dims, sweep_classes)
-        fold = _fold_log  # folds are positive-term log sums either way
-    elif mode == "float":
-        lq = _sweep_float(dims, sweep_classes)
-        fold = _fold_float
-    else:
-        raise ConfigurationError(
-            f"unknown mode {mode!r}; expected one of {_MODES}"
-        )
+    lq, fold = _sweep_and_fold(dims, sweep_classes, mode, kernel)
     for cls in fold_classes:
         lq = fold(lq, dims, cls)
     return lq
@@ -425,6 +453,7 @@ def solve_convolution(
     dims: SwitchDimensions,
     classes: Sequence[TrafficClass],
     mode: str = "log",
+    kernel: str | None = None,
 ) -> PerformanceSolution:
     """Solve the model with Algorithm 1 and return all measures.
 
@@ -435,24 +464,19 @@ def solve_convolution(
     mode:
         ``"log"`` (default), ``"scaled"`` (Section 6 dynamic scaling),
         or ``"float"`` (raw recurrence — raises on overflow/underflow).
+    kernel:
+        ``"python"`` (reference sweeps), ``"numpy"`` (vectorized
+        kernels, see :mod:`repro.core.kernels`) or ``None`` for the
+        process-wide default.  The solution label stays
+        ``convolution/<mode>`` either way — the kernel is an
+        implementation detail of the same algorithm, recorded on the
+        solution as ``solution.kernel``.
     """
     classes = tuple(classes)
     _validate(dims, classes)
     sweep_classes = [c for c in classes if c.beta >= 0]
     fold_classes = [(r, c) for r, c in enumerate(classes) if c.beta < 0]
-    if mode == "log":
-        base = _sweep_log(dims, sweep_classes)
-        fold = _fold_log
-    elif mode == "scaled":
-        base = _sweep_scaled(dims, sweep_classes)
-        fold = _fold_log
-    elif mode == "float":
-        base = _sweep_float(dims, sweep_classes)
-        fold = _fold_float
-    else:
-        raise ConfigurationError(
-            f"unknown mode {mode!r}; expected one of {_MODES}"
-        )
+    base, fold = _sweep_and_fold(dims, sweep_classes, mode, kernel)
     lq = base
     for _, cls in fold_classes:
         lq = fold(lq, dims, cls)
@@ -475,7 +499,7 @@ def solve_convolution(
                 lq_rest = fold(lq_rest, dims, other)
         e_smooth[r] = _smooth_concurrency_grid(lq, lq_rest, dims, cls)
 
-    return PerformanceSolution(
+    solution = PerformanceSolution(
         dims=dims,
         classes=classes,
         h=tuple(h_grids),
@@ -483,3 +507,7 @@ def solve_convolution(
         method=f"convolution/{mode}",
         e_smooth=e_smooth,
     )
+    from .kernels import resolve_kernel
+
+    solution.kernel = resolve_kernel(kernel)
+    return solution

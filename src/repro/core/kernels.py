@@ -1,0 +1,579 @@
+"""Vectorized NumPy kernels for the Algorithm 1/2 hot loops.
+
+The pure-python sweeps in :mod:`repro.core.convolution` and
+:mod:`repro.core.mva` are the *reference* implementations: every
+numeric step routes through the generic signed-log helpers
+(:mod:`repro.core.logspace`) or scalar double loops, which makes them
+easy to audit against the paper but leaves 5-20x on the table.  This
+module provides drop-in kernels that compute the same grids with
+whole-column NumPy array operations and a near-minimal number of ufunc
+dispatches per column:
+
+``sweep_log``
+    Bitwise-identical restructuring of ``_sweep_log``.  The sweep only
+    ever sees classes with ``beta >= 0`` (smooth classes are folded in
+    afterwards — see the convolution module's stability note), so every
+    signed-log term is non-negative and the generic masked
+    ``signed_log_add`` collapses to the positive-domain max-shift update
+    ``top + log(exp(a - top) + exp(b - top))``.  That expression performs
+    the *same float64 operations in the same order* as the reference
+    helper does on non-negative operands, so the resulting ``log Q``
+    grid is bit-for-bit equal — not merely close — which the
+    equivalence suite asserts and the service byte-identity test
+    relies on.
+``sweep_float``
+    The raw unscaled recurrence with preallocated buffers and in-place
+    ufuncs, preserving the reference operation order exactly (bitwise
+    equal output, same ``OverflowInRecursionError`` boundaries).
+``sweep_scaled``
+    A re-derivation of the Section 6 dynamic-scaling sweep in plain
+    linear arithmetic: each ``Q`` column is renormalized to unit
+    maximum with the running scale carried as one ``log`` offset per
+    column (instead of a per-cell mantissa/exponent pair), and each
+    ``V`` column is kept at the scale of the ``Q`` column it was built
+    from, with scalar cross-scale weights realigning every term.  This
+    is the fastest kernel but is *not* bitwise equal to the reference —
+    it is tolerance-equivalent (well inside the method's 1e-9
+    differential tolerance).  If the sweep leaves float64's range
+    anyway (a renormalized column underflowing to exact zero, or a
+    ``V`` chain overflowing — deep near-underflow territory around
+    ``n1 >~ 170`` or extreme dynamic range), the kernel falls back to
+    the reference ``_sweep_scaled`` and the result matches the pure
+    python path bit for bit.
+``solve_mva_numpy``
+    Algorithm 2 with the ``m1`` axis vectorized.  The axis-2 ratio
+    ``F_2(m1, m2)`` only references *previous* columns, so a whole
+    column is computed at once; the same-column coupling of ``F_1`` is
+    broken with the telescoping identity
+    ``F_1(m1, m2) = F_1(m1, m2-1) F_2(m1, m2) / F_2(m1-1, m2)``.
+    Tolerance-equivalent to the reference (1e-8).
+
+Kernel selection
+----------------
+The public solvers accept ``kernel="python" | "numpy" | None``.  ``None``
+defers to the process-wide default: :func:`set_default_kernel`, else the
+``REPRO_KERNELS`` environment variable, else ``"python"`` (the reference
+path keeps its historical behavior).  The dedicated ``SolveMethod``
+entries (``convolution-numpy``, ``mva-numpy``, ...) pin the family
+explicitly regardless of the knob.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..exceptions import (
+    ComputationError,
+    ConfigurationError,
+    OverflowInRecursionError,
+)
+from .logspace import NEG_INF
+from .state import SwitchDimensions
+from .traffic import TrafficClass
+
+__all__ = [
+    "KERNEL_FAMILIES",
+    "default_kernel",
+    "set_default_kernel",
+    "resolve_kernel",
+    "sweep_log",
+    "sweep_scaled",
+    "sweep_float",
+    "solve_mva_numpy",
+    "scaled_fallback_count",
+]
+
+KERNEL_FAMILIES = ("python", "numpy")
+
+#: Process-wide override installed by :func:`set_default_kernel`;
+#: ``None`` means "consult the environment".
+_DEFAULT_OVERRIDE: str | None = None
+
+#: Counter of reference fallbacks taken by :func:`sweep_scaled`
+#: (diagnostic; read through :func:`scaled_fallback_count`).
+_SCALED_FALLBACKS = 0
+
+
+def _validate_family(family: str) -> str:
+    if family not in KERNEL_FAMILIES:
+        raise ConfigurationError(
+            f"unknown kernel family {family!r}; expected one of "
+            f"{KERNEL_FAMILIES}"
+        )
+    return family
+
+
+def default_kernel() -> str:
+    """The kernel family used when a solver is called with ``kernel=None``."""
+    if _DEFAULT_OVERRIDE is not None:
+        return _DEFAULT_OVERRIDE
+    env = os.environ.get("REPRO_KERNELS", "").strip()
+    if env:
+        return _validate_family(env)
+    return "python"
+
+
+def set_default_kernel(family: str | None) -> str | None:
+    """Install a process-wide default kernel family; returns the previous
+    override (``None`` if the environment/default was in effect).
+
+    Pass ``None`` to drop the override and fall back to ``REPRO_KERNELS``.
+    Intended to be set once at process start: the batched engine caches
+    results per method name, so flipping the knob mid-process can serve
+    a mix of kernel outputs for the tolerance-equivalent families.
+    """
+    global _DEFAULT_OVERRIDE
+    previous = _DEFAULT_OVERRIDE
+    _DEFAULT_OVERRIDE = None if family is None else _validate_family(family)
+    return previous
+
+
+def resolve_kernel(kernel: str | None) -> str:
+    """Normalize an explicit ``kernel=`` argument (``None`` -> default)."""
+    if kernel is None:
+        return default_kernel()
+    return _validate_family(kernel)
+
+
+def scaled_fallback_count() -> int:
+    """How many times ``sweep_scaled`` fell back to the reference sweep."""
+    return _SCALED_FALLBACKS
+
+
+def _class_constants(
+    classes: Sequence[TrafficClass],
+) -> list[tuple[int, int, bool, float | None, float]]:
+    """Hoist the per-class scalars the column loops need.
+
+    Returns ``(r, a, is_poisson, log_factor, log_b)`` per class where
+    ``log_factor = log(a * rho)`` (``None`` when the factor is zero, in
+    which case the class contributes nothing — same guard as the
+    reference) and ``log_b = log(b)`` for bursty classes.  The logs are
+    taken with ``np.log`` exactly as ``signed_log_scale`` does, so the
+    shifted additions reproduce the reference bit for bit.
+    """
+    info = []
+    for r, cls in enumerate(classes):
+        factor = cls.a * cls.rho
+        info.append(
+            (
+                r,
+                cls.a,
+                cls.is_poisson,
+                float(np.log(abs(factor))) if factor > 0.0 else None,
+                float(np.log(abs(cls.b))) if cls.is_bursty else 0.0,
+            )
+        )
+    return info
+
+
+# ----------------------------------------------------------------------
+# Log-domain sweep (bitwise-identical to convolution._sweep_log)
+# ----------------------------------------------------------------------
+
+
+def sweep_log(
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    collect_v: bool = False,
+):
+    """NumPy column sweep of the log-domain recurrence (eqs. 8-10).
+
+    ``classes`` must already exclude smooth (``beta < 0``) classes —
+    the caller folds those separately — so every term is non-negative
+    and the positive-domain log-add below is bitwise-equivalent to the
+    reference's ``signed_log_add``: pairwise ``top + log(exp(a - top)
+    + exp(b - top))`` performs the same float64 operations in the same
+    order (IEEE addition is commutative, so operand order inside the
+    sum is free), the one-side-zero branch coincides with
+    ``exp(-inf) = 0`` and ``log(1) = 0``, and the both-zero branch is
+    an explicit ``-inf`` patch of the rows below the class bandwidth —
+    the only cells where both operands can be the signed-log zero.
+
+    With ``collect_v=True`` returns ``(lq, lv)`` where ``lv`` maps the
+    index of each bursty class to its full ``log V(n, r)`` grid (eq. 9)
+    for direct pointwise verification of the auxiliary recursion.
+    """
+    n1, n2 = dims.n1, dims.n2
+    rows = n1 + 1
+    # Transposed working layout: row ``col`` of ``lq_t`` is the grid
+    # column ``n2 = col``, contiguous in memory for the inner ufuncs.
+    lq_t = np.full((n2 + 1, rows), NEG_INF)
+    lq_t[0] = -np.array([math.lgamma(m + 1) for m in range(rows)])
+    info = _class_constants(classes)
+    lv_t = {
+        r: np.full((n2 + 1, rows), NEG_INF)
+        for r, c in enumerate(classes)
+        if c.is_bursty
+    }
+
+    acc = np.empty(rows)
+    vsh = np.empty(rows)
+    work = np.empty(rows)
+    top = np.empty(rows)
+    scratch = np.empty(rows)
+    # One shared shifted-Q buffer per distinct bandwidth: classes with
+    # equal ``a`` read the same shifted source column.
+    qsh = {a: np.full(rows, NEG_INF) for _, a, _, _, _ in info}
+
+    def posadd(dst: np.ndarray, other: np.ndarray, dead_below: int = 0) -> None:
+        # dst = log(exp(dst) + exp(other)) with -inf as signed-log zero.
+        # Rows below ``dead_below`` are the only cells where both
+        # operands can be -inf (the (-inf) - (-inf) shift yields NaN
+        # there); they are patched back to the signed-log zero exactly
+        # as the reference's "both zero" mask does.
+        np.maximum(dst, other, out=top)
+        np.subtract(dst, top, out=scratch)
+        np.exp(scratch, out=scratch)
+        np.subtract(other, top, out=dst)
+        np.exp(dst, out=dst)
+        dst += scratch
+        np.log(dst, out=dst)
+        dst += top
+        if dead_below:
+            dst[:dead_below] = NEG_INF
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        for col in range(1, n2 + 1):
+            np.copyto(acc, lq_t[col - 1])
+            shifted: set[int] = set()
+            for r, a, is_poisson, log_factor, log_b in info:
+                if col < a or a >= rows:
+                    # Every source term is the signed-log zero: the V
+                    # column stays -inf (its initial value) and adding
+                    # a zero term leaves the accumulator bitwise
+                    # unchanged (the reference's one-side-zero copy).
+                    continue
+                src = qsh[a]
+                if a not in shifted:
+                    np.copyto(src[a:], lq_t[col - a][: rows - a])
+                    shifted.add(a)
+                if is_poisson:
+                    term = src
+                else:
+                    vsh[:a] = NEG_INF
+                    np.copyto(vsh[a:], lv_t[r][col - a][: rows - a])
+                    vsh += log_b
+                    posadd(vsh, src, dead_below=a)
+                    lv_t[r][col] = vsh
+                    term = vsh
+                if log_factor is None:
+                    # Zero arrival rate: the reference skips the
+                    # accumulate (factor == 0 guard) after advancing V.
+                    continue
+                np.add(term, log_factor, out=work)
+                posadd(acc, work)
+            np.subtract(acc, math.log(col), out=lq_t[col])
+    # Sweep classes have beta >= 0, so every term is non-negative and Q
+    # stays strictly positive; a non-finite cell means the parameters
+    # admit a negative rate (the reference's per-column sign check).
+    if not np.isfinite(lq_t).all():
+        raise ComputationError(
+            "Q recursion produced a non-positive value; the Bernoulli "
+            "parameters likely admit a negative arrival rate inside "
+            "the state space"
+        )
+    lq = np.ascontiguousarray(lq_t.T)
+    if collect_v:
+        return lq, {r: np.ascontiguousarray(g.T) for r, g in lv_t.items()}
+    return lq
+
+
+# ----------------------------------------------------------------------
+# Raw float sweep (bitwise-identical to convolution._sweep_float)
+# ----------------------------------------------------------------------
+
+
+def sweep_float(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> np.ndarray:
+    """Buffer-reusing restructuring of the unscaled float sweep.
+
+    Performs the reference's float64 operations in the same order (the
+    shifts, the ``src + b * prev`` V update, the ``(a rho) * term``
+    accumulate, the ``/= col`` normalization), so the output grid and
+    the ``OverflowInRecursionError`` boundaries are bitwise identical.
+    """
+    n1, n2 = dims.n1, dims.n2
+    rows = n1 + 1
+    q_t = np.zeros((n2 + 1, rows))
+    for m in range(rows):
+        lg = -math.lgamma(m + 1)
+        if lg < math.log(5e-324):
+            raise OverflowInRecursionError(
+                f"Q({m}, 0) = 1/{m}! underflows float64; "
+                "use mode='scaled' or mode='log'"
+            )
+        q_t[0, m] = math.exp(lg)
+    consts = [
+        (r, c.a, c.is_poisson, c.a * c.rho, c.b) for r, c in enumerate(classes)
+    ]
+    v_t = {r: np.zeros((n2 + 1, rows)) for r, a, p, f, b in consts if not p}
+
+    total = np.empty(rows)
+    src = np.zeros(rows)
+    prev = np.empty(rows)
+    term = np.empty(rows)
+
+    for col in range(1, n2 + 1):
+        np.copyto(total, q_t[col - 1])
+        for r, a, is_poisson, factor, b in consts:
+            if col >= a and a < rows:
+                src[:a] = 0.0
+                np.copyto(src[a:], q_t[col - a][: rows - a])
+            else:
+                src.fill(0.0)
+            if is_poisson:
+                t = src
+            else:
+                if col >= a and a < rows:
+                    prev[:a] = 0.0
+                    np.copyto(prev[a:], v_t[r][col - a][: rows - a])
+                else:
+                    prev.fill(0.0)
+                np.multiply(prev, b, out=prev)
+                np.add(src, prev, out=prev)
+                v_t[r][col] = prev
+                t = prev
+            np.multiply(t, factor, out=term)
+            total += term
+        total /= col
+        if not np.all(np.isfinite(total)):
+            raise OverflowInRecursionError(
+                f"unscaled Algorithm 1 overflowed at column n2={col}"
+            )
+        if np.any(total[: min(col, n1) + 1] == 0.0):
+            raise OverflowInRecursionError(
+                f"unscaled Algorithm 1 underflowed to zero at column n2={col}; "
+                "use mode='scaled' or mode='log'"
+            )
+        q_t[col] = total
+
+    q = np.ascontiguousarray(q_t.T)
+    with np.errstate(divide="ignore"):
+        return np.where(q > 0.0, np.log(np.where(q > 0.0, q, 1.0)), NEG_INF)
+
+
+# ----------------------------------------------------------------------
+# Dynamic-scaling sweep (fast linear re-derivation with fallback)
+# ----------------------------------------------------------------------
+
+
+class _ScaledKernelFallback(Exception):
+    """Internal: the fast sweep ran out of float64 range."""
+
+
+def _sweep_scaled_fast(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> np.ndarray:
+    n1, n2 = dims.n1, dims.n2
+    rows = n1 + 1
+    # qn_t[col] = Q(:, col) / exp(scale[col]), renormalized to unit
+    # maximum — the Section 6 "re-choose omega every step" idea with
+    # one scalar log offset per column instead of per-cell exponents.
+    # V columns are kept at the scale of the Q column they were built
+    # from (scale[col - a]); scalar weights realign every cross-column
+    # term, so the inner loop is pure multiply-accumulate.
+    qn_t = np.zeros((n2 + 1, rows))
+    scale = np.zeros(n2 + 1)
+    qn_t[0] = np.exp(-np.array([math.lgamma(m + 1) for m in range(rows)]))
+    if qn_t[0, n1] == 0.0:
+        # 1/n1! spans more than float64 within one column: the cell
+        # magnitudes cannot share a single scale.  Reference territory.
+        raise _ScaledKernelFallback
+    # Classes with a zero arrival rate contribute nothing (their V
+    # chain only feeds terms that are multiplied by the zero factor).
+    consts = [
+        (r, c.a, c.is_poisson, c.a * c.rho, c.b)
+        for r, c in enumerate(classes)
+        if c.a * c.rho > 0.0 and c.a < rows
+    ]
+    vn_t = {r: np.zeros((n2 + 1, rows)) for r, a, p, f, b in consts if not p}
+
+    total = np.empty(rows)
+    src = np.zeros(rows)
+
+    for col in range(1, n2 + 1):
+        np.copyto(total, qn_t[col - 1])
+        for r, a, is_poisson, factor, b in consts:
+            if col < a:
+                continue  # all source terms are zero and V stays zero
+            # Q terms from column col-a live at scale[col-a]; realign
+            # them to the accumulator's scale[col-1].
+            weight = factor * math.exp(scale[col - a] - scale[col - 1])
+            if is_poisson:
+                src[:a] = 0.0
+                np.multiply(qn_t[col - a][: rows - a], weight, out=src[a:])
+                total += src
+            else:
+                vcol = vn_t[r][col]
+                if col >= 2 * a:
+                    # b * V(n - aI, col - a): stored at scale[col - 2a].
+                    wv = b * math.exp(scale[col - 2 * a] - scale[col - a])
+                    np.multiply(vn_t[r][col - a][: rows - a], wv, out=vcol[a:])
+                    vcol[a:] += qn_t[col - a][: rows - a]
+                else:
+                    np.copyto(vcol[a:], qn_t[col - a][: rows - a])
+                np.multiply(vcol, weight, out=src)
+                total += src
+        peak = float(total.max())
+        if not math.isfinite(peak) or peak <= 0.0:
+            raise _ScaledKernelFallback
+        np.multiply(total, 1.0 / peak, out=qn_t[col])
+        scale[col] = scale[col - 1] + (math.log(peak) - math.log(col))
+    for r, g in vn_t.items():
+        if not np.isfinite(g).all():
+            raise _ScaledKernelFallback  # a V chain left float64 range
+    # Q is strictly positive at every grid point (the empty state always
+    # fits), so an exact zero anywhere means a column's dynamic range
+    # exceeded float64 mid-sweep — detected once here, after which the
+    # caller re-runs the reference sweep from scratch.
+    if np.any(qn_t == 0.0):
+        raise _ScaledKernelFallback
+
+    with np.errstate(divide="ignore"):
+        lq_t = np.log(qn_t)
+    lq_t += scale[:, np.newaxis]
+    return np.ascontiguousarray(lq_t.T)
+
+
+def sweep_scaled(
+    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+) -> np.ndarray:
+    """Fast dynamic-scaling sweep; falls back to the reference on under/overflow.
+
+    The fallback (columns whose cells span more than float64's range,
+    e.g. ``n1 >~ 170``, or a ``V`` chain overflowing under extreme
+    dynamic range) re-runs the exact reference ``_sweep_scaled``, so
+    fallback results match the pure python path bit for bit.  The count
+    of fallbacks taken is exposed through :func:`scaled_fallback_count`.
+    """
+    try:
+        return _sweep_scaled_fast(dims, classes)
+    except _ScaledKernelFallback:
+        global _SCALED_FALLBACKS
+        _SCALED_FALLBACKS += 1
+        from .convolution import _sweep_scaled
+
+        return _sweep_scaled(dims, classes)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2 (MVA) with the m1 axis vectorized
+# ----------------------------------------------------------------------
+
+
+def solve_mva_numpy(dims: SwitchDimensions, classes: Sequence[TrafficClass]):
+    """Column-vectorized mean value analysis (Algorithm 2).
+
+    The axis-2 factorization ``H_r = F_2 K_{r2}`` only references
+    previously completed columns, so ``F_2``, ``H_r`` and ``Dhat_r``
+    are computed one whole column at a time; ``F_1`` is recovered per
+    column from the telescoping ratio identity (see module docstring).
+    Returns the same :class:`~repro.core.measures.PerformanceSolution`
+    (with ``solution.grids`` attached) as the reference ``solve_mva``.
+    """
+    from .measures import PerformanceSolution
+    from .mva import MvaGrids, _check_smooth_stability
+
+    classes = tuple(classes)
+    if not classes:
+        raise ConfigurationError("at least one traffic class is required")
+    for cls in classes:
+        if cls.a <= dims.capacity:
+            cls.validate_for(dims.n1, dims.n2)
+        _check_smooth_stability(dims, cls)
+
+    n1, n2 = dims.n1, dims.n2
+    rows = n1 + 1
+    # Transposed working grids: row ``col`` is grid column ``n2 = col``.
+    f1_t = np.full((n2 + 1, rows), np.nan)
+    f2_t = np.full((n2 + 1, rows), np.nan)
+    # F_i at the m=0 boundary (only the empty state fits): F_1(m1, 0) = m1.
+    f1_base = np.arange(rows, dtype=float)
+    f1_t[0, 1:] = f1_base[1:]
+    f2_t[1:, 0] = np.arange(1, n2 + 1, dtype=float)
+
+    consts = [
+        (r, c.a, c.is_poisson, c.a * c.rho, c.b) for r, c in enumerate(classes)
+    ]
+    h_t = [np.zeros((n2 + 1, rows)) for _ in classes]
+    dhat_t = [np.zeros((n2 + 1, rows)) for _ in classes]
+    k2 = [np.zeros(rows) for _ in classes]
+    cvec = [np.ones(rows) for _ in classes]
+
+    denom2 = np.empty(rows)
+    work = np.empty(rows)
+
+    for col in range(1, n2 + 1):
+        denom2.fill(1.0)
+        fits = []
+        for r, a, is_poisson, load, b in consts:
+            if col < a or a > n1:
+                continue
+            fits.append(r)
+            f1_prev = f1_t[col - a] if col > a else f1_base
+            # K_{r2}(m1, col) = prod_{m=1..a} F_1(m1-a+m, col-a)
+            #                 * prod_{m=1..a-1} F_2(m1, col-a+m)
+            # (paper eq. 14/20, the axis-2 lattice path); rows < a are
+            # outside the class's feasible wedge and zeroed so they
+            # contribute nothing anywhere below.
+            k2_r = k2[r]
+            k2_r[:a] = 0.0
+            k2_r[a:] = f1_prev[1 : rows - a + 1]  # m = 1 term
+            for m in range(2, a + 1):
+                k2_r[a:] *= f1_prev[m : rows - a + m]
+            for m in range(1, a):
+                k2_r[a:] *= f2_t[col - a + m][a:]
+            if is_poisson:
+                np.multiply(k2_r, load, out=work)
+            else:
+                c_r = cvec[r]
+                np.multiply(dhat_t[r][col - a][: rows - a], b, out=c_r[a:])
+                c_r[a:] += 1.0
+                np.multiply(c_r, load, out=work)
+                work *= k2_r
+            denom2 += work
+        if not np.all(np.isfinite(denom2)) or np.any(denom2 <= 0.0):
+            raise ComputationError(
+                f"MVA denominator non-positive at column n2={col}; "
+                "Bernoulli parameters admit negative arrival rates"
+            )
+        f2col = f2_t[col]
+        np.divide(col, denom2, out=f2col)  # row 0 is col/1 == the boundary
+        # F_1(m1, col) = F_1(m1, col-1) * F_2(m1, col) / F_2(m1-1, col):
+        # both F_2 factors are now known, breaking the same-column
+        # dependency that forces the reference into a scalar m1 loop.
+        f1_prev_col = f1_t[col - 1] if col > 1 else f1_base
+        np.multiply(f1_prev_col[1:], f2col[1:], out=f1_t[col][1:])
+        f1_t[col][1:] /= f2col[:-1]
+        for r, a, is_poisson, load, b in consts:
+            if r not in fits:
+                continue
+            h_col = h_t[r][col]
+            np.multiply(f2col, k2[r], out=h_col)
+            if is_poisson:
+                dhat_t[r][col] = h_col
+            else:
+                np.multiply(h_col, cvec[r], out=dhat_t[r][col])
+
+    grids = MvaGrids(dims, classes)
+    grids.f1 = np.ascontiguousarray(f1_t.T)
+    grids.f2 = np.ascontiguousarray(f2_t.T)
+    grids.h = [np.ascontiguousarray(g.T) for g in h_t]
+    grids.dhat = [np.ascontiguousarray(g.T) for g in dhat_t]
+
+    solution = PerformanceSolution(
+        dims=dims,
+        classes=classes,
+        h=tuple(grids.h),
+        log_q=None,
+        method="mva",
+    )
+    solution.grids = grids  # expose raw grids for diagnostics/tests
+    solution.kernel = "numpy"
+    return solution

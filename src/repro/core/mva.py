@@ -164,7 +164,9 @@ def _check_smooth_stability(
 
 
 def solve_mva(
-    dims: SwitchDimensions, classes: Sequence[TrafficClass]
+    dims: SwitchDimensions,
+    classes: Sequence[TrafficClass],
+    kernel: str | None = None,
 ) -> PerformanceSolution:
     """Solve the model with Algorithm 2 (mean value analysis).
 
@@ -173,7 +175,19 @@ def solve_mva(
     numerical stability.  Returns the same
     :class:`~repro.core.measures.PerformanceSolution` interface as
     Algorithm 1 (without ``log Q``, which ratios cannot reconstruct).
+
+    ``kernel="numpy"`` (or a process-wide default of ``numpy``, see
+    :mod:`repro.core.kernels`) dispatches to the column-vectorized
+    implementation; ``"python"`` runs the scalar reference loop below.
+    The two are tolerance-equivalent (1e-8), not bitwise identical —
+    the vectorized path factors ``H_r`` along the other grid axis.
     """
+    from .kernels import resolve_kernel, solve_mva_numpy
+
+    if resolve_kernel(kernel) == "numpy":
+        solution = solve_mva_numpy(dims, classes)
+        solution.kernel = "numpy"
+        return solution
     classes = tuple(classes)
     if not classes:
         raise ConfigurationError("at least one traffic class is required")
@@ -232,4 +246,5 @@ def solve_mva(
         method="mva",
     )
     solution.grids = grids  # expose raw grids for diagnostics/tests
+    solution.kernel = "python"
     return solution

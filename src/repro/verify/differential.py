@@ -82,12 +82,12 @@ def _measures_of(solution, n_classes: int) -> dict[str, tuple[float, ...]]:
 # ----------------------------------------------------------------------
 
 
-def _run_convolution(mode: str):
+def _run_convolution(mode: str, kernel: str = "python"):
     def call(config: ModelConfig):
         from ..core import convolution
 
         return convolution.solve_convolution(
-            config.dims, config.classes, mode=mode
+            config.dims, config.classes, mode=mode, kernel=kernel
         )
 
     return call
@@ -96,7 +96,13 @@ def _run_convolution(mode: str):
 def _run_mva(config: ModelConfig):
     from ..core import mva
 
-    return mva.solve_mva(config.dims, config.classes)
+    return mva.solve_mva(config.dims, config.classes, kernel="python")
+
+
+def _run_mva_numpy(config: ModelConfig):
+    from ..core import mva
+
+    return mva.solve_mva(config.dims, config.classes, kernel="numpy")
 
 
 def _run_series(config: ModelConfig):
@@ -124,10 +130,20 @@ def _run_ctmc(config: ModelConfig):
 
 
 _SOLVERS = {
+    # Classic entries pin kernel="python" so the process-wide kernel
+    # knob can never alias the reference side of a differential pair.
     SolveMethod.CONVOLUTION.value: _run_convolution("log"),
     SolveMethod.CONVOLUTION_SCALED.value: _run_convolution("scaled"),
     SolveMethod.CONVOLUTION_FLOAT.value: _run_convolution("float"),
+    SolveMethod.CONVOLUTION_NUMPY.value: _run_convolution("log", "numpy"),
+    SolveMethod.CONVOLUTION_SCALED_NUMPY.value: _run_convolution(
+        "scaled", "numpy"
+    ),
+    SolveMethod.CONVOLUTION_FLOAT_NUMPY.value: _run_convolution(
+        "float", "numpy"
+    ),
     SolveMethod.MVA.value: _run_mva,
+    SolveMethod.MVA_NUMPY.value: _run_mva_numpy,
     SolveMethod.SERIES.value: _run_series,
     SolveMethod.EXACT.value: _run_exact,
     SolveMethod.BRUTE_FORCE.value: _run_brute_force,
@@ -160,7 +176,11 @@ def applicable_methods(config: ModelConfig) -> list[str]:
         SolveMethod.CONVOLUTION.value,
         SolveMethod.CONVOLUTION_SCALED.value,
         SolveMethod.CONVOLUTION_FLOAT.value,
+        SolveMethod.CONVOLUTION_NUMPY.value,
+        SolveMethod.CONVOLUTION_SCALED_NUMPY.value,
+        SolveMethod.CONVOLUTION_FLOAT_NUMPY.value,
         SolveMethod.MVA.value,
+        SolveMethod.MVA_NUMPY.value,
         SolveMethod.SERIES.value,
     ]
     if config.capacity <= EXACT_CAPACITY_LIMIT:

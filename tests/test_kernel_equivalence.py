@@ -1,0 +1,535 @@
+"""Differential equivalence locks for the vectorized NumPy kernels.
+
+The kernels in :mod:`repro.core.kernels` re-implement the Algorithm 1
+sweeps and the Algorithm 2 ratio sweep as whole-column NumPy array
+operations.  Their contract, enforced here:
+
+* ``log`` and ``float`` modes are **bitwise identical** to the
+  pure-python reference sweeps (``np.array_equal`` on the full grids,
+  matching exception behavior at the float-mode overflow boundary);
+* ``scaled`` is tolerance-equivalent on the fast path and falls back
+  to the reference sweep — bit for bit — when a column's dynamic range
+  leaves float64 (the ``1/n1!`` cliff past ``n1 ~ 178``);
+* ``mva-numpy`` agrees with the scalar reference to its registered
+  1e-8 differential tolerance;
+* the eq. 9 auxiliary recursion ``V(n, r) = Q(n - a_r I) + b_r
+  V(n - a_r I, r)`` holds pointwise against direct scalar evaluation
+  (hypothesis property, profiles from ``tests/conftest.py``);
+* the ``repro.verify`` fuzzer finds **zero** old-vs-new disagreements
+  over seeded sampled configs per numeric mode, and a deliberately
+  broken kernel is caught *and shrunk* to a minimal JSON reproducer;
+* the golden corpus (including ``kernel_edges.json``) stays green when
+  rebuilt under either kernel family;
+* the service wire path serves byte-identical ``/solve`` envelopes
+  with the NumPy kernels selected (the ``log`` kernel's bitwise
+  guarantee, observed end to end on Table 1 configurations).
+
+The seeded fuzz case count scales with ``KERNEL_EQUIV_CASES`` (default
+100 per mode here; the CI ``kernel-equivalence`` job raises it, and
+``benchmarks/bench_kernels.py`` runs the full >= 2000-case campaign).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import kernels
+from repro.core.convolution import (
+    _sweep_float,
+    _sweep_log,
+    _sweep_scaled,
+    log_q_grid,
+    solve_convolution,
+)
+from repro.core.kernels import (
+    default_kernel,
+    resolve_kernel,
+    scaled_fallback_count,
+    set_default_kernel,
+    sweep_float,
+    sweep_log,
+    sweep_scaled,
+)
+from repro.core.mva import solve_mva
+from repro.core.state import SwitchDimensions
+from repro.core.traffic import TrafficClass
+from repro.exceptions import ConfigurationError, OverflowInRecursionError
+from repro.methods import SolveMethod
+from repro.verify.differential import run_differential
+from repro.verify.generators import ConfigSampler
+
+#: Seeded case count per numeric mode for the fuzz smoke (the full
+#: acceptance campaign lives in benchmarks/bench_kernels.py).
+FUZZ_CASES = int(os.environ.get("KERNEL_EQUIV_CASES", "100"))
+
+#: (classic, numpy-pinned) method pairs per numeric mode.
+KERNEL_PAIRS = {
+    "log": (SolveMethod.CONVOLUTION, SolveMethod.CONVOLUTION_NUMPY),
+    "scaled": (
+        SolveMethod.CONVOLUTION_SCALED,
+        SolveMethod.CONVOLUTION_SCALED_NUMPY,
+    ),
+    "float": (
+        SolveMethod.CONVOLUTION_FLOAT,
+        SolveMethod.CONVOLUTION_FLOAT_NUMPY,
+    ),
+    "mva": (SolveMethod.MVA, SolveMethod.MVA_NUMPY),
+}
+
+
+def sampled_configs(seed: int, count: int):
+    sampler = ConfigSampler(seed=seed)
+    return [sampler.sample() for _ in range(count)]
+
+
+def sweep_classes_of(config):
+    return [c for c in config.classes if c.beta >= 0]
+
+
+# ----------------------------------------------------------------------
+# Differential fuzz: zero old-vs-new mismatches per numeric mode
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", sorted(KERNEL_PAIRS))
+def test_fuzz_zero_disagreements_per_mode(mode):
+    """The registered pair tolerance holds over seeded sampled configs."""
+    old, new = KERNEL_PAIRS[mode]
+    methods = [old.value, new.value]
+    disagreements = []
+    for config in sampled_configs(seed=2024, count=FUZZ_CASES):
+        report = run_differential(config, methods=methods)
+        disagreements.extend(report.disagreements)
+    assert not disagreements, "\n".join(
+        d.describe() for d in disagreements[:10]
+    )
+
+
+# ----------------------------------------------------------------------
+# Bitwise identity: log and float sweeps
+# ----------------------------------------------------------------------
+
+
+def test_sweep_log_bitwise_equal_to_reference():
+    checked = 0
+    for config in sampled_configs(seed=11, count=60):
+        sweep = sweep_classes_of(config)
+        if not sweep:
+            continue
+        ref = _sweep_log(config.dims, sweep)
+        new = sweep_log(config.dims, sweep)
+        assert np.array_equal(ref, new), config.describe()
+        checked += 1
+    assert checked >= 40
+
+
+def test_sweep_float_bitwise_equal_including_overflow_boundary():
+    checked = 0
+    for config in sampled_configs(seed=12, count=60):
+        sweep = sweep_classes_of(config)
+        if not sweep:
+            continue
+        try:
+            ref, ref_err = _sweep_float(config.dims, sweep), None
+        except OverflowInRecursionError as exc:
+            ref, ref_err = None, str(exc)
+        try:
+            new, new_err = sweep_float(config.dims, sweep), None
+        except OverflowInRecursionError as exc:
+            new, new_err = None, str(exc)
+        assert ref_err == new_err, config.describe()
+        if ref is not None:
+            assert np.array_equal(ref, new), config.describe()
+        checked += 1
+    assert checked >= 40
+
+
+def test_float_mode_raises_identically_at_factorial_cliff():
+    dims = SwitchDimensions(185, 2)
+    classes = (TrafficClass.poisson(0.05),)
+    with pytest.raises(OverflowInRecursionError) as ref:
+        log_q_grid(dims, classes, mode="float", kernel="python")
+    with pytest.raises(OverflowInRecursionError) as new:
+        log_q_grid(dims, classes, mode="float", kernel="numpy")
+    assert str(ref.value) == str(new.value)
+
+
+def test_full_solution_grids_bitwise_equal_log_mode():
+    """End-to-end solve (folds, h grids, measures) is bitwise equal."""
+    for config in sampled_configs(seed=13, count=30):
+        ref = solve_convolution(
+            config.dims, config.classes, mode="log", kernel="python"
+        )
+        new = solve_convolution(
+            config.dims, config.classes, mode="log", kernel="numpy"
+        )
+        assert np.array_equal(ref.log_q, new.log_q)
+        for r in range(len(config.classes)):
+            assert np.array_equal(ref.h[r], new.h[r])
+            assert ref.blocking(r).hex() == new.blocking(r).hex()
+            assert ref.concurrency(r).hex() == new.concurrency(r).hex()
+        assert ref.method == new.method == "convolution/log"
+        assert (ref.kernel, new.kernel) == ("python", "numpy")
+
+
+# ----------------------------------------------------------------------
+# Scaled kernel: tolerance equivalence and the reference fallback
+# ----------------------------------------------------------------------
+
+
+def test_sweep_scaled_tolerance_equivalent():
+    checked = 0
+    for config in sampled_configs(seed=14, count=60):
+        sweep = sweep_classes_of(config)
+        if not sweep:
+            continue
+        ref = _sweep_scaled(config.dims, sweep)
+        new = sweep_scaled(config.dims, sweep)
+        finite = np.isfinite(ref)
+        assert np.array_equal(finite, np.isfinite(new))
+        if finite.any():
+            rel = np.max(
+                np.abs(ref[finite] - new[finite])
+                / np.maximum(np.abs(ref[finite]), 1.0)
+            )
+            assert rel < 1e-10, (rel, config.describe())
+        checked += 1
+    assert checked >= 40
+
+
+def test_scaled_kernel_falls_back_past_factorial_cliff():
+    """``exp(-lgamma(n1+1)) == 0`` forces the reference sweep, bit for bit."""
+    dims = SwitchDimensions(185, 3)
+    classes = (
+        TrafficClass.poisson(0.05),
+        TrafficClass(alpha=0.02, beta=0.01, mu=1.0, a=2),
+    )
+    assert math.exp(-math.lgamma(dims.n1 + 1)) == 0.0  # in fallback land
+    before = scaled_fallback_count()
+    new = sweep_scaled(dims, classes)
+    assert scaled_fallback_count() == before + 1
+    ref = _sweep_scaled(dims, classes)
+    assert np.array_equal(ref, new)  # fallback IS the reference
+
+
+def test_scaled_fast_path_used_below_the_cliff():
+    dims = SwitchDimensions(32, 32)
+    classes = (TrafficClass.poisson(0.05),)
+    before = scaled_fallback_count()
+    sweep_scaled(dims, classes)
+    assert scaled_fallback_count() == before
+
+
+# ----------------------------------------------------------------------
+# MVA kernel: registered tolerance
+# ----------------------------------------------------------------------
+
+
+def test_mva_numpy_within_registered_tolerance():
+    tol = SolveMethod.MVA.rel_tolerance
+    checked = 0
+    for config in sampled_configs(seed=15, count=60):
+        try:
+            ref = solve_mva(config.dims, config.classes, kernel="python")
+        except Exception:
+            continue  # smooth-stability guard etc. — covered by fuzz
+        new = solve_mva(config.dims, config.classes, kernel="numpy")
+        for r in range(len(config.classes)):
+            for measure in ("blocking", "concurrency", "call_acceptance"):
+                a = getattr(ref, measure)(r)
+                b = getattr(new, measure)(r)
+                scale = max(abs(a), abs(b), 1e-12)
+                assert abs(a - b) <= tol * scale, (measure, r, a, b)
+        assert (ref.kernel, new.kernel) == ("python", "numpy")
+        checked += 1
+    assert checked >= 30
+
+
+# ----------------------------------------------------------------------
+# Base row, empty class set
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel", kernels.KERNEL_FAMILIES)
+@pytest.mark.parametrize("mode", ("log", "scaled", "float"))
+def test_base_row_is_inverse_factorial(mode, kernel):
+    """``Q(n1, 0) = 1/n1!`` byte-exactly in every mode and family."""
+    dims = SwitchDimensions(12, 3)
+    lq = log_q_grid(
+        dims, (TrafficClass.poisson(0.1),), mode=mode, kernel=kernel
+    )
+    for m in range(dims.n1 + 1):
+        want = -math.lgamma(m + 1)
+        if mode == "log":
+            assert float(lq[m, 0]).hex() == want.hex(), m
+        elif mode == "float":
+            # the float sweep carries Q linearly and logs at the end
+            assert float(lq[m, 0]).hex() == math.log(math.exp(want)).hex()
+        else:
+            assert lq[m, 0] == pytest.approx(want, rel=1e-12, abs=1e-12)
+
+
+@pytest.mark.parametrize("kernel", kernels.KERNEL_FAMILIES)
+@pytest.mark.parametrize("mode", ("log", "scaled", "float"))
+def test_empty_class_set_rejected_identically(mode, kernel):
+    with pytest.raises(ConfigurationError):
+        log_q_grid(SwitchDimensions(4, 4), (), mode=mode, kernel=kernel)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis property: eq. 9 pointwise for the vectorized V recursion
+# ----------------------------------------------------------------------
+
+
+@given(
+    n1=st.integers(min_value=1, max_value=9),
+    n2=st.integers(min_value=1, max_value=9),
+    alpha=st.floats(min_value=1e-3, max_value=0.8),
+    b=st.floats(min_value=1e-3, max_value=0.6),
+    a=st.integers(min_value=1, max_value=3),
+    with_poisson=st.booleans(),
+)
+def test_vectorized_v_recursion_satisfies_eq9(
+    n1, n2, alpha, b, a, with_poisson
+):
+    """``V(n, r) = Q(n - a_r I) + b_r V(n - a_r I, r)`` pointwise (eq. 9),
+    with ``V == 0`` whenever any coordinate of ``n - a_r I`` is negative,
+    checked against direct scalar float evaluation."""
+    mu = 1.0
+    classes = [TrafficClass(alpha=alpha, beta=b * mu, mu=mu, a=a)]
+    if with_poisson:
+        classes.append(TrafficClass.poisson(0.1))
+    dims = SwitchDimensions(n1, n2)
+    lq, lv = sweep_log(dims, classes, collect_v=True)
+    cls = classes[0]
+    V = np.where(np.isfinite(lv[0]), np.exp(lv[0]), 0.0)
+    Q = np.where(np.isfinite(lq), np.exp(lq), 0.0)
+    for m1 in range(n1 + 1):
+        for m2 in range(1, n2 + 1):
+            inside = m1 >= a and m2 >= a
+            q_shift = float(Q[m1 - a, m2 - a]) if inside else 0.0
+            v_shift = float(V[m1 - a, m2 - a]) if inside else 0.0
+            want = q_shift + cls.b * v_shift
+            got = float(V[m1, m2])
+            assert got == pytest.approx(want, rel=1e-9, abs=0.0), (
+                f"eq. 9 violated at ({m1}, {m2}): {got!r} != {want!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Registry, knob and engine dispatch
+# ----------------------------------------------------------------------
+
+
+def test_numpy_methods_registered():
+    for mode, (old, new) in KERNEL_PAIRS.items():
+        assert old.kernel_family is None
+        assert new.kernel_family == "numpy"
+        assert new.rel_tolerance == old.rel_tolerance
+        if mode in ("log", "scaled", "float"):
+            assert new.convolution_mode == old.convolution_mode == mode
+    assert SolveMethod.CONVOLUTION_NUMPY.is_grid
+    assert SolveMethod.CONVOLUTION_SCALED_NUMPY.is_grid
+    assert not SolveMethod.CONVOLUTION_FLOAT_NUMPY.is_grid
+    assert SolveMethod.coerce("convolution-numpy/log") is (
+        SolveMethod.CONVOLUTION_NUMPY
+    )
+    assert SolveMethod.coerce("convolution-numpy/scaled") is (
+        SolveMethod.CONVOLUTION_SCALED_NUMPY
+    )
+
+
+def test_engine_dispatch_routes_kernel_family():
+    from repro.api import SolveRequest
+    from repro.engine import BatchSolver, EngineConfig
+
+    classes = (TrafficClass.poisson(0.05),)
+    engine = BatchSolver(EngineConfig())
+    ref = engine.solution_for(
+        SolveRequest.square(6, classes, method=SolveMethod.CONVOLUTION)
+    )
+    new = engine.solution_for(
+        SolveRequest.square(6, classes, method=SolveMethod.CONVOLUTION_NUMPY)
+    )
+    assert ref.method == new.method == "convolution/log"
+    assert (ref.kernel, new.kernel) == ("python", "numpy")
+    assert np.array_equal(ref.log_q, new.log_q)
+    mva_new = engine.solution_for(
+        SolveRequest.square(6, classes, method=SolveMethod.MVA_NUMPY)
+    )
+    assert mva_new.method == "mva" and mva_new.kernel == "numpy"
+
+
+def test_kernel_knob_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    assert default_kernel() == "python"
+    monkeypatch.setenv("REPRO_KERNELS", "numpy")
+    assert default_kernel() == "numpy"
+    previous = set_default_kernel("python")
+    try:
+        assert previous is None
+        assert default_kernel() == "python"  # override beats env
+        assert resolve_kernel(None) == "python"
+        assert resolve_kernel("numpy") == "numpy"
+    finally:
+        set_default_kernel(previous)
+    assert default_kernel() == "numpy"  # env visible again
+    with pytest.raises(ConfigurationError):
+        resolve_kernel("fortran")
+    monkeypatch.setenv("REPRO_KERNELS", "cython")
+    with pytest.raises(ConfigurationError):
+        default_kernel()
+
+
+def test_knob_selects_numpy_for_default_calls():
+    previous = set_default_kernel("numpy")
+    try:
+        solution = solve_convolution(
+            SwitchDimensions(5, 5), (TrafficClass.poisson(0.1),)
+        )
+        assert solution.kernel == "numpy"
+        assert solution.method == "convolution/log"  # label unchanged
+    finally:
+        set_default_kernel(previous)
+
+
+# ----------------------------------------------------------------------
+# A broken kernel is caught and shrunk to a minimal JSON reproducer
+# ----------------------------------------------------------------------
+
+
+def _broken_sweep_log(dims, classes, collect_v=False):
+    """The vectorized log sweep with a planted relative-scale defect.
+
+    A *uniform additive* log-space bias would cancel in every
+    ``h = exp(lq_shifted - lq)`` ratio; scaling instead perturbs the
+    grid's internal ratios, which every measure depends on.
+    """
+    result = sweep_log(dims, classes, collect_v=collect_v)
+    lq = result[0] if collect_v else result
+    lq = lq * (1.0 + 1e-3)
+    return (lq, result[1]) if collect_v else lq
+
+
+def test_broken_numpy_kernel_is_shrunk_to_json_reproducer(
+    monkeypatch, tmp_path
+):
+    from repro.verify.runner import VerifyOptions, run_verify
+
+    monkeypatch.setattr(kernels, "sweep_log", _broken_sweep_log)
+
+    options = VerifyOptions(
+        seed=5,
+        budget_seconds=60.0,
+        max_configs=50,
+        repro_dir=tmp_path,
+        skip_named=True,
+        invariants=(),
+        max_failures=1,
+    )
+    report = run_verify(options)
+    assert report.failures, "planted kernel bug was never caught"
+    repros = sorted(Path(tmp_path).glob("repro-*.json"))
+    assert repros, "no JSON reproducer written"
+    payload = json.loads(repros[0].read_text())
+    assert payload["kind"] == "differential"
+    # The broken log sweep feeds every numpy convolution family member,
+    # so the disagreeing pair names at least one "-numpy" method.
+    assert "-numpy" in payload["label"], payload["label"]
+    # Shrunk: the reproducer config never grew past the sampler's range.
+    assert payload["config"]["n1"] * payload["config"]["n2"] <= 49
+
+
+# ----------------------------------------------------------------------
+# Golden corpus stays green under both kernel families
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel", kernels.KERNEL_FAMILIES)
+def test_kernel_edges_golden_green_for_family(kernel):
+    from repro.verify.corpus import GoldenCorpus
+    from repro.workloads.kernel_edges import kernel_edges_record
+
+    corpus = GoldenCorpus(Path(__file__).parent / "golden")
+    corpus.check("kernel_edges", kernel_edges_record(kernel))
+
+
+# ----------------------------------------------------------------------
+# Service wire path: byte-identical /solve envelopes, numpy selected
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.service
+def test_service_solve_bytes_identical_across_kernel_families():
+    """Table 1 configs served with the NumPy kernels produce the exact
+    same ``"result"`` fragment bytes as a pure-python daemon.
+
+    The default method is ``convolution`` (log mode), where the kernel
+    contract is *bitwise* — so the serialized result must match byte
+    for byte.  The kernel knob is process-wide and the two daemons
+    share this process, so they run sequentially, each under its own
+    knob setting.  Envelope fields that legitimately vary (request id,
+    ``elapsed_ms``) are outside the compared fragment.
+    """
+    import http.client
+
+    from repro.engine import BatchSolver, EngineConfig
+    from repro.service import ServiceConfig, start_in_thread
+    from repro.workloads.scenarios import TABLE1_PAPER
+
+    def table1_requests():
+        from repro.api import SolveRequest
+
+        requests = []
+        for n in (4, 8, 16):
+            rho1, rho2 = TABLE1_PAPER[n]
+            for rho, a in ((rho1, 1), (rho2, 2)):
+                requests.append(
+                    SolveRequest.square(
+                        n,
+                        [
+                            TrafficClass.from_aggregate(
+                                rho, 0.0, n2=n, mu=1.0, a=a
+                            )
+                        ],
+                    )
+                )
+        return requests
+
+    def result_fragments(family):
+        previous = set_default_kernel(family)
+        handle = start_in_thread(
+            ServiceConfig(port=0, batch_window=0.0),
+            engine=BatchSolver(EngineConfig()),
+        )
+        try:
+            conn = http.client.HTTPConnection(*handle.address)
+            fragments = []
+            for request in table1_requests():
+                body = json.dumps({"request": request.to_dict()})
+                conn.request(
+                    "POST", "/solve", body,
+                    {"Content-Type": "application/json"},
+                )
+                raw = conn.getresponse().read()
+                head = raw.index(b'"result": ') + len(b'"result": ')
+                tail = raw.index(b', "coalesced"')
+                fragments.append(raw[head:tail])
+            conn.close()
+            return fragments
+        finally:
+            handle.stop()
+            set_default_kernel(previous)
+
+    python_bytes = result_fragments("python")
+    numpy_bytes = result_fragments("numpy")
+    assert len(python_bytes) == 6
+    for i, (ref, new) in enumerate(zip(python_bytes, numpy_bytes)):
+        assert ref == new, f"request {i}: wire bytes diverged"

@@ -122,7 +122,7 @@ class TestComparison:
         assert report.consistent, report.render()
 
 
-def _buggy_solve_mva(dims, classes):
+def _buggy_solve_mva(dims, classes, kernel=None):
     """Algorithm 2 with an off-by-one in the dhat recursion index."""
     from repro.core import measures
     from repro.core.mva import MvaGrids, _k_product

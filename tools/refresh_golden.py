@@ -18,15 +18,24 @@ from pathlib import Path
 
 from repro.verify.corpus import GoldenCorpus, figure_record
 from repro.workloads import figure1, figure2, figure3, figure4
+from repro.workloads.kernel_edges import kernel_edges_record
 
 DEFAULT_ROOT = Path(__file__).parent.parent / "tests" / "golden"
 
+#: Builders return either a FigureSeries (wrapped by figure_record) or
+#: a ready corpus record dict (the kernel-edge cases).
 BUILDERS = {
     "figure1": figure1,
     "figure2": figure2,
     "figure3": figure3,
     "figure4": figure4,
+    "kernel_edges": kernel_edges_record,
 }
+
+
+def build_record(builder) -> dict:
+    built = builder()
+    return built if isinstance(built, dict) else figure_record(built)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,7 +56,7 @@ def main(argv: list[str] | None = None) -> int:
     corpus = GoldenCorpus(args.root)
     drifted = False
     for name, builder in BUILDERS.items():
-        record = figure_record(builder())
+        record = build_record(builder)
         if args.check:
             drifts = corpus.diff(name, record)
             if drifts:
